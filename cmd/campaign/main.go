@@ -1,0 +1,111 @@
+// Command campaign runs the paper's full fault-injection study: for each
+// proxy application it executes a statistical injection campaign and prints
+// every figure and table of the evaluation (Figs. 5-8, Tables 1-2, and the
+// §4.3 CO breakdown).
+//
+// Usage:
+//
+//	campaign [-runs N] [-seed S] [-apps LULESH,miniFE] [-scale test|default]
+//	         [-multifault LAMBDA]
+//
+// The paper uses 5,000 runs per application on 1,024 cores; the default
+// here is sized for a laptop. Increase -runs for tighter statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/recovery"
+)
+
+func main() {
+	runs := flag.Int("runs", 200, "injection experiments per application")
+	seed := flag.Uint64("seed", 2015, "campaign master seed")
+	appsFlag := flag.String("apps", "", "comma-separated app names (default: all)")
+	scale := flag.String("scale", "default", "workload scale: test or default")
+	multi := flag.Float64("multifault", 0, "Poisson lambda for multi-fault mode (0: single fault)")
+	sample := flag.Uint64("sample", 256, "CML trace sampling interval in cycles")
+	jsonOut := flag.String("json", "", "also save results to this file (.json or .json.gz)")
+	flag.Parse()
+
+	selected := apps.All()
+	if *appsFlag != "" {
+		selected = nil
+		for _, name := range strings.Split(*appsFlag, ",") {
+			a := apps.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "unknown app %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	var results []*harness.CampaignResult
+	for _, app := range selected {
+		p := app.DefaultParams()
+		if *scale == "test" {
+			p = app.TestParams()
+		}
+		start := time.Now()
+		res, err := harness.RunCampaign(harness.CampaignConfig{
+			App:              app,
+			Params:           p,
+			Runs:             *runs,
+			Seed:             *seed,
+			MultiFaultLambda: *multi,
+			SampleEvery:      *sample,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign %s: %v\n", app.Name(), err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s: %d runs in %v (golden cycles %d, %d ranks)\n",
+			app.Name(), *runs, time.Since(start).Round(time.Millisecond),
+			res.Golden.Cycles, p.Ranks)
+		results = append(results, res)
+	}
+
+	fmt.Println()
+	t1, err := harness.FormatTable1()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "table 1: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(t1)
+	fmt.Println(harness.FormatFig5(results[0], 50))
+	fmt.Println(harness.FormatFig6(results))
+	for _, r := range results {
+		fmt.Println(harness.FormatFig7(r))
+	}
+	fmt.Println(harness.FormatFig7f(results))
+	fmt.Println(harness.FormatFig8(results))
+	fmt.Println(harness.FormatTable2(results))
+	fmt.Println(harness.FormatCOBreakdown(results))
+	fmt.Println(harness.FormatStructVulnerability(results))
+	for _, r := range results {
+		rep := recovery.Evaluate(recovery.Config{
+			Model:              r.Model,
+			ThresholdCML:       20,
+			DetectionLatency:   2e-6,
+			CheckpointInterval: 10e-6,
+		}, r)
+		fmt.Println(rep.Format())
+	}
+	fmt.Printf("FPS ordering (fastest propagation first): %s\n",
+		strings.Join(harness.SortedFPS(results), " > "))
+
+	if *jsonOut != "" {
+		if err := harness.SaveResults(*jsonOut, results); err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results saved to %s\n", *jsonOut)
+	}
+}

@@ -1,0 +1,98 @@
+// Command fpmdis disassembles a proxy application before and after the FPM
+// instrumentation pass, making the paper's Fig. 3 transformation visible on
+// real code: the primary chain with fim_inj injection points, the secondary
+// (pristine) chain marked with '~', fpm_fetch after loads and fpm_store in
+// place of stores.
+//
+// Usage:
+//
+//	fpmdis [-app LULESH] [-func main] [-instrumented] [-head N]
+//	fpmdis -fig3            (the paper's c = 2*a + b example)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/ir"
+	"repro/internal/transform"
+)
+
+func main() {
+	appName := flag.String("app", "LULESH", "application to disassemble")
+	funcName := flag.String("func", "main", "function to show")
+	instrumented := flag.Bool("instrumented", true, "show the FPM-instrumented form")
+	head := flag.Int("head", 60, "lines to print (0: all)")
+	fig3 := flag.Bool("fig3", false, "show the paper's Fig. 3 example instead")
+	flag.Parse()
+
+	var prog *ir.Program
+	if *fig3 {
+		b := ir.NewBuilder()
+		a := b.Global("a", 1)
+		bb := b.Global("b", 1)
+		c := b.Global("c", 1)
+		f := b.Func("main", 0, 0)
+		r1 := f.Load(ir.ImmI(a))
+		r2 := f.Load(ir.ImmI(bb))
+		r3 := f.Mul(ir.R(r1), ir.ImmI(2))
+		r4 := f.Add(ir.R(r2), ir.R(r3))
+		f.Store(ir.R(r4), ir.ImmI(c))
+		f.Ret()
+		prog = b.MustBuild()
+		*funcName = "main"
+		*head = 0
+		fmt.Println("statement: c = 2*a + b (paper Fig. 3)")
+		fmt.Println("\n--- original IR ---")
+		fmt.Print(ir.Disassemble(prog, prog.FuncNamed("main")))
+	} else {
+		app := apps.ByName(*appName)
+		if app == nil {
+			fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+			os.Exit(2)
+		}
+		var err error
+		prog, err = app.Build(app.TestParams())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	show := prog
+	if *instrumented || *fig3 {
+		inst, err := transform.Instrument(prog, transform.DefaultOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		show = inst
+		if *fig3 {
+			fmt.Println("\n--- FPM-instrumented IR (primary + '~' secondary chain) ---")
+		}
+	}
+	fn := show.FuncNamed(*funcName)
+	if fn == nil {
+		fmt.Fprintf(os.Stderr, "no function %q; have:", *funcName)
+		for _, f := range show.Funcs {
+			fmt.Fprintf(os.Stderr, " %s", f.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	text := ir.Disassemble(show, fn)
+	if *head > 0 {
+		lines := strings.SplitAfter(text, "\n")
+		if len(lines) > *head {
+			lines = append(lines[:*head], fmt.Sprintf("... (%d more lines)\n", len(lines)-*head))
+		}
+		text = strings.Join(lines, "")
+	}
+	fmt.Print(text)
+	st := show.CollectStats()
+	fmt.Printf("\n%d functions, %d instructions, %d static fim_inj sites\n",
+		st.Funcs, st.Instructions, transform.CountStaticSites(show))
+}

@@ -1,0 +1,56 @@
+// Faultmodel derives an application fault propagation model (paper §5) from
+// a small injection campaign over the miniFE proxy, then exercises the
+// model's runtime estimators: the intercept of a detected fault (Eq. 2) and
+// the worst-case/average corrupted-memory-location estimates over a
+// detection interval (Eq. 3), which drive the rollback decision.
+//
+// Run with:
+//
+//	go run ./examples/faultmodel [-runs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+func main() {
+	runs := flag.Int("runs", 60, "experiments in the calibration campaign")
+	flag.Parse()
+
+	app := apps.NewFE()
+	res, err := harness.RunCampaign(harness.CampaignConfig{
+		App:    app,
+		Params: app.TestParams(),
+		Runs:   *runs,
+		Seed:   2015,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Model
+	fmt.Printf("campaign: %d runs of %s, outcome tally V/ONA/WO/PEX/C = %v\n",
+		res.Runs, res.App, res.Tally.Counts)
+	fmt.Printf("fault propagation speed: FPS = %.4g CML/s (stddev %.4g, %d fits, mean R² %.3f)\n",
+		m.FPS, m.StdDev, len(m.Fits), m.MeanR2)
+	fmt.Printf("model validation error: %.2f%% of actual CML\n", 100*m.ValidationErr)
+
+	// Runtime use: a fault is detected at t2 = 120 µs; the last clean
+	// check was at t1 = 20 µs.
+	t1, t2 := 20e-6, 120e-6
+	fmt.Printf("\ndetection interval (%.0f µs, %.0f µs):\n", t1*1e6, t2*1e6)
+	fmt.Printf("  max CML estimate (Eq. 3): %.1f\n", m.MaxCML(t1, t2))
+	fmt.Printf("  avg CML estimate:         %.1f\n", m.AvgCML(t1, t2))
+	// If the fault is known to have occurred at tf, Eq. 2 gives the model
+	// intercept of this run's CML(t) line.
+	tf := 60e-6
+	fmt.Printf("  intercept for tf=%.0f µs (Eq. 2): b = %.2f\n", tf*1e6, model.FaultTimeIntercept(m.FPS, tf))
+	for _, threshold := range []float64{8, 64, 512} {
+		fmt.Printf("  rollback at threshold %4.0f: %v\n", threshold, m.ShouldRollback(t1, t2, threshold))
+	}
+}

@@ -1,0 +1,93 @@
+// Poweriter authors a new workload against the public IR surface — power
+// iteration for the dominant eigenvalue of a dense matrix, composed from
+// the reusable numeric kernels — and studies its fault sensitivity with a
+// handful of injections. It shows what adopting the framework for your own
+// application looks like: build the IR, hand it to the analyzer, inject.
+//
+// Run with:
+//
+//	go run ./examples/poweriter [-n 12] [-iters 40] [-faults 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/transform"
+	"repro/internal/xrand"
+)
+
+func buildPowerIter(n int64, iters int64) *ir.Program {
+	b := ir.NewBuilder()
+	aAddr := b.Global("A", n*n)
+	xAddr := b.Global("x", n)
+	yAddr := b.Global("y", n)
+	// A symmetric positive matrix with a known dominant direction.
+	initA := make([]float64, n*n)
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			initA[i*n+j] = 1.0 / (1.0 + math.Abs(float64(i-j)))
+		}
+	}
+	b.GlobalInitF("A", initA)
+	f := b.Func("main", 0, 0)
+	kernels.Fill(f, xAddr, n, 1)
+	it := f.NewReg()
+	lambda := f.CF(0)
+	f.For(it, ir.ImmI(0), ir.ImmI(iters), func() {
+		f.Tick(ir.R(it))
+		kernels.MatVec(f, aAddr, xAddr, yAddr, n)
+		// lambda = ||y|| (2-norm); x = y / lambda.
+		norm := f.Sqrt(ir.R(kernels.Norm2Sq(f, yAddr, n)))
+		f.Mov(lambda, ir.R(norm))
+		inv := f.FDiv(ir.ImmF(1), ir.R(norm))
+		kernels.Scale(f, inv, yAddr, n)
+		kernels.Copy(f, xAddr, yAddr, n)
+	})
+	f.OutputF(ir.R(lambda))
+	f.OutputF(ir.R(kernels.SumAbs(f, xAddr, n)))
+	f.Iterations(ir.ImmI(iters))
+	f.Ret()
+	return b.MustBuild()
+}
+
+func main() {
+	n := flag.Int64("n", 12, "matrix dimension")
+	iters := flag.Int64("iters", 40, "power iterations")
+	faults := flag.Int("faults", 8, "injections to try")
+	flag.Parse()
+
+	prog := buildPowerIter(*n, *iters)
+	an, err := core.NewAnalyzer(prog, 1, transform.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden := an.Golden()
+	fmt.Printf("golden dominant eigenvalue estimate: %.9f (%d cycles, %d sites)\n",
+		golden.Outputs[0], golden.Cycles, an.SiteCounts()[0])
+
+	r := xrand.New(99)
+	for k := 0; k < *faults; k++ {
+		plan, err := an.PlanUniform(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := an.Analyze(plan)
+		verdict := out.Class.String()
+		detail := ""
+		if out.Run.Err == nil && len(out.Run.Outputs) > 0 {
+			detail = fmt.Sprintf("lambda=%.9f peakCML=%d", out.Run.Outputs[0], out.Run.MaxCMLTotal)
+		} else if out.Run.Err != nil {
+			detail = out.Run.Err.Error()
+		}
+		fmt.Printf("fault %-28v -> %-3s  %s\n", plan.Faults[0], verdict, detail)
+	}
+	fmt.Println("\nnote: power iteration is self-correcting — most surviving faults are")
+	fmt.Println("washed out by renormalization (ONA), a property the per-run CML")
+	fmt.Println("profiles make visible.")
+}

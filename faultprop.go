@@ -1,0 +1,109 @@
+// Package faultprop is a Go reproduction of "Understanding the Propagation
+// of Transient Errors in HPC Applications" (Ashraf et al., SC '15): a fault
+// propagation framework that injects single-bit flips into live registers
+// of running MPI applications (LLFI++), tracks exactly which memory
+// locations the fault contaminates through a dual-chain compiler
+// transformation plus runtime checker (FPM), follows contamination across
+// process boundaries through message piggyback headers, classifies outcomes
+// (Vanished / ONA / WO / PEX / Crashed), and fits linear fault-propagation
+// models whose slope is the application's fault propagation speed (FPS).
+//
+// The package is a facade over the implementation packages:
+//
+//	internal/ir         the compiler IR applications are written in
+//	internal/transform  the FPM instrumentation pass (paper Fig. 3)
+//	internal/vm         the interpreter and runtime checker
+//	internal/inject     LLFI++ fault planning and bit flips
+//	internal/fpm        contamination tables and message headers (Fig. 4)
+//	internal/mpi        the in-process message-passing runtime
+//	internal/apps       the five proxy applications of the evaluation
+//	internal/core       the per-experiment analysis pipeline
+//	internal/harness    campaigns and the paper's figures/tables
+//	internal/model      propagation models, FPS, rollback estimators (§5)
+//
+// Quick start:
+//
+//	app := faultprop.AppByName("LULESH")
+//	prog, _ := app.Build(app.TestParams())
+//	an, _ := faultprop.NewAnalyzer(prog, app.TestParams().Ranks)
+//	plan, _ := an.PlanUniform(xrand.New(1))
+//	outcome := an.Analyze(plan)
+//
+// or run a whole campaign with RunCampaign and render the paper's exhibits
+// with the Format* helpers.
+package faultprop
+
+import (
+	"repro/internal/apps"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/inject"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/transform"
+)
+
+// Re-exported types. These aliases are the stable public surface; the
+// internal packages carry the implementation detail.
+type (
+	// Program is an IR program authored with NewProgramBuilder.
+	Program = ir.Program
+	// ProgramBuilder assembles IR programs.
+	ProgramBuilder = ir.Builder
+	// App is one proxy application of the paper's evaluation.
+	App = apps.App
+	// Params sizes an application run.
+	Params = apps.Params
+	// Outcome is the experiment classification (V/ONA/WO/PEX/C).
+	Outcome = classify.Outcome
+	// Analyzer runs and classifies individual injection experiments.
+	Analyzer = core.Analyzer
+	// Plan is a set of planned bit flips.
+	Plan = inject.Plan
+	// Fault is one planned bit flip.
+	Fault = inject.Fault
+	// AppModel is the per-application propagation model (Table 2).
+	AppModel = model.AppModel
+	// CampaignConfig parameterizes a statistical injection campaign.
+	CampaignConfig = harness.CampaignConfig
+	// CampaignResult aggregates a campaign.
+	CampaignResult = harness.CampaignResult
+)
+
+// Outcome classes (paper §2).
+const (
+	Vanished           = classify.Vanished
+	OutputNotAffected  = classify.OutputNotAffected
+	WrongOutput        = classify.WrongOutput
+	ProlongedExecution = classify.ProlongedExecution
+	Crashed            = classify.Crashed
+)
+
+// NominalHz converts virtual cycles to seconds in FPS units.
+const NominalHz = model.NominalHz
+
+// NewProgramBuilder returns an empty IR program builder.
+func NewProgramBuilder() *ProgramBuilder { return ir.NewBuilder() }
+
+// Apps returns the five proxy applications in the paper's order.
+func Apps() []App { return apps.All() }
+
+// AppByName returns the proxy for the given paper application name
+// (LULESH, LAMMPS, miniFE, AMG2013, MCB), or nil.
+func AppByName(name string) App { return apps.ByName(name) }
+
+// Instrument applies the FPM pass (paper Fig. 3) with default options.
+func Instrument(prog *Program) (*Program, error) {
+	return transform.Instrument(prog, transform.DefaultOptions())
+}
+
+// NewAnalyzer instruments prog and establishes the fault-free baseline.
+func NewAnalyzer(prog *Program, ranks int) (*Analyzer, error) {
+	return core.NewAnalyzer(prog, ranks, transform.DefaultOptions())
+}
+
+// RunCampaign executes a statistical fault-injection campaign.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return harness.RunCampaign(cfg)
+}

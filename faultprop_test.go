@@ -1,0 +1,91 @@
+package faultprop_test
+
+import (
+	"testing"
+
+	faultprop "repro"
+	"repro/internal/ir"
+	"repro/internal/xrand"
+)
+
+func TestFacadeApps(t *testing.T) {
+	apps := faultprop.Apps()
+	if len(apps) != 5 {
+		t.Fatalf("Apps() returned %d apps", len(apps))
+	}
+	for _, name := range []string{"LULESH", "LAMMPS", "miniFE", "AMG2013", "MCB"} {
+		if faultprop.AppByName(name) == nil {
+			t.Errorf("AppByName(%q) = nil", name)
+		}
+	}
+	if faultprop.AppByName("HPL") != nil {
+		t.Error("unknown app resolved")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// The facade must support the README workflow end to end.
+	app := faultprop.AppByName("miniFE")
+	params := app.TestParams()
+	prog, err := app.Build(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faultprop.Instrument(prog); err != nil {
+		t.Fatal(err)
+	}
+	an, err := faultprop.NewAnalyzer(prog, params.Ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := an.PlanUniform(xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := an.Analyze(plan)
+	switch out.Class {
+	case faultprop.Vanished, faultprop.OutputNotAffected, faultprop.WrongOutput,
+		faultprop.ProlongedExecution, faultprop.Crashed:
+	default:
+		t.Errorf("unexpected class %v", out.Class)
+	}
+}
+
+func TestFacadeProgramBuilder(t *testing.T) {
+	b := faultprop.NewProgramBuilder()
+	g := b.Global("x", 2)
+	f := b.Func("main", 0, 0)
+	f.Store(ir.ImmI(5), ir.ImmI(g))
+	f.OutputI(ir.R(f.Load(ir.ImmI(g))))
+	f.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := faultprop.NewAnalyzer(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an.Golden().Outputs; len(got) != 1 || got[0] != 5 {
+		t.Errorf("outputs = %v", got)
+	}
+}
+
+func TestFacadeCampaign(t *testing.T) {
+	app := faultprop.AppByName("LULESH")
+	res, err := faultprop.RunCampaign(faultprop.CampaignConfig{
+		App:    app,
+		Params: app.TestParams(),
+		Runs:   10,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Total != 10 {
+		t.Errorf("tally = %+v", res.Tally)
+	}
+	if faultprop.NominalHz != 1e9 {
+		t.Errorf("NominalHz = %v", float64(faultprop.NominalHz))
+	}
+}

@@ -1,0 +1,507 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// AMG is the AMG2013 proxy: a multigrid solver for a variable-coefficient
+// 1-D Laplace problem whose execution shows the paper's three phases
+// (Fig. 7b): *init* allocates and fills the fine-grid problem, *setup*
+// constructs the coarse-level hierarchy (Galerkin-style coefficient
+// coarsening, one heap allocation burst per level), and *solve* runs
+// V-cycles of damped-Jacobi smoothing with halo exchange on the finest
+// level and a global residual-norm reduction per cycle. Level arrays are
+// reached through pointer slots held in memory, so a corrupted pointer
+// crashes realistically. An internal divergence check aborts when the
+// residual norm explodes or becomes NaN.
+type AMG struct{}
+
+// NewAMG returns the AMG2013 proxy.
+func NewAMG() App { return AMG{} }
+
+// Name identifies the paper application this proxies.
+func (AMG) Name() string { return "AMG2013" }
+
+// DefaultParams sizes a campaign run. Size must be divisible by 4.
+func (AMG) DefaultParams() Params { return Params{Ranks: 8, Size: 32, Steps: 18} }
+
+// TestParams sizes a fast run.
+func (AMG) TestParams() Params { return Params{Ranks: 4, Size: 16, Steps: 10} }
+
+// AMG constants.
+const (
+	amgLevels = 3
+	amgOmega  = 0.8
+	amgTol    = 1e-12
+)
+
+// AMG message tags.
+const (
+	amgTagLeftward  = 1
+	amgTagRightward = 2
+)
+
+// amgSweeps[l] is the smoothing sweep count at level l on the way down;
+// the coarsest level gets extra sweeps in place of a direct solve.
+var amgSweeps = [amgLevels]int{2, 2, 8}
+
+// Build constructs the per-rank IR program.
+func (a AMG) Build(p Params) (*ir.Program, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if p.Size%4 != 0 {
+		p.Size = (p.Size/4 + 1) * 4
+	}
+	n := int64(p.Size)
+	b := ir.NewBuilder()
+	ptrU := b.Global("ptrU", amgLevels)
+	ptrF := b.Global("ptrF", amgLevels)
+	ptrC := b.Global("ptrC", amgLevels)
+	ptrR := b.Global("ptrR", amgLevels)
+	ghostL := b.Global("ghostL", 1)
+	ghostR := b.Global("ghostR", 1)
+	sendSlot := b.Global("sendSlot", 1)
+	redSlot := b.Global("redSlot", 1)
+
+	lvlSize := func(l int) int64 { return n >> l }
+
+	f := b.Func("main", 0, 0)
+	rank := f.MPIRank()
+	size := f.MPISize()
+	lo := f.Mul(ir.R(rank), ir.ImmI(n))
+	hasL := f.ICmp(ir.ICmpSGT, ir.R(rank), ir.ImmI(0))
+	hasR := f.ICmp(ir.ICmpSLT, ir.R(rank), ir.R(f.Sub(ir.R(size), ir.ImmI(1))))
+	i := f.NewReg()
+
+	loadPtr := func(slotBase int64, l int) ir.Reg {
+		return f.Load(ir.ImmI(slotBase + int64(l)))
+	}
+
+	// exchangeHalo refreshes ghostL/ghostR with the finest-level boundary
+	// values of u; the global domain boundary is Dirichlet zero.
+	exchangeHalo := func() {
+		u0 := loadPtr(ptrU, 0)
+		f.If(ir.R(hasL), func() {
+			f.MPISend(ir.R(u0), ir.ImmI(1), ir.R(f.Sub(ir.R(rank), ir.ImmI(1))), ir.ImmI(amgTagLeftward))
+		})
+		f.If(ir.R(hasR), func() {
+			f.MPISend(ir.R(f.Add(ir.R(u0), ir.ImmI(n-1))), ir.ImmI(1), ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(amgTagRightward))
+		})
+		f.IfElse(ir.R(hasR),
+			func() {
+				f.MPIRecv(ir.ImmI(ghostR), ir.ImmI(1), ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(amgTagLeftward))
+			},
+			func() { f.Store(ir.ImmF(0), ir.ImmI(ghostR)) },
+		)
+		f.IfElse(ir.R(hasL),
+			func() {
+				f.MPIRecv(ir.ImmI(ghostL), ir.ImmI(1), ir.R(f.Sub(ir.R(rank), ir.ImmI(1))), ir.ImmI(amgTagRightward))
+			},
+			func() { f.Store(ir.ImmF(0), ir.ImmI(ghostL)) },
+		)
+	}
+
+	// smooth emits one damped red-black Gauss-Seidel sweep at level l,
+	// in place (halo-coupled at level 0, zero-Dirichlet subdomain
+	// boundaries on coarse levels). The halo is refreshed before each
+	// color so neighbor updates interleave as they do in a distributed
+	// red-black sweep.
+	smooth := func(l int) {
+		m := lvlSize(l)
+		for color := int64(0); color < 2; color++ {
+			if l == 0 {
+				exchangeHalo()
+			}
+			u := loadPtr(ptrU, l)
+			fr := loadPtr(ptrF, l)
+			c := loadPtr(ptrC, l)
+			kmax := (m - color + 1) / 2
+			k := f.NewReg()
+			f.For(k, ir.ImmI(0), ir.ImmI(kmax), func() {
+				idx := f.Add(ir.R(f.Mul(ir.R(k), ir.ImmI(2))), ir.ImmI(color))
+				left := f.NewReg()
+				f.IfElse(ir.R(f.ICmp(ir.ICmpEQ, ir.R(idx), ir.ImmI(0))),
+					func() {
+						if l == 0 {
+							f.Mov(left, ir.R(f.Load(ir.ImmI(ghostL))))
+						} else {
+							f.Mov(left, ir.ImmF(0))
+						}
+					},
+					func() { f.Mov(left, ir.R(f.Load(ir.R(f.Add(ir.R(u), ir.R(f.Sub(ir.R(idx), ir.ImmI(1)))))))) },
+				)
+				right := f.NewReg()
+				f.IfElse(ir.R(f.ICmp(ir.ICmpEQ, ir.R(idx), ir.ImmI(m-1))),
+					func() {
+						if l == 0 {
+							f.Mov(right, ir.R(f.Load(ir.ImmI(ghostR))))
+						} else {
+							f.Mov(right, ir.ImmF(0))
+						}
+					},
+					func() { f.Mov(right, ir.R(f.Load(ir.R(f.Add(ir.R(u), ir.R(f.Add(ir.R(idx), ir.ImmI(1)))))))) },
+				)
+				fi := f.Load(ir.R(f.Add(ir.R(fr), ir.R(idx))))
+				ci := f.Load(ir.R(f.Add(ir.R(c), ir.R(idx))))
+				ui := f.Load(ir.R(f.Add(ir.R(u), ir.R(idx))))
+				avg := f.FMul(ir.ImmF(0.5), ir.R(f.FAdd(ir.R(f.FAdd(ir.R(f.FDiv(ir.R(fi), ir.R(ci))), ir.R(left))), ir.R(right))))
+				unew := f.FAdd(ir.R(f.FMul(ir.ImmF(amgOmega), ir.R(avg))), ir.R(f.FMul(ir.ImmF(1-amgOmega), ir.R(ui))))
+				f.Store(ir.R(unew), ir.R(f.Add(ir.R(u), ir.R(idx))))
+			})
+		}
+	}
+
+	// residual emits r = f - A u at level l (A u = c*((2u - left) - right)).
+	residual := func(l int) {
+		m := lvlSize(l)
+		if l == 0 {
+			exchangeHalo()
+		}
+		u := loadPtr(ptrU, l)
+		fr := loadPtr(ptrF, l)
+		c := loadPtr(ptrC, l)
+		res := loadPtr(ptrR, l)
+		f.For(i, ir.ImmI(0), ir.ImmI(m), func() {
+			left := f.NewReg()
+			f.IfElse(ir.R(f.ICmp(ir.ICmpEQ, ir.R(i), ir.ImmI(0))),
+				func() {
+					if l == 0 {
+						f.Mov(left, ir.R(f.Load(ir.ImmI(ghostL))))
+					} else {
+						f.Mov(left, ir.ImmF(0))
+					}
+				},
+				func() { f.Mov(left, ir.R(f.Load(ir.R(f.Add(ir.R(u), ir.R(f.Sub(ir.R(i), ir.ImmI(1)))))))) },
+			)
+			right := f.NewReg()
+			f.IfElse(ir.R(f.ICmp(ir.ICmpEQ, ir.R(i), ir.ImmI(m-1))),
+				func() {
+					if l == 0 {
+						f.Mov(right, ir.R(f.Load(ir.ImmI(ghostR))))
+					} else {
+						f.Mov(right, ir.ImmF(0))
+					}
+				},
+				func() { f.Mov(right, ir.R(f.Load(ir.R(f.Add(ir.R(u), ir.R(f.Add(ir.R(i), ir.ImmI(1)))))))) },
+			)
+			ui := f.Load(ir.R(f.Add(ir.R(u), ir.R(i))))
+			ci := f.Load(ir.R(f.Add(ir.R(c), ir.R(i))))
+			fi := f.Load(ir.R(f.Add(ir.R(fr), ir.R(i))))
+			au := f.FMul(ir.R(ci), ir.R(f.FSub(ir.R(f.FSub(ir.R(f.FMul(ir.ImmF(2), ir.R(ui))), ir.R(left))), ir.R(right))))
+			f.Store(ir.R(f.FSub(ir.R(fi), ir.R(au))), ir.R(f.Add(ir.R(res), ir.R(i))))
+		})
+	}
+
+	// --- Init phase ------------------------------------------------------
+	for l := 0; l < amgLevels; l++ {
+		m := lvlSize(l)
+		for _, slot := range []int64{ptrU, ptrF, ptrC, ptrR} {
+			f.Store(ir.R(f.Alloc(ir.ImmI(m))), ir.ImmI(slot+int64(l)))
+		}
+	}
+	{
+		u0 := loadPtr(ptrU, 0)
+		f0 := loadPtr(ptrF, 0)
+		c0 := loadPtr(ptrC, 0)
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			gi := f.SIToFP(ir.R(f.Add(ir.R(lo), ir.R(i))))
+			f.Store(ir.ImmF(0), ir.R(f.Add(ir.R(u0), ir.R(i))))
+			f.Store(ir.R(f.FAdd(ir.R(f.Sin(ir.R(f.FMul(ir.R(gi), ir.ImmF(0.1))))), ir.ImmF(1))), ir.R(f.Add(ir.R(f0), ir.R(i))))
+			f.Store(ir.R(f.FAdd(ir.ImmF(1), ir.R(f.FMul(ir.ImmF(0.001), ir.R(gi))))), ir.R(f.Add(ir.R(c0), ir.R(i))))
+		})
+	}
+	// --- Setup phase: Galerkin-style coefficient coarsening --------------
+	for l := 1; l < amgLevels; l++ {
+		m := lvlSize(l)
+		cPrev := loadPtr(ptrC, l-1)
+		cCur := loadPtr(ptrC, l)
+		uCur := loadPtr(ptrU, l)
+		fCur := loadPtr(ptrF, l)
+		f.For(i, ir.ImmI(0), ir.ImmI(m), func() {
+			i2 := f.Mul(ir.R(i), ir.ImmI(2))
+			a0 := f.Load(ir.R(f.Add(ir.R(cPrev), ir.R(i2))))
+			a1 := f.Load(ir.R(f.Add(ir.R(cPrev), ir.R(f.Add(ir.R(i2), ir.ImmI(1))))))
+			f.Store(ir.R(f.FMul(ir.R(f.FAdd(ir.R(a0), ir.R(a1))), ir.ImmF(0.5))), ir.R(f.Add(ir.R(cCur), ir.R(i))))
+			f.Store(ir.ImmF(0), ir.R(f.Add(ir.R(uCur), ir.R(i))))
+			f.Store(ir.ImmF(0), ir.R(f.Add(ir.R(fCur), ir.R(i))))
+		})
+	}
+
+	// residNorm computes the global L2 norm of the finest residual.
+	residNorm := func() ir.Reg {
+		residual(0)
+		r0 := loadPtr(ptrR, 0)
+		local := f.CF(0)
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			ri := f.Load(ir.R(f.Add(ir.R(r0), ir.R(i))))
+			f.Op3(ir.FAdd, local, ir.R(local), ir.R(f.FMul(ir.R(ri), ir.R(ri))))
+		})
+		f.Store(ir.R(local), ir.ImmI(sendSlot))
+		f.MPIAllreduceF(ir.ImmI(sendSlot), ir.ImmI(redSlot), ir.ImmI(1), ir.ReduceSum)
+		return f.Sqrt(ir.R(f.Load(ir.ImmI(redSlot))))
+	}
+
+	// --- Solve phase: V-cycles -------------------------------------------
+	res0 := residNorm()
+	bound := f.FAdd(ir.R(f.FMul(ir.R(res0), ir.ImmF(1e6))), ir.ImmF(1))
+	iters := f.CI(0)
+	rn := f.NewReg()
+	f.Mov(rn, ir.R(res0))
+	s := f.NewReg()
+	brk := f.NewLabel()
+	f.For(s, ir.ImmI(0), ir.ImmI(int64(p.Steps)), func() {
+		f.Tick(ir.R(s))
+		// Down sweep.
+		for l := 0; l < amgLevels-1; l++ {
+			for sw := 0; sw < amgSweeps[l]; sw++ {
+				smooth(l)
+			}
+			residual(l)
+			// Restrict residual to the next level's RHS, zero the
+			// correction.
+			m := lvlSize(l + 1)
+			rl := loadPtr(ptrR, l)
+			fn := loadPtr(ptrF, l+1)
+			un := loadPtr(ptrU, l+1)
+			f.For(i, ir.ImmI(0), ir.ImmI(m), func() {
+				i2 := f.Mul(ir.R(i), ir.ImmI(2))
+				r0v := f.Load(ir.R(f.Add(ir.R(rl), ir.R(i2))))
+				r1v := f.Load(ir.R(f.Add(ir.R(rl), ir.R(f.Add(ir.R(i2), ir.ImmI(1))))))
+				f.Store(ir.R(f.FMul(ir.R(f.FAdd(ir.R(r0v), ir.R(r1v))), ir.ImmF(0.5))), ir.R(f.Add(ir.R(fn), ir.R(i))))
+				f.Store(ir.ImmF(0), ir.R(f.Add(ir.R(un), ir.R(i))))
+			})
+		}
+		for sw := 0; sw < amgSweeps[amgLevels-1]; sw++ {
+			smooth(amgLevels - 1)
+		}
+		// Up sweep.
+		for l := amgLevels - 2; l >= 0; l-- {
+			m := lvlSize(l + 1)
+			ul := loadPtr(ptrU, l)
+			un := loadPtr(ptrU, l+1)
+			f.For(i, ir.ImmI(0), ir.ImmI(m), func() {
+				corr := f.Load(ir.R(f.Add(ir.R(un), ir.R(i))))
+				i2 := f.Mul(ir.R(i), ir.ImmI(2))
+				a0 := f.Add(ir.R(ul), ir.R(i2))
+				f.Store(ir.R(f.FAdd(ir.R(f.Load(ir.R(a0))), ir.R(corr))), ir.R(a0))
+				a1 := f.Add(ir.R(ul), ir.R(f.Add(ir.R(i2), ir.ImmI(1))))
+				f.Store(ir.R(f.FAdd(ir.R(f.Load(ir.R(a1))), ir.R(corr))), ir.R(a1))
+			})
+			smooth(l)
+		}
+		f.Mov(rn, ir.R(residNorm()))
+		bad := f.Or(
+			ir.R(f.FCmp(ir.FCmpNE, ir.R(rn), ir.R(rn))),
+			ir.R(f.FCmp(ir.FCmpGT, ir.R(rn), ir.R(bound))),
+		)
+		f.If(ir.R(bad), func() { f.MPIAbort(ir.ImmI(9)) })
+		f.Op3(ir.Add, iters, ir.R(iters), ir.ImmI(1))
+		f.Bnz(ir.R(f.FCmp(ir.FCmpLT, ir.R(rn), ir.ImmF(amgTol))), brk)
+	})
+	f.Bind(brk)
+	f.Iterations(ir.R(iters))
+
+	// Outputs: local solution checksum; rank 0 adds the final residual
+	// norm scaled into a robust magnitude (log10 of norm).
+	usum := f.CF(0)
+	{
+		u0 := loadPtr(ptrU, 0)
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			f.Op3(ir.FAdd, usum, ir.R(usum), ir.R(f.Load(ir.R(f.Add(ir.R(u0), ir.R(i))))))
+		})
+	}
+	f.OutputF(ir.R(usum))
+	f.Ret()
+	return b.Build()
+}
+
+// Reference replays the multigrid model in pure Go with identical
+// operation order.
+func (a AMG) Reference(p Params) ([]float64, error) {
+	out, _, err := a.referenceWithResiduals(p)
+	return out, err
+}
+
+// ReferenceResiduals returns the residual norm after each V-cycle of the
+// fault-free execution (for convergence testing).
+func (a AMG) ReferenceResiduals(p Params) ([]float64, error) {
+	_, rns, err := a.referenceWithResiduals(p)
+	return rns, err
+}
+
+func (a AMG) referenceWithResiduals(p Params) ([]float64, []float64, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	if p.Size%4 != 0 {
+		p.Size = (p.Size/4 + 1) * 4
+	}
+	n, R := p.Size, p.Ranks
+	type rankState struct {
+		u, f, c, r [amgLevels][]float64
+	}
+	st := make([]rankState, R)
+	for r := 0; r < R; r++ {
+		for l := 0; l < amgLevels; l++ {
+			m := n >> l
+			st[r].u[l] = make([]float64, m)
+			st[r].f[l] = make([]float64, m)
+			st[r].c[l] = make([]float64, m)
+			st[r].r[l] = make([]float64, m)
+		}
+		lo := r * n
+		for i := 0; i < n; i++ {
+			gi := float64(lo + i)
+			st[r].f[0][i] = math.Sin(gi*0.1) + 1
+			st[r].c[0][i] = 1 + 0.001*gi
+		}
+		for l := 1; l < amgLevels; l++ {
+			m := n >> l
+			for i := 0; i < m; i++ {
+				st[r].c[l][i] = (st[r].c[l-1][2*i] + st[r].c[l-1][2*i+1]) * 0.5
+			}
+		}
+	}
+
+	// ghost snapshots for level 0 (all ranks exchange in lockstep).
+	ghosts := func() ([]float64, []float64) {
+		gl := make([]float64, R)
+		gr := make([]float64, R)
+		for r := 0; r < R; r++ {
+			if r > 0 {
+				gl[r] = st[r-1].u[0][n-1]
+			}
+			if r < R-1 {
+				gr[r] = st[r+1].u[0][0]
+			}
+		}
+		return gl, gr
+	}
+	smooth := func(l int) {
+		m := n >> l
+		for color := 0; color < 2; color++ {
+			var gl, gr []float64
+			if l == 0 {
+				gl, gr = ghosts()
+			}
+			for r := 0; r < R; r++ {
+				s := &st[r]
+				for i := color; i < m; i += 2 {
+					var left, right float64
+					if i == 0 {
+						if l == 0 {
+							left = gl[r]
+						}
+					} else {
+						left = s.u[l][i-1]
+					}
+					if i == m-1 {
+						if l == 0 {
+							right = gr[r]
+						}
+					} else {
+						right = s.u[l][i+1]
+					}
+					avg := 0.5 * ((s.f[l][i]/s.c[l][i] + left) + right)
+					s.u[l][i] = amgOmega*avg + (1-amgOmega)*s.u[l][i]
+				}
+			}
+		}
+	}
+	residual := func(l int) {
+		var gl, gr []float64
+		if l == 0 {
+			gl, gr = ghosts()
+		}
+		m := n >> l
+		for r := 0; r < R; r++ {
+			s := &st[r]
+			for i := 0; i < m; i++ {
+				var left, right float64
+				if i == 0 {
+					if l == 0 {
+						left = gl[r]
+					}
+				} else {
+					left = s.u[l][i-1]
+				}
+				if i == m-1 {
+					if l == 0 {
+						right = gr[r]
+					}
+				} else {
+					right = s.u[l][i+1]
+				}
+				au := s.c[l][i] * ((2*s.u[l][i] - left) - right)
+				s.r[l][i] = s.f[l][i] - au
+			}
+		}
+	}
+	residNorm := func() float64 {
+		residual(0)
+		tot := 0.0
+		for r := 0; r < R; r++ {
+			local := 0.0
+			for i := 0; i < n; i++ {
+				local += st[r].r[0][i] * st[r].r[0][i]
+			}
+			tot += local
+		}
+		return math.Sqrt(tot)
+	}
+
+	res0 := residNorm()
+	bound := res0*1e6 + 1
+	rn := res0
+	var rns []float64
+	for s := 0; s < p.Steps; s++ {
+		for l := 0; l < amgLevels-1; l++ {
+			for sw := 0; sw < amgSweeps[l]; sw++ {
+				smooth(l)
+			}
+			residual(l)
+			m := n >> (l + 1)
+			for r := 0; r < R; r++ {
+				for i := 0; i < m; i++ {
+					st[r].f[l+1][i] = (st[r].r[l][2*i] + st[r].r[l][2*i+1]) * 0.5
+					st[r].u[l+1][i] = 0
+				}
+			}
+		}
+		for sw := 0; sw < amgSweeps[amgLevels-1]; sw++ {
+			smooth(amgLevels - 1)
+		}
+		for l := amgLevels - 2; l >= 0; l-- {
+			m := n >> (l + 1)
+			for r := 0; r < R; r++ {
+				for i := 0; i < m; i++ {
+					corr := st[r].u[l+1][i]
+					st[r].u[l][2*i] += corr
+					st[r].u[l][2*i+1] += corr
+				}
+			}
+			smooth(l)
+		}
+		rn = residNorm()
+		rns = append(rns, rn)
+		if rn != rn || rn > bound {
+			return nil, nil, errFaultFreeAbort("amg", s)
+		}
+		if rn < amgTol {
+			break
+		}
+	}
+
+	var out []float64
+	for r := 0; r < R; r++ {
+		usum := 0.0
+		for i := 0; i < n; i++ {
+			usum += st[r].u[0][i]
+		}
+		out = append(out, usum)
+	}
+	return out, rns, nil
+}

@@ -1,0 +1,78 @@
+// Package apps implements the five proxy applications of the paper's
+// evaluation (§4), authored in the framework IR so the FPM pass can
+// instrument them and LLFI++ can inject faults:
+//
+//	hydro — LULESH:  Sedov-style Lagrangian shock hydrodynamics
+//	md    — LAMMPS:  molecular dynamics with a tabulated pair potential
+//	fe    — miniFE:  implicit finite elements, assembly + CG solve
+//	amg   — AMG2013: algebraic multigrid, init/setup/solve phases
+//	mcb   — MCB:     Monte Carlo particle transport with domain decomposition
+//
+// Every application is SPMD: all ranks execute the same IR program and
+// branch on the MPI rank intrinsic. Each app has a pure-Go reference
+// implementation that replays the exact floating-point operation order, so
+// the IR implementation is differentially tested: a fault-free run must
+// reproduce the reference outputs bit-for-bit.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Params sizes one application run.
+type Params struct {
+	// Ranks is the number of MPI processes.
+	Ranks int
+	// Size is the per-rank problem size (cells, particles, rows).
+	Size int
+	// Steps is the number of timesteps, or the solver iteration cap.
+	Steps int
+	// Seed feeds in-program random number generation (Monte Carlo).
+	Seed uint64
+}
+
+func (p Params) validate() error {
+	if p.Ranks <= 0 || p.Size <= 0 || p.Steps <= 0 {
+		return fmt.Errorf("apps: invalid params %+v", p)
+	}
+	return nil
+}
+
+// App is one proxy application.
+type App interface {
+	// Name is the paper application this proxies (LULESH, LAMMPS, ...).
+	Name() string
+	// DefaultParams sizes a campaign-scale run.
+	DefaultParams() Params
+	// TestParams sizes a fast run for unit tests and benchmarks.
+	TestParams() Params
+	// Build constructs the per-rank IR program. The same program runs on
+	// every rank.
+	Build(p Params) (*ir.Program, error)
+	// Reference computes the expected rank-major concatenated outputs of
+	// a fault-free run.
+	Reference(p Params) ([]float64, error)
+}
+
+// errFaultFreeAbort reports an internal-check failure during a reference
+// (fault-free) execution, which indicates a miscalibrated workload.
+func errFaultFreeAbort(app string, step int) error {
+	return fmt.Errorf("apps: %s reference aborted at step %d (workload unstable)", app, step)
+}
+
+// All returns the five applications in the paper's presentation order.
+func All() []App {
+	return []App{NewHydro(), NewMD(), NewFE(), NewAMG(), NewMCB()}
+}
+
+// ByName returns the application with the given name, or nil.
+func ByName(name string) App {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}

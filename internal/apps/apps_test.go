@@ -1,0 +1,173 @@
+package apps_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/transform"
+)
+
+// differentialTest checks the core apps invariant: a fault-free run of the
+// FPM-instrumented IR program reproduces the pure-Go reference outputs
+// bit-for-bit, and contaminates nothing.
+func differentialTest(t *testing.T, app apps.App) {
+	t.Helper()
+	p := app.TestParams()
+	prog, err := app.Build(p)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	want, err := app.Reference(p)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	inst, err := transform.Instrument(prog, transform.DefaultOptions())
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	out := core.Run(inst, core.RunConfig{Ranks: p.Ranks})
+	if out.Err != nil {
+		t.Fatalf("fault-free run failed: %v", out.Err)
+	}
+	if out.Ever {
+		t.Error("fault-free run contaminated memory")
+	}
+	if len(out.Outputs) != len(want) {
+		t.Fatalf("outputs: got %d values %v, want %d values %v",
+			len(out.Outputs), out.Outputs, len(want), want)
+	}
+	for i := range want {
+		if out.Outputs[i] != want[i] {
+			t.Errorf("output %d: got %v, want %v (diff %g)",
+				i, out.Outputs[i], want[i], out.Outputs[i]-want[i])
+		}
+	}
+	for r, rr := range out.Ranks {
+		if rr.Sites == 0 {
+			t.Errorf("rank %d has no injection sites", r)
+		}
+		if rr.Cycles == 0 {
+			t.Errorf("rank %d executed no cycles", r)
+		}
+	}
+}
+
+// determinismTest checks that two fault-free runs are identical.
+func determinismTest(t *testing.T, app apps.App) {
+	t.Helper()
+	p := app.TestParams()
+	prog, err := app.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := transform.Instrument(prog, transform.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.Run(inst, core.RunConfig{Ranks: p.Ranks})
+	b := core.Run(inst, core.RunConfig{Ranks: p.Ranks})
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("runs failed: %v, %v", a.Err, b.Err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("cycles differ: %d vs %d", a.Cycles, b.Cycles)
+	}
+	for r := range a.Ranks {
+		if a.Ranks[r].Sites != b.Ranks[r].Sites {
+			t.Errorf("rank %d site counts differ: %d vs %d",
+				r, a.Ranks[r].Sites, b.Ranks[r].Sites)
+		}
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i] != b.Outputs[i] {
+			t.Errorf("output %d differs: %v vs %v", i, a.Outputs[i], b.Outputs[i])
+		}
+	}
+}
+
+func finiteOutputs(t *testing.T, outs []float64) {
+	t.Helper()
+	for i, v := range outs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("output %d is not finite: %v", i, v)
+		}
+	}
+}
+
+func TestHydroDifferential(t *testing.T)  { differentialTest(t, apps.NewHydro()) }
+func TestHydroDeterministic(t *testing.T) { determinismTest(t, apps.NewHydro()) }
+func TestHydroReferenceFinite(t *testing.T) {
+	out, err := apps.NewHydro().Reference(apps.NewHydro().TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	finiteOutputs(t, out)
+}
+
+func TestHydroDefaultParamsStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	app := apps.NewHydro()
+	out, err := app.Reference(app.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	finiteOutputs(t, out)
+}
+
+func TestMDDifferential(t *testing.T)  { differentialTest(t, apps.NewMD()) }
+func TestMDDeterministic(t *testing.T) { determinismTest(t, apps.NewMD()) }
+
+func TestFEDifferential(t *testing.T)  { differentialTest(t, apps.NewFE()) }
+func TestFEDeterministic(t *testing.T) { determinismTest(t, apps.NewFE()) }
+
+func TestFEConvergesWithinCap(t *testing.T) {
+	fe := apps.NewFE().(apps.FE)
+	p := fe.TestParams()
+	it, err := fe.ReferenceIterations(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it <= 0 || it >= int64(p.Steps) {
+		t.Errorf("iterations = %d, want in (0, %d)", it, p.Steps)
+	}
+}
+
+func TestAMGDifferential(t *testing.T)  { differentialTest(t, apps.NewAMG()) }
+func TestAMGDeterministic(t *testing.T) { determinismTest(t, apps.NewAMG()) }
+
+func TestMCBDifferential(t *testing.T)  { differentialTest(t, apps.NewMCB()) }
+func TestMCBDeterministic(t *testing.T) { determinismTest(t, apps.NewMCB()) }
+
+func TestAllAppsRegistered(t *testing.T) {
+	all := apps.All()
+	if len(all) != 5 {
+		t.Fatalf("registered %d apps, want 5", len(all))
+	}
+	want := []string{"LULESH", "LAMMPS", "miniFE", "AMG2013", "MCB"}
+	for i, a := range all {
+		if a.Name() != want[i] {
+			t.Errorf("app %d = %q, want %q", i, a.Name(), want[i])
+		}
+		if apps.ByName(want[i]) == nil {
+			t.Errorf("ByName(%q) = nil", want[i])
+		}
+	}
+	if apps.ByName("nope") != nil {
+		t.Error("ByName of unknown app must be nil")
+	}
+}
+
+func TestBuildRejectsInvalidParams(t *testing.T) {
+	for _, a := range apps.All() {
+		if _, err := a.Build(apps.Params{}); err == nil {
+			t.Errorf("%s: zero params accepted", a.Name())
+		}
+		if _, err := a.Reference(apps.Params{Ranks: -1, Size: 4, Steps: 1}); err == nil {
+			t.Errorf("%s: negative ranks accepted by Reference", a.Name())
+		}
+	}
+}

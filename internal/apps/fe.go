@@ -1,0 +1,423 @@
+package apps
+
+import (
+	"repro/internal/ir"
+)
+
+// FE is the miniFE proxy: an implicit finite-element mini-app with two
+// distinct phases visible in the propagation profiles (paper Fig. 7c):
+// assembly of a sparse linear system (element stiffness scattered into CSR
+// storage), then an unpreconditioned conjugate-gradient solve (sparse
+// matrix-vector products with halo exchange, global dot products). Like
+// miniFE it validates the assembled system before solving (abort path) and
+// caps the solver iterations (non-convergence paths: PEX when the output is
+// still right, WO when it is not).
+type FE struct{}
+
+// NewFE returns the miniFE proxy.
+func NewFE() App { return FE{} }
+
+// Name identifies the paper application this proxies.
+func (FE) Name() string { return "miniFE" }
+
+// DefaultParams sizes a campaign run. Steps is the CG iteration cap.
+func (FE) DefaultParams() Params { return Params{Ranks: 8, Size: 12, Steps: 120} }
+
+// TestParams sizes a fast run.
+func (FE) TestParams() Params { return Params{Ranks: 4, Size: 8, Steps: 48} }
+
+// FE constants.
+const (
+	feTol = 1e-10 // absolute threshold on r.r
+)
+
+// FE message tags.
+const (
+	feTagLeftward  = 1
+	feTagRightward = 2
+)
+
+// Build constructs the per-rank IR program.
+func (a FE) Build(p Params) (*ir.Program, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := int64(p.Size)
+	N := n * int64(p.Ranks)
+	b := ir.NewBuilder()
+	valsA := b.Global("vals", 3*n)
+	colsA := b.Global("cols", 3*n)
+	bA := b.Global("rhs", n)
+	xV := b.Global("x", n)
+	rV := b.Global("r", n)
+	pV := b.Global("p", n)
+	qV := b.Global("q", n)
+	ghostL := b.Global("ghostL", 1)
+	ghostR := b.Global("ghostR", 1)
+	sendSlot := b.Global("sendSlot", 1)
+	redSlot := b.Global("redSlot", 1)
+
+	// gdot computes the global dot product of two local vectors.
+	{
+		f := b.Func("gdot", 2, 1)
+		baseA, baseB := f.Param(0), f.Param(1)
+		i := f.NewReg()
+		local := f.CF(0)
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			va := f.Load(ir.R(f.Add(ir.R(baseA), ir.R(i))))
+			vb := f.Load(ir.R(f.Add(ir.R(baseB), ir.R(i))))
+			f.Op3(ir.FAdd, local, ir.R(local), ir.R(f.FMul(ir.R(va), ir.R(vb))))
+		})
+		f.Store(ir.R(local), ir.ImmI(sendSlot))
+		f.MPIAllreduceF(ir.ImmI(sendSlot), ir.ImmI(redSlot), ir.ImmI(1), ir.ReduceSum)
+		f.Ret(ir.R(f.Load(ir.ImmI(redSlot))))
+	}
+
+	f := b.Func("main", 0, 0)
+	rank := f.MPIRank()
+	size := f.MPISize()
+	lo := f.Mul(ir.R(rank), ir.ImmI(n))
+	hasL := f.ICmp(ir.ICmpSGT, ir.R(rank), ir.ImmI(0))
+	hasR := f.ICmp(ir.ICmpSLT, ir.R(rank), ir.R(f.Sub(ir.R(size), ir.ImmI(1))))
+	i := f.NewReg()
+
+	// --- Assembly phase -------------------------------------------------
+	// Fixed CSR structure: row i (global g) has slots [3i..3i+2] for
+	// columns [g-1, g, g+1] (duplicated self-column with zero value at the
+	// domain ends).
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		g := f.Add(ir.R(lo), ir.R(i))
+		cm := f.Select(ir.R(f.ICmp(ir.ICmpEQ, ir.R(g), ir.ImmI(0))), ir.R(g), ir.R(f.Sub(ir.R(g), ir.ImmI(1))))
+		cp := f.Select(ir.R(f.ICmp(ir.ICmpEQ, ir.R(g), ir.ImmI(N-1))), ir.R(g), ir.R(f.Add(ir.R(g), ir.ImmI(1))))
+		s3 := f.Mul(ir.R(i), ir.ImmI(3))
+		f.St(ir.R(cm), ir.ImmI(colsA), ir.R(s3))
+		f.St(ir.R(g), ir.ImmI(colsA), ir.R(f.Add(ir.R(s3), ir.ImmI(1))))
+		f.St(ir.R(cp), ir.ImmI(colsA), ir.R(f.Add(ir.R(s3), ir.ImmI(2))))
+		f.St(ir.ImmF(0), ir.ImmI(valsA), ir.R(s3))
+		f.St(ir.ImmF(0), ir.ImmI(valsA), ir.R(f.Add(ir.R(s3), ir.ImmI(1))))
+		f.St(ir.ImmF(0), ir.ImmI(valsA), ir.R(f.Add(ir.R(s3), ir.ImmI(2))))
+	})
+	// Scatter element stiffness [1 -1; -1 1] for elements touching owned
+	// rows: element g connects nodes g and g+1.
+	elemLo := f.Select(ir.R(hasL), ir.R(f.Sub(ir.R(lo), ir.ImmI(1))), ir.R(lo))
+	elemHi := f.NewReg()
+	f.Mov(elemHi, ir.R(f.Add(ir.R(lo), ir.ImmI(n))))
+	f.If(ir.R(f.ICmp(ir.ICmpEQ, ir.R(hasR), ir.ImmI(0))), func() {
+		f.Mov(elemHi, ir.R(f.Sub(ir.R(elemHi), ir.ImmI(1))))
+	})
+	g := f.NewReg()
+	f.For(g, ir.R(elemLo), ir.R(elemHi), func() {
+		// Row g (if owned): diag += 1, right += -1.
+		li := f.Sub(ir.R(g), ir.R(lo))
+		owned := f.And(
+			ir.R(f.ICmp(ir.ICmpSGE, ir.R(li), ir.ImmI(0))),
+			ir.R(f.ICmp(ir.ICmpSLT, ir.R(li), ir.ImmI(n))),
+		)
+		f.If(ir.R(owned), func() {
+			s3 := f.Mul(ir.R(li), ir.ImmI(3))
+			d := f.Add(ir.R(s3), ir.ImmI(1))
+			f.St(ir.R(f.FAdd(ir.R(f.Ld(ir.ImmI(valsA), ir.R(d))), ir.ImmF(1))), ir.ImmI(valsA), ir.R(d))
+			rslot := f.Add(ir.R(s3), ir.ImmI(2))
+			f.St(ir.R(f.FAdd(ir.R(f.Ld(ir.ImmI(valsA), ir.R(rslot))), ir.ImmF(-1))), ir.ImmI(valsA), ir.R(rslot))
+		})
+		// Row g+1 (if owned): diag += 1, left += -1.
+		lj := f.Sub(ir.R(f.Add(ir.R(g), ir.ImmI(1))), ir.R(lo))
+		owned2 := f.And(
+			ir.R(f.ICmp(ir.ICmpSGE, ir.R(lj), ir.ImmI(0))),
+			ir.R(f.ICmp(ir.ICmpSLT, ir.R(lj), ir.ImmI(n))),
+		)
+		f.If(ir.R(owned2), func() {
+			s3 := f.Mul(ir.R(lj), ir.ImmI(3))
+			d := f.Add(ir.R(s3), ir.ImmI(1))
+			f.St(ir.R(f.FAdd(ir.R(f.Ld(ir.ImmI(valsA), ir.R(d))), ir.ImmF(1))), ir.ImmI(valsA), ir.R(d))
+			lslot := s3
+			f.St(ir.R(f.FAdd(ir.R(f.Ld(ir.ImmI(valsA), ir.R(lslot))), ir.ImmF(-1))), ir.ImmI(valsA), ir.R(lslot))
+		})
+	})
+	// RHS and Dirichlet rows (identity at the global boundaries).
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		gg := f.Add(ir.R(lo), ir.R(i))
+		isB := f.Or(
+			ir.R(f.ICmp(ir.ICmpEQ, ir.R(gg), ir.ImmI(0))),
+			ir.R(f.ICmp(ir.ICmpEQ, ir.R(gg), ir.ImmI(N-1))),
+		)
+		s3 := f.Mul(ir.R(i), ir.ImmI(3))
+		f.IfElse(ir.R(isB),
+			func() {
+				f.St(ir.ImmF(0), ir.ImmI(valsA), ir.R(s3))
+				f.St(ir.ImmF(1), ir.ImmI(valsA), ir.R(f.Add(ir.R(s3), ir.ImmI(1))))
+				f.St(ir.ImmF(0), ir.ImmI(valsA), ir.R(f.Add(ir.R(s3), ir.ImmI(2))))
+				f.St(ir.ImmF(0), ir.ImmI(bA), ir.R(i))
+			},
+			func() { f.St(ir.ImmF(1), ir.ImmI(bA), ir.R(i)) },
+		)
+	})
+	// Internal system check (miniFE's abort path): diagonals must be
+	// positive.
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		d := f.Ld(ir.ImmI(valsA), ir.R(f.Add(ir.R(f.Mul(ir.R(i), ir.ImmI(3))), ir.ImmI(1))))
+		bad := f.Or(
+			ir.R(f.FCmp(ir.FCmpLE, ir.R(d), ir.ImmF(0))),
+			ir.R(f.FCmp(ir.FCmpNE, ir.R(d), ir.R(d))),
+		)
+		f.If(ir.R(bad), func() { f.MPIAbort(ir.ImmI(7)) })
+	})
+
+	// --- Solve phase: unpreconditioned CG -------------------------------
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		f.St(ir.ImmF(0), ir.ImmI(xV), ir.R(i))
+		rhs := f.Ld(ir.ImmI(bA), ir.R(i))
+		f.St(ir.R(rhs), ir.ImmI(rV), ir.R(i))
+		f.St(ir.R(rhs), ir.ImmI(pV), ir.R(i))
+	})
+	rr := f.NewReg()
+	f.Call("gdot", []ir.Reg{rr}, ir.ImmI(rV), ir.ImmI(rV))
+	iters := f.CI(0)
+	k := f.NewReg()
+	brk := f.NewLabel()
+	f.For(k, ir.ImmI(0), ir.ImmI(int64(p.Steps)), func() {
+		f.Bnz(ir.R(f.FCmp(ir.FCmpLT, ir.R(rr), ir.ImmF(feTol))), brk)
+		f.Tick(ir.R(k))
+		// Halo exchange of p boundary values.
+		f.If(ir.R(hasL), func() {
+			f.MPISend(ir.ImmI(pV), ir.ImmI(1), ir.R(f.Sub(ir.R(rank), ir.ImmI(1))), ir.ImmI(feTagLeftward))
+		})
+		f.If(ir.R(hasR), func() {
+			f.MPISend(ir.ImmI(pV+n-1), ir.ImmI(1), ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(feTagRightward))
+		})
+		f.IfElse(ir.R(hasR),
+			func() {
+				f.MPIRecv(ir.ImmI(ghostR), ir.ImmI(1), ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(feTagLeftward))
+			},
+			func() { f.Store(ir.ImmF(0), ir.ImmI(ghostR)) },
+		)
+		f.IfElse(ir.R(hasL),
+			func() {
+				f.MPIRecv(ir.ImmI(ghostL), ir.ImmI(1), ir.R(f.Sub(ir.R(rank), ir.ImmI(1))), ir.ImmI(feTagRightward))
+			},
+			func() { f.Store(ir.ImmF(0), ir.ImmI(ghostL)) },
+		)
+		// q = A p (CSR spmv with ghost translation).
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			acc := f.CF(0)
+			s := f.NewReg()
+			s3 := f.Mul(ir.R(i), ir.ImmI(3))
+			f.For(s, ir.R(s3), ir.R(f.Add(ir.R(s3), ir.ImmI(3))), func() {
+				col := f.Ld(ir.ImmI(colsA), ir.R(s))
+				val := f.Ld(ir.ImmI(valsA), ir.R(s))
+				j := f.Sub(ir.R(col), ir.R(lo))
+				pval := f.NewReg()
+				f.IfElse(ir.R(f.ICmp(ir.ICmpSLT, ir.R(j), ir.ImmI(0))),
+					func() { f.Mov(pval, ir.R(f.Load(ir.ImmI(ghostL)))) },
+					func() {
+						f.IfElse(ir.R(f.ICmp(ir.ICmpSGE, ir.R(j), ir.ImmI(n))),
+							func() { f.Mov(pval, ir.R(f.Load(ir.ImmI(ghostR)))) },
+							func() { f.Mov(pval, ir.R(f.Ld(ir.ImmI(pV), ir.R(j)))) },
+						)
+					},
+				)
+				f.Op3(ir.FAdd, acc, ir.R(acc), ir.R(f.FMul(ir.R(val), ir.R(pval))))
+			})
+			f.St(ir.R(acc), ir.ImmI(qV), ir.R(i))
+		})
+		// alpha = rr / (p.q); x += alpha p; r -= alpha q.
+		pq := f.NewReg()
+		f.Call("gdot", []ir.Reg{pq}, ir.ImmI(pV), ir.ImmI(qV))
+		alpha := f.FDiv(ir.R(rr), ir.R(pq))
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			xi := f.Ld(ir.ImmI(xV), ir.R(i))
+			pi := f.Ld(ir.ImmI(pV), ir.R(i))
+			f.St(ir.R(f.FAdd(ir.R(xi), ir.R(f.FMul(ir.R(alpha), ir.R(pi))))), ir.ImmI(xV), ir.R(i))
+			ri := f.Ld(ir.ImmI(rV), ir.R(i))
+			qi := f.Ld(ir.ImmI(qV), ir.R(i))
+			f.St(ir.R(f.FSub(ir.R(ri), ir.R(f.FMul(ir.R(alpha), ir.R(qi))))), ir.ImmI(rV), ir.R(i))
+		})
+		rrNew := f.NewReg()
+		f.Call("gdot", []ir.Reg{rrNew}, ir.ImmI(rV), ir.ImmI(rV))
+		beta := f.FDiv(ir.R(rrNew), ir.R(rr))
+		f.Mov(rr, ir.R(rrNew))
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			ri := f.Ld(ir.ImmI(rV), ir.R(i))
+			pi := f.Ld(ir.ImmI(pV), ir.R(i))
+			f.St(ir.R(f.FAdd(ir.R(ri), ir.R(f.FMul(ir.R(beta), ir.R(pi))))), ir.ImmI(pV), ir.R(i))
+		})
+		f.Op3(ir.Add, iters, ir.R(iters), ir.ImmI(1))
+	})
+	f.Bind(brk)
+	f.Iterations(ir.R(iters))
+
+	// Outputs: local solution checksum per rank.
+	xsum := f.CF(0)
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		f.Op3(ir.FAdd, xsum, ir.R(xsum), ir.R(f.Ld(ir.ImmI(xV), ir.R(i))))
+	})
+	f.OutputF(ir.R(xsum))
+	f.Ret()
+	return b.Build()
+}
+
+// Reference replays assembly and CG in pure Go with identical operation
+// order, returning the expected outputs. It also returns the iteration
+// count through ReferenceIterations.
+func (a FE) Reference(p Params) ([]float64, error) {
+	out, _, err := a.referenceFull(p)
+	return out, err
+}
+
+// ReferenceIterations returns the fault-free CG iteration count.
+func (a FE) ReferenceIterations(p Params) (int64, error) {
+	_, it, err := a.referenceFull(p)
+	return it, err
+}
+
+func (a FE) referenceFull(p Params) ([]float64, int64, error) {
+	if err := p.validate(); err != nil {
+		return nil, 0, err
+	}
+	n, R := p.Size, p.Ranks
+	N := n * R
+	// Assembled per-rank CSR (3 slots per row).
+	vals := make([][]float64, R)
+	cols := make([][]int, R)
+	rhs := make([][]float64, R)
+	for r := 0; r < R; r++ {
+		vals[r] = make([]float64, 3*n)
+		cols[r] = make([]int, 3*n)
+		rhs[r] = make([]float64, n)
+		lo := r * n
+		for i := 0; i < n; i++ {
+			g := lo + i
+			cm, cp := g-1, g+1
+			if g == 0 {
+				cm = g
+			}
+			if g == N-1 {
+				cp = g
+			}
+			cols[r][3*i] = cm
+			cols[r][3*i+1] = g
+			cols[r][3*i+2] = cp
+		}
+		elemLo, elemHi := lo, lo+n
+		if r > 0 {
+			elemLo = lo - 1
+		}
+		if r == R-1 {
+			elemHi--
+		}
+		for g := elemLo; g < elemHi; g++ {
+			if li := g - lo; li >= 0 && li < n {
+				vals[r][3*li+1] += 1
+				vals[r][3*li+2] += -1
+			}
+			if lj := g + 1 - lo; lj >= 0 && lj < n {
+				vals[r][3*lj+1] += 1
+				vals[r][3*lj] += -1
+			}
+		}
+		for i := 0; i < n; i++ {
+			g := lo + i
+			if g == 0 || g == N-1 {
+				vals[r][3*i] = 0
+				vals[r][3*i+1] = 1
+				vals[r][3*i+2] = 0
+				rhs[r][i] = 0
+			} else {
+				rhs[r][i] = 1
+			}
+		}
+	}
+
+	x := make([][]float64, R)
+	rv := make([][]float64, R)
+	pv := make([][]float64, R)
+	qv := make([][]float64, R)
+	for r := 0; r < R; r++ {
+		x[r] = make([]float64, n)
+		rv[r] = append([]float64(nil), rhs[r]...)
+		pv[r] = append([]float64(nil), rhs[r]...)
+		qv[r] = make([]float64, n)
+	}
+	gdot := func(a, b [][]float64) float64 {
+		tot := 0.0
+		for r := 0; r < R; r++ {
+			local := 0.0
+			for i := 0; i < n; i++ {
+				local += a[r][i] * b[r][i]
+			}
+			tot += local
+		}
+		return tot
+	}
+	rr := gdot(rv, rv)
+	iters := int64(0)
+	for k := 0; k < p.Steps; k++ {
+		if rr < feTol {
+			break
+		}
+		// Ghost snapshot of p boundary values.
+		gl := make([]float64, R)
+		gr := make([]float64, R)
+		for r := 0; r < R; r++ {
+			if r > 0 {
+				gl[r] = pv[r-1][n-1]
+			}
+			if r < R-1 {
+				gr[r] = pv[r+1][0]
+			}
+		}
+		for r := 0; r < R; r++ {
+			lo := r * n
+			for i := 0; i < n; i++ {
+				acc := 0.0
+				for s := 3 * i; s < 3*i+3; s++ {
+					col := cols[r][s]
+					val := vals[r][s]
+					j := col - lo
+					var pval float64
+					switch {
+					case j < 0:
+						pval = gl[r]
+					case j >= n:
+						pval = gr[r]
+					default:
+						pval = pv[r][j]
+					}
+					acc += val * pval
+				}
+				qv[r][i] = acc
+			}
+		}
+		pq := gdot(pv, qv)
+		alpha := rr / pq
+		for r := 0; r < R; r++ {
+			for i := 0; i < n; i++ {
+				x[r][i] = x[r][i] + alpha*pv[r][i]
+				rv[r][i] = rv[r][i] - alpha*qv[r][i]
+			}
+		}
+		rrNew := gdot(rv, rv)
+		beta := rrNew / rr
+		rr = rrNew
+		for r := 0; r < R; r++ {
+			for i := 0; i < n; i++ {
+				pv[r][i] = rv[r][i] + beta*pv[r][i]
+			}
+		}
+		iters++
+	}
+	if rr >= feTol {
+		// The fault-free solve must converge; otherwise the workload is
+		// miscalibrated.
+		return nil, iters, errFaultFreeAbort("fe (no convergence)", int(iters))
+	}
+	var out []float64
+	for r := 0; r < R; r++ {
+		xsum := 0.0
+		for i := 0; i < n; i++ {
+			xsum += x[r][i]
+		}
+		out = append(out, xsum)
+	}
+	return out, iters, nil
+}

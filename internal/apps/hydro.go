@@ -1,0 +1,365 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Hydro is the LULESH proxy: one-dimensional Lagrangian shock hydrodynamics
+// solving a Sedov-style blast (energy deposited in the first cell of rank
+// 0). Like LULESH it is an explicit time-stepped stencil code: pressures are
+// computed from energies, halo pressures are exchanged with neighbor ranks
+// every step, the stable timestep is a global min-reduction, and an internal
+// total-energy sanity check aborts the job when the state leaves physical
+// bounds (the paper observes LULESH crashing through this check rather than
+// producing wrong output, §4.2).
+type Hydro struct{}
+
+// NewHydro returns the LULESH proxy.
+func NewHydro() Hydro { return Hydro{} }
+
+// Name identifies the paper application this proxies.
+func (Hydro) Name() string { return "LULESH" }
+
+// DefaultParams sizes a campaign run.
+func (Hydro) DefaultParams() Params { return Params{Ranks: 8, Size: 48, Steps: 30} }
+
+// TestParams sizes a fast run.
+func (Hydro) TestParams() Params { return Params{Ranks: 4, Size: 16, Steps: 10} }
+
+// Hydro model constants, shared between the IR program and the reference.
+const (
+	hydroGamma   = 1.4
+	hydroCFL     = 0.25
+	hydroDT0     = 1e-3
+	hydroDTMax   = 0.05
+	hydroDamping = 0.999
+	hydroEMin    = 1e-10
+	hydroEBg     = 1e-6
+	hydroEDep    = 10.0
+	hydroEps     = 1e-12
+)
+
+// Hydro message tags.
+const (
+	hydroTagLeftward  = 1 // p[0] traveling to the left neighbor
+	hydroTagRightward = 2 // p[N-1] traveling to the right neighbor
+)
+
+// Build constructs the per-rank IR program.
+func (h Hydro) Build(p Params) (*ir.Program, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := int64(p.Size)
+	b := ir.NewBuilder()
+	eA := b.Global("e", n)
+	rhoA := b.Global("rho", n)
+	pA := b.Global("p", n)
+	vA := b.Global("v", n+1)
+	xA := b.Global("x", n+1)
+	haloL := b.Global("haloL", 1)
+	haloR := b.Global("haloR", 1)
+	sendSlot := b.Global("sendSlot", 1)
+	redSlot := b.Global("redSlot", 1)
+
+	// etot computes the global total energy: sum(e[i]*m) + sum(v[i]^2/2),
+	// allreduced over ranks.
+	{
+		f := b.Func("etot", 0, 1)
+		i := f.NewReg()
+		local := f.CF(0)
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			f.Op3(ir.FAdd, local, ir.R(local), ir.R(f.Ld(ir.ImmI(eA), ir.R(i))))
+		})
+		f.For(i, ir.ImmI(0), ir.ImmI(n+1), func() {
+			vi := f.Ld(ir.ImmI(vA), ir.R(i))
+			ke := f.FMul(ir.R(f.FMul(ir.R(vi), ir.R(vi))), ir.ImmF(0.5))
+			f.Op3(ir.FAdd, local, ir.R(local), ir.R(ke))
+		})
+		f.Store(ir.R(local), ir.ImmI(sendSlot))
+		f.MPIAllreduceF(ir.ImmI(sendSlot), ir.ImmI(redSlot), ir.ImmI(1), ir.ReduceSum)
+		f.Ret(ir.R(f.Load(ir.ImmI(redSlot))))
+	}
+
+	f := b.Func("main", 0, 0)
+	rank := f.MPIRank()
+	size := f.MPISize()
+	lastRank := f.Sub(ir.R(size), ir.ImmI(1))
+	isFirst := f.ICmp(ir.ICmpEQ, ir.R(rank), ir.ImmI(0))
+	isLast := f.ICmp(ir.ICmpEQ, ir.R(rank), ir.R(lastRank))
+
+	// Initialization. The background is weakly perturbed (energy ripple
+	// and a small velocity field) so the whole domain is dynamically
+	// active, as LULESH's full-domain Sedov state is: every cell's update
+	// depends on the global timestep, which is how a single corrupted cell
+	// can contaminate a large fraction of the state (paper §4.3 reports up
+	// to 25%).
+	i := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		gi := f.SIToFP(ir.R(f.Add(ir.R(f.Mul(ir.R(rank), ir.ImmI(n))), ir.R(i))))
+		ripple := f.FMul(ir.ImmF(0.5*hydroEBg), ir.R(f.Sin(ir.R(f.FMul(ir.ImmF(0.2), ir.R(gi))))))
+		f.St(ir.R(f.FAdd(ir.ImmF(hydroEBg), ir.R(ripple))), ir.ImmI(eA), ir.R(i))
+		f.St(ir.ImmF(1.0), ir.ImmI(rhoA), ir.R(i))
+		f.St(ir.ImmF(0), ir.ImmI(pA), ir.R(i))
+	})
+	f.For(i, ir.ImmI(0), ir.ImmI(n+1), func() {
+		gi := f.Add(ir.R(f.Mul(ir.R(rank), ir.ImmI(n))), ir.R(i))
+		gif := f.SIToFP(ir.R(gi))
+		f.St(ir.R(f.FMul(ir.ImmF(1e-4), ir.R(f.Sin(ir.R(f.FMul(ir.ImmF(0.3), ir.R(gif))))))), ir.ImmI(vA), ir.R(i))
+		f.St(ir.R(gif), ir.ImmI(xA), ir.R(i))
+	})
+	f.If(ir.R(isFirst), func() {
+		f.St(ir.ImmF(hydroEDep), ir.ImmI(eA), ir.ImmI(0))
+	})
+
+	dt := f.CF(hydroDT0)
+	e0 := f.NewReg()
+	f.Call("etot", []ir.Reg{e0})
+	bound := f.FAdd(ir.R(f.FMul(ir.R(e0), ir.ImmF(2))), ir.ImmF(1))
+	etotReg := f.NewReg()
+	f.Mov(etotReg, ir.R(e0))
+
+	s := f.NewReg()
+	f.For(s, ir.ImmI(0), ir.ImmI(int64(p.Steps)), func() {
+		f.Tick(ir.R(s))
+		// Pressure: p[i] = (gamma-1) * rho[i] * e[i].
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			rho := f.Ld(ir.ImmI(rhoA), ir.R(i))
+			e := f.Ld(ir.ImmI(eA), ir.R(i))
+			pi := f.FMul(ir.R(f.FMul(ir.ImmF(hydroGamma-1), ir.R(rho))), ir.R(e))
+			f.St(ir.R(pi), ir.ImmI(pA), ir.R(i))
+		})
+		// Halo exchange; walls mirror the local boundary pressure.
+		f.IfElse(ir.R(isFirst),
+			func() { f.Store(ir.R(f.Load(ir.ImmI(pA))), ir.ImmI(haloL)) },
+			func() {
+				f.MPISend(ir.ImmI(pA), ir.ImmI(1), ir.R(f.Sub(ir.R(rank), ir.ImmI(1))), ir.ImmI(hydroTagLeftward))
+			},
+		)
+		f.IfElse(ir.R(isLast),
+			func() { f.Store(ir.R(f.Load(ir.ImmI(pA+n-1))), ir.ImmI(haloR)) },
+			func() {
+				f.MPISend(ir.ImmI(pA+n-1), ir.ImmI(1), ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(hydroTagRightward))
+			},
+		)
+		f.If(ir.R(f.ICmp(ir.ICmpEQ, ir.R(isLast), ir.ImmI(0))), func() {
+			f.MPIRecv(ir.ImmI(haloR), ir.ImmI(1), ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(hydroTagLeftward))
+		})
+		f.If(ir.R(f.ICmp(ir.ICmpEQ, ir.R(isFirst), ir.ImmI(0))), func() {
+			f.MPIRecv(ir.ImmI(haloL), ir.ImmI(1), ir.R(f.Sub(ir.R(rank), ir.ImmI(1))), ir.ImmI(hydroTagRightward))
+		})
+		// Node velocities and positions.
+		f.For(i, ir.ImmI(0), ir.ImmI(n+1), func() {
+			atLeft := f.ICmp(ir.ICmpEQ, ir.R(i), ir.ImmI(0))
+			atRight := f.ICmp(ir.ICmpEQ, ir.R(i), ir.ImmI(n))
+			pm := f.NewReg()
+			f.IfElse(ir.R(atLeft),
+				func() { f.Mov(pm, ir.R(f.Load(ir.ImmI(haloL)))) },
+				func() { f.Mov(pm, ir.R(f.Ld(ir.ImmI(pA), ir.R(f.Sub(ir.R(i), ir.ImmI(1)))))) },
+			)
+			pp := f.NewReg()
+			f.IfElse(ir.R(atRight),
+				func() { f.Mov(pp, ir.R(f.Load(ir.ImmI(haloR)))) },
+				func() { f.Mov(pp, ir.R(f.Ld(ir.ImmI(pA), ir.R(i)))) },
+			)
+			force := f.FSub(ir.R(pm), ir.R(pp))
+			vi := f.Ld(ir.ImmI(vA), ir.R(i))
+			vnew := f.FMul(ir.ImmF(hydroDamping), ir.R(f.FAdd(ir.R(vi), ir.R(f.FMul(ir.R(dt), ir.R(force))))))
+			f.St(ir.R(vnew), ir.ImmI(vA), ir.R(i))
+			xi := f.Ld(ir.ImmI(xA), ir.R(i))
+			f.St(ir.R(f.FAdd(ir.R(xi), ir.R(f.FMul(ir.R(dt), ir.R(vnew))))), ir.ImmI(xA), ir.R(i))
+		})
+		// Cell energies: e[i] = max(e[i] - dt*p[i]*(v[i+1]-v[i]), eMin).
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			vp := f.Ld(ir.ImmI(vA), ir.R(f.Add(ir.R(i), ir.ImmI(1))))
+			vi := f.Ld(ir.ImmI(vA), ir.R(i))
+			div := f.FSub(ir.R(vp), ir.R(vi))
+			pi := f.Ld(ir.ImmI(pA), ir.R(i))
+			work := f.FMul(ir.R(f.FMul(ir.R(dt), ir.R(pi))), ir.R(div))
+			e := f.Ld(ir.ImmI(eA), ir.R(i))
+			f.St(ir.R(f.FMax(ir.R(f.FSub(ir.R(e), ir.R(work))), ir.ImmF(hydroEMin))), ir.ImmI(eA), ir.R(i))
+		})
+		// Stable timestep: global min of CFL / (cs + |v| + eps).
+		local := f.CF(hydroDTMax)
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			pi := f.Ld(ir.ImmI(pA), ir.R(i))
+			rho := f.Ld(ir.ImmI(rhoA), ir.R(i))
+			cs := f.Sqrt(ir.R(f.FDiv(ir.R(f.FMul(ir.ImmF(hydroGamma), ir.R(pi))), ir.R(rho))))
+			vi := f.Ld(ir.ImmI(vA), ir.R(i))
+			rate := f.FAdd(ir.R(f.FAdd(ir.R(cs), ir.R(f.Fabs(ir.R(vi))))), ir.ImmF(hydroEps))
+			cand := f.FDiv(ir.ImmF(hydroCFL), ir.R(rate))
+			f.Mov(local, ir.R(f.FMin(ir.R(local), ir.R(cand))))
+		})
+		f.Store(ir.R(local), ir.ImmI(sendSlot))
+		f.MPIAllreduceF(ir.ImmI(sendSlot), ir.ImmI(redSlot), ir.ImmI(1), ir.ReduceMin)
+		f.Mov(dt, ir.R(f.FMin(ir.R(f.Load(ir.ImmI(redSlot))), ir.ImmF(hydroDTMax))))
+		// Internal sanity check: abort when the total energy leaves
+		// physical bounds or becomes NaN (LULESH's MPI_Abort path).
+		f.Call("etot", []ir.Reg{etotReg})
+		bad := f.Or(
+			ir.R(f.FCmp(ir.FCmpNE, ir.R(etotReg), ir.R(etotReg))),
+			ir.R(f.Or(
+				ir.R(f.FCmp(ir.FCmpGT, ir.R(etotReg), ir.R(bound))),
+				ir.R(f.FCmp(ir.FCmpLT, ir.R(etotReg), ir.ImmF(0))),
+			)),
+		)
+		f.If(ir.R(bad), func() { f.MPIAbort(ir.ImmI(3)) })
+	})
+
+	// Observable outputs: per-rank energy and velocity checksums; rank 0
+	// also reports the final total energy and timestep.
+	esum := f.CF(0)
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		f.Op3(ir.FAdd, esum, ir.R(esum), ir.R(f.Ld(ir.ImmI(eA), ir.R(i))))
+	})
+	vsum := f.CF(0)
+	f.For(i, ir.ImmI(0), ir.ImmI(n+1), func() {
+		f.Op3(ir.FAdd, vsum, ir.R(vsum), ir.R(f.Ld(ir.ImmI(vA), ir.R(i))))
+	})
+	f.OutputF(ir.R(esum))
+	f.OutputF(ir.R(vsum))
+	f.If(ir.R(isFirst), func() {
+		f.OutputF(ir.R(etotReg))
+		f.OutputF(ir.R(dt))
+	})
+	f.Iterations(ir.ImmI(int64(p.Steps)))
+	f.Ret()
+	return b.Build()
+}
+
+// Reference replays the model in pure Go with the identical operation
+// order, including the rank-ordered reduction folds.
+func (h Hydro) Reference(p Params) ([]float64, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := p.Size
+	R := p.Ranks
+	e := make([][]float64, R)
+	rho := make([][]float64, R)
+	pr := make([][]float64, R)
+	v := make([][]float64, R)
+	x := make([][]float64, R)
+	for r := 0; r < R; r++ {
+		e[r] = make([]float64, n)
+		rho[r] = make([]float64, n)
+		pr[r] = make([]float64, n)
+		v[r] = make([]float64, n+1)
+		x[r] = make([]float64, n+1)
+		for i := 0; i < n; i++ {
+			gi := float64(r*n + i)
+			e[r][i] = hydroEBg + 0.5*hydroEBg*math.Sin(0.2*gi)
+			rho[r][i] = 1.0
+		}
+		for i := 0; i <= n; i++ {
+			gi := float64(r*n + i)
+			v[r][i] = 1e-4 * math.Sin(0.3*gi)
+			x[r][i] = gi
+		}
+	}
+	e[0][0] = hydroEDep
+
+	etot := func() float64 {
+		total := 0.0
+		for r := 0; r < R; r++ {
+			local := 0.0
+			for i := 0; i < n; i++ {
+				local += e[r][i]
+			}
+			for i := 0; i <= n; i++ {
+				local += v[r][i] * v[r][i] * 0.5
+			}
+			total += local
+		}
+		return total
+	}
+
+	dt := hydroDT0
+	e0 := etot()
+	bound := e0*2 + 1
+	etotCur := e0
+	haloL := make([]float64, R)
+	haloR := make([]float64, R)
+	for s := 0; s < p.Steps; s++ {
+		for r := 0; r < R; r++ {
+			for i := 0; i < n; i++ {
+				pr[r][i] = (hydroGamma - 1) * rho[r][i] * e[r][i]
+			}
+		}
+		for r := 0; r < R; r++ {
+			if r == 0 {
+				haloL[r] = pr[r][0]
+			} else {
+				haloL[r] = pr[r-1][n-1]
+			}
+			if r == R-1 {
+				haloR[r] = pr[r][n-1]
+			} else {
+				haloR[r] = pr[r+1][0]
+			}
+		}
+		for r := 0; r < R; r++ {
+			for i := 0; i <= n; i++ {
+				var pm, pp float64
+				if i == 0 {
+					pm = haloL[r]
+				} else {
+					pm = pr[r][i-1]
+				}
+				if i == n {
+					pp = haloR[r]
+				} else {
+					pp = pr[r][i]
+				}
+				force := pm - pp
+				vnew := hydroDamping * (v[r][i] + dt*force)
+				v[r][i] = vnew
+				x[r][i] = x[r][i] + dt*vnew
+			}
+			for i := 0; i < n; i++ {
+				div := v[r][i+1] - v[r][i]
+				work := dt * pr[r][i] * div
+				e[r][i] = math.Max(e[r][i]-work, hydroEMin)
+			}
+		}
+		// Global timestep: fold rank minima in rank order.
+		global := math.Inf(1)
+		for r := 0; r < R; r++ {
+			local := hydroDTMax
+			for i := 0; i < n; i++ {
+				cs := math.Sqrt(hydroGamma * pr[r][i] / rho[r][i])
+				rate := cs + math.Abs(v[r][i]) + hydroEps
+				local = math.Min(local, hydroCFL/rate)
+			}
+			if r == 0 {
+				global = local
+			} else {
+				global = math.Min(global, local)
+			}
+		}
+		dt = math.Min(global, hydroDTMax)
+		etotCur = etot()
+		if etotCur != etotCur || etotCur > bound || etotCur < 0 {
+			return nil, errFaultFreeAbort("hydro", s)
+		}
+	}
+
+	var out []float64
+	for r := 0; r < R; r++ {
+		esum := 0.0
+		for i := 0; i < n; i++ {
+			esum += e[r][i]
+		}
+		vsum := 0.0
+		for i := 0; i <= n; i++ {
+			vsum += v[r][i]
+		}
+		out = append(out, esum, vsum)
+		if r == 0 {
+			out = append(out, etotCur, dt)
+		}
+	}
+	return out, nil
+}

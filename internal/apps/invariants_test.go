@@ -1,0 +1,176 @@
+package apps_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// Physical invariants of the reference implementations: these pin down the
+// models themselves (beyond matching the IR bit-for-bit), so workload
+// recalibration cannot silently break the physics that the propagation
+// study depends on.
+
+func TestHydroEnergyBounded(t *testing.T) {
+	app := apps.NewHydro()
+	p := app.TestParams()
+	out, err := app.Reference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output layout: rank 0 emits [esum, vsum, Etot, dt], others [esum, vsum].
+	etot := out[2]
+	if etot <= 0 || etot > 2*10.0+1 {
+		t.Errorf("total energy %v outside (0, 21]", etot)
+	}
+	dt := out[3]
+	if dt <= 0 || dt > 0.05 {
+		t.Errorf("dt %v outside (0, dtmax]", dt)
+	}
+	// Per-rank energy sums must be positive (energies are clamped above
+	// a floor).
+	idx := 0
+	for r := 0; r < p.Ranks; r++ {
+		if out[idx] <= 0 {
+			t.Errorf("rank %d energy sum %v <= 0", r, out[idx])
+		}
+		idx += 2
+		if r == 0 {
+			idx += 2
+		}
+	}
+}
+
+func TestMDMomentumScaleSane(t *testing.T) {
+	app := apps.NewMD()
+	p := app.TestParams()
+	out, err := app.Reference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout per rank: n*(x, v) pairs, then local KE; rank 0 appends the
+	// global KE last.
+	stride := 2*p.Size + 1
+	wall := float64(p.Ranks) * 10.0
+	keGlobal := out[stride+1-1+0] // rank 0 block has one extra trailing value
+	_ = keGlobal
+	idx := 0
+	for r := 0; r < p.Ranks; r++ {
+		for i := 0; i < p.Size; i++ {
+			x := out[idx]
+			v := out[idx+1]
+			idx += 2
+			if x < 0 || x > wall {
+				t.Errorf("rank %d atom %d escaped the box: x=%v", r, i, x)
+			}
+			if math.Abs(v) > 100 {
+				t.Errorf("rank %d atom %d runaway velocity %v", r, i, v)
+			}
+		}
+		ke := out[idx]
+		idx++
+		if ke < 0 {
+			t.Errorf("rank %d negative kinetic energy %v", r, ke)
+		}
+		if r == 0 {
+			if out[idx] < 0 {
+				t.Errorf("global KE %v < 0", out[idx])
+			}
+			idx++
+		}
+	}
+}
+
+func TestFESolutionMatchesDirectSolve(t *testing.T) {
+	// The CG solution of the 1-D Poisson system must match the analytic
+	// parabola u_i = i*(N-1-i)/2 (for unit RHS, unit spacing, zero
+	// boundaries) — checked through the per-rank solution checksums.
+	fe := apps.NewFE().(apps.FE)
+	p := fe.TestParams()
+	out, err := fe.Reference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := p.Ranks * p.Size
+	want := make([]float64, 0, p.Ranks)
+	for r := 0; r < p.Ranks; r++ {
+		sum := 0.0
+		for i := 0; i < p.Size; i++ {
+			g := float64(r*p.Size + i)
+			sum += g * (float64(N-1) - g) / 2
+		}
+		want = append(want, sum)
+	}
+	for r := range want {
+		if math.Abs(out[r]-want[r]) > 1e-4*math.Abs(want[r])+1e-6 {
+			t.Errorf("rank %d solution checksum %v, analytic %v", r, out[r], want[r])
+		}
+	}
+}
+
+func TestAMGReducesResidual(t *testing.T) {
+	// The V-cycle residual norm must decrease monotonically (within a
+	// small tolerance for interface effects) — the solver converges.
+	amg := apps.NewAMG().(apps.AMG)
+	p := amg.TestParams()
+	rns, err := amg.ReferenceResiduals(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rns) < 3 {
+		t.Fatalf("residual series too short: %v", rns)
+	}
+	for i := 1; i < len(rns); i++ {
+		if rns[i] > rns[i-1]*1.05 {
+			t.Errorf("cycle %d residual grew: %v -> %v", i, rns[i-1], rns[i])
+		}
+	}
+	// Block-decomposed MG converges slowly across subdomain interfaces;
+	// require steady progress rather than a fixed factor.
+	if rns[len(rns)-1] > rns[0]*0.9 {
+		t.Errorf("residual barely reduced over %d cycles: %v -> %v",
+			len(rns), rns[0], rns[len(rns)-1])
+	}
+}
+
+func TestMCBWeightConservation(t *testing.T) {
+	// Every unit of spawned weight is either still alive or was deposited
+	// into a tally (absorption deposits the full weight; path tallies add
+	// extra, so tally >= absorbed weight). Alive weight must be
+	// non-negative and bounded by capacity.
+	app := apps.NewMCB()
+	p := app.TestParams()
+	out, err := app.Reference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout per rank: n tallies, local weight; rank 0 appends global
+	// weight.
+	idx := 0
+	totalAlive := 0.0
+	for r := 0; r < p.Ranks; r++ {
+		for i := 0; i < p.Size; i++ {
+			if out[idx] < 0 {
+				t.Errorf("rank %d cell %d negative tally %v", r, i, out[idx])
+			}
+			idx++
+		}
+		lw := out[idx]
+		idx++
+		if lw < 0 || lw > float64(2*p.Size) {
+			t.Errorf("rank %d alive weight %v outside [0, cap]", r, lw)
+		}
+		totalAlive += lw
+		if r == 0 {
+			global := out[idx]
+			idx++
+			if global < 0 {
+				t.Errorf("global weight %v < 0", global)
+			}
+		}
+	}
+	if totalAlive == 0 {
+		t.Error("no particles alive at the end; workload degenerate")
+	}
+}

@@ -1,0 +1,535 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// MCB is the Monte Carlo Benchmark proxy: particles are born from a source,
+// travel with constant speed, scatter, are absorbed into path-length
+// tallies, and are buffered and shipped to the neighbor rank when they
+// cross the domain boundary — the paper's description of MCB §4.3. The
+// random walk uses an in-IR linear congruential generator, so a single bit
+// flip anywhere in the particle state rapidly decorrelates the whole
+// simulation; the embarrassingly parallel mixing gives MCB the highest
+// fault propagation speed of the five applications (paper Table 2).
+type MCB struct{}
+
+// NewMCB returns the MCB proxy.
+func NewMCB() App { return MCB{} }
+
+// Name identifies the paper application this proxies.
+func (MCB) Name() string { return "MCB" }
+
+// DefaultParams sizes a campaign run. Size is the tally cell count per
+// rank.
+func (MCB) DefaultParams() Params { return Params{Ranks: 8, Size: 32, Steps: 14, Seed: 2015} }
+
+// TestParams sizes a fast run.
+func (MCB) TestParams() Params { return Params{Ranks: 4, Size: 16, Steps: 8, Seed: 7} }
+
+// MCB constants. Transport samples exponential distances to collision
+// (mean free path mcbMFP) against a per-step path budget, so the number of
+// RNG draws a particle consumes depends continuously on its state — the
+// mechanism that makes Monte Carlo transport decorrelate explosively after
+// a perturbation and gives MCB the highest fault propagation speed (paper
+// Table 2).
+const (
+	mcbLCGMul   = 6364136223846793005
+	mcbLCGAdd   = 1442695040888963407
+	mcbBudget   = 0.2  // path length traveled per particle per step
+	mcbPAbsorb  = 0.15 // absorption probability per collision
+	mcbCapMul   = 2    // particle capacity = capMul * Size
+	mcbSpawnDiv = 4    // spawn Size/spawnDiv particles per step
+	mcbMaxXfer  = 16   // boundary-crossing buffer capacity per side
+)
+
+// MCB message tags.
+const (
+	mcbTagLeftward  = 1
+	mcbTagRightward = 2
+)
+
+// mcbMFPTable holds the mean free path of the four materials tiled across
+// tally cells (heterogeneous medium): the collision distance a particle
+// samples depends on the cell it is in, so a perturbed position changes the
+// number of RNG draws and decorrelates the whole rank's random walk.
+func mcbMFPTable() []float64 { return []float64{0.08, 0.12, 0.1, 0.06} }
+
+// Build constructs the per-rank IR program.
+func (m MCB) Build(p Params) (*ir.Program, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := int64(p.Size)
+	cap64 := mcbCapMul * n
+	spawn := n / mcbSpawnDiv
+	if spawn < 1 {
+		spawn = 1
+	}
+	bufWords := int64(1 + 3*mcbMaxXfer)
+	b := ir.NewBuilder()
+	pxA := b.Global("px", cap64)
+	pdA := b.Global("pd", cap64)
+	pwA := b.Global("pw", cap64)
+	tallyA := b.Global("tally", n)
+	sendL := b.Global("sendL", bufWords)
+	sendR := b.Global("sendR", bufWords)
+	recvBufL := b.Global("recvL", bufWords)
+	recvBufR := b.Global("recvR", bufWords)
+	mfpA := b.Global("mfptab", 4)
+	b.GlobalInitF("mfptab", mcbMFPTable())
+	stateA := b.Global("rngstate", 1)
+	sendSlot := b.Global("sendSlot", 1)
+	redSlot := b.Global("redSlot", 1)
+
+	// lcgu draws a uniform [0,1) from the global LCG state.
+	{
+		f := b.Func("lcgu", 0, 1)
+		s := f.Load(ir.ImmI(stateA))
+		ns := f.Add(ir.R(f.Mul(ir.R(s), ir.ImmI(mcbLCGMul))), ir.ImmI(mcbLCGAdd))
+		f.Store(ir.R(ns), ir.ImmI(stateA))
+		mant := f.LShr(ir.R(ns), ir.ImmI(11))
+		f.Ret(ir.R(f.FMul(ir.R(f.SIToFP(ir.R(mant))), ir.ImmF(0x1p-53))))
+	}
+
+	f := b.Func("main", 0, 0)
+	rank := f.MPIRank()
+	size := f.MPISize()
+	hasL := f.ICmp(ir.ICmpSGT, ir.R(rank), ir.ImmI(0))
+	hasR := f.ICmp(ir.ICmpSLT, ir.R(rank), ir.R(f.Sub(ir.R(size), ir.ImmI(1))))
+	loF := f.SIToFP(ir.R(rank))
+	hiF := f.FAdd(ir.R(loF), ir.ImmF(1))
+	i := f.NewReg()
+
+	// Seed the per-rank RNG stream.
+	seedBase := f.Add(
+		ir.R(f.Mul(ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(-0x61c8864680b583eb))),
+		ir.ImmI(int64(p.Seed)),
+	)
+	f.Store(ir.R(seedBase), ir.ImmI(stateA))
+	// Clear particle and tally state.
+	f.For(i, ir.ImmI(0), ir.ImmI(cap64), func() {
+		f.St(ir.ImmF(0), ir.ImmI(pxA), ir.R(i))
+		f.St(ir.ImmF(1), ir.ImmI(pdA), ir.R(i))
+		f.St(ir.ImmF(0), ir.ImmI(pwA), ir.R(i))
+	})
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		f.St(ir.ImmF(0), ir.ImmI(tallyA), ir.R(i))
+	})
+
+	weightReg := f.NewReg()
+	f.Mov(weightReg, ir.ImmF(0))
+	s := f.NewReg()
+	f.For(s, ir.ImmI(0), ir.ImmI(int64(p.Steps)), func() {
+		f.Tick(ir.R(s))
+		// Source: spawn particles into free slots.
+		spawned := f.CI(0)
+		f.For(i, ir.ImmI(0), ir.ImmI(cap64), func() {
+			canSpawn := f.And(
+				ir.R(f.ICmp(ir.ICmpSLT, ir.R(spawned), ir.ImmI(spawn))),
+				ir.R(f.FCmp(ir.FCmpEQ, ir.R(f.Ld(ir.ImmI(pwA), ir.R(i))), ir.ImmF(0))),
+			)
+			f.If(ir.R(canSpawn), func() {
+				u := f.NewReg()
+				f.Call("lcgu", []ir.Reg{u})
+				f.St(ir.R(f.FAdd(ir.R(loF), ir.R(u))), ir.ImmI(pxA), ir.R(i))
+				ud := f.NewReg()
+				f.Call("lcgu", []ir.Reg{ud})
+				dir := f.Select(ir.R(f.FCmp(ir.FCmpLT, ir.R(ud), ir.ImmF(0.5))), ir.ImmF(-1), ir.ImmF(1))
+				f.St(ir.R(dir), ir.ImmI(pdA), ir.R(i))
+				f.St(ir.ImmF(1), ir.ImmI(pwA), ir.R(i))
+				f.Op3(ir.Add, spawned, ir.R(spawned), ir.ImmI(1))
+			})
+		})
+		// Transport: per particle, sample exponential distances to
+		// collision against the step's path budget; tally path lengths,
+		// absorb or scatter at collisions, buffer boundary crossers.
+		countL := f.CI(0)
+		countR := f.CI(0)
+		f.For(i, ir.ImmI(0), ir.ImmI(cap64), func() {
+			w := f.NewReg()
+			f.Mov(w, ir.R(f.Ld(ir.ImmI(pwA), ir.R(i))))
+			f.If(ir.R(f.FCmp(ir.FCmpGT, ir.R(w), ir.ImmF(0))), func() {
+				d := f.NewReg()
+				f.Mov(d, ir.R(f.Ld(ir.ImmI(pdA), ir.R(i))))
+				x := f.NewReg()
+				f.Mov(x, ir.R(f.Ld(ir.ImmI(pxA), ir.R(i))))
+				gone := f.CI(0)
+				rem := f.CF(mcbBudget)
+				f.While(func() ir.Operand {
+					c1 := f.FCmp(ir.FCmpGT, ir.R(rem), ir.ImmF(0))
+					c2 := f.ICmp(ir.ICmpEQ, ir.R(gone), ir.ImmI(0))
+					c3 := f.FCmp(ir.FCmpGT, ir.R(w), ir.ImmF(0))
+					return ir.R(f.And(ir.R(f.And(ir.R(c1), ir.R(c2))), ir.R(c3)))
+				}, func() {
+					// The sampled distance depends on the material of the
+					// particle's current cell.
+					cur := f.NewReg()
+					f.Mov(cur, ir.R(f.FPToSI(ir.R(f.FMul(ir.R(f.FSub(ir.R(x), ir.R(loF))), ir.R(f.SIToFP(ir.ImmI(n))))))))
+					f.If(ir.R(f.ICmp(ir.ICmpSLT, ir.R(cur), ir.ImmI(0))), func() { f.Mov(cur, ir.ImmI(0)) })
+					f.If(ir.R(f.ICmp(ir.ICmpSGE, ir.R(cur), ir.ImmI(n))), func() { f.Mov(cur, ir.ImmI(n-1)) })
+					mfp := f.Ld(ir.ImmI(mfpA), ir.R(f.And(ir.R(cur), ir.ImmI(3))))
+					u := f.NewReg()
+					f.Call("lcgu", []ir.Reg{u})
+					dist := f.FMul(ir.R(f.FSub(ir.ImmF(0), ir.R(f.Log(ir.R(u))))), ir.R(mfp))
+					seg := f.FMin(ir.R(dist), ir.R(rem))
+					f.Mov(x, ir.R(f.FAdd(ir.R(x), ir.R(f.FMul(ir.R(d), ir.R(seg))))))
+					f.If(ir.R(f.FCmp(ir.FCmpLT, ir.R(x), ir.R(loF))), func() {
+						f.IfElse(ir.R(hasL),
+							func() {
+								// Buffer for the left neighbor (drop on overflow).
+								f.If(ir.R(f.ICmp(ir.ICmpSLT, ir.R(countL), ir.ImmI(mcbMaxXfer))), func() {
+									base := f.Add(ir.ImmI(sendL+1), ir.R(f.Mul(ir.R(countL), ir.ImmI(3))))
+									f.Store(ir.R(x), ir.R(base))
+									f.Store(ir.R(d), ir.R(f.Add(ir.R(base), ir.ImmI(1))))
+									f.Store(ir.R(w), ir.R(f.Add(ir.R(base), ir.ImmI(2))))
+									f.Op3(ir.Add, countL, ir.R(countL), ir.ImmI(1))
+								})
+								f.St(ir.ImmF(0), ir.ImmI(pwA), ir.R(i))
+								f.Mov(w, ir.ImmF(0))
+								f.Mov(gone, ir.ImmI(1))
+							},
+							func() {
+								// Reflect at the global left wall.
+								f.Mov(x, ir.R(f.FAdd(ir.R(loF), ir.R(f.FSub(ir.R(loF), ir.R(x))))))
+								f.Mov(d, ir.R(f.FSub(ir.ImmF(0), ir.R(d))))
+							},
+						)
+					})
+					f.If(ir.R(f.ICmp(ir.ICmpEQ, ir.R(gone), ir.ImmI(0))), func() {
+						f.If(ir.R(f.FCmp(ir.FCmpGE, ir.R(x), ir.R(hiF))), func() {
+							f.IfElse(ir.R(hasR),
+								func() {
+									f.If(ir.R(f.ICmp(ir.ICmpSLT, ir.R(countR), ir.ImmI(mcbMaxXfer))), func() {
+										base := f.Add(ir.ImmI(sendR+1), ir.R(f.Mul(ir.R(countR), ir.ImmI(3))))
+										f.Store(ir.R(x), ir.R(base))
+										f.Store(ir.R(d), ir.R(f.Add(ir.R(base), ir.ImmI(1))))
+										f.Store(ir.R(w), ir.R(f.Add(ir.R(base), ir.ImmI(2))))
+										f.Op3(ir.Add, countR, ir.R(countR), ir.ImmI(1))
+									})
+									f.St(ir.ImmF(0), ir.ImmI(pwA), ir.R(i))
+									f.Mov(w, ir.ImmF(0))
+									f.Mov(gone, ir.ImmI(1))
+								},
+								func() {
+									f.Mov(x, ir.R(f.FSub(ir.R(f.FMul(ir.ImmF(2), ir.R(hiF))), ir.R(x))))
+									f.Mov(d, ir.R(f.FSub(ir.ImmF(0), ir.R(d))))
+								},
+							)
+						})
+					})
+					f.If(ir.R(f.ICmp(ir.ICmpEQ, ir.R(gone), ir.ImmI(0))), func() {
+						// Path-length tally for the traveled segment.
+						cell := f.NewReg()
+						f.Mov(cell, ir.R(f.FPToSI(ir.R(f.FMul(ir.R(f.FSub(ir.R(x), ir.R(loF))), ir.R(f.SIToFP(ir.ImmI(n))))))))
+						f.If(ir.R(f.ICmp(ir.ICmpSLT, ir.R(cell), ir.ImmI(0))), func() { f.Mov(cell, ir.ImmI(0)) })
+						f.If(ir.R(f.ICmp(ir.ICmpSGE, ir.R(cell), ir.ImmI(n))), func() { f.Mov(cell, ir.ImmI(n-1)) })
+						told := f.Ld(ir.ImmI(tallyA), ir.R(cell))
+						f.St(ir.R(f.FAdd(ir.R(told), ir.R(f.FMul(ir.R(w), ir.R(seg))))), ir.ImmI(tallyA), ir.R(cell))
+						// Collision: absorb (deposit the weight) or scatter.
+						f.If(ir.R(f.FCmp(ir.FCmpLT, ir.R(dist), ir.R(rem))), func() {
+							uc := f.NewReg()
+							f.Call("lcgu", []ir.Reg{uc})
+							f.IfElse(ir.R(f.FCmp(ir.FCmpLT, ir.R(uc), ir.ImmF(mcbPAbsorb))),
+								func() {
+									t2 := f.Ld(ir.ImmI(tallyA), ir.R(cell))
+									f.St(ir.R(f.FAdd(ir.R(t2), ir.R(w))), ir.ImmI(tallyA), ir.R(cell))
+									f.St(ir.ImmF(0), ir.ImmI(pwA), ir.R(i))
+									f.Mov(w, ir.ImmF(0))
+								},
+								func() {
+									ud := f.NewReg()
+									f.Call("lcgu", []ir.Reg{ud})
+									f.If(ir.R(f.FCmp(ir.FCmpLT, ir.R(ud), ir.ImmF(0.5))), func() {
+										f.Mov(d, ir.R(f.FSub(ir.ImmF(0), ir.R(d))))
+									})
+								},
+							)
+						})
+					})
+					nrem := f.Select(ir.R(gone), ir.ImmF(0), ir.R(f.FSub(ir.R(rem), ir.R(dist))))
+					f.Mov(rem, ir.R(nrem))
+				})
+				f.If(ir.R(f.ICmp(ir.ICmpEQ, ir.R(gone), ir.ImmI(0))), func() {
+					f.St(ir.R(x), ir.ImmI(pxA), ir.R(i))
+					f.St(ir.R(d), ir.ImmI(pdA), ir.R(i))
+				})
+			})
+		})
+		// Boundary exchange: fixed-size buffers, word 0 is the count.
+		f.Store(ir.R(f.SIToFP(ir.R(countL))), ir.ImmI(sendL))
+		f.Store(ir.R(f.SIToFP(ir.R(countR))), ir.ImmI(sendR))
+		f.If(ir.R(hasL), func() {
+			f.MPISend(ir.ImmI(sendL), ir.ImmI(bufWords), ir.R(f.Sub(ir.R(rank), ir.ImmI(1))), ir.ImmI(mcbTagLeftward))
+		})
+		f.If(ir.R(hasR), func() {
+			f.MPISend(ir.ImmI(sendR), ir.ImmI(bufWords), ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(mcbTagRightward))
+		})
+		f.If(ir.R(hasR), func() {
+			f.MPIRecv(ir.ImmI(recvBufR), ir.ImmI(bufWords), ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(mcbTagLeftward))
+		})
+		f.If(ir.R(hasL), func() {
+			f.MPIRecv(ir.ImmI(recvBufL), ir.ImmI(bufWords), ir.R(f.Sub(ir.R(rank), ir.ImmI(1))), ir.ImmI(mcbTagRightward))
+		})
+		// Install incoming particles into free slots (drop on overflow).
+		install := func(bufBase int64, has ir.Reg) {
+			f.If(ir.R(has), func() {
+				cnt := f.FPToSI(ir.R(f.Load(ir.ImmI(bufBase))))
+				// Harden against corrupted counts: clamp into the buffer.
+				f.If(ir.R(f.ICmp(ir.ICmpSLT, ir.R(cnt), ir.ImmI(0))), func() { f.Mov(cnt, ir.ImmI(0)) })
+				f.If(ir.R(f.ICmp(ir.ICmpSGT, ir.R(cnt), ir.ImmI(mcbMaxXfer))), func() { f.Mov(cnt, ir.ImmI(mcbMaxXfer)) })
+				k := f.NewReg()
+				slot := f.CI(0)
+				f.For(k, ir.ImmI(0), ir.R(cnt), func() {
+					base := f.Add(ir.ImmI(bufBase+1), ir.R(f.Mul(ir.R(k), ir.ImmI(3))))
+					// Find the next free slot.
+					placed := f.CI(0)
+					f.While(func() ir.Operand {
+						c1 := f.ICmp(ir.ICmpSLT, ir.R(slot), ir.ImmI(cap64))
+						c2 := f.ICmp(ir.ICmpEQ, ir.R(placed), ir.ImmI(0))
+						return ir.R(f.And(ir.R(c1), ir.R(c2)))
+					}, func() {
+						free := f.FCmp(ir.FCmpEQ, ir.R(f.Ld(ir.ImmI(pwA), ir.R(slot))), ir.ImmF(0))
+						f.If(ir.R(free), func() {
+							f.St(ir.R(f.Load(ir.R(base))), ir.ImmI(pxA), ir.R(slot))
+							f.St(ir.R(f.Load(ir.R(f.Add(ir.R(base), ir.ImmI(1))))), ir.ImmI(pdA), ir.R(slot))
+							f.St(ir.R(f.Load(ir.R(f.Add(ir.R(base), ir.ImmI(2))))), ir.ImmI(pwA), ir.R(slot))
+							f.Mov(placed, ir.ImmI(1))
+						})
+						f.Op3(ir.Add, slot, ir.R(slot), ir.ImmI(1))
+					})
+				})
+			})
+		}
+		install(recvBufR, hasR)
+		install(recvBufL, hasL)
+		// Global alive-weight tally (collective each step).
+		wsum := f.CF(0)
+		f.For(i, ir.ImmI(0), ir.ImmI(cap64), func() {
+			f.Op3(ir.FAdd, wsum, ir.R(wsum), ir.R(f.Ld(ir.ImmI(pwA), ir.R(i))))
+		})
+		f.Store(ir.R(wsum), ir.ImmI(sendSlot))
+		f.MPIAllreduceF(ir.ImmI(sendSlot), ir.ImmI(redSlot), ir.ImmI(1), ir.ReduceSum)
+		f.Mov(weightReg, ir.R(f.Load(ir.ImmI(redSlot))))
+	})
+
+	// Outputs: the per-cell flux tallies (the quantity a Monte Carlo
+	// transport code reports) and the local alive weight; rank 0 adds the
+	// final global weight.
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		f.OutputF(ir.R(f.Ld(ir.ImmI(tallyA), ir.R(i))))
+	})
+	lw := f.CF(0)
+	f.For(i, ir.ImmI(0), ir.ImmI(cap64), func() {
+		f.Op3(ir.FAdd, lw, ir.R(lw), ir.R(f.Ld(ir.ImmI(pwA), ir.R(i))))
+	})
+	f.OutputF(ir.R(lw))
+	f.If(ir.R(f.ICmp(ir.ICmpEQ, ir.R(rank), ir.ImmI(0))), func() {
+		f.OutputF(ir.R(weightReg))
+	})
+	f.Iterations(ir.ImmI(int64(p.Steps)))
+	f.Ret()
+	return b.Build()
+}
+
+// Reference replays the Monte Carlo model in pure Go with the identical
+// LCG streams and operation order.
+func (m MCB) Reference(p Params) ([]float64, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n, R := p.Size, p.Ranks
+	capN := mcbCapMul * n
+	spawn := n / mcbSpawnDiv
+	if spawn < 1 {
+		spawn = 1
+	}
+	type particle struct{ x, d, w float64 }
+	type rankState struct {
+		ps    []particle
+		tally []float64
+		rng   uint64
+	}
+	st := make([]rankState, R)
+	for r := 0; r < R; r++ {
+		st[r].ps = make([]particle, capN)
+		for i := range st[r].ps {
+			st[r].ps[i].d = 1
+		}
+		st[r].tally = make([]float64, n)
+		st[r].rng = uint64(int64(r+1)*(-0x61c8864680b583eb) + int64(p.Seed))
+	}
+	lcgu := func(r int) float64 {
+		st[r].rng = st[r].rng*uint64(mcbLCGMul) + uint64(mcbLCGAdd)
+		return float64(st[r].rng>>11) * 0x1p-53
+	}
+	mfpTab := mcbMFPTable()
+
+	weightGlobal := 0.0
+	for s := 0; s < p.Steps; s++ {
+		type xfer struct{ x, d, w float64 }
+		outL := make([][]xfer, R)
+		outR := make([][]xfer, R)
+		for r := 0; r < R; r++ {
+			lo := float64(r)
+			hi := lo + 1
+			// Spawn.
+			spawned := 0
+			for i := 0; i < capN; i++ {
+				if spawned < spawn && st[r].ps[i].w == 0 {
+					u := lcgu(r)
+					st[r].ps[i].x = lo + u
+					ud := lcgu(r)
+					if ud < 0.5 {
+						st[r].ps[i].d = -1
+					} else {
+						st[r].ps[i].d = 1
+					}
+					st[r].ps[i].w = 1
+					spawned++
+				}
+			}
+			// Transport: exponential distance-to-collision sampling.
+			for i := 0; i < capN; i++ {
+				pt := &st[r].ps[i]
+				if !(pt.w > 0) {
+					continue
+				}
+				w := pt.w
+				d := pt.d
+				x := pt.x
+				gone := false
+				rem := mcbBudget
+				for rem > 0 && !gone && w > 0 {
+					cur := int(fptosiRef((x - lo) * float64(n)))
+					if cur < 0 {
+						cur = 0
+					}
+					if cur >= n {
+						cur = n - 1
+					}
+					mfp := mfpTab[cur&3]
+					u := lcgu(r)
+					dist := (0 - math.Log(u)) * mfp
+					seg := math.Min(dist, rem)
+					x = x + d*seg
+					if x < lo {
+						if r > 0 {
+							if len(outL[r]) < mcbMaxXfer {
+								outL[r] = append(outL[r], xfer{x, d, w})
+							}
+							pt.w = 0
+							w = 0
+							gone = true
+						} else {
+							x = lo + (lo - x)
+							d = 0 - d
+						}
+					}
+					if !gone && x >= hi {
+						if r < R-1 {
+							if len(outR[r]) < mcbMaxXfer {
+								outR[r] = append(outR[r], xfer{x, d, w})
+							}
+							pt.w = 0
+							w = 0
+							gone = true
+						} else {
+							x = 2*hi - x
+							d = 0 - d
+						}
+					}
+					if !gone {
+						cell := int(fptosiRef((x - lo) * float64(n)))
+						if cell < 0 {
+							cell = 0
+						}
+						if cell >= n {
+							cell = n - 1
+						}
+						st[r].tally[cell] = st[r].tally[cell] + w*seg
+						if dist < rem {
+							uc := lcgu(r)
+							if uc < mcbPAbsorb {
+								st[r].tally[cell] = st[r].tally[cell] + w
+								pt.w = 0
+								w = 0
+							} else {
+								ud := lcgu(r)
+								if ud < 0.5 {
+									d = 0 - d
+								}
+							}
+						}
+					}
+					if gone {
+						rem = 0
+					} else {
+						rem = rem - dist
+					}
+				}
+				if !gone {
+					pt.x = x
+					pt.d = d
+				}
+			}
+		}
+		// Exchange and install: from the right neighbor first, then the
+		// left, matching the IR order.
+		for r := 0; r < R; r++ {
+			slot := 0
+			installOne := func(in xfer) {
+				for slot < capN {
+					if st[r].ps[slot].w == 0 {
+						st[r].ps[slot] = particle{in.x, in.d, in.w}
+						slot++
+						return
+					}
+					slot++
+				}
+			}
+			if r < R-1 {
+				for _, in := range outL[r+1] {
+					installOne(in)
+				}
+			}
+			if r > 0 {
+				for _, in := range outR[r-1] {
+					installOne(in)
+				}
+			}
+		}
+		weightGlobal = 0
+		for r := 0; r < R; r++ {
+			local := 0.0
+			for i := 0; i < capN; i++ {
+				local += st[r].ps[i].w
+			}
+			weightGlobal += local
+		}
+	}
+
+	var out []float64
+	for r := 0; r < R; r++ {
+		out = append(out, st[r].tally...)
+		lw := 0.0
+		for i := 0; i < capN; i++ {
+			lw += st[r].ps[i].w
+		}
+		out = append(out, lw)
+		if r == 0 {
+			out = append(out, weightGlobal)
+		}
+	}
+	return out, nil
+}
+
+// fptosiRef mirrors the VM's hardware-style float->int conversion.
+func fptosiRef(f float64) int64 {
+	if math.IsNaN(f) || f >= 9.223372036854776e18 || f < -9.223372036854776e18 {
+		return math.MinInt64
+	}
+	return int64(f)
+}

@@ -1,0 +1,379 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// MD is the LAMMPS proxy: one-dimensional molecular dynamics with a
+// tabulated (linearly interpolated) short-range repulsive pair potential
+// and per-step neighbor lists. Like LAMMPS it spatially decomposes the
+// domain across ranks, exchanges ghost particles with neighbors every
+// timestep, builds a cutoff neighbor list, and integrates Newton's
+// equations of motion. The chaotic particle dynamics and the per-atom
+// trajectory output make LAMMPS the most WO-prone application (paper
+// Fig. 6), while its purely local interactions give it the lowest fault
+// propagation speed (paper Table 2). The upper half of the static force
+// table is unreachable by construction, reproducing the paper's "fault in
+// a static data structure that is never used" profile.
+type MD struct{}
+
+// NewMD returns the LAMMPS proxy.
+func NewMD() App { return MD{} }
+
+// Name identifies the paper application this proxies.
+func (MD) Name() string { return "LAMMPS" }
+
+// DefaultParams sizes a campaign run.
+func (MD) DefaultParams() Params { return Params{Ranks: 8, Size: 20, Steps: 100} }
+
+// TestParams sizes a fast run.
+func (MD) TestParams() Params { return Params{Ranks: 4, Size: 10, Steps: 10} }
+
+// MD model constants.
+const (
+	mdTableK     = 64   // force table entries; only the lower half is reachable
+	mdCutoff     = 1.5  // interaction range
+	mdListCutoff = 1.8  // neighbor-list range (skin included)
+	mdAmplitude  = 12.0 // repulsion strength
+	mdCellL      = 10.0
+	mdDT         = 0.01
+	mdVInit      = 0.05
+	mdMaxNbr     = 12 // neighbor list capacity per atom
+	mdListEvery  = 10 // rebuild the neighbor list every this many steps
+)
+
+// MD message tags.
+const (
+	mdTagLeftward  = 1
+	mdTagRightward = 2
+)
+
+// mdForceTable computes the static force table: entry k holds the force at
+// distance d = k * (2*cutoff/K); in-range lookups interpolate between
+// entries below K/2, so the upper half is dead static data.
+func mdForceTable() []float64 {
+	tab := make([]float64, mdTableK)
+	for k := range tab {
+		d := float64(k) * (2 * mdCutoff / mdTableK)
+		if d < mdCutoff {
+			u := 1 - d/mdCutoff
+			tab[k] = mdAmplitude * u * u
+		}
+	}
+	return tab
+}
+
+// Build constructs the per-rank IR program.
+func (m MD) Build(p Params) (*ir.Program, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := int64(p.Size)
+	b := ir.NewBuilder()
+	xA := b.Global("x", n)
+	vA := b.Global("v", n)
+	fA := b.Global("f", n)
+	allA := b.Global("allpos", 3*n) // locals, left ghosts, right ghosts
+	nlistA := b.Global("nlist", n*mdMaxNbr)
+	ncntA := b.Global("ncnt", n)
+	tabA := b.Global("forcetab", mdTableK)
+	b.GlobalInitF("forcetab", mdForceTable())
+	sendSlot := b.Global("sendSlot", 1)
+	redSlot := b.Global("redSlot", 1)
+
+	// pairforce(xi, xj) returns the force on an atom at xi from one at xj:
+	// table lookup with linear interpolation, repulsive.
+	{
+		f := b.Func("pairforce", 2, 1)
+		xi, xj := f.Param(0), f.Param(1)
+		d := f.FSub(ir.R(xj), ir.R(xi))
+		ad := f.Fabs(ir.R(d))
+		res := f.NewReg()
+		f.IfElse(ir.R(f.FCmp(ir.FCmpLT, ir.R(ad), ir.ImmF(mdCutoff))),
+			func() {
+				t := f.FMul(ir.R(ad), ir.ImmF(mdTableK/(2*mdCutoff)))
+				idx := f.FPToSI(ir.R(t))
+				frac := f.FSub(ir.R(t), ir.R(f.SIToFP(ir.R(idx))))
+				f0 := f.Ld(ir.ImmI(tabA), ir.R(idx))
+				f1 := f.Ld(ir.ImmI(tabA), ir.R(f.Add(ir.R(idx), ir.ImmI(1))))
+				fmag := f.FAdd(ir.R(f0), ir.R(f.FMul(ir.R(f.FSub(ir.R(f1), ir.R(f0))), ir.R(frac))))
+				sign := f.Select(ir.R(f.FCmp(ir.FCmpGT, ir.R(d), ir.ImmF(0))), ir.ImmF(1), ir.ImmF(-1))
+				f.Mov(res, ir.R(f.FMul(ir.R(f.FSub(ir.ImmF(0), ir.R(sign))), ir.R(fmag))))
+			},
+			func() { f.Mov(res, ir.ImmF(0)) },
+		)
+		f.Ret(ir.R(res))
+	}
+
+	f := b.Func("main", 0, 0)
+	rank := f.MPIRank()
+	size := f.MPISize()
+	lastRank := f.Sub(ir.R(size), ir.ImmI(1))
+	hasL := f.ICmp(ir.ICmpSGT, ir.R(rank), ir.ImmI(0))
+	hasR := f.ICmp(ir.ICmpSLT, ir.R(rank), ir.R(lastRank))
+	wallR := f.FMul(ir.R(f.SIToFP(ir.R(size))), ir.ImmF(mdCellL))
+
+	// Initialization: particles evenly spaced, deterministic velocities.
+	i := f.NewReg()
+	base := f.FMul(ir.R(f.SIToFP(ir.R(rank))), ir.ImmF(mdCellL))
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		fi := f.SIToFP(ir.R(i))
+		pos := f.FAdd(ir.R(base), ir.R(f.FMul(ir.R(f.FAdd(ir.R(fi), ir.ImmF(0.5))), ir.ImmF(mdCellL/float64(p.Size)))))
+		f.St(ir.R(pos), ir.ImmI(xA), ir.R(i))
+		seed := f.FAdd(ir.R(fi), ir.R(f.SIToFP(ir.R(rank))))
+		f.St(ir.R(f.FMul(ir.ImmF(mdVInit), ir.R(f.Sin(ir.R(seed))))), ir.ImmI(vA), ir.R(i))
+	})
+
+	s := f.NewReg()
+	j := f.NewReg()
+	keReg := f.NewReg()
+	f.For(s, ir.ImmI(0), ir.ImmI(int64(p.Steps)), func() {
+		f.Tick(ir.R(s))
+		// Ghost exchange into the combined position array.
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			f.St(ir.R(f.Ld(ir.ImmI(xA), ir.R(i))), ir.ImmI(allA), ir.R(i))
+		})
+		f.If(ir.R(hasL), func() {
+			f.MPISend(ir.ImmI(xA), ir.ImmI(n), ir.R(f.Sub(ir.R(rank), ir.ImmI(1))), ir.ImmI(mdTagLeftward))
+		})
+		f.If(ir.R(hasR), func() {
+			f.MPISend(ir.ImmI(xA), ir.ImmI(n), ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(mdTagRightward))
+		})
+		f.IfElse(ir.R(hasR),
+			func() {
+				f.MPIRecv(ir.ImmI(allA+2*n), ir.ImmI(n), ir.R(f.Add(ir.R(rank), ir.ImmI(1))), ir.ImmI(mdTagLeftward))
+			},
+			func() {
+				f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+					f.St(ir.ImmF(1e9), ir.ImmI(allA+2*n), ir.R(i))
+				})
+			},
+		)
+		f.IfElse(ir.R(hasL),
+			func() {
+				f.MPIRecv(ir.ImmI(allA+n), ir.ImmI(n), ir.R(f.Sub(ir.R(rank), ir.ImmI(1))), ir.ImmI(mdTagRightward))
+			},
+			func() {
+				f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+					f.St(ir.ImmF(-1e9), ir.ImmI(allA+n), ir.R(i))
+				})
+			},
+		)
+		// Neighbor-list rebuild every mdListEvery steps (the list skin
+		// covers the drift in between), as LAMMPS does.
+		f.If(ir.R(f.ICmp(ir.ICmpEQ, ir.R(f.SRem(ir.R(s), ir.ImmI(mdListEvery))), ir.ImmI(0))), func() {
+			f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+				cnt := f.CI(0)
+				xi := f.Ld(ir.ImmI(xA), ir.R(i))
+				f.For(j, ir.ImmI(0), ir.ImmI(3*n), func() {
+					f.If(ir.R(f.ICmp(ir.ICmpNE, ir.R(i), ir.R(j))), func() {
+						d := f.FSub(ir.R(f.Ld(ir.ImmI(allA), ir.R(j))), ir.R(xi))
+						near := f.FCmp(ir.FCmpLT, ir.R(f.Fabs(ir.R(d))), ir.ImmF(mdListCutoff))
+						ok := f.And(ir.R(near), ir.R(f.ICmp(ir.ICmpSLT, ir.R(cnt), ir.ImmI(mdMaxNbr))))
+						f.If(ir.R(ok), func() {
+							f.St(ir.R(j), ir.ImmI(nlistA), ir.R(f.Add(ir.R(f.Mul(ir.R(i), ir.ImmI(mdMaxNbr))), ir.R(cnt))))
+							f.Op3(ir.Add, cnt, ir.R(cnt), ir.ImmI(1))
+						})
+					})
+				})
+				f.St(ir.R(cnt), ir.ImmI(ncntA), ir.R(i))
+			})
+		})
+		// Forces from the neighbor list.
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			acc := f.CF(0)
+			xi := f.Ld(ir.ImmI(xA), ir.R(i))
+			k := f.NewReg()
+			f.For(k, ir.ImmI(0), ir.R(f.Ld(ir.ImmI(ncntA), ir.R(i))), func() {
+				jj := f.Ld(ir.ImmI(nlistA), ir.R(f.Add(ir.R(f.Mul(ir.R(i), ir.ImmI(mdMaxNbr))), ir.R(k))))
+				xj := f.Ld(ir.ImmI(allA), ir.R(jj))
+				c := f.NewReg()
+				f.Call("pairforce", []ir.Reg{c}, ir.R(xi), ir.R(xj))
+				f.Op3(ir.FAdd, acc, ir.R(acc), ir.R(c))
+			})
+			f.St(ir.R(acc), ir.ImmI(fA), ir.R(i))
+		})
+		// Integrate with reflective global walls.
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			vi := f.Ld(ir.ImmI(vA), ir.R(i))
+			fi := f.Ld(ir.ImmI(fA), ir.R(i))
+			vn := f.FAdd(ir.R(vi), ir.R(f.FMul(ir.ImmF(mdDT), ir.R(fi))))
+			xi := f.Ld(ir.ImmI(xA), ir.R(i))
+			xn := f.FAdd(ir.R(xi), ir.R(f.FMul(ir.ImmF(mdDT), ir.R(vn))))
+			f.If(ir.R(f.FCmp(ir.FCmpLT, ir.R(xn), ir.ImmF(0))), func() {
+				f.Mov(xn, ir.R(f.FSub(ir.ImmF(0), ir.R(xn))))
+				f.Mov(vn, ir.R(f.FSub(ir.ImmF(0), ir.R(vn))))
+			})
+			f.If(ir.R(f.FCmp(ir.FCmpGT, ir.R(xn), ir.R(wallR))), func() {
+				f.Mov(xn, ir.R(f.FSub(ir.R(f.FMul(ir.ImmF(2), ir.R(wallR))), ir.R(xn))))
+				f.Mov(vn, ir.R(f.FSub(ir.ImmF(0), ir.R(vn))))
+			})
+			f.St(ir.R(vn), ir.ImmI(vA), ir.R(i))
+			f.St(ir.R(xn), ir.ImmI(xA), ir.R(i))
+		})
+		// Kinetic energy tally: global sum each step.
+		ke := f.CF(0)
+		f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+			vi := f.Ld(ir.ImmI(vA), ir.R(i))
+			f.Op3(ir.FAdd, ke, ir.R(ke), ir.R(f.FMul(ir.R(f.FMul(ir.R(vi), ir.R(vi))), ir.ImmF(0.5))))
+		})
+		f.Store(ir.R(ke), ir.ImmI(sendSlot))
+		f.MPIAllreduceF(ir.ImmI(sendSlot), ir.ImmI(redSlot), ir.ImmI(1), ir.ReduceSum)
+		f.Mov(keReg, ir.R(f.Load(ir.ImmI(redSlot))))
+	})
+
+	// Outputs: the per-atom trajectory dump (positions and velocities), as
+	// an MD code reports — which is what makes LAMMPS's output tolerance
+	// effectively strict (paper §5) — plus local KE; rank 0 adds the
+	// global KE.
+	ke := f.CF(0)
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		f.OutputF(ir.R(f.Ld(ir.ImmI(xA), ir.R(i))))
+		vi := f.Ld(ir.ImmI(vA), ir.R(i))
+		f.OutputF(ir.R(vi))
+		f.Op3(ir.FAdd, ke, ir.R(ke), ir.R(f.FMul(ir.R(f.FMul(ir.R(vi), ir.R(vi))), ir.ImmF(0.5))))
+	})
+	f.OutputF(ir.R(ke))
+	f.If(ir.R(f.ICmp(ir.ICmpEQ, ir.R(rank), ir.ImmI(0))), func() {
+		f.OutputF(ir.R(keReg))
+	})
+	f.Iterations(ir.ImmI(int64(p.Steps)))
+	f.Ret()
+	return b.Build()
+}
+
+// Reference replays the model in pure Go with identical operation order.
+func (m MD) Reference(p Params) ([]float64, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n, R := p.Size, p.Ranks
+	tab := mdForceTable()
+	x := make([][]float64, R)
+	v := make([][]float64, R)
+	frc := make([][]float64, R)
+	all := make([][]float64, R)
+	for r := 0; r < R; r++ {
+		x[r] = make([]float64, n)
+		v[r] = make([]float64, n)
+		frc[r] = make([]float64, n)
+		all[r] = make([]float64, 3*n)
+		base := float64(r) * mdCellL
+		for i := 0; i < n; i++ {
+			fi := float64(i)
+			x[r][i] = base + (fi+0.5)*(mdCellL/float64(p.Size))
+			v[r][i] = mdVInit * math.Sin(fi+float64(r))
+		}
+	}
+	wallR := float64(R) * mdCellL
+
+	pairforce := func(xi, xj float64) float64 {
+		d := xj - xi
+		ad := math.Abs(d)
+		if ad < mdCutoff {
+			t := ad * (mdTableK / (2 * mdCutoff))
+			idx := int(fptosiRef(t))
+			frac := t - float64(idx)
+			f0 := tab[idx]
+			f1 := tab[idx+1]
+			fmag := f0 + (f1-f0)*frac
+			sign := -1.0
+			if d > 0 {
+				sign = 1.0
+			}
+			return (0 - sign) * fmag
+		}
+		return 0
+	}
+
+	nlist := make([][]int, R)
+	keGlobal := 0.0
+	for s := 0; s < p.Steps; s++ {
+		// Ghost snapshot (all ranks exchange before any update).
+		for r := 0; r < R; r++ {
+			copy(all[r][:n], x[r])
+			for i := 0; i < n; i++ {
+				if r > 0 {
+					all[r][n+i] = x[r-1][i]
+				} else {
+					all[r][n+i] = -1e9
+				}
+				if r < R-1 {
+					all[r][2*n+i] = x[r+1][i]
+				} else {
+					all[r][2*n+i] = 1e9
+				}
+			}
+		}
+		for r := 0; r < R; r++ {
+			if s%mdListEvery == 0 {
+				lists := make([][]int, n)
+				for i := 0; i < n; i++ {
+					lists[i] = make([]int, 0, mdMaxNbr)
+					for jj := 0; jj < 3*n; jj++ {
+						if i == jj {
+							continue
+						}
+						d := all[r][jj] - x[r][i]
+						if math.Abs(d) < mdListCutoff && len(lists[i]) < mdMaxNbr {
+							lists[i] = append(lists[i], jj)
+						}
+					}
+				}
+				nlist[r] = nlist[r][:0]
+				for i := 0; i < n; i++ {
+					flat := make([]int, mdMaxNbr+1)
+					flat[0] = len(lists[i])
+					copy(flat[1:], lists[i])
+					nlist[r] = append(nlist[r], flat...)
+				}
+			}
+			for i := 0; i < n; i++ {
+				acc := 0.0
+				row := nlist[r][i*(mdMaxNbr+1) : (i+1)*(mdMaxNbr+1)]
+				for _, jj := range row[1 : 1+row[0]] {
+					acc += pairforce(x[r][i], all[r][jj])
+				}
+				frc[r][i] = acc
+			}
+			for i := 0; i < n; i++ {
+				vn := v[r][i] + mdDT*frc[r][i]
+				xn := x[r][i] + mdDT*vn
+				if xn < 0 {
+					xn = 0 - xn
+					vn = 0 - vn
+				}
+				if xn > wallR {
+					xn = 2*wallR - xn
+					vn = 0 - vn
+				}
+				v[r][i] = vn
+				x[r][i] = xn
+			}
+		}
+		keGlobal = 0
+		for r := 0; r < R; r++ {
+			local := 0.0
+			for i := 0; i < n; i++ {
+				local += v[r][i] * v[r][i] * 0.5
+			}
+			keGlobal += local
+		}
+	}
+
+	var out []float64
+	for r := 0; r < R; r++ {
+		ke := 0.0
+		for i := 0; i < n; i++ {
+			out = append(out, x[r][i], v[r][i])
+			ke += v[r][i] * v[r][i] * 0.5
+		}
+		out = append(out, ke)
+		if r == 0 {
+			out = append(out, keGlobal)
+		}
+	}
+	return out, nil
+}

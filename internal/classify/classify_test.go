@@ -1,0 +1,93 @@
+package classify
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestOutcomeStrings(t *testing.T) {
+	want := []string{"V", "ONA", "WO", "PEX", "C"}
+	for o := Vanished; o <= Crashed; o++ {
+		if o.String() != want[o] {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), want[o])
+		}
+	}
+	if Outcome(99).String() != "?" {
+		t.Error("invalid outcome must stringify to ?")
+	}
+}
+
+func TestIsCorrectOutput(t *testing.T) {
+	if !Vanished.IsCorrectOutput() || !OutputNotAffected.IsCorrectOutput() {
+		t.Error("V and ONA are CO")
+	}
+	if WrongOutput.IsCorrectOutput() || ProlongedExecution.IsCorrectOutput() || Crashed.IsCorrectOutput() {
+		t.Error("WO/PEX/C are not CO")
+	}
+}
+
+func TestOutputsMatch(t *testing.T) {
+	c := DefaultCriteria()
+	if !c.OutputsMatch([]float64{100}, []float64{104}) {
+		t.Error("4% deviation rejected at 5% tolerance")
+	}
+	if c.OutputsMatch([]float64{100}, []float64{106}) {
+		t.Error("6% deviation accepted at 5% tolerance")
+	}
+	if c.OutputsMatch([]float64{1, 2}, []float64{1}) {
+		t.Error("length mismatch accepted")
+	}
+	if !c.OutputsMatch([]float64{0}, []float64{1e-14}) {
+		t.Error("near-zero noise rejected")
+	}
+	if c.OutputsMatch([]float64{1}, []float64{math.NaN()}) {
+		t.Error("NaN accepted against finite value")
+	}
+	if !c.OutputsMatch([]float64{math.NaN()}, []float64{math.NaN()}) {
+		t.Error("matching NaNs rejected")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	c := DefaultCriteria()
+	golden := Golden{Outputs: []float64{10}, Cycles: 1000, Iterations: 50}
+	cases := []struct {
+		name string
+		run  RunResult
+		want Outcome
+	}{
+		{"crash", RunResult{Err: errors.New("trap")}, Crashed},
+		{"vanished", RunResult{Outputs: []float64{10}, Cycles: 1000, Iterations: 50}, Vanished},
+		{"ona", RunResult{Outputs: []float64{10}, Cycles: 1000, Iterations: 50, EverContaminated: true}, OutputNotAffected},
+		{"wrong output", RunResult{Outputs: []float64{20}, Cycles: 1000, Iterations: 50, EverContaminated: true}, WrongOutput},
+		{"pex iterations", RunResult{Outputs: []float64{10}, Cycles: 1400, Iterations: 70, EverContaminated: true}, ProlongedExecution},
+		{"pex cycles", RunResult{Outputs: []float64{10}, Cycles: 1100, Iterations: 50, EverContaminated: true}, ProlongedExecution},
+		{"wrong and long is WO", RunResult{Outputs: []float64{20}, Cycles: 1400, Iterations: 70}, WrongOutput},
+	}
+	for _, tc := range cases {
+		if got := c.Classify(golden, tc.run); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTally(t *testing.T) {
+	var tl Tally
+	for _, o := range []Outcome{Vanished, OutputNotAffected, OutputNotAffected, WrongOutput, Crashed} {
+		tl.Add(o)
+	}
+	if tl.Total != 5 {
+		t.Errorf("total = %d", tl.Total)
+	}
+	if p := tl.Percent(OutputNotAffected); p != 40 {
+		t.Errorf("ONA%% = %v", p)
+	}
+	if p := tl.PercentCO(); p != 60 {
+		t.Errorf("CO%% = %v", p)
+	}
+	var empty Tally
+	if empty.Percent(Vanished) != 0 {
+		t.Error("empty tally percent must be 0")
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/inject"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/transform"
+	"repro/internal/xrand"
+)
+
+// Analyzer is the per-program front door to the framework: it instruments a
+// program once, profiles the fault-free execution (golden outputs, cycle
+// budget, dynamic injection-site space), and then analyzes individual
+// injection experiments against that baseline.
+type Analyzer struct {
+	// Plain is the original program; Instrumented the FPM-transformed one.
+	Plain        *ir.Program
+	Instrumented *ir.Program
+	Ranks        int
+	Criteria     classify.Criteria
+	// SampleEvery subsamples CML traces of analyzed runs.
+	SampleEvery uint64
+
+	golden Outcome
+}
+
+// Outcome couples a run with its golden-relative classification material.
+type Outcome struct {
+	Run RunOutcome
+	// Class is the outcome class (meaningless for the golden run itself).
+	Class classify.Outcome
+	// Fit is the injected rank's propagation model, when fittable.
+	Fit    model.RunFit
+	HasFit bool
+	// Points is the injected rank's CML series.
+	Points []trace.Point
+}
+
+// NewAnalyzer instruments prog with opts and establishes the golden
+// baseline over the given rank count.
+func NewAnalyzer(prog *ir.Program, ranks int, opts transform.Options) (*Analyzer, error) {
+	inst, err := transform.Instrument(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
+		Plain:        prog,
+		Instrumented: inst,
+		Ranks:        ranks,
+		Criteria:     classify.DefaultCriteria(),
+	}
+	a.golden.Run = Run(inst, RunConfig{Ranks: ranks, SampleEvery: a.SampleEvery})
+	if a.golden.Run.Err != nil {
+		return nil, fmt.Errorf("core: golden run failed: %w", a.golden.Run.Err)
+	}
+	return a, nil
+}
+
+// Golden returns the fault-free baseline run.
+func (a *Analyzer) Golden() RunOutcome { return a.golden.Run }
+
+// GoldenRef returns the classifier's view of the baseline.
+func (a *Analyzer) GoldenRef() classify.Golden {
+	return classify.Golden{
+		Outputs:    a.golden.Run.Outputs,
+		Cycles:     a.golden.Run.Cycles,
+		Iterations: a.golden.Run.Iterations,
+	}
+}
+
+// SiteCounts returns the per-rank dynamic injection-site space.
+func (a *Analyzer) SiteCounts() []uint64 { return a.golden.Run.SiteCounts() }
+
+// PlanUniform draws a single-fault plan uniformly over ranks, dynamic sites
+// and bits (the paper's per-experiment procedure).
+func (a *Analyzer) PlanUniform(r *xrand.Rand) (inject.Plan, error) {
+	return inject.UniformSinglePlan(r, a.SiteCounts())
+}
+
+// Analyze runs one injection experiment and classifies it against the
+// golden baseline, fitting the propagation model of the injected rank.
+func (a *Analyzer) Analyze(plan inject.Plan) Outcome {
+	run := Run(a.Instrumented, RunConfig{
+		Ranks:       a.Ranks,
+		CycleLimit:  a.golden.Run.Cycles * 4,
+		Plan:        plan,
+		SampleEvery: a.SampleEvery,
+	})
+	out := Outcome{
+		Run:   run,
+		Class: a.Criteria.Classify(a.GoldenRef(), run.ToRunResult()),
+	}
+	if len(plan.Faults) > 0 {
+		r := plan.Faults[0].Rank
+		if r < len(run.Ranks) {
+			out.Points = run.Ranks[r].Points
+		}
+	}
+	if fit, err := model.FitRun(out.Points); err == nil {
+		out.Fit = fit
+		out.HasFit = true
+	}
+	return out
+}

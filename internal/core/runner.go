@@ -1,0 +1,236 @@
+// Package core is the paper's primary contribution glued end to end: the
+// fault propagation framework for MPI applications (§3). It wires the
+// FPM-instrumented program, the LLFI++ injector, the MPI runtime, the
+// contamination tables and the trace recorders into one parallel job, and
+// exposes the per-experiment analysis pipeline (golden profiling, fault
+// planning, injected execution, outcome classification and propagation
+// model fitting) that campaigns are built from.
+package core
+
+import (
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/inject"
+	"repro/internal/ir"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// RunConfig parameterizes one parallel execution of an (instrumented or
+// plain) program.
+type RunConfig struct {
+	// Ranks is the number of MPI processes.
+	Ranks int
+	// MemWords sizes each rank's address space (0: VM default).
+	MemWords int64
+	// CycleLimit kills a rank as hung; 0 disables. Campaigns use a
+	// multiple of the golden cycle count.
+	CycleLimit uint64
+	// Plan is the fault plan; an empty plan runs fault-free.
+	Plan inject.Plan
+	// SampleEvery subsamples the CML trace (0: keep every change).
+	SampleEvery uint64
+	// Timeout bounds blocking MPI calls (0: a generous default).
+	Timeout time.Duration
+	// TrackTaint enables the naive-taint tracker in every rank's VM (for
+	// the dual-chain vs. taint ablation).
+	TrackTaint bool
+	// MemFaults maps rank -> direct memory-level faults (the
+	// injection-model ablation).
+	MemFaults map[int][]vm.MemFault
+}
+
+// RankResult is one rank's observation of a run.
+type RankResult struct {
+	Err            error
+	Outputs        []float64
+	Cycles         uint64
+	Sites          uint64
+	InjCycles      []uint64
+	Iterations     int64
+	MaxCML         int
+	FinalCML       int
+	Ever           bool
+	AllocatedWords int64
+	Points         []trace.Point
+	FirstContam    int64
+	Contaminated   bool
+	// TaintPeak is the naive-taint peak count (when TrackTaint is on).
+	TaintPeak int
+	// MemFaultsApplied counts direct memory faults that fired.
+	MemFaultsApplied int
+	// StructCML attributes the rank's end-of-run contamination to data
+	// structures (global name, "(heap)", or "(stack)").
+	StructCML map[string]int
+}
+
+// RunOutcome aggregates a run across ranks.
+type RunOutcome struct {
+	Ranks []RankResult
+	// Err is the root-cause failure: the first non-peer trap if any rank
+	// died, nil when the job completed.
+	Err error
+	// Outputs is the rank-major concatenation of all rank outputs (only
+	// meaningful when Err is nil).
+	Outputs []float64
+	// Cycles is the maximum application cycles over ranks.
+	Cycles uint64
+	// Iterations is the maximum reported solver iteration count.
+	Iterations int64
+	// Ever reports whether any rank's memory was ever contaminated.
+	Ever bool
+	// MaxCMLTotal is the sum over ranks of each rank's peak CML.
+	MaxCMLTotal int
+	// TaintPeakTotal sums each rank's naive-taint peak (TrackTaint runs).
+	TaintPeakTotal int
+	// AllocatedTotal is the summed application memory extent, the
+	// denominator for contamination percentages.
+	AllocatedTotal int64
+	// Spread is the corrupted-ranks-over-time aggregation (Fig. 8).
+	Spread *trace.RankSpread
+	// StructCML aggregates end-of-run contamination by data structure
+	// across ranks.
+	StructCML map[string]int
+}
+
+// Run executes prog on cfg.Ranks ranks and collects per-rank observations.
+// The program is typically FPM-instrumented; plain programs run too (with
+// no sites and no contamination tracking).
+func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	job := mpi.NewJob(cfg.Ranks, cfg.Timeout)
+	clock := &vm.Clock{}
+	out := RunOutcome{
+		Ranks:     make([]RankResult, cfg.Ranks),
+		Spread:    &trace.RankSpread{},
+		StructCML: make(map[string]int),
+	}
+	regions := RegionsOf(prog)
+
+	type rankState struct {
+		v   *vm.VM
+		rec *trace.Recorder
+		inj *inject.RankInjector
+	}
+	states := make([]rankState, cfg.Ranks)
+	done := make(chan int, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		rec := &trace.Recorder{SampleEvery: cfg.SampleEvery}
+		injr := inject.NewRankInjector(cfg.Plan, r)
+		v := vm.New(prog, vm.Config{
+			MemWords:   cfg.MemWords,
+			CycleLimit: cfg.CycleLimit,
+			Injector:   injr,
+			MPI:        job.Endpoint(r),
+			Tracer:     rec,
+			Clock:      clock,
+			Abort:      job.Flag(),
+			TrackTaint: cfg.TrackTaint,
+			MemFaults:  cfg.MemFaults[r],
+		})
+		states[r] = rankState{v: v, rec: rec, inj: injr}
+		go func(r int) {
+			err := states[r].v.Run()
+			out.Ranks[r].Err = err
+			if err != nil {
+				// A dead rank takes the job down, as under real MPI.
+				job.Kill()
+			}
+			done <- r
+		}(r)
+	}
+	for i := 0; i < cfg.Ranks; i++ {
+		<-done
+	}
+
+	for r := 0; r < cfg.Ranks; r++ {
+		st := states[r]
+		rr := &out.Ranks[r]
+		rr.Outputs = st.v.Outputs()
+		rr.Cycles = st.v.Cycles()
+		rr.Sites = st.v.Sites()
+		rr.InjCycles = append(rr.InjCycles, st.v.InjectionCycles()...)
+		rr.Iterations = st.v.Iterations()
+		rr.MaxCML = st.v.Table().Peak()
+		rr.FinalCML = st.v.Table().Len()
+		rr.Ever = st.v.Table().Ever()
+		rr.AllocatedWords = st.v.Mem().AllocatedWords()
+		rr.TaintPeak = st.v.TaintPeak()
+		rr.MemFaultsApplied = st.v.MemFaultsApplied()
+		if st.v.Table().Len() > 0 {
+			rr.StructCML = make(map[string]int)
+			AttributeTable(regions, st.v.Table(),
+				1+prog.GlobalWords, st.v.Mem().AllocatedWords(), rr.StructCML)
+			for k, v := range rr.StructCML {
+				out.StructCML[k] += v
+			}
+		}
+		st.rec.Finish(st.v.Cycles(), clock.Now(), st.v.Table().Len())
+		rr.Points = st.rec.Points()
+		if t, ok := st.rec.FirstContamination(); ok {
+			rr.FirstContam = t
+			rr.Contaminated = true
+			out.Spread.Note(t)
+		}
+		out.Ever = out.Ever || rr.Ever
+		out.MaxCMLTotal += rr.MaxCML
+		out.TaintPeakTotal += rr.TaintPeak
+		out.AllocatedTotal += rr.AllocatedWords
+		if rr.Cycles > out.Cycles {
+			out.Cycles = rr.Cycles
+		}
+		if rr.Iterations > out.Iterations {
+			out.Iterations = rr.Iterations
+		}
+	}
+	out.Err = rootCause(out.Ranks)
+	if out.Err == nil {
+		for r := 0; r < cfg.Ranks; r++ {
+			out.Outputs = append(out.Outputs, out.Ranks[r].Outputs...)
+		}
+	}
+	return out
+}
+
+// rootCause picks the most informative failure: any trap that is not a
+// secondary peer-failure casualty wins; otherwise the first error seen.
+func rootCause(ranks []RankResult) error {
+	var first error
+	for i := range ranks {
+		err := ranks[i].Err
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if t := vm.AsTrap(err); t != nil && t.Kind != vm.TrapPeerFailure {
+			return err
+		}
+	}
+	return first
+}
+
+// ToRunResult converts a RunOutcome into the classifier's shape.
+func (o RunOutcome) ToRunResult() classify.RunResult {
+	return classify.RunResult{
+		Err:              o.Err,
+		Outputs:          o.Outputs,
+		Cycles:           o.Cycles,
+		Iterations:       o.Iterations,
+		EverContaminated: o.Ever,
+	}
+}
+
+// SiteCounts extracts per-rank dynamic site counts (for fault planning).
+func (o RunOutcome) SiteCounts() []uint64 {
+	counts := make([]uint64, len(o.Ranks))
+	for i := range o.Ranks {
+		counts[i] = o.Ranks[i].Sites
+	}
+	return counts
+}

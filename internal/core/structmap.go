@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/fpm"
+	"repro/internal/ir"
+)
+
+// Structure-level attribution: contaminated addresses classified by the
+// application data structure (named global, heap, or stack) they fall in.
+// This is the framework's answer to the data vulnerability factor (DVF)
+// comparison in the paper's §6: unlike the scalar DVF, the FPM observes
+// which structures actually became contaminated, per run.
+
+// StructRegion is one attributable region of the address space.
+type StructRegion struct {
+	Name string
+	Base int64
+	Size int64
+}
+
+// RegionsOf derives the attributable regions of a program: its globals in
+// address order, then the heap and stack catch-alls.
+func RegionsOf(prog *ir.Program) []StructRegion {
+	regions := make([]StructRegion, 0, len(prog.Globals)+2)
+	for _, g := range prog.Globals {
+		regions = append(regions, StructRegion{Name: g.Name, Base: g.Base, Size: g.Size})
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Base < regions[j].Base })
+	return regions
+}
+
+// AttributeTable classifies a contamination table's addresses by region.
+// heapEnd is the allocated extent (globals+heap); addresses beyond it are
+// stack locals.
+func AttributeTable(regions []StructRegion, table *fpm.Table, globalEnd, heapEnd int64, out map[string]int) {
+	for _, addr := range table.Addresses() {
+		out[regionName(regions, addr, globalEnd, heapEnd)]++
+	}
+}
+
+func regionName(regions []StructRegion, addr, globalEnd, heapEnd int64) string {
+	if addr >= 1 && addr < globalEnd {
+		// Binary search over sorted global regions.
+		i := sort.Search(len(regions), func(i int) bool {
+			return regions[i].Base+regions[i].Size > addr
+		})
+		if i < len(regions) && addr >= regions[i].Base {
+			return regions[i].Name
+		}
+		return "(globals)"
+	}
+	if addr >= globalEnd && addr < heapEnd+1 {
+		return "(heap)"
+	}
+	return "(stack)"
+}

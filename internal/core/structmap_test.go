@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fpm"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+func buildStructProg() *ir.Program {
+	b := ir.NewBuilder()
+	b.Global("alpha", 4) // addresses 1..4
+	b.Global("beta", 2)  // addresses 5..6
+	f := b.Func("main", 0, 0)
+	f.Alloc(ir.ImmI(3)) // heap: 7..9
+	f.Ret()
+	return b.MustBuild()
+}
+
+func TestRegionsOfSorted(t *testing.T) {
+	prog := buildStructProg()
+	regions := RegionsOf(prog)
+	if len(regions) != 2 || regions[0].Name != "alpha" || regions[1].Name != "beta" {
+		t.Fatalf("regions = %+v", regions)
+	}
+}
+
+func TestAttributeTable(t *testing.T) {
+	prog := buildStructProg()
+	regions := RegionsOf(prog)
+	table := fpm.NewTable()
+	table.Record(1, 0)  // alpha
+	table.Record(4, 0)  // alpha
+	table.Record(5, 0)  // beta
+	table.Record(8, 0)  // heap
+	table.Record(90, 0) // beyond heap: stack
+	out := make(map[string]int)
+	globalEnd := int64(1 + prog.GlobalWords) // 7
+	heapEnd := int64(9)                      // allocated words = globals(6)+heap(3)
+	AttributeTable(regions, table, globalEnd, heapEnd, out)
+	want := map[string]int{"alpha": 2, "beta": 1, "(heap)": 1, "(stack)": 1}
+	for k, v := range want {
+		if out[k] != v {
+			t.Errorf("%s = %d, want %d (all: %v)", k, out[k], v, out)
+		}
+	}
+}
+
+func TestStructCMLEndToEnd(t *testing.T) {
+	// Contaminate a named global via a memory fault and confirm the
+	// attribution names it in the run outcome.
+	b := ir.NewBuilder()
+	b.Global("field", 16)
+	f := b.Func("main", 0, 0)
+	i := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(3000), func() {})
+	f.Ret()
+	prog := b.MustBuild()
+	run := Run(prog, RunConfig{
+		Ranks: 1,
+		MemFaults: map[int][]vm.MemFault{
+			0: {{AtCycle: 10, AddrUnit: 0.5, Bit: 3}},
+		},
+	})
+	if run.Err != nil {
+		t.Fatal(run.Err)
+	}
+	if run.StructCML["field"] != 1 {
+		t.Errorf("StructCML = %v, want field=1", run.StructCML)
+	}
+}

@@ -1,0 +1,273 @@
+package fpm
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRecordCleanse(t *testing.T) {
+	tb := NewTable()
+	if tb.Len() != 0 || tb.Ever() {
+		t.Fatal("new table not empty")
+	}
+	tb.Record(100, 42)
+	if tb.Len() != 1 || !tb.Ever() || tb.Peak() != 1 {
+		t.Errorf("after record: len=%d ever=%v peak=%d", tb.Len(), tb.Ever(), tb.Peak())
+	}
+	if v, ok := tb.Pristine(100); !ok || v != 42 {
+		t.Errorf("Pristine(100) = %v, %v", v, ok)
+	}
+	tb.Cleanse(100)
+	if tb.Len() != 0 {
+		t.Error("cleanse did not remove entry")
+	}
+	if !tb.Ever() {
+		t.Error("Ever must remain true after cleanse")
+	}
+	if tb.Peak() != 1 {
+		t.Error("Peak must remain 1 after cleanse")
+	}
+}
+
+func TestTableObserveSemantics(t *testing.T) {
+	tb := NewTable()
+	// Differing values contaminate.
+	tb.Observe(7, 10, 11)
+	if _, ok := tb.Pristine(7); !ok {
+		t.Error("differing store did not contaminate")
+	}
+	// Equal values cleanse (paper Table 1 row 2: overwrite with constant).
+	tb.Observe(7, 13, 13)
+	if _, ok := tb.Pristine(7); ok {
+		t.Error("clean overwrite did not cleanse")
+	}
+	// Equal values on a clean location: still clean.
+	tb.Observe(8, 5, 5)
+	if tb.Len() != 0 {
+		t.Error("clean store contaminated a location")
+	}
+}
+
+func TestPristineOr(t *testing.T) {
+	tb := NewTable()
+	if v := tb.PristineOr(1, 99); v != 99 {
+		t.Errorf("clean PristineOr = %d, want fallback 99", v)
+	}
+	tb.Record(1, 7)
+	if v := tb.PristineOr(1, 99); v != 7 {
+		t.Errorf("contaminated PristineOr = %d, want 7", v)
+	}
+}
+
+func TestAddressesSorted(t *testing.T) {
+	tb := NewTable()
+	for _, a := range []int64{5, 1, 9, 3} {
+		tb.Record(a, 0)
+	}
+	got := tb.Addresses()
+	want := []int64{1, 3, 5, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Addresses = %v, want %v", got, want)
+	}
+}
+
+func TestCountInRangeBothPaths(t *testing.T) {
+	tb := NewTable()
+	for a := int64(10); a < 20; a++ {
+		tb.Record(a, 0)
+	}
+	// Small range: scans the range.
+	if n := tb.CountInRange(12, 4); n != 4 {
+		t.Errorf("CountInRange(12,4) = %d, want 4", n)
+	}
+	// Large range: scans the table.
+	if n := tb.CountInRange(0, 1000); n != 10 {
+		t.Errorf("CountInRange(0,1000) = %d, want 10", n)
+	}
+	if n := tb.CountInRange(20, 1000); n != 0 {
+		t.Errorf("CountInRange(20,1000) = %d, want 0", n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tb := NewTable()
+	tb.Record(1, 2)
+	tb.Reset()
+	if tb.Len() != 0 || tb.Ever() || tb.Peak() != 0 {
+		t.Error("reset did not clear state")
+	}
+}
+
+func TestCollectRange(t *testing.T) {
+	tb := NewTable()
+	tb.Record(100, 1)
+	tb.Record(102, 2)
+	tb.Record(200, 3) // outside
+	recs := tb.CollectRange(100, 5)
+	want := []MsgRecord{{0, 1}, {2, 2}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("CollectRange = %v, want %v", recs, want)
+	}
+}
+
+func TestCollectRangeLargeTablePath(t *testing.T) {
+	tb := NewTable()
+	for a := int64(0); a < 100; a++ {
+		tb.Record(a, uint64(a))
+	}
+	recs := tb.CollectRange(10, 3) // count < len(table): range scan
+	want := []MsgRecord{{0, 10}, {1, 11}, {2, 12}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("CollectRange = %v, want %v", recs, want)
+	}
+}
+
+func TestApplyRangeSeedsAndCleanses(t *testing.T) {
+	tb := NewTable()
+	// Receiver had stale contamination in the target range.
+	tb.Record(51, 999)
+	payload := []uint64{10, 20, 30}
+	recs := []MsgRecord{{Displacement: 2, Pristine: 33}}
+	tb.ApplyRange(50, payload, recs)
+	// 51 was overwritten by clean word 20 -> cleansed.
+	if _, ok := tb.Pristine(51); ok {
+		t.Error("stale entry not cleansed by incoming clean data")
+	}
+	// 52 holds 30 but pristine is 33 -> contaminated.
+	if v, ok := tb.Pristine(52); !ok || v != 33 {
+		t.Errorf("record not applied: %v %v", v, ok)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestApplyRangeIgnoresMalformedAndMatching(t *testing.T) {
+	tb := NewTable()
+	payload := []uint64{5}
+	recs := []MsgRecord{
+		{Displacement: -1, Pristine: 0}, // malformed
+		{Displacement: 7, Pristine: 0},  // out of range
+		{Displacement: 0, Pristine: 5},  // matches payload: clean
+	}
+	tb.ApplyRange(10, payload, recs)
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tb.Len())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payload := []uint64{1, 2, 3, ^uint64(0)}
+	recs := []MsgRecord{{0, 9}, {3, 8}}
+	buf := EncodeMessage(payload, recs)
+	gotPayload, gotRecs, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPayload, payload) {
+		t.Errorf("payload = %v, want %v", gotPayload, payload)
+	}
+	if !reflect.DeepEqual(gotRecs, recs) {
+		t.Errorf("recs = %v, want %v", gotRecs, recs)
+	}
+}
+
+func TestDecodeRejectsCorruptMessages(t *testing.T) {
+	if _, _, err := DecodeMessage([]byte{1, 2}); err == nil {
+		t.Error("truncated message accepted")
+	}
+	// Claims 5 records but has none.
+	buf := EncodeMessage(nil, nil)
+	buf[0] = 5
+	if _, _, err := DecodeMessage(buf); err == nil {
+		t.Error("short record section accepted")
+	}
+	// Misaligned payload.
+	buf = append(EncodeMessage([]uint64{1}, nil), 0xFF)
+	if _, _, err := DecodeMessage(buf); err == nil {
+		t.Error("misaligned payload accepted")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(payload []uint64, disps []uint8, prist []uint64) bool {
+		n := len(disps)
+		if len(prist) < n {
+			n = len(prist)
+		}
+		recs := make([]MsgRecord, n)
+		for i := 0; i < n; i++ {
+			recs[i] = MsgRecord{Displacement: int64(disps[i]), Pristine: prist[i]}
+		}
+		buf := EncodeMessage(payload, recs)
+		p2, r2, err := DecodeMessage(buf)
+		if err != nil {
+			return false
+		}
+		if len(p2) != len(payload) || len(r2) != len(recs) {
+			return false
+		}
+		for i := range payload {
+			if p2[i] != payload[i] {
+				return false
+			}
+		}
+		for i := range recs {
+			if r2[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableInvariantProperty(t *testing.T) {
+	// Property: after any sequence of Observe calls, an address is present
+	// iff its last Observe had primary != pristine.
+	type op struct {
+		Addr     int8
+		Prim     uint8
+		Pristine uint8
+	}
+	f := func(ops []op) bool {
+		tb := NewTable()
+		last := make(map[int64]op)
+		for _, o := range ops {
+			tb.Observe(int64(o.Addr), uint64(o.Prim), uint64(o.Pristine))
+			last[int64(o.Addr)] = o
+		}
+		for a, o := range last {
+			_, present := tb.Pristine(a)
+			wantPresent := o.Prim != o.Pristine
+			if present != wantPresent {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	tb := NewTable()
+	for i := 0; i < b.N; i++ {
+		tb.Observe(int64(i%4096), uint64(i), uint64(i+1))
+	}
+}
+
+func BenchmarkCollectRange(b *testing.B) {
+	tb := NewTable()
+	for a := int64(0); a < 4096; a += 3 {
+		tb.Record(a, uint64(a))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tb.CollectRange(1024, 512)
+	}
+}

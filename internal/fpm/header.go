@@ -1,0 +1,60 @@
+package fpm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The wire format of a message with contamination piggyback mirrors the
+// paper's Fig. 4: a header holding the number of contaminated locations and
+// one <displacement, pristine value> record per location, followed by the
+// original payload. The simulated MPI layer could pass Go slices directly,
+// but the framework encodes messages to the paper's wire shape so the
+// header handling (and its cost) is real and testable.
+
+// EncodeMessage serializes payload plus contamination records:
+//
+//	[8B record count N] [N × (8B displacement, 8B pristine)] [payload words]
+func EncodeMessage(payload []uint64, recs []MsgRecord) []byte {
+	buf := make([]byte, 8+16*len(recs)+8*len(payload))
+	binary.LittleEndian.PutUint64(buf, uint64(len(recs)))
+	off := 8
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(r.Displacement))
+		binary.LittleEndian.PutUint64(buf[off+8:], r.Pristine)
+		off += 16
+	}
+	for _, w := range payload {
+		binary.LittleEndian.PutUint64(buf[off:], w)
+		off += 8
+	}
+	return buf
+}
+
+// DecodeMessage parses a message produced by EncodeMessage.
+func DecodeMessage(buf []byte) (payload []uint64, recs []MsgRecord, err error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("fpm: message truncated: %d bytes", len(buf))
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	off := 8
+	if uint64(len(buf)-off) < 16*n {
+		return nil, nil, fmt.Errorf("fpm: header claims %d records, message too short", n)
+	}
+	recs = make([]MsgRecord, n)
+	for i := range recs {
+		recs[i].Displacement = int64(binary.LittleEndian.Uint64(buf[off:]))
+		recs[i].Pristine = binary.LittleEndian.Uint64(buf[off+8:])
+		off += 16
+	}
+	rest := len(buf) - off
+	if rest%8 != 0 {
+		return nil, nil, fmt.Errorf("fpm: payload not word-aligned: %d bytes", rest)
+	}
+	payload = make([]uint64, rest/8)
+	for i := range payload {
+		payload[i] = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+	}
+	return payload, recs, nil
+}

@@ -1,0 +1,192 @@
+// Package fpm implements the runtime half of the paper's Fault Propagation
+// Module: the contamination hash table that maps corrupted memory locations
+// to their pristine values (paper §3.2), and the message-header records used
+// to carry contamination metadata across MPI process boundaries (paper
+// Fig. 4).
+//
+// Invariant maintained by the table: a location address is present if and
+// only if the memory word at that address differs from the word a fault-free
+// execution would hold there, and the stored value is that fault-free word.
+// Stores that write a value equal to the pristine value therefore *cleanse*
+// the location (paper Table 1, row 2), which is what separates this exact
+// tracker from an overestimating taint analysis.
+package fpm
+
+import "sort"
+
+// Table is the contamination hash table of one process: corrupted word
+// address -> pristine value. The zero value is not usable; call NewTable.
+type Table struct {
+	m map[int64]uint64
+	// peak tracks the maximum number of simultaneously contaminated
+	// locations observed, for Fig. 7f-style reporting.
+	peak int
+	// everContaminated records whether any location was ever contaminated,
+	// which distinguishes Vanished from ONA outcomes even when later
+	// stores cleanse everything.
+	everContaminated bool
+}
+
+// NewTable returns an empty contamination table.
+func NewTable() *Table {
+	return &Table{m: make(map[int64]uint64)}
+}
+
+// Len returns the current number of contaminated locations (the paper's
+// CML, corrupted memory locations).
+func (t *Table) Len() int { return len(t.m) }
+
+// Peak returns the maximum CML observed so far.
+func (t *Table) Peak() int { return t.peak }
+
+// Ever reports whether any location was ever contaminated.
+func (t *Table) Ever() bool { return t.everContaminated }
+
+// Pristine returns the pristine value for addr and whether addr is
+// contaminated.
+func (t *Table) Pristine(addr int64) (uint64, bool) {
+	v, ok := t.m[addr]
+	return v, ok
+}
+
+// PristineOr returns the pristine value for addr, or fallback when addr is
+// not contaminated. This implements fpm_fetch: the fallback is the actual
+// memory content, which for a clean location is the pristine content.
+func (t *Table) PristineOr(addr int64, fallback uint64) uint64 {
+	if v, ok := t.m[addr]; ok {
+		return v
+	}
+	return fallback
+}
+
+// Record notes that memory at addr now holds a corrupted word whose
+// fault-free content is pristine.
+func (t *Table) Record(addr int64, pristine uint64) {
+	t.m[addr] = pristine
+	t.everContaminated = true
+	if len(t.m) > t.peak {
+		t.peak = len(t.m)
+	}
+}
+
+// Cleanse removes addr from the table (memory now matches the pristine
+// execution there).
+func (t *Table) Cleanse(addr int64) { delete(t.m, addr) }
+
+// Observe implements the fpm_store decision for a store whose primary and
+// pristine addresses agree: the location becomes contaminated when the
+// primary and pristine values differ, and cleansed when they match.
+func (t *Table) Observe(addr int64, primary, pristine uint64) {
+	if primary == pristine {
+		t.Cleanse(addr)
+		return
+	}
+	t.Record(addr, pristine)
+}
+
+// Addresses returns the contaminated addresses in ascending order. Intended
+// for tests, snapshots and message assembly; O(n log n).
+func (t *Table) Addresses() []int64 {
+	addrs := make([]int64, 0, len(t.m))
+	for a := range t.m {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// CountInRange returns how many contaminated locations fall within
+// [base, base+count).
+func (t *Table) CountInRange(base, count int64) int {
+	// For small ranges scanning the range beats scanning the table and
+	// vice versa; pick by size.
+	if count < int64(len(t.m)) {
+		n := 0
+		for a := base; a < base+count; a++ {
+			if _, ok := t.m[a]; ok {
+				n++
+			}
+		}
+		return n
+	}
+	n := 0
+	for a := range t.m {
+		if a >= base && a < base+count {
+			n++
+		}
+	}
+	return n
+}
+
+// CarryHistory folds another table's observation history (peak CML and the
+// ever-contaminated flag) into this one without adding entries. Used when
+// a rollback reconstructs the table from a snapshot: the contamination
+// happened even though it was undone.
+func (t *Table) CarryHistory(peak int, ever bool) {
+	if peak > t.peak {
+		t.peak = peak
+	}
+	t.everContaminated = t.everContaminated || ever
+}
+
+// Reset empties the table and clears the peak and ever-contaminated state.
+func (t *Table) Reset() {
+	t.m = make(map[int64]uint64)
+	t.peak = 0
+	t.everContaminated = false
+}
+
+// Record is one entry of an MPI contamination header: the displacement of a
+// contaminated word relative to the start of the message payload, and its
+// pristine value (paper Fig. 4).
+type MsgRecord struct {
+	Displacement int64
+	Pristine     uint64
+}
+
+// CollectRange assembles the contamination header for an outgoing message
+// covering memory [base, base+count): one MsgRecord per contaminated word,
+// with displacements relative to base, in ascending order.
+func (t *Table) CollectRange(base, count int64) []MsgRecord {
+	var recs []MsgRecord
+	if int64(len(t.m)) < count {
+		for a, p := range t.m {
+			if a >= base && a < base+count {
+				recs = append(recs, MsgRecord{Displacement: a - base, Pristine: p})
+			}
+		}
+		sort.Slice(recs, func(i, j int) bool {
+			return recs[i].Displacement < recs[j].Displacement
+		})
+		return recs
+	}
+	for a := base; a < base+count; a++ {
+		if p, ok := t.m[a]; ok {
+			recs = append(recs, MsgRecord{Displacement: a - base, Pristine: p})
+		}
+	}
+	return recs
+}
+
+// ApplyRange installs contamination records for an incoming message copied
+// to memory at [base, base+count). Every word in the range is first
+// considered clean (the incoming payload overwrites whatever was there);
+// words named by a record are contaminated unless the payload word already
+// equals the pristine value. payload must hold the received words.
+func (t *Table) ApplyRange(base int64, payload []uint64, recs []MsgRecord) {
+	// The incoming payload overwrites the whole range: stale entries for
+	// the range must go, exactly as a local store of a clean value would
+	// cleanse a location.
+	for a := base; a < base+int64(len(payload)); a++ {
+		t.Cleanse(a)
+	}
+	for _, r := range recs {
+		if r.Displacement < 0 || r.Displacement >= int64(len(payload)) {
+			continue // malformed record; ignore defensively
+		}
+		if payload[r.Displacement] == r.Pristine {
+			continue // arrived corrupted-flagged but value matches pristine
+		}
+		t.Record(base+r.Displacement, r.Pristine)
+	}
+}

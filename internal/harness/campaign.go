@@ -1,0 +1,262 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/transform"
+	"repro/internal/xrand"
+)
+
+// CampaignConfig parameterizes a statistical fault-injection campaign over
+// one application (paper §4: 5,000 runs, one fault per run into a randomly
+// selected MPI process; reduced counts for tests and benchmarks).
+type CampaignConfig struct {
+	App    apps.App
+	Params apps.Params
+	// Runs is the number of injection experiments.
+	Runs int
+	// Seed drives all campaign randomness deterministically.
+	Seed uint64
+	// MultiFaultLambda, when positive, switches to the LLFI++ multi-fault
+	// mode: each rank receives Poisson(lambda) faults per run.
+	MultiFaultLambda float64
+	// HangFactor multiplies the golden cycle count into the hang budget.
+	HangFactor float64
+	// SampleEvery subsamples CML traces (cycles between samples).
+	SampleEvery uint64
+	// Workers bounds experiment-level parallelism (0: GOMAXPROCS).
+	Workers int
+	// KeepProfiles bounds how many representative CML profiles are kept
+	// per outcome class (0: 2, as plotted in the paper's Fig. 7).
+	KeepProfiles int
+}
+
+// ExperimentSummary is the retained record of one injection run.
+type ExperimentSummary struct {
+	ID      int
+	Plan    inject.Plan
+	Outcome classify.Outcome
+	// InjRank is the rank of the first planned fault.
+	InjRank int
+	// InjCycle is the rank-local application cycle of the first applied
+	// fault (0 when the fault never fired).
+	InjCycle uint64
+	// Fired reports whether any planned fault actually applied.
+	Fired bool
+	// MaxCML is the peak of the injected rank's CML.
+	MaxCML int
+	// TotalPeakCML sums every rank's peak CML.
+	TotalPeakCML int
+	// ContamPct is TotalPeakCML over the application memory extent, in
+	// percent (paper Fig. 7f).
+	ContamPct float64
+	// RanksContaminated counts ranks whose memory was ever contaminated.
+	RanksContaminated int
+	// Cycles is the run's maximum application cycle count.
+	Cycles uint64
+	// Fit is the per-run propagation model, when one could be fitted.
+	Fit    model.RunFit
+	HasFit bool
+}
+
+// Profile is a retained CML(t) series with its classification (Fig. 7).
+type Profile struct {
+	ID      int
+	Outcome classify.Outcome
+	Points  []trace.Point
+}
+
+// SpreadSeries is a retained corrupted-ranks-over-time series (Fig. 8).
+type SpreadSeries struct {
+	ID     int
+	Points []trace.SpreadPoint
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	App         string
+	Params      apps.Params
+	Runs        int
+	Golden      classify.Golden
+	GoldenSites []uint64
+	// AllocatedWords is the per-job application memory extent.
+	AllocatedWords int64
+
+	Tally       classify.Tally
+	Experiments []ExperimentSummary
+	Profiles    []Profile
+	BestSpread  SpreadSeries
+	Model       model.AppModel
+	// StructTotals sums end-of-run contamination per data structure over
+	// all experiments (the DVF-style breakdown).
+	StructTotals map[string]int
+}
+
+// RunCampaign executes the campaign.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Runs <= 0 {
+		return nil, fmt.Errorf("harness: campaign needs Runs > 0")
+	}
+	if cfg.HangFactor == 0 {
+		cfg.HangFactor = 4
+	}
+	if cfg.KeepProfiles == 0 {
+		cfg.KeepProfiles = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	prog, err := cfg.App.Build(cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("harness: build %s: %w", cfg.App.Name(), err)
+	}
+	inst, err := transform.Instrument(prog, transform.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("harness: instrument %s: %w", cfg.App.Name(), err)
+	}
+
+	// Golden (fault-free) run: reference outputs, cycle budget, and the
+	// per-rank dynamic injection-site space.
+	golden := core.Run(inst, core.RunConfig{Ranks: cfg.Params.Ranks, SampleEvery: cfg.SampleEvery})
+	if golden.Err != nil {
+		return nil, fmt.Errorf("harness: golden run of %s failed: %w", cfg.App.Name(), golden.Err)
+	}
+	res := &CampaignResult{
+		App:    cfg.App.Name(),
+		Params: cfg.Params,
+		Runs:   cfg.Runs,
+		Golden: classify.Golden{
+			Outputs:    golden.Outputs,
+			Cycles:     golden.Cycles,
+			Iterations: golden.Iterations,
+		},
+		GoldenSites:    golden.SiteCounts(),
+		AllocatedWords: golden.AllocatedTotal,
+	}
+
+	criteria := classify.DefaultCriteria()
+	cycleLimit := uint64(float64(golden.Cycles) * cfg.HangFactor)
+	master := xrand.New(cfg.Seed)
+	plans := make([]inject.Plan, cfg.Runs)
+	for i := range plans {
+		r := master.Split()
+		if cfg.MultiFaultLambda > 0 {
+			plans[i] = inject.MultiFaultPlan(r, res.GoldenSites, cfg.MultiFaultLambda)
+		} else {
+			p, err := inject.UniformSinglePlan(r, res.GoldenSites)
+			if err != nil {
+				return nil, err
+			}
+			plans[i] = p
+		}
+	}
+
+	outs := make([]expOut, cfg.Runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Runs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			outs[i] = runExperiment(i, inst, plans[i], cfg, criteria, res.Golden, cycleLimit)
+		}(i)
+	}
+	wg.Wait()
+
+	perClass := make(map[classify.Outcome]int)
+	bestSpreadLen := 0
+	res.StructTotals = make(map[string]int)
+	for i := range outs {
+		o := &outs[i]
+		for k, v := range o.structCML {
+			res.StructTotals[k] += v
+		}
+		res.Tally.Add(o.sum.Outcome)
+		res.Experiments = append(res.Experiments, o.sum)
+		if len(o.points) >= 3 && perClass[o.sum.Outcome] < cfg.KeepProfiles {
+			perClass[o.sum.Outcome]++
+			res.Profiles = append(res.Profiles, Profile{
+				ID: o.sum.ID, Outcome: o.sum.Outcome, Points: o.points,
+			})
+		}
+		if len(o.spread) > bestSpreadLen {
+			bestSpreadLen = len(o.spread)
+			res.BestSpread = SpreadSeries{ID: o.sum.ID, Points: o.spread}
+		}
+	}
+	var fits []model.RunFit
+	for i := range res.Experiments {
+		if res.Experiments[i].HasFit {
+			fits = append(fits, res.Experiments[i].Fit)
+		}
+	}
+	res.Model = model.BuildAppModel(res.App, fits)
+	return res, nil
+}
+
+// expOut is the per-experiment material the aggregation step consumes.
+type expOut struct {
+	sum       ExperimentSummary
+	points    []trace.Point
+	spread    []trace.SpreadPoint
+	structCML map[string]int
+}
+
+// runExperiment executes one fault-injection run and condenses it.
+func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfig,
+	criteria classify.Criteria, golden classify.Golden, cycleLimit uint64) expOut {
+
+	run := core.Run(inst, core.RunConfig{
+		Ranks:       cfg.Params.Ranks,
+		CycleLimit:  cycleLimit,
+		Plan:        plan,
+		SampleEvery: cfg.SampleEvery,
+	})
+	sum := ExperimentSummary{
+		ID:           id,
+		Plan:         plan,
+		Outcome:      criteria.Classify(golden, run.ToRunResult()),
+		TotalPeakCML: run.MaxCMLTotal,
+		Cycles:       run.Cycles,
+	}
+	if len(plan.Faults) > 0 {
+		sum.InjRank = plan.Faults[0].Rank
+	}
+	if run.AllocatedTotal > 0 {
+		sum.ContamPct = 100 * float64(run.MaxCMLTotal) / float64(run.AllocatedTotal)
+	}
+	var points []trace.Point
+	if sum.InjRank < len(run.Ranks) {
+		rr := run.Ranks[sum.InjRank]
+		sum.MaxCML = rr.MaxCML
+		points = rr.Points
+		if len(rr.InjCycles) > 0 {
+			sum.InjCycle = rr.InjCycles[0]
+			sum.Fired = true
+		}
+	}
+	for i := range run.Ranks {
+		if run.Ranks[i].Ever {
+			sum.RanksContaminated++
+		}
+	}
+	// Fit the propagation model from the injected rank's CML series,
+	// starting at the first contamination (the paper fits the growth
+	// segment of each profile).
+	if fit, err := model.FitRun(points); err == nil {
+		sum.Fit = fit
+		sum.HasFit = true
+	}
+	return expOut{sum: sum, points: points, spread: run.Spread.Series(), structCML: run.StructCML}
+}

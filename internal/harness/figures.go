@@ -1,0 +1,328 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/inject"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/transform"
+	"repro/internal/vm"
+)
+
+// This file regenerates the paper's figures and tables as text. Each
+// Format* function corresponds to one exhibit of the evaluation (see
+// DESIGN.md's experiment index).
+
+// FormatFig5 renders the fault-injection coverage histogram (paper Fig. 5):
+// injection times of all fired faults, normalized by the injected rank's
+// fault-free cycle count, binned uniformly, with a χ² uniformity verdict.
+func FormatFig5(res *CampaignResult, bins int) string {
+	if bins <= 0 {
+		bins = 50
+	}
+	h := stats.NewHistogram(0, 1, bins)
+	for _, e := range res.Experiments {
+		if !e.Fired || e.InjRank >= len(res.GoldenSites) {
+			continue
+		}
+		g := res.Golden.Cycles
+		if g == 0 {
+			continue
+		}
+		h.Add(float64(e.InjCycle) / float64(g))
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5 — injection coverage over execution time (%s, %d injections, %d bins)\n",
+		res.App, h.N, bins)
+	chi2, dof := h.ChiSquareUniform()
+	fmt.Fprintf(&sb, "chi2 = %.1f (dof %d), uniform at 1%% level: %v, expected/bin = %.1f\n",
+		chi2, dof, h.ChiSquareUniformOK(), h.ExpectedUniform())
+	// Render a compact bar chart (merge into 20 display bins).
+	display := 20
+	merged := make([]int, display)
+	for i, c := range h.Counts {
+		merged[i*display/len(h.Counts)] += c
+	}
+	maxC := 1
+	for _, c := range merged {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range merged {
+		fmt.Fprintf(&sb, "%4.2f |%-40s %d\n", float64(i)/float64(display),
+			strings.Repeat("#", c*40/maxC), c)
+	}
+	return sb.String()
+}
+
+// FormatFig6 renders the outcome breakdown (paper Fig. 6): percentage of
+// runs per class, with CO = V + ONA as the black-box view reports it.
+func FormatFig6(results []*CampaignResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — outcome of fault injection (single fault, random rank)\n")
+	fmt.Fprintf(&sb, "%-10s %6s %6s %6s %6s   (runs)\n", "App", "CO%", "WO%", "PEX%", "C%")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-10s %6.1f %6.1f %6.1f %6.1f   (%d)\n",
+			r.App,
+			r.Tally.PercentCO(),
+			r.Tally.Percent(classify.WrongOutput),
+			r.Tally.Percent(classify.ProlongedExecution),
+			r.Tally.Percent(classify.Crashed),
+			r.Tally.Total)
+	}
+	return sb.String()
+}
+
+// FormatFig7 renders representative propagation profiles (paper Fig. 7a-e):
+// the injected rank's CML time series for up to KeepProfiles runs per
+// outcome class.
+func FormatFig7(res *CampaignResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 7 — fault propagation profiles (%s)\n", res.App)
+	for _, p := range res.Profiles {
+		fmt.Fprintf(&sb, "run %d [%s]: ", p.ID, p.Outcome)
+		pts := downsample(p.Points, 16)
+		parts := make([]string, len(pts))
+		for i, pt := range pts {
+			parts[i] = fmt.Sprintf("%.2fms:%d", model.CyclesToSeconds(pt.Cycles)*1e3, pt.CML)
+		}
+		sb.WriteString(strings.Join(parts, " "))
+		sb.WriteByte('\n')
+	}
+	if len(res.Profiles) == 0 {
+		sb.WriteString("(no propagating runs recorded)\n")
+	}
+	return sb.String()
+}
+
+func downsample(pts []trace.Point, n int) []trace.Point {
+	if len(pts) <= n || n < 2 {
+		return pts
+	}
+	out := make([]trace.Point, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pts[i*(len(pts)-1)/(n-1)])
+	}
+	return out
+}
+
+// FormatFig7f renders the maximum percentage of contaminated memory state
+// per application (paper Fig. 7f).
+func FormatFig7f(results []*CampaignResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7f — max percentage of contaminated memory state\n")
+	fmt.Fprintf(&sb, "%-10s %10s %12s %12s\n", "App", "max %", "median %", "mem words")
+	for _, r := range results {
+		var pcts []float64
+		for _, e := range r.Experiments {
+			pcts = append(pcts, e.ContamPct)
+		}
+		maxP, medP := 0.0, 0.0
+		if len(pcts) > 0 {
+			maxP = stats.Max(pcts)
+			medP = stats.Percentile(pcts, 50)
+		}
+		fmt.Fprintf(&sb, "%-10s %10.2f %12.2f %12d\n", r.App, maxP, medP, r.AllocatedWords)
+	}
+	return sb.String()
+}
+
+// FormatFig8 renders corrupted-MPI-rank spread over global time (paper
+// Fig. 8) for the campaign's widest-spreading run.
+func FormatFig8(results []*CampaignResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8 — corrupted MPI ranks over time (widest-spreading run per app)\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-10s run %d: ", r.App, r.BestSpread.ID)
+		if len(r.BestSpread.Points) == 0 {
+			sb.WriteString("(no cross-rank contamination)\n")
+			continue
+		}
+		parts := make([]string, 0, len(r.BestSpread.Points))
+		for _, p := range r.BestSpread.Points {
+			parts = append(parts, fmt.Sprintf("%.2fms:%d", model.CyclesToSeconds(p.Time)*1e3, p.Ranks))
+		}
+		if len(parts) > 16 {
+			parts = parts[:16]
+		}
+		sb.WriteString(strings.Join(parts, " "))
+		fmt.Fprintf(&sb, "  (final: %d/%d ranks)\n",
+			r.BestSpread.Points[len(r.BestSpread.Points)-1].Ranks, r.Params.Ranks)
+	}
+	return sb.String()
+}
+
+// FormatTable2 renders the fault propagation speed factors (paper Table 2).
+func FormatTable2(results []*CampaignResult) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2 — fault propagation speed factors\n")
+	fmt.Fprintf(&sb, "%-10s %14s %14s %8s %10s\n", "App", "FPS (CML/s)", "StdDev", "fits", "valid.err")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-10s %14.4g %14.4g %8d %10.4f\n",
+			r.App, r.Model.FPS, r.Model.StdDev, len(r.Model.Fits), r.Model.ValidationErr)
+	}
+	return sb.String()
+}
+
+// FormatCOBreakdown renders the §4.3 analysis: the fraction of
+// correct-output runs whose memory state was nevertheless contaminated
+// (ONA), which a black-box analysis cannot see.
+func FormatCOBreakdown(results []*CampaignResult) string {
+	var sb strings.Builder
+	sb.WriteString("CO breakdown — Vanished vs Output-Not-Affected (paper §4.3)\n")
+	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %22s\n", "App", "CO runs", "V", "ONA", "%CO with contaminated")
+	for _, r := range results {
+		v := r.Tally.Counts[classify.Vanished]
+		ona := r.Tally.Counts[classify.OutputNotAffected]
+		co := v + ona
+		pct := 0.0
+		if co > 0 {
+			pct = 100 * float64(ona) / float64(co)
+		}
+		fmt.Fprintf(&sb, "%-10s %8d %8d %8d %21.1f%%\n", r.App, co, v, ona, pct)
+	}
+	return sb.String()
+}
+
+// Table1Row is one row of the paper's Table 1 reproduction.
+type Table1Row struct {
+	N            int
+	Op           string
+	Result       int64
+	FaultyResult int64
+	Contaminates bool
+}
+
+// Table1 reproduces the paper's Table 1 by actually executing each
+// operation under the FPM with a bit-1 flip of a (a=19 -> a'=17).
+func Table1() ([]Table1Row, error) {
+	type tcase struct {
+		name string
+		emit func(f *ir.FuncBuilder, a ir.Reg) ir.Reg
+	}
+	cases := []tcase{
+		{"b = a + 5", func(f *ir.FuncBuilder, a ir.Reg) ir.Reg { return f.Add(ir.R(a), ir.ImmI(5)) }},
+		{"b = 13", func(f *ir.FuncBuilder, a ir.Reg) ir.Reg {
+			f.Add(ir.R(a), ir.ImmI(5)) // the corrupted use, result discarded
+			return f.CI(13)
+		}},
+		{"b = a >> 1", func(f *ir.FuncBuilder, a ir.Reg) ir.Reg { return f.AShr(ir.R(a), ir.ImmI(1)) }},
+		{"b = a >> 2", func(f *ir.FuncBuilder, a ir.Reg) ir.Reg { return f.AShr(ir.R(a), ir.ImmI(2)) }},
+	}
+	var rows []Table1Row
+	for i, tc := range cases {
+		b := ir.NewBuilder()
+		aAddr := b.Global("a", 1)
+		bAddr := b.Global("b", 1)
+		b.GlobalInit("a", []uint64{19})
+		b.GlobalInit("b", []uint64{5})
+		f := b.Func("main", 0, 0)
+		aReg := f.Load(ir.ImmI(aAddr))
+		res := tc.emit(f, aReg)
+		f.Store(ir.R(res), ir.ImmI(bAddr))
+		f.Ret()
+		prog, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		inst, err := transform.Instrument(prog, transform.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		inj := inject.NewRankInjector(inject.Plan{Faults: []inject.Fault{{Site: 0, Bit: 1}}}, 0)
+		v := vm.New(inst, vm.Config{Injector: inj})
+		if err := v.Run(); err != nil {
+			return nil, err
+		}
+		faulty, _ := v.Mem().Read(int64(bAddr))
+		pristine := v.Table().PristineOr(int64(bAddr), faulty)
+		_, cont := v.Table().Pristine(int64(bAddr))
+		rows = append(rows, Table1Row{
+			N: i + 1, Op: tc.name,
+			Result:       int64(pristine),
+			FaultyResult: int64(faulty),
+			Contaminates: cont,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the Table 1 reproduction.
+func FormatTable1() (string, error) {
+	rows, err := Table1()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Table 1 — operand-dependent propagation (a=19, bit-1 flip: a'=17)\n")
+	fmt.Fprintf(&sb, "%-3s %-12s %10s %14s %8s\n", "N", "Op", "Result", "Faulty Result", "Cont.?")
+	for _, r := range rows {
+		cont := "No"
+		if r.Contaminates {
+			cont = "Yes"
+		}
+		fmt.Fprintf(&sb, "%-3d %-12s %10d %14d %8s\n", r.N, r.Op, r.Result, r.FaultyResult, cont)
+	}
+	return sb.String(), nil
+}
+
+// FormatStructVulnerability renders the DVF-style per-data-structure
+// contamination breakdown (an extension in the spirit of the paper's §6
+// comparison with the data vulnerability factor): which structures
+// accumulate the campaign's corrupted locations.
+func FormatStructVulnerability(results []*CampaignResult) string {
+	var sb strings.Builder
+	sb.WriteString("Structure vulnerability — end-of-run contaminated locations by data structure\n")
+	for _, r := range results {
+		type kv struct {
+			name string
+			n    int
+		}
+		var rows []kv
+		total := 0
+		for k, v := range r.StructTotals {
+			rows = append(rows, kv{k, v})
+			total += v
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].name < rows[j].name
+		})
+		fmt.Fprintf(&sb, "%s (total %d):", r.App, total)
+		if total == 0 {
+			sb.WriteString(" (none)\n")
+			continue
+		}
+		max := 6
+		for i, row := range rows {
+			if i == max {
+				fmt.Fprintf(&sb, " …(+%d more)", len(rows)-max)
+				break
+			}
+			fmt.Fprintf(&sb, "  %s=%d (%.0f%%)", row.name, row.n, 100*float64(row.n)/float64(total))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SortedFPS returns app names ordered by descending FPS, for shape
+// comparisons against the paper's Table 2 ordering.
+func SortedFPS(results []*CampaignResult) []string {
+	rs := append([]*CampaignResult(nil), results...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Model.FPS > rs[j].Model.FPS })
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.App
+	}
+	return names
+}

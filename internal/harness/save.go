@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Campaign results serialize to JSON (gzip-compressed when the filename
+// ends in .gz) so expensive campaigns can be rendered, re-analyzed or
+// compared later without re-running (cmd/figures).
+
+// resultsFile is the on-disk envelope.
+type resultsFile struct {
+	// Version guards against schema drift.
+	Version int               `json:"version"`
+	Results []*CampaignResult `json:"results"`
+}
+
+const resultsVersion = 1
+
+// SaveResults writes campaign results to path.
+func SaveResults(path string, results []*CampaignResult) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	env := resultsFile{Version: resultsVersion, Results: results}
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		if err := json.NewEncoder(zw).Encode(env); err != nil {
+			zw.Close()
+			return err
+		}
+		return zw.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	return enc.Encode(env)
+}
+
+// LoadResults reads campaign results from path.
+func LoadResults(path string) ([]*CampaignResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var env resultsFile
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		if err := json.NewDecoder(zr).Decode(&env); err != nil {
+			return nil, err
+		}
+	} else if err := json.NewDecoder(f).Decode(&env); err != nil {
+		return nil, err
+	}
+	if env.Version != resultsVersion {
+		return nil, fmt.Errorf("harness: results file version %d, want %d", env.Version, resultsVersion)
+	}
+	return env.Results, nil
+}

@@ -1,0 +1,165 @@
+// Package inject implements LLFI++, the paper's extended fault injector
+// (§3.1): single-bit flips applied to live register operands at uniformly
+// distributed dynamic instruction sites, across one or more MPI ranks, with
+// zero or more faults per rank per run.
+//
+// The workflow mirrors the paper's accelerated statistical fault injection:
+//
+//  1. profile: run the instrumented program fault-free once per rank and
+//     read the dynamic site count from the VM (vm.VM.Sites);
+//  2. plan: draw (rank, site, bit) triples uniformly;
+//  3. run: give each rank's VM a RankInjector for its share of the plan.
+package inject
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Fault is one planned bit flip: at the site-th dynamic fim_inj execution
+// of the given rank, flip the given bit of the operand value.
+type Fault struct {
+	Rank int
+	Site uint64
+	Bit  uint // 0..63
+}
+
+// String renders the fault for logs.
+func (f Fault) String() string {
+	return fmt.Sprintf("rank %d site %d bit %d", f.Rank, f.Site, f.Bit)
+}
+
+// Plan is the set of faults of one experiment run.
+type Plan struct {
+	Faults []Fault
+}
+
+// ForRank extracts the faults aimed at one rank, ordered by site.
+func (p Plan) ForRank(rank int) []Fault {
+	var fs []Fault
+	for _, f := range p.Faults {
+		if f.Rank == rank {
+			fs = append(fs, f)
+		}
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Site < fs[j].Site })
+	return fs
+}
+
+// UniformSinglePlan plans one fault: a uniformly chosen rank, a uniformly
+// chosen dynamic site within that rank's fault-free execution, and a
+// uniformly chosen bit. siteCounts[r] is rank r's dynamic site count from
+// the profiling run. Ranks with zero sites are excluded.
+func UniformSinglePlan(r *xrand.Rand, siteCounts []uint64) (Plan, error) {
+	var candidates []int
+	for rank, n := range siteCounts {
+		if n > 0 {
+			candidates = append(candidates, rank)
+		}
+	}
+	if len(candidates) == 0 {
+		return Plan{}, fmt.Errorf("inject: no rank has injection sites")
+	}
+	rank := candidates[r.Intn(len(candidates))]
+	return Plan{Faults: []Fault{{
+		Rank: rank,
+		Site: r.Uint64n(siteCounts[rank]),
+		Bit:  uint(r.Intn(64)),
+	}}}, nil
+}
+
+// MultiFaultPlan plans zero or more faults per rank (the LLFI++ extension):
+// each rank receives a Poisson(lambda)-distributed number of faults at
+// uniform sites. The total may be zero.
+func MultiFaultPlan(r *xrand.Rand, siteCounts []uint64, lambda float64) Plan {
+	var plan Plan
+	for rank, n := range siteCounts {
+		if n == 0 {
+			continue
+		}
+		for k := poisson(r, lambda); k > 0; k-- {
+			plan.Faults = append(plan.Faults, Fault{
+				Rank: rank,
+				Site: r.Uint64n(n),
+				Bit:  uint(r.Intn(64)),
+			})
+		}
+	}
+	return plan
+}
+
+// poisson draws from a Poisson distribution via Knuth's method; adequate
+// for the small lambdas used in fault plans.
+func poisson(r *xrand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k // defensive bound
+		}
+	}
+}
+
+// Applied records a flip that actually happened.
+type Applied struct {
+	Fault  Fault
+	Before uint64
+	After  uint64
+}
+
+// RankInjector applies one rank's share of a plan. It implements
+// vm.Injector. Not safe for concurrent use; each rank owns one.
+type RankInjector struct {
+	faults  []Fault // sorted by site
+	next    int
+	applied []Applied
+}
+
+// NewRankInjector builds the injector for rank from the plan.
+func NewRankInjector(plan Plan, rank int) *RankInjector {
+	return &RankInjector{faults: plan.ForRank(rank)}
+}
+
+// OnSite implements vm.Injector: it flips the planned bit when the dynamic
+// site index matches the next planned fault.
+func (ri *RankInjector) OnSite(site uint64, val uint64) (uint64, bool) {
+	flipped := false
+	// Several faults may target the same site; apply each once.
+	for ri.next < len(ri.faults) && ri.faults[ri.next].Site <= site {
+		f := ri.faults[ri.next]
+		if f.Site == site {
+			after := val ^ (1 << (f.Bit & 63))
+			ri.applied = append(ri.applied, Applied{Fault: f, Before: val, After: after})
+			val = after
+			flipped = true
+		}
+		ri.next++
+	}
+	return val, flipped
+}
+
+// Applied returns the flips that fired during the run. Faults planned past
+// the end of the actual execution (possible when control flow diverges
+// after an earlier fault) do not appear.
+func (ri *RankInjector) Applied() []Applied { return ri.applied }
+
+// Pending returns how many planned faults never fired.
+func (ri *RankInjector) Pending() int {
+	n := len(ri.faults) - len(ri.applied)
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+package inject
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestFaultString(t *testing.T) {
+	f := Fault{Rank: 2, Site: 100, Bit: 63}
+	if s := f.String(); s != "rank 2 site 100 bit 63" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestPlanForRankSorted(t *testing.T) {
+	p := Plan{Faults: []Fault{
+		{Rank: 1, Site: 50}, {Rank: 0, Site: 10}, {Rank: 1, Site: 5}, {Rank: 1, Site: 20},
+	}}
+	fs := p.ForRank(1)
+	if len(fs) != 3 {
+		t.Fatalf("ForRank(1) = %v", fs)
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1].Site > fs[i].Site {
+			t.Errorf("not sorted: %v", fs)
+		}
+	}
+	if len(p.ForRank(5)) != 0 {
+		t.Error("unknown rank returned faults")
+	}
+}
+
+func TestUniformSinglePlanBounds(t *testing.T) {
+	r := xrand.New(1)
+	counts := []uint64{0, 100, 50, 0}
+	for i := 0; i < 500; i++ {
+		p, err := UniformSinglePlan(r, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Faults) != 1 {
+			t.Fatalf("plan has %d faults", len(p.Faults))
+		}
+		f := p.Faults[0]
+		if f.Rank != 1 && f.Rank != 2 {
+			t.Errorf("fault in rank %d with zero sites", f.Rank)
+		}
+		if f.Site >= counts[f.Rank] {
+			t.Errorf("site %d out of range for rank %d", f.Site, f.Rank)
+		}
+		if f.Bit > 63 {
+			t.Errorf("bit %d out of range", f.Bit)
+		}
+	}
+}
+
+func TestUniformSinglePlanNoSites(t *testing.T) {
+	if _, err := UniformSinglePlan(xrand.New(1), []uint64{0, 0}); err == nil {
+		t.Error("plan created with no injectable sites")
+	}
+}
+
+func TestUniformSinglePlanRankDistribution(t *testing.T) {
+	r := xrand.New(9)
+	counts := []uint64{10, 10, 10, 10}
+	hits := make([]int, 4)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p, err := UniformSinglePlan(r, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits[p.Faults[0].Rank]++
+	}
+	for rk, h := range hits {
+		if h < n/4-200 || h > n/4+200 {
+			t.Errorf("rank %d selected %d times, want ~%d", rk, h, n/4)
+		}
+	}
+}
+
+func TestMultiFaultPlanPoisson(t *testing.T) {
+	r := xrand.New(3)
+	counts := []uint64{1000, 1000}
+	total := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		p := MultiFaultPlan(r, counts, 1.5)
+		total += len(p.Faults)
+		for _, f := range p.Faults {
+			if f.Site >= counts[f.Rank] {
+				t.Fatalf("site out of range: %v", f)
+			}
+		}
+	}
+	// Expected faults per trial = lambda * ranks = 3.
+	mean := float64(total) / trials
+	if math.Abs(mean-3) > 0.5 {
+		t.Errorf("mean faults per plan = %v, want ~3", mean)
+	}
+	// Lambda zero yields empty plans.
+	if p := MultiFaultPlan(r, counts, 0); len(p.Faults) != 0 {
+		t.Errorf("lambda 0 produced faults: %v", p)
+	}
+}
+
+func TestRankInjectorAppliesPlannedFlips(t *testing.T) {
+	plan := Plan{Faults: []Fault{
+		{Rank: 0, Site: 3, Bit: 0},
+		{Rank: 0, Site: 7, Bit: 63},
+		{Rank: 1, Site: 2, Bit: 5}, // other rank: ignored
+	}}
+	ri := NewRankInjector(plan, 0)
+	for site := uint64(0); site < 10; site++ {
+		val, flipped := ri.OnSite(site, 0)
+		switch site {
+		case 3:
+			if !flipped || val != 1 {
+				t.Errorf("site 3: val=%d flipped=%v", val, flipped)
+			}
+		case 7:
+			if !flipped || val != 1<<63 {
+				t.Errorf("site 7: val=%#x flipped=%v", val, flipped)
+			}
+		default:
+			if flipped || val != 0 {
+				t.Errorf("site %d: unexpected flip", site)
+			}
+		}
+	}
+	if len(ri.Applied()) != 2 {
+		t.Errorf("applied = %v", ri.Applied())
+	}
+	if ri.Pending() != 0 {
+		t.Errorf("pending = %d", ri.Pending())
+	}
+}
+
+func TestRankInjectorSameSiteTwice(t *testing.T) {
+	plan := Plan{Faults: []Fault{
+		{Site: 4, Bit: 0},
+		{Site: 4, Bit: 1},
+	}}
+	ri := NewRankInjector(plan, 0)
+	val, flipped := ri.OnSite(4, 0)
+	if !flipped || val != 0b11 {
+		t.Errorf("double fault at one site: val=%#b flipped=%v", val, flipped)
+	}
+}
+
+func TestRankInjectorSkippedSites(t *testing.T) {
+	// If execution ends before a planned site, it stays pending.
+	ri := NewRankInjector(Plan{Faults: []Fault{{Site: 100, Bit: 1}}}, 0)
+	for s := uint64(0); s < 50; s++ {
+		ri.OnSite(s, 7)
+	}
+	if ri.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", ri.Pending())
+	}
+	// A site counter that jumps past the planned site (diverged control
+	// flow) must not re-apply at a later site.
+	ri2 := NewRankInjector(Plan{Faults: []Fault{{Site: 10, Bit: 1}}}, 0)
+	if _, flipped := ri2.OnSite(50, 7); flipped {
+		t.Error("fault applied past its site")
+	}
+	if ri2.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (skipped, not applied)", ri2.Pending())
+	}
+}
+
+func TestInjectorFlipIsInvolutionProperty(t *testing.T) {
+	f := func(val uint64, bit uint8) bool {
+		plan := Plan{Faults: []Fault{{Site: 0, Bit: uint(bit % 64)}}}
+		a := NewRankInjector(plan, 0)
+		once, _ := a.OnSite(0, val)
+		b := NewRankInjector(plan, 0)
+		twice, _ := b.OnSite(0, once)
+		return twice == val && once != val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOnSite(b *testing.B) {
+	ri := NewRankInjector(Plan{Faults: []Fault{{Site: uint64(b.N) + 1, Bit: 3}}}, 0)
+	for i := 0; i < b.N; i++ {
+		ri.OnSite(uint64(i), uint64(i))
+	}
+}

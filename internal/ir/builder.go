@@ -1,0 +1,478 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder assembles a Program: globals, functions, and cross-function call
+// resolution by name.
+type Builder struct {
+	prog      *Program
+	nextWord  int64
+	funcs     []*FuncBuilder
+	entryName string
+	err       error
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		prog: &Program{
+			ByName: make(map[string]int),
+		},
+		nextWord:  1, // address 0 is the null word
+		entryName: "main",
+	}
+}
+
+// SetEntry names the entry function (default "main").
+func (b *Builder) SetEntry(name string) { b.entryName = name }
+
+// Global reserves size words in the global segment under name and returns
+// the base address.
+func (b *Builder) Global(name string, size int64) int64 {
+	if size <= 0 {
+		b.fail(fmt.Errorf("ir: global %q has non-positive size %d", name, size))
+		return 0
+	}
+	base := b.nextWord
+	b.prog.Globals = append(b.prog.Globals, Global{Name: name, Base: base, Size: size})
+	b.nextWord += size
+	return base
+}
+
+// GlobalInit sets the initial contents of a previously declared global.
+// len(init) must not exceed the global's size; remaining words stay zero.
+func (b *Builder) GlobalInit(name string, init []uint64) {
+	for i := range b.prog.Globals {
+		g := &b.prog.Globals[i]
+		if g.Name == name {
+			if int64(len(init)) > g.Size {
+				b.fail(fmt.Errorf("ir: init for global %q has %d words, size is %d",
+					name, len(init), g.Size))
+				return
+			}
+			g.Init = append([]uint64(nil), init...)
+			return
+		}
+	}
+	b.fail(fmt.Errorf("ir: GlobalInit of undeclared global %q", name))
+}
+
+// GlobalInitF sets the initial contents of a global from float64 values.
+func (b *Builder) GlobalInitF(name string, init []float64) {
+	words := make([]uint64, len(init))
+	for i, v := range init {
+		words[i] = math.Float64bits(v)
+	}
+	b.GlobalInit(name, words)
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Func starts a new function with the given number of parameters and
+// returned values. Parameters arrive in registers 0..params-1.
+func (b *Builder) Func(name string, params, rets int) *FuncBuilder {
+	f := &FuncBuilder{
+		b: b,
+		fn: &Func{
+			Name:      name,
+			NumParams: params,
+			NumRets:   rets,
+			NumRegs:   params,
+		},
+	}
+	if _, dup := b.prog.ByName[name]; dup {
+		b.fail(fmt.Errorf("ir: duplicate function %q", name))
+	}
+	b.prog.ByName[name] = len(b.funcs)
+	b.funcs = append(b.funcs, f)
+	return f
+}
+
+// Build finalizes the program: resolves labels and call targets, validates,
+// and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	b.prog.GlobalWords = b.nextWord - 1
+	for _, fb := range b.funcs {
+		if err := fb.finish(); err != nil {
+			return nil, fmt.Errorf("ir: func %q: %w", fb.fn.Name, err)
+		}
+		b.prog.Funcs = append(b.prog.Funcs, fb.fn)
+	}
+	entry, ok := b.prog.ByName[b.entryName]
+	if !ok {
+		return nil, fmt.Errorf("ir: entry function %q not defined", b.entryName)
+	}
+	b.prog.Entry = entry
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build that panics on error; for tests and fixed app builders
+// whose structure is statically known to be valid.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Label names a forward- or backward-referenced code position.
+type Label int
+
+// FuncBuilder emits instructions for one function.
+type FuncBuilder struct {
+	b         *Builder
+	fn        *Func
+	labelPos  []int // label -> pc, -1 if unbound
+	patchPCs  []int // pcs whose Target is a Label to resolve
+	callPCs   []int // pcs whose Target is a callee name index
+	callNames []string
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *FuncBuilder) NewReg() Reg {
+	r := Reg(f.fn.NumRegs)
+	f.fn.NumRegs++
+	return r
+}
+
+// NewRegs allocates n fresh registers.
+func (f *FuncBuilder) NewRegs(n int) []Reg {
+	rs := make([]Reg, n)
+	for i := range rs {
+		rs[i] = f.NewReg()
+	}
+	return rs
+}
+
+// Param returns the register holding the i-th parameter.
+func (f *FuncBuilder) Param(i int) Reg {
+	if i < 0 || i >= f.fn.NumParams {
+		f.b.fail(fmt.Errorf("ir: func %q: Param(%d) out of range", f.fn.Name, i))
+		return 0
+	}
+	return Reg(i)
+}
+
+// Local reserves size words in the function's stack frame and returns the
+// frame offset. Use FrameAddr to obtain the address at runtime.
+func (f *FuncBuilder) Local(size int) int {
+	off := f.fn.Frame
+	f.fn.Frame += size
+	return off
+}
+
+// NewLabel creates an unbound label.
+func (f *FuncBuilder) NewLabel() Label {
+	f.labelPos = append(f.labelPos, -1)
+	return Label(len(f.labelPos) - 1)
+}
+
+// Bind attaches the label to the current code position.
+func (f *FuncBuilder) Bind(l Label) {
+	if f.labelPos[l] != -1 {
+		f.b.fail(fmt.Errorf("ir: func %q: label %d bound twice", f.fn.Name, l))
+		return
+	}
+	f.labelPos[l] = len(f.fn.Code)
+}
+
+func (f *FuncBuilder) emit(in Instr) int {
+	f.fn.Code = append(f.fn.Code, in)
+	return len(f.fn.Code) - 1
+}
+
+// --- raw emission -----------------------------------------------------------
+
+// ConstI sets dst to the integer immediate.
+func (f *FuncBuilder) ConstI(dst Reg, v int64) { f.emit(Instr{Op: ConstI, Dst: dst, A: ImmI(v)}) }
+
+// ConstF sets dst to the float immediate.
+func (f *FuncBuilder) ConstF(dst Reg, v float64) { f.emit(Instr{Op: ConstF, Dst: dst, A: ImmF(v)}) }
+
+// Mov copies a into dst.
+func (f *FuncBuilder) Mov(dst Reg, a Operand) { f.emit(Instr{Op: Mov, Dst: dst, A: a}) }
+
+// Op3 emits a generic two-source instruction into dst.
+func (f *FuncBuilder) Op3(op Op, dst Reg, a, b Operand) {
+	f.emit(Instr{Op: op, Dst: dst, A: a, B: b})
+}
+
+// Op2 emits a generic one-source instruction into dst.
+func (f *FuncBuilder) Op2(op Op, dst Reg, a Operand) {
+	f.emit(Instr{Op: op, Dst: dst, A: a})
+}
+
+// Jmp emits an unconditional jump to l.
+func (f *FuncBuilder) Jmp(l Label) {
+	pc := f.emit(Instr{Op: Jmp, Target: int32(l)})
+	f.patchPCs = append(f.patchPCs, pc)
+}
+
+// Bnz branches to l when cond != 0.
+func (f *FuncBuilder) Bnz(cond Operand, l Label) {
+	pc := f.emit(Instr{Op: Bnz, A: cond, Target: int32(l)})
+	f.patchPCs = append(f.patchPCs, pc)
+}
+
+// Bz branches to l when cond == 0.
+func (f *FuncBuilder) Bz(cond Operand, l Label) {
+	pc := f.emit(Instr{Op: Bz, A: cond, Target: int32(l)})
+	f.patchPCs = append(f.patchPCs, pc)
+}
+
+// Call emits a call to the named function, binding results to rets.
+func (f *FuncBuilder) Call(name string, rets []Reg, args ...Operand) {
+	pc := f.emit(Instr{Op: Call, Args: args, Rets: rets})
+	f.callPCs = append(f.callPCs, pc)
+	f.callNames = append(f.callNames, name)
+}
+
+// Ret returns the given values.
+func (f *FuncBuilder) Ret(vals ...Operand) { f.emit(Instr{Op: Ret, Args: vals}) }
+
+// Intrin emits an intrinsic call.
+func (f *FuncBuilder) Intrin(id IntrinID, rets []Reg, args ...Operand) {
+	f.emit(Instr{Op: Intrin, Target: int32(id), Args: args, Rets: rets})
+}
+
+// --- expression helpers (allocate a fresh destination) ----------------------
+
+func (f *FuncBuilder) bin(op Op, a, b Operand) Reg {
+	dst := f.NewReg()
+	f.Op3(op, dst, a, b)
+	return dst
+}
+
+// Bin emits a generic two-source instruction into a fresh register; for
+// callers that select the opcode dynamically (e.g. program generators).
+func (f *FuncBuilder) Bin(op Op, a, b Operand) Reg { return f.bin(op, a, b) }
+
+func (f *FuncBuilder) un(op Op, a Operand) Reg {
+	dst := f.NewReg()
+	f.Op2(op, dst, a)
+	return dst
+}
+
+// CI materializes an integer constant in a fresh register.
+func (f *FuncBuilder) CI(v int64) Reg { dst := f.NewReg(); f.ConstI(dst, v); return dst }
+
+// CF materializes a float constant in a fresh register.
+func (f *FuncBuilder) CF(v float64) Reg { dst := f.NewReg(); f.ConstF(dst, v); return dst }
+
+// Integer arithmetic expression helpers.
+func (f *FuncBuilder) Add(a, b Operand) Reg  { return f.bin(Add, a, b) }
+func (f *FuncBuilder) Sub(a, b Operand) Reg  { return f.bin(Sub, a, b) }
+func (f *FuncBuilder) Mul(a, b Operand) Reg  { return f.bin(Mul, a, b) }
+func (f *FuncBuilder) SDiv(a, b Operand) Reg { return f.bin(SDiv, a, b) }
+func (f *FuncBuilder) SRem(a, b Operand) Reg { return f.bin(SRem, a, b) }
+func (f *FuncBuilder) Shl(a, b Operand) Reg  { return f.bin(Shl, a, b) }
+func (f *FuncBuilder) LShr(a, b Operand) Reg { return f.bin(LShr, a, b) }
+func (f *FuncBuilder) AShr(a, b Operand) Reg { return f.bin(AShr, a, b) }
+func (f *FuncBuilder) And(a, b Operand) Reg  { return f.bin(And, a, b) }
+func (f *FuncBuilder) Or(a, b Operand) Reg   { return f.bin(Or, a, b) }
+func (f *FuncBuilder) Xor(a, b Operand) Reg  { return f.bin(Xor, a, b) }
+
+// Float arithmetic expression helpers.
+func (f *FuncBuilder) FAdd(a, b Operand) Reg { return f.bin(FAdd, a, b) }
+func (f *FuncBuilder) FSub(a, b Operand) Reg { return f.bin(FSub, a, b) }
+func (f *FuncBuilder) FMul(a, b Operand) Reg { return f.bin(FMul, a, b) }
+func (f *FuncBuilder) FDiv(a, b Operand) Reg { return f.bin(FDiv, a, b) }
+
+// Conversions.
+func (f *FuncBuilder) SIToFP(a Operand) Reg { return f.un(SIToFP, a) }
+func (f *FuncBuilder) FPToSI(a Operand) Reg { return f.un(FPToSI, a) }
+
+// Comparisons.
+func (f *FuncBuilder) ICmp(op Op, a, b Operand) Reg { return f.bin(op, a, b) }
+func (f *FuncBuilder) FCmp(op Op, a, b Operand) Reg { return f.bin(op, a, b) }
+
+// Select returns cond != 0 ? a : b.
+func (f *FuncBuilder) Select(cond, a, b Operand) Reg {
+	dst := f.NewReg()
+	f.emit(Instr{Op: Select, Dst: dst, A: cond, B: a, C: b})
+	return dst
+}
+
+// Load reads mem[addr] into a fresh register.
+func (f *FuncBuilder) Load(addr Operand) Reg { return f.un(Load, addr) }
+
+// Store writes val to mem[addr].
+func (f *FuncBuilder) Store(val, addr Operand) { f.emit(Instr{Op: Store, A: val, B: addr}) }
+
+// FrameAddr returns the address of the stack local at the given frame
+// offset in a fresh register.
+func (f *FuncBuilder) FrameAddr(offset int) Reg {
+	dst := f.NewReg()
+	f.emit(Instr{Op: FrameAddr, Dst: dst, A: ImmI(int64(offset))})
+	return dst
+}
+
+// Idx computes base + idx in a fresh register (word-addressed indexing).
+func (f *FuncBuilder) Idx(base, idx Operand) Reg { return f.Add(base, idx) }
+
+// Ld loads mem[base+idx].
+func (f *FuncBuilder) Ld(base, idx Operand) Reg { return f.Load(R(f.Idx(base, idx))) }
+
+// St stores val to mem[base+idx].
+func (f *FuncBuilder) St(val, base, idx Operand) { f.Store(val, R(f.Idx(base, idx))) }
+
+// --- intrinsic helpers -------------------------------------------------------
+
+func (f *FuncBuilder) intrin1(id IntrinID, args ...Operand) Reg {
+	dst := f.NewReg()
+	f.Intrin(id, []Reg{dst}, args...)
+	return dst
+}
+
+func (f *FuncBuilder) Sqrt(a Operand) Reg    { return f.intrin1(IntrinSqrt, a) }
+func (f *FuncBuilder) Sin(a Operand) Reg     { return f.intrin1(IntrinSin, a) }
+func (f *FuncBuilder) Cos(a Operand) Reg     { return f.intrin1(IntrinCos, a) }
+func (f *FuncBuilder) Exp(a Operand) Reg     { return f.intrin1(IntrinExp, a) }
+func (f *FuncBuilder) Log(a Operand) Reg     { return f.intrin1(IntrinLog, a) }
+func (f *FuncBuilder) Fabs(a Operand) Reg    { return f.intrin1(IntrinFabs, a) }
+func (f *FuncBuilder) Floor(a Operand) Reg   { return f.intrin1(IntrinFloor, a) }
+func (f *FuncBuilder) Pow(a, b Operand) Reg  { return f.intrin1(IntrinPow, a, b) }
+func (f *FuncBuilder) FMin(a, b Operand) Reg { return f.intrin1(IntrinFMin, a, b) }
+func (f *FuncBuilder) FMax(a, b Operand) Reg { return f.intrin1(IntrinFMax, a, b) }
+
+// Alloc bump-allocates size words on the heap and returns the base address.
+func (f *FuncBuilder) Alloc(size Operand) Reg { return f.intrin1(IntrinAlloc, size) }
+
+// OutputF appends a float to the run's observable output vector.
+func (f *FuncBuilder) OutputF(v Operand) { f.Intrin(IntrinOutputF, nil, v) }
+
+// OutputI appends an integer to the run's observable output vector.
+func (f *FuncBuilder) OutputI(v Operand) { f.Intrin(IntrinOutputI, nil, v) }
+
+// Iterations records the solver iteration count for PEX classification.
+func (f *FuncBuilder) Iterations(v Operand) { f.Intrin(IntrinIterations, nil, v) }
+
+// Tick marks a logical timestep boundary (id identifies the loop).
+func (f *FuncBuilder) Tick(id Operand) { f.Intrin(IntrinCheckpointT, nil, id) }
+
+// MPIRank returns the caller's rank.
+func (f *FuncBuilder) MPIRank() Reg { return f.intrin1(IntrinMPIRank) }
+
+// MPISize returns the number of ranks.
+func (f *FuncBuilder) MPISize() Reg { return f.intrin1(IntrinMPISize) }
+
+// MPISend sends count words starting at addr to rank dst with the tag.
+func (f *FuncBuilder) MPISend(addr, count, dst, tag Operand) {
+	f.Intrin(IntrinMPISend, nil, addr, count, dst, tag)
+}
+
+// MPIRecv receives count words into addr from rank src with the tag.
+func (f *FuncBuilder) MPIRecv(addr, count, src, tag Operand) {
+	f.Intrin(IntrinMPIRecv, nil, addr, count, src, tag)
+}
+
+// MPIAllreduceF reduces count float words across ranks.
+func (f *FuncBuilder) MPIAllreduceF(sendAddr, recvAddr, count Operand, op ReduceOp) {
+	f.Intrin(IntrinMPIAllreduceF, nil, sendAddr, recvAddr, count, ImmI(int64(op)))
+}
+
+// MPIAllreduceI reduces count integer words across ranks.
+func (f *FuncBuilder) MPIAllreduceI(sendAddr, recvAddr, count Operand, op ReduceOp) {
+	f.Intrin(IntrinMPIAllreduceI, nil, sendAddr, recvAddr, count, ImmI(int64(op)))
+}
+
+// MPIBarrier synchronizes all ranks.
+func (f *FuncBuilder) MPIBarrier() { f.Intrin(IntrinMPIBarrier, nil) }
+
+// MPIBcast broadcasts count words at addr from root to all ranks.
+func (f *FuncBuilder) MPIBcast(addr, count, root Operand) {
+	f.Intrin(IntrinMPIBcast, nil, addr, count, root)
+}
+
+// MPIAbort terminates the whole job (class C).
+func (f *FuncBuilder) MPIAbort(code Operand) { f.Intrin(IntrinMPIAbort, nil, code) }
+
+// --- structured control flow -------------------------------------------------
+
+// For emits: for i := lo; i < hi; i++ { body() }. i must be a register the
+// caller owns; lo and hi are evaluated once.
+func (f *FuncBuilder) For(i Reg, lo, hi Operand, body func()) {
+	// Evaluate hi once into a register if it is not already one.
+	bound := hi
+	if hi.Kind != KindReg {
+		bound = R(f.NewReg())
+		f.Mov(bound.Reg, hi)
+	}
+	f.Mov(i, lo)
+	head := f.NewLabel()
+	end := f.NewLabel()
+	f.Bind(head)
+	cond := f.ICmp(ICmpSLT, R(i), bound)
+	f.Bz(R(cond), end)
+	body()
+	f.Op3(Add, i, R(i), ImmI(1))
+	f.Jmp(head)
+	f.Bind(end)
+}
+
+// While emits: for cond() != 0 { body() }. cond is re-evaluated each
+// iteration and must emit its own instructions.
+func (f *FuncBuilder) While(cond func() Operand, body func()) {
+	head := f.NewLabel()
+	end := f.NewLabel()
+	f.Bind(head)
+	c := cond()
+	f.Bz(c, end)
+	body()
+	f.Jmp(head)
+	f.Bind(end)
+}
+
+// If emits: if cond != 0 { then() }.
+func (f *FuncBuilder) If(cond Operand, then func()) {
+	end := f.NewLabel()
+	f.Bz(cond, end)
+	then()
+	f.Bind(end)
+}
+
+// IfElse emits: if cond != 0 { then() } else { els() }.
+func (f *FuncBuilder) IfElse(cond Operand, then, els func()) {
+	elseL := f.NewLabel()
+	end := f.NewLabel()
+	f.Bz(cond, elseL)
+	then()
+	f.Jmp(end)
+	f.Bind(elseL)
+	els()
+	f.Bind(end)
+}
+
+// finish resolves labels and call targets.
+func (f *FuncBuilder) finish() error {
+	for _, pc := range f.patchPCs {
+		l := Label(f.fn.Code[pc].Target)
+		if int(l) >= len(f.labelPos) || f.labelPos[l] < 0 {
+			return fmt.Errorf("unbound label %d at pc %d", l, pc)
+		}
+		f.fn.Code[pc].Target = int32(f.labelPos[l])
+	}
+	for i, pc := range f.callPCs {
+		name := f.callNames[i]
+		idx, ok := f.b.prog.ByName[name]
+		if !ok {
+			return fmt.Errorf("call to undefined function %q at pc %d", name, pc)
+		}
+		f.fn.Code[pc].Target = int32(idx)
+	}
+	return nil
+}

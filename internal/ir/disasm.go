@@ -1,0 +1,133 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FormatOperand renders an operand. Float immediates cannot be
+// distinguished from integer immediates without opcode context, so raw bits
+// are shown for large magnitudes.
+func FormatOperand(o Operand) string {
+	switch o.Kind {
+	case KindNone:
+		return "_"
+	case KindReg:
+		return fmt.Sprintf("r%d", o.Reg)
+	default:
+		i := int64(o.Imm)
+		if i > -1_000_000 && i < 1_000_000 {
+			return fmt.Sprintf("#%d", i)
+		}
+		// Float-looking words render with an 'f' suffix so the assembler
+		// can round-trip them unambiguously.
+		f := math.Float64frombits(o.Imm)
+		if !math.IsNaN(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e30 && f == f {
+			if math.Float64bits(f) == o.Imm {
+				return fmt.Sprintf("#%gf", f)
+			}
+		}
+		return fmt.Sprintf("#0x%x", o.Imm)
+	}
+}
+
+// FormatInstr renders one instruction; prog may be nil (call targets are
+// then shown as indices).
+func FormatInstr(prog *Program, in *Instr) string {
+	var sb strings.Builder
+	if in.Flags&FlagSecondary != 0 {
+		sb.WriteString("  ~")
+	} else {
+		sb.WriteString("   ")
+	}
+	switch in.Op {
+	case Nop:
+		sb.WriteString("nop")
+	case ConstI:
+		fmt.Fprintf(&sb, "r%d = consti %s", in.Dst, FormatOperand(in.A))
+	case ConstF:
+		fmt.Fprintf(&sb, "r%d = constf #%g", in.Dst, math.Float64frombits(in.A.Imm))
+	case Jmp:
+		fmt.Fprintf(&sb, "jmp @%d", in.Target)
+	case Bnz:
+		fmt.Fprintf(&sb, "bnz %s, @%d", FormatOperand(in.A), in.Target)
+	case Bz:
+		fmt.Fprintf(&sb, "bz %s, @%d", FormatOperand(in.A), in.Target)
+	case Store:
+		fmt.Fprintf(&sb, "store %s -> [%s]", FormatOperand(in.A), FormatOperand(in.B))
+	case FpmStore:
+		fmt.Fprintf(&sb, "fpm_store v=%s v'=%s -> [a=%s a'=%s]",
+			FormatOperand(in.A), FormatOperand(in.B), FormatOperand(in.C), FormatOperand(in.D))
+	case Load:
+		fmt.Fprintf(&sb, "r%d = load [%s]", in.Dst, FormatOperand(in.A))
+	case FpmFetch:
+		fmt.Fprintf(&sb, "r%d = fpm_fetch [%s]", in.Dst, FormatOperand(in.A))
+	case FimInj:
+		fmt.Fprintf(&sb, "r%d = fim_inj(%s)", in.Dst, FormatOperand(in.A))
+	case Call:
+		name := fmt.Sprintf("fn#%d", in.Target)
+		if prog != nil && int(in.Target) < len(prog.Funcs) {
+			name = prog.Funcs[in.Target].Name
+		}
+		fmt.Fprintf(&sb, "%s = call %s(%s)", formatRets(in.Rets), name, formatArgs(in.Args))
+	case Intrin:
+		fmt.Fprintf(&sb, "%s = %s(%s)", formatRets(in.Rets), IntrinID(in.Target), formatArgs(in.Args))
+	case Ret:
+		fmt.Fprintf(&sb, "ret %s", formatArgs(in.Args))
+	case Select:
+		fmt.Fprintf(&sb, "r%d = select %s ? %s : %s", in.Dst,
+			FormatOperand(in.A), FormatOperand(in.B), FormatOperand(in.C))
+	default:
+		fmt.Fprintf(&sb, "r%d = %s %s", in.Dst, in.Op, FormatOperand(in.A))
+		if in.B.Kind != KindNone {
+			fmt.Fprintf(&sb, ", %s", FormatOperand(in.B))
+		}
+	}
+	if in.Flags&FlagInjectable != 0 {
+		sb.WriteString("  ; inj")
+	}
+	return sb.String()
+}
+
+func formatArgs(args []Operand) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = FormatOperand(a)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func formatRets(rets []Reg) string {
+	if len(rets) == 0 {
+		return "_"
+	}
+	parts := make([]string, len(rets))
+	for i, r := range rets {
+		parts[i] = fmt.Sprintf("r%d", r)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Disassemble renders a whole function.
+func Disassemble(prog *Program, f *Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(params=%d rets=%d regs=%d frame=%d):\n",
+		f.Name, f.NumParams, f.NumRets, f.NumRegs, f.Frame)
+	for pc := range f.Code {
+		fmt.Fprintf(&sb, "%4d:%s\n", pc, FormatInstr(prog, &f.Code[pc]))
+	}
+	return sb.String()
+}
+
+// DisassembleProgram renders the entire program.
+func DisassembleProgram(prog *Program) string {
+	var sb strings.Builder
+	for _, g := range prog.Globals {
+		fmt.Fprintf(&sb, "global %s @%d size=%d\n", g.Name, g.Base, g.Size)
+	}
+	for _, f := range prog.Funcs {
+		sb.WriteString(Disassemble(prog, f))
+	}
+	return sb.String()
+}

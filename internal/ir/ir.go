@@ -1,0 +1,364 @@
+// Package ir defines the intermediate representation that stands in for the
+// LLVM IR of the paper. Applications are authored against this IR through
+// the builder API; the FPM transformation pass (package transform) rewrites
+// IR programs into the dual-chain instrumented form of the paper's Fig. 3,
+// and the interpreter (package vm) executes either form.
+//
+// The IR is a register machine: each function owns a file of 64-bit virtual
+// registers. Words are untyped at the register level; opcodes select integer
+// or IEEE-754 float interpretation, exactly as hardware registers do. This
+// matters for the fault model: a single-bit flip is defined on the 64-bit
+// word regardless of how the program interprets it.
+//
+// Memory is word-addressed: address n names the n-th 64-bit word of the
+// process address space. Address 0 is the null word and traps on access.
+package ir
+
+import "math"
+
+// Reg names a virtual register within a function. Registers 0..NumParams-1
+// hold the incoming arguments.
+type Reg int32
+
+// NoReg marks an unused register slot in an instruction.
+const NoReg Reg = -1
+
+// Op is an IR opcode.
+type Op uint8
+
+// Opcodes. Arithmetic opcodes interpret operands as signed 64-bit integers
+// unless prefixed with F (IEEE-754 binary64).
+const (
+	Nop Op = iota
+
+	// Data movement. ConstI/ConstF place the immediate in A.
+	ConstI // Dst = imm
+	ConstF // Dst = float imm
+	Mov    // Dst = A
+
+	// Integer arithmetic.
+	Add  // Dst = A + B
+	Sub  // Dst = A - B
+	Mul  // Dst = A * B
+	SDiv // Dst = A / B (signed; traps on divide by zero or overflow)
+	SRem // Dst = A % B (signed; traps on divide by zero)
+	Shl  // Dst = A << (B & 63)
+	LShr // Dst = A >>> (B & 63) (logical)
+	AShr // Dst = A >> (B & 63) (arithmetic)
+	And  // Dst = A & B
+	Or   // Dst = A | B
+	Xor  // Dst = A ^ B
+
+	// Floating-point arithmetic.
+	FAdd // Dst = A + B
+	FSub // Dst = A - B
+	FMul // Dst = A * B
+	FDiv // Dst = A / B
+
+	// Conversions.
+	SIToFP // Dst = float64(int64(A))
+	FPToSI // Dst = int64(float64(A)) (truncating; traps on NaN/overflow)
+
+	// Integer comparisons; result is 1 or 0.
+	ICmpEQ
+	ICmpNE
+	ICmpSLT
+	ICmpSLE
+	ICmpSGT
+	ICmpSGE
+
+	// Floating-point comparisons; result is 1 or 0.
+	FCmpEQ
+	FCmpNE
+	FCmpLT
+	FCmpLE
+	FCmpGT
+	FCmpGE
+
+	// Select: Dst = A != 0 ? B : C.
+	Select
+
+	// Memory.
+	Load      // Dst = mem[A]
+	Store     // mem[B] = A
+	FrameAddr // Dst = frame pointer + imm(A): address of a stack local
+
+	// Control flow. Target is the resolved instruction index.
+	Jmp  // pc = Target
+	Bnz  // if A != 0: pc = Target
+	Bz   // if A == 0: pc = Target
+	Call // call Funcs[Target](Args...) -> Rets
+	Ret  // return Args...
+
+	// Intrinsic call: Target is an IntrinID; Args/Rets as Call.
+	Intrin
+
+	// FPM instrumentation pseudo-ops, inserted by the transform pass.
+	// They are never produced by the builder directly.
+	FimInj   // Dst = maybeFlip(A): LLFI++ injection point for one operand use
+	FpmFetch // Dst = pristineAt(mem address A): secondary-chain load
+	FpmStore // store A(primary val) to C(primary addr); B/D are the pristine val/addr
+)
+
+const numOps = int(FpmStore) + 1
+
+var opNames = [numOps]string{
+	Nop: "nop", ConstI: "consti", ConstF: "constf", Mov: "mov",
+	Add: "add", Sub: "sub", Mul: "mul", SDiv: "sdiv", SRem: "srem",
+	Shl: "shl", LShr: "lshr", AShr: "ashr", And: "and", Or: "or", Xor: "xor",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv",
+	SIToFP: "sitofp", FPToSI: "fptosi",
+	ICmpEQ: "icmp.eq", ICmpNE: "icmp.ne", ICmpSLT: "icmp.slt",
+	ICmpSLE: "icmp.sle", ICmpSGT: "icmp.sgt", ICmpSGE: "icmp.sge",
+	FCmpEQ: "fcmp.eq", FCmpNE: "fcmp.ne", FCmpLT: "fcmp.lt",
+	FCmpLE: "fcmp.le", FCmpGT: "fcmp.gt", FCmpGE: "fcmp.ge",
+	Select: "select",
+	Load:   "load", Store: "store", FrameAddr: "frameaddr",
+	Jmp: "jmp", Bnz: "bnz", Bz: "bz", Call: "call", Ret: "ret",
+	Intrin: "intrin",
+	FimInj: "fim_inj", FpmFetch: "fpm_fetch", FpmStore: "fpm_store",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Class groups opcodes for injection-site selection (paper §3.1: faults are
+// injected into source registers of arithmetic and load/store operations).
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNone    Class = 0
+	ClassArith   Class = 1 << iota // integer/float arithmetic and conversions
+	ClassMem                       // load/store
+	ClassCmp                       // comparisons and select
+	ClassControl                   // branches, calls
+)
+
+// ClassOf returns the injection class of an opcode.
+func ClassOf(op Op) Class {
+	switch op {
+	case Add, Sub, Mul, SDiv, SRem, Shl, LShr, AShr, And, Or, Xor,
+		FAdd, FSub, FMul, FDiv, SIToFP, FPToSI:
+		return ClassArith
+	case Load, Store:
+		return ClassMem
+	case ICmpEQ, ICmpNE, ICmpSLT, ICmpSLE, ICmpSGT, ICmpSGE,
+		FCmpEQ, FCmpNE, FCmpLT, FCmpLE, FCmpGT, FCmpGE, Select:
+		return ClassCmp
+	case Jmp, Bnz, Bz, Call, Ret:
+		return ClassControl
+	default:
+		return ClassNone
+	}
+}
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KindNone OperandKind = iota
+	KindReg
+	KindImm
+)
+
+// Operand is a register or an immediate 64-bit word.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg
+	Imm  uint64
+}
+
+// R constructs a register operand.
+func R(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// ImmI constructs an integer immediate operand.
+func ImmI(v int64) Operand { return Operand{Kind: KindImm, Imm: uint64(v)} }
+
+// ImmF constructs a float immediate operand.
+func ImmF(v float64) Operand { return Operand{Kind: KindImm, Imm: math.Float64bits(v)} }
+
+// ImmBits constructs a raw-bits immediate operand.
+func ImmBits(v uint64) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// IsReg reports whether the operand is a register.
+func (o Operand) IsReg() bool { return o.Kind == KindReg }
+
+// Flags annotate instructions for the FPM machinery.
+type Flags uint8
+
+// Instruction flags.
+const (
+	// FlagInjectable marks a primary-chain instruction whose register
+	// source operands are fault-injection sites.
+	FlagInjectable Flags = 1 << iota
+	// FlagSecondary marks instructions belonging to the replicated
+	// secondary (pristine) chain; they are never injection sites and do
+	// not count as application work.
+	FlagSecondary
+)
+
+// Instr is one IR instruction. A, B, C, D are operand slots; most opcodes
+// use at most A and B. FpmStore uses all four (primary value, pristine
+// value, primary address, pristine address). Call-like opcodes use Args and
+// Rets instead.
+type Instr struct {
+	Op         Op
+	Flags      Flags
+	Dst        Reg
+	A, B, C, D Operand
+	Target     int32 // jump pc, callee function index, or IntrinID
+	Args       []Operand
+	Rets       []Reg
+}
+
+// SrcOperands appends the instruction's source operand slots that are in use
+// to dst and returns it (excluding Args; use for non-call instructions).
+func (in *Instr) SrcOperands(dst []Operand) []Operand {
+	for _, o := range [4]Operand{in.A, in.B, in.C, in.D} {
+		if o.Kind != KindNone {
+			dst = append(dst, o)
+		}
+	}
+	return dst
+}
+
+// RegSources appends the registers read by this instruction to dst and
+// returns it. Used by the FPM transform to place fim_inj sites and by the
+// validator.
+func (in *Instr) RegSources(dst []Reg) []Reg {
+	switch in.Op {
+	case Call, Intrin, Ret:
+		for _, a := range in.Args {
+			if a.IsReg() {
+				dst = append(dst, a.Reg)
+			}
+		}
+		return dst
+	default:
+		for _, o := range [4]Operand{in.A, in.B, in.C, in.D} {
+			if o.IsReg() {
+				dst = append(dst, o.Reg)
+			}
+		}
+		return dst
+	}
+}
+
+// HasDst reports whether the instruction writes Dst.
+func (in *Instr) HasDst() bool {
+	switch in.Op {
+	case Store, Jmp, Bnz, Bz, Ret, Nop, FpmStore:
+		return false
+	case Call, Intrin:
+		return false // destinations are in Rets
+	default:
+		return in.Dst != NoReg
+	}
+}
+
+// IntrinID identifies a VM intrinsic. Intrinsics are the IR's system
+// interface: math library calls (replicated by the FPM transform as pure
+// functions), memory allocation, observable output, and the MPI surface.
+type IntrinID int32
+
+// Intrinsic identifiers.
+const (
+	IntrinNone IntrinID = iota
+
+	// Pure math: one float argument, one float result (except Pow: two
+	// arguments; Min/Max: two arguments).
+	IntrinSqrt
+	IntrinSin
+	IntrinCos
+	IntrinExp
+	IntrinLog
+	IntrinFabs
+	IntrinFloor
+	IntrinPow
+	IntrinFMin
+	IntrinFMax
+
+	// Memory: Alloc(sizeWords) -> base address. Bump allocator; traps when
+	// the heap meets the stack.
+	IntrinAlloc
+
+	// Observability (side effects; never replicated).
+	IntrinOutputF     // OutputF(x): append x to the run's output vector
+	IntrinOutputI     // OutputI(n): append float64(n) to the output vector
+	IntrinIterations  // Iterations(n): record solver iteration count
+	IntrinPrintF      // debug print
+	IntrinPrintI      // debug print
+	IntrinCheckpointT // CheckpointTick(id): mark a logical timestep boundary
+
+	// MPI (side effects; the runtime handles contamination piggyback).
+	IntrinMPIRank       // () -> rank
+	IntrinMPISize       // () -> nranks
+	IntrinMPISend       // (addr, count, dst, tag)
+	IntrinMPIRecv       // (addr, count, src, tag)
+	IntrinMPIAllreduceF // (sendAddr, recvAddr, count, op)
+	IntrinMPIAllreduceI // (sendAddr, recvAddr, count, op)
+	IntrinMPIBarrier    // ()
+	IntrinMPIBcast      // (addr, count, root)
+	IntrinMPIAbort      // (code): terminates the whole job
+
+	numIntrins
+)
+
+// NumIntrins is the number of defined intrinsics.
+const NumIntrins = int(numIntrins)
+
+var intrinNames = [NumIntrins]string{
+	IntrinSqrt: "sqrt", IntrinSin: "sin", IntrinCos: "cos", IntrinExp: "exp",
+	IntrinLog: "log", IntrinFabs: "fabs", IntrinFloor: "floor",
+	IntrinPow: "pow", IntrinFMin: "fmin", IntrinFMax: "fmax",
+	IntrinAlloc:   "alloc",
+	IntrinOutputF: "output.f", IntrinOutputI: "output.i",
+	IntrinIterations: "iterations",
+	IntrinPrintF:     "print.f", IntrinPrintI: "print.i",
+	IntrinCheckpointT: "tick",
+	IntrinMPIRank:     "mpi.rank", IntrinMPISize: "mpi.size",
+	IntrinMPISend: "mpi.send", IntrinMPIRecv: "mpi.recv",
+	IntrinMPIAllreduceF: "mpi.allreduce.f", IntrinMPIAllreduceI: "mpi.allreduce.i",
+	IntrinMPIBarrier: "mpi.barrier", IntrinMPIBcast: "mpi.bcast",
+	IntrinMPIAbort: "mpi.abort",
+}
+
+// String returns the intrinsic's name.
+func (id IntrinID) String() string {
+	if int(id) < len(intrinNames) && intrinNames[id] != "" {
+		return intrinNames[id]
+	}
+	return "intrin?"
+}
+
+// IntrinPure reports whether the intrinsic is a pure function of its
+// arguments. Pure intrinsics are replicated by the FPM transform (executed
+// once with potentially-corrupted and once with pristine inputs, paper
+// §3.2 "Function Calls"); impure ones are executed only on the primary
+// chain to avoid duplicated side effects.
+func IntrinPure(id IntrinID) bool {
+	switch id {
+	case IntrinSqrt, IntrinSin, IntrinCos, IntrinExp, IntrinLog,
+		IntrinFabs, IntrinFloor, IntrinPow, IntrinFMin, IntrinFMax:
+		return true
+	default:
+		return false
+	}
+}
+
+// ReduceOp selects the combining operator of an Allreduce.
+type ReduceOp int64
+
+// Reduction operators.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMin
+	ReduceMax
+)

@@ -1,0 +1,333 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := Nop; op <= FpmStore; op++ {
+		if s := op.String(); s == "" || s == "op?" {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestIntrinStrings(t *testing.T) {
+	for id := IntrinSqrt; id < IntrinID(NumIntrins); id++ {
+		if s := id.String(); s == "" || s == "intrin?" {
+			t.Errorf("intrinsic %d has no name", id)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{Add, ClassArith}, {FMul, ClassArith}, {SIToFP, ClassArith},
+		{Load, ClassMem}, {Store, ClassMem},
+		{ICmpEQ, ClassCmp}, {Select, ClassCmp},
+		{Jmp, ClassControl}, {Call, ClassControl},
+		{ConstI, ClassNone}, {Mov, ClassNone}, {FimInj, ClassNone},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.op); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOperandConstructors(t *testing.T) {
+	if o := R(3); !o.IsReg() || o.Reg != 3 {
+		t.Errorf("R(3) = %+v", o)
+	}
+	if o := ImmI(-5); o.IsReg() || int64(o.Imm) != -5 {
+		t.Errorf("ImmI(-5) = %+v", o)
+	}
+	if o := ImmF(1.5); o.Imm != 0x3ff8000000000000 {
+		t.Errorf("ImmF(1.5) = %#x", o.Imm)
+	}
+}
+
+func TestBuilderSimpleProgram(t *testing.T) {
+	b := NewBuilder()
+	g := b.Global("data", 4)
+	if g != 1 {
+		t.Fatalf("first global base = %d, want 1", g)
+	}
+	b.GlobalInit("data", []uint64{10, 20, 30, 40})
+	f := b.Func("main", 0, 0)
+	sum := f.NewReg()
+	i := f.NewReg()
+	f.ConstI(sum, 0)
+	f.For(i, ImmI(0), ImmI(4), func() {
+		v := f.Ld(ImmI(g), R(i))
+		f.Op3(Add, sum, R(sum), R(v))
+	})
+	f.OutputI(R(sum))
+	f.Ret()
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.GlobalWords != 4 {
+		t.Errorf("GlobalWords = %d, want 4", prog.GlobalWords)
+	}
+	if prog.FuncNamed("main") == nil {
+		t.Error("main not found")
+	}
+	if _, ok := prog.GlobalNamed("data"); !ok {
+		t.Error("global data not found")
+	}
+	if _, ok := prog.GlobalNamed("nope"); ok {
+		t.Error("unexpected global")
+	}
+}
+
+func TestBuilderCallsResolvedByName(t *testing.T) {
+	b := NewBuilder()
+	main := b.Func("main", 0, 0)
+	r := main.NewReg()
+	// Forward reference: callee defined after the call site.
+	main.Call("twice", []Reg{r}, ImmI(21))
+	main.OutputI(R(r))
+	main.Ret()
+
+	twice := b.Func("twice", 1, 1)
+	out := twice.Mul(R(twice.Param(0)), ImmI(2))
+	twice.Ret(R(out))
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := prog.FuncNamed("main").Code[0]
+	if call.Op != Call || prog.Funcs[call.Target].Name != "twice" {
+		t.Errorf("call not resolved: %+v", call)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("duplicate function", func(t *testing.T) {
+		b := NewBuilder()
+		b.Func("main", 0, 0).Ret()
+		b.Func("main", 0, 0).Ret()
+		if _, err := b.Build(); err == nil {
+			t.Error("duplicate function not rejected")
+		}
+	})
+	t.Run("missing entry", func(t *testing.T) {
+		b := NewBuilder()
+		b.Func("helper", 0, 0).Ret()
+		if _, err := b.Build(); err == nil {
+			t.Error("missing entry not rejected")
+		}
+	})
+	t.Run("undefined callee", func(t *testing.T) {
+		b := NewBuilder()
+		f := b.Func("main", 0, 0)
+		f.Call("ghost", nil)
+		f.Ret()
+		if _, err := b.Build(); err == nil {
+			t.Error("undefined callee not rejected")
+		}
+	})
+	t.Run("unbound label", func(t *testing.T) {
+		b := NewBuilder()
+		f := b.Func("main", 0, 0)
+		l := f.NewLabel()
+		f.Jmp(l)
+		f.Ret()
+		if _, err := b.Build(); err == nil {
+			t.Error("unbound label not rejected")
+		}
+	})
+	t.Run("bad global size", func(t *testing.T) {
+		b := NewBuilder()
+		b.Global("x", 0)
+		b.Func("main", 0, 0).Ret()
+		if _, err := b.Build(); err == nil {
+			t.Error("zero-size global not rejected")
+		}
+	})
+	t.Run("oversized init", func(t *testing.T) {
+		b := NewBuilder()
+		b.Global("x", 1)
+		b.GlobalInit("x", []uint64{1, 2})
+		b.Func("main", 0, 0).Ret()
+		if _, err := b.Build(); err == nil {
+			t.Error("oversized init not rejected")
+		}
+	})
+	t.Run("init of undeclared global", func(t *testing.T) {
+		b := NewBuilder()
+		b.GlobalInit("ghost", []uint64{1})
+		b.Func("main", 0, 0).Ret()
+		if _, err := b.Build(); err == nil {
+			t.Error("undeclared init not rejected")
+		}
+	})
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	mk := func(f Func) *Program {
+		return &Program{
+			Funcs:  []*Func{&f},
+			ByName: map[string]int{f.Name: 0},
+		}
+	}
+	t.Run("register out of range", func(t *testing.T) {
+		p := mk(Func{Name: "main", NumRegs: 1, Code: []Instr{
+			{Op: Mov, Dst: 5, A: R(0)},
+			{Op: Ret},
+		}})
+		if err := p.Validate(); err == nil {
+			t.Error("out-of-range dst accepted")
+		}
+	})
+	t.Run("jump out of range", func(t *testing.T) {
+		p := mk(Func{Name: "main", NumRegs: 1, Code: []Instr{
+			{Op: Jmp, Target: 99},
+			{Op: Ret},
+		}})
+		if err := p.Validate(); err == nil {
+			t.Error("wild jump accepted")
+		}
+	})
+	t.Run("no terminator", func(t *testing.T) {
+		p := mk(Func{Name: "main", NumRegs: 1, Code: []Instr{
+			{Op: Nop},
+		}})
+		if err := p.Validate(); err == nil {
+			t.Error("missing terminator accepted")
+		}
+	})
+	t.Run("ret arity", func(t *testing.T) {
+		p := mk(Func{Name: "main", NumRegs: 1, NumRets: 1, Code: []Instr{
+			{Op: Ret},
+		}})
+		if err := p.Validate(); err == nil {
+			t.Error("ret arity mismatch accepted")
+		}
+	})
+	t.Run("bad intrinsic", func(t *testing.T) {
+		p := mk(Func{Name: "main", NumRegs: 1, Code: []Instr{
+			{Op: Intrin, Target: 9999},
+			{Op: Ret},
+		}})
+		if err := p.Validate(); err == nil {
+			t.Error("unknown intrinsic accepted")
+		}
+	})
+	t.Run("call arity", func(t *testing.T) {
+		callee := &Func{Name: "f", NumParams: 2, NumRegs: 2, Code: []Instr{{Op: Ret}}}
+		main := &Func{Name: "main", NumRegs: 1, Code: []Instr{
+			{Op: Call, Target: 1, Args: []Operand{ImmI(1)}},
+			{Op: Ret},
+		}}
+		p := &Program{Funcs: []*Func{main, callee}, ByName: map[string]int{"main": 0, "f": 1}}
+		if err := p.Validate(); err == nil {
+			t.Error("call arity mismatch accepted")
+		}
+	})
+}
+
+func TestRegSources(t *testing.T) {
+	in := Instr{Op: Add, Dst: 2, A: R(0), B: ImmI(5)}
+	got := in.RegSources(nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("RegSources = %v, want [0]", got)
+	}
+	call := Instr{Op: Call, Args: []Operand{R(1), ImmI(2), R(3)}}
+	got = call.RegSources(nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("call RegSources = %v, want [1 3]", got)
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	b := NewBuilder()
+	b.Global("g", 2)
+	f := b.Func("main", 0, 0)
+	x := f.CF(2.5)
+	y := f.FMul(R(x), ImmF(4))
+	f.Store(R(y), ImmI(1))
+	f.Ret()
+	prog := b.MustBuild()
+	text := DisassembleProgram(prog)
+	for _, want := range []string{"global g @1 size=2", "constf #2.5", "fmul", "store", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	b := NewBuilder()
+	b.Global("g", 8)
+	f := b.Func("main", 0, 0)
+	s := f.Add(ImmI(1), ImmI(2))
+	f.Store(R(s), ImmI(1))
+	f.Ret()
+	prog := b.MustBuild()
+	st := prog.CollectStats()
+	if st.Funcs != 1 || st.GlobalWords != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ByClass[ClassArith] != 2 { // Add for s, Add inside nothing else... Store addr is imm
+		// One Add from f.Add; no other arith.
+		t.Logf("class map: %v", st.ByClass)
+	}
+	if st.Instructions != len(prog.Funcs[0].Code) {
+		t.Errorf("instruction count mismatch")
+	}
+}
+
+func TestControlFlowHelpersShape(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main", 0, 0)
+	i := f.NewReg()
+	n := f.NewReg()
+	f.ConstI(n, 0)
+	f.For(i, ImmI(0), ImmI(10), func() {
+		f.If(R(f.ICmp(ICmpSLT, R(i), ImmI(5))), func() {
+			f.Op3(Add, n, R(n), ImmI(1))
+		})
+		f.IfElse(R(f.ICmp(ICmpEQ, R(i), ImmI(7))),
+			func() { f.Op3(Add, n, R(n), ImmI(100)) },
+			func() { f.Op3(Add, n, R(n), ImmI(0)) },
+		)
+	})
+	f.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All jump targets must be in range (Validate checks), and there must
+	// be at least one backward jump (the loop).
+	code := prog.Funcs[0].Code
+	backward := false
+	for pc, in := range code {
+		if in.Op == Jmp && int(in.Target) < pc {
+			backward = true
+		}
+	}
+	if !backward {
+		t.Error("For loop produced no backward jump")
+	}
+}
+
+func TestFormatOperandProperty(t *testing.T) {
+	// FormatOperand never returns an empty string for any operand.
+	f := func(kind uint8, reg int32, imm uint64) bool {
+		o := Operand{Kind: OperandKind(kind % 3), Reg: Reg(reg), Imm: imm}
+		return FormatOperand(o) != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

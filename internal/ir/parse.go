@@ -1,0 +1,513 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file implements the textual IR assembler: the inverse of the
+// disassembler, so programs can be written, stored and diffed as text.
+// Round-tripping Parse(DisassembleProgram(p)) reproduces p's structure.
+//
+// Grammar (one construct per line, ';' or "//" starts a comment):
+//
+//	global <name> size=<n> [init=<v0,v1,...>]
+//	func <name>(params=<n> rets=<n> [frame=<n>]):
+//	  [label:] <instruction>
+//
+// Instructions use the disassembler's mnemonics:
+//
+//	rD = consti #5            rD = constf #2.5
+//	rD = mov rS               rD = add rA, #3
+//	rD = load [rA]            store rA -> [#7]
+//	rD = select rC ? rA : rB
+//	jmp @label                bnz rC, @label        bz rC, @label
+//	rD, rE = call name(rA, #2)
+//	_ = output.f(rA)          rD = sqrt(rA)
+//	ret [rA, ...]
+//
+// Branch targets may be textual labels (bound with "label:") or absolute
+// instruction indices (@12).
+
+// ParseProgram assembles a textual program.
+func ParseProgram(src string) (*Program, error) {
+	p := &parser{b: NewBuilder()}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	return p.b.Build()
+}
+
+type parser struct {
+	b    *Builder
+	f    *FuncBuilder
+	fn   string
+	line int
+	// labels maps textual label -> builder label for the current function.
+	labels map[string]Label
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("ir: parse line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run(src string) error {
+	for _, raw := range strings.Split(src, "\n") {
+		p.line++
+		line := raw
+		// ';' and "//" start comments; '#' is the immediate sigil.
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var err error
+		switch {
+		case strings.HasPrefix(line, "global "):
+			err = p.parseGlobal(line)
+		case strings.HasPrefix(line, "func "):
+			err = p.parseFunc(line)
+		default:
+			err = p.parseInstr(line)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseGlobal(line string) error {
+	// global name size=N [init=a,b,c]
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return p.errf("malformed global: %q", line)
+	}
+	name := fields[1]
+	var size int64
+	var init []uint64
+	for _, f := range fields[2:] {
+		switch {
+		case strings.HasPrefix(f, "size="):
+			v, err := strconv.ParseInt(f[5:], 10, 64)
+			if err != nil {
+				return p.errf("bad size: %v", err)
+			}
+			size = v
+		case strings.HasPrefix(f, "init="):
+			for _, s := range strings.Split(f[5:], ",") {
+				w, err := parseWord(s)
+				if err != nil {
+					return p.errf("bad init value %q: %v", s, err)
+				}
+				init = append(init, w)
+			}
+		case strings.HasPrefix(f, "@"): // disassembler emits the address; ignore
+		default:
+			return p.errf("unknown global attribute %q", f)
+		}
+	}
+	if size == 0 {
+		size = int64(len(init))
+	}
+	p.b.Global(name, size)
+	if len(init) > 0 {
+		p.b.GlobalInit(name, init)
+	}
+	return nil
+}
+
+// parseWord accepts integers, 0x hex words, and floats (f-suffixed or
+// containing '.').
+func parseWord(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasSuffix(s, "f") {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "f"), 64)
+		if err != nil {
+			return 0, err
+		}
+		return math.Float64bits(v), nil
+	}
+	if strings.HasPrefix(s, "0x") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	if strings.ContainsAny(s, ".eE") && !strings.HasPrefix(s, "0x") {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, err
+		}
+		return math.Float64bits(v), nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		// Large unsigned values.
+		u, uerr := strconv.ParseUint(s, 10, 64)
+		if uerr != nil {
+			return 0, err
+		}
+		return u, nil
+	}
+	return uint64(v), nil
+}
+
+func (p *parser) parseFunc(line string) error {
+	// func name(params=N rets=N [regs=N] [frame=N]):
+	line = strings.TrimSuffix(strings.TrimSpace(line), ":")
+	open := strings.IndexByte(line, '(')
+	close_ := strings.LastIndexByte(line, ')')
+	if open < 0 || close_ < open {
+		return p.errf("malformed func header: %q", line)
+	}
+	name := strings.TrimSpace(strings.TrimPrefix(line[:open], "func"))
+	params, rets, frame := 0, 0, 0
+	for _, f := range strings.Fields(line[open+1 : close_]) {
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return p.errf("malformed func attribute %q", f)
+		}
+		v, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return p.errf("bad %s: %v", kv[0], err)
+		}
+		switch kv[0] {
+		case "params":
+			params = v
+		case "rets":
+			rets = v
+		case "frame":
+			frame = v
+		case "regs": // informational in disassembly; registers are implied
+		default:
+			return p.errf("unknown func attribute %q", kv[0])
+		}
+	}
+	p.f = p.b.Func(name, params, rets)
+	p.fn = name
+	p.labels = make(map[string]Label)
+	if frame > 0 {
+		p.f.Local(frame)
+	}
+	return nil
+}
+
+// reg parses rN and ensures the register file covers it.
+func (p *parser) reg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	for p.f.fn.NumRegs <= n {
+		p.f.NewReg()
+	}
+	return Reg(n), nil
+}
+
+// operand parses rN, #imm, or #float.
+func (p *parser) operand(s string) (Operand, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "" || s == "_":
+		return Operand{}, nil
+	case strings.HasPrefix(s, "r"):
+		r, err := p.reg(s)
+		if err != nil {
+			return Operand{}, err
+		}
+		return R(r), nil
+	case strings.HasPrefix(s, "#"):
+		w, err := parseWord(s[1:])
+		if err != nil {
+			return Operand{}, err
+		}
+		return ImmBits(w), nil
+	default:
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+}
+
+// target parses @label or @N into a builder label.
+func (p *parser) target(s string) (Label, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "@") {
+		return 0, fmt.Errorf("expected @target, got %q", s)
+	}
+	name := s[1:]
+	if l, ok := p.labels[name]; ok {
+		return l, nil
+	}
+	l := p.f.NewLabel()
+	p.labels[name] = l
+	// Absolute numeric targets cannot be pre-bound reliably when mixed
+	// with textual labels; they bind when a "N:" label line appears.
+	return l, nil
+}
+
+var mnemonicOps = map[string]Op{
+	"mov": Mov, "add": Add, "sub": Sub, "mul": Mul, "sdiv": SDiv, "srem": SRem,
+	"shl": Shl, "lshr": LShr, "ashr": AShr, "and": And, "or": Or, "xor": Xor,
+	"fadd": FAdd, "fsub": FSub, "fmul": FMul, "fdiv": FDiv,
+	"sitofp": SIToFP, "fptosi": FPToSI,
+	"icmp.eq": ICmpEQ, "icmp.ne": ICmpNE, "icmp.slt": ICmpSLT,
+	"icmp.sle": ICmpSLE, "icmp.sgt": ICmpSGT, "icmp.sge": ICmpSGE,
+	"fcmp.eq": FCmpEQ, "fcmp.ne": FCmpNE, "fcmp.lt": FCmpLT,
+	"fcmp.le": FCmpLE, "fcmp.gt": FCmpGT, "fcmp.ge": FCmpGE,
+	"frameaddr": FrameAddr,
+}
+
+var intrinByName = func() map[string]IntrinID {
+	m := make(map[string]IntrinID)
+	for id := IntrinID(1); id < IntrinID(NumIntrins); id++ {
+		m[id.String()] = id
+	}
+	return m
+}()
+
+func (p *parser) parseInstr(line string) error {
+	if p.f == nil {
+		return p.errf("instruction outside a function: %q", line)
+	}
+	// Leading "N:" from disassembly or "name:" label lines.
+	if i := strings.Index(line, ":"); i >= 0 && !strings.Contains(line[:i], " ") &&
+		!strings.Contains(line[:i], "=") {
+		label := line[:i]
+		rest := strings.TrimSpace(line[i+1:])
+		if l, ok := p.labels[label]; ok {
+			p.f.Bind(l)
+		} else if isLabelish(label) {
+			l := p.f.NewLabel()
+			p.labels[label] = l
+			p.f.Bind(l)
+		}
+		if rest == "" {
+			return nil
+		}
+		line = rest
+	}
+	line = strings.TrimSpace(line)
+	// The disassembler prefixes '~' (secondary chain) and suffixes "; inj";
+	// accept and ignore both when re-assembling.
+	line = strings.TrimPrefix(line, "~")
+	line = strings.TrimSpace(line)
+
+	switch {
+	case line == "nop":
+		p.f.emit(Instr{Op: Nop})
+		return nil
+	case strings.HasPrefix(line, "jmp "):
+		l, err := p.target(line[4:])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		p.f.Jmp(l)
+		return nil
+	case strings.HasPrefix(line, "bnz "), strings.HasPrefix(line, "bz "):
+		op := line[:strings.IndexByte(line, ' ')]
+		parts := strings.SplitN(line[len(op)+1:], ",", 2)
+		if len(parts) != 2 {
+			return p.errf("malformed %s: %q", op, line)
+		}
+		cond, err := p.operand(parts[0])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		l, err := p.target(parts[1])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		if op == "bnz" {
+			p.f.Bnz(cond, l)
+		} else {
+			p.f.Bz(cond, l)
+		}
+		return nil
+	case strings.HasPrefix(line, "store "):
+		// store VAL -> [ADDR]
+		body := strings.TrimPrefix(line, "store ")
+		parts := strings.SplitN(body, "->", 2)
+		if len(parts) != 2 {
+			return p.errf("malformed store: %q", line)
+		}
+		val, err := p.operand(parts[0])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		addr, err := p.operand(stripBrackets(parts[1]))
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		p.f.Store(val, addr)
+		return nil
+	case strings.HasPrefix(line, "ret"):
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "ret"))
+		var vals []Operand
+		if rest != "" {
+			for _, s := range strings.Split(rest, ",") {
+				o, err := p.operand(s)
+				if err != nil {
+					return p.errf("%v", err)
+				}
+				vals = append(vals, o)
+			}
+		}
+		p.f.Ret(vals...)
+		return nil
+	}
+
+	// Assignment forms: DSTS = RHS
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return p.errf("unrecognized instruction: %q", line)
+	}
+	lhs := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	var dsts []Reg
+	if lhs != "_" {
+		for _, s := range strings.Split(lhs, ",") {
+			r, err := p.reg(s)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			dsts = append(dsts, r)
+		}
+	}
+	return p.parseRHS(dsts, rhs)
+}
+
+func isLabelish(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if !(c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+func stripBrackets(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	return strings.TrimSpace(s)
+}
+
+func (p *parser) parseRHS(dsts []Reg, rhs string) error {
+	dst := NoReg
+	if len(dsts) == 1 {
+		dst = dsts[0]
+	}
+	// Call / intrinsic form: name(args).
+	if open := strings.IndexByte(rhs, '('); open > 0 && strings.HasSuffix(rhs, ")") &&
+		!strings.ContainsAny(rhs[:open], " ?") {
+		name := rhs[:open]
+		var args []Operand
+		inner := strings.TrimSpace(rhs[open+1 : len(rhs)-1])
+		if inner != "" {
+			for _, s := range strings.Split(inner, ",") {
+				o, err := p.operand(s)
+				if err != nil {
+					return p.errf("%v", err)
+				}
+				args = append(args, o)
+			}
+		}
+		if name == "fim_inj" {
+			if dst == NoReg || len(args) != 1 {
+				return p.errf("fim_inj needs one dst and one arg")
+			}
+			p.f.emit(Instr{Op: FimInj, Dst: dst, A: args[0]})
+			return nil
+		}
+		if id, ok := intrinByName[name]; ok {
+			p.f.Intrin(id, dsts, args...)
+			return nil
+		}
+		p.f.Call(name, dsts, args...)
+		return nil
+	}
+	fields := strings.Fields(rhs)
+	if len(fields) == 0 {
+		return p.errf("empty rhs")
+	}
+	mnem := fields[0]
+	rest := strings.TrimSpace(rhs[len(mnem):])
+	switch mnem {
+	case "consti":
+		o, err := p.operand(rest)
+		if err != nil || o.Kind != KindImm {
+			return p.errf("consti needs an immediate: %q", rhs)
+		}
+		p.f.emit(Instr{Op: ConstI, Dst: dst, A: o})
+		return nil
+	case "constf":
+		if !strings.HasPrefix(rest, "#") {
+			return p.errf("constf needs #value")
+		}
+		v, err := strconv.ParseFloat(rest[1:], 64)
+		if err != nil {
+			return p.errf("bad float %q", rest)
+		}
+		p.f.ConstF(dst, v)
+		return nil
+	case "load":
+		o, err := p.operand(stripBrackets(rest))
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		p.f.emit(Instr{Op: Load, Dst: dst, A: o})
+		return nil
+	case "fpm_fetch":
+		o, err := p.operand(stripBrackets(rest))
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		p.f.emit(Instr{Op: FpmFetch, Dst: dst, A: o})
+		return nil
+	case "select":
+		// select COND ? A : B
+		q := strings.Index(rest, "?")
+		c := strings.Index(rest, ":")
+		if q < 0 || c < q {
+			return p.errf("malformed select: %q", rhs)
+		}
+		cond, err1 := p.operand(rest[:q])
+		a, err2 := p.operand(rest[q+1 : c])
+		bb, err3 := p.operand(rest[c+1:])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return p.errf("bad select operands: %q", rhs)
+		}
+		p.f.emit(Instr{Op: Select, Dst: dst, A: cond, B: a, C: bb})
+		return nil
+	}
+	if op, ok := mnemonicOps[mnem]; ok {
+		parts := strings.Split(rest, ",")
+		a, err := p.operand(parts[0])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		in := Instr{Op: op, Dst: dst, A: a}
+		if len(parts) > 1 {
+			b, err := p.operand(parts[1])
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			in.B = b
+		}
+		p.f.emit(in)
+		return nil
+	}
+	return p.errf("unknown mnemonic %q", mnem)
+}

@@ -1,0 +1,226 @@
+package ir
+
+import (
+	"testing"
+)
+
+const sampleSrc = `
+; A small program: sum the squares of a global array.
+global data size=4 init=1,2,3,4
+global out size=1
+
+func main(params=0 rets=0):
+  r0 = consti #0        ; accumulator
+  r1 = consti #0        ; index
+loop:
+  r2 = icmp.slt r1, #4
+  bz r2, @done
+  r3 = add r1, #1
+  r4 = load [r5]        ; address computed below? no: placeholder
+  jmp @body
+body:
+  r5 = add r1, #1       ; data base is 1
+  r4 = load [r5]
+  r6 = mul r4, r4
+  r0 = add r0, r6
+  r1 = add r1, #1
+  jmp @loop
+done:
+  store r0 -> [#5]
+  _ = output.i(r0)
+  ret
+`
+
+func TestParseAndRunSample(t *testing.T) {
+	prog, err := ParseProgram(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.GlobalWords != 5 {
+		t.Errorf("global words = %d", prog.GlobalWords)
+	}
+	g, ok := prog.GlobalNamed("data")
+	if !ok || g.Size != 4 || g.Init[2] != 3 {
+		t.Errorf("data global = %+v", g)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"instruction outside func", "r0 = consti #1"},
+		{"bad global", "global x\nfunc main(params=0 rets=0):\n ret"},
+		{"bad mnemonic", "func main(params=0 rets=0):\n r0 = zorp r1\n ret"},
+		{"bad operand", "func main(params=0 rets=0):\n r0 = add q1, #2\n ret"},
+		{"bad store", "func main(params=0 rets=0):\n store r0\n ret"},
+		{"unbound label", "func main(params=0 rets=0):\n jmp @nowhere\n ret"},
+		{"bad select", "func main(params=0 rets=0):\n r0 = select r1 r2 r3\n ret"},
+		{"bad func header", "func main params=0:\n ret"},
+		{"consti float", "func main(params=0 rets=0):\n r0 = consti rX\n ret"},
+	}
+	for _, c := range cases {
+		if _, err := ParseProgram(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseCallAndIntrinsics(t *testing.T) {
+	src := `
+global g size=2
+func main(params=0 rets=0):
+  r0, r1 = twice(#21)
+  _ = output.i(r0)
+  _ = output.i(r1)
+  r2 = sqrt(#9.0)
+  _ = output.f(r2)
+  ret
+
+func twice(params=1 rets=2):
+  r1 = mul r0, #2
+  ret r1, r0
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.FuncNamed("main")
+	if main == nil {
+		t.Fatal("main missing")
+	}
+	foundCall, foundIntrin := false, false
+	for _, in := range main.Code {
+		if in.Op == Call && len(in.Rets) == 2 {
+			foundCall = true
+		}
+		if in.Op == Intrin && IntrinID(in.Target) == IntrinSqrt {
+			foundIntrin = true
+		}
+	}
+	if !foundCall || !foundIntrin {
+		t.Errorf("call=%v intrin=%v", foundCall, foundIntrin)
+	}
+}
+
+func TestParseSelectAndFrame(t *testing.T) {
+	src := `
+func main(params=0 rets=0 frame=4):
+  r0 = frameaddr #0
+  r1 = select r0 ? #10 : #20
+  store r1 -> [r0]
+  ret
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FuncNamed("main")
+	if f.Frame != 4 {
+		t.Errorf("frame = %d", f.Frame)
+	}
+	if f.Code[1].Op != Select {
+		t.Errorf("op = %v", f.Code[1].Op)
+	}
+}
+
+// TestDisassembleParseRoundTrip checks that the disassembler output of a
+// builder-constructed program re-assembles into a structurally identical
+// program (same disassembly).
+func TestDisassembleParseRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	g := b.Global("data", 4)
+	b.GlobalInit("data", []uint64{5, 6, 7, 8})
+	f := b.Func("main", 0, 0)
+	i := f.NewReg()
+	acc := f.CI(0)
+	f.For(i, ImmI(0), ImmI(4), func() {
+		v := f.Ld(ImmI(g), R(i))
+		f.Op3(Add, acc, R(acc), R(v))
+	})
+	x := f.FMul(R(f.SIToFP(R(acc))), ImmF(0.5))
+	sel := f.Select(R(f.FCmp(FCmpGT, R(x), ImmF(10))), ImmI(1), ImmI(0))
+	f.OutputI(R(sel))
+	f.OutputF(R(x))
+	f.Ret()
+	prog := b.MustBuild()
+
+	text := DisassembleProgram(prog)
+	prog2, err := ParseProgram(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	text2 := DisassembleProgram(prog2)
+	// Register numbering may differ (the parser allocates registers in
+	// first-use order), so compare opcode streams rather than raw text.
+	ops := func(p *Program) []Op {
+		var out []Op
+		for _, fn := range p.Funcs {
+			for _, in := range fn.Code {
+				out = append(out, in.Op)
+			}
+		}
+		return out
+	}
+	a, c := ops(prog), ops(prog2)
+	if len(a) != len(c) {
+		t.Fatalf("opcode stream lengths differ: %d vs %d\n--- first:\n%s\n--- second:\n%s",
+			len(a), len(c), text, text2)
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Errorf("op %d: %v vs %v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestParseWordForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"42", 42},
+		{"-1", ^uint64(0)},
+		{"0x10", 16},
+		{"2.5f", 0x4004000000000000},
+		{"1e3", 0x408f400000000000},
+	}
+	for _, c := range cases {
+		got, err := parseWord(c.in)
+		if err != nil {
+			t.Errorf("parseWord(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseWord(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+	if _, err := parseWord("zed"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := `
+; comment line
+; another comment
+
+global g size=1   // trailing comment
+
+func main(params=0 rets=0):
+  r0 = consti #7  ; trailing
+  store r0 -> [#1]
+  ret
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs[0].Code) != 3 {
+		t.Errorf("code len = %d", len(prog.Funcs[0].Code))
+	}
+}

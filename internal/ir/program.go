@@ -1,0 +1,172 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Func is one IR function.
+type Func struct {
+	Name      string
+	NumParams int // parameters arrive in registers 0..NumParams-1
+	NumRets   int // number of values returned by Ret
+	NumRegs   int // size of the virtual register file
+	Frame     int // stack frame size in words (locals addressed by FrameAddr)
+	Code      []Instr
+}
+
+// Global is a named region of the global data segment.
+type Global struct {
+	Name string
+	Base int64 // first word address
+	Size int64 // size in words
+	Init []uint64
+}
+
+// Program is a complete IR program: functions, a global segment layout and
+// an entry point.
+type Program struct {
+	Funcs   []*Func
+	ByName  map[string]int
+	Globals []Global
+	// GlobalWords is the total extent of the global segment; globals
+	// occupy word addresses [1, 1+GlobalWords).
+	GlobalWords int64
+	Entry       int // index of the entry function
+}
+
+// FuncNamed returns the function with the given name, or nil.
+func (p *Program) FuncNamed(name string) *Func {
+	if i, ok := p.ByName[name]; ok {
+		return p.Funcs[i]
+	}
+	return nil
+}
+
+// GlobalNamed returns the global with the given name and whether it exists.
+func (p *Program) GlobalNamed(name string) (Global, bool) {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Global{}, false
+}
+
+// Validate checks structural invariants of the program: register indices in
+// range, jump targets within code, callee indices valid, argument counts
+// matching callee signatures. The VM relies on these invariants, so
+// programs must validate before execution.
+func (p *Program) Validate() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("ir: program has no functions")
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		return fmt.Errorf("ir: entry index %d out of range", p.Entry)
+	}
+	for fi, f := range p.Funcs {
+		if err := p.validateFunc(f); err != nil {
+			return fmt.Errorf("ir: func %q (#%d): %w", f.Name, fi, err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateFunc(f *Func) error {
+	if f.NumParams > f.NumRegs {
+		return fmt.Errorf("NumParams %d exceeds NumRegs %d", f.NumParams, f.NumRegs)
+	}
+	checkReg := func(pc int, r Reg, what string) error {
+		if r == NoReg {
+			return nil
+		}
+		if r < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("pc %d: %s register r%d out of range [0,%d)", pc, what, r, f.NumRegs)
+		}
+		return nil
+	}
+	checkOperand := func(pc int, o Operand, what string) error {
+		if o.Kind == KindReg {
+			return checkReg(pc, o.Reg, what)
+		}
+		return nil
+	}
+	for pc := range f.Code {
+		in := &f.Code[pc]
+		if in.HasDst() {
+			if err := checkReg(pc, in.Dst, "dst"); err != nil {
+				return err
+			}
+		}
+		for _, o := range [4]Operand{in.A, in.B, in.C, in.D} {
+			if err := checkOperand(pc, o, "src"); err != nil {
+				return err
+			}
+		}
+		for _, a := range in.Args {
+			if err := checkOperand(pc, a, "arg"); err != nil {
+				return err
+			}
+		}
+		for _, r := range in.Rets {
+			if err := checkReg(pc, r, "ret"); err != nil {
+				return err
+			}
+		}
+		switch in.Op {
+		case Jmp, Bnz, Bz:
+			if in.Target < 0 || int(in.Target) >= len(f.Code) {
+				return fmt.Errorf("pc %d: jump target %d out of range", pc, in.Target)
+			}
+		case Call:
+			if in.Target < 0 || int(in.Target) >= len(p.Funcs) {
+				return fmt.Errorf("pc %d: callee index %d out of range", pc, in.Target)
+			}
+			callee := p.Funcs[in.Target]
+			if len(in.Args) != callee.NumParams {
+				return fmt.Errorf("pc %d: call %q with %d args, want %d",
+					pc, callee.Name, len(in.Args), callee.NumParams)
+			}
+			if len(in.Rets) > callee.NumRets {
+				return fmt.Errorf("pc %d: call %q binds %d results, callee returns %d",
+					pc, callee.Name, len(in.Rets), callee.NumRets)
+			}
+		case Ret:
+			if len(in.Args) != f.NumRets {
+				return fmt.Errorf("pc %d: ret with %d values, function declares %d",
+					pc, len(in.Args), f.NumRets)
+			}
+		case Intrin:
+			if in.Target <= 0 || int(in.Target) >= NumIntrins {
+				return fmt.Errorf("pc %d: unknown intrinsic %d", pc, in.Target)
+			}
+		}
+	}
+	if len(f.Code) == 0 {
+		return fmt.Errorf("empty function body")
+	}
+	last := f.Code[len(f.Code)-1]
+	if last.Op != Ret && last.Op != Jmp {
+		return fmt.Errorf("function does not end in ret or jmp")
+	}
+	return nil
+}
+
+// Stats summarizes the static composition of a program.
+type Stats struct {
+	Funcs        int
+	Instructions int
+	ByClass      map[Class]int
+	GlobalWords  int64
+}
+
+// CollectStats computes static program statistics.
+func (p *Program) CollectStats() Stats {
+	s := Stats{Funcs: len(p.Funcs), ByClass: make(map[Class]int), GlobalWords: p.GlobalWords}
+	for _, f := range p.Funcs {
+		s.Instructions += len(f.Code)
+		for i := range f.Code {
+			s.ByClass[ClassOf(f.Code[i].Op)]++
+		}
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+// Package kernels provides reusable IR builder snippets for common numeric
+// kernels — fills, copies, reductions, AXPY, dense mat-vec — so examples
+// and new workloads compose from verified pieces instead of re-emitting
+// loop scaffolding. Every kernel documents its exact floating-point
+// evaluation order, which callers' pure-Go references must mirror.
+package kernels
+
+import "repro/internal/ir"
+
+// Fill sets n words starting at base to the float constant v.
+func Fill(f *ir.FuncBuilder, base int64, n int64, v float64) {
+	i := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		f.St(ir.ImmF(v), ir.ImmI(base), ir.R(i))
+	})
+}
+
+// FillI sets n words starting at base to the integer constant v.
+func FillI(f *ir.FuncBuilder, base int64, n int64, v int64) {
+	i := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		f.St(ir.ImmI(v), ir.ImmI(base), ir.R(i))
+	})
+}
+
+// Copy copies n words from src to dst (non-overlapping).
+func Copy(f *ir.FuncBuilder, dst, src int64, n int64) {
+	i := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		f.St(ir.R(f.Ld(ir.ImmI(src), ir.R(i))), ir.ImmI(dst), ir.R(i))
+	})
+}
+
+// Dot returns sum_i a[i]*b[i], accumulating in ascending index order.
+func Dot(f *ir.FuncBuilder, a, b int64, n int64) ir.Reg {
+	acc := f.CF(0)
+	i := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		av := f.Ld(ir.ImmI(a), ir.R(i))
+		bv := f.Ld(ir.ImmI(b), ir.R(i))
+		f.Op3(ir.FAdd, acc, ir.R(acc), ir.R(f.FMul(ir.R(av), ir.R(bv))))
+	})
+	return acc
+}
+
+// Norm2Sq returns sum_i a[i]^2 in ascending index order.
+func Norm2Sq(f *ir.FuncBuilder, a int64, n int64) ir.Reg {
+	return Dot(f, a, a, n)
+}
+
+// Axpy computes y[i] = y[i] + alpha*x[i] for i in [0,n).
+func Axpy(f *ir.FuncBuilder, alpha ir.Reg, x, y int64, n int64) {
+	i := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		xv := f.Ld(ir.ImmI(x), ir.R(i))
+		yv := f.Ld(ir.ImmI(y), ir.R(i))
+		f.St(ir.R(f.FAdd(ir.R(yv), ir.R(f.FMul(ir.R(alpha), ir.R(xv))))), ir.ImmI(y), ir.R(i))
+	})
+}
+
+// Scale computes x[i] = x[i] * s for i in [0,n).
+func Scale(f *ir.FuncBuilder, s ir.Reg, x int64, n int64) {
+	i := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		xv := f.Ld(ir.ImmI(x), ir.R(i))
+		f.St(ir.R(f.FMul(ir.R(xv), ir.R(s))), ir.ImmI(x), ir.R(i))
+	})
+}
+
+// MatVec computes y = A·x for a dense row-major n×n matrix at a. Row sums
+// accumulate in ascending column order.
+func MatVec(f *ir.FuncBuilder, a, x, y int64, n int64) {
+	row := f.NewReg()
+	col := f.NewReg()
+	f.For(row, ir.ImmI(0), ir.ImmI(n), func() {
+		acc := f.CF(0)
+		f.For(col, ir.ImmI(0), ir.ImmI(n), func() {
+			idx := f.Add(ir.R(f.Mul(ir.R(row), ir.ImmI(n))), ir.R(col))
+			av := f.Ld(ir.ImmI(a), ir.R(idx))
+			xv := f.Ld(ir.ImmI(x), ir.R(col))
+			f.Op3(ir.FAdd, acc, ir.R(acc), ir.R(f.FMul(ir.R(av), ir.R(xv))))
+		})
+		f.St(ir.R(acc), ir.ImmI(y), ir.R(row))
+	})
+}
+
+// SumAbs returns sum_i |a[i]| in ascending index order.
+func SumAbs(f *ir.FuncBuilder, a int64, n int64) ir.Reg {
+	acc := f.CF(0)
+	i := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(n), func() {
+		f.Op3(ir.FAdd, acc, ir.R(acc), ir.R(f.Fabs(ir.R(f.Ld(ir.ImmI(a), ir.R(i))))))
+	})
+	return acc
+}
+
+// GlobalDot computes the cross-rank dot product of two local vectors using
+// the scratch words at sendSlot/redSlot for the allreduce.
+func GlobalDot(f *ir.FuncBuilder, a, b, n, sendSlot, redSlot int64) ir.Reg {
+	local := Dot(f, a, b, n)
+	f.Store(ir.R(local), ir.ImmI(sendSlot))
+	f.MPIAllreduceF(ir.ImmI(sendSlot), ir.ImmI(redSlot), ir.ImmI(1), ir.ReduceSum)
+	return f.Load(ir.ImmI(redSlot))
+}
+
+// DefineLCG adds a function named name to the builder that advances the
+// LCG state word at stateAddr and returns a uniform [0,1) float. Matches
+// the reference stream: s' = s*6364136223846793005 + 1442695040888963407;
+// u = float64(s' >> 11) * 2^-53.
+func DefineLCG(b *ir.Builder, name string, stateAddr int64) {
+	f := b.Func(name, 0, 1)
+	s := f.Load(ir.ImmI(stateAddr))
+	ns := f.Add(ir.R(f.Mul(ir.R(s), ir.ImmI(6364136223846793005))), ir.ImmI(1442695040888963407))
+	f.Store(ir.R(ns), ir.ImmI(stateAddr))
+	mant := f.LShr(ir.R(ns), ir.ImmI(11))
+	f.Ret(ir.R(f.FMul(ir.R(f.SIToFP(ir.R(mant))), ir.ImmF(0x1p-53))))
+}

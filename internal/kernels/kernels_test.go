@@ -1,0 +1,161 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// runKernels builds a program with body emitted into main and returns the
+// outputs of a clean run.
+func runKernels(t *testing.T, setup func(b *ir.Builder), body func(f *ir.FuncBuilder)) []float64 {
+	t.Helper()
+	b := ir.NewBuilder()
+	setup(b)
+	f := b.Func("main", 0, 0)
+	body(f)
+	f.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(prog, vm.Config{})
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return v.Outputs()
+}
+
+func TestFillCopyDot(t *testing.T) {
+	var a, c int64
+	out := runKernels(t,
+		func(b *ir.Builder) {
+			a = b.Global("a", 4)
+			c = b.Global("c", 4)
+		},
+		func(f *ir.FuncBuilder) {
+			Fill(f, a, 4, 2.5)
+			Copy(f, c, a, 4)
+			f.OutputF(ir.R(Dot(f, a, c, 4))) // 4 * 2.5^2 = 25
+			f.OutputF(ir.R(Norm2Sq(f, a, 4)))
+		})
+	if out[0] != 25 || out[1] != 25 {
+		t.Errorf("outputs = %v, want [25 25]", out)
+	}
+}
+
+func TestAxpyScaleSumAbs(t *testing.T) {
+	var x, y int64
+	out := runKernels(t,
+		func(b *ir.Builder) {
+			x = b.Global("x", 3)
+			y = b.Global("y", 3)
+			b.GlobalInitF("x", []float64{1, -2, 3})
+			b.GlobalInitF("y", []float64{10, 10, 10})
+		},
+		func(f *ir.FuncBuilder) {
+			alpha := f.CF(2)
+			Axpy(f, alpha, x, y, 3) // y = [12, 6, 16]
+			f.OutputF(ir.R(SumAbs(f, y, 3)))
+			half := f.CF(0.5)
+			Scale(f, half, y, 3) // y = [6, 3, 8]
+			f.OutputF(ir.R(SumAbs(f, y, 3)))
+		})
+	if out[0] != 34 || out[1] != 17 {
+		t.Errorf("outputs = %v, want [34 17]", out)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	var a, x, y int64
+	out := runKernels(t,
+		func(b *ir.Builder) {
+			a = b.Global("A", 4)
+			x = b.Global("x", 2)
+			y = b.Global("y", 2)
+			b.GlobalInitF("A", []float64{1, 2, 3, 4})
+			b.GlobalInitF("x", []float64{5, 6})
+		},
+		func(f *ir.FuncBuilder) {
+			MatVec(f, a, x, y, 2)
+			f.OutputF(ir.R(f.Ld(ir.ImmI(y), ir.ImmI(0)))) // 1*5+2*6 = 17
+			f.OutputF(ir.R(f.Ld(ir.ImmI(y), ir.ImmI(1)))) // 3*5+4*6 = 39
+		})
+	if out[0] != 17 || out[1] != 39 {
+		t.Errorf("outputs = %v, want [17 39]", out)
+	}
+}
+
+func TestFillI(t *testing.T) {
+	var g int64
+	out := runKernels(t,
+		func(b *ir.Builder) { g = b.Global("g", 3) },
+		func(f *ir.FuncBuilder) {
+			FillI(f, g, 3, -7)
+			f.OutputI(ir.R(f.Ld(ir.ImmI(g), ir.ImmI(2))))
+		})
+	if out[0] != -7 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestDefineLCGMatchesReference(t *testing.T) {
+	b := ir.NewBuilder()
+	state := b.Global("rng", 1)
+	b.GlobalInit("rng", []uint64{12345})
+	DefineLCG(b, "lcgu", state)
+	f := b.Func("main", 0, 0)
+	for k := 0; k < 4; k++ {
+		u := f.NewReg()
+		f.Call("lcgu", []ir.Reg{u})
+		f.OutputF(ir.R(u))
+	}
+	f.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(prog, vm.Config{})
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := uint64(12345)
+	for k, got := range v.Outputs() {
+		s = s*6364136223846793005 + 1442695040888963407
+		want := float64(s>>11) * 0x1p-53
+		if got != want {
+			t.Errorf("draw %d = %v, want %v", k, got, want)
+		}
+		if got < 0 || got >= 1 {
+			t.Errorf("draw %d out of [0,1): %v", k, got)
+		}
+	}
+}
+
+func TestGlobalDotSingleRank(t *testing.T) {
+	// Without an endpoint, allreduce traps; GlobalDot is exercised through
+	// a single-rank job in core tests; here we check the emitted local
+	// part by replacing the allreduce with a direct store path: run under
+	// a 1-rank fake is unnecessary — use vm with nil MPI and expect the
+	// invalid trap, documenting the contract.
+	b := ir.NewBuilder()
+	a := b.Global("a", 2)
+	send := b.Global("send", 1)
+	red := b.Global("red", 1)
+	b.GlobalInitF("a", []float64{3, 4})
+	f := b.Func("main", 0, 0)
+	f.OutputF(ir.R(GlobalDot(f, a, a, 2, send, red)))
+	f.Ret()
+	prog := b.MustBuild()
+	v := vm.New(prog, vm.Config{})
+	err := v.Run()
+	tr := vm.AsTrap(err)
+	if tr == nil || tr.Kind != vm.TrapInvalid {
+		t.Errorf("GlobalDot without MPI: err = %v, want invalid trap", err)
+	}
+	if math.IsNaN(0) { // keep math imported for future additions
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,137 @@
+// Package model derives the paper's fault propagation models (§5): for each
+// experiment a linear fit CML(t) = a·t + b of the corrupted-memory-locations
+// series, aggregated per application into the fault propagation speed (FPS)
+// factor — the mean growth rate a — with the interval estimators
+//
+//	max CML(t1,t2) = FPS · (t2 − t1)          (paper Eq. 3)
+//	avg CML(t1,t2) = max CML(t1,t2) / 2
+//
+// used at runtime to decide whether a detected fault warrants a rollback.
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// NominalHz converts virtual cycles (one IR instruction each) to seconds so
+// FPS is expressed in CML/second as in the paper's Table 2.
+const NominalHz = 1e9
+
+// CyclesToSeconds converts a cycle count to virtual seconds.
+func CyclesToSeconds(c int64) float64 { return float64(c) / NominalHz }
+
+// RunFit is the propagation model of a single experiment.
+type RunFit struct {
+	// A is the growth rate in CML per second; B the intercept (Eq. 1).
+	A, B float64
+	// Knee and Plateau describe the piece-wise tail (growth then steady
+	// state) when present.
+	Knee    float64
+	Plateau float64
+	// R2 of the linear segment, ValidationErr the mean relative error of
+	// the piece-wise model against the observed series.
+	R2            float64
+	ValidationErr float64
+	Points        int
+}
+
+// ErrTooFewPoints indicates the run contaminated too little to fit.
+var ErrTooFewPoints = errors.New("model: too few propagation points to fit")
+
+// FitRun fits the piece-wise propagation model to one run's recorded CML
+// series (times from rank-local cycles).
+func FitRun(points []trace.Point) (RunFit, error) {
+	if len(points) < 3 {
+		return RunFit{}, ErrTooFewPoints
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = CyclesToSeconds(p.Cycles)
+		ys[i] = float64(p.CML)
+	}
+	pw, err := stats.FitPiecewise(xs, ys)
+	if err != nil {
+		return RunFit{}, fmt.Errorf("model: %w", err)
+	}
+	fit := RunFit{
+		A:       pw.Line.A,
+		B:       pw.Line.B,
+		Knee:    pw.Knee,
+		Plateau: pw.Plateau,
+		R2:      pw.Line.R2,
+		Points:  len(points),
+	}
+	pred := make([]float64, len(xs))
+	for i, x := range xs {
+		pred[i] = pw.Eval(x)
+	}
+	fit.ValidationErr = stats.MeanAbsRelError(pred, ys, 1)
+	return fit, nil
+}
+
+// FaultTimeIntercept returns b for a fault detected (and assumed to have
+// occurred) at time tf: b = −a·tf (paper Eq. 2).
+func FaultTimeIntercept(a, tf float64) float64 { return -a * tf }
+
+// AppModel is the per-application propagation model: the FPS factor and its
+// spread over the campaign's run fits (paper Table 2).
+type AppModel struct {
+	App           string
+	FPS           float64 // mean growth rate, CML/second
+	StdDev        float64
+	Fits          []RunFit
+	MeanR2        float64
+	ValidationErr float64 // mean over runs
+}
+
+// BuildAppModel aggregates run fits into the application model. Runs whose
+// fitted growth is non-positive (faults that never propagated) do not
+// characterize propagation speed and are excluded, as in the paper's focus
+// on the linear growth segment.
+func BuildAppModel(app string, fits []RunFit) AppModel {
+	m := AppModel{App: app}
+	var slopes, r2s, errs []float64
+	for _, f := range fits {
+		if f.A <= 0 {
+			continue
+		}
+		m.Fits = append(m.Fits, f)
+		slopes = append(slopes, f.A)
+		r2s = append(r2s, f.R2)
+		errs = append(errs, f.ValidationErr)
+	}
+	if len(slopes) == 0 {
+		return m
+	}
+	m.FPS = stats.Mean(slopes)
+	m.StdDev = stats.StdDev(slopes)
+	m.MeanR2 = stats.Mean(r2s)
+	m.ValidationErr = stats.Mean(errs)
+	return m
+}
+
+// MaxCML estimates the worst-case corrupted memory locations accumulated in
+// the detection interval (t1, t2), per paper Eq. 3 (assumes the fault
+// happened right after t1).
+func (m AppModel) MaxCML(t1, t2 float64) float64 {
+	if t2 < t1 {
+		t1, t2 = t2, t1
+	}
+	return m.FPS * (t2 - t1)
+}
+
+// AvgCML estimates the expected corrupted memory locations for a fault time
+// uniformly distributed in the interval.
+func (m AppModel) AvgCML(t1, t2 float64) float64 { return m.MaxCML(t1, t2) / 2 }
+
+// ShouldRollback applies the paper's runtime policy sketch: trigger a
+// rollback when the estimated contamination at detection exceeds the safe
+// threshold of corrupted locations.
+func (m AppModel) ShouldRollback(t1, t2 float64, threshold float64) bool {
+	return m.MaxCML(t1, t2) > threshold
+}

@@ -1,0 +1,118 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func mkSeries(slopePerSec float64, startCycles, stepCycles int64, n int) []trace.Point {
+	pts := make([]trace.Point, n)
+	for i := range pts {
+		c := startCycles + int64(i)*stepCycles
+		pts[i] = trace.Point{Cycles: c, CML: int(slopePerSec * CyclesToSeconds(c))}
+	}
+	return pts
+}
+
+func TestFitRunLinear(t *testing.T) {
+	// 2000 CML per second of virtual time.
+	pts := mkSeries(2000e6, 1e6, 1e6, 50)
+	fit, err := FitRun(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A-2000e6)/2000e6 > 0.01 {
+		t.Errorf("slope = %v, want ~2e9", fit.A)
+	}
+	if fit.ValidationErr > 0.05 {
+		t.Errorf("validation error = %v", fit.ValidationErr)
+	}
+}
+
+func TestFitRunPlateau(t *testing.T) {
+	var pts []trace.Point
+	// Ramp to 100 then flat.
+	for i := 0; i < 20; i++ {
+		pts = append(pts, trace.Point{Cycles: int64(i) * 1e6, CML: 5 * i})
+	}
+	for i := 20; i < 40; i++ {
+		pts = append(pts, trace.Point{Cycles: int64(i) * 1e6, CML: 95})
+	}
+	fit, err := FitRun(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Plateau < 90 || fit.Plateau > 100 {
+		t.Errorf("plateau = %v, want ~95", fit.Plateau)
+	}
+	if fit.A <= 0 {
+		t.Errorf("ramp slope = %v, want positive", fit.A)
+	}
+}
+
+func TestFitRunTooFew(t *testing.T) {
+	if _, err := FitRun([]trace.Point{{Cycles: 1, CML: 1}}); err == nil {
+		t.Error("accepted too few points")
+	}
+}
+
+func TestFaultTimeIntercept(t *testing.T) {
+	if b := FaultTimeIntercept(10, 3); b != -30 {
+		t.Errorf("b = %v, want -30 (Eq. 2)", b)
+	}
+}
+
+func TestBuildAppModel(t *testing.T) {
+	fits := []RunFit{
+		{A: 100, R2: 0.99, ValidationErr: 0.001},
+		{A: 120, R2: 0.98, ValidationErr: 0.002},
+		{A: 80, R2: 0.97, ValidationErr: 0.003},
+		{A: -5}, // non-propagating: excluded
+		{A: 0},  // excluded
+	}
+	m := BuildAppModel("app", fits)
+	if m.FPS != 100 {
+		t.Errorf("FPS = %v, want 100", m.FPS)
+	}
+	if m.StdDev != 20 {
+		t.Errorf("stddev = %v, want 20", m.StdDev)
+	}
+	if len(m.Fits) != 3 {
+		t.Errorf("kept %d fits, want 3", len(m.Fits))
+	}
+}
+
+func TestBuildAppModelEmpty(t *testing.T) {
+	m := BuildAppModel("app", nil)
+	if m.FPS != 0 || len(m.Fits) != 0 {
+		t.Errorf("empty model = %+v", m)
+	}
+}
+
+func TestIntervalEstimators(t *testing.T) {
+	m := AppModel{FPS: 50}
+	if got := m.MaxCML(2, 6); got != 200 {
+		t.Errorf("MaxCML = %v, want 200 (Eq. 3)", got)
+	}
+	if got := m.AvgCML(2, 6); got != 100 {
+		t.Errorf("AvgCML = %v, want 100", got)
+	}
+	// Swapped interval bounds normalize.
+	if got := m.MaxCML(6, 2); got != 200 {
+		t.Errorf("MaxCML swapped = %v, want 200", got)
+	}
+	if !m.ShouldRollback(0, 10, 400) {
+		t.Error("500 estimated CML must exceed 400 threshold")
+	}
+	if m.ShouldRollback(0, 10, 600) {
+		t.Error("500 estimated CML must not exceed 600 threshold")
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	if s := CyclesToSeconds(1e9); s != 1 {
+		t.Errorf("1e9 cycles = %v s, want 1", s)
+	}
+}

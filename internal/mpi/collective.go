@@ -1,0 +1,197 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+)
+
+// Collectives use a rendezvous protocol: the first arriving rank of a round
+// creates the round, each rank deposits its contribution, and the last
+// arrival computes the result and publishes it by closing the round's ready
+// channel. SPMD programs enter collectives in lockstep, so one active round
+// per job suffices; a fresh round starts as soon as the previous one is
+// complete, even while earlier waiters are still reading their result.
+
+type collKind int
+
+const (
+	collBarrier collKind = iota
+	collAllreduce
+	collBcast
+)
+
+type contribution struct {
+	kind    collKind
+	prim    []uint64
+	prist   []uint64
+	op      ir.ReduceOp
+	isFloat bool
+	bcast   []byte
+	isRoot  bool
+}
+
+type result struct {
+	prim  []uint64
+	prist []uint64
+	bcast []byte
+}
+
+type round struct {
+	arrived int
+	contrib []contribution
+	present []bool
+	ready   chan struct{}
+	res     result
+	err     error
+}
+
+type coll struct {
+	mu   sync.Mutex
+	size int
+	done chan struct{}
+	cur  *round
+}
+
+func (c *coll) join(rank int, timeout time.Duration, cb contribution) (result, error) {
+	c.mu.Lock()
+	if c.cur == nil {
+		c.cur = &round{
+			contrib: make([]contribution, c.size),
+			present: make([]bool, c.size),
+			ready:   make(chan struct{}),
+		}
+	}
+	r := c.cur
+	if r.present[rank] {
+		c.mu.Unlock()
+		return result{}, fmt.Errorf("mpi: rank %d entered the same collective round twice", rank)
+	}
+	r.present[rank] = true
+	r.contrib[rank] = cb
+	r.arrived++
+	if r.arrived == c.size {
+		r.res, r.err = combine(r.contrib)
+		close(r.ready)
+		c.cur = nil
+	}
+	c.mu.Unlock()
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-r.ready:
+		return r.res, r.err
+	case <-c.done:
+		return result{}, ErrAborted
+	case <-t.C:
+		return result{}, ErrTimeout
+	}
+}
+
+// combine validates that all ranks entered the same collective with
+// compatible shapes and computes the result. Mismatches — which arise when
+// a corrupted value changes a count or a code path — are job-fatal errors,
+// as they would be under a real MPI.
+func combine(contribs []contribution) (result, error) {
+	kind := contribs[0].kind
+	for r, cb := range contribs {
+		if cb.kind != kind {
+			return result{}, fmt.Errorf("mpi: rank %d entered %v, rank 0 entered %v", r, cb.kind, kind)
+		}
+	}
+	switch kind {
+	case collBarrier:
+		return result{}, nil
+	case collBcast:
+		var root *contribution
+		for r := range contribs {
+			if contribs[r].isRoot {
+				if root != nil {
+					return result{}, fmt.Errorf("mpi: multiple bcast roots")
+				}
+				root = &contribs[r]
+			}
+		}
+		if root == nil {
+			return result{}, fmt.Errorf("mpi: bcast without a root")
+		}
+		return result{bcast: root.bcast}, nil
+	case collAllreduce:
+		n := len(contribs[0].prim)
+		op := contribs[0].op
+		isFloat := contribs[0].isFloat
+		for r, cb := range contribs {
+			if len(cb.prim) != n || len(cb.prist) != n {
+				return result{}, fmt.Errorf("mpi: rank %d allreduce count %d, rank 0 has %d", r, len(cb.prim), n)
+			}
+			if cb.op != op || cb.isFloat != isFloat {
+				return result{}, fmt.Errorf("mpi: rank %d allreduce op mismatch", r)
+			}
+		}
+		prim := make([]uint64, n)
+		prist := make([]uint64, n)
+		copy(prim, contribs[0].prim)
+		copy(prist, contribs[0].prist)
+		for _, cb := range contribs[1:] {
+			for i := 0; i < n; i++ {
+				prim[i] = reduceWord(prim[i], cb.prim[i], op, isFloat)
+				prist[i] = reduceWord(prist[i], cb.prist[i], op, isFloat)
+			}
+		}
+		return result{prim: prim, prist: prist}, nil
+	}
+	return result{}, fmt.Errorf("mpi: unknown collective kind %d", kind)
+}
+
+func reduceWord(a, b uint64, op ir.ReduceOp, isFloat bool) uint64 {
+	if isFloat {
+		x, y := math.Float64frombits(a), math.Float64frombits(b)
+		var z float64
+		switch op {
+		case ir.ReduceSum:
+			z = x + y
+		case ir.ReduceMin:
+			z = math.Min(x, y)
+		case ir.ReduceMax:
+			z = math.Max(x, y)
+		default:
+			z = x + y
+		}
+		return math.Float64bits(z)
+	}
+	x, y := int64(a), int64(b)
+	var z int64
+	switch op {
+	case ir.ReduceSum:
+		z = x + y
+	case ir.ReduceMin:
+		z = x
+		if y < x {
+			z = y
+		}
+	case ir.ReduceMax:
+		z = x
+		if y > x {
+			z = y
+		}
+	default:
+		z = x + y
+	}
+	return uint64(z)
+}
+
+func (k collKind) String() string {
+	switch k {
+	case collBarrier:
+		return "barrier"
+	case collAllreduce:
+		return "allreduce"
+	case collBcast:
+		return "bcast"
+	}
+	return "collective?"
+}

@@ -1,0 +1,210 @@
+// Package mpi is the in-process message-passing runtime that stands in for
+// MPI in the paper's experiments. Each rank is a goroutine executing its own
+// VM over a private address space; ranks exchange byte messages (payload +
+// contamination header, paper Fig. 4) over per-pair ordered queues, and
+// synchronize through rendezvous-based collectives.
+//
+// Failure semantics mirror a production MPI: when any rank dies — a trap, an
+// application MPI_Abort, or a framework kill — the whole job aborts and every
+// blocked communication call returns an error, so sibling ranks crash out
+// instead of hanging (class C in the outcome taxonomy).
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// ErrAborted is returned by communication calls after the job has aborted.
+var ErrAborted = errors.New("mpi: job aborted")
+
+// ErrTimeout is returned when a blocking call exceeds the job's wall-clock
+// safety timeout (a defense against framework bugs, not an MPI feature).
+var ErrTimeout = errors.New("mpi: wall-clock timeout")
+
+type message struct {
+	tag  int
+	data []byte
+}
+
+// Job is one parallel run: size ranks, their mailboxes, and the shared
+// collective state.
+type Job struct {
+	size    int
+	timeout time.Duration
+
+	// mail[dst][src] is the ordered queue of messages from src to dst.
+	mail [][]chan message
+
+	done     chan struct{}
+	killOnce sync.Once
+	flag     vm.AbortFlag
+
+	coll coll
+}
+
+// NewJob creates a job with the given number of ranks. timeout bounds every
+// blocking call; zero selects a generous default.
+func NewJob(size int, timeout time.Duration) *Job {
+	if size <= 0 {
+		panic("mpi: job size must be positive")
+	}
+	if timeout == 0 {
+		timeout = 60 * time.Second
+	}
+	j := &Job{
+		size:    size,
+		timeout: timeout,
+		mail:    make([][]chan message, size),
+		done:    make(chan struct{}),
+	}
+	for dst := range j.mail {
+		j.mail[dst] = make([]chan message, size)
+		for src := range j.mail[dst] {
+			j.mail[dst][src] = make(chan message, 1024)
+		}
+	}
+	j.coll.size = size
+	j.coll.done = j.done
+	return j
+}
+
+// Size returns the number of ranks.
+func (j *Job) Size() int { return j.size }
+
+// Flag returns the job's abort flag, to be shared with every rank's VM.
+func (j *Job) Flag() *vm.AbortFlag { return &j.flag }
+
+// Kill aborts the job: the abort flag is raised and all blocked
+// communication calls return ErrAborted. Idempotent.
+func (j *Job) Kill() {
+	j.killOnce.Do(func() {
+		j.flag.Raise()
+		close(j.done)
+	})
+}
+
+// Aborted reports whether the job has been killed.
+func (j *Job) Aborted() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Endpoint returns rank r's endpoint. Each endpoint must be used by a
+// single goroutine.
+func (j *Job) Endpoint(r int) *Endpoint {
+	if r < 0 || r >= j.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range", r))
+	}
+	return &Endpoint{job: j, rank: r, pending: make([][]message, j.size)}
+}
+
+// Endpoint is one rank's connection to the job. It implements
+// vm.MPIEndpoint.
+type Endpoint struct {
+	job  *Job
+	rank int
+	// pending[src] buffers messages received from src while looking for a
+	// specific tag (tag matching with per-pair ordering).
+	pending [][]message
+}
+
+var _ vm.MPIEndpoint = (*Endpoint)(nil)
+
+// Rank returns this endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size returns the job size.
+func (e *Endpoint) Size() int { return e.job.size }
+
+// Send enqueues msg for rank dst. It blocks only when dst's queue is full.
+func (e *Endpoint) Send(dst, tag int, msg []byte) error {
+	if dst < 0 || dst >= e.job.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	t := time.NewTimer(e.job.timeout)
+	defer t.Stop()
+	select {
+	case e.job.mail[dst][e.rank] <- message{tag: tag, data: msg}:
+		return nil
+	case <-e.job.done:
+		return ErrAborted
+	case <-t.C:
+		return ErrTimeout
+	}
+}
+
+// Recv blocks until a message with the given tag arrives from src.
+// Messages from src with other tags are buffered and matched by later
+// receives, preserving per-(pair, tag) ordering.
+func (e *Endpoint) Recv(src, tag int) ([]byte, error) {
+	if src < 0 || src >= e.job.size {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
+	}
+	// Check messages already set aside.
+	for i, m := range e.pending[src] {
+		if m.tag == tag {
+			e.pending[src] = append(e.pending[src][:i], e.pending[src][i+1:]...)
+			return m.data, nil
+		}
+	}
+	t := time.NewTimer(e.job.timeout)
+	defer t.Stop()
+	for {
+		select {
+		case m := <-e.job.mail[e.rank][src]:
+			if m.tag == tag {
+				return m.data, nil
+			}
+			e.pending[src] = append(e.pending[src], m)
+		case <-e.job.done:
+			return nil, ErrAborted
+		case <-t.C:
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (e *Endpoint) Barrier() error {
+	_, err := e.job.coll.join(e.rank, e.job.timeout, contribution{})
+	return err
+}
+
+// Allreduce combines the primary and pristine word vectors of all ranks.
+func (e *Endpoint) Allreduce(prim, prist []uint64, op ir.ReduceOp, isFloat bool) ([]uint64, []uint64, error) {
+	res, err := e.job.coll.join(e.rank, e.job.timeout, contribution{
+		kind: collAllreduce, prim: prim, prist: prist, op: op, isFloat: isFloat,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.prim, res.prist, nil
+}
+
+// Bcast distributes root's message; non-root ranks pass nil.
+func (e *Endpoint) Bcast(root int, msg []byte) ([]byte, error) {
+	if root < 0 || root >= e.job.size {
+		return nil, fmt.Errorf("mpi: bcast root %d invalid", root)
+	}
+	isRoot := e.rank == root
+	res, err := e.job.coll.join(e.rank, e.job.timeout, contribution{
+		kind: collBcast, bcast: msg, isRoot: isRoot,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.bcast, nil
+}
+
+// Abort kills the whole job (MPI_Abort).
+func (e *Endpoint) Abort(code int64) { e.job.Kill() }

@@ -1,0 +1,140 @@
+// Package recovery implements the paper's motivating use case for fault
+// propagation models (§5): deciding at runtime, when a fault is detected,
+// whether to roll back to the previous checkpoint. The decision uses the
+// application's FPS factor to estimate how many memory locations may have
+// been corrupted during the detection window (Eq. 3); applications with low
+// FPS can keep running when the estimate stays under a safe threshold,
+// saving the re-execution cost.
+//
+// The package evaluates that policy over a campaign's experiments and
+// accounts for the compute wasted under three strategies: the model-driven
+// policy, always-roll-back, and never-roll-back.
+package recovery
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+// Config parameterizes the recovery policy.
+type Config struct {
+	// Model supplies the FPS factor.
+	Model model.AppModel
+	// ThresholdCML is the safe corrupted-location budget: estimated
+	// contamination above this triggers a rollback.
+	ThresholdCML float64
+	// DetectionLatency is the delay between a fault's occurrence and its
+	// detection, in seconds of virtual time.
+	DetectionLatency float64
+	// CheckpointInterval is the spacing of checkpoints, in seconds.
+	CheckpointInterval float64
+}
+
+// Decision is the runtime choice for one detected fault.
+type Decision struct {
+	DetectTime     float64
+	LastCheckpoint float64
+	EstMaxCML      float64
+	Rollback       bool
+}
+
+// Decide applies the policy to a fault that occurred at faultTime seconds.
+func (c Config) Decide(faultTime float64) Decision {
+	d := Decision{DetectTime: faultTime + c.DetectionLatency}
+	if c.CheckpointInterval > 0 {
+		n := int(d.DetectTime / c.CheckpointInterval)
+		d.LastCheckpoint = float64(n) * c.CheckpointInterval
+	}
+	d.EstMaxCML = c.Model.MaxCML(d.LastCheckpoint, d.DetectTime)
+	d.Rollback = d.EstMaxCML > c.ThresholdCML
+	return d
+}
+
+// Report accounts for the wasted compute (re-executed virtual seconds) and
+// escaped silent corruptions of each strategy over a campaign.
+type Report struct {
+	App         string
+	Experiments int
+	// Wasted virtual seconds per strategy.
+	WastePolicy, WasteAlways, WasteNever float64
+	// EscapedWO counts wrong-output runs the strategy failed to roll
+	// back (silent data corruption reaching the user).
+	EscapedPolicy, EscapedNever int
+	// Rollbacks counts policy-triggered rollbacks; FalseRollbacks those
+	// whose run would have produced correct output anyway.
+	Rollbacks, FalseRollbacks int
+}
+
+// Evaluate replays the policy over a campaign's experiments.
+//
+// Accounting model, per experiment (run length T seconds, fault at tf):
+//   - crash outcomes restart from the last checkpoint regardless of policy:
+//     all strategies pay (crashTime − lastCheckpoint);
+//   - a rollback pays (detectTime − lastCheckpoint) and yields a correct
+//     run (the fault was transient; re-execution is clean);
+//   - declining to roll back pays nothing immediately, but a WO run is
+//     discovered at the end and re-executed from the checkpoint: it pays
+//     (T − lastCheckpoint) and counts as an escaped SDC for strategies
+//     without any detection (never-roll-back).
+func Evaluate(cfg Config, res *harness.CampaignResult) Report {
+	rep := Report{App: res.App}
+	for _, e := range res.Experiments {
+		if !e.Fired {
+			continue
+		}
+		rep.Experiments++
+		T := model.CyclesToSeconds(int64(e.Cycles))
+		tf := model.CyclesToSeconds(int64(e.InjCycle))
+		d := cfg.Decide(tf)
+		if d.DetectTime > T {
+			d.DetectTime = T
+		}
+		redo := d.DetectTime - d.LastCheckpoint
+
+		if e.Outcome == classify.Crashed {
+			// The job died; everyone restarts from the checkpoint.
+			rep.WastePolicy += redo
+			rep.WasteAlways += redo
+			rep.WasteNever += redo
+			continue
+		}
+		// Always-roll-back strategy.
+		rep.WasteAlways += redo
+		// Never-roll-back strategy.
+		if e.Outcome == classify.WrongOutput {
+			rep.WasteNever += T - d.LastCheckpoint
+			rep.EscapedNever++
+		}
+		// Model-driven policy.
+		if d.Rollback {
+			rep.Rollbacks++
+			rep.WastePolicy += redo
+			if e.Outcome.IsCorrectOutput() || e.Outcome == classify.ProlongedExecution {
+				rep.FalseRollbacks++
+			}
+			continue
+		}
+		if e.Outcome == classify.WrongOutput {
+			rep.WastePolicy += T - d.LastCheckpoint
+			rep.EscapedPolicy++
+		}
+	}
+	return rep
+}
+
+// Format renders the report.
+func (r Report) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Recovery policy evaluation — %s (%d detected faults)\n", r.App, r.Experiments)
+	fmt.Fprintf(&sb, "%-22s %14s %10s\n", "strategy", "waste (virt s)", "escaped WO")
+	fmt.Fprintf(&sb, "%-22s %14.6f %10d\n", "model-driven policy", r.WastePolicy, r.EscapedPolicy)
+	fmt.Fprintf(&sb, "%-22s %14.6f %10s\n", "always roll back", r.WasteAlways, "0")
+	fmt.Fprintf(&sb, "%-22s %14.6f %10d\n", "never roll back", r.WasteNever, r.EscapedNever)
+	fmt.Fprintf(&sb, "policy rollbacks: %d (%d on runs that would have been correct)\n",
+		r.Rollbacks, r.FalseRollbacks)
+	return sb.String()
+}

@@ -1,0 +1,129 @@
+package recovery
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/classify"
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+func TestDecide(t *testing.T) {
+	cfg := Config{
+		Model:              model.AppModel{FPS: 100}, // 100 CML/s
+		ThresholdCML:       10,
+		DetectionLatency:   0.05,
+		CheckpointInterval: 0.1,
+	}
+	// Fault at 0.12 s -> detect at 0.17 s; last checkpoint at 0.1 s;
+	// estimate 100 * 0.07 = 7 <= 10 -> keep running.
+	d := cfg.Decide(0.12)
+	if math.Abs(d.DetectTime-0.17) > 1e-12 || d.LastCheckpoint != 0.1 {
+		t.Errorf("decision times = %+v", d)
+	}
+	if d.EstMaxCML < 6.9 || d.EstMaxCML > 7.1 {
+		t.Errorf("estimate = %v, want ~7", d.EstMaxCML)
+	}
+	if d.Rollback {
+		t.Error("estimate under threshold must not roll back")
+	}
+	// A faster-propagating application must roll back in the same window.
+	cfg.Model.FPS = 1000
+	if d := cfg.Decide(0.12); !d.Rollback {
+		t.Error("estimate over threshold must roll back")
+	}
+}
+
+func TestDecideNoCheckpointing(t *testing.T) {
+	cfg := Config{Model: model.AppModel{FPS: 10}, ThresholdCML: 1, DetectionLatency: 0.5}
+	d := cfg.Decide(2.0)
+	if d.LastCheckpoint != 0 {
+		t.Errorf("without interval, checkpoint = %v, want 0 (job start)", d.LastCheckpoint)
+	}
+}
+
+func fakeCampaign() *harness.CampaignResult {
+	res := &harness.CampaignResult{App: "X"}
+	mk := func(o classify.Outcome, injCycle, cycles uint64) harness.ExperimentSummary {
+		return harness.ExperimentSummary{Outcome: o, Fired: true, InjCycle: injCycle, Cycles: cycles}
+	}
+	res.Experiments = []harness.ExperimentSummary{
+		mk(classify.Vanished, 1e6, 1e7),
+		mk(classify.OutputNotAffected, 5e6, 1e7),
+		mk(classify.WrongOutput, 2e6, 1e7),
+		mk(classify.Crashed, 3e6, 4e6),
+		{Outcome: classify.Vanished, Fired: false}, // never fired: skipped
+	}
+	return res
+}
+
+func TestEvaluateAccounting(t *testing.T) {
+	// High threshold: the policy never rolls back (acts like never-rollback
+	// plus crash restarts).
+	cfg := Config{
+		Model:              model.AppModel{FPS: 1}, // negligible estimates
+		ThresholdCML:       1e9,
+		DetectionLatency:   1e-4,
+		CheckpointInterval: 1e-3,
+	}
+	rep := Evaluate(cfg, fakeCampaign())
+	if rep.Experiments != 4 {
+		t.Fatalf("experiments = %d", rep.Experiments)
+	}
+	if rep.Rollbacks != 0 || rep.EscapedPolicy != 1 || rep.EscapedNever != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.WastePolicy != rep.WasteNever {
+		t.Errorf("no-rollback policy waste %v != never waste %v", rep.WastePolicy, rep.WasteNever)
+	}
+	// Zero threshold: the policy always rolls back; no escaped WO.
+	cfg.ThresholdCML = 0
+	rep = Evaluate(cfg, fakeCampaign())
+	if rep.EscapedPolicy != 0 {
+		t.Errorf("always-policy escaped %d WO", rep.EscapedPolicy)
+	}
+	if rep.Rollbacks != 3 { // all but the crash
+		t.Errorf("rollbacks = %d, want 3", rep.Rollbacks)
+	}
+	if rep.FalseRollbacks != 2 { // V and ONA would have been correct
+		t.Errorf("false rollbacks = %d, want 2", rep.FalseRollbacks)
+	}
+	if rep.WastePolicy != rep.WasteAlways {
+		t.Errorf("always-policy waste %v != always waste %v", rep.WastePolicy, rep.WasteAlways)
+	}
+}
+
+func TestEvaluateOnRealCampaign(t *testing.T) {
+	app := apps.NewHydro()
+	res, err := harness.RunCampaign(harness.CampaignConfig{
+		App: app, Params: app.TestParams(), Runs: 30, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Model:              res.Model,
+		ThresholdCML:       20,
+		DetectionLatency:   2e-6,
+		CheckpointInterval: 5e-6,
+	}
+	rep := Evaluate(cfg, res)
+	if rep.Experiments == 0 {
+		t.Fatal("no experiments evaluated")
+	}
+	// The policy must never waste more than the worse of the two naive
+	// strategies combined (sanity bound).
+	if rep.WastePolicy > rep.WasteAlways+rep.WasteNever {
+		t.Errorf("policy waste %v exceeds naive bounds %v/%v",
+			rep.WastePolicy, rep.WasteAlways, rep.WasteNever)
+	}
+	text := rep.Format()
+	for _, want := range []string{"Recovery policy", "model-driven", "never roll back"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}

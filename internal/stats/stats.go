@@ -1,0 +1,305 @@
+// Package stats provides the statistical machinery used by the fault
+// propagation study: descriptive statistics, histograms, a χ² uniformity
+// test for injection coverage (paper Fig. 5), and the least-squares and
+// piece-wise linear regression used to derive fault propagation models
+// (paper §5).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned by estimators that need more samples than
+// were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram bins n observations in [lo, hi) into bins equal-width buckets.
+// Observations outside the range are clamped into the first or last bin, so
+// the counts always sum to the number of observations.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram creates a histogram over [lo, hi) with the given number of
+// bins. It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram with bins <= 0")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.N++
+}
+
+// ExpectedUniform returns the per-bin expected count for a uniform
+// distribution over the histogram range.
+func (h *Histogram) ExpectedUniform() float64 {
+	return float64(h.N) / float64(len(h.Counts))
+}
+
+// ChiSquareUniform computes the χ² statistic of the histogram against a
+// uniform distribution and its degrees of freedom (bins-1).
+func (h *Histogram) ChiSquareUniform() (chi2 float64, dof int) {
+	exp := h.ExpectedUniform()
+	if exp == 0 {
+		return 0, len(h.Counts) - 1
+	}
+	for _, c := range h.Counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	return chi2, len(h.Counts) - 1
+}
+
+// ChiSquareUniformOK reports whether the histogram is consistent with a
+// uniform distribution at roughly the 1% significance level, using the
+// Wilson–Hilferty normal approximation of the χ² distribution (adequate for
+// the large degrees of freedom used by the coverage test).
+func (h *Histogram) ChiSquareUniformOK() bool {
+	chi2, dof := h.ChiSquareUniform()
+	if dof <= 0 {
+		return true
+	}
+	// Wilson–Hilferty: (chi2/dof)^(1/3) ~ Normal(1 - 2/(9dof), 2/(9dof)).
+	k := float64(dof)
+	z := (math.Cbrt(chi2/k) - (1 - 2/(9*k))) / math.Sqrt(2/(9*k))
+	return z < 2.33 // one-sided 1% critical value
+}
+
+// LinearFit is a least-squares line y = A*x + B with goodness-of-fit data.
+type LinearFit struct {
+	A, B float64 // slope, intercept
+	R2   float64 // coefficient of determination
+	N    int     // samples used
+}
+
+// Eval returns A*x + B.
+func (f LinearFit) Eval(x float64) float64 { return f.A*x + f.B }
+
+// FitLine computes the ordinary least squares fit of ys against xs.
+// It returns ErrInsufficientData for fewer than two points, and fits a
+// horizontal line when all xs coincide.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: FitLine length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	fit := LinearFit{N: n}
+	if sxx == 0 {
+		fit.A = 0
+		fit.B = my
+		if syy == 0 {
+			fit.R2 = 1
+		}
+		return fit, nil
+	}
+	fit.A = sxy / sxx
+	fit.B = my - fit.A*mx
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// PiecewiseFit models the paper's observed propagation profile: linear
+// growth from the fault time up to a knee, then a constant plateau.
+//
+//	y(x) = Line.A*x + Line.B  for x <= Knee
+//	y(x) = Plateau            for x >  Knee
+type PiecewiseFit struct {
+	Line    LinearFit
+	Knee    float64
+	Plateau float64
+	// SSE is the sum of squared residuals of the piece-wise model.
+	SSE float64
+}
+
+// Eval evaluates the piece-wise model at x.
+func (p PiecewiseFit) Eval(x float64) float64 {
+	if x <= p.Knee {
+		return p.Line.Eval(x)
+	}
+	return p.Plateau
+}
+
+// FitPiecewise fits a linear-then-constant model by scanning candidate knee
+// positions over the sample points and minimizing total squared error.
+// xs must be sorted in increasing order.
+func FitPiecewise(xs, ys []float64) (PiecewiseFit, error) {
+	if len(xs) != len(ys) {
+		return PiecewiseFit{}, errors.New("stats: FitPiecewise length mismatch")
+	}
+	n := len(xs)
+	if n < 3 {
+		return PiecewiseFit{}, ErrInsufficientData
+	}
+	best := PiecewiseFit{SSE: math.Inf(1)}
+	// Knee at index k means points [0..k] form the ramp, (k..n) the plateau.
+	for k := 1; k < n-1; k++ {
+		line, err := FitLine(xs[:k+1], ys[:k+1])
+		if err != nil {
+			continue
+		}
+		plateau := Mean(ys[k+1:])
+		sse := 0.0
+		for i := 0; i <= k; i++ {
+			d := ys[i] - line.Eval(xs[i])
+			sse += d * d
+		}
+		for i := k + 1; i < n; i++ {
+			d := ys[i] - plateau
+			sse += d * d
+		}
+		if sse < best.SSE {
+			best = PiecewiseFit{Line: line, Knee: xs[k], Plateau: plateau, SSE: sse}
+		}
+	}
+	// Also consider the pure-linear model (knee at the end).
+	if line, err := FitLine(xs, ys); err == nil {
+		sse := 0.0
+		for i := range xs {
+			d := ys[i] - line.Eval(xs[i])
+			sse += d * d
+		}
+		if sse < best.SSE {
+			best = PiecewiseFit{Line: line, Knee: xs[n-1], Plateau: line.Eval(xs[n-1]), SSE: sse}
+		}
+	}
+	if math.IsInf(best.SSE, 1) {
+		return PiecewiseFit{}, ErrInsufficientData
+	}
+	return best, nil
+}
+
+// MeanAbsRelError returns mean(|pred-actual| / max(|actual|, floor)), a
+// scale-free validation error used to check fitted propagation models
+// against observed CML series (the paper reports errors within 0.5%).
+func MeanAbsRelError(pred, actual []float64, floor float64) float64 {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := range pred {
+		den := math.Abs(actual[i])
+		if den < floor {
+			den = floor
+		}
+		sum += math.Abs(pred[i]-actual[i]) / den
+	}
+	return sum / float64(len(pred))
+}

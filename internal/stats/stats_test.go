@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEq(m, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	// Sample variance of the classic dataset: population var is 4,
+	// sample var is 32/7.
+	if v := Variance(xs); !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if s := StdDev(xs); !almostEq(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", m)
+	}
+	if v := Variance([]float64{1}); v != 0 {
+		t.Errorf("Variance(single) = %v, want 0", v)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if m := Min(xs); m != -1 {
+		t.Errorf("Min = %v", m)
+	}
+	if m := Max(xs); m != 5 {
+		t.Errorf("Max = %v", m)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -3, 12} {
+		h.Add(x)
+	}
+	want := []int{3, 1, 1, 0, 2} // -3 clamps to bin 0, 12 clamps to bin 4
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.N != 7 {
+		t.Errorf("N = %d, want 7", h.N)
+	}
+}
+
+func TestChiSquareUniformAcceptsUniform(t *testing.T) {
+	r := xrand.New(42)
+	h := NewHistogram(0, 1, 100)
+	for i := 0; i < 50000; i++ {
+		h.Add(r.Float64())
+	}
+	if !h.ChiSquareUniformOK() {
+		chi2, dof := h.ChiSquareUniform()
+		t.Errorf("uniform data rejected: chi2=%v dof=%d", chi2, dof)
+	}
+}
+
+func TestChiSquareUniformRejectsSkewed(t *testing.T) {
+	r := xrand.New(42)
+	h := NewHistogram(0, 1, 100)
+	for i := 0; i < 50000; i++ {
+		f := r.Float64()
+		h.Add(f * f) // heavily skewed toward 0
+	}
+	if h.ChiSquareUniformOK() {
+		t.Error("skewed data accepted as uniform")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*x - 7
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.A, 2.5, 1e-12) || !almostEq(fit.B, -7, 1e-12) {
+		t.Errorf("fit = %+v, want A=2.5 B=-7", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	r := xrand.New(9)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 0.01*x+3+0.1*r.NormFloat64())
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.A, 0.01, 1e-3) {
+		t.Errorf("slope = %v, want ~0.01", fit.A)
+	}
+	if fit.R2 < 0.9 {
+		t.Errorf("R2 = %v, want > 0.9", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{2}); err != ErrInsufficientData {
+		t.Errorf("want ErrInsufficientData, got %v", err)
+	}
+	// Vertical data: all x equal.
+	fit, err := FitLine([]float64{3, 3, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.A != 0 || !almostEq(fit.B, 2, 1e-12) {
+		t.Errorf("vertical fit = %+v, want horizontal line at mean", fit)
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+}
+
+func TestFitPiecewiseRampPlateau(t *testing.T) {
+	// y ramps with slope 3 until x=10, then is flat at 30.
+	var xs, ys []float64
+	for x := 0.0; x <= 20; x++ {
+		xs = append(xs, x)
+		if x <= 10 {
+			ys = append(ys, 3*x)
+		} else {
+			ys = append(ys, 30)
+		}
+	}
+	fit, err := FitPiecewise(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Line.A, 3, 1e-9) {
+		t.Errorf("ramp slope = %v, want 3", fit.Line.A)
+	}
+	if !almostEq(fit.Plateau, 30, 1e-9) {
+		t.Errorf("plateau = %v, want 30", fit.Plateau)
+	}
+	if fit.Knee < 9 || fit.Knee > 11 {
+		t.Errorf("knee = %v, want ~10", fit.Knee)
+	}
+	if fit.SSE > 1e-9 {
+		t.Errorf("SSE = %v, want ~0", fit.SSE)
+	}
+}
+
+func TestFitPiecewisePureLinear(t *testing.T) {
+	var xs, ys []float64
+	for x := 0.0; x < 30; x++ {
+		xs = append(xs, x)
+		ys = append(ys, 1.5*x+2)
+	}
+	fit, err := FitPiecewise(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Line.A, 1.5, 1e-9) {
+		t.Errorf("slope = %v, want 1.5", fit.Line.A)
+	}
+	if fit.SSE > 1e-9 {
+		t.Errorf("SSE = %v, want ~0", fit.SSE)
+	}
+}
+
+func TestFitPiecewiseInsufficient(t *testing.T) {
+	if _, err := FitPiecewise([]float64{1, 2}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Errorf("want ErrInsufficientData, got %v", err)
+	}
+}
+
+func TestMeanAbsRelError(t *testing.T) {
+	pred := []float64{10, 20}
+	actual := []float64{10, 25}
+	// errors: 0 and 5/25=0.2 -> mean 0.1
+	if e := MeanAbsRelError(pred, actual, 1); !almostEq(e, 0.1, 1e-12) {
+		t.Errorf("error = %v, want 0.1", e)
+	}
+	if e := MeanAbsRelError([]float64{1}, []float64{1, 2}, 1); !math.IsNaN(e) {
+		t.Errorf("mismatched lengths: got %v, want NaN", e)
+	}
+}
+
+func TestFitLineRecoversSlopeProperty(t *testing.T) {
+	// Property: FitLine recovers arbitrary slope/intercept from exact data.
+	f := func(a8, b8 int8) bool {
+		a, b := float64(a8)/8, float64(b8)/8
+		xs := []float64{0, 1, 2, 3, 7, 11}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a*x + b
+		}
+		fit, err := FitLine(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEq(fit.A, a, 1e-9) && almostEq(fit.B, b, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		p := float64(pRaw) / 255 * 100
+		v := Percentile(xs, p)
+		return v >= Min(xs) && v <= Max(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFitLine(b *testing.B) {
+	xs := make([]float64, 1000)
+	ys := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2*float64(i) + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = FitLine(xs, ys)
+	}
+}

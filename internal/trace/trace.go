@@ -1,0 +1,131 @@
+// Package trace records fault-propagation observables during a run: the
+// corrupted-memory-locations time series of each rank (paper Fig. 7), and
+// the job-level spread of contamination across ranks on the global virtual
+// clock (paper Fig. 8).
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Point is one CML sample of one rank.
+type Point struct {
+	Cycles int64 // rank-local application cycles
+	Global int64 // job-global virtual time
+	CML    int   // corrupted memory locations at that moment
+}
+
+// TickPoint marks an application timestep boundary.
+type TickPoint struct {
+	Cycles int64
+	Tick   int64
+}
+
+// Recorder observes one rank's VM. It implements vm.Tracer. Not safe for
+// concurrent use; each rank owns one.
+type Recorder struct {
+	// SampleEvery subsamples CML changes: a new point is retained only
+	// when at least this many local cycles have passed since the last
+	// retained point (transitions from zero are always retained). Zero
+	// retains every change.
+	SampleEvery uint64
+
+	points []Point
+	ticks  []TickPoint
+
+	firstContam       int64
+	hasFirstContam    bool
+	lastSampledCycles uint64
+	lastCML           int
+	maxCML            int
+}
+
+// OnCMLChange implements vm.Tracer.
+func (r *Recorder) OnCMLChange(localCycles, globalTime uint64, cml int) {
+	if cml > r.maxCML {
+		r.maxCML = cml
+	}
+	becameContaminated := r.lastCML == 0 && cml > 0
+	if becameContaminated && !r.hasFirstContam {
+		r.firstContam = int64(globalTime)
+		r.hasFirstContam = true
+	}
+	r.lastCML = cml
+	if !becameContaminated && r.SampleEvery > 0 &&
+		localCycles-r.lastSampledCycles < r.SampleEvery && len(r.points) > 0 {
+		return
+	}
+	r.lastSampledCycles = localCycles
+	r.points = append(r.points, Point{Cycles: int64(localCycles), Global: int64(globalTime), CML: cml})
+}
+
+// OnTick implements vm.Tracer.
+func (r *Recorder) OnTick(localCycles, globalTime uint64, tick int64) {
+	r.ticks = append(r.ticks, TickPoint{Cycles: int64(localCycles), Tick: tick})
+}
+
+// Finish appends a final sample so the series extends to the end of the run.
+func (r *Recorder) Finish(localCycles, globalTime uint64, cml int) {
+	if cml > r.maxCML {
+		r.maxCML = cml
+	}
+	r.lastCML = cml
+	r.points = append(r.points, Point{Cycles: int64(localCycles), Global: int64(globalTime), CML: cml})
+}
+
+// Points returns the retained CML series.
+func (r *Recorder) Points() []Point { return r.points }
+
+// Ticks returns the timestep marks.
+func (r *Recorder) Ticks() []TickPoint { return r.ticks }
+
+// MaxCML returns the peak CML observed.
+func (r *Recorder) MaxCML() int { return r.maxCML }
+
+// FirstContamination returns the global time when the rank first became
+// contaminated, and whether it ever did.
+func (r *Recorder) FirstContamination() (int64, bool) {
+	return r.firstContam, r.hasFirstContam
+}
+
+// RankSpread aggregates per-rank first-contamination times into the
+// corrupted-ranks-over-time series of paper Fig. 8.
+type RankSpread struct {
+	mu    sync.Mutex
+	times []int64
+}
+
+// Note records that a rank became contaminated at global time t. Safe for
+// concurrent use.
+func (s *RankSpread) Note(t int64) {
+	s.mu.Lock()
+	s.times = append(s.times, t)
+	s.mu.Unlock()
+}
+
+// SpreadPoint is one step of the corrupted-rank-count series.
+type SpreadPoint struct {
+	Time  int64
+	Ranks int
+}
+
+// Series returns the cumulative corrupted-rank counts in time order.
+func (s *RankSpread) Series() []SpreadPoint {
+	s.mu.Lock()
+	ts := append([]int64(nil), s.times...)
+	s.mu.Unlock()
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := make([]SpreadPoint, len(ts))
+	for i, t := range ts {
+		out[i] = SpreadPoint{Time: t, Ranks: i + 1}
+	}
+	return out
+}
+
+// Count returns how many ranks became contaminated.
+func (s *RankSpread) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.times)
+}

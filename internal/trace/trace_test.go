@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderRetainsChanges(t *testing.T) {
+	var r Recorder
+	r.OnCMLChange(10, 100, 1)
+	r.OnCMLChange(20, 200, 2)
+	r.OnCMLChange(30, 300, 0)
+	r.Finish(40, 400, 0)
+	pts := r.Points()
+	if len(pts) != 4 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0] != (Point{Cycles: 10, Global: 100, CML: 1}) {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if r.MaxCML() != 2 {
+		t.Errorf("max = %d, want 2", r.MaxCML())
+	}
+	if ft, ok := r.FirstContamination(); !ok || ft != 100 {
+		t.Errorf("first contamination = %d %v", ft, ok)
+	}
+}
+
+func TestRecorderSubsampling(t *testing.T) {
+	r := Recorder{SampleEvery: 100}
+	for c := uint64(0); c < 1000; c += 10 {
+		r.OnCMLChange(c, c, int(c))
+	}
+	pts := r.Points()
+	if len(pts) < 5 || len(pts) > 15 {
+		t.Errorf("retained %d points, want ~10", len(pts))
+	}
+	// Max is tracked exactly even when subsampled.
+	if r.MaxCML() != 990 {
+		t.Errorf("max = %d, want 990", r.MaxCML())
+	}
+}
+
+func TestRecorderZeroTransitionAlwaysRetained(t *testing.T) {
+	r := Recorder{SampleEvery: 1 << 40}
+	r.OnCMLChange(5, 5, 3) // first contamination: retained
+	r.OnCMLChange(6, 6, 0) // cleansed: subsampled away
+	r.OnCMLChange(7, 7, 1) // re-contaminated from zero: retained
+	pts := r.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %v, want 2 retained", pts)
+	}
+	if ft, ok := r.FirstContamination(); !ok || ft != 5 {
+		t.Errorf("first contamination = %d %v, want 5", ft, ok)
+	}
+}
+
+func TestRecorderTicks(t *testing.T) {
+	var r Recorder
+	r.OnTick(100, 100, 1)
+	r.OnTick(200, 200, 2)
+	if n := len(r.Ticks()); n != 2 {
+		t.Errorf("ticks = %d", n)
+	}
+}
+
+func TestRankSpreadSeries(t *testing.T) {
+	var s RankSpread
+	var wg sync.WaitGroup
+	for _, tm := range []int64{300, 100, 200} {
+		wg.Add(1)
+		go func(tm int64) {
+			defer wg.Done()
+			s.Note(tm)
+		}(tm)
+	}
+	wg.Wait()
+	series := s.Series()
+	if len(series) != 3 || s.Count() != 3 {
+		t.Fatalf("series = %v", series)
+	}
+	want := []SpreadPoint{{100, 1}, {200, 2}, {300, 3}}
+	for i, p := range series {
+		if p != want[i] {
+			t.Errorf("series[%d] = %+v, want %+v", i, p, want[i])
+		}
+	}
+}

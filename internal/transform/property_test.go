@@ -1,0 +1,161 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/ir"
+	"repro/internal/vm"
+	"repro/internal/xrand"
+)
+
+// The framework's central correctness property (what makes the tracker
+// "exact" rather than an overestimate): at any store boundary, overlaying
+// the contamination table's pristine values onto the corrupted memory
+// reconstructs the fault-free memory image. For straight-line programs
+// (where a fault cannot divert control flow) the property holds exactly at
+// program end, whatever fault is injected.
+//
+// randomProgram generates straight-line programs over a global array:
+// loads, integer/float arithmetic on a small register pool, and stores back
+// through immediate addresses (no corrupted pointers, no branches, no
+// divisions — nothing that can trap or diverge).
+func randomProgram(r *xrand.Rand, words int64, steps int) *ir.Program {
+	b := ir.NewBuilder()
+	g := b.Global("data", words)
+	init := make([]uint64, words)
+	for i := range init {
+		init[i] = r.Uint64()
+	}
+	b.GlobalInit("data", init)
+	f := b.Func("main", 0, 0)
+	pool := make([]ir.Reg, 6)
+	for i := range pool {
+		pool[i] = f.CI(int64(r.Uint64n(100)))
+	}
+	pick := func() ir.Reg { return pool[r.Intn(len(pool))] }
+	for s := 0; s < steps; s++ {
+		switch r.Intn(6) {
+		case 0: // load
+			addr := g + int64(r.Uint64n(uint64(words)))
+			pool[r.Intn(len(pool))] = f.Load(ir.ImmI(addr))
+		case 1: // store a register
+			addr := g + int64(r.Uint64n(uint64(words)))
+			f.Store(ir.R(pick()), ir.ImmI(addr))
+		case 2: // store a constant (cleansing candidate)
+			addr := g + int64(r.Uint64n(uint64(words)))
+			f.Store(ir.ImmI(int64(r.Uint64n(1000))), ir.ImmI(addr))
+		case 3: // integer arithmetic
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Xor, ir.And, ir.Or, ir.Shl, ir.AShr}
+			op := ops[r.Intn(len(ops))]
+			pool[r.Intn(len(pool))] = f.Bin(op, ir.R(pick()), ir.R(pick()))
+		case 4: // float arithmetic
+			ops := []ir.Op{ir.FAdd, ir.FSub, ir.FMul}
+			op := ops[r.Intn(len(ops))]
+			pool[r.Intn(len(pool))] = f.Bin(op, ir.R(pick()), ir.R(pick()))
+		case 5: // conversion round trip keeps values interesting
+			pool[r.Intn(len(pool))] = f.SIToFP(ir.R(pick()))
+		}
+	}
+	f.Ret()
+	return b.MustBuild()
+}
+
+func TestRandomStraightLineReconstruction(t *testing.T) {
+	const words = 24
+	master := xrand.New(20150101)
+	for trial := 0; trial < 60; trial++ {
+		r := master.Split()
+		prog := randomProgram(r, words, 80)
+		inst, err := Instrument(prog, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fault-free image.
+		vp := vm.New(prog, vm.Config{})
+		if err := vp.Run(); err != nil {
+			t.Fatalf("trial %d: plain run: %v", trial, err)
+		}
+		pristine := make([]uint64, words)
+		for i := int64(0); i < words; i++ {
+			w, _ := vp.Mem().Read(1 + i)
+			pristine[i] = w
+		}
+		// Count sites, then inject at a random one.
+		vProfile := vm.New(inst, vm.Config{})
+		if err := vProfile.Run(); err != nil {
+			t.Fatalf("trial %d: profile run: %v", trial, err)
+		}
+		sites := vProfile.Sites()
+		if sites == 0 {
+			continue // no arithmetic reached; nothing to inject
+		}
+		plan := inject.Plan{Faults: []inject.Fault{{
+			Site: r.Uint64n(sites),
+			Bit:  uint(r.Intn(64)),
+		}}}
+		inj := inject.NewRankInjector(plan, 0)
+		vi := vm.New(inst, vm.Config{Injector: inj})
+		if err := vi.Run(); err != nil {
+			t.Fatalf("trial %d: injected run: %v", trial, err)
+		}
+		// Reconstruction property.
+		for i := int64(0); i < words; i++ {
+			addr := 1 + i
+			w, _ := vi.Mem().Read(addr)
+			got := vi.Table().PristineOr(addr, w)
+			if got != pristine[i] {
+				t.Errorf("trial %d (%v): word %d: reconstruction %#x, pristine %#x, mem %#x",
+					trial, plan.Faults[0], i, got, pristine[i], w)
+			}
+			// Table minimality: entries exist only where memory differs.
+			if pv, ok := vi.Table().Pristine(addr); ok && pv == w {
+				t.Errorf("trial %d: word %d: table entry equals memory (not minimal)", trial, i)
+			}
+		}
+	}
+}
+
+// TestReconstructionWithMultipleFaults extends the property to LLFI++
+// multi-fault plans.
+func TestRandomStraightLineReconstructionMultiFault(t *testing.T) {
+	const words = 16
+	master := xrand.New(77)
+	for trial := 0; trial < 30; trial++ {
+		r := master.Split()
+		prog := randomProgram(r, words, 60)
+		inst, err := Instrument(prog, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vp := vm.New(prog, vm.Config{})
+		if err := vp.Run(); err != nil {
+			t.Fatal(err)
+		}
+		pristine := make([]uint64, words)
+		for i := int64(0); i < words; i++ {
+			pristine[i], _ = vp.Mem().Read(1 + i)
+		}
+		vProfile := vm.New(inst, vm.Config{})
+		if err := vProfile.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if vProfile.Sites() == 0 {
+			continue
+		}
+		plan := inject.MultiFaultPlan(r, []uint64{vProfile.Sites()}, 2)
+		inj := inject.NewRankInjector(plan, 0)
+		vi := vm.New(inst, vm.Config{Injector: inj})
+		if err := vi.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < words; i++ {
+			addr := 1 + i
+			w, _ := vi.Mem().Read(addr)
+			if got := vi.Table().PristineOr(addr, w); got != pristine[i] {
+				t.Errorf("trial %d (%d faults): word %d: got %#x, want %#x",
+					trial, len(plan.Faults), i, got, pristine[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,5 @@
+package transform
+
+import "math"
+
+func float64frombits(w uint64) float64 { return math.Float64frombits(w) }

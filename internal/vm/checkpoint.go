@@ -1,0 +1,109 @@
+package vm
+
+import "repro/internal/fpm"
+
+// In-VM checkpoint/rollback makes the paper's recovery story executable:
+// the VM snapshots its complete execution state at timestep boundaries
+// (IntrinCheckpointT), and — playing the role of a fault detector with a
+// one-timestep granularity — rolls back to the previous snapshot when the
+// contamination table exceeds a threshold. Because the injector's dynamic
+// site pointer is deliberately NOT restored, the re-executed region runs
+// fault-free, which is exactly the transient-fault semantics the paper's
+// rollback targets: the redone work costs cycles (a PEX-shaped signature)
+// but the corrupted state is gone.
+//
+// The detector here is an oracle (it reads the contamination table, which
+// a production system does not have); the paper's §5 models exist
+// precisely to estimate this quantity from FPS instead.
+//
+// Limitations: checkpointing is per-process — rolling back one rank of an
+// MPI job would break message lockstep, so this facility is intended for
+// single-process runs (coordinated distributed checkpointing is out of
+// scope). The naive-taint ablation state is not snapshotted.
+
+type vmSnapshot struct {
+	words      []uint64
+	brk, sp    int64
+	regs       []uint64
+	frames     []frame
+	sites      uint64
+	outputs    int
+	iterations int64
+	ticks      int64
+	table      map[int64]uint64
+}
+
+// Rollbacks reports how many checkpoint restorations happened.
+func (v *VM) Rollbacks() int { return v.rollbacks }
+
+// takeSnapshot captures the full execution state. The top frame's pc is
+// stored pre-incremented so a restored execution resumes at the
+// instruction after the checkpoint intrinsic.
+func (v *VM) takeSnapshot() {
+	s := &vmSnapshot{
+		brk:        v.mem.brk,
+		sp:         v.mem.sp,
+		sites:      v.sites,
+		outputs:    len(v.outputs),
+		iterations: v.iterations,
+		ticks:      v.ticks,
+	}
+	s.words = append(s.words[:0], v.mem.words...)
+	s.regs = append(s.regs[:0], v.regs...)
+	// Frame structs copy by value; their retRegs slices are never mutated
+	// after emission, so sharing them is safe.
+	s.frames = append(s.frames[:0], v.frames...)
+	s.frames[len(s.frames)-1].pc++
+	s.table = make(map[int64]uint64, v.table.Len())
+	for _, addr := range v.table.Addresses() {
+		pv, _ := v.table.Pristine(addr)
+		s.table[addr] = pv
+	}
+	v.snap = s
+}
+
+// restoreSnapshot rewinds the VM to the last snapshot. Application cycles
+// are NOT rewound: re-executed work costs time, exactly as a real rollback
+// does. The injector's site counter is not rewound either, so a transient
+// fault does not re-fire during replay.
+func (v *VM) restoreSnapshot() {
+	s := v.snap
+	copy(v.mem.words, s.words)
+	v.mem.brk = s.brk
+	v.mem.sp = s.sp
+	v.regs = append(v.regs[:0], s.regs...)
+	v.frames = append(v.frames[:0], s.frames...)
+	v.outputs = v.outputs[:s.outputs]
+	v.iterations = s.iterations
+	v.ticks = s.ticks
+	restored := fpm.NewTable()
+	for addr, pv := range s.table {
+		restored.Record(addr, pv)
+	}
+	// The contamination happened even though it was undone: keep the
+	// historical peak and ever-contaminated flags.
+	restored.CarryHistory(v.table.Peak(), v.table.Ever())
+	v.table = restored
+	v.rollbacks++
+	v.restored = true
+	if v.cfg.Tracer != nil {
+		v.cfg.Tracer.OnCMLChange(v.cycles, v.globalTime(), v.table.Len())
+	}
+}
+
+// checkpointTick runs the rollback policy and snapshotting at a timestep
+// boundary. Returns true when execution state was replaced and the
+// interpreter must refetch its frame.
+func (v *VM) checkpointTick() bool {
+	if v.cfg.CheckpointEvery <= 0 {
+		return false
+	}
+	if v.cfg.RollbackCML > 0 && v.snap != nil && v.table.Len() >= v.cfg.RollbackCML {
+		v.restoreSnapshot()
+		return true
+	}
+	if v.ticks%v.cfg.CheckpointEvery == 0 {
+		v.takeSnapshot()
+	}
+	return false
+}

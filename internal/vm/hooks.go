@@ -1,0 +1,70 @@
+package vm
+
+import (
+	"sync/atomic"
+
+	"repro/internal/ir"
+)
+
+// Injector decides, at each dynamic fim_inj execution, whether to corrupt
+// the operand value. site is the running dynamic site index (0-based) within
+// this process's execution; the returned bool reports whether a flip was
+// applied. Implementations live in package inject; a nil Injector leaves all
+// values untouched (golden and profiling runs).
+type Injector interface {
+	OnSite(site uint64, val uint64) (uint64, bool)
+}
+
+// MPIEndpoint is the VM's view of the message-passing runtime. Messages are
+// encoded with fpm.EncodeMessage so contamination headers travel with the
+// payload exactly as in the paper's Fig. 4. Collectives carry primary and
+// pristine values side by side, since the pristine reduction result must be
+// computed from pristine contributions.
+type MPIEndpoint interface {
+	Rank() int
+	Size() int
+	Send(dst, tag int, msg []byte) error
+	Recv(src, tag int) ([]byte, error)
+	// Allreduce combines primary and pristine word vectors across ranks.
+	// isFloat selects IEEE-754 interpretation of the words.
+	Allreduce(prim, prist []uint64, op ir.ReduceOp, isFloat bool) ([]uint64, []uint64, error)
+	Barrier() error
+	// Bcast distributes root's message to every rank. Non-root ranks pass
+	// a nil msg and receive root's; root receives its own back.
+	Bcast(root int, msg []byte) ([]byte, error)
+	Abort(code int64)
+}
+
+// Tracer observes propagation-relevant events. Implementations live in
+// package trace; a nil Tracer disables observation.
+type Tracer interface {
+	// OnCMLChange fires whenever the contamination table size changes.
+	OnCMLChange(localCycles, globalTime uint64, cml int)
+	// OnTick fires at application timestep boundaries (IntrinCheckpointT).
+	OnTick(localCycles, globalTime uint64, tick int64)
+}
+
+// Clock is a global monotone virtual clock shared by all ranks of a job.
+// Each VM batches its instruction count into the clock so that cross-rank
+// event ordering (paper Fig. 8) has a common time base.
+type Clock struct {
+	t atomic.Uint64
+}
+
+// Add advances the clock by n cycles and returns the new time.
+func (c *Clock) Add(n uint64) uint64 { return c.t.Add(n) }
+
+// Now returns the current global time.
+func (c *Clock) Now() uint64 { return c.t.Load() }
+
+// AbortFlag is a job-wide flag raised when any rank crashes or aborts, so
+// sibling ranks stop instead of hanging.
+type AbortFlag struct {
+	f atomic.Bool
+}
+
+// Raise sets the flag.
+func (a *AbortFlag) Raise() { a.f.Store(true) }
+
+// Raised reports whether the flag is set.
+func (a *AbortFlag) Raised() bool { return a.f.Load() }

@@ -1,0 +1,252 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fpm"
+	"repro/internal/ir"
+)
+
+// intrin executes one intrinsic call. Math intrinsics are pure and simply
+// compute; observability intrinsics record into the VM; MPI intrinsics
+// bridge to the endpoint with contamination piggyback (paper Fig. 4).
+func (v *VM) intrin(fr *frame, in *ir.Instr) {
+	base := fr.regBase
+	arg := func(i int) uint64 {
+		if i >= len(in.Args) {
+			v.trap(TrapInvalid, fmt.Sprintf("intrinsic %v: missing arg %d", ir.IntrinID(in.Target), i))
+		}
+		return v.val(base, in.Args[i])
+	}
+	argF := func(i int) float64 { return f64(arg(i)) }
+	argI := func(i int) int64 { return int64(arg(i)) }
+	ret := func(w uint64) {
+		if len(in.Rets) > 0 {
+			v.regs[base+int(in.Rets[0])] = w
+		}
+	}
+
+	id := ir.IntrinID(in.Target)
+	switch id {
+	case ir.IntrinSqrt:
+		ret(fbits(math.Sqrt(argF(0))))
+	case ir.IntrinSin:
+		ret(fbits(math.Sin(argF(0))))
+	case ir.IntrinCos:
+		ret(fbits(math.Cos(argF(0))))
+	case ir.IntrinExp:
+		ret(fbits(math.Exp(argF(0))))
+	case ir.IntrinLog:
+		ret(fbits(math.Log(argF(0))))
+	case ir.IntrinFabs:
+		ret(fbits(math.Abs(argF(0))))
+	case ir.IntrinFloor:
+		ret(fbits(math.Floor(argF(0))))
+	case ir.IntrinPow:
+		ret(fbits(math.Pow(argF(0), argF(1))))
+	case ir.IntrinFMin:
+		ret(fbits(math.Min(argF(0), argF(1))))
+	case ir.IntrinFMax:
+		ret(fbits(math.Max(argF(0), argF(1))))
+
+	case ir.IntrinAlloc:
+		n := argI(0)
+		addr, ok := v.mem.Alloc(n)
+		if !ok {
+			v.trap(TrapHeapExhausted, fmt.Sprintf("alloc %d words", n))
+		}
+		ret(uint64(addr))
+
+	case ir.IntrinOutputF:
+		if len(v.outputs) >= v.cfg.OutputLimit {
+			v.trap(TrapOutputOverflow, "")
+		}
+		v.outputs = append(v.outputs, argF(0))
+	case ir.IntrinOutputI:
+		if len(v.outputs) >= v.cfg.OutputLimit {
+			v.trap(TrapOutputOverflow, "")
+		}
+		v.outputs = append(v.outputs, float64(argI(0)))
+	case ir.IntrinIterations:
+		v.iterations = argI(0)
+	case ir.IntrinPrintF:
+		fmt.Fprintf(v.cfg.Stdout, "%g\n", argF(0))
+	case ir.IntrinPrintI:
+		fmt.Fprintf(v.cfg.Stdout, "%d\n", argI(0))
+	case ir.IntrinCheckpointT:
+		v.ticks++
+		// Timestep boundaries are natural fault-application points for
+		// the memory-level injection model.
+		if v.memFaultsDone != nil {
+			v.applyMemFaults()
+		}
+		if v.cfg.Tracer != nil {
+			v.cfg.Tracer.OnTick(v.cycles, v.globalTime(), argI(0))
+		}
+		if v.checkpointTick() {
+			return
+		}
+
+	case ir.IntrinMPIRank:
+		if v.cfg.MPI != nil {
+			ret(uint64(int64(v.cfg.MPI.Rank())))
+		} else {
+			ret(0)
+		}
+	case ir.IntrinMPISize:
+		if v.cfg.MPI != nil {
+			ret(uint64(int64(v.cfg.MPI.Size())))
+		} else {
+			ret(1)
+		}
+	case ir.IntrinMPISend:
+		v.mpiSend(arg(0), arg(1), arg(2), arg(3))
+	case ir.IntrinMPIRecv:
+		v.mpiRecv(arg(0), arg(1), arg(2), arg(3))
+	case ir.IntrinMPIAllreduceF:
+		v.mpiAllreduce(arg(0), arg(1), arg(2), arg(3), true)
+	case ir.IntrinMPIAllreduceI:
+		v.mpiAllreduce(arg(0), arg(1), arg(2), arg(3), false)
+	case ir.IntrinMPIBarrier:
+		if v.cfg.MPI != nil {
+			if err := v.cfg.MPI.Barrier(); err != nil {
+				v.trap(TrapPeerFailure, err.Error())
+			}
+		}
+	case ir.IntrinMPIBcast:
+		v.mpiBcast(arg(0), arg(1), arg(2))
+	case ir.IntrinMPIAbort:
+		if v.cfg.MPI != nil {
+			v.cfg.MPI.Abort(argI(0))
+		}
+		v.trap(TrapAbort, fmt.Sprintf("code %d", argI(0)))
+
+	default:
+		v.trap(TrapInvalid, fmt.Sprintf("intrinsic %d", in.Target))
+	}
+}
+
+func (v *VM) endpoint() MPIEndpoint {
+	if v.cfg.MPI == nil {
+		v.trap(TrapInvalid, "MPI intrinsic without an endpoint")
+	}
+	return v.cfg.MPI
+}
+
+// mpiSend reads the payload from memory, assembles the contamination
+// header from the hash table (paper Fig. 4, sender side), and ships both.
+func (v *VM) mpiSend(addrW, countW, dstW, tagW uint64) {
+	ep := v.endpoint()
+	addr, count := int64(addrW), int64(countW)
+	payload, ok := v.mem.CopyOut(addr, count)
+	if !ok {
+		v.trapMem(addr)
+	}
+	recs := v.table.CollectRange(addr, count)
+	msg := fpm.EncodeMessage(payload, recs)
+	dst, tag := int(int64(dstW)), int(int64(tagW))
+	if dst < 0 || dst >= ep.Size() {
+		v.trap(TrapInvalid, fmt.Sprintf("send to rank %d of %d", dst, ep.Size()))
+	}
+	if err := ep.Send(dst, tag, msg); err != nil {
+		v.trap(TrapPeerFailure, err.Error())
+	}
+}
+
+// mpiRecv receives a message, installs the payload at the destination
+// address, and translates displacement records into local contamination
+// entries (paper Fig. 4, receiver side).
+func (v *VM) mpiRecv(addrW, countW, srcW, tagW uint64) {
+	ep := v.endpoint()
+	addr, count := int64(addrW), int64(countW)
+	src, tag := int(int64(srcW)), int(int64(tagW))
+	if src < 0 || src >= ep.Size() {
+		v.trap(TrapInvalid, fmt.Sprintf("recv from rank %d of %d", src, ep.Size()))
+	}
+	buf, err := ep.Recv(src, tag)
+	if err != nil {
+		v.trap(TrapPeerFailure, err.Error())
+	}
+	payload, recs, err := fpm.DecodeMessage(buf)
+	if err != nil {
+		v.trap(TrapInvalid, err.Error())
+	}
+	if int64(len(payload)) != count {
+		// A corrupted count on either side surfaces as a size mismatch,
+		// which a real MPI would report as a truncation error.
+		v.trap(TrapPeerFailure, fmt.Sprintf("message size %d, expected %d", len(payload), count))
+	}
+	if !v.mem.CopyIn(addr, payload) {
+		v.trapMem(addr)
+	}
+	before := v.table.Len()
+	v.table.ApplyRange(addr, payload, recs)
+	v.noteCML(before)
+}
+
+// mpiAllreduce reduces primary and pristine vectors side by side so the
+// pristine result reflects what fault-free ranks would have computed.
+func (v *VM) mpiAllreduce(sendW, recvW, countW, opW uint64, isFloat bool) {
+	ep := v.endpoint()
+	send, recv, count := int64(sendW), int64(recvW), int64(countW)
+	prim, ok := v.mem.CopyOut(send, count)
+	if !ok {
+		v.trapMem(send)
+	}
+	prist := make([]uint64, count)
+	for i := int64(0); i < count; i++ {
+		prist[i] = v.table.PristineOr(send+i, prim[i])
+	}
+	rp, rs, err := ep.Allreduce(prim, prist, ir.ReduceOp(int64(opW)), isFloat)
+	if err != nil {
+		v.trap(TrapPeerFailure, err.Error())
+	}
+	if int64(len(rp)) != count || int64(len(rs)) != count {
+		v.trap(TrapPeerFailure, "allreduce size mismatch")
+	}
+	if !v.mem.CopyIn(recv, rp) {
+		v.trapMem(recv)
+	}
+	before := v.table.Len()
+	for i := int64(0); i < count; i++ {
+		v.table.Observe(recv+i, rp[i], rs[i])
+	}
+	v.noteCML(before)
+}
+
+// mpiBcast broadcasts count words at addr from root. All ranks, including
+// the root, install the resulting payload and contamination records.
+func (v *VM) mpiBcast(addrW, countW, rootW uint64) {
+	ep := v.endpoint()
+	addr, count := int64(addrW), int64(countW)
+	root := int(int64(rootW))
+	if root < 0 || root >= ep.Size() {
+		v.trap(TrapInvalid, fmt.Sprintf("bcast root %d of %d", root, ep.Size()))
+	}
+	var msg []byte
+	if ep.Rank() == root {
+		payload, ok := v.mem.CopyOut(addr, count)
+		if !ok {
+			v.trapMem(addr)
+		}
+		msg = fpm.EncodeMessage(payload, v.table.CollectRange(addr, count))
+	}
+	out, err := ep.Bcast(root, msg)
+	if err != nil {
+		v.trap(TrapPeerFailure, err.Error())
+	}
+	payload, recs, err := fpm.DecodeMessage(out)
+	if err != nil {
+		v.trap(TrapInvalid, err.Error())
+	}
+	if int64(len(payload)) != count {
+		v.trap(TrapPeerFailure, fmt.Sprintf("bcast size %d, expected %d", len(payload), count))
+	}
+	if !v.mem.CopyIn(addr, payload) {
+		v.trapMem(addr)
+	}
+	before := v.table.Len()
+	v.table.ApplyRange(addr, payload, recs)
+	v.noteCML(before)
+}

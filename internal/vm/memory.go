@@ -1,0 +1,122 @@
+package vm
+
+// Memory is the word-addressed address space of one simulated process.
+//
+// Layout (word addresses):
+//
+//	0                     null word (traps)
+//	[1, 1+globalWords)    global data segment
+//	[globalEnd, brk)      heap (bump allocated, grows up)
+//	[sp, size)            stack (grows down; frames carved by calls)
+//
+// The heap and stack trap when they would collide. "Application memory
+// state" for contamination percentages (paper Fig. 7f) is the allocated
+// extent: globals plus heap, the segments that hold application data
+// structures.
+type Memory struct {
+	words     []uint64
+	globalEnd int64
+	brk       int64 // heap break (next free heap word)
+	sp        int64 // stack pointer (lowest in-use stack word)
+}
+
+// NewMemory builds an address space of size words with the given global
+// segment extent. The global segment begins at address 1.
+func NewMemory(size, globalWords int64) *Memory {
+	if size < globalWords+64 {
+		size = globalWords + 64
+	}
+	m := &Memory{
+		words:     make([]uint64, size),
+		globalEnd: 1 + globalWords,
+		sp:        size,
+	}
+	m.brk = m.globalEnd
+	return m
+}
+
+// Size returns the total address-space size in words.
+func (m *Memory) Size() int64 { return int64(len(m.words)) }
+
+// AllocatedWords returns the extent of application data (globals + heap),
+// the denominator for contamination percentages.
+func (m *Memory) AllocatedWords() int64 { return m.brk - 1 }
+
+// HeapUsed returns the number of heap words allocated so far.
+func (m *Memory) HeapUsed() int64 { return m.brk - m.globalEnd }
+
+// InBounds reports whether addr names an accessible word.
+func (m *Memory) InBounds(addr int64) bool {
+	return addr >= 1 && addr < int64(len(m.words))
+}
+
+// Read returns the word at addr; ok is false when the access traps.
+func (m *Memory) Read(addr int64) (uint64, bool) {
+	if !m.InBounds(addr) {
+		return 0, false
+	}
+	return m.words[addr], true
+}
+
+// Write stores the word at addr; ok is false when the access traps.
+func (m *Memory) Write(addr int64, v uint64) bool {
+	if !m.InBounds(addr) {
+		return false
+	}
+	m.words[addr] = v
+	return true
+}
+
+// Alloc bump-allocates n words on the heap and returns the base address;
+// ok is false when the heap would meet the stack.
+func (m *Memory) Alloc(n int64) (int64, bool) {
+	if n < 0 || m.brk+n > m.sp {
+		return 0, false
+	}
+	base := m.brk
+	m.brk += n
+	return base, true
+}
+
+// PushFrame reserves n stack words and returns the new frame base; ok is
+// false on stack overflow.
+func (m *Memory) PushFrame(n int64) (int64, bool) {
+	if n < 0 || m.sp-n < m.brk {
+		return 0, false
+	}
+	m.sp -= n
+	// Stack frames are reused across calls; clear to keep runs
+	// deterministic regardless of earlier frame contents.
+	for i := m.sp; i < m.sp+n; i++ {
+		m.words[i] = 0
+	}
+	return m.sp, true
+}
+
+// PopFrame releases n stack words.
+func (m *Memory) PopFrame(n int64) { m.sp += n }
+
+// CopyOut copies count words starting at base into a new slice; ok is false
+// when the range is not fully in bounds.
+func (m *Memory) CopyOut(base, count int64) ([]uint64, bool) {
+	if count < 0 || !m.InBounds(base) || (count > 0 && !m.InBounds(base+count-1)) {
+		return nil, false
+	}
+	out := make([]uint64, count)
+	copy(out, m.words[base:base+count])
+	return out, true
+}
+
+// CopyIn writes the words at base; ok is false when the range is not fully
+// in bounds.
+func (m *Memory) CopyIn(base int64, data []uint64) bool {
+	count := int64(len(data))
+	if !m.InBounds(base) || (count > 0 && !m.InBounds(base+count-1)) {
+		return false
+	}
+	copy(m.words[base:base+count], data)
+	return true
+}
+
+// InitGlobals installs initial global contents (used once before a run).
+func (m *Memory) InitGlobals(base int64, data []uint64) bool { return m.CopyIn(base, data) }

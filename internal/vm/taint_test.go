@@ -1,0 +1,157 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/transform"
+)
+
+// siteFlipper flips one bit at one dynamic site (a minimal Injector).
+type siteFlipper struct {
+	site uint64
+	bit  uint
+	n    uint64
+}
+
+func (s *siteFlipper) OnSite(site uint64, val uint64) (uint64, bool) {
+	s.n++
+	if site == s.site {
+		return val ^ (1 << s.bit), true
+	}
+	return val, false
+}
+
+// buildTaintProg builds `b = op(a, operandB)` and instruments it via the
+// FPM pass; the single fim_inj site is the op's use of a.
+func buildTaintProg(t *testing.T, op ir.Op, operandB int64) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder()
+	aAddr := b.Global("a", 1)
+	bAddr := b.Global("b", 1)
+	b.GlobalInit("a", []uint64{19})
+	f := b.Func("main", 0, 0)
+	a := f.Load(ir.ImmI(aAddr))
+	res := f.Bin(op, ir.R(a), ir.ImmI(operandB))
+	f.Store(ir.R(res), ir.ImmI(bAddr))
+	f.Ret()
+	inst, err := transform.Instrument(b.MustBuild(), transform.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestTaintOverestimatesMaskedShift(t *testing.T) {
+	// b = a >> 2 with a bit-1 flip: value identical (Table 1 row 4), so
+	// the exact tracker records nothing — but taint marks the location.
+	prog := buildTaintProg(t, ir.AShr, 2)
+	v := New(prog, Config{Injector: &siteFlipper{site: 0, bit: 1}, TrackTaint: true})
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Table().Len() != 0 {
+		t.Errorf("exact tracker recorded %d locations, want 0 (masked)", v.Table().Len())
+	}
+	if v.TaintCML() != 1 {
+		t.Errorf("taint = %d, want 1 (overestimate)", v.TaintCML())
+	}
+}
+
+func TestTaintAgreesOnRealPropagation(t *testing.T) {
+	// b = a + 5: both trackers must flag the store.
+	prog := buildTaintProg(t, ir.Add, 5)
+	v := New(prog, Config{Injector: &siteFlipper{site: 0, bit: 1}, TrackTaint: true})
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Table().Len() != 1 || v.TaintCML() != 1 {
+		t.Errorf("exact=%d taint=%d, want 1 and 1", v.Table().Len(), v.TaintCML())
+	}
+	if v.TaintPeak() != 1 {
+		t.Errorf("taint peak = %d", v.TaintPeak())
+	}
+}
+
+func TestTaintDisabledByDefault(t *testing.T) {
+	prog := buildTaintProg(t, ir.Add, 5)
+	v := New(prog, Config{Injector: &siteFlipper{site: 0, bit: 1}})
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.TaintCML() != 0 || v.TaintPeak() != 0 {
+		t.Error("taint counters nonzero with tracking disabled")
+	}
+}
+
+func TestMemFaultAppliesAndTracks(t *testing.T) {
+	b := ir.NewBuilder()
+	g := b.Global("g", 8)
+	b.GlobalInit("g", []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	f := b.Func("main", 0, 0)
+	i := f.NewReg()
+	// Enough work to pass a housekeeping boundary.
+	f.For(i, ir.ImmI(0), ir.ImmI(3000), func() {})
+	sum := f.CI(0)
+	f.For(i, ir.ImmI(0), ir.ImmI(8), func() {
+		f.Op3(ir.Add, sum, ir.R(sum), ir.R(f.Ld(ir.ImmI(g), ir.R(i))))
+	})
+	f.OutputI(ir.R(sum))
+	f.Ret()
+	prog := b.MustBuild()
+
+	clean := New(prog, Config{})
+	if err := clean.Run(); err != nil {
+		t.Fatal(err)
+	}
+	v := New(prog, Config{
+		MemFaults:  []MemFault{{AtCycle: 10, AddrUnit: 0.5, Bit: 4}},
+		TrackTaint: true,
+	})
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.MemFaultsApplied() != 1 {
+		t.Fatalf("applied = %d", v.MemFaultsApplied())
+	}
+	if !v.Table().Ever() {
+		t.Error("memory fault not recorded in contamination table")
+	}
+	if v.TaintCML() == 0 {
+		t.Error("memory fault not recorded in taint set")
+	}
+	if v.Outputs()[0] == clean.Outputs()[0] {
+		t.Error("flipped word did not change the checksum")
+	}
+	// The contamination table must hold the pristine value.
+	for _, addr := range v.Table().Addresses() {
+		w, _ := v.Mem().Read(addr)
+		pv, _ := v.Table().Pristine(addr)
+		cw, _ := clean.Mem().Read(addr)
+		if pv != cw {
+			t.Errorf("addr %d: pristine %d, clean run has %d", addr, pv, cw)
+		}
+		if pv == w {
+			t.Errorf("addr %d: table entry equals memory", addr)
+		}
+	}
+}
+
+func TestMemFaultAddrUnitClamping(t *testing.T) {
+	b := ir.NewBuilder()
+	b.Global("g", 4)
+	f := b.Func("main", 0, 0)
+	i := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(3000), func() {})
+	f.Ret()
+	prog := b.MustBuild()
+	for _, unit := range []float64{-1, 0, 0.999, 2} {
+		v := New(prog, Config{MemFaults: []MemFault{{AtCycle: 1, AddrUnit: unit, Bit: 0}}})
+		if err := v.Run(); err != nil {
+			t.Fatalf("unit %v: %v", unit, err)
+		}
+		if v.MemFaultsApplied() != 1 {
+			t.Errorf("unit %v: applied = %d", unit, v.MemFaultsApplied())
+		}
+	}
+}

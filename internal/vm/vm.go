@@ -1,0 +1,564 @@
+// Package vm interprets IR programs. It executes both plain programs and
+// FPM-instrumented programs (produced by package transform): the FPM
+// pseudo-ops fim_inj, fpm_fetch and fpm_store are implemented here against
+// the contamination table, forming the paper's "runtime checker".
+//
+// Cycle accounting counts only application instructions — the secondary
+// (pristine) chain and the FPM bookkeeping ops are free — so the virtual
+// time base of an instrumented run matches the uninstrumented program and
+// the fault propagation speed is expressed in application time.
+package vm
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/fpm"
+	"repro/internal/ir"
+)
+
+// Config parameterizes one VM (one simulated MPI process).
+type Config struct {
+	// MemWords is the address-space size (default 1<<20 words = 8 MiB).
+	MemWords int64
+	// CycleLimit kills the run as a hang when exceeded; 0 means no limit.
+	CycleLimit uint64
+	// Injector applies LLFI++ bit flips at fim_inj sites; nil disables.
+	Injector Injector
+	// MPI connects the VM to its job; nil runs single-process.
+	MPI MPIEndpoint
+	// Tracer observes contamination changes and timesteps; nil disables.
+	Tracer Tracer
+	// Clock is the job-global virtual clock; nil uses local cycles.
+	Clock *Clock
+	// Abort is the job-wide failure flag; nil disables peer-failure checks.
+	Abort *AbortFlag
+	// Stdout receives debug prints (default: discarded).
+	Stdout io.Writer
+	// OutputLimit bounds the observable output vector (default 1<<20).
+	OutputLimit int
+	// TrackTaint enables the naive taint tracker alongside the FPM (for
+	// the overestimation ablation).
+	TrackTaint bool
+	// MemFaults are direct memory-level faults (the injection-model
+	// ablation); they fire at housekeeping granularity.
+	MemFaults []MemFault
+	// CheckpointEvery snapshots the full execution state every N timestep
+	// boundaries (0 disables checkpointing).
+	CheckpointEvery int64
+	// RollbackCML rolls back to the last snapshot when the contamination
+	// table reaches this size at a timestep boundary (0 disables; requires
+	// CheckpointEvery). The re-executed work costs application cycles.
+	RollbackCML int
+}
+
+// VM executes one IR program in one address space.
+type VM struct {
+	prog  *ir.Program
+	cfg   Config
+	mem   *Memory
+	table *fpm.Table
+
+	regs   []uint64
+	frames []frame
+	cycles uint64
+	pushed uint64 // cycles already added to the global clock
+
+	sites      uint64
+	injCycles  []uint64
+	outputs    []float64
+	iterations int64
+	ticks      int64
+
+	taint            *taintState
+	memFaultsDone    []bool
+	memFaultsApplied int
+
+	snap      *vmSnapshot
+	rollbacks int
+	restored  bool
+}
+
+type frame struct {
+	fn        *ir.Func
+	pc        int
+	regBase   int
+	frameBase int64
+	retRegs   []ir.Reg
+}
+
+type trapPanic struct{ t *Trap }
+
+// New prepares a VM for prog. The program must have been validated.
+func New(prog *ir.Program, cfg Config) *VM {
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 20
+	}
+	if cfg.OutputLimit == 0 {
+		cfg.OutputLimit = 1 << 20
+	}
+	if cfg.Stdout == nil {
+		cfg.Stdout = io.Discard
+	}
+	v := &VM{
+		prog:  prog,
+		cfg:   cfg,
+		mem:   NewMemory(cfg.MemWords, prog.GlobalWords),
+		table: fpm.NewTable(),
+	}
+	for _, g := range prog.Globals {
+		if len(g.Init) > 0 {
+			v.mem.InitGlobals(g.Base, g.Init)
+		}
+	}
+	if cfg.TrackTaint {
+		v.taint = newTaintState()
+	}
+	if len(cfg.MemFaults) > 0 {
+		v.memFaultsDone = make([]bool, len(cfg.MemFaults))
+	}
+	return v
+}
+
+// Mem exposes the address space (for tests and the harness).
+func (v *VM) Mem() *Memory { return v.mem }
+
+// Table exposes the contamination table.
+func (v *VM) Table() *fpm.Table { return v.table }
+
+// Outputs returns the observable output vector produced by the run.
+func (v *VM) Outputs() []float64 { return v.outputs }
+
+// Cycles returns the application cycles executed.
+func (v *VM) Cycles() uint64 { return v.cycles }
+
+// Sites returns the number of dynamic fim_inj sites executed; after a
+// fault-free profiling run this is the injection-site space size.
+func (v *VM) Sites() uint64 { return v.sites }
+
+// InjectionCycles returns the application-cycle timestamps at which faults
+// were actually applied during the run (paper Fig. 5's time axis).
+func (v *VM) InjectionCycles() []uint64 { return v.injCycles }
+
+// Iterations returns the solver iteration count reported by the program
+// (0 when never reported).
+func (v *VM) Iterations() int64 { return v.iterations }
+
+// Ticks returns the number of timestep boundaries the program marked.
+func (v *VM) Ticks() int64 { return v.ticks }
+
+func (v *VM) trap(kind TrapKind, detail string) {
+	fn, pc := "?", -1
+	if n := len(v.frames); n > 0 {
+		fn = v.frames[n-1].fn.Name
+		pc = v.frames[n-1].pc
+	}
+	panic(trapPanic{&Trap{Kind: kind, Func: fn, PC: pc, Cycles: v.cycles, Detail: detail}})
+}
+
+func (v *VM) val(base int, o ir.Operand) uint64 {
+	if o.Kind == ir.KindReg {
+		return v.regs[base+int(o.Reg)]
+	}
+	return o.Imm
+}
+
+func f64(bits uint64) float64 { return math.Float64frombits(bits) }
+func fbits(f float64) uint64  { return math.Float64bits(f) }
+
+func b2w(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fptosi emulates hardware float->int conversion: NaN and out-of-range
+// values produce INT64_MIN (x86 cvttsd2si semantics) instead of trapping,
+// so corrupted floats become wild indices that crash at the memory access,
+// as on real machines.
+func fptosi(f float64) int64 {
+	if math.IsNaN(f) || f >= 9.223372036854776e18 || f < -9.223372036854776e18 {
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+func (v *VM) globalTime() uint64 {
+	if v.cfg.Clock != nil {
+		return v.cfg.Clock.Now()
+	}
+	return v.cycles
+}
+
+func (v *VM) housekeep() {
+	if v.cfg.Clock != nil {
+		v.cfg.Clock.Add(v.cycles - v.pushed)
+		v.pushed = v.cycles
+	}
+	if v.cfg.CycleLimit > 0 && v.cycles > v.cfg.CycleLimit {
+		v.trap(TrapCycleLimit, "")
+	}
+	if v.cfg.Abort != nil && v.cfg.Abort.Raised() {
+		v.trap(TrapPeerFailure, "job aborted")
+	}
+	if v.memFaultsDone != nil {
+		v.applyMemFaults()
+	}
+}
+
+func (v *VM) noteCML(before int) {
+	if v.cfg.Tracer != nil && v.table.Len() != before {
+		v.cfg.Tracer.OnCMLChange(v.cycles, v.globalTime(), v.table.Len())
+	}
+}
+
+// pushFrame prepares a frame for callee with the argument values already
+// evaluated into args.
+func (v *VM) pushFrame(callee *ir.Func, args []uint64, retRegs []ir.Reg) {
+	regBase := 0
+	if n := len(v.frames); n > 0 {
+		top := &v.frames[n-1]
+		regBase = top.regBase + top.fn.NumRegs
+	}
+	need := regBase + callee.NumRegs
+	for len(v.regs) < need {
+		v.regs = append(v.regs, make([]uint64, need-len(v.regs))...)
+	}
+	rf := v.regs[regBase : regBase+callee.NumRegs]
+	for i := range rf {
+		rf[i] = 0
+	}
+	copy(rf, args)
+	if v.taint != nil {
+		v.taintGrow(need)
+		tf := v.taint.regs[regBase : regBase+callee.NumRegs]
+		for i := range tf {
+			tf[i] = false
+		}
+		copy(tf, v.taint.scratch)
+	}
+	fb := int64(0)
+	if callee.Frame > 0 {
+		var ok bool
+		fb, ok = v.mem.PushFrame(int64(callee.Frame))
+		if !ok {
+			v.trap(TrapStackOverflow, callee.Name)
+		}
+	}
+	v.frames = append(v.frames, frame{fn: callee, regBase: regBase, frameBase: fb, retRegs: retRegs})
+	if len(v.frames) > 4096 {
+		v.trap(TrapStackOverflow, "call depth")
+	}
+}
+
+// Run executes the entry function to completion. It returns nil on success
+// or the *Trap / wrapped MPI failure that killed the run.
+func (v *VM) Run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tp, ok := r.(trapPanic)
+			if !ok {
+				panic(r)
+			}
+			err = tp.t
+			if v.cfg.Abort != nil {
+				v.cfg.Abort.Raise()
+			}
+		}
+		// Push any remaining cycles so the global clock is exact.
+		if v.cfg.Clock != nil && v.cycles > v.pushed {
+			v.cfg.Clock.Add(v.cycles - v.pushed)
+			v.pushed = v.cycles
+		}
+	}()
+	entry := v.prog.Funcs[v.prog.Entry]
+	if entry.NumParams != 0 {
+		return fmt.Errorf("vm: entry %q takes parameters", entry.Name)
+	}
+	v.pushFrame(entry, nil, nil)
+	v.loop()
+	return nil
+}
+
+// loop is the interpreter. It runs until the entry function returns.
+func (v *VM) loop() {
+	var retScratch []uint64
+	for {
+		fr := &v.frames[len(v.frames)-1]
+		code := fr.fn.Code
+		if fr.pc < 0 || fr.pc >= len(code) {
+			v.trap(TrapInvalid, "pc out of range")
+		}
+		in := &code[fr.pc]
+		base := fr.regBase
+
+		if v.taint != nil {
+			v.taintStep(fr, in)
+		}
+
+		// Application cycle accounting: secondary-chain instructions and
+		// FPM bookkeeping are free; fpm_store counts as the store it
+		// replaced.
+		switch {
+		case in.Flags&ir.FlagSecondary != 0:
+		case in.Op == ir.FimInj || in.Op == ir.FpmFetch:
+		default:
+			v.cycles++
+			if v.cycles&1023 == 0 {
+				v.housekeep()
+			}
+		}
+
+		switch in.Op {
+		case ir.Nop:
+
+		case ir.ConstI, ir.ConstF:
+			v.regs[base+int(in.Dst)] = in.A.Imm
+		case ir.Mov:
+			v.regs[base+int(in.Dst)] = v.val(base, in.A)
+
+		case ir.Add:
+			v.regs[base+int(in.Dst)] = uint64(int64(v.val(base, in.A)) + int64(v.val(base, in.B)))
+		case ir.Sub:
+			v.regs[base+int(in.Dst)] = uint64(int64(v.val(base, in.A)) - int64(v.val(base, in.B)))
+		case ir.Mul:
+			v.regs[base+int(in.Dst)] = uint64(int64(v.val(base, in.A)) * int64(v.val(base, in.B)))
+		case ir.SDiv:
+			a, b := int64(v.val(base, in.A)), int64(v.val(base, in.B))
+			if b == 0 {
+				v.trap(TrapDivZero, "sdiv")
+			}
+			if a == math.MinInt64 && b == -1 {
+				v.trap(TrapDivOverflow, "sdiv")
+			}
+			v.regs[base+int(in.Dst)] = uint64(a / b)
+		case ir.SRem:
+			a, b := int64(v.val(base, in.A)), int64(v.val(base, in.B))
+			if b == 0 {
+				v.trap(TrapDivZero, "srem")
+			}
+			if a == math.MinInt64 && b == -1 {
+				v.trap(TrapDivOverflow, "srem")
+			}
+			v.regs[base+int(in.Dst)] = uint64(a % b)
+		case ir.Shl:
+			v.regs[base+int(in.Dst)] = v.val(base, in.A) << (v.val(base, in.B) & 63)
+		case ir.LShr:
+			v.regs[base+int(in.Dst)] = v.val(base, in.A) >> (v.val(base, in.B) & 63)
+		case ir.AShr:
+			v.regs[base+int(in.Dst)] = uint64(int64(v.val(base, in.A)) >> (v.val(base, in.B) & 63))
+		case ir.And:
+			v.regs[base+int(in.Dst)] = v.val(base, in.A) & v.val(base, in.B)
+		case ir.Or:
+			v.regs[base+int(in.Dst)] = v.val(base, in.A) | v.val(base, in.B)
+		case ir.Xor:
+			v.regs[base+int(in.Dst)] = v.val(base, in.A) ^ v.val(base, in.B)
+
+		case ir.FAdd:
+			v.regs[base+int(in.Dst)] = fbits(f64(v.val(base, in.A)) + f64(v.val(base, in.B)))
+		case ir.FSub:
+			v.regs[base+int(in.Dst)] = fbits(f64(v.val(base, in.A)) - f64(v.val(base, in.B)))
+		case ir.FMul:
+			v.regs[base+int(in.Dst)] = fbits(f64(v.val(base, in.A)) * f64(v.val(base, in.B)))
+		case ir.FDiv:
+			v.regs[base+int(in.Dst)] = fbits(f64(v.val(base, in.A)) / f64(v.val(base, in.B)))
+
+		case ir.SIToFP:
+			v.regs[base+int(in.Dst)] = fbits(float64(int64(v.val(base, in.A))))
+		case ir.FPToSI:
+			v.regs[base+int(in.Dst)] = uint64(fptosi(f64(v.val(base, in.A))))
+
+		case ir.ICmpEQ:
+			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) == int64(v.val(base, in.B)))
+		case ir.ICmpNE:
+			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) != int64(v.val(base, in.B)))
+		case ir.ICmpSLT:
+			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) < int64(v.val(base, in.B)))
+		case ir.ICmpSLE:
+			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) <= int64(v.val(base, in.B)))
+		case ir.ICmpSGT:
+			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) > int64(v.val(base, in.B)))
+		case ir.ICmpSGE:
+			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) >= int64(v.val(base, in.B)))
+
+		case ir.FCmpEQ:
+			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) == f64(v.val(base, in.B)))
+		case ir.FCmpNE:
+			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) != f64(v.val(base, in.B)))
+		case ir.FCmpLT:
+			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) < f64(v.val(base, in.B)))
+		case ir.FCmpLE:
+			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) <= f64(v.val(base, in.B)))
+		case ir.FCmpGT:
+			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) > f64(v.val(base, in.B)))
+		case ir.FCmpGE:
+			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) >= f64(v.val(base, in.B)))
+
+		case ir.Select:
+			if v.val(base, in.A) != 0 {
+				v.regs[base+int(in.Dst)] = v.val(base, in.B)
+			} else {
+				v.regs[base+int(in.Dst)] = v.val(base, in.C)
+			}
+
+		case ir.Load:
+			addr := int64(v.val(base, in.A))
+			w, ok := v.mem.Read(addr)
+			if !ok {
+				v.trapMem(addr)
+			}
+			v.regs[base+int(in.Dst)] = w
+		case ir.Store:
+			addr := int64(v.val(base, in.B))
+			if !v.mem.Write(addr, v.val(base, in.A)) {
+				v.trapMem(addr)
+			}
+		case ir.FrameAddr:
+			v.regs[base+int(in.Dst)] = uint64(fr.frameBase + int64(in.A.Imm))
+
+		case ir.Jmp:
+			fr.pc = int(in.Target)
+			continue
+		case ir.Bnz:
+			if v.val(base, in.A) != 0 {
+				fr.pc = int(in.Target)
+				continue
+			}
+		case ir.Bz:
+			if v.val(base, in.A) == 0 {
+				fr.pc = int(in.Target)
+				continue
+			}
+
+		case ir.Call:
+			callee := v.prog.Funcs[in.Target]
+			retScratch = retScratch[:0]
+			for _, a := range in.Args {
+				retScratch = append(retScratch, v.val(base, a))
+			}
+			if v.taint != nil {
+				v.taint.scratch = v.taint.scratch[:0]
+				for _, a := range in.Args {
+					v.taint.scratch = append(v.taint.scratch, v.taintOf(base, a))
+				}
+			}
+			fr.pc++
+			v.pushFrame(callee, retScratch, in.Rets)
+			continue
+
+		case ir.Ret:
+			retScratch = retScratch[:0]
+			for _, a := range in.Args {
+				retScratch = append(retScratch, v.val(base, a))
+			}
+			popped := v.frames[len(v.frames)-1]
+			if popped.fn.Frame > 0 {
+				v.mem.PopFrame(int64(popped.fn.Frame))
+			}
+			v.frames = v.frames[:len(v.frames)-1]
+			if len(v.frames) == 0 {
+				return // entry returned: program complete
+			}
+			caller := &v.frames[len(v.frames)-1]
+			for i, r := range popped.retRegs {
+				if i < len(retScratch) {
+					v.regs[caller.regBase+int(r)] = retScratch[i]
+					if v.taint != nil && i < len(in.Args) {
+						v.taint.regs[caller.regBase+int(r)] = v.taintOf(base, in.Args[i])
+					}
+				}
+			}
+			continue
+
+		case ir.Intrin:
+			v.intrin(fr, in)
+			if v.restored {
+				// A checkpoint rollback replaced the frame stack;
+				// refetch everything.
+				v.restored = false
+				continue
+			}
+
+		case ir.FimInj:
+			val := v.val(base, in.A)
+			site := v.sites
+			v.sites++
+			if v.taint != nil {
+				v.taint.regs[base+int(in.Dst)] = v.taintOf(base, in.A)
+			}
+			if v.cfg.Injector != nil {
+				var flipped bool
+				val, flipped = v.cfg.Injector.OnSite(site, val)
+				if flipped {
+					v.injCycles = append(v.injCycles, v.cycles)
+					if v.taint != nil {
+						v.taint.regs[base+int(in.Dst)] = true
+					}
+				}
+			}
+			v.regs[base+int(in.Dst)] = val
+
+		case ir.FpmFetch:
+			addr := int64(v.val(base, in.A))
+			w, ok := v.mem.Read(addr)
+			if !ok {
+				v.trapMem(addr)
+			}
+			v.regs[base+int(in.Dst)] = v.table.PristineOr(addr, w)
+
+		case ir.FpmStore:
+			v.fpmStore(base, in)
+
+		default:
+			v.trap(TrapInvalid, in.Op.String())
+		}
+		fr.pc++
+	}
+}
+
+func (v *VM) trapMem(addr int64) {
+	if addr == 0 {
+		v.trap(TrapNull, "")
+	}
+	v.trap(TrapOOB, fmt.Sprintf("address %d", addr))
+}
+
+// fpmStore implements the paper's fpm_store runtime call, including the
+// duplicate effect of corrupted store addresses (§3.2 "Store addresses").
+func (v *VM) fpmStore(base int, in *ir.Instr) {
+	vP := v.val(base, in.A) // primary value
+	vS := v.val(base, in.B) // pristine value
+	aP := int64(v.val(base, in.C))
+	aS := int64(v.val(base, in.D))
+	before := v.table.Len()
+	if aP == aS {
+		if !v.mem.Write(aP, vP) {
+			v.trapMem(aP)
+		}
+		v.table.Observe(aP, vP, vS)
+		v.noteCML(before)
+		return
+	}
+	// The address register is corrupted: the location actually written
+	// (aP) now holds a value it should not, and the location that should
+	// have been written (aS) was not.
+	oldPristine, ok := v.mem.Read(aP)
+	if !ok {
+		v.trapMem(aP)
+	}
+	oldPristine = v.table.PristineOr(aP, oldPristine)
+	if !v.mem.Write(aP, vP) {
+		v.trapMem(aP)
+	}
+	v.table.Observe(aP, vP, oldPristine)
+	cur, ok := v.mem.Read(aS)
+	if !ok {
+		// The pristine address is the one the fault-free program would
+		// use; if it is invalid the original program was broken. Trap.
+		v.trapMem(aS)
+	}
+	v.table.Observe(aS, cur, vS)
+	v.noteCML(before)
+}
