@@ -6,10 +6,17 @@
 // Usage:
 //
 //	campaign [-runs N] [-seed S] [-apps LULESH,miniFE] [-scale test|default]
-//	         [-multifault LAMBDA]
+//	         [-multifault LAMBDA] [-workers N] [-checkpoint PATH] [-resume]
+//	         [-progress INTERVAL]
 //
 // The paper uses 5,000 runs per application on 1,024 cores; the default
 // here is sized for a laptop. Increase -runs for tighter statistics.
+//
+// Long campaigns can be journaled with -checkpoint and, after a crash or a
+// kill, restarted with -resume: completed experiments replay from the
+// journal and the final results are identical to an uninterrupted run.
+// -progress prints a live status line (runs/sec, ETA, per-outcome counts,
+// worker utilization) to stderr on the given interval.
 package main
 
 import (
@@ -32,7 +39,17 @@ func main() {
 	multi := flag.Float64("multifault", 0, "Poisson lambda for multi-fault mode (0: single fault)")
 	sample := flag.Uint64("sample", 256, "CML trace sampling interval in cycles")
 	jsonOut := flag.String("json", "", "also save results to this file (.json or .json.gz)")
+	workers := flag.Int("workers", 0, "concurrent experiments (0: GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "journal completed experiments to this JSONL path (per-app suffix added when several apps run)")
+	resume := flag.Bool("resume", false, "replay the -checkpoint journal, skipping completed experiments")
+	progressEvery := flag.Duration("progress", 0, "print a status line to stderr on this interval (0: off)")
+	maxSummaries := flag.Int("max-summaries", 0, "retain at most this many per-experiment summaries (0: all)")
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		os.Exit(2)
+	}
 
 	selected := apps.All()
 	if *appsFlag != "" {
@@ -54,6 +71,8 @@ func main() {
 			p = app.TestParams()
 		}
 		start := time.Now()
+		prog := &harness.Progress{}
+		stopTicker := prog.Ticker(os.Stderr, *progressEvery)
 		res, err := harness.RunCampaign(harness.CampaignConfig{
 			App:              app,
 			Params:           p,
@@ -61,14 +80,25 @@ func main() {
 			Seed:             *seed,
 			MultiFaultLambda: *multi,
 			SampleEvery:      *sample,
+			Workers:          *workers,
+			MaxSummaries:     *maxSummaries,
+			Checkpoint:       checkpointPath(*checkpoint, app.Name(), len(selected)),
+			Resume:           *resume,
+			Progress:         prog,
 		})
+		stopTicker()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign %s: %v\n", app.Name(), err)
 			os.Exit(1)
 		}
-		fmt.Printf("# %s: %d runs in %v (golden cycles %d, %d ranks)\n",
+		snap := prog.Snapshot()
+		fmt.Printf("# %s: %d runs in %v (golden cycles %d, %d ranks, %.1f runs/s",
 			app.Name(), *runs, time.Since(start).Round(time.Millisecond),
-			res.Golden.Cycles, p.Ranks)
+			res.Golden.Cycles, p.Ranks, snap.RunsPerSec)
+		if snap.Resumed > 0 {
+			fmt.Printf(", %d resumed", snap.Resumed)
+		}
+		fmt.Println(")")
 		results = append(results, res)
 	}
 
@@ -108,4 +138,17 @@ func main() {
 		}
 		fmt.Printf("results saved to %s\n", *jsonOut)
 	}
+}
+
+// checkpointPath derives the journal path for one app. With several apps in
+// one invocation each needs its own journal, so the app name is suffixed
+// before the extension.
+func checkpointPath(base, app string, apps int) string {
+	if base == "" || apps == 1 {
+		return base
+	}
+	if i := strings.LastIndex(base, "."); i > 0 {
+		return base[:i] + "-" + app + base[i:]
+	}
+	return base + "-" + app
 }

@@ -30,6 +30,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "no results in file")
 		os.Exit(1)
 	}
+	for _, r := range results {
+		// Campaigns run with a summary cap (-max-summaries) tally every
+		// run but retain only a prefix of per-experiment records; figures
+		// derived from individual experiments then cover a subset.
+		if r.Runs > len(r.Experiments) {
+			fmt.Fprintf(os.Stderr,
+				"note: %s retained %d of %d experiment summaries; per-experiment figures (fig5, fig7f) cover that subset\n",
+				r.App, len(r.Experiments), r.Runs)
+		}
+	}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*only, ",") {
 		if k = strings.TrimSpace(k); k != "" {

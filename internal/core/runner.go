@@ -8,6 +8,8 @@
 package core
 
 import (
+	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/classify"
@@ -44,7 +46,14 @@ type RunConfig struct {
 
 // RankResult is one rank's observation of a run.
 type RankResult struct {
-	Err            error
+	Err error
+	// Casualty marks a rank that died of TrapPeerFailure after another
+	// rank took the job down. Such a rank stopped at whatever point it
+	// happened to notice the abort — a scheduling-dependent moment — so
+	// its final observations are excluded from the run's aggregates to
+	// keep them a pure function of the seed. The raw fields below are
+	// still populated for diagnostics.
+	Casualty       bool
 	Outputs        []float64
 	Cycles         uint64
 	Sites          uint64
@@ -103,7 +112,6 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 		cfg.Ranks = 1
 	}
 	job := mpi.NewJob(cfg.Ranks, cfg.Timeout)
-	clock := &vm.Clock{}
 	out := RunOutcome{
 		Ranks:     make([]RankResult, cfg.Ranks),
 		Spread:    &trace.RankSpread{},
@@ -127,20 +135,29 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 			Injector:   injr,
 			MPI:        job.Endpoint(r),
 			Tracer:     rec,
-			Clock:      clock,
 			Abort:      job.Flag(),
 			TrackTaint: cfg.TrackTaint,
 			MemFaults:  cfg.MemFaults[r],
 		})
 		states[r] = rankState{v: v, rec: rec, inj: injr}
 		go func(r int) {
-			err := states[r].v.Run()
-			out.Ranks[r].Err = err
-			if err != nil {
+			defer func() { done <- r }()
+			// A panic escaping the VM (an interpreter bug surfaced by a
+			// hostile program or fault plan) must not take down the whole
+			// campaign process: contain it to this rank and classify the
+			// run as crashed, like any other fatal rank failure.
+			defer func() {
+				if p := recover(); p != nil {
+					out.Ranks[r].Err = fmt.Errorf("core: rank %d panic: %v\n%s",
+						r, p, debug.Stack())
+					job.Kill()
+				}
+			}()
+			if err := states[r].v.Run(); err != nil {
+				out.Ranks[r].Err = err
 				// A dead rank takes the job down, as under real MPI.
 				job.Kill()
 			}
-			done <- r
 		}(r)
 	}
 	for i := 0; i < cfg.Ranks; i++ {
@@ -150,6 +167,9 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 	for r := 0; r < cfg.Ranks; r++ {
 		st := states[r]
 		rr := &out.Ranks[r]
+		if t := vm.AsTrap(rr.Err); t != nil && t.Kind == vm.TrapPeerFailure {
+			rr.Casualty = true
+		}
 		rr.Outputs = st.v.Outputs()
 		rr.Cycles = st.v.Cycles()
 		rr.Sites = st.v.Sites()
@@ -165,16 +185,24 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 			rr.StructCML = make(map[string]int)
 			AttributeTable(regions, st.v.Table(),
 				1+prog.GlobalWords, st.v.Mem().AllocatedWords(), rr.StructCML)
-			for k, v := range rr.StructCML {
-				out.StructCML[k] += v
-			}
 		}
-		st.rec.Finish(st.v.Cycles(), clock.Now(), st.v.Table().Len())
+		// No shared Clock is configured: with a nil clock the VM reports
+		// rank-local cycles as time, keeping every trace observable a
+		// deterministic function of the seed.
+		st.rec.Finish(st.v.Cycles(), st.v.Cycles(), st.v.Table().Len())
 		rr.Points = st.rec.Points()
 		if t, ok := st.rec.FirstContamination(); ok {
 			rr.FirstContam = t
 			rr.Contaminated = true
-			out.Spread.Note(t)
+		}
+		if rr.Casualty {
+			continue
+		}
+		for k, v := range rr.StructCML {
+			out.StructCML[k] += v
+		}
+		if rr.Contaminated {
+			out.Spread.Note(rr.FirstContam)
 		}
 		out.Ever = out.Ever || rr.Ever
 		out.MaxCMLTotal += rr.MaxCML

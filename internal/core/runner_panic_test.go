@@ -1,0 +1,41 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// brokenProgram hand-assembles a Program that bypasses builder validation:
+// its single instruction writes register 5 of a 1-register file, which
+// makes the VM index out of range and panic.
+func brokenProgram() *ir.Program {
+	fn := &ir.Func{
+		Name:    "main",
+		NumRegs: 1,
+		Code: []ir.Instr{
+			{Op: ir.Add, Dst: 5, A: ir.ImmI(1), B: ir.ImmI(2)},
+			{Op: ir.Ret},
+		},
+	}
+	return &ir.Program{
+		Funcs:  []*ir.Func{fn},
+		ByName: map[string]int{"main": 0},
+	}
+}
+
+func TestRunContainsRankPanic(t *testing.T) {
+	// An interpreter panic in one rank must surface as that rank's error —
+	// and the job's root cause — instead of crashing the process.
+	out := Run(brokenProgram(), RunConfig{Ranks: 2})
+	if out.Err == nil {
+		t.Fatal("panicking program reported no error")
+	}
+	if !strings.Contains(out.Err.Error(), "panic") {
+		t.Fatalf("root cause does not mention the panic: %v", out.Err)
+	}
+	if out.Ranks[0].Err == nil {
+		t.Fatal("panicking rank has no error")
+	}
+}

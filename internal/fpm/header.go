@@ -38,7 +38,9 @@ func DecodeMessage(buf []byte) (payload []uint64, recs []MsgRecord, err error) {
 	}
 	n := binary.LittleEndian.Uint64(buf)
 	off := 8
-	if uint64(len(buf)-off) < 16*n {
+	// Divide rather than multiply: 16*n overflows uint64 for adversarial
+	// counts (n ≥ 2^60), which would slip past the bound and panic in make.
+	if n > uint64(len(buf)-off)/16 {
 		return nil, nil, fmt.Errorf("fpm: header claims %d records, message too short", n)
 	}
 	recs = make([]MsgRecord, n)

@@ -1,0 +1,48 @@
+package fpm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzHeaderDecode pins the contamination-header codec's robustness
+// contract: DecodeMessage must never panic on arbitrary input, and every
+// message it accepts must re-encode byte-identically (the wire format has
+// exactly one canonical encoding per message).
+func FuzzHeaderDecode(f *testing.F) {
+	f.Add(EncodeMessage(nil, nil))
+	f.Add(EncodeMessage([]uint64{1, 2, 3}, nil))
+	f.Add(EncodeMessage([]uint64{0xdeadbeef}, []MsgRecord{
+		{Displacement: -4, Pristine: 9},
+		{Displacement: 1 << 40, Pristine: ^uint64(0)},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	// Header claiming 2^60 records: 16*n overflows uint64.
+	huge := make([]byte, 16)
+	binary.LittleEndian.PutUint64(huge, 1<<60)
+	f.Add(huge)
+	// Header claiming max records.
+	maxed := make([]byte, 24)
+	binary.LittleEndian.PutUint64(maxed, ^uint64(0))
+	f.Add(maxed)
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		payload, recs, err := DecodeMessage(buf)
+		if err != nil {
+			return
+		}
+		if rt := EncodeMessage(payload, recs); !bytes.Equal(rt, buf) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", buf, rt)
+		}
+	})
+}
+
+func TestDecodeMessageRejectsOverflowingRecordCount(t *testing.T) {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, 1<<60) // 16*n wraps to 0
+	if _, _, err := DecodeMessage(buf); err == nil {
+		t.Fatal("overflowing record count accepted")
+	}
+}

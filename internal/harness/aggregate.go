@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/model"
+)
+
+// aggregator folds completed experiments into campaign-level results in a
+// single streaming pass, so the campaign's memory footprint is bounded by
+// the retention configuration (profiles per class, summary cap) rather
+// than by the run count.
+//
+// Every retention rule is order-independent: it depends only on experiment
+// IDs and contents, never on arrival order. Any interleaving of workers —
+// and any split between journal replay and live execution on resume —
+// therefore yields byte-identical results, matching what the historical
+// sequential aggregation produced.
+type aggregator struct {
+	keepProfiles int
+	maxSummaries int // 0: retain every summary
+
+	tally        classify.Tally
+	structTotals map[string]int
+	summaries    []ExperimentSummary
+	profiles     map[classify.Outcome][]Profile
+	fits         []idFit
+	spread       SpreadSeries
+	hasSpread    bool
+}
+
+// idFit carries a run fit with its experiment ID so the model is built
+// from fits in ID order regardless of completion order (floating-point
+// accumulation is order-sensitive).
+type idFit struct {
+	id  int
+	fit model.RunFit
+}
+
+func newAggregator(cfg CampaignConfig) *aggregator {
+	return &aggregator{
+		keepProfiles: cfg.KeepProfiles,
+		maxSummaries: cfg.MaxSummaries,
+		structTotals: make(map[string]int),
+		profiles:     make(map[classify.Outcome][]Profile),
+	}
+}
+
+// add folds one completed experiment in. Not safe for concurrent use; the
+// campaign engine funnels every completion through one goroutine.
+func (a *aggregator) add(o expOut) {
+	a.tally.Add(o.sum.Outcome)
+	for k, v := range o.structCML {
+		a.structTotals[k] += v
+	}
+	a.addSummary(o.sum)
+	if o.sum.HasFit {
+		a.fits = append(a.fits, idFit{id: o.sum.ID, fit: o.sum.Fit})
+	}
+	if len(o.points) >= 3 {
+		a.addProfile(Profile{ID: o.sum.ID, Outcome: o.sum.Outcome, Points: o.points})
+	}
+	// Widest spread wins; ties go to the lowest experiment ID, as the
+	// historical in-order scan did.
+	if n := len(o.spread); n > 0 {
+		if !a.hasSpread || n > len(a.spread.Points) ||
+			(n == len(a.spread.Points) && o.sum.ID < a.spread.ID) {
+			a.spread = SpreadSeries{ID: o.sum.ID, Points: o.spread}
+			a.hasSpread = true
+		}
+	}
+}
+
+// addSummary retains the summary, honoring the cap by keeping the
+// lowest-ID maxSummaries records.
+func (a *aggregator) addSummary(s ExperimentSummary) {
+	if a.maxSummaries <= 0 {
+		a.summaries = append(a.summaries, s)
+		return
+	}
+	a.summaries = insertByID(a.summaries, s, a.maxSummaries,
+		func(e ExperimentSummary) int { return e.ID })
+}
+
+// addProfile retains per outcome class the keepProfiles qualifying
+// profiles with the lowest IDs — the same set the historical sequential
+// "first K in ID order" scan selected.
+func (a *aggregator) addProfile(p Profile) {
+	a.profiles[p.Outcome] = insertByID(a.profiles[p.Outcome], p, a.keepProfiles,
+		func(e Profile) int { return e.ID })
+}
+
+// insertByID inserts v into the ID-sorted slice s, then truncates to cap,
+// dropping the highest ID.
+func insertByID[T any](s []T, v T, cap int, id func(T) int) []T {
+	if cap <= 0 {
+		return s
+	}
+	i := sort.Search(len(s), func(i int) bool { return id(s[i]) >= id(v) })
+	if i == len(s) && len(s) >= cap {
+		return s
+	}
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	if len(s) > cap {
+		s = s[:cap]
+	}
+	return s
+}
+
+// finalize writes the aggregate into res.
+func (a *aggregator) finalize(res *CampaignResult) {
+	sort.Slice(a.summaries, func(i, j int) bool { return a.summaries[i].ID < a.summaries[j].ID })
+	res.Tally = a.tally
+	res.Experiments = a.summaries
+	res.StructTotals = a.structTotals
+
+	var profs []Profile
+	for _, ps := range a.profiles {
+		profs = append(profs, ps...)
+	}
+	sort.Slice(profs, func(i, j int) bool { return profs[i].ID < profs[j].ID })
+	res.Profiles = profs
+	res.BestSpread = a.spread
+
+	sort.Slice(a.fits, func(i, j int) bool { return a.fits[i].id < a.fits[j].id })
+	fits := make([]model.RunFit, len(a.fits))
+	for i := range a.fits {
+		fits[i] = a.fits[i].fit
+	}
+	res.Model = model.BuildAppModel(res.App, fits)
+}

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/classify"
@@ -24,7 +27,10 @@ type CampaignConfig struct {
 	Params apps.Params
 	// Runs is the number of injection experiments.
 	Runs int
-	// Seed drives all campaign randomness deterministically.
+	// Seed drives all campaign randomness deterministically. Experiment i
+	// draws from the position-addressable stream xrand.At(Seed, i), so
+	// results do not depend on worker count, completion order, or whether
+	// the campaign was resumed from a checkpoint.
 	Seed uint64
 	// MultiFaultLambda, when positive, switches to the LLFI++ multi-fault
 	// mode: each rank receives Poisson(lambda) faults per run.
@@ -38,14 +44,42 @@ type CampaignConfig struct {
 	// KeepProfiles bounds how many representative CML profiles are kept
 	// per outcome class (0: 2, as plotted in the paper's Fig. 7).
 	KeepProfiles int
+	// MaxSummaries bounds the retained per-experiment summaries (0: keep
+	// all). When set, CampaignResult.Experiments holds the MaxSummaries
+	// lowest-ID summaries while the tally, structure totals, and model
+	// still cover every run.
+	MaxSummaries int
+	// Checkpoint, when set, journals every completed experiment to this
+	// JSONL path so a killed campaign can be resumed.
+	Checkpoint string
+	// Resume replays the Checkpoint journal, skipping already-completed
+	// experiments. The journal must have been written by a campaign with
+	// the same result-determining configuration.
+	Resume bool
+	// Progress, when non-nil, receives live metrics (see Progress).
+	Progress *Progress
+	// StopAfter, when positive, interrupts the campaign after roughly that
+	// many newly executed experiments: RunCampaign journals what finished
+	// and returns ErrInterrupted. It simulates a mid-campaign kill for
+	// checkpoint testing and gives operators a bounded-work mode.
+	StopAfter int
 }
+
+// ErrInterrupted reports a campaign stopped before completing every run;
+// the checkpoint journal holds the completed experiments.
+var ErrInterrupted = errors.New("harness: campaign interrupted")
 
 // ExperimentSummary is the retained record of one injection run.
 type ExperimentSummary struct {
 	ID      int
 	Plan    inject.Plan
 	Outcome classify.Outcome
-	// InjRank is the rank of the first planned fault.
+	// Planned reports whether the plan contained at least one fault.
+	// Multi-fault mode legitimately draws zero-fault plans; those runs
+	// must not masquerade as injections into rank 0.
+	Planned bool
+	// InjRank is the rank of the first planned fault (meaningless unless
+	// Planned).
 	InjRank int
 	// InjCycle is the rank-local application cycle of the first applied
 	// fault (0 when the fault never fired).
@@ -66,6 +100,9 @@ type ExperimentSummary struct {
 	// Fit is the per-run propagation model, when one could be fitted.
 	Fit    model.RunFit
 	HasFit bool
+	// Diag carries the recovered panic diagnostic when the experiment
+	// infrastructure itself failed; such runs classify as Crashed.
+	Diag string `json:",omitempty"`
 }
 
 // Profile is a retained CML(t) series with its classification (Fig. 7).
@@ -101,7 +138,14 @@ type CampaignResult struct {
 	StructTotals map[string]int
 }
 
-// RunCampaign executes the campaign.
+// coreRun indirects core.Run so tests can inject infrastructure failures.
+var coreRun = core.Run
+
+// RunCampaign executes the campaign: a golden profiling run, then Runs
+// fault-injection experiments streamed through a single-pass aggregator.
+// Completed experiments are journaled to cfg.Checkpoint when set, and
+// cfg.Resume restarts a killed campaign where it left off, with results
+// identical to an uninterrupted run.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Runs <= 0 {
 		return nil, fmt.Errorf("harness: campaign needs Runs > 0")
@@ -115,6 +159,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Resume && cfg.Checkpoint == "" {
+		return nil, fmt.Errorf("harness: Resume requires a Checkpoint path")
+	}
 	prog, err := cfg.App.Build(cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("harness: build %s: %w", cfg.App.Name(), err)
@@ -126,7 +173,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 
 	// Golden (fault-free) run: reference outputs, cycle budget, and the
 	// per-rank dynamic injection-site space.
-	golden := core.Run(inst, core.RunConfig{Ranks: cfg.Params.Ranks, SampleEvery: cfg.SampleEvery})
+	golden := coreRun(inst, core.RunConfig{Ranks: cfg.Params.Ranks, SampleEvery: cfg.SampleEvery})
 	if golden.Err != nil {
 		return nil, fmt.Errorf("harness: golden run of %s failed: %w", cfg.App.Name(), golden.Err)
 	}
@@ -142,67 +189,134 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		GoldenSites:    golden.SiteCounts(),
 		AllocatedWords: golden.AllocatedTotal,
 	}
+	hasSites := false
+	for _, n := range res.GoldenSites {
+		if n > 0 {
+			hasSites = true
+			break
+		}
+	}
+	if !hasSites {
+		return nil, fmt.Errorf("inject: no rank has injection sites")
+	}
 
 	criteria := classify.DefaultCriteria()
 	cycleLimit := uint64(float64(golden.Cycles) * cfg.HangFactor)
-	master := xrand.New(cfg.Seed)
-	plans := make([]inject.Plan, cfg.Runs)
-	for i := range plans {
-		r := master.Split()
-		if cfg.MultiFaultLambda > 0 {
-			plans[i] = inject.MultiFaultPlan(r, res.GoldenSites, cfg.MultiFaultLambda)
-		} else {
-			p, err := inject.UniformSinglePlan(r, res.GoldenSites)
+
+	agg := newAggregator(cfg)
+	completed := make([]bool, cfg.Runs)
+	resumed := 0
+	var journal *journalWriter
+	if cfg.Checkpoint != "" {
+		fp := cfg.fingerprint()
+		if cfg.Resume {
+			recs, _, err := readJournal(cfg.Checkpoint, fp)
 			if err != nil {
 				return nil, err
 			}
-			plans[i] = p
+			for _, rec := range recs {
+				id := rec.Sum.ID
+				if id < 0 || id >= cfg.Runs || completed[id] {
+					continue
+				}
+				completed[id] = true
+				resumed++
+				agg.add(rec.toExpOut())
+			}
+		}
+		journal, err = openJournal(cfg.Checkpoint, fp, cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
+	var pending []int
+	for id := range completed {
+		if !completed[id] {
+			pending = append(pending, id)
 		}
 	}
 
-	outs := make([]expOut, cfg.Runs)
+	cfg.Progress.begin(cfg.Runs, cfg.Workers)
+	cfg.Progress.noteResumed(resumed)
+
+	// Streaming execution: workers pull experiment IDs, run them, and feed
+	// completions to the single aggregation loop below. Memory stays
+	// O(workers + retained results) instead of O(runs).
+	work := make(chan int)
+	outs := make(chan expOut, cfg.Workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i := 0; i < cfg.Runs; i++ {
+	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			outs[i] = runExperiment(i, inst, plans[i], cfg, criteria, res.Golden, cycleLimit)
-		}(i)
+			for id := range work {
+				cfg.Progress.noteStart()
+				t0 := time.Now()
+				o := runExperiment(id, inst, planFor(cfg, id, res.GoldenSites),
+					cfg, criteria, res.Golden, cycleLimit)
+				cfg.Progress.noteDone(o.sum.Outcome, time.Since(t0))
+				outs <- o
+			}
+		}()
 	}
-	wg.Wait()
+	go func() {
+		defer close(work)
+		for _, id := range pending {
+			select {
+			case work <- id:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(outs)
+	}()
 
-	perClass := make(map[classify.Outcome]int)
-	bestSpreadLen := 0
-	res.StructTotals = make(map[string]int)
-	for i := range outs {
-		o := &outs[i]
-		for k, v := range o.structCML {
-			res.StructTotals[k] += v
+	var journalErr error
+	executed := 0
+	for o := range outs {
+		if journal != nil && journalErr == nil {
+			if err := journal.append(o); err != nil {
+				journalErr = fmt.Errorf("harness: checkpoint append: %w", err)
+				halt()
+			}
 		}
-		res.Tally.Add(o.sum.Outcome)
-		res.Experiments = append(res.Experiments, o.sum)
-		if len(o.points) >= 3 && perClass[o.sum.Outcome] < cfg.KeepProfiles {
-			perClass[o.sum.Outcome]++
-			res.Profiles = append(res.Profiles, Profile{
-				ID: o.sum.ID, Outcome: o.sum.Outcome, Points: o.points,
-			})
-		}
-		if len(o.spread) > bestSpreadLen {
-			bestSpreadLen = len(o.spread)
-			res.BestSpread = SpreadSeries{ID: o.sum.ID, Points: o.spread}
+		agg.add(o)
+		executed++
+		if cfg.StopAfter > 0 && executed >= cfg.StopAfter {
+			halt()
 		}
 	}
-	var fits []model.RunFit
-	for i := range res.Experiments {
-		if res.Experiments[i].HasFit {
-			fits = append(fits, res.Experiments[i].Fit)
-		}
+	halt()
+	if journalErr != nil {
+		return nil, journalErr
 	}
-	res.Model = model.BuildAppModel(res.App, fits)
+	if resumed+executed < cfg.Runs {
+		return nil, fmt.Errorf("%w after %d of %d experiments",
+			ErrInterrupted, resumed+executed, cfg.Runs)
+	}
+	agg.finalize(res)
 	return res, nil
+}
+
+// planFor draws experiment id's fault plan from its position-addressable
+// random stream. RunCampaign validated that at least one rank has
+// injection sites, so single-fault planning cannot fail here.
+func planFor(cfg CampaignConfig, id int, sites []uint64) inject.Plan {
+	r := xrand.At(cfg.Seed, uint64(id))
+	if cfg.MultiFaultLambda > 0 {
+		return inject.MultiFaultPlan(r, sites, cfg.MultiFaultLambda)
+	}
+	p, _ := inject.UniformSinglePlan(r, sites)
+	return p
 }
 
 // expOut is the per-experiment material the aggregation step consumes.
@@ -213,11 +327,25 @@ type expOut struct {
 	structCML map[string]int
 }
 
-// runExperiment executes one fault-injection run and condenses it.
+// runExperiment executes one fault-injection run and condenses it. A panic
+// anywhere in the experiment pipeline is contained here: the run classifies
+// as Crashed with the diagnostic retained, and the campaign continues.
 func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfig,
-	criteria classify.Criteria, golden classify.Golden, cycleLimit uint64) expOut {
+	criteria classify.Criteria, golden classify.Golden, cycleLimit uint64) (out expOut) {
 
-	run := core.Run(inst, core.RunConfig{
+	defer func() {
+		if p := recover(); p != nil {
+			out = expOut{sum: ExperimentSummary{
+				ID:      id,
+				Plan:    plan,
+				Planned: len(plan.Faults) > 0,
+				Outcome: classify.Crashed,
+				Diag:    fmt.Sprintf("experiment panic: %v\n%s", p, debug.Stack()),
+			}}
+		}
+	}()
+
+	run := coreRun(inst, core.RunConfig{
 		Ranks:       cfg.Params.Ranks,
 		CycleLimit:  cycleLimit,
 		Plan:        plan,
@@ -226,18 +354,22 @@ func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfi
 	sum := ExperimentSummary{
 		ID:           id,
 		Plan:         plan,
+		Planned:      len(plan.Faults) > 0,
 		Outcome:      criteria.Classify(golden, run.ToRunResult()),
 		TotalPeakCML: run.MaxCMLTotal,
 		Cycles:       run.Cycles,
 	}
-	if len(plan.Faults) > 0 {
+	if sum.Planned {
 		sum.InjRank = plan.Faults[0].Rank
 	}
 	if run.AllocatedTotal > 0 {
 		sum.ContamPct = 100 * float64(run.MaxCMLTotal) / float64(run.AllocatedTotal)
 	}
+	// Casualty ranks (cut down at a scheduling-dependent moment after a
+	// peer crashed) carry no reliable observations; skipping them keeps
+	// every summary field a pure function of the seed.
 	var points []trace.Point
-	if sum.InjRank < len(run.Ranks) {
+	if sum.Planned && sum.InjRank < len(run.Ranks) && !run.Ranks[sum.InjRank].Casualty {
 		rr := run.Ranks[sum.InjRank]
 		sum.MaxCML = rr.MaxCML
 		points = rr.Points
@@ -247,7 +379,7 @@ func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfi
 		}
 	}
 	for i := range run.Ranks {
-		if run.Ranks[i].Ever {
+		if run.Ranks[i].Ever && !run.Ranks[i].Casualty {
 			sum.RanksContaminated++
 		}
 	}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// The checkpoint journal makes long campaigns restartable: one JSONL file
+// holding a header line that fingerprints the campaign configuration,
+// followed by one record per completed experiment. Records carry everything
+// the streaming aggregator consumes (summary, profile points, spread
+// series, per-structure totals), so a resumed campaign replays them into a
+// fresh aggregator and produces results identical to an uninterrupted run.
+// Every record is flushed as written: a killed campaign loses at most the
+// in-flight line, and readJournal tolerates a truncated tail.
+
+const journalVersion = 1
+
+type journalHeader struct {
+	Kind        string `json:"kind"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// journalRecord is one completed experiment on disk.
+type journalRecord struct {
+	Kind      string              `json:"kind"`
+	Sum       ExperimentSummary   `json:"sum"`
+	Points    []trace.Point       `json:"points,omitempty"`
+	Spread    []trace.SpreadPoint `json:"spread,omitempty"`
+	StructCML map[string]int      `json:"structCML,omitempty"`
+}
+
+func (r journalRecord) toExpOut() expOut {
+	return expOut{sum: r.Sum, points: r.Points, spread: r.Spread, structCML: r.StructCML}
+}
+
+// fingerprint hashes the configuration fields that determine per-experiment
+// results, binding a journal to its campaign: resuming under a different
+// seed, workload, or fault model is refused rather than silently mixing
+// incompatible experiments. Fields that only shape aggregation or
+// scheduling (Workers, KeepProfiles, MaxSummaries, StopAfter) are excluded.
+func (cfg CampaignConfig) fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "app=%s|params=%+v|runs=%d|seed=%d|lambda=%g|hang=%g|sample=%d",
+		cfg.App.Name(), cfg.Params, cfg.Runs, cfg.Seed,
+		cfg.MultiFaultLambda, cfg.HangFactor, cfg.SampleEvery)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// journalWriter appends records to the checkpoint file.
+type journalWriter struct {
+	f   *os.File
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// openJournal opens the checkpoint journal for writing. A fresh campaign
+// truncates and writes the header; a resume appends below the existing
+// records (or starts a fresh journal when none exists yet).
+func openJournal(path, fingerprint string, resume bool) (*journalWriter, error) {
+	flags := os.O_CREATE | os.O_WRONLY
+	writeHeader := true
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			flags |= os.O_APPEND
+			writeHeader = false
+		}
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: checkpoint: %w", err)
+	}
+	w := &journalWriter{f: f, bw: bufio.NewWriter(f)}
+	w.enc = json.NewEncoder(w.bw)
+	if writeHeader {
+		hdr := journalHeader{Kind: "header", Version: journalVersion, Fingerprint: fingerprint}
+		if err := w.enc.Encode(hdr); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("harness: checkpoint header: %w", err)
+		}
+		if err := w.bw.Flush(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("harness: checkpoint header: %w", err)
+		}
+	}
+	return w, nil
+}
+
+// append journals one completed experiment and flushes it to the OS, so a
+// kill after this returns cannot lose the record.
+func (w *journalWriter) append(o expOut) error {
+	rec := journalRecord{
+		Kind:      "exp",
+		Sum:       o.sum,
+		Points:    o.points,
+		Spread:    o.spread,
+		StructCML: o.structCML,
+	}
+	if err := w.enc.Encode(rec); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+func (w *journalWriter) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// readJournal loads the completed-experiment records of a checkpoint
+// journal, validating the header against the campaign fingerprint. It
+// returns found=false when no journal exists yet (a resume that starts
+// from scratch). A truncated final line — the signature of a killed
+// campaign — is dropped silently, along with anything after it.
+func readJournal(path, fingerprint string) (recs []journalRecord, found bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 256<<20)
+	if !sc.Scan() {
+		return nil, false, fmt.Errorf("harness: checkpoint %s: empty journal", path)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Kind != "header" {
+		return nil, false, fmt.Errorf("harness: checkpoint %s: malformed header", path)
+	}
+	if hdr.Version != journalVersion {
+		return nil, false, fmt.Errorf("harness: checkpoint %s: journal version %d, want %d",
+			path, hdr.Version, journalVersion)
+	}
+	if hdr.Fingerprint != fingerprint {
+		return nil, false, fmt.Errorf(
+			"harness: checkpoint %s was written by a different campaign (fingerprint %s, want %s)",
+			path, hdr.Fingerprint, fingerprint)
+	}
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return recs, true, nil // truncated tail: keep what parsed
+		}
+		if rec.Kind != "exp" {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, true, fmt.Errorf("harness: checkpoint %s: %w", path, err)
+	}
+	return recs, true, nil
+}

@@ -1,0 +1,349 @@
+package harness
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/ir"
+)
+
+// assertResultsIdentical requires two campaign results to be byte-identical
+// in every paper-facing aggregate.
+func assertResultsIdentical(t *testing.T, label string, a, b *CampaignResult) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Tally, b.Tally) {
+		t.Errorf("%s: Tally differs: %v vs %v", label, a.Tally, b.Tally)
+	}
+	if !reflect.DeepEqual(a.Experiments, b.Experiments) {
+		t.Errorf("%s: Experiments differ (%d vs %d records)", label, len(a.Experiments), len(b.Experiments))
+		for i := range a.Experiments {
+			if i < len(b.Experiments) && !reflect.DeepEqual(a.Experiments[i], b.Experiments[i]) {
+				t.Errorf("%s: first divergence at experiment %d:\n  %+v\n  %+v",
+					label, i, a.Experiments[i], b.Experiments[i])
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.Model, b.Model) {
+		t.Errorf("%s: Model differs: FPS %v vs %v (%d vs %d fits)",
+			label, a.Model.FPS, b.Model.FPS, len(a.Model.Fits), len(b.Model.Fits))
+	}
+	if !reflect.DeepEqual(a.Profiles, b.Profiles) {
+		t.Errorf("%s: Profiles differ (%d vs %d)", label, len(a.Profiles), len(b.Profiles))
+		for i := range a.Profiles {
+			if i < len(b.Profiles) && !reflect.DeepEqual(a.Profiles[i], b.Profiles[i]) {
+				t.Errorf("%s: first differing profile [%d]:\n  %+v\n  %+v",
+					label, i, a.Profiles[i], b.Profiles[i])
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.BestSpread, b.BestSpread) {
+		t.Errorf("%s: BestSpread differs", label)
+	}
+	if !reflect.DeepEqual(a.StructTotals, b.StructTotals) {
+		t.Errorf("%s: StructTotals differ: %v vs %v", label, a.StructTotals, b.StructTotals)
+	}
+}
+
+// TestCampaignWorkerCountInvariance pins the engine's core determinism
+// contract: the same seed yields identical Tally, Experiments, and Model
+// whether experiments run serially or race across eight workers.
+func TestCampaignWorkerCountInvariance(t *testing.T) {
+	cases := []struct {
+		name   string
+		app    apps.App
+		runs   int
+		seed   uint64
+		lambda float64
+	}{
+		{"hydro-single", apps.NewHydro(), 16, 99, 0},
+		{"fe-multifault", apps.NewFE(), 12, 7, 1.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := CampaignConfig{
+				App:              tc.app,
+				Params:           tc.app.TestParams(),
+				Runs:             tc.runs,
+				Seed:             tc.seed,
+				MultiFaultLambda: tc.lambda,
+				SampleEvery:      64,
+			}
+			serial := base
+			serial.Workers = 1
+			wide := base
+			wide.Workers = 8
+			a, err := RunCampaign(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunCampaign(wide)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, "workers 1 vs 8", a, b)
+		})
+	}
+}
+
+// TestCampaignResumeMatchesUninterrupted kills a campaign at 50% (via the
+// StopAfter hook), resumes it from its checkpoint journal, and requires the
+// resumed result to be identical to an uninterrupted run of the same seed.
+func TestCampaignResumeMatchesUninterrupted(t *testing.T) {
+	cases := []struct {
+		name   string
+		app    apps.App
+		runs   int
+		seed   uint64
+		lambda float64
+	}{
+		{"hydro-single", apps.NewHydro(), 16, 5, 0},
+		{"fe-multifault", apps.NewFE(), 12, 21, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ck := filepath.Join(t.TempDir(), "campaign.ckpt.jsonl")
+			base := CampaignConfig{
+				App:              tc.app,
+				Params:           tc.app.TestParams(),
+				Runs:             tc.runs,
+				Seed:             tc.seed,
+				MultiFaultLambda: tc.lambda,
+				SampleEvery:      64,
+				Workers:          4,
+			}
+			full, err := RunCampaign(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			interrupted := base
+			interrupted.Checkpoint = ck
+			interrupted.StopAfter = tc.runs / 2
+			if _, err := RunCampaign(interrupted); !errors.Is(err, ErrInterrupted) {
+				t.Fatalf("interrupted campaign returned %v, want ErrInterrupted", err)
+			}
+
+			resume := base
+			resume.Checkpoint = ck
+			resume.Resume = true
+			got, err := RunCampaign(resume)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, "resumed vs uninterrupted", full, got)
+		})
+	}
+}
+
+// TestCampaignResumeToleratesTruncatedTail simulates a kill mid-write: the
+// journal's final line is cut short. Resume must drop the partial record,
+// re-run that experiment, and still match the uninterrupted result.
+func TestCampaignResumeToleratesTruncatedTail(t *testing.T) {
+	app := apps.NewHydro()
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	base := CampaignConfig{
+		App: app, Params: app.TestParams(),
+		Runs: 10, Seed: 13, SampleEvery: 64, Workers: 2,
+	}
+	full, err := RunCampaign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupted := base
+	interrupted.Checkpoint = ck
+	interrupted.StopAfter = 5
+	if _, err := RunCampaign(interrupted); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	f, err := os.OpenFile(ck, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"exp","sum":{"ID":9,"Outc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	resume := base
+	resume.Checkpoint = ck
+	resume.Resume = true
+	got, err := RunCampaign(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "resume after truncated tail", full, got)
+}
+
+// TestCampaignResumeRejectsMismatchedConfig: a journal written under one
+// seed must refuse to seed a campaign with another.
+func TestCampaignResumeRejectsMismatchedConfig(t *testing.T) {
+	app := apps.NewHydro()
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	base := CampaignConfig{
+		App: app, Params: app.TestParams(),
+		Runs: 6, Seed: 1, Workers: 2,
+	}
+	withCk := base
+	withCk.Checkpoint = ck
+	if _, err := RunCampaign(withCk); err != nil {
+		t.Fatal(err)
+	}
+	other := base
+	other.Seed = 2
+	other.Checkpoint = ck
+	other.Resume = true
+	if _, err := RunCampaign(other); err == nil {
+		t.Fatal("resume under a different seed was accepted")
+	}
+	if _, err := RunCampaign(CampaignConfig{
+		App: app, Params: app.TestParams(), Runs: 6, Seed: 1, Resume: true,
+	}); err == nil {
+		t.Fatal("Resume without Checkpoint was accepted")
+	}
+}
+
+// TestCampaignBoundedSummaryRetention: with MaxSummaries set, the resident
+// summary set is bounded by the retention config while whole-campaign
+// aggregates still cover every run.
+func TestCampaignBoundedSummaryRetention(t *testing.T) {
+	app := apps.NewHydro()
+	res, err := RunCampaign(CampaignConfig{
+		App: app, Params: app.TestParams(),
+		Runs: 20, Seed: 42, MaxSummaries: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Experiments) != 5 {
+		t.Fatalf("retained %d summaries, want 5", len(res.Experiments))
+	}
+	for i, e := range res.Experiments {
+		if e.ID != i {
+			t.Fatalf("retained summary %d has ID %d, want the lowest-ID prefix", i, e.ID)
+		}
+	}
+	if res.Tally.Total != 20 {
+		t.Fatalf("tally total = %d, want 20 (aggregates must cover all runs)", res.Tally.Total)
+	}
+
+	// The bounded result must agree with the unbounded one on everything
+	// that is not summary retention.
+	unbounded, err := RunCampaign(CampaignConfig{
+		App: app, Params: app.TestParams(),
+		Runs: 20, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tally, unbounded.Tally) {
+		t.Error("bounded retention changed the tally")
+	}
+	if !reflect.DeepEqual(res.Model, unbounded.Model) {
+		t.Error("bounded retention changed the model")
+	}
+	if !reflect.DeepEqual(res.Experiments, unbounded.Experiments[:5]) {
+		t.Error("bounded summaries are not the lowest-ID prefix of the full set")
+	}
+}
+
+// TestUnplannedRunNotAttributedToRankZero is the regression test for the
+// empty-plan bug: a zero-fault plan must yield Planned=false and must not
+// report rank 0 as injected, and FormatFig5 must exclude such runs.
+func TestUnplannedRunNotAttributedToRankZero(t *testing.T) {
+	app := apps.NewHydro()
+	p := app.TestParams()
+	inst := buildInstrumented(t, app, p)
+	goldenRun := core.Run(inst, core.RunConfig{Ranks: p.Ranks})
+	if goldenRun.Err != nil {
+		t.Fatal(goldenRun.Err)
+	}
+	golden := classify.Golden{
+		Outputs:    goldenRun.Outputs,
+		Cycles:     goldenRun.Cycles,
+		Iterations: goldenRun.Iterations,
+	}
+	cfg := CampaignConfig{App: app, Params: p, HangFactor: 4}
+	out := runExperiment(0, inst, inject.Plan{}, cfg,
+		classify.DefaultCriteria(), golden, goldenRun.Cycles*4)
+	sum := out.sum
+	if sum.Planned {
+		t.Error("empty plan reported Planned=true")
+	}
+	if sum.Fired {
+		t.Error("empty plan reported a fired fault")
+	}
+	if sum.MaxCML != 0 || sum.HasFit {
+		t.Errorf("empty plan attributed rank-0 observations: MaxCML=%d HasFit=%v",
+			sum.MaxCML, sum.HasFit)
+	}
+	if sum.Outcome != classify.Vanished {
+		t.Errorf("fault-free run classified %v, want V", sum.Outcome)
+	}
+
+	planned := runExperiment(1, inst,
+		inject.Plan{Faults: []inject.Fault{{Rank: 1, Site: 0, Bit: 3}}}, cfg,
+		classify.DefaultCriteria(), golden, goldenRun.Cycles*4)
+	if !planned.sum.Planned || planned.sum.InjRank != 1 {
+		t.Errorf("planned run: Planned=%v InjRank=%d, want true/1",
+			planned.sum.Planned, planned.sum.InjRank)
+	}
+
+	// Fig. 5 must count only planned, fired injections.
+	res := &CampaignResult{
+		App:         "x",
+		Golden:      classify.Golden{Cycles: 100},
+		GoldenSites: []uint64{10, 10},
+		Experiments: []ExperimentSummary{
+			{ID: 0}, // unplanned
+			{ID: 1, Planned: true, Fired: true, InjCycle: 50},             // counts
+			{ID: 2, Planned: true, Fired: false},                          // never fired
+			{ID: 3, Planned: true, Fired: true, InjCycle: 75, InjRank: 1}, // counts
+		},
+	}
+	fig5 := FormatFig5(res, 10)
+	if want := "2 injections"; !strings.Contains(fig5, want) {
+		t.Errorf("Fig. 5 header does not report %q:\n%s", want, fig5)
+	}
+}
+
+// TestCampaignContainsExperimentPanic injects an infrastructure panic into
+// every experiment (via the coreRun seam) and requires the campaign to
+// classify them as Crashed with diagnostics instead of dying.
+func TestCampaignContainsExperimentPanic(t *testing.T) {
+	orig := coreRun
+	defer func() { coreRun = orig }()
+	coreRun = func(prog *ir.Program, cfg core.RunConfig) core.RunOutcome {
+		if len(cfg.Plan.Faults) > 0 {
+			panic("synthetic interpreter bug")
+		}
+		return orig(prog, cfg)
+	}
+	app := apps.NewHydro()
+	res, err := RunCampaign(CampaignConfig{
+		App: app, Params: app.TestParams(), Runs: 6, Seed: 3, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Counts[classify.Crashed] != 6 {
+		t.Fatalf("tally = %v, want 6 crashed", res.Tally.Counts)
+	}
+	for _, e := range res.Experiments {
+		if e.Outcome != classify.Crashed {
+			t.Errorf("experiment %d outcome %v, want Crashed", e.ID, e.Outcome)
+		}
+		if e.Diag == "" {
+			t.Errorf("experiment %d lost its panic diagnostic", e.ID)
+		}
+	}
+}

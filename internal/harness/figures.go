@@ -28,7 +28,10 @@ func FormatFig5(res *CampaignResult, bins int) string {
 	}
 	h := stats.NewHistogram(0, 1, bins)
 	for _, e := range res.Experiments {
-		if !e.Fired || e.InjRank >= len(res.GoldenSites) {
+		// Unplanned runs (multi-fault mode can draw zero faults) have no
+		// injection; without the Planned gate they would be misread as
+		// rank-0 injections at cycle 0.
+		if !e.Planned || !e.Fired || e.InjRank >= len(res.GoldenSites) {
 			continue
 		}
 		g := res.Golden.Cycles

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+)
+
+func TestProgressNilReceiverIsSafe(t *testing.T) {
+	var p *Progress
+	p.begin(10, 2)
+	p.noteResumed(3)
+	p.noteStart()
+	p.noteDone(classify.Vanished, time.Millisecond)
+	if s := p.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil Snapshot = %+v, want zero", s)
+	}
+	p.Ticker(&bytes.Buffer{}, time.Millisecond)() // stop must also be a no-op
+}
+
+func TestProgressSnapshotCounts(t *testing.T) {
+	p := &Progress{}
+	p.begin(10, 4)
+	p.noteResumed(2)
+	for i := 0; i < 3; i++ {
+		p.noteStart()
+	}
+	p.noteDone(classify.Vanished, 5*time.Millisecond)
+	p.noteDone(classify.Crashed, 5*time.Millisecond)
+
+	s := p.Snapshot()
+	if s.Total != 10 || s.Done != 4 || s.Resumed != 2 || s.Running != 1 {
+		t.Errorf("snapshot = %+v, want Total 10, Done 4, Resumed 2, Running 1", s)
+	}
+	if s.Outcomes[classify.Vanished] != 1 || s.Outcomes[classify.Crashed] != 1 {
+		t.Errorf("outcomes = %v", s.Outcomes)
+	}
+	if s.Elapsed <= 0 {
+		t.Errorf("elapsed = %v, want > 0", s.Elapsed)
+	}
+	// Two executed runs over positive elapsed time: rate and ETA appear.
+	if s.RunsPerSec <= 0 {
+		t.Errorf("runs/sec = %v, want > 0", s.RunsPerSec)
+	}
+	if s.ETA <= 0 {
+		t.Errorf("eta = %v, want > 0", s.ETA)
+	}
+	if s.Utilization < 0 || s.Utilization > 1 {
+		t.Errorf("utilization = %v, want in [0,1]", s.Utilization)
+	}
+	if !strings.Contains(s.String(), "4/10") {
+		t.Errorf("String() = %q, want to mention 4/10", s.String())
+	}
+}
+
+func TestProgressUtilizationClamped(t *testing.T) {
+	p := &Progress{}
+	p.begin(1, 1)
+	p.noteStart()
+	// Report far more busy time than has elapsed: utilization clamps to 1.
+	p.noteDone(classify.Vanished, time.Hour)
+	if u := p.Snapshot().Utilization; u != 1 {
+		t.Errorf("utilization = %v, want clamped to 1", u)
+	}
+}
+
+func TestProgressConcurrentUse(t *testing.T) {
+	p := &Progress{}
+	p.begin(100, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				p.noteStart()
+				p.Snapshot()
+				p.noteDone(classify.WrongOutput, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Snapshot()
+	if s.Done != 200 || s.Running != 0 {
+		t.Errorf("after concurrent updates: Done %d Running %d, want 200 and 0", s.Done, s.Running)
+	}
+}
+
+func TestProgressTickerWritesAndStops(t *testing.T) {
+	p := &Progress{}
+	p.begin(5, 1)
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(b []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(b)
+	})
+	stop := p.Ticker(w, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := buf.Len()
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ticker wrote nothing within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(buf.String(), "0/5") {
+		t.Errorf("ticker output = %q, want a 0/5 status line", buf.String())
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(b []byte) (int, error) { return f(b) }

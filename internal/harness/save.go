@@ -19,7 +19,11 @@ type resultsFile struct {
 	Results []*CampaignResult `json:"results"`
 }
 
-const resultsVersion = 1
+// resultsVersion 2: ExperimentSummary gained Planned and Diag, and
+// campaigns may retain a bounded subset of summaries (MaxSummaries).
+// Files written by earlier versions are rejected rather than silently
+// misread (v1 summaries conflate "no fault planned" with "rank 0").
+const resultsVersion = 2
 
 // SaveResults writes campaign results to path.
 func SaveResults(path string, results []*CampaignResult) (err error) {

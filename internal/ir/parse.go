@@ -176,6 +176,9 @@ func (p *parser) parseFunc(line string) error {
 		if err != nil {
 			return p.errf("bad %s: %v", kv[0], err)
 		}
+		if v < 0 || v > maxParseRegs {
+			return p.errf("%s=%d out of range [0,%d]", kv[0], v, maxParseRegs)
+		}
 		switch kv[0] {
 		case "params":
 			params = v
@@ -197,6 +200,10 @@ func (p *parser) parseFunc(line string) error {
 	return nil
 }
 
+// maxParseRegs bounds the register index accepted from text, so a hostile
+// source like "r999999999" cannot force an enormous register file.
+const maxParseRegs = 1 << 14
+
 // reg parses rN and ensures the register file covers it.
 func (p *parser) reg(s string) (Reg, error) {
 	s = strings.TrimSpace(s)
@@ -206,6 +213,9 @@ func (p *parser) reg(s string) (Reg, error) {
 	n, err := strconv.Atoi(s[1:])
 	if err != nil || n < 0 {
 		return 0, fmt.Errorf("bad register %q", s)
+	}
+	if n >= maxParseRegs {
+		return 0, fmt.Errorf("register %q exceeds the %d-register limit", s, maxParseRegs)
 	}
 	for p.f.fn.NumRegs <= n {
 		p.f.NewReg()

@@ -1,0 +1,48 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse pins the IR assembler's robustness contract: ParseProgram must
+// never panic on arbitrary text — it returns a program or an error. On the
+// happy path it additionally checks the parse/disassemble round trip keeps
+// parsing, since campaign tooling stores programs as text.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sampleSrc,
+		"global a size=4 init=1,2,3,4\nfunc main(params=0 rets=0):\n  r0 = consti #5\n  ret\n",
+		"func main(params=0 rets=0):\nL:  r0 = add r0, #1\n  bnz r0, @L\n  ret\n",
+		"; comment\nglobal g size=2\nfunc main(params=0 rets=0 frame=3):\n" +
+			"  r1 = frameaddr #0\n  store #7 -> [r1]\n  r2 = load [r1]\n  ret\n",
+		"func main(params=0 rets=0):\n  r0 = constf #2.5\n  r1 = select r0 ? r0 : r0\n" +
+			"  r2 = fim_inj(r1)\n  _ = sqrt(r0)\n  ret r2\n",
+		"func f(params=2 rets=1):\n  r2 = mul r0, r1\n  ret r2\n" +
+			"func main(params=0 rets=0):\n  r0, r1 = call f(#3, #4)\n  ret\n",
+		"global a size=1 init=0x1p3",
+		"func main(params=999999999 rets=0):\n  ret\n",
+		"func main(params=0 rets=0):\n  r99999999 = consti #1\n  ret\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseProgram(src)
+		if err != nil {
+			return
+		}
+		if prog == nil {
+			t.Fatal("ParseProgram returned nil program and nil error")
+		}
+		// A program that parsed must disassemble, and the disassembly must
+		// itself be parseable (possibly to a different-but-valid program:
+		// labels renumber).
+		text := DisassembleProgram(prog)
+		if _, err := ParseProgram(text); err != nil {
+			t.Fatalf("round trip failed: %v\nsource:\n%s\ndisassembly:\n%s",
+				err, src, text)
+		}
+		_ = strings.TrimSpace(text)
+	})
+}

@@ -1,7 +1,13 @@
 // Package trace records fault-propagation observables during a run: the
 // corrupted-memory-locations time series of each rank (paper Fig. 7), and
-// the job-level spread of contamination across ranks on the global virtual
-// clock (paper Fig. 8).
+// the job-level spread of contamination across ranks (paper Fig. 8).
+//
+// All retained observables are expressed in rank-local application cycles.
+// The ranks of a lockstep MPI job advance in near-unison, so local cycles
+// are comparable across ranks — and unlike a shared wall-clock proxy they
+// are a pure function of the program and the fault plan, never of
+// goroutine scheduling. That determinism is what lets campaign results be
+// checkpointed and replayed byte-for-byte.
 package trace
 
 import (
@@ -12,7 +18,6 @@ import (
 // Point is one CML sample of one rank.
 type Point struct {
 	Cycles int64 // rank-local application cycles
-	Global int64 // job-global virtual time
 	CML    int   // corrupted memory locations at that moment
 }
 
@@ -41,14 +46,16 @@ type Recorder struct {
 	maxCML            int
 }
 
-// OnCMLChange implements vm.Tracer.
+// OnCMLChange implements vm.Tracer. The globalTime argument is ignored:
+// it reads a clock shared across concurrently-running ranks, so its value
+// depends on goroutine interleaving.
 func (r *Recorder) OnCMLChange(localCycles, globalTime uint64, cml int) {
 	if cml > r.maxCML {
 		r.maxCML = cml
 	}
 	becameContaminated := r.lastCML == 0 && cml > 0
 	if becameContaminated && !r.hasFirstContam {
-		r.firstContam = int64(globalTime)
+		r.firstContam = int64(localCycles)
 		r.hasFirstContam = true
 	}
 	r.lastCML = cml
@@ -57,7 +64,7 @@ func (r *Recorder) OnCMLChange(localCycles, globalTime uint64, cml int) {
 		return
 	}
 	r.lastSampledCycles = localCycles
-	r.points = append(r.points, Point{Cycles: int64(localCycles), Global: int64(globalTime), CML: cml})
+	r.points = append(r.points, Point{Cycles: int64(localCycles), CML: cml})
 }
 
 // OnTick implements vm.Tracer.
@@ -71,7 +78,7 @@ func (r *Recorder) Finish(localCycles, globalTime uint64, cml int) {
 		r.maxCML = cml
 	}
 	r.lastCML = cml
-	r.points = append(r.points, Point{Cycles: int64(localCycles), Global: int64(globalTime), CML: cml})
+	r.points = append(r.points, Point{Cycles: int64(localCycles), CML: cml})
 }
 
 // Points returns the retained CML series.
@@ -83,21 +90,21 @@ func (r *Recorder) Ticks() []TickPoint { return r.ticks }
 // MaxCML returns the peak CML observed.
 func (r *Recorder) MaxCML() int { return r.maxCML }
 
-// FirstContamination returns the global time when the rank first became
-// contaminated, and whether it ever did.
+// FirstContamination returns the rank-local cycle count at which the rank
+// first became contaminated, and whether it ever did.
 func (r *Recorder) FirstContamination() (int64, bool) {
 	return r.firstContam, r.hasFirstContam
 }
 
-// RankSpread aggregates per-rank first-contamination times into the
-// corrupted-ranks-over-time series of paper Fig. 8.
+// RankSpread aggregates per-rank first-contamination times (rank-local
+// cycles) into the corrupted-ranks-over-time series of paper Fig. 8.
 type RankSpread struct {
 	mu    sync.Mutex
 	times []int64
 }
 
-// Note records that a rank became contaminated at global time t. Safe for
-// concurrent use.
+// Note records that a rank became contaminated at rank-local cycle t.
+// Safe for concurrent use.
 func (s *RankSpread) Note(t int64) {
 	s.mu.Lock()
 	s.times = append(s.times, t)

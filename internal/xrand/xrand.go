@@ -61,6 +61,22 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ rotl(r.Uint64(), 32))
 }
 
+// At returns the generator for position index of the stream family
+// identified by seed. Unlike chained Split calls, At(seed, i) does not
+// depend on any other position having been drawn first, so a checkpointed
+// campaign can rebuild experiment i's generator directly — in any order,
+// from any worker — and still reproduce the exact randomness an
+// uninterrupted sequential run would have used.
+func At(seed, index uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	s0 := sm.Next()
+	s1 := sm.Next()
+	// Mix the index through its own SplitMix64 round so neighboring
+	// indices land in uncorrelated states even under similar seeds.
+	ix := NewSplitMix64(index ^ rotl(s0, 17))
+	return New(ix.Next() ^ rotl(s1, 32))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns a uniformly distributed 64-bit value.

@@ -198,3 +198,45 @@ func BenchmarkFloat64(b *testing.B) {
 		_ = r.Float64()
 	}
 }
+
+func TestAtIsPositionAddressable(t *testing.T) {
+	// Drawing positions in any order, or skipping positions entirely, must
+	// not change what any position yields.
+	forward := make([]uint64, 10)
+	for i := range forward {
+		forward[i] = At(42, uint64(i)).Uint64()
+	}
+	for i := len(forward) - 1; i >= 0; i-- {
+		if got := At(42, uint64(i)).Uint64(); got != forward[i] {
+			t.Fatalf("At(42, %d) = %d out of order, want %d", i, got, forward[i])
+		}
+	}
+	if got := At(42, 7).Uint64(); got != forward[7] {
+		t.Fatalf("At(42, 7) standalone = %d, want %d", got, forward[7])
+	}
+}
+
+func TestAtStreamsDiffer(t *testing.T) {
+	seen := make(map[uint64]string)
+	for seed := uint64(0); seed < 8; seed++ {
+		for idx := uint64(0); idx < 64; idx++ {
+			v := At(seed, idx).Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("At(%d, %d) collides with %s", seed, idx, prev)
+			}
+			seen[v] = "earlier stream"
+		}
+	}
+}
+
+func TestAtOutputLooksUniform(t *testing.T) {
+	// First draws across indices should spread over the 64-bit range: check
+	// the top byte hits many distinct values.
+	buckets := make(map[byte]bool)
+	for idx := uint64(0); idx < 256; idx++ {
+		buckets[byte(At(9, idx).Uint64()>>56)] = true
+	}
+	if len(buckets) < 128 {
+		t.Fatalf("top byte of At draws hit only %d/256 buckets", len(buckets))
+	}
+}
