@@ -7,7 +7,7 @@
 //
 //	campaign [-runs N] [-seed S] [-apps LULESH,miniFE] [-scale test|default]
 //	         [-multifault LAMBDA] [-workers N] [-checkpoint PATH] [-resume]
-//	         [-progress INTERVAL]
+//	         [-progress INTERVAL] [-remote ADDR] [-priority N]
 //
 // The paper uses 5,000 runs per application on 1,024 cores; the default
 // here is sized for a laptop. Increase -runs for tighter statistics.
@@ -15,20 +15,36 @@
 // Long campaigns can be journaled with -checkpoint and, after a crash or a
 // kill, restarted with -resume: completed experiments replay from the
 // journal and the final results are identical to an uninterrupted run.
+// SIGINT/SIGTERM are trapped: in-flight experiments finish, the journal is
+// flushed, and the partial tallies print before exit, so an interrupted
+// campaign is always resumable.
 // -progress prints a live status line (runs/sec, ETA, per-outcome counts,
 // worker utilization) to stderr on the given interval.
+//
+// With -remote ADDR the campaigns run on a faultpropd daemon instead of
+// locally: each app is submitted as a job (at -priority), its event stream
+// is followed, and the rendered output is identical to a local run with the
+// same seed — the daemon journals every job, so worker counts, scheduling,
+// and daemon restarts cannot change the results. -workers, -checkpoint and
+// -resume are daemon-side concerns and are ignored with a note.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/harness"
 	"repro/internal/recovery"
+	"repro/internal/service"
+	"repro/internal/service/client"
 )
 
 func main() {
@@ -44,6 +60,8 @@ func main() {
 	resume := flag.Bool("resume", false, "replay the -checkpoint journal, skipping completed experiments")
 	progressEvery := flag.Duration("progress", 0, "print a status line to stderr on this interval (0: off)")
 	maxSummaries := flag.Int("max-summaries", 0, "retain at most this many per-experiment summaries (0: all)")
+	remote := flag.String("remote", "", "submit to a faultpropd daemon at this address instead of running locally")
+	priority := flag.Int("priority", 0, "job priority for -remote submissions (higher runs first)")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
@@ -64,36 +82,93 @@ func main() {
 		}
 	}
 
+	// A SIGINT/SIGTERM cancels the campaign context: in-flight experiments
+	// finish, the checkpoint journal is flushed, and partial tallies print
+	// before exit instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var results []*harness.CampaignResult
+	if *remote != "" {
+		results = runRemote(ctx, *remote, selected, remoteOpts{
+			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
+			sample: *sample, maxSummaries: *maxSummaries, priority: *priority,
+			progressEvery: *progressEvery,
+			localFlags:    *workers != 0 || *checkpoint != "" || *resume,
+		})
+	} else {
+		results = runLocal(ctx, selected, localOpts{
+			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
+			sample: *sample, maxSummaries: *maxSummaries, workers: *workers,
+			checkpoint: *checkpoint, resume: *resume, progressEvery: *progressEvery,
+		})
+	}
+
+	render(results)
+
+	if *jsonOut != "" {
+		if err := harness.SaveResults(*jsonOut, results); err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results saved to %s\n", *jsonOut)
+	}
+}
+
+type localOpts struct {
+	runs          int
+	seed          uint64
+	scale         string
+	multi         float64
+	sample        uint64
+	maxSummaries  int
+	workers       int
+	checkpoint    string
+	resume        bool
+	progressEvery time.Duration
+}
+
+func runLocal(ctx context.Context, selected []apps.App, o localOpts) []*harness.CampaignResult {
 	var results []*harness.CampaignResult
 	for _, app := range selected {
 		p := app.DefaultParams()
-		if *scale == "test" {
+		if o.scale == "test" {
 			p = app.TestParams()
 		}
 		start := time.Now()
 		prog := &harness.Progress{}
-		stopTicker := prog.Ticker(os.Stderr, *progressEvery)
-		res, err := harness.RunCampaign(harness.CampaignConfig{
+		stopTicker := prog.Ticker(os.Stderr, o.progressEvery)
+		ckpt := checkpointPath(o.checkpoint, app.Name(), len(selected))
+		res, err := harness.RunCampaignContext(ctx, harness.CampaignConfig{
 			App:              app,
 			Params:           p,
-			Runs:             *runs,
-			Seed:             *seed,
-			MultiFaultLambda: *multi,
-			SampleEvery:      *sample,
-			Workers:          *workers,
-			MaxSummaries:     *maxSummaries,
-			Checkpoint:       checkpointPath(*checkpoint, app.Name(), len(selected)),
-			Resume:           *resume,
+			Runs:             o.runs,
+			Seed:             o.seed,
+			MultiFaultLambda: o.multi,
+			SampleEvery:      o.sample,
+			Workers:          o.workers,
+			MaxSummaries:     o.maxSummaries,
+			Checkpoint:       ckpt,
+			Resume:           o.resume,
 			Progress:         prog,
 		})
 		stopTicker()
+		if errors.Is(err, harness.ErrInterrupted) {
+			snap := prog.Snapshot()
+			fmt.Fprintf(os.Stderr, "campaign %s interrupted: %v\n", app.Name(), err)
+			fmt.Fprintf(os.Stderr, "partial tally: %s\n", snap)
+			if ckpt != "" {
+				fmt.Fprintf(os.Stderr, "journal flushed to %s; rerun with -resume to continue\n", ckpt)
+			}
+			os.Exit(130)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign %s: %v\n", app.Name(), err)
 			os.Exit(1)
 		}
 		snap := prog.Snapshot()
 		fmt.Printf("# %s: %d runs in %v (golden cycles %d, %d ranks, %.1f runs/s",
-			app.Name(), *runs, time.Since(start).Round(time.Millisecond),
+			app.Name(), o.runs, time.Since(start).Round(time.Millisecond),
 			res.Golden.Cycles, p.Ranks, snap.RunsPerSec)
 		if snap.Resumed > 0 {
 			fmt.Printf(", %d resumed", snap.Resumed)
@@ -101,7 +176,85 @@ func main() {
 		fmt.Println(")")
 		results = append(results, res)
 	}
+	return results
+}
 
+type remoteOpts struct {
+	runs          int
+	seed          uint64
+	scale         string
+	multi         float64
+	sample        uint64
+	maxSummaries  int
+	priority      int
+	progressEvery time.Duration
+	localFlags    bool
+}
+
+// runRemote submits one job per app to a faultpropd daemon, follows each
+// job's event stream, and fetches the final results. An interrupt detaches
+// from the stream but leaves the jobs running daemon-side.
+func runRemote(ctx context.Context, addr string, selected []apps.App, o remoteOpts) []*harness.CampaignResult {
+	if o.localFlags {
+		fmt.Fprintln(os.Stderr, "note: -workers/-checkpoint/-resume are managed by the daemon and ignored with -remote")
+	}
+	c, err := client.New(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remote: %v\n", err)
+		os.Exit(2)
+	}
+	var results []*harness.CampaignResult
+	for _, app := range selected {
+		start := time.Now()
+		lastProgress := time.Time{}
+		spec := service.JobSpec{
+			App:              app.Name(),
+			Scale:            o.scale,
+			Runs:             o.runs,
+			Seed:             o.seed,
+			MultiFaultLambda: o.multi,
+			SampleEvery:      o.sample,
+			MaxSummaries:     o.maxSummaries,
+			Priority:         o.priority,
+			Label:            "cmd/campaign",
+		}
+		var lastSnap *harness.Snapshot
+		res, err := c.Run(ctx, spec, func(ev service.Event) error {
+			if ev.Kind == service.EventProgress && ev.Progress != nil {
+				lastSnap = ev.Progress
+				if o.progressEvery > 0 && time.Since(lastProgress) >= o.progressEvery {
+					lastProgress = time.Now()
+					fmt.Fprintf(os.Stderr, "%s: %s\n", app.Name(), ev.Progress)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "remote campaign %s: detached (%v); the job keeps running on %s\n",
+					app.Name(), ctx.Err(), addr)
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "remote campaign %s: %v\n", app.Name(), err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s: %d runs in %v via %s (golden cycles %d, %d ranks",
+			app.Name(), o.runs, time.Since(start).Round(time.Millisecond), addr,
+			res.Golden.Cycles, res.Params.Ranks)
+		if lastSnap != nil {
+			fmt.Printf(", %.1f runs/s", lastSnap.RunsPerSec)
+			if lastSnap.Resumed > 0 {
+				fmt.Printf(", %d resumed", lastSnap.Resumed)
+			}
+		}
+		fmt.Println(")")
+		results = append(results, res)
+	}
+	return results
+}
+
+// render prints every figure and table of the paper's evaluation.
+func render(results []*harness.CampaignResult) {
 	fmt.Println()
 	t1, err := harness.FormatTable1()
 	if err != nil {
@@ -130,14 +283,6 @@ func main() {
 	}
 	fmt.Printf("FPS ordering (fastest propagation first): %s\n",
 		strings.Join(harness.SortedFPS(results), " > "))
-
-	if *jsonOut != "" {
-		if err := harness.SaveResults(*jsonOut, results); err != nil {
-			fmt.Fprintf(os.Stderr, "save: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("results saved to %s\n", *jsonOut)
-	}
 }
 
 // checkpointPath derives the journal path for one app. With several apps in

@@ -1,0 +1,90 @@
+// Command faultpropd is the campaign service daemon: a long-running HTTP
+// server that queues, schedules, checkpoints, and streams fault-injection
+// campaigns (see internal/service for the API).
+//
+// Usage:
+//
+//	faultpropd [-addr HOST:PORT] [-data DIR] [-jobs N] [-pool N]
+//	           [-progress INTERVAL] [-drain-timeout D]
+//
+// Every job is journaled under -data: killing the daemon (SIGINT/SIGTERM)
+// drains gracefully — running campaigns checkpoint and return to the
+// queue — and the next start resumes them without re-running completed
+// experiments. Submit with any HTTP client or with cmd/campaign -remote:
+//
+//	faultpropd -addr 127.0.0.1:7207 -data ./faultpropd-data &
+//	campaign -remote 127.0.0.1:7207 -apps LULESH -runs 500 -seed 1
+//
+// The actual listen address is printed on startup ("faultpropd listening
+// on ..."), which makes -addr with port 0 usable in scripts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7207", "listen address (port 0 picks a free port)")
+	data := flag.String("data", "faultpropd-data", "job store directory (status records, journals, results)")
+	jobs := flag.Int("jobs", 2, "concurrently running campaigns")
+	pool := flag.Int("pool", 0, "experiment workers shared across campaigns (0: GOMAXPROCS)")
+	progressEvery := flag.Duration("progress", 500*time.Millisecond, "interval between streamed progress events")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for running campaigns to checkpoint on shutdown")
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		Dir:           *data,
+		JobSlots:      *jobs,
+		WorkerPool:    *pool,
+		ProgressEvery: *progressEvery,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultpropd: %v\n", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "faultpropd: start: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultpropd: listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("faultpropd listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "faultpropd: draining (campaigns checkpoint and requeue)...")
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "faultpropd: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "faultpropd: %v\n", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = hs.Shutdown(shutCtx)
+	fmt.Fprintln(os.Stderr, "faultpropd: stopped")
+}

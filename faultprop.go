@@ -34,6 +34,8 @@
 package faultprop
 
 import (
+	"context"
+
 	"repro/internal/apps"
 	"repro/internal/classify"
 	"repro/internal/core"
@@ -106,4 +108,11 @@ func NewAnalyzer(prog *Program, ranks int) (*Analyzer, error) {
 // RunCampaign executes a statistical fault-injection campaign.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	return harness.RunCampaign(cfg)
+}
+
+// RunCampaignContext is RunCampaign with cancellation: a cancelled campaign
+// journals its finished experiments (when cfg.Checkpoint is set) and
+// returns an error wrapping harness.ErrInterrupted.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
+	return harness.RunCampaignContext(ctx, cfg)
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -63,6 +64,22 @@ type CampaignConfig struct {
 	// and returns ErrInterrupted. It simulates a mid-campaign kill for
 	// checkpoint testing and gives operators a bounded-work mode.
 	StopAfter int
+	// OnExperiment, when non-nil, observes every experiment folded into the
+	// aggregate — replayed checkpoint records first (resumed=true), then
+	// live completions in completion order. It is called from the single
+	// aggregation goroutine, so implementations need no locking against
+	// each other but must not block for long: the callback is on the
+	// campaign's critical path. It does not influence results and is
+	// excluded from the checkpoint fingerprint.
+	OnExperiment func(sum ExperimentSummary, resumed bool)
+	// Gate, when non-nil, is a token bucket shared between concurrent
+	// campaigns: every experiment holds one token while it executes, so the
+	// total experiment parallelism across all campaigns sharing the channel
+	// is bounded by its capacity (fill it with that many empty structs).
+	// The per-campaign Workers setting still bounds this campaign alone.
+	// Like Workers, the gate shapes scheduling only — results are
+	// position-addressed by seed — so it is excluded from the fingerprint.
+	Gate chan struct{}
 }
 
 // ErrInterrupted reports a campaign stopped before completing every run;
@@ -147,6 +164,16 @@ var coreRun = core.Run
 // cfg.Resume restarts a killed campaign where it left off, with results
 // identical to an uninterrupted run.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return RunCampaignContext(context.Background(), cfg)
+}
+
+// RunCampaignContext is RunCampaign with cancellation: when ctx is
+// cancelled the campaign stops handing out new experiments, waits for the
+// in-flight ones, journals everything that finished, and returns an error
+// wrapping both ErrInterrupted and the context's cause. A cancelled
+// campaign with a Checkpoint therefore leaves a resumable journal, and
+// resuming it yields results identical to an uninterrupted run.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Runs <= 0 {
 		return nil, fmt.Errorf("harness: campaign needs Runs > 0")
 	}
@@ -222,6 +249,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 				completed[id] = true
 				resumed++
 				agg.add(rec.toExpOut())
+				if cfg.OnExperiment != nil {
+					cfg.OnExperiment(rec.Sum, true)
+				}
 			}
 		}
 		journal, err = openJournal(cfg.Checkpoint, fp, cfg.Resume)
@@ -250,17 +280,35 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	var stopOnce sync.Once
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
 
+	// Cancellation stops work intake; in-flight experiments drain through
+	// the aggregation loop below so they are journaled before returning.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			halt()
+		case <-watchDone:
+		}
+	}()
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for id := range work {
+				if cfg.Gate != nil {
+					<-cfg.Gate
+				}
 				cfg.Progress.noteStart()
 				t0 := time.Now()
 				o := runExperiment(id, inst, planFor(cfg, id, res.GoldenSites),
 					cfg, criteria, res.Golden, cycleLimit)
 				cfg.Progress.noteDone(o.sum.Outcome, time.Since(t0))
+				if cfg.Gate != nil {
+					cfg.Gate <- struct{}{}
+				}
 				outs <- o
 			}
 		}()
@@ -291,6 +339,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		}
 		agg.add(o)
 		executed++
+		if cfg.OnExperiment != nil {
+			cfg.OnExperiment(o.sum, false)
+		}
 		if cfg.StopAfter > 0 && executed >= cfg.StopAfter {
 			halt()
 		}
@@ -300,6 +351,10 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		return nil, journalErr
 	}
 	if resumed+executed < cfg.Runs {
+		if cause := context.Cause(ctx); cause != nil {
+			return nil, fmt.Errorf("%w after %d of %d experiments: %v",
+				ErrInterrupted, resumed+executed, cfg.Runs, cause)
+		}
 		return nil, fmt.Errorf("%w after %d of %d experiments",
 			ErrInterrupted, resumed+executed, cfg.Runs)
 	}

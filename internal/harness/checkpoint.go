@@ -119,6 +119,44 @@ func (w *journalWriter) Close() error {
 	return w.f.Close()
 }
 
+// LoadJournalSummaries reads the per-experiment summaries of a checkpoint
+// journal in journal order, without validating the fingerprint: it serves
+// observability (streaming completed experiments to a late subscriber),
+// not resume, which must go through RunCampaign's guarded path. A missing
+// file yields an empty slice; a truncated tail is dropped like readJournal
+// drops it.
+func LoadJournalSummaries(path string) ([]ExperimentSummary, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 256<<20)
+	var sums []ExperimentSummary
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return sums, nil // truncated tail: keep what parsed
+		}
+		if rec.Kind != "exp" {
+			continue
+		}
+		sums = append(sums, rec.Sum)
+	}
+	if err := sc.Err(); err != nil {
+		return sums, fmt.Errorf("harness: checkpoint %s: %w", path, err)
+	}
+	return sums, nil
+}
+
 // readJournal loads the completed-experiment records of a checkpoint
 // journal, validating the header against the campaign fingerprint. It
 // returns found=false when no journal exists yet (a resume that starts

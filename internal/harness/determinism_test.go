@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/apps"
@@ -210,6 +212,189 @@ func TestCampaignResumeRejectsMismatchedConfig(t *testing.T) {
 	}); err == nil {
 		t.Fatal("Resume without Checkpoint was accepted")
 	}
+}
+
+// TestCampaignCancelLeavesResumableJournal cancels a campaign through its
+// context after a few live completions and requires (a) ErrInterrupted
+// with the cancellation cause, (b) a journal that resumes to results
+// byte-identical to an uninterrupted run.
+func TestCampaignCancelLeavesResumableJournal(t *testing.T) {
+	app := apps.NewHydro()
+	ck := filepath.Join(t.TempDir(), "cancel.ckpt.jsonl")
+	base := CampaignConfig{
+		App: app, Params: app.TestParams(),
+		Runs: 16, Seed: 31, SampleEvery: 64, Workers: 2,
+	}
+	full, err := RunCampaign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var live atomic.Int32
+	interrupted := base
+	interrupted.Checkpoint = ck
+	interrupted.OnExperiment = func(sum ExperimentSummary, resumed bool) {
+		if resumed {
+			t.Errorf("fresh campaign replayed experiment %d from a journal", sum.ID)
+		}
+		if live.Add(1) == 3 {
+			cancel()
+		}
+	}
+	_, err = RunCampaignContext(ctx, interrupted)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("cancelled campaign returned %v, want ErrInterrupted", err)
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Errorf("interrupt error %q does not carry the cancellation cause", err)
+	}
+	if n := live.Load(); n >= 16 {
+		t.Fatalf("campaign ran all %d experiments despite cancellation", n)
+	}
+
+	resume := base
+	resume.Checkpoint = ck
+	resume.Resume = true
+	var resumed atomic.Int32
+	resume.OnExperiment = func(sum ExperimentSummary, wasResumed bool) {
+		if wasResumed {
+			resumed.Add(1)
+		}
+	}
+	got, err := RunCampaign(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Load() == 0 {
+		t.Error("resume replayed no journal records")
+	}
+	assertResultsIdentical(t, "resume after cancel", full, got)
+}
+
+// TestCampaignJournalRejectionPaths covers every way a checkpoint journal
+// can be refused: wrong version, wrong fingerprint, missing header, and an
+// empty file.
+func TestCampaignJournalRejectionPaths(t *testing.T) {
+	app := apps.NewHydro()
+	base := CampaignConfig{
+		App: app, Params: app.TestParams(),
+		Runs: 6, Seed: 11, Workers: 2,
+	}
+	write := func(t *testing.T) (string, []string) {
+		ck := filepath.Join(t.TempDir(), "ck.jsonl")
+		cfg := base
+		cfg.Checkpoint = ck
+		if _, err := RunCampaign(cfg); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ck, strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	}
+	rewrite := func(t *testing.T, ck string, lines []string) {
+		if err := os.WriteFile(ck, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumeErr := func(t *testing.T, ck string) error {
+		cfg := base
+		cfg.Checkpoint = ck
+		cfg.Resume = true
+		_, err := RunCampaign(cfg)
+		return err
+	}
+
+	t.Run("wrong-version", func(t *testing.T) {
+		ck, lines := write(t)
+		lines[0] = strings.Replace(lines[0], `"version":1`, `"version":99`, 1)
+		rewrite(t, ck, lines)
+		err := resumeErr(t, ck)
+		if err == nil || !strings.Contains(err.Error(), "journal version") {
+			t.Fatalf("resume of version-99 journal returned %v, want version error", err)
+		}
+	})
+	t.Run("wrong-fingerprint", func(t *testing.T) {
+		ck, lines := write(t)
+		hdr := lines[0]
+		i := strings.Index(hdr, `"fingerprint":"`)
+		if i < 0 {
+			t.Fatalf("no fingerprint in header %q", hdr)
+		}
+		lines[0] = hdr[:i] + `"fingerprint":"0000000000000000"}`
+		rewrite(t, ck, lines)
+		err := resumeErr(t, ck)
+		if err == nil || !strings.Contains(err.Error(), "different campaign") {
+			t.Fatalf("resume under forged fingerprint returned %v, want fingerprint error", err)
+		}
+	})
+	t.Run("missing-header", func(t *testing.T) {
+		ck, lines := write(t)
+		rewrite(t, ck, lines[1:]) // first line is now an exp record
+		err := resumeErr(t, ck)
+		if err == nil || !strings.Contains(err.Error(), "malformed header") {
+			t.Fatalf("resume of headerless journal returned %v, want header error", err)
+		}
+	})
+	t.Run("empty-journal", func(t *testing.T) {
+		ck, _ := write(t)
+		if err := os.WriteFile(ck, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := resumeErr(t, ck)
+		if err == nil || !strings.Contains(err.Error(), "empty journal") {
+			t.Fatalf("resume of empty journal returned %v, want empty-journal error", err)
+		}
+	})
+}
+
+// TestCampaignGateBoundsParallelism runs a campaign whose Workers exceed
+// its shared gate and requires (a) experiment concurrency never exceeds
+// the gate's capacity, (b) the gate does not change results.
+func TestCampaignGateBoundsParallelism(t *testing.T) {
+	orig := coreRun
+	defer func() { coreRun = orig }()
+	var inFlight, peak atomic.Int32
+	coreRun = func(prog *ir.Program, cfg core.RunConfig) core.RunOutcome {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return orig(prog, cfg)
+	}
+
+	app := apps.NewHydro()
+	base := CampaignConfig{
+		App: app, Params: app.TestParams(),
+		Runs: 12, Seed: 77, SampleEvery: 64,
+	}
+	ungated, err := RunCampaign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peak.Store(0)
+	gated := base
+	gated.Workers = 8
+	gated.Gate = make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		gated.Gate <- struct{}{}
+	}
+	got, err := RunCampaign(gated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("gate of 2 tokens allowed %d concurrent experiments", p)
+	}
+	assertResultsIdentical(t, "gated vs ungated", ungated, got)
 }
 
 // TestCampaignBoundedSummaryRetention: with MaxSummaries set, the resident

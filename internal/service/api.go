@@ -1,0 +1,231 @@
+// Package service implements faultpropd, the campaign service daemon: a
+// long-running HTTP server that accepts fault-injection campaign jobs over
+// a JSON API, schedules them on a bounded worker pool with per-job
+// priorities, persists every job through the harness checkpoint journal so
+// a killed daemon resumes all in-flight work on restart, and streams live
+// results (per-experiment summaries, progress metrics, final tallies) to
+// any number of watchers.
+//
+// The HTTP surface (all request/response bodies are JSON):
+//
+//	POST   /api/v1/jobs             submit a JobSpec, returns JobStatus
+//	GET    /api/v1/jobs             list all jobs
+//	GET    /api/v1/jobs/{id}        one job's status
+//	GET    /api/v1/jobs/{id}/stream NDJSON event stream (SSE with Accept: text/event-stream)
+//	GET    /api/v1/jobs/{id}/result final CampaignResult of a finished job
+//	POST   /api/v1/jobs/{id}/cancel cancel a queued or running job
+//	DELETE /api/v1/jobs/{id}        alias for cancel
+//	GET    /api/v1/metrics          service metrics, JSON
+//	GET    /metrics                 service metrics, Prometheus text format
+//	GET    /healthz                 liveness probe
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/classify"
+	"repro/internal/harness"
+)
+
+// JobSpec is a campaign submission: the same knobs cmd/campaign exposes for
+// a local run, minus scheduling concerns (worker counts and checkpoint
+// paths belong to the daemon).
+type JobSpec struct {
+	// App names the proxy application (LULESH, LAMMPS, miniFE, AMG2013,
+	// MCB).
+	App string `json:"app"`
+	// Scale selects the workload size: "default" (campaign scale, the
+	// default) or "test" (unit-test scale).
+	Scale string `json:"scale,omitempty"`
+	// Runs is the number of injection experiments.
+	Runs int `json:"runs"`
+	// Seed drives all campaign randomness; a job is reproducible from its
+	// spec alone.
+	Seed uint64 `json:"seed"`
+	// MultiFaultLambda, when positive, switches to Poisson multi-fault
+	// mode.
+	MultiFaultLambda float64 `json:"multiFaultLambda,omitempty"`
+	// HangFactor multiplies the golden cycle count into the hang budget
+	// (0: harness default).
+	HangFactor float64 `json:"hangFactor,omitempty"`
+	// SampleEvery subsamples CML traces (cycles between samples).
+	SampleEvery uint64 `json:"sampleEvery,omitempty"`
+	// MaxSummaries bounds retained per-experiment summaries (0: keep all).
+	MaxSummaries int `json:"maxSummaries,omitempty"`
+	// Priority orders the queue: higher runs first, ties run in submission
+	// order.
+	Priority int `json:"priority,omitempty"`
+	// Label is a free-form operator annotation.
+	Label string `json:"label,omitempty"`
+}
+
+// Validate checks the spec without building anything.
+func (s JobSpec) Validate() error {
+	if apps.ByName(s.App) == nil {
+		return fmt.Errorf("service: unknown app %q", s.App)
+	}
+	if s.Runs <= 0 {
+		return fmt.Errorf("service: job needs runs > 0")
+	}
+	switch s.Scale {
+	case "", "default", "test":
+	default:
+		return fmt.Errorf("service: unknown scale %q (want default or test)", s.Scale)
+	}
+	return nil
+}
+
+// CampaignConfig translates the spec into the harness configuration that a
+// local run with the same flags would produce, so results are identical
+// across transports. Scheduling fields (Workers, Checkpoint, Gate,
+// Progress, hooks) are left for the scheduler to fill in.
+func (s JobSpec) CampaignConfig() (harness.CampaignConfig, error) {
+	if err := s.Validate(); err != nil {
+		return harness.CampaignConfig{}, err
+	}
+	app := apps.ByName(s.App)
+	p := app.DefaultParams()
+	if s.Scale == "test" {
+		p = app.TestParams()
+	}
+	return harness.CampaignConfig{
+		App:              app,
+		Params:           p,
+		Runs:             s.Runs,
+		Seed:             s.Seed,
+		MultiFaultLambda: s.MultiFaultLambda,
+		HangFactor:       s.HangFactor,
+		SampleEvery:      s.SampleEvery,
+		MaxSummaries:     s.MaxSummaries,
+	}, nil
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a job slot. Jobs that were running
+	// when the daemon stopped return to StateQueued with their journal
+	// intact and resume from it.
+	StateQueued JobState = "queued"
+	// StateRunning: executing experiments.
+	StateRunning JobState = "running"
+	// StateDone: completed every run; the result is fetchable.
+	StateDone JobState = "done"
+	// StateFailed: the campaign returned an error other than cancellation.
+	StateFailed JobState = "failed"
+	// StateCancelled: cancelled by a client; terminal.
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobStatus is the client-visible record of one job.
+type JobStatus struct {
+	ID      string    `json:"id"`
+	Spec    JobSpec   `json:"spec"`
+	State   JobState  `json:"state"`
+	Created time.Time `json:"created"`
+	Started time.Time `json:"started"`
+	// Finished is set on terminal states; for a job returned to the queue
+	// by a daemon restart it stays zero.
+	Finished time.Time `json:"finished"`
+	Error    string    `json:"error,omitempty"`
+	// Resumed counts experiments replayed from the checkpoint journal the
+	// last time the job (re)started — nonzero after a daemon restart.
+	Resumed int `json:"resumed,omitempty"`
+	// Progress is a live snapshot, present while the job runs.
+	Progress *harness.Snapshot `json:"progress,omitempty"`
+	// Tally and FPS summarize a done job (the full CampaignResult is at
+	// /api/v1/jobs/{id}/result).
+	Tally *classify.Tally `json:"tally,omitempty"`
+	FPS   float64         `json:"fps,omitempty"`
+}
+
+// EventKind discriminates stream events.
+type EventKind string
+
+const (
+	// EventState: the job changed lifecycle state (Status carries it).
+	EventState EventKind = "state"
+	// EventExperiment: one experiment completed (replayed journal records
+	// stream first on resume, flagged Resumed).
+	EventExperiment EventKind = "experiment"
+	// EventProgress: a periodic progress snapshot.
+	EventProgress EventKind = "progress"
+	// EventResult: the job finished; Tally and FPS carry the final
+	// aggregate. Always the last event of a successful stream.
+	EventResult EventKind = "result"
+)
+
+// Event is one NDJSON stream record.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	Job  string    `json:"job"`
+	// Seq orders events within one job's stream.
+	Seq        uint64            `json:"seq"`
+	State      JobState          `json:"state,omitempty"`
+	Error      string            `json:"error,omitempty"`
+	Experiment *ExperimentEvent  `json:"experiment,omitempty"`
+	Progress   *harness.Snapshot `json:"progress,omitempty"`
+	Tally      *classify.Tally   `json:"tally,omitempty"`
+	FPS        float64           `json:"fps,omitempty"`
+}
+
+// ExperimentEvent condenses one completed experiment for streaming; the
+// full summaries live in the job's result.
+type ExperimentEvent struct {
+	ID      int    `json:"id"`
+	Outcome string `json:"outcome"`
+	Rank    int    `json:"rank"`
+	Cycle   uint64 `json:"cycle,omitempty"`
+	Fired   bool   `json:"fired"`
+	MaxCML  int    `json:"maxCML,omitempty"`
+	// Resumed marks records delivered from the checkpoint journal (a
+	// daemon restart, or a watcher attaching after the experiment ran)
+	// rather than observed live.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// Metrics is the /api/v1/metrics document.
+type Metrics struct {
+	// QueueDepth counts jobs waiting for a slot; RunningJobs counts jobs
+	// currently executing.
+	QueueDepth  int `json:"queueDepth"`
+	RunningJobs int `json:"runningJobs"`
+	// JobSlots and WorkerPool echo the daemon's configured capacity.
+	JobSlots   int `json:"jobSlots"`
+	WorkerPool int `json:"workerPool"`
+	// WorkersBusy counts experiments executing right now across all jobs.
+	WorkersBusy int `json:"workersBusy"`
+	// Utilization is WorkersBusy over WorkerPool, in [0, 1].
+	Utilization float64 `json:"utilization"`
+	// RunsPerSec sums the live throughput of all running jobs.
+	RunsPerSec float64 `json:"runsPerSec"`
+	// JobsDone/Failed/Cancelled count terminal jobs this daemon lifetime
+	// plus those loaded from the store.
+	JobsDone      int `json:"jobsDone"`
+	JobsFailed    int `json:"jobsFailed"`
+	JobsCancelled int `json:"jobsCancelled"`
+	// Outcomes counts completed experiments per outcome class, summed over
+	// terminal tallies and live progress.
+	Outcomes map[string]int `json:"outcomes"`
+	// Jobs carries per-job progress for queued and running jobs.
+	Jobs []JobMetrics `json:"jobs"`
+}
+
+// JobMetrics is one queued or running job inside Metrics.
+type JobMetrics struct {
+	ID         string   `json:"id"`
+	State      JobState `json:"state"`
+	Priority   int      `json:"priority"`
+	Done       int      `json:"done"`
+	Total      int      `json:"total"`
+	Resumed    int      `json:"resumed,omitempty"`
+	RunsPerSec float64  `json:"runsPerSec,omitempty"`
+}

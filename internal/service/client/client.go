@@ -1,0 +1,290 @@
+// Package client is the typed Go client for faultpropd, the campaign
+// service daemon (internal/service). It covers the whole job lifecycle —
+// submit, watch the live event stream, cancel, fetch the final result —
+// with context cancellation everywhere and bounded retry on transient
+// failures of idempotent calls.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+// Client talks to one faultpropd instance.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times idempotent requests are retried after
+// transient failures (connection errors, 5xx). Default 3.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base retry backoff, doubled per attempt. Default
+// 100ms.
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New creates a client for the daemon at base, e.g. "http://127.0.0.1:7207"
+// (a bare host:port is given the http scheme).
+func New(base string, opts ...Option) (*Client, error) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("client: base URL: %w", err)
+	}
+	c := &Client{
+		base:    strings.TrimSuffix(u.String(), "/"),
+		hc:      &http.Client{},
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: daemon returned %d: %s", e.Status, e.Message)
+}
+
+// retryable reports whether an attempt may be retried: transport errors
+// and 5xx responses are transient, 4xx are not.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500
+	}
+	return err != nil
+}
+
+// do runs one request and decodes a JSON response into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// doRetry is do with bounded exponential backoff; only for idempotent
+// requests.
+func (c *Client) doRetry(ctx context.Context, method, path string, body, out any) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = c.do(ctx, method, path, body, out); err == nil || !retryable(err) {
+			return err
+		}
+		if attempt >= c.retries {
+			return err
+		}
+		select {
+		case <-time.After(c.backoff << attempt):
+		case <-ctx.Done():
+			return fmt.Errorf("client: %w (last error: %v)", ctx.Err(), err)
+		}
+	}
+}
+
+// Submit queues a new campaign job. Submission is not idempotent, so it is
+// never retried; callers that need at-most-once semantics on flaky links
+// should list jobs before resubmitting.
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.doRetry(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Jobs lists every job the daemon knows.
+func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
+	var list []service.JobStatus
+	err := c.doRetry(ctx, http.MethodGet, "/api/v1/jobs", nil, &list)
+	return list, err
+}
+
+// Cancel stops a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &st)
+	return st, err
+}
+
+// Result fetches a done job's full campaign result.
+func (c *Client) Result(ctx context.Context, id string) (*harness.CampaignResult, error) {
+	var res harness.CampaignResult
+	if err := c.doRetry(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id)+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Metrics fetches the service metrics document.
+func (c *Client) Metrics(ctx context.Context) (service.Metrics, error) {
+	var m service.Metrics
+	err := c.doRetry(ctx, http.MethodGet, "/api/v1/metrics", nil, &m)
+	return m, err
+}
+
+// Watch streams a job's events, invoking fn for each one until the job
+// reaches a terminal state, ctx is cancelled, or fn returns an error
+// (which Watch returns). A dropped connection before the terminal event
+// reconnects with the client's retry budget; the server re-sends the
+// current state on reconnect, so fn may observe duplicate state events.
+// Watch returns the job's terminal status.
+func (c *Client) Watch(ctx context.Context, id string, fn func(service.Event) error) (service.JobStatus, error) {
+	attempt := 0
+	for {
+		terminal, err := c.watchOnce(ctx, id, fn)
+		if terminal || !retryable(err) {
+			if err != nil {
+				return service.JobStatus{}, err
+			}
+			return c.Job(ctx, id)
+		}
+		if attempt >= c.retries {
+			return service.JobStatus{}, fmt.Errorf("client: watch job %s: %w", id, err)
+		}
+		select {
+		case <-time.After(c.backoff << attempt):
+		case <-ctx.Done():
+			return service.JobStatus{}, ctx.Err()
+		}
+		attempt++
+	}
+}
+
+// watchOnce runs one streaming connection. terminal reports whether a
+// terminal event arrived (the stream completed its job).
+func (c *Client) watchOnce(ctx context.Context, id string, fn func(service.Event) error) (terminal bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/api/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
+	if err != nil {
+		return false, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("client: watch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return false, &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return false, fmt.Errorf("client: watch: decode event: %w", err)
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return true, err
+			}
+		}
+		if ev.State.Terminal() {
+			return true, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return false, fmt.Errorf("client: watch: %w", err)
+	}
+	// EOF without a terminal event: the connection dropped mid-stream.
+	return false, fmt.Errorf("client: watch: stream ended before job %s settled", id)
+}
+
+// Run is the full lifecycle in one call: submit the spec, watch its stream
+// (fn may be nil), and fetch the final result. A cancelled ctx leaves the
+// job running on the daemon — cancel it explicitly for teardown. A job
+// that settles as failed or cancelled returns an error carrying the
+// terminal status.
+func (c *Client) Run(ctx context.Context, spec service.JobSpec, fn func(service.Event) error) (*harness.CampaignResult, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	final, err := c.Watch(ctx, st.ID, fn)
+	if err != nil {
+		return nil, err
+	}
+	if final.State != service.StateDone {
+		return nil, fmt.Errorf("client: job %s settled as %s: %s", st.ID, final.State, final.Error)
+	}
+	return c.Result(ctx, st.ID)
+}

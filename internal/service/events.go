@@ -1,0 +1,82 @@
+package service
+
+import "sync"
+
+// hub fans one job's event stream out to any number of subscribers. Events
+// are delivered best-effort: a subscriber that falls subscriberBuffer
+// events behind is disconnected rather than allowed to stall the job
+// (stream handlers then report the job's current status as a final event,
+// and the durable truth is always fetchable from the store). The hub closes
+// when the job reaches a terminal state, which closes every subscriber
+// channel after its buffered events drain.
+type hub struct {
+	mu     sync.Mutex
+	seq    uint64
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+const subscriberBuffer = 256
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan Event]struct{})}
+}
+
+// subscribe registers a new subscriber. The returned cancel is idempotent
+// and safe to call after the hub closed.
+func (h *hub) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, subscriberBuffer)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			if _, ok := h.subs[ch]; ok {
+				delete(h.subs, ch)
+				close(ch)
+			}
+		})
+	}
+}
+
+// publish stamps the event's sequence number and delivers it to every
+// subscriber that has room, dropping laggards.
+func (h *hub) publish(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	e.Seq = h.seq
+	for ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// close ends the stream: every subscriber channel closes once its buffered
+// events are drained, and future publishes are dropped.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,668 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/harness"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Dir is the job store directory (status records, checkpoint journals,
+	// results). Required.
+	Dir string
+	// JobSlots bounds concurrently running campaigns (0: 2).
+	JobSlots int
+	// WorkerPool bounds total experiment parallelism across all running
+	// campaigns, shared fairly through a token gate (0: GOMAXPROCS).
+	WorkerPool int
+	// ProgressEvery is the interval between streamed progress events for a
+	// running job (0: 500ms).
+	ProgressEvery time.Duration
+}
+
+// Server is the faultpropd campaign service: it owns the job store, the
+// scheduler, and the HTTP API. Create with New, call Start to recover
+// persisted jobs and begin dispatching, serve Handler over HTTP, and stop
+// with Drain.
+type Server struct {
+	cfg   Config
+	store *Store
+	sched *scheduler
+	gate  chan struct{}
+	mux   *http.ServeMux
+
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+// New creates a Server over the given store directory. Call Start before
+// serving traffic.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("service: Config.Dir is required")
+	}
+	if cfg.JobSlots <= 0 {
+		cfg.JobSlots = 2
+	}
+	if cfg.WorkerPool <= 0 {
+		cfg.WorkerPool = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 500 * time.Millisecond
+	}
+	store, err := OpenStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		gate:  make(chan struct{}, cfg.WorkerPool),
+		jobs:  make(map[string]*job),
+	}
+	for i := 0; i < cfg.WorkerPool; i++ {
+		s.gate <- struct{}{}
+	}
+	s.sched = newScheduler(cfg.JobSlots, s.runJob)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Start recovers persisted jobs and begins dispatching. Jobs that were
+// queued or running when the previous daemon stopped return to the queue
+// and resume from their checkpoint journals: completed experiments replay
+// from disk instead of re-running.
+func (s *Server) Start() error {
+	persisted, err := s.store.LoadAll()
+	if err != nil {
+		return err
+	}
+	for _, st := range persisted {
+		j := &job{status: st, hub: newHub()}
+		if st.State.Terminal() {
+			j.hub.close()
+			s.mu.Lock()
+			s.jobs[st.ID] = j
+			s.mu.Unlock()
+			continue
+		}
+		j.status.State = StateQueued
+		j.status.Started = time.Time{}
+		j.status.Progress = nil
+		if err := s.store.SaveStatus(j.status); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.jobs[st.ID] = j
+		s.mu.Unlock()
+		s.sched.enqueue(j)
+	}
+	s.sched.start()
+	return nil
+}
+
+// Drain gracefully stops the server: no new jobs are dispatched, running
+// campaigns are interrupted (their journals hold every completed
+// experiment and their status records return to queued), and Drain waits
+// for them to settle or for ctx to expire.
+func (s *Server) Drain(ctx context.Context) error {
+	s.sched.drain()
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.requestStop(stopDrain)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.sched.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+}
+
+// Handler returns the HTTP API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Submit validates and persists a new job and queues it for execution.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	if spec.Scale == "" {
+		spec.Scale = "default"
+	}
+	j := &job{
+		status: JobStatus{
+			ID:      s.store.NewID(),
+			Spec:    spec,
+			State:   StateQueued,
+			Created: time.Now().UTC(),
+		},
+		hub: newHub(),
+	}
+	if err := s.store.SaveStatus(j.status); err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	s.jobs[j.status.ID] = j
+	s.mu.Unlock()
+	s.sched.enqueue(j)
+	return j.snapshot(), nil
+}
+
+// Cancel stops a queued or running job. Cancelling a terminal job is a
+// no-op that returns its current status.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	j := s.job(id)
+	if j == nil {
+		return JobStatus{}, errNotFound
+	}
+	if s.sched.remove(j) {
+		j.mu.Lock()
+		j.status.State = StateCancelled
+		j.status.Finished = time.Now().UTC()
+		st := j.status
+		j.mu.Unlock()
+		if err := s.store.SaveStatus(st); err != nil {
+			return st, err
+		}
+		j.hub.publish(Event{Kind: EventState, Job: st.ID, State: StateCancelled})
+		j.hub.close()
+		return st, nil
+	}
+	j.requestStop(stopCancel)
+	return j.snapshot(), nil
+}
+
+// Job returns one job's status.
+func (s *Server) Job(id string) (JobStatus, error) {
+	j := s.job(id)
+	if j == nil {
+		return JobStatus{}, errNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// Jobs lists every known job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	list := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		list = append(list, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(list))
+	for i, j := range list {
+		out[i] = j.snapshot()
+	}
+	sort.Slice(out, func(i, k int) bool {
+		a, _ := strconv.Atoi(out[i].ID)
+		b, _ := strconv.Atoi(out[k].ID)
+		return a < b
+	})
+	return out
+}
+
+// Result loads a done job's full campaign result.
+func (s *Server) Result(id string) (*harness.CampaignResult, error) {
+	j := s.job(id)
+	if j == nil {
+		return nil, errNotFound
+	}
+	res, err := s.store.LoadResult(id)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("service: job %s has no result (state %s)", id, j.snapshot().State)
+	}
+	return res, err
+}
+
+var errNotFound = errors.New("service: no such job")
+
+func (s *Server) job(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// runJob executes one campaign to completion, cancellation, or drain. It
+// is the scheduler's run callback and runs on a dedicated goroutine.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	prog := &harness.Progress{}
+
+	j.mu.Lock()
+	// A drain or cancel may have raced dispatch; honor it before starting.
+	if j.reason != stopNone {
+		alreadyStopped := j.reason
+		j.mu.Unlock()
+		s.settleStopped(j, alreadyStopped, nil)
+		return
+	}
+	j.cancel = cancel
+	j.prog = prog
+	j.status.State = StateRunning
+	j.status.Started = time.Now().UTC()
+	j.status.Error = ""
+	st := j.status
+	j.mu.Unlock()
+
+	if err := s.store.SaveStatus(st); err != nil {
+		s.fail(j, fmt.Errorf("persist: %w", err))
+		return
+	}
+	j.hub.publish(Event{Kind: EventState, Job: st.ID, State: StateRunning})
+
+	cfg, err := st.Spec.CampaignConfig()
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	cfg.Workers = s.cfg.WorkerPool
+	cfg.Gate = s.gate
+	cfg.Progress = prog
+	cfg.Checkpoint = s.store.JournalPath(st.ID)
+	// Resume is unconditional: a fresh job has no journal yet (the harness
+	// starts one), and a redispatched job replays its completed
+	// experiments instead of re-running them.
+	cfg.Resume = true
+	cfg.OnExperiment = func(sum harness.ExperimentSummary, resumed bool) {
+		j.hub.publish(Event{Kind: EventExperiment, Job: st.ID, Experiment: &ExperimentEvent{
+			ID:      sum.ID,
+			Outcome: sum.Outcome.String(),
+			Rank:    sum.InjRank,
+			Cycle:   sum.InjCycle,
+			Fired:   sum.Fired,
+			MaxCML:  sum.MaxCML,
+			Resumed: resumed,
+		}})
+	}
+
+	// Periodic progress events for watchers.
+	tickDone := make(chan struct{})
+	go func() {
+		t := time.NewTicker(s.cfg.ProgressEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				snap := prog.Snapshot()
+				j.hub.publish(Event{Kind: EventProgress, Job: st.ID, State: StateRunning, Progress: &snap})
+			case <-tickDone:
+				return
+			}
+		}
+	}()
+
+	res, err := harness.RunCampaignContext(ctx, cfg)
+	close(tickDone)
+
+	j.mu.Lock()
+	j.cancel = nil
+	j.status.Resumed = prog.Snapshot().Resumed
+	reason := j.reason
+	j.mu.Unlock()
+
+	switch {
+	case err == nil:
+		s.finish(j, res)
+	case errors.Is(err, harness.ErrInterrupted) && reason != stopNone:
+		s.settleStopped(j, reason, err)
+	default:
+		s.fail(j, err)
+	}
+}
+
+// finish records a successful campaign: result persisted, status done,
+// result event streamed, stream closed.
+func (s *Server) finish(j *job, res *harness.CampaignResult) {
+	if err := s.store.SaveResult(j.status.ID, res); err != nil {
+		s.fail(j, err)
+		return
+	}
+	tally := res.Tally
+	j.mu.Lock()
+	j.status.State = StateDone
+	j.status.Finished = time.Now().UTC()
+	j.status.Tally = &tally
+	j.status.FPS = res.Model.FPS
+	st := j.status
+	j.mu.Unlock()
+	if err := s.store.SaveStatus(st); err != nil {
+		s.fail(j, err)
+		return
+	}
+	j.hub.publish(Event{Kind: EventResult, Job: st.ID, State: StateDone, Tally: &tally, FPS: st.FPS})
+	j.hub.close()
+}
+
+// settleStopped resolves an interrupted job: a client cancel is terminal,
+// a drain returns the job to the queue so the next daemon start resumes
+// it from its journal.
+func (s *Server) settleStopped(j *job, reason stopReason, cause error) {
+	j.mu.Lock()
+	if reason == stopCancel {
+		j.status.State = StateCancelled
+		j.status.Finished = time.Now().UTC()
+	} else {
+		j.status.State = StateQueued
+		j.status.Started = time.Time{}
+		j.status.Finished = time.Time{}
+	}
+	if cause != nil {
+		j.status.Error = cause.Error()
+	}
+	st := j.status
+	j.mu.Unlock()
+	// Persistence failure here must not look like success; surface it in
+	// the stored record on the next save, but keep the in-memory state.
+	_ = s.store.SaveStatus(st)
+	j.hub.publish(Event{Kind: EventState, Job: st.ID, State: st.State, Error: st.Error})
+	if st.State.Terminal() {
+		j.hub.close()
+	}
+}
+
+// fail marks a job failed.
+func (s *Server) fail(j *job, err error) {
+	j.mu.Lock()
+	j.status.State = StateFailed
+	j.status.Finished = time.Now().UTC()
+	j.status.Error = err.Error()
+	st := j.status
+	j.mu.Unlock()
+	_ = s.store.SaveStatus(st)
+	j.hub.publish(Event{Kind: EventState, Job: st.ID, State: StateFailed, Error: st.Error})
+	j.hub.close()
+}
+
+// Metrics assembles the service metrics document.
+func (s *Server) Metrics() Metrics {
+	queued, running := s.sched.counts()
+	m := Metrics{
+		QueueDepth:  queued,
+		RunningJobs: running,
+		JobSlots:    s.cfg.JobSlots,
+		WorkerPool:  s.cfg.WorkerPool,
+		Outcomes:    make(map[string]int),
+	}
+	for _, st := range s.Jobs() {
+		switch st.State {
+		case StateDone:
+			m.JobsDone++
+		case StateFailed:
+			m.JobsFailed++
+		case StateCancelled:
+			m.JobsCancelled++
+		}
+		var outcomes [classify.NumOutcomes]int
+		jm := JobMetrics{
+			ID:       st.ID,
+			State:    st.State,
+			Priority: st.Spec.Priority,
+			Total:    st.Spec.Runs,
+			Resumed:  st.Resumed,
+		}
+		switch {
+		case st.Progress != nil:
+			jm.Done = st.Progress.Done
+			jm.RunsPerSec = st.Progress.RunsPerSec
+			outcomes = st.Progress.Outcomes
+			m.WorkersBusy += st.Progress.Running
+			m.RunsPerSec += st.Progress.RunsPerSec
+		case st.Tally != nil:
+			jm.Done = st.Tally.Total
+			outcomes = st.Tally.Counts
+		}
+		for o := 0; o < classify.NumOutcomes; o++ {
+			if outcomes[o] > 0 {
+				m.Outcomes[classify.Outcome(o).String()] += outcomes[o]
+			}
+		}
+		if !st.State.Terminal() {
+			m.Jobs = append(m.Jobs, jm)
+		}
+	}
+	if m.WorkerPool > 0 {
+		m.Utilization = float64(m.WorkersBusy) / float64(m.WorkerPool)
+	}
+	return m
+}
+
+// routes installs the HTTP API.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+			return
+		}
+		st, err := s.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+	s.mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	cancel := func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if errors.Is(err, errNotFound) {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}
+	s.mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", cancel)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", cancel)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, err := s.Result(r.PathValue("id"))
+		if errors.Is(err, errNotFound) {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+}
+
+// handleStream serves a job's event stream as NDJSON (default) or SSE
+// (Accept: text/event-stream). The stream is lossless for experiments: a
+// watcher attaching at any point — mid-run, or after the job settled —
+// first receives every journaled experiment, then live events. It ends
+// with a terminal event; for a done job that event carries the tally and
+// FPS, so a watcher needs no extra round trip for the headline numbers.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, errNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("service: streaming unsupported"))
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before snapshotting so no event between the snapshot and
+	// the subscription is lost.
+	ch, unsubscribe := j.hub.subscribe()
+	defer unsubscribe()
+	enc := json.NewEncoder(w)
+	write := func(e Event) bool {
+		if sse {
+			fmt.Fprintf(w, "data: ")
+		}
+		if err := enc.Encode(e); err != nil {
+			return false
+		}
+		if sse {
+			fmt.Fprintf(w, "\n")
+		}
+		flusher.Flush()
+		return true
+	}
+
+	// A terminal state must be the stream's last event (watchers stop on
+	// it), so for a settled job the opening status is withheld and only
+	// the closing event reports it — after the history replays.
+	st := j.snapshot()
+	if !st.State.Terminal() {
+		if !write(Event{Kind: EventState, Job: st.ID, State: st.State, Error: st.Error, Progress: st.Progress}) {
+			return
+		}
+	}
+
+	// The journal is flushed before each experiment event publishes, so
+	// replaying it here (after subscribing, before forwarding) makes the
+	// stream lossless: experiments completed before this watcher attached
+	// come from disk, later ones arrive live, and the overlap dedups by
+	// experiment ID. A finished job replays its entire history.
+	seen := make(map[int]bool)
+	sums, err := harness.LoadJournalSummaries(s.store.JournalPath(st.ID))
+	if err == nil {
+		for _, sum := range sums {
+			seen[sum.ID] = true
+			ok := write(Event{Kind: EventExperiment, Job: st.ID, Experiment: &ExperimentEvent{
+				ID:      sum.ID,
+				Outcome: sum.Outcome.String(),
+				Rank:    sum.InjRank,
+				Cycle:   sum.InjCycle,
+				Fired:   sum.Fired,
+				MaxCML:  sum.MaxCML,
+				Resumed: true,
+			}})
+			if !ok {
+				return
+			}
+		}
+	}
+	sentTerminal := false
+
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				// Hub closed (job settled) or this watcher lagged and was
+				// dropped: report the job's current state as the final
+				// event unless a terminal event already went out.
+				if !sentTerminal {
+					st := j.snapshot()
+					final := Event{Kind: EventState, Job: st.ID, State: st.State, Error: st.Error}
+					if st.State == StateDone {
+						final.Kind = EventResult
+						final.Tally = st.Tally
+						final.FPS = st.FPS
+					}
+					write(final)
+				}
+				return
+			}
+			if e.Experiment != nil {
+				if seen[e.Experiment.ID] {
+					continue
+				}
+				seen[e.Experiment.ID] = true
+			}
+			if !write(e) {
+				return
+			}
+			if e.State.Terminal() {
+				sentTerminal = true
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handlePromMetrics renders Metrics in the Prometheus text exposition
+// format.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE faultpropd_queue_depth gauge\nfaultpropd_queue_depth %d\n", m.QueueDepth)
+	fmt.Fprintf(w, "# TYPE faultpropd_jobs_running gauge\nfaultpropd_jobs_running %d\n", m.RunningJobs)
+	fmt.Fprintf(w, "# TYPE faultpropd_job_slots gauge\nfaultpropd_job_slots %d\n", m.JobSlots)
+	fmt.Fprintf(w, "# TYPE faultpropd_worker_pool gauge\nfaultpropd_worker_pool %d\n", m.WorkerPool)
+	fmt.Fprintf(w, "# TYPE faultpropd_workers_busy gauge\nfaultpropd_workers_busy %d\n", m.WorkersBusy)
+	fmt.Fprintf(w, "# TYPE faultpropd_worker_utilization gauge\nfaultpropd_worker_utilization %g\n", m.Utilization)
+	fmt.Fprintf(w, "# TYPE faultpropd_runs_per_sec gauge\nfaultpropd_runs_per_sec %g\n", m.RunsPerSec)
+	fmt.Fprintf(w, "# TYPE faultpropd_jobs_done_total counter\nfaultpropd_jobs_done_total %d\n", m.JobsDone)
+	fmt.Fprintf(w, "# TYPE faultpropd_jobs_failed_total counter\nfaultpropd_jobs_failed_total %d\n", m.JobsFailed)
+	fmt.Fprintf(w, "# TYPE faultpropd_jobs_cancelled_total counter\nfaultpropd_jobs_cancelled_total %d\n", m.JobsCancelled)
+	fmt.Fprintf(w, "# TYPE faultpropd_runs_total counter\n")
+	for o := 0; o < classify.NumOutcomes; o++ {
+		name := classify.Outcome(o).String()
+		fmt.Fprintf(w, "faultpropd_runs_total{outcome=%q} %d\n", name, m.Outcomes[name])
+	}
+	fmt.Fprintf(w, "# TYPE faultpropd_job_runs_done gauge\n")
+	for _, jm := range m.Jobs {
+		fmt.Fprintf(w, "faultpropd_job_runs_done{job=%q,state=%q} %d\n", jm.ID, jm.State, jm.Done)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
