@@ -29,6 +29,33 @@ import (
 
 const benchRuns = 30 // experiments per app per benchmark iteration
 
+// BenchmarkExperimentThroughput is the campaign hot-path yardstick: one op
+// is one fault-injection experiment of a fixed-seed hydro campaign on a
+// single worker (build, instrumentation and the golden run are amortized
+// across the op count by running them once per campaign invocation). The
+// runs/s metric is the number future perf PRs must not regress; allocs/op
+// tracks the steady-state experiment loop (the 8 MiB-per-experiment
+// address-space tax shows up here).
+func BenchmarkExperimentThroughput(b *testing.B) {
+	app := apps.NewHydro()
+	b.ReportAllocs()
+	res, err := harness.RunCampaign(harness.CampaignConfig{
+		App:         app,
+		Params:      app.TestParams(),
+		Runs:        b.N,
+		Seed:        2015,
+		SampleEvery: 64,
+		Workers:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Tally.Total != b.N {
+		b.Fatalf("tally covers %d runs, want %d", res.Tally.Total, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
 func benchCampaign(b *testing.B, app apps.App, runs int) *harness.CampaignResult {
 	b.Helper()
 	res, err := harness.RunCampaign(harness.CampaignConfig{

@@ -8,6 +8,7 @@
 //	campaign [-runs N] [-seed S] [-apps LULESH,miniFE] [-scale test|default]
 //	         [-multifault LAMBDA] [-workers N] [-checkpoint PATH] [-resume]
 //	         [-progress INTERVAL] [-remote ADDR] [-priority N]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // The paper uses 5,000 runs per application on 1,024 cores; the default
 // here is sized for a laptop. Increase -runs for tighter statistics.
@@ -36,6 +37,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -62,6 +65,8 @@ func main() {
 	maxSummaries := flag.Int("max-summaries", 0, "retain at most this many per-experiment summaries (0: all)")
 	remote := flag.String("remote", "", "submit to a faultpropd daemon at this address instead of running locally")
 	priority := flag.Int("priority", 0, "job priority for -remote submissions (higher runs first)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := flag.String("memprofile", "", "write an end-of-campaign heap profile to this file")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
@@ -88,6 +93,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var results []*harness.CampaignResult
 	if *remote != "" {
 		results = runRemote(ctx, *remote, selected, remoteOpts{
@@ -102,6 +121,25 @@ func main() {
 			sample: *sample, maxSummaries: *maxSummaries, workers: *workers,
 			checkpoint: *checkpoint, resume: *resume, progressEvery: *progressEvery,
 		})
+	}
+
+	if *cpuProfile != "" {
+		// Stop explicitly so the profile covers the campaigns, not the
+		// rendering below (the deferred stop then no-ops).
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	render(results)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	faultpropd [-addr HOST:PORT] [-data DIR] [-jobs N] [-pool N]
-//	           [-progress INTERVAL] [-drain-timeout D]
+//	           [-progress INTERVAL] [-drain-timeout D] [-pprof HOST:PORT]
 //
 // Every job is journaled under -data: killing the daemon (SIGINT/SIGTERM)
 // drains gracefully — running campaigns checkpoint and return to the
@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,7 +41,24 @@ func main() {
 	pool := flag.Int("pool", 0, "experiment workers shared across campaigns (0: GOMAXPROCS)")
 	progressEvery := flag.Duration("progress", 500*time.Millisecond, "interval between streamed progress events")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for running campaigns to checkpoint on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof diagnostics on this address (empty: off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux; serve them
+		// on their own listener so profiling never mixes with the API.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultpropd: pprof listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("faultpropd pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "faultpropd: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	srv, err := service.New(service.Config{
 		Dir:           *data,

@@ -42,6 +42,57 @@ type RunConfig struct {
 	// MemFaults maps rank -> direct memory-level faults (the
 	// injection-model ablation).
 	MemFaults map[int][]vm.MemFault
+	// Reuse, when non-nil, recycles the allocation-heavy run infrastructure
+	// (per-rank VM state and the MPI job fabric) across consecutive Run
+	// calls. A Reuse must be owned by a single worker: pass it to one Run
+	// at a time.
+	Reuse *Reuse
+}
+
+// Reuse bundles what a campaign worker recycles between experiments: one
+// vm.State per rank, the MPI job (mailbox channels, endpoints and their
+// timers), the per-rank injectors and trace recorders, and the runner's own
+// scratch. Observable results are identical with or without it.
+type Reuse struct {
+	states []*vm.State
+	job    *mpi.Job
+	injs   []*inject.RankInjector
+	recs   []*trace.Recorder
+	// ptsHint/ticksHint remember the previous run's series lengths so the
+	// recorder's escaping slices are allocated once at the right size.
+	ptsHint   []int
+	ticksHint []int
+	rs        []rankState
+	done      chan int
+	// regions caches RegionsOf(regionsProg), a pure function of the
+	// program that every run needs.
+	regionsProg *ir.Program
+	regions     []StructRegion
+}
+
+// NewReuse prepares a reuse bundle for jobs of the given rank count.
+func NewReuse(ranks int) *Reuse {
+	r := &Reuse{
+		states:    make([]*vm.State, ranks),
+		injs:      make([]*inject.RankInjector, ranks),
+		recs:      make([]*trace.Recorder, ranks),
+		ptsHint:   make([]int, ranks),
+		ticksHint: make([]int, ranks),
+		rs:        make([]rankState, ranks),
+		done:      make(chan int, ranks),
+	}
+	for i := range r.states {
+		r.states[i] = vm.NewState()
+		r.injs[i] = inject.NewRankInjector(inject.Plan{}, i)
+		r.recs[i] = &trace.Recorder{}
+	}
+	return r
+}
+
+type rankState struct {
+	v   *vm.VM
+	rec *trace.Recorder
+	inj *inject.RankInjector
 }
 
 // RankResult is one rank's observation of a run.
@@ -111,24 +162,57 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 	if cfg.Ranks <= 0 {
 		cfg.Ranks = 1
 	}
-	job := mpi.NewJob(cfg.Ranks, cfg.Timeout)
+	var job *mpi.Job
+	if cfg.Reuse != nil && cfg.Reuse.job != nil && cfg.Reuse.job.Recycle(cfg.Ranks, cfg.Timeout) {
+		job = cfg.Reuse.job
+	} else {
+		job = mpi.NewJob(cfg.Ranks, cfg.Timeout)
+	}
+	if cfg.Reuse != nil {
+		// Keep the job for the next run; Recycle rejects it if this run
+		// aborts it.
+		cfg.Reuse.job = job
+	}
 	out := RunOutcome{
 		Ranks:     make([]RankResult, cfg.Ranks),
 		Spread:    &trace.RankSpread{},
 		StructCML: make(map[string]int),
 	}
-	regions := RegionsOf(prog)
-
-	type rankState struct {
-		v   *vm.VM
-		rec *trace.Recorder
-		inj *inject.RankInjector
+	var regions []StructRegion
+	if cfg.Reuse != nil && cfg.Reuse.regionsProg == prog {
+		regions = cfg.Reuse.regions
+	} else {
+		regions = RegionsOf(prog)
+		if cfg.Reuse != nil {
+			cfg.Reuse.regionsProg, cfg.Reuse.regions = prog, regions
+		}
 	}
-	states := make([]rankState, cfg.Ranks)
-	done := make(chan int, cfg.Ranks)
+
+	var states []rankState
+	var done chan int
+	if cfg.Reuse != nil && len(cfg.Reuse.rs) == cfg.Ranks {
+		states, done = cfg.Reuse.rs, cfg.Reuse.done
+	} else {
+		states = make([]rankState, cfg.Ranks)
+		done = make(chan int, cfg.Ranks)
+	}
+	// Build every VM before starting any rank: a construction panic must
+	// not escape while goroutines are already mutating (possibly pooled)
+	// state of earlier ranks.
 	for r := 0; r < cfg.Ranks; r++ {
-		rec := &trace.Recorder{SampleEvery: cfg.SampleEvery}
-		injr := inject.NewRankInjector(cfg.Plan, r)
+		var rec *trace.Recorder
+		var injr *inject.RankInjector
+		var st *vm.State
+		if cfg.Reuse != nil && r < len(cfg.Reuse.states) {
+			st = cfg.Reuse.states[r]
+			rec = cfg.Reuse.recs[r]
+			rec.Reset(cfg.SampleEvery, cfg.Reuse.ptsHint[r], cfg.Reuse.ticksHint[r])
+			injr = cfg.Reuse.injs[r]
+			injr.Reset(cfg.Plan, r)
+		} else {
+			rec = &trace.Recorder{SampleEvery: cfg.SampleEvery}
+			injr = inject.NewRankInjector(cfg.Plan, r)
+		}
 		v := vm.New(prog, vm.Config{
 			MemWords:   cfg.MemWords,
 			CycleLimit: cfg.CycleLimit,
@@ -138,8 +222,11 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 			Abort:      job.Flag(),
 			TrackTaint: cfg.TrackTaint,
 			MemFaults:  cfg.MemFaults[r],
+			State:      st,
 		})
 		states[r] = rankState{v: v, rec: rec, inj: injr}
+	}
+	for r := 0; r < cfg.Ranks; r++ {
 		go func(r int) {
 			defer func() { done <- r }()
 			// A panic escaping the VM (an interpreter bug surfaced by a
@@ -194,6 +281,13 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 		if t, ok := st.rec.FirstContamination(); ok {
 			rr.FirstContam = t
 			rr.Contaminated = true
+		}
+		// Every observation that touches the VM's memory or table is made
+		// by now; the rank's pooled buffers can go back for the next run.
+		if cfg.Reuse != nil && r < len(cfg.Reuse.states) && cfg.Reuse.states[r] != nil {
+			cfg.Reuse.states[r].Reclaim(st.v)
+			cfg.Reuse.ptsHint[r] = len(rr.Points)
+			cfg.Reuse.ticksHint[r] = len(st.rec.Ticks())
 		}
 		if rr.Casualty {
 			continue

@@ -16,23 +16,39 @@ import (
 //
 //	[8B record count N] [N × (8B displacement, 8B pristine)] [payload words]
 func EncodeMessage(payload []uint64, recs []MsgRecord) []byte {
-	buf := make([]byte, 8+16*len(recs)+8*len(payload))
-	binary.LittleEndian.PutUint64(buf, uint64(len(recs)))
-	off := 8
+	return AppendEncodeMessage(nil, payload, recs)
+}
+
+// AppendEncodeMessage is EncodeMessage appending to dst (usually a recycled
+// wire buffer sliced to length zero). Every byte of the returned message is
+// freshly written, so buffer reuse cannot leak prior message content.
+func AppendEncodeMessage(dst []byte, payload []uint64, recs []MsgRecord) []byte {
+	need := 8 + 16*len(recs) + 8*len(payload)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(recs)))
 	for _, r := range recs {
-		binary.LittleEndian.PutUint64(buf[off:], uint64(r.Displacement))
-		binary.LittleEndian.PutUint64(buf[off+8:], r.Pristine)
-		off += 16
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Displacement))
+		dst = binary.LittleEndian.AppendUint64(dst, r.Pristine)
 	}
 	for _, w := range payload {
-		binary.LittleEndian.PutUint64(buf[off:], w)
-		off += 8
+		dst = binary.LittleEndian.AppendUint64(dst, w)
 	}
-	return buf
+	return dst
 }
 
 // DecodeMessage parses a message produced by EncodeMessage.
 func DecodeMessage(buf []byte) (payload []uint64, recs []MsgRecord, err error) {
+	return AppendDecodeMessage(nil, nil, buf)
+}
+
+// AppendDecodeMessage is DecodeMessage appending into caller scratch, so a
+// receiver consuming many messages can reuse its buffers. The returned
+// slices alias the scratch (regrown as needed); on error both are nil.
+func AppendDecodeMessage(payloadDst []uint64, recsDst []MsgRecord, buf []byte) (payload []uint64, recs []MsgRecord, err error) {
 	if len(buf) < 8 {
 		return nil, nil, fmt.Errorf("fpm: message truncated: %d bytes", len(buf))
 	}
@@ -43,19 +59,21 @@ func DecodeMessage(buf []byte) (payload []uint64, recs []MsgRecord, err error) {
 	if n > uint64(len(buf)-off)/16 {
 		return nil, nil, fmt.Errorf("fpm: header claims %d records, message too short", n)
 	}
-	recs = make([]MsgRecord, n)
-	for i := range recs {
-		recs[i].Displacement = int64(binary.LittleEndian.Uint64(buf[off:]))
-		recs[i].Pristine = binary.LittleEndian.Uint64(buf[off+8:])
+	recs = recsDst
+	for i := uint64(0); i < n; i++ {
+		recs = append(recs, MsgRecord{
+			Displacement: int64(binary.LittleEndian.Uint64(buf[off:])),
+			Pristine:     binary.LittleEndian.Uint64(buf[off+8:]),
+		})
 		off += 16
 	}
 	rest := len(buf) - off
 	if rest%8 != 0 {
 		return nil, nil, fmt.Errorf("fpm: payload not word-aligned: %d bytes", rest)
 	}
-	payload = make([]uint64, rest/8)
-	for i := range payload {
-		payload[i] = binary.LittleEndian.Uint64(buf[off:])
+	payload = payloadDst
+	for i := 0; i < rest/8; i++ {
+		payload = append(payload, binary.LittleEndian.Uint64(buf[off:]))
 		off += 8
 	}
 	return payload, recs, nil

@@ -12,12 +12,30 @@
 // tracker from an overestimating taint analysis.
 package fpm
 
-import "sort"
+import (
+	"math"
+	"math/bits"
+	"slices"
+)
 
 // Table is the contamination hash table of one process: corrupted word
-// address -> pristine value. The zero value is not usable; call NewTable.
+// address -> pristine value. It is an open-addressed linear-probing table
+// (the fpm_fetch/fpm_store fast path runs once per instrumented memory
+// access, so lookup cost matters more than space): power-of-two slot count,
+// Fibonacci hashing, and backward-shift deletion so Cleanse leaves no
+// tombstones to slow later probes. The zero value is not usable; call
+// NewTable.
 type Table struct {
-	m map[int64]uint64
+	keys []int64
+	vals []uint64
+	// n is the number of occupied slots (excluding the sentinel entry).
+	n     int
+	shift uint // 64 - log2(len(keys)): Fibonacci hash shift
+	// The empty-slot marker is math.MinInt64; an entry for that address —
+	// unreachable through the VM (all VM addresses are in-bounds, hence
+	// non-negative) but accepted defensively — lives out of band.
+	hasMin bool
+	minVal uint64
 	// peak tracks the maximum number of simultaneously contaminated
 	// locations observed, for Fig. 7f-style reporting.
 	peak int
@@ -27,14 +45,63 @@ type Table struct {
 	everContaminated bool
 }
 
+const (
+	emptySlot = math.MinInt64
+	// fibMult is 2^64 / phi, the multiplicative hashing constant.
+	fibMult = 0x9E3779B97F4A7C15
+	// tableMinSlots sizes a fresh table; most experiments contaminate at
+	// most a few dozen locations.
+	tableMinSlots = 32
+	// tableResetCap bounds the capacity a Reset retains: a pathological
+	// experiment must not pin a huge table inside a long-lived worker pool.
+	tableResetCap = 1 << 15
+)
+
 // NewTable returns an empty contamination table.
 func NewTable() *Table {
-	return &Table{m: make(map[int64]uint64)}
+	t := &Table{}
+	t.initSlots(tableMinSlots)
+	return t
+}
+
+func (t *Table) initSlots(slots int) {
+	t.keys = make([]int64, slots)
+	t.vals = make([]uint64, slots)
+	for i := range t.keys {
+		t.keys[i] = emptySlot
+	}
+	t.shift = 64 - uint(bits.Len(uint(slots-1)))
+	t.n = 0
+}
+
+func (t *Table) home(key int64) int {
+	return int((uint64(key) * fibMult) >> t.shift)
+}
+
+// slot probes for key: it returns the key's slot when present, otherwise
+// the empty slot where it would be inserted.
+func (t *Table) slot(key int64) (int, bool) {
+	mask := len(t.keys) - 1
+	i := t.home(key)
+	for {
+		switch t.keys[i] {
+		case key:
+			return i, true
+		case emptySlot:
+			return i, false
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // Len returns the current number of contaminated locations (the paper's
 // CML, corrupted memory locations).
-func (t *Table) Len() int { return len(t.m) }
+func (t *Table) Len() int {
+	if t.hasMin {
+		return t.n + 1
+	}
+	return t.n
+}
 
 // Peak returns the maximum CML observed so far.
 func (t *Table) Peak() int { return t.peak }
@@ -45,33 +112,108 @@ func (t *Table) Ever() bool { return t.everContaminated }
 // Pristine returns the pristine value for addr and whether addr is
 // contaminated.
 func (t *Table) Pristine(addr int64) (uint64, bool) {
-	v, ok := t.m[addr]
-	return v, ok
+	if addr == emptySlot {
+		return t.minVal, t.hasMin
+	}
+	i, ok := t.slot(addr)
+	if !ok {
+		return 0, false
+	}
+	return t.vals[i], true
 }
 
 // PristineOr returns the pristine value for addr, or fallback when addr is
 // not contaminated. This implements fpm_fetch: the fallback is the actual
 // memory content, which for a clean location is the pristine content.
 func (t *Table) PristineOr(addr int64, fallback uint64) uint64 {
-	if v, ok := t.m[addr]; ok {
-		return v
+	if addr == emptySlot {
+		if t.hasMin {
+			return t.minVal
+		}
+		return fallback
 	}
-	return fallback
+	i, ok := t.slot(addr)
+	if !ok {
+		return fallback
+	}
+	return t.vals[i]
 }
 
 // Record notes that memory at addr now holds a corrupted word whose
 // fault-free content is pristine.
 func (t *Table) Record(addr int64, pristine uint64) {
-	t.m[addr] = pristine
+	if addr == emptySlot {
+		t.hasMin = true
+		t.minVal = pristine
+	} else {
+		i, ok := t.slot(addr)
+		if !ok {
+			// Grow at 3/4 occupancy, before the insert, so the probe chain
+			// found by slot() stays valid.
+			if (t.n+1)*4 > len(t.keys)*3 {
+				t.grow()
+				i, _ = t.slot(addr)
+			}
+			t.keys[i] = addr
+			t.n++
+		}
+		t.vals[i] = pristine
+	}
 	t.everContaminated = true
-	if len(t.m) > t.peak {
-		t.peak = len(t.m)
+	if l := t.Len(); l > t.peak {
+		t.peak = l
+	}
+}
+
+func (t *Table) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.initSlots(len(oldKeys) * 2)
+	mask := len(t.keys) - 1
+	for i, k := range oldKeys {
+		if k == emptySlot {
+			continue
+		}
+		j := t.home(k)
+		for t.keys[j] != emptySlot {
+			j = (j + 1) & mask
+		}
+		t.keys[j] = k
+		t.vals[j] = oldVals[i]
+		t.n++
 	}
 }
 
 // Cleanse removes addr from the table (memory now matches the pristine
-// execution there).
-func (t *Table) Cleanse(addr int64) { delete(t.m, addr) }
+// execution there). Deletion backward-shifts the following probe chain, so
+// no tombstones accumulate across the millions of contaminate/cleanse
+// cycles of a campaign.
+func (t *Table) Cleanse(addr int64) {
+	if addr == emptySlot {
+		t.hasMin = false
+		return
+	}
+	i, ok := t.slot(addr)
+	if !ok {
+		return
+	}
+	mask := len(t.keys) - 1
+	j := i
+	for {
+		j = (j + 1) & mask
+		k := t.keys[j]
+		if k == emptySlot {
+			break
+		}
+		// The entry at j can fill the hole at i only if its home position
+		// precedes i on the cyclic probe path ending at j.
+		if (j-t.home(k))&mask >= (j-i)&mask {
+			t.keys[i], t.vals[i] = k, t.vals[j]
+			i = j
+		}
+	}
+	t.keys[i] = emptySlot
+	t.n--
+}
 
 // Observe implements the fpm_store decision for a store whose primary and
 // pristine addresses agree: the location becomes contaminated when the
@@ -87,11 +229,16 @@ func (t *Table) Observe(addr int64, primary, pristine uint64) {
 // Addresses returns the contaminated addresses in ascending order. Intended
 // for tests, snapshots and message assembly; O(n log n).
 func (t *Table) Addresses() []int64 {
-	addrs := make([]int64, 0, len(t.m))
-	for a := range t.m {
-		addrs = append(addrs, a)
+	addrs := make([]int64, 0, t.Len())
+	if t.hasMin {
+		addrs = append(addrs, emptySlot)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, k := range t.keys {
+		if k != emptySlot {
+			addrs = append(addrs, k)
+		}
+	}
+	slices.Sort(addrs)
 	return addrs
 }
 
@@ -100,18 +247,21 @@ func (t *Table) Addresses() []int64 {
 func (t *Table) CountInRange(base, count int64) int {
 	// For small ranges scanning the range beats scanning the table and
 	// vice versa; pick by size.
-	if count < int64(len(t.m)) {
+	if count < int64(t.Len()) {
 		n := 0
 		for a := base; a < base+count; a++ {
-			if _, ok := t.m[a]; ok {
+			if _, ok := t.Pristine(a); ok {
 				n++
 			}
 		}
 		return n
 	}
 	n := 0
-	for a := range t.m {
-		if a >= base && a < base+count {
+	if t.hasMin && emptySlot >= base && emptySlot < base+count {
+		n++
+	}
+	for _, k := range t.keys {
+		if k != emptySlot && k >= base && k < base+count {
 			n++
 		}
 	}
@@ -130,8 +280,18 @@ func (t *Table) CarryHistory(peak int, ever bool) {
 }
 
 // Reset empties the table and clears the peak and ever-contaminated state.
+// The slot array is retained (bounded) so a pooled table re-used across
+// experiments does not reallocate.
 func (t *Table) Reset() {
-	t.m = make(map[int64]uint64)
+	if len(t.keys) > tableResetCap {
+		t.initSlots(tableMinSlots)
+	} else {
+		for i := range t.keys {
+			t.keys[i] = emptySlot
+		}
+		t.n = 0
+	}
+	t.hasMin = false
 	t.peak = 0
 	t.everContaminated = false
 }
@@ -148,20 +308,36 @@ type MsgRecord struct {
 // covering memory [base, base+count): one MsgRecord per contaminated word,
 // with displacements relative to base, in ascending order.
 func (t *Table) CollectRange(base, count int64) []MsgRecord {
-	var recs []MsgRecord
-	if int64(len(t.m)) < count {
-		for a, p := range t.m {
-			if a >= base && a < base+count {
-				recs = append(recs, MsgRecord{Displacement: a - base, Pristine: p})
+	return t.AppendRange(nil, base, count)
+}
+
+// AppendRange is CollectRange appending into recs, so a caller issuing many
+// messages can reuse one scratch slice.
+func (t *Table) AppendRange(recs []MsgRecord, base, count int64) []MsgRecord {
+	if int64(t.Len()) < count {
+		start := len(recs)
+		if t.hasMin && emptySlot >= base && emptySlot < base+count {
+			recs = append(recs, MsgRecord{Displacement: emptySlot - base, Pristine: t.minVal})
+		}
+		for i, k := range t.keys {
+			if k != emptySlot && k >= base && k < base+count {
+				recs = append(recs, MsgRecord{Displacement: k - base, Pristine: t.vals[i]})
 			}
 		}
-		sort.Slice(recs, func(i, j int) bool {
-			return recs[i].Displacement < recs[j].Displacement
+		added := recs[start:]
+		slices.SortFunc(added, func(a, b MsgRecord) int {
+			switch {
+			case a.Displacement < b.Displacement:
+				return -1
+			case a.Displacement > b.Displacement:
+				return 1
+			}
+			return 0
 		})
 		return recs
 	}
 	for a := base; a < base+count; a++ {
-		if p, ok := t.m[a]; ok {
+		if p, ok := t.Pristine(a); ok {
 			recs = append(recs, MsgRecord{Displacement: a - base, Pristine: p})
 		}
 	}

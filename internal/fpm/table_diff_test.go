@@ -1,0 +1,267 @@
+package fpm
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// refTable is the original map-backed contamination table, kept as a
+// test-only reference implementation. The open-addressed Table must be
+// observationally identical to it under every operation sequence.
+type refTable struct {
+	m    map[int64]uint64
+	peak int
+	ever bool
+}
+
+func newRefTable() *refTable { return &refTable{m: make(map[int64]uint64)} }
+
+func (t *refTable) Len() int   { return len(t.m) }
+func (t *refTable) Peak() int  { return t.peak }
+func (t *refTable) Ever() bool { return t.ever }
+
+func (t *refTable) Pristine(addr int64) (uint64, bool) {
+	v, ok := t.m[addr]
+	return v, ok
+}
+
+func (t *refTable) PristineOr(addr int64, fallback uint64) uint64 {
+	if v, ok := t.m[addr]; ok {
+		return v
+	}
+	return fallback
+}
+
+func (t *refTable) Record(addr int64, pristine uint64) {
+	t.m[addr] = pristine
+	t.ever = true
+	if len(t.m) > t.peak {
+		t.peak = len(t.m)
+	}
+}
+
+func (t *refTable) Cleanse(addr int64) { delete(t.m, addr) }
+
+func (t *refTable) Observe(addr int64, primary, pristine uint64) {
+	if primary == pristine {
+		t.Cleanse(addr)
+		return
+	}
+	t.Record(addr, pristine)
+}
+
+func (t *refTable) Addresses() []int64 {
+	addrs := make([]int64, 0, len(t.m))
+	for a := range t.m {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+func (t *refTable) CountInRange(base, count int64) int {
+	n := 0
+	for a := range t.m {
+		if a >= base && a < base+count {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *refTable) CollectRange(base, count int64) []MsgRecord {
+	var recs []MsgRecord
+	for a, p := range t.m {
+		if a >= base && a < base+count {
+			recs = append(recs, MsgRecord{Displacement: a - base, Pristine: p})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Displacement < recs[j].Displacement })
+	return recs
+}
+
+func (t *refTable) ApplyRange(base int64, payload []uint64, recs []MsgRecord) {
+	for a := base; a < base+int64(len(payload)); a++ {
+		t.Cleanse(a)
+	}
+	for _, r := range recs {
+		if r.Displacement < 0 || r.Displacement >= int64(len(payload)) {
+			continue
+		}
+		if payload[r.Displacement] == r.Pristine {
+			continue
+		}
+		t.Record(base+r.Displacement, r.Pristine)
+	}
+}
+
+// checkEquiv compares every observable of the two implementations.
+func checkEquiv(t *testing.T, step int, got *Table, want *refTable) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("step %d: Len = %d, want %d", step, got.Len(), want.Len())
+	}
+	if got.Peak() != want.Peak() {
+		t.Fatalf("step %d: Peak = %d, want %d", step, got.Peak(), want.Peak())
+	}
+	if got.Ever() != want.Ever() {
+		t.Fatalf("step %d: Ever = %v, want %v", step, got.Ever(), want.Ever())
+	}
+	ga, wa := got.Addresses(), want.Addresses()
+	if len(ga) == 0 && len(wa) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(ga, wa) {
+		t.Fatalf("step %d: Addresses = %v, want %v", step, ga, wa)
+	}
+	for _, a := range wa {
+		gv, gok := got.Pristine(a)
+		wv, wok := want.Pristine(a)
+		if gok != wok || gv != wv {
+			t.Fatalf("step %d: Pristine(%d) = %d,%v want %d,%v", step, a, gv, gok, wv, wok)
+		}
+	}
+}
+
+// splitmix is a tiny deterministic PRNG for the differential driver.
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// diffAddr draws addresses from a small universe so Record/Cleanse collide
+// often (probe chains and backward shifts get exercised), with occasional
+// extreme keys including the empty-slot sentinel value.
+func diffAddr(r *splitmix) int64 {
+	switch v := r.next(); v % 16 {
+	case 0:
+		return math.MinInt64 // the open-addressed table's empty marker
+	case 1:
+		return math.MaxInt64
+	case 2:
+		return -int64(v % 64)
+	default:
+		return int64(v % 97)
+	}
+}
+
+// TestTableDifferential drives random Record/Observe/Cleanse/range-op
+// sequences through both implementations and requires identical
+// observables after every step.
+func TestTableDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		r := splitmix(seed)
+		got, want := NewTable(), newRefTable()
+		for step := 0; step < 400; step++ {
+			switch r.next() % 10 {
+			case 0, 1, 2:
+				a, p := diffAddr(&r), r.next()%8
+				got.Record(a, p)
+				want.Record(a, p)
+			case 3, 4:
+				a := diffAddr(&r)
+				got.Cleanse(a)
+				want.Cleanse(a)
+			case 5, 6, 7:
+				a, prim, prist := diffAddr(&r), r.next()%4, r.next()%4
+				got.Observe(a, prim, prist)
+				want.Observe(a, prim, prist)
+			case 8:
+				base, count := diffAddr(&r), int64(r.next()%128)
+				if gc, wc := got.CountInRange(base, count), want.CountInRange(base, count); gc != wc {
+					t.Fatalf("seed %d step %d: CountInRange(%d,%d) = %d, want %d",
+						seed, step, base, count, gc, wc)
+				}
+				if gr, wr := got.CollectRange(base, count), want.CollectRange(base, count); !reflect.DeepEqual(gr, wr) && (len(gr) > 0 || len(wr) > 0) {
+					t.Fatalf("seed %d step %d: CollectRange(%d,%d) = %v, want %v",
+						seed, step, base, count, gr, wr)
+				}
+			case 9:
+				base := int64(r.next() % 64)
+				payload := make([]uint64, 1+r.next()%8)
+				for i := range payload {
+					payload[i] = r.next() % 4
+				}
+				var recs []MsgRecord
+				for i := uint64(0); i < r.next()%4; i++ {
+					recs = append(recs, MsgRecord{
+						Displacement: int64(r.next()%12) - 2, // includes malformed
+						Pristine:     r.next() % 4,
+					})
+				}
+				got.ApplyRange(base, payload, recs)
+				want.ApplyRange(base, payload, recs)
+			}
+			checkEquiv(t, step, got, want)
+		}
+	}
+}
+
+// TestTableDifferentialDuplicateStoreAddress replays the paper's Table 1
+// duplicate-contamination case — a store through a corrupted address
+// contaminates the written location AND the location that should have been
+// written — through both implementations, exactly as vm.fpmStore issues it.
+func TestTableDifferentialDuplicateStoreAddress(t *testing.T) {
+	got, want := NewTable(), newRefTable()
+	// Corrupted store address: primary addr 40, pristine addr 44.
+	// Location 40 now holds vP (pristine content was 7); location 44 kept
+	// its current content 9 but should hold vS.
+	for _, tb := range []interface {
+		Observe(int64, uint64, uint64)
+	}{got, want} {
+		tb.Observe(40, 123, 7) // written location vs its fault-free content
+		tb.Observe(44, 9, 456) // skipped location vs what should be there
+		// A later clean overwrite of 40 cleanses only that entry.
+		tb.Observe(40, 7, 7)
+	}
+	checkEquiv(t, 0, got, want)
+	if _, ok := got.Pristine(44); !ok {
+		t.Fatal("duplicate contamination at the pristine address was lost")
+	}
+	if _, ok := got.Pristine(40); ok {
+		t.Fatal("cleansed primary address still contaminated")
+	}
+}
+
+// FuzzTableDifferential lets the fuzzer drive the same differential: the
+// input bytes are decoded as an op stream over both implementations.
+func FuzzTableDifferential(f *testing.F) {
+	f.Add([]byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55})
+	f.Add([]byte{0xFF, 0x01, 0x80, 0x7F, 0x00, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, want := NewTable(), newRefTable()
+		for i := 0; i+2 < len(data); i += 3 {
+			op, a, v := data[i]%4, int64(int8(data[i+1])), uint64(data[i+2]%8)
+			switch op {
+			case 0:
+				got.Record(a, v)
+				want.Record(a, v)
+			case 1:
+				got.Cleanse(a)
+				want.Cleanse(a)
+			case 2:
+				got.Observe(a, v, uint64(data[i+2]%3))
+				want.Observe(a, v, uint64(data[i+2]%3))
+			case 3:
+				if gc, wc := got.CountInRange(a, 16), want.CountInRange(a, 16); gc != wc {
+					t.Fatalf("CountInRange(%d,16) = %d, want %d", a, gc, wc)
+				}
+			}
+		}
+		if got.Len() != want.Len() || got.Peak() != want.Peak() || got.Ever() != want.Ever() {
+			t.Fatalf("state diverged: len %d/%d peak %d/%d ever %v/%v",
+				got.Len(), want.Len(), got.Peak(), want.Peak(), got.Ever(), want.Ever())
+		}
+		if !reflect.DeepEqual(got.Addresses(), want.Addresses()) &&
+			(got.Len() > 0 || want.Len() > 0) {
+			t.Fatalf("addresses diverged: %v vs %v", got.Addresses(), want.Addresses())
+		}
+	})
+}

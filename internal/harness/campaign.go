@@ -80,6 +80,13 @@ type CampaignConfig struct {
 	// Like Workers, the gate shapes scheduling only — results are
 	// position-addressed by seed — so it is excluded from the fingerprint.
 	Gate chan struct{}
+
+	// reuse carries a worker's recyclable run infrastructure (per-rank VM
+	// state, MPI job fabric) into runExperiment. Set per worker goroutine
+	// on its private copy of the config; purely an allocation
+	// optimization, so it is excluded from the checkpoint fingerprint and
+	// never result-determining.
+	reuse *core.Reuse
 }
 
 // ErrInterrupted reports a campaign stopped before completing every run;
@@ -297,6 +304,11 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker reuse bundle: the address spaces, contamination
+			// tables and MPI job fabric are allocated once here and
+			// recycled through every experiment this worker runs.
+			wcfg := cfg
+			wcfg.reuse = core.NewReuse(cfg.Params.Ranks)
 			for id := range work {
 				if cfg.Gate != nil {
 					<-cfg.Gate
@@ -304,7 +316,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 				cfg.Progress.noteStart()
 				t0 := time.Now()
 				o := runExperiment(id, inst, planFor(cfg, id, res.GoldenSites),
-					cfg, criteria, res.Golden, cycleLimit)
+					wcfg, criteria, res.Golden, cycleLimit)
 				cfg.Progress.noteDone(o.sum.Outcome, time.Since(t0))
 				if cfg.Gate != nil {
 					cfg.Gate <- struct{}{}
@@ -405,6 +417,7 @@ func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfi
 		CycleLimit:  cycleLimit,
 		Plan:        plan,
 		SampleEvery: cfg.SampleEvery,
+		Reuse:       cfg.reuse,
 	})
 	sum := ExperimentSummary{
 		ID:           id,

@@ -14,7 +14,7 @@ package inject
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/xrand"
 )
@@ -39,13 +39,28 @@ type Plan struct {
 
 // ForRank extracts the faults aimed at one rank, ordered by site.
 func (p Plan) ForRank(rank int) []Fault {
-	var fs []Fault
+	return p.AppendForRank(nil, rank)
+}
+
+// AppendForRank is ForRank appending into fs, so a pooled injector can
+// refill its fault list without allocating.
+func (p Plan) AppendForRank(fs []Fault, rank int) []Fault {
+	start := len(fs)
 	for _, f := range p.Faults {
 		if f.Rank == rank {
 			fs = append(fs, f)
 		}
 	}
-	sort.Slice(fs, func(i, j int) bool { return fs[i].Site < fs[j].Site })
+	added := fs[start:]
+	slices.SortFunc(added, func(a, b Fault) int {
+		switch {
+		case a.Site < b.Site:
+			return -1
+		case a.Site > b.Site:
+			return 1
+		}
+		return 0
+	})
 	return fs
 }
 
@@ -130,6 +145,14 @@ type RankInjector struct {
 // NewRankInjector builds the injector for rank from the plan.
 func NewRankInjector(plan Plan, rank int) *RankInjector {
 	return &RankInjector{faults: plan.ForRank(rank)}
+}
+
+// Reset refills a pooled injector for a new run, reusing its backing
+// storage. Equivalent to NewRankInjector(plan, rank).
+func (ri *RankInjector) Reset(plan Plan, rank int) {
+	ri.faults = plan.AppendForRank(ri.faults[:0], rank)
+	ri.next = 0
+	ri.applied = ri.applied[:0]
 }
 
 // OnSite implements vm.Injector: it flips the planned bit when the dynamic

@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // Func is one IR function.
@@ -32,7 +33,24 @@ type Program struct {
 	// occupy word addresses [1, 1+GlobalWords).
 	GlobalWords int64
 	Entry       int // index of the entry function
+
+	// exec caches the interpreter's pre-decoded executable form of this
+	// program, stored as an opaque value so the IR stays independent of
+	// the VM. Tying the cache to the Program gives it the right lifetime:
+	// it is garbage-collected with the program instead of accumulating in
+	// a global registry across the many programs a long-lived daemon
+	// instruments.
+	exec atomic.Value
 }
+
+// Exec returns the cached executable form installed by StoreExec, or nil
+// before the first decode. Safe for concurrent use.
+func (p *Program) Exec() any { return p.exec.Load() }
+
+// StoreExec installs the executable form. Racing installs are benign:
+// decoding is a pure function of the program, so every stored value is
+// equivalent. The caller must not mutate Funcs after the first execution.
+func (p *Program) StoreExec(v any) { p.exec.Store(v) }
 
 // FuncNamed returns the function with the given name, or nil.
 func (p *Program) FuncNamed(name string) *Func {

@@ -4,17 +4,19 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"repro/internal/ir"
 )
 
 // Collectives use a rendezvous protocol: the first arriving rank of a round
 // creates the round, each rank deposits its contribution, and the last
-// arrival computes the result and publishes it by closing the round's ready
-// channel. SPMD programs enter collectives in lockstep, so one active round
-// per job suffices; a fresh round starts as soon as the previous one is
-// complete, even while earlier waiters are still reading their result.
+// arrival computes the result and publishes it by handing one token per
+// waiter through the round's ready channel (a send happens-before the
+// matching receive, so the result is visible). SPMD programs enter
+// collectives in lockstep, so one active round per job suffices; a fresh
+// round starts as soon as the previous one is complete, even while earlier
+// waiters are still reading their result.
 
 type collKind int
 
@@ -42,11 +44,22 @@ type result struct {
 
 type round struct {
 	arrived int
+	// readers counts ranks that have yet to read the published result; the
+	// last one returns the round to the freelist.
+	readers atomic.Int32
 	contrib []contribution
 	present []bool
-	ready   chan struct{}
-	res     result
-	err     error
+	// ready carries one token per waiter (capacity size-1). A recycled
+	// round's channel is empty — every waiter of the previous use consumed
+	// its token, or the round leaked — so the channel itself is reused.
+	ready chan struct{}
+	res   result
+	err   error
+	// resP and resS back allreduce results across recycles. Safe to reuse:
+	// combine (the only writer) runs at the last arrival of a round, which
+	// cannot happen while any rank is still reading the previous result —
+	// that rank has not entered the new round yet.
+	resP, resS []uint64
 }
 
 type coll struct {
@@ -54,16 +67,47 @@ type coll struct {
 	size int
 	done chan struct{}
 	cur  *round
+	// free is a one-slot round freelist. A round is recycled only after
+	// every rank has read its result; rounds abandoned by aborting ranks
+	// never reach that count and simply fall to the garbage collector.
+	free *round
 }
 
-func (c *coll) join(rank int, timeout time.Duration, cb contribution) (result, error) {
-	c.mu.Lock()
-	if c.cur == nil {
-		c.cur = &round{
+func (c *coll) newRound() *round {
+	r := c.free
+	if r != nil {
+		c.free = nil
+		r.arrived = 0
+		clear(r.contrib)
+		clear(r.present)
+		r.res, r.err = result{}, nil
+	} else {
+		r = &round{
 			contrib: make([]contribution, c.size),
 			present: make([]bool, c.size),
-			ready:   make(chan struct{}),
+			ready:   make(chan struct{}, c.size-1),
 		}
+	}
+	r.readers.Store(int32(c.size))
+	return r
+}
+
+// release is called by a rank after it has read r.res/r.err.
+func (c *coll) release(r *round) {
+	if r.readers.Add(-1) == 0 {
+		c.mu.Lock()
+		if c.free == nil {
+			c.free = r
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *coll) join(e *Endpoint, cb contribution) (result, error) {
+	rank := e.rank
+	c.mu.Lock()
+	if c.cur == nil {
+		c.cur = c.newRound()
 	}
 	r := c.cur
 	if r.present[rank] {
@@ -74,17 +118,26 @@ func (c *coll) join(rank int, timeout time.Duration, cb contribution) (result, e
 	r.contrib[rank] = cb
 	r.arrived++
 	if r.arrived == c.size {
-		r.res, r.err = combine(r.contrib)
-		close(r.ready)
+		r.res, r.err = combine(r.contrib, r)
+		for i := 1; i < c.size; i++ {
+			r.ready <- struct{}{}
+		}
 		c.cur = nil
+		c.mu.Unlock()
+		// Last arrival: the round is complete, no wait needed.
+		res, err := r.res, r.err
+		c.release(r)
+		return res, err
 	}
 	c.mu.Unlock()
 
-	t := time.NewTimer(timeout)
-	defer t.Stop()
+	t := e.armTimer()
+	defer e.disarmTimer()
 	select {
 	case <-r.ready:
-		return r.res, r.err
+		res, err := r.res, r.err
+		c.release(r)
+		return res, err
 	case <-c.done:
 		return result{}, ErrAborted
 	case <-t.C:
@@ -95,8 +148,9 @@ func (c *coll) join(rank int, timeout time.Duration, cb contribution) (result, e
 // combine validates that all ranks entered the same collective with
 // compatible shapes and computes the result. Mismatches — which arise when
 // a corrupted value changes a count or a code path — are job-fatal errors,
-// as they would be under a real MPI.
-func combine(contribs []contribution) (result, error) {
+// as they would be under a real MPI. Allreduce results are built in r's
+// reusable backing; see the round field comments for why that is safe.
+func combine(contribs []contribution, r *round) (result, error) {
 	kind := contribs[0].kind
 	for r, cb := range contribs {
 		if cb.kind != kind {
@@ -132,10 +186,9 @@ func combine(contribs []contribution) (result, error) {
 				return result{}, fmt.Errorf("mpi: rank %d allreduce op mismatch", r)
 			}
 		}
-		prim := make([]uint64, n)
-		prist := make([]uint64, n)
-		copy(prim, contribs[0].prim)
-		copy(prist, contribs[0].prist)
+		prim := append(r.resP[:0], contribs[0].prim...)
+		prist := append(r.resS[:0], contribs[0].prist...)
+		r.resP, r.resS = prim, prist
 		for _, cb := range contribs[1:] {
 			for i := 0; i < n; i++ {
 				prim[i] = reduceWord(prim[i], cb.prim[i], op, isFloat)

@@ -41,12 +41,21 @@ type Job struct {
 	// mail[dst][src] is the ordered queue of messages from src to dst.
 	mail [][]chan message
 
-	done     chan struct{}
-	killOnce sync.Once
-	flag     vm.AbortFlag
+	done   chan struct{}
+	killMu sync.Mutex
+	flag   vm.AbortFlag
 
 	coll coll
+	eps  []Endpoint
+
+	// bufs is the wire-buffer freelist: receivers return fully consumed
+	// message buffers here and senders draw from it, so steady-state
+	// point-to-point traffic allocates no new buffers.
+	bufs chan []byte
 }
+
+// defaultTimeout bounds blocking calls when the caller passes zero.
+const defaultTimeout = 60 * time.Second
 
 // NewJob creates a job with the given number of ranks. timeout bounds every
 // blocking call; zero selects a generous default.
@@ -55,13 +64,14 @@ func NewJob(size int, timeout time.Duration) *Job {
 		panic("mpi: job size must be positive")
 	}
 	if timeout == 0 {
-		timeout = 60 * time.Second
+		timeout = defaultTimeout
 	}
 	j := &Job{
 		size:    size,
 		timeout: timeout,
 		mail:    make([][]chan message, size),
 		done:    make(chan struct{}),
+		bufs:    make(chan []byte, 256),
 	}
 	for dst := range j.mail {
 		j.mail[dst] = make([]chan message, size)
@@ -71,7 +81,58 @@ func NewJob(size int, timeout time.Duration) *Job {
 	}
 	j.coll.size = size
 	j.coll.done = j.done
+	j.eps = make([]Endpoint, size)
+	for r := range j.eps {
+		j.eps[r] = Endpoint{job: j, rank: r, pending: make([][]message, size)}
+	}
 	return j
+}
+
+// Recycle prepares a completed job for another run of the same shape:
+// mailboxes are drained, pending buffers emptied and collective state
+// cleared, while the channels, endpoints and their timers survive. An
+// aborted job gets a fresh done channel and a lowered abort flag — once
+// every rank goroutine has exited there is nothing left to observe the old
+// ones. It returns false — leaving the job untouched — when the shape or
+// timeout differs; the caller must then build a fresh job. Only call
+// between runs, with no rank goroutines alive.
+func (j *Job) Recycle(size int, timeout time.Duration) bool {
+	if timeout == 0 {
+		timeout = defaultTimeout
+	}
+	if j.size != size || j.timeout != timeout {
+		return false
+	}
+	if j.Aborted() {
+		j.killMu.Lock()
+		j.done = make(chan struct{})
+		j.coll.done = j.done
+		j.flag.Lower()
+		j.killMu.Unlock()
+	}
+	for _, row := range j.mail {
+		for _, ch := range row {
+			for {
+				select {
+				case <-ch:
+					continue
+				default:
+				}
+				break
+			}
+		}
+	}
+	for r := range j.eps {
+		e := &j.eps[r]
+		for src := range e.pending {
+			clear(e.pending[src])
+			e.pending[src] = e.pending[src][:0]
+		}
+	}
+	j.coll.mu.Lock()
+	j.coll.cur = nil
+	j.coll.mu.Unlock()
+	return true
 }
 
 // Size returns the number of ranks.
@@ -83,10 +144,14 @@ func (j *Job) Flag() *vm.AbortFlag { return &j.flag }
 // Kill aborts the job: the abort flag is raised and all blocked
 // communication calls return ErrAborted. Idempotent.
 func (j *Job) Kill() {
-	j.killOnce.Do(func() {
+	j.killMu.Lock()
+	defer j.killMu.Unlock()
+	select {
+	case <-j.done:
+	default:
 		j.flag.Raise()
 		close(j.done)
-	})
+	}
 }
 
 // Aborted reports whether the job has been killed.
@@ -105,7 +170,7 @@ func (j *Job) Endpoint(r int) *Endpoint {
 	if r < 0 || r >= j.size {
 		panic(fmt.Sprintf("mpi: rank %d out of range", r))
 	}
-	return &Endpoint{job: j, rank: r, pending: make([][]message, j.size)}
+	return &j.eps[r]
 }
 
 // Endpoint is one rank's connection to the job. It implements
@@ -116,6 +181,33 @@ type Endpoint struct {
 	// pending[src] buffers messages received from src while looking for a
 	// specific tag (tag matching with per-pair ordering).
 	pending [][]message
+	// tmr is the reusable wall-clock safety timer armed around blocking
+	// waits. One timer per endpoint instead of one per call keeps the
+	// communication-heavy experiment loop allocation-free.
+	tmr *time.Timer
+}
+
+// armTimer returns the endpoint's timeout timer, armed with the job
+// timeout. Every armTimer must be paired with disarmTimer before the next
+// blocking call.
+func (e *Endpoint) armTimer() *time.Timer {
+	if e.tmr == nil {
+		e.tmr = time.NewTimer(e.job.timeout)
+	} else {
+		e.tmr.Reset(e.job.timeout)
+	}
+	return e.tmr
+}
+
+// disarmTimer stops the armed timer, draining a concurrent expiry so the
+// next Reset starts from a clean channel.
+func (e *Endpoint) disarmTimer() {
+	if !e.tmr.Stop() {
+		select {
+		case <-e.tmr.C:
+		default:
+		}
+	}
 }
 
 var _ vm.MPIEndpoint = (*Endpoint)(nil)
@@ -131,8 +223,14 @@ func (e *Endpoint) Send(dst, tag int, msg []byte) error {
 	if dst < 0 || dst >= e.job.size {
 		return fmt.Errorf("mpi: send to invalid rank %d", dst)
 	}
-	t := time.NewTimer(e.job.timeout)
-	defer t.Stop()
+	// Fast path: queue has room (the common case with deep mailboxes).
+	select {
+	case e.job.mail[dst][e.rank] <- message{tag: tag, data: msg}:
+		return nil
+	default:
+	}
+	t := e.armTimer()
+	defer e.disarmTimer()
 	select {
 	case e.job.mail[dst][e.rank] <- message{tag: tag, data: msg}:
 		return nil
@@ -157,8 +255,21 @@ func (e *Endpoint) Recv(src, tag int) ([]byte, error) {
 			return m.data, nil
 		}
 	}
-	t := time.NewTimer(e.job.timeout)
-	defer t.Stop()
+	// Fast path: drain whatever is already queued without arming the timer.
+	for {
+		select {
+		case m := <-e.job.mail[e.rank][src]:
+			if m.tag == tag {
+				return m.data, nil
+			}
+			e.pending[src] = append(e.pending[src], m)
+			continue
+		default:
+		}
+		break
+	}
+	t := e.armTimer()
+	defer e.disarmTimer()
 	for {
 		select {
 		case m := <-e.job.mail[e.rank][src]:
@@ -176,13 +287,13 @@ func (e *Endpoint) Recv(src, tag int) ([]byte, error) {
 
 // Barrier blocks until every rank has entered it.
 func (e *Endpoint) Barrier() error {
-	_, err := e.job.coll.join(e.rank, e.job.timeout, contribution{})
+	_, err := e.job.coll.join(e, contribution{})
 	return err
 }
 
 // Allreduce combines the primary and pristine word vectors of all ranks.
 func (e *Endpoint) Allreduce(prim, prist []uint64, op ir.ReduceOp, isFloat bool) ([]uint64, []uint64, error) {
-	res, err := e.job.coll.join(e.rank, e.job.timeout, contribution{
+	res, err := e.job.coll.join(e, contribution{
 		kind: collAllreduce, prim: prim, prist: prist, op: op, isFloat: isFloat,
 	})
 	if err != nil {
@@ -197,7 +308,7 @@ func (e *Endpoint) Bcast(root int, msg []byte) ([]byte, error) {
 		return nil, fmt.Errorf("mpi: bcast root %d invalid", root)
 	}
 	isRoot := e.rank == root
-	res, err := e.job.coll.join(e.rank, e.job.timeout, contribution{
+	res, err := e.job.coll.join(e, contribution{
 		kind: collBcast, bcast: msg, isRoot: isRoot,
 	})
 	if err != nil {
@@ -208,3 +319,25 @@ func (e *Endpoint) Bcast(root int, msg []byte) ([]byte, error) {
 
 // Abort kills the whole job (MPI_Abort).
 func (e *Endpoint) Abort(code int64) { e.job.Kill() }
+
+// GetBuf returns a recycled wire buffer (nil when none is available). The
+// VM's message layer uses this (through an optional interface) to keep
+// steady-state traffic allocation-free.
+func (e *Endpoint) GetBuf() []byte {
+	select {
+	case b := <-e.job.bufs:
+		return b
+	default:
+		return nil
+	}
+}
+
+// PutBuf returns a fully consumed wire buffer to the freelist. Only the
+// sole consumer of a buffer may return it — recycling a buffer shared with
+// any other reader would corrupt a future message.
+func (e *Endpoint) PutBuf(b []byte) {
+	select {
+	case e.job.bufs <- b:
+	default:
+	}
+}

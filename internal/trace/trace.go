@@ -46,6 +46,19 @@ type Recorder struct {
 	maxCML            int
 }
 
+// Reset readies a pooled Recorder for a new run. The retained series
+// escape into run results, so Reset does not reuse their backing: it
+// allocates fresh slices sized by the caller's capacity hints (typically
+// the previous run's lengths), replacing the append-grow churn of a cold
+// recorder with one right-sized allocation each.
+func (r *Recorder) Reset(sampleEvery uint64, pointsCap, ticksCap int) {
+	*r = Recorder{
+		SampleEvery: sampleEvery,
+		points:      make([]Point, 0, pointsCap),
+		ticks:       make([]TickPoint, 0, ticksCap),
+	}
+}
+
 // OnCMLChange implements vm.Tracer. The globalTime argument is ignored:
 // it reads a clock shared across concurrently-running ranks, so its value
 // depends on goroutine interleaving.

@@ -87,3 +87,40 @@ func BenchmarkInterpInstrumentedOverhead(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkInterpDeepRecursion exercises the call path at depth: each
+// iteration makes a 4000-deep recursive descent (just under the VM's
+// 4096-frame limit), growing the register file and frame stack far past
+// their initial sizes. It guards the pushFrame
+// growth fix (one amortized-doubling grow + a single memclr of the callee
+// window) and keeps the flat per-call overhead visible in CI.
+func BenchmarkInterpDeepRecursion(b *testing.B) {
+	const depth = 4000
+	bld := ir.NewBuilder()
+	down := bld.Func("down", 1, 1)
+	n := down.Param(0)
+	base := down.NewLabel()
+	cond := down.ICmp(ir.ICmpSLT, ir.R(n), ir.ImmI(1))
+	down.Bnz(ir.R(cond), base)
+	sub := down.Sub(ir.R(n), ir.ImmI(1))
+	rec := down.NewReg()
+	down.Call("down", []ir.Reg{rec}, ir.R(sub))
+	sum := down.Add(ir.R(rec), ir.ImmI(1))
+	down.Ret(ir.R(sum))
+	down.Bind(base)
+	down.Ret(ir.ImmI(0))
+	f := bld.Func("main", 0, 0)
+	i := f.NewReg()
+	r := f.NewReg()
+	f.For(i, ir.ImmI(0), ir.ImmI(int64(b.N)), func() {
+		f.Call("down", []ir.Reg{r}, ir.ImmI(depth))
+	})
+	f.Ret()
+	bld.SetEntry("main")
+	prog := bld.MustBuild()
+	b.ResetTimer()
+	v := New(prog, Config{})
+	if err := v.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,7 +1,5 @@
 package vm
 
-import "repro/internal/fpm"
-
 // In-VM checkpoint/rollback makes the paper's recovery story executable:
 // the VM snapshots its complete execution state at timestep boundaries
 // (IntrinCheckpointT), and — playing the role of a fault detector with a
@@ -76,14 +74,15 @@ func (v *VM) restoreSnapshot() {
 	v.outputs = v.outputs[:s.outputs]
 	v.iterations = s.iterations
 	v.ticks = s.ticks
-	restored := fpm.NewTable()
+	// Rebuild the table in place from the snapshot. The contamination
+	// happened even though it was undone: keep the historical peak and
+	// ever-contaminated flags.
+	peak, ever := v.table.Peak(), v.table.Ever()
+	v.table.Reset()
 	for addr, pv := range s.table {
-		restored.Record(addr, pv)
+		v.table.Record(addr, pv)
 	}
-	// The contamination happened even though it was undone: keep the
-	// historical peak and ever-contaminated flags.
-	restored.CarryHistory(v.table.Peak(), v.table.Ever())
-	v.table = restored
+	v.table.CarryHistory(peak, ever)
 	v.rollbacks++
 	v.restored = true
 	if v.cfg.Tracer != nil {

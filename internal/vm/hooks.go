@@ -35,6 +35,18 @@ type MPIEndpoint interface {
 	Abort(code int64)
 }
 
+// WireBufs is an optional extension of MPIEndpoint: a transport that
+// recycles wire buffers. The VM draws send buffers from GetBuf and returns
+// point-to-point receive buffers through PutBuf once fully decoded, so
+// steady-state message traffic allocates nothing. Broadcast buffers are
+// never returned — they are shared by every rank.
+type WireBufs interface {
+	// GetBuf returns a recycled buffer to encode into, or nil.
+	GetBuf() []byte
+	// PutBuf hands back a buffer this VM was the sole consumer of.
+	PutBuf([]byte)
+}
+
 // Tracer observes propagation-relevant events. Implementations live in
 // package trace; a nil Tracer disables observation.
 type Tracer interface {
@@ -65,6 +77,10 @@ type AbortFlag struct {
 
 // Raise sets the flag.
 func (a *AbortFlag) Raise() { a.f.Store(true) }
+
+// Lower clears the flag, for reuse of a job's infrastructure between runs.
+// Only call while no VM is observing the flag.
+func (a *AbortFlag) Lower() { a.f.Store(false) }
 
 // Raised reports whether the flag is set.
 func (a *AbortFlag) Raised() bool { return a.f.Load() }

@@ -139,12 +139,18 @@ func (v *VM) endpoint() MPIEndpoint {
 func (v *VM) mpiSend(addrW, countW, dstW, tagW uint64) {
 	ep := v.endpoint()
 	addr, count := int64(addrW), int64(countW)
-	payload, ok := v.mem.CopyOut(addr, count)
+	// The payload view and the record scratch are both fully copied into
+	// the wire buffer by EncodeMessage before execution resumes.
+	payload, ok := v.mem.Words(addr, count)
 	if !ok {
 		v.trapMem(addr)
 	}
-	recs := v.table.CollectRange(addr, count)
-	msg := fpm.EncodeMessage(payload, recs)
+	v.txRecs = v.table.AppendRange(v.txRecs[:0], addr, count)
+	var wire []byte
+	if v.wire != nil {
+		wire = v.wire.GetBuf()
+	}
+	msg := fpm.AppendEncodeMessage(wire[:0], payload, v.txRecs)
 	dst, tag := int(int64(dstW)), int(int64(tagW))
 	if dst < 0 || dst >= ep.Size() {
 		v.trap(TrapInvalid, fmt.Sprintf("send to rank %d of %d", dst, ep.Size()))
@@ -168,9 +174,15 @@ func (v *VM) mpiRecv(addrW, countW, srcW, tagW uint64) {
 	if err != nil {
 		v.trap(TrapPeerFailure, err.Error())
 	}
-	payload, recs, err := fpm.DecodeMessage(buf)
+	payload, recs, err := fpm.AppendDecodeMessage(v.rxWords[:0], v.rxRecs[:0], buf)
 	if err != nil {
 		v.trap(TrapInvalid, err.Error())
+	}
+	v.rxWords, v.rxRecs = payload, recs
+	if v.wire != nil {
+		// This VM is the message's sole consumer and the decode copied
+		// everything out, so the wire buffer can carry a future message.
+		v.wire.PutBuf(buf)
 	}
 	if int64(len(payload)) != count {
 		// A corrupted count on either side surfaces as a size mismatch,
@@ -190,14 +202,19 @@ func (v *VM) mpiRecv(addrW, countW, srcW, tagW uint64) {
 func (v *VM) mpiAllreduce(sendW, recvW, countW, opW uint64, isFloat bool) {
 	ep := v.endpoint()
 	send, recv, count := int64(sendW), int64(recvW), int64(countW)
-	prim, ok := v.mem.CopyOut(send, count)
+	// Contribution vectors alias this rank's memory view and scratch. The
+	// collective's last arrival reads them while this rank is parked inside
+	// Allreduce, and no rank touches contributions after the round result
+	// is published — so the buffers are ours again when the call returns.
+	prim, ok := v.mem.Words(send, count)
 	if !ok {
 		v.trapMem(send)
 	}
-	prist := make([]uint64, count)
+	prist := v.prist[:0]
 	for i := int64(0); i < count; i++ {
-		prist[i] = v.table.PristineOr(send+i, prim[i])
+		prist = append(prist, v.table.PristineOr(send+i, prim[i]))
 	}
+	v.prist = prist
 	rp, rs, err := ep.Allreduce(prim, prist, ir.ReduceOp(int64(opW)), isFloat)
 	if err != nil {
 		v.trap(TrapPeerFailure, err.Error())
@@ -226,20 +243,22 @@ func (v *VM) mpiBcast(addrW, countW, rootW uint64) {
 	}
 	var msg []byte
 	if ep.Rank() == root {
-		payload, ok := v.mem.CopyOut(addr, count)
+		payload, ok := v.mem.Words(addr, count)
 		if !ok {
 			v.trapMem(addr)
 		}
-		msg = fpm.EncodeMessage(payload, v.table.CollectRange(addr, count))
+		v.txRecs = v.table.AppendRange(v.txRecs[:0], addr, count)
+		msg = fpm.EncodeMessage(payload, v.txRecs)
 	}
 	out, err := ep.Bcast(root, msg)
 	if err != nil {
 		v.trap(TrapPeerFailure, err.Error())
 	}
-	payload, recs, err := fpm.DecodeMessage(out)
+	payload, recs, err := fpm.AppendDecodeMessage(v.rxWords[:0], v.rxRecs[:0], out)
 	if err != nil {
 		v.trap(TrapInvalid, err.Error())
 	}
+	v.rxWords, v.rxRecs = payload, recs
 	if int64(len(payload)) != count {
 		v.trap(TrapPeerFailure, fmt.Sprintf("bcast size %d, expected %d", len(payload), count))
 	}

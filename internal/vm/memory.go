@@ -18,6 +18,15 @@ type Memory struct {
 	globalEnd int64
 	brk       int64 // heap break (next free heap word)
 	sp        int64 // stack pointer (lowest in-use stack word)
+
+	// Write watermarks, so Reset zeroes only the segments a run actually
+	// touched instead of the whole address space. Writes below the stack
+	// pointer (globals + heap + wild addresses) raise loHi; writes at or
+	// above it (stack frames) lower hiLo. Both are monotone within a run:
+	// after PopFrame a stale frame word sits below the new sp, but it was
+	// at or above sp when written, so hiLo still covers it.
+	loHi int64 // exclusive upper bound of dirty low-segment words
+	hiLo int64 // inclusive lower bound of dirty stack-segment words
 }
 
 // NewMemory builds an address space of size words with the given global
@@ -30,9 +39,35 @@ func NewMemory(size, globalWords int64) *Memory {
 		words:     make([]uint64, size),
 		globalEnd: 1 + globalWords,
 		sp:        size,
+		loHi:      1,
+		hiLo:      size,
 	}
 	m.brk = m.globalEnd
 	return m
+}
+
+// Reset rewinds the address space to its NewMemory(size, globalWords) state
+// so one allocation serves many runs. Only the watermarked dirty segments
+// are zeroed; an untouched 8 MiB address space costs nothing to recycle.
+func (m *Memory) Reset(size, globalWords int64) {
+	if size < globalWords+64 {
+		size = globalWords + 64
+	}
+	if int64(len(m.words)) != size {
+		m.words = make([]uint64, size)
+	} else {
+		if m.loHi > 1 {
+			clear(m.words[1:m.loHi])
+		}
+		if m.hiLo < size {
+			clear(m.words[m.hiLo:])
+		}
+	}
+	m.globalEnd = 1 + globalWords
+	m.brk = m.globalEnd
+	m.sp = size
+	m.loHi = 1
+	m.hiLo = size
 }
 
 // Size returns the total address-space size in words.
@@ -64,6 +99,13 @@ func (m *Memory) Write(addr int64, v uint64) bool {
 		return false
 	}
 	m.words[addr] = v
+	if addr >= m.sp {
+		if addr < m.hiLo {
+			m.hiLo = addr
+		}
+	} else if addr >= m.loHi {
+		m.loHi = addr + 1
+	}
 	return true
 }
 
@@ -87,14 +129,23 @@ func (m *Memory) PushFrame(n int64) (int64, bool) {
 	m.sp -= n
 	// Stack frames are reused across calls; clear to keep runs
 	// deterministic regardless of earlier frame contents.
-	for i := m.sp; i < m.sp+n; i++ {
-		m.words[i] = 0
-	}
+	clear(m.words[m.sp : m.sp+n])
 	return m.sp, true
 }
 
 // PopFrame releases n stack words.
 func (m *Memory) PopFrame(n int64) { m.sp += n }
+
+// Words returns a read-only view of [base, base+count); ok is false when
+// the range is not fully in bounds. The view aliases the address space —
+// it is invalidated by the next write, so callers must fully consume or
+// copy it before resuming execution.
+func (m *Memory) Words(base, count int64) ([]uint64, bool) {
+	if count < 0 || !m.InBounds(base) || (count > 0 && !m.InBounds(base+count-1)) {
+		return nil, false
+	}
+	return m.words[base : base+count], true
+}
 
 // CopyOut copies count words starting at base into a new slice; ok is false
 // when the range is not fully in bounds.
@@ -115,6 +166,15 @@ func (m *Memory) CopyIn(base int64, data []uint64) bool {
 		return false
 	}
 	copy(m.words[base:base+count], data)
+	if base >= m.sp {
+		if base < m.hiLo {
+			m.hiLo = base
+		}
+	} else if base+count > m.loHi {
+		// A range crossing into the stack segment is fully covered by the
+		// low watermark; Reset zeroes [1, loHi) regardless of sp.
+		m.loHi = base + count
+	}
 	return true
 }
 

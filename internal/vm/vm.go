@@ -51,17 +51,25 @@ type Config struct {
 	// table reaches this size at a timestep boundary (0 disables; requires
 	// CheckpointEvery). The re-executed work costs application cycles.
 	RollbackCML int
+	// State, when non-nil, donates reusable buffers (address space, table,
+	// registers, frames) to this VM instead of allocating fresh ones; see
+	// State. Observable behaviour is identical either way.
+	State *State
 }
 
 // VM executes one IR program in one address space.
 type VM struct {
 	prog  *ir.Program
+	dprog *dprog
 	cfg   Config
 	mem   *Memory
 	table *fpm.Table
 
 	regs   []uint64
 	frames []frame
+	// ret carries call arguments and return values between frames; it is
+	// fully overwritten before each use.
+	ret    []uint64
 	cycles uint64
 	pushed uint64 // cycles already added to the global clock
 
@@ -75,6 +83,15 @@ type VM struct {
 	memFaultsDone    []bool
 	memFaultsApplied int
 
+	// MPI scratch, reused across the many messages of a run (see intrin.go
+	// for the aliasing rules that make each reuse safe).
+	txRecs  []fpm.MsgRecord
+	rxWords []uint64
+	rxRecs  []fpm.MsgRecord
+	prist   []uint64
+	// wire is cfg.MPI's buffer-recycling extension, when it has one.
+	wire WireBufs
+
 	snap      *vmSnapshot
 	rollbacks int
 	restored  bool
@@ -82,6 +99,7 @@ type VM struct {
 
 type frame struct {
 	fn        *ir.Func
+	code      []dinstr // fn's pre-decoded body (shared, immutable)
 	pc        int
 	regBase   int
 	frameBase int64
@@ -103,9 +121,14 @@ func New(prog *ir.Program, cfg Config) *VM {
 	}
 	v := &VM{
 		prog:  prog,
+		dprog: decodedOf(prog),
 		cfg:   cfg,
-		mem:   NewMemory(cfg.MemWords, prog.GlobalWords),
-		table: fpm.NewTable(),
+	}
+	if cfg.State != nil {
+		cfg.State.adopt(v, cfg.MemWords, prog.GlobalWords)
+	} else {
+		v.mem = NewMemory(cfg.MemWords, prog.GlobalWords)
+		v.table = fpm.NewTable()
 	}
 	for _, g := range prog.Globals {
 		if len(g.Init) > 0 {
@@ -114,6 +137,9 @@ func New(prog *ir.Program, cfg Config) *VM {
 	}
 	if cfg.TrackTaint {
 		v.taint = newTaintState()
+	}
+	if wb, ok := cfg.MPI.(WireBufs); ok {
+		v.wire = wb
 	}
 	if len(cfg.MemFaults) > 0 {
 		v.memFaultsDone = make([]bool, len(cfg.MemFaults))
@@ -157,11 +183,43 @@ func (v *VM) trap(kind TrapKind, detail string) {
 	panic(trapPanic{&Trap{Kind: kind, Func: fn, PC: pc, Cycles: v.cycles, Detail: detail}})
 }
 
+// val evaluates an undecoded operand; used off the hot path (intrinsic
+// arguments, call/ret argument lists, the taint ablation).
 func (v *VM) val(base int, o ir.Operand) uint64 {
 	if o.Kind == ir.KindReg {
 		return v.regs[base+int(o.Reg)]
 	}
 	return o.Imm
+}
+
+// opA..opD evaluate pre-decoded operand payloads: one precomputed bit says
+// whether the payload is a register index or the immediate itself.
+func (v *VM) opA(base int, in *dinstr) uint64 {
+	if in.kinds&kA != 0 {
+		return v.regs[base+int(in.a)]
+	}
+	return in.a
+}
+
+func (v *VM) opB(base int, in *dinstr) uint64 {
+	if in.kinds&kB != 0 {
+		return v.regs[base+int(in.b)]
+	}
+	return in.b
+}
+
+func (v *VM) opC(base int, in *dinstr) uint64 {
+	if in.kinds&kC != 0 {
+		return v.regs[base+int(in.c)]
+	}
+	return in.c
+}
+
+func (v *VM) opD(base int, in *dinstr) uint64 {
+	if in.kinds&kD != 0 {
+		return v.regs[base+int(in.d)]
+	}
+	return in.d
 }
 
 func f64(bits uint64) float64 { return math.Float64frombits(bits) }
@@ -214,22 +272,32 @@ func (v *VM) noteCML(before int) {
 	}
 }
 
-// pushFrame prepares a frame for callee with the argument values already
-// evaluated into args.
-func (v *VM) pushFrame(callee *ir.Func, args []uint64, retRegs []ir.Reg) {
+// pushFrame prepares a frame for callee (function index fi) with the
+// argument values already evaluated into args.
+func (v *VM) pushFrame(fi int, args []uint64, retRegs []ir.Reg) {
+	df := &v.dprog.funcs[fi]
+	callee := df.fn
 	regBase := 0
 	if n := len(v.frames); n > 0 {
 		top := &v.frames[n-1]
 		regBase = top.regBase + top.fn.NumRegs
 	}
 	need := regBase + callee.NumRegs
-	for len(v.regs) < need {
-		v.regs = append(v.regs, make([]uint64, need-len(v.regs))...)
+	// Grow the register file in one step (amortized doubling), then clear
+	// the callee's window with a single memclr. The window always covers
+	// any capacity newly exposed by reslicing, so a pooled register file
+	// cannot leak values between runs.
+	if need > len(v.regs) {
+		if need <= cap(v.regs) {
+			v.regs = v.regs[:need]
+		} else {
+			grown := make([]uint64, need, max(need, 2*cap(v.regs)))
+			copy(grown, v.regs)
+			v.regs = grown
+		}
 	}
-	rf := v.regs[regBase : regBase+callee.NumRegs]
-	for i := range rf {
-		rf[i] = 0
-	}
+	rf := v.regs[regBase:need]
+	clear(rf)
 	copy(rf, args)
 	if v.taint != nil {
 		v.taintGrow(need)
@@ -247,7 +315,9 @@ func (v *VM) pushFrame(callee *ir.Func, args []uint64, retRegs []ir.Reg) {
 			v.trap(TrapStackOverflow, callee.Name)
 		}
 	}
-	v.frames = append(v.frames, frame{fn: callee, regBase: regBase, frameBase: fb, retRegs: retRegs})
+	v.frames = append(v.frames, frame{
+		fn: callee, code: df.code, regBase: regBase, frameBase: fb, retRegs: retRegs,
+	})
 	if len(v.frames) > 4096 {
 		v.trap(TrapStackOverflow, "call depth")
 	}
@@ -277,17 +347,19 @@ func (v *VM) Run() (err error) {
 	if entry.NumParams != 0 {
 		return fmt.Errorf("vm: entry %q takes parameters", entry.Name)
 	}
-	v.pushFrame(entry, nil, nil)
+	v.pushFrame(v.prog.Entry, nil, nil)
 	v.loop()
 	return nil
 }
 
-// loop is the interpreter. It runs until the entry function returns.
+// loop is the interpreter. It runs until the entry function returns. It
+// executes the pre-decoded form (see decode.go): cycle accounting is a
+// single precomputed byte and operand fetches dispatch on a precomputed
+// kind bit instead of re-inspecting ir.Operand tags.
 func (v *VM) loop() {
-	var retScratch []uint64
 	for {
 		fr := &v.frames[len(v.frames)-1]
-		code := fr.fn.Code
+		code := fr.code
 		if fr.pc < 0 || fr.pc >= len(code) {
 			v.trap(TrapInvalid, "pc out of range")
 		}
@@ -295,163 +367,161 @@ func (v *VM) loop() {
 		base := fr.regBase
 
 		if v.taint != nil {
-			v.taintStep(fr, in)
+			v.taintStep(fr, &fr.fn.Code[fr.pc])
 		}
 
-		// Application cycle accounting: secondary-chain instructions and
-		// FPM bookkeeping are free; fpm_store counts as the store it
-		// replaced.
-		switch {
-		case in.Flags&ir.FlagSecondary != 0:
-		case in.Op == ir.FimInj || in.Op == ir.FpmFetch:
-		default:
+		// Application cycle accounting, precomputed at decode time:
+		// secondary-chain instructions and FPM bookkeeping are free;
+		// fpm_store counts as the store it replaced.
+		if in.cost != 0 {
 			v.cycles++
 			if v.cycles&1023 == 0 {
 				v.housekeep()
 			}
 		}
 
-		switch in.Op {
+		switch in.op {
 		case ir.Nop:
 
 		case ir.ConstI, ir.ConstF:
-			v.regs[base+int(in.Dst)] = in.A.Imm
+			v.regs[base+int(in.dst)] = in.a
 		case ir.Mov:
-			v.regs[base+int(in.Dst)] = v.val(base, in.A)
+			v.regs[base+int(in.dst)] = v.opA(base, in)
 
 		case ir.Add:
-			v.regs[base+int(in.Dst)] = uint64(int64(v.val(base, in.A)) + int64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = uint64(int64(v.opA(base, in)) + int64(v.opB(base, in)))
 		case ir.Sub:
-			v.regs[base+int(in.Dst)] = uint64(int64(v.val(base, in.A)) - int64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = uint64(int64(v.opA(base, in)) - int64(v.opB(base, in)))
 		case ir.Mul:
-			v.regs[base+int(in.Dst)] = uint64(int64(v.val(base, in.A)) * int64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = uint64(int64(v.opA(base, in)) * int64(v.opB(base, in)))
 		case ir.SDiv:
-			a, b := int64(v.val(base, in.A)), int64(v.val(base, in.B))
+			a, b := int64(v.opA(base, in)), int64(v.opB(base, in))
 			if b == 0 {
 				v.trap(TrapDivZero, "sdiv")
 			}
 			if a == math.MinInt64 && b == -1 {
 				v.trap(TrapDivOverflow, "sdiv")
 			}
-			v.regs[base+int(in.Dst)] = uint64(a / b)
+			v.regs[base+int(in.dst)] = uint64(a / b)
 		case ir.SRem:
-			a, b := int64(v.val(base, in.A)), int64(v.val(base, in.B))
+			a, b := int64(v.opA(base, in)), int64(v.opB(base, in))
 			if b == 0 {
 				v.trap(TrapDivZero, "srem")
 			}
 			if a == math.MinInt64 && b == -1 {
 				v.trap(TrapDivOverflow, "srem")
 			}
-			v.regs[base+int(in.Dst)] = uint64(a % b)
+			v.regs[base+int(in.dst)] = uint64(a % b)
 		case ir.Shl:
-			v.regs[base+int(in.Dst)] = v.val(base, in.A) << (v.val(base, in.B) & 63)
+			v.regs[base+int(in.dst)] = v.opA(base, in) << (v.opB(base, in) & 63)
 		case ir.LShr:
-			v.regs[base+int(in.Dst)] = v.val(base, in.A) >> (v.val(base, in.B) & 63)
+			v.regs[base+int(in.dst)] = v.opA(base, in) >> (v.opB(base, in) & 63)
 		case ir.AShr:
-			v.regs[base+int(in.Dst)] = uint64(int64(v.val(base, in.A)) >> (v.val(base, in.B) & 63))
+			v.regs[base+int(in.dst)] = uint64(int64(v.opA(base, in)) >> (v.opB(base, in) & 63))
 		case ir.And:
-			v.regs[base+int(in.Dst)] = v.val(base, in.A) & v.val(base, in.B)
+			v.regs[base+int(in.dst)] = v.opA(base, in) & v.opB(base, in)
 		case ir.Or:
-			v.regs[base+int(in.Dst)] = v.val(base, in.A) | v.val(base, in.B)
+			v.regs[base+int(in.dst)] = v.opA(base, in) | v.opB(base, in)
 		case ir.Xor:
-			v.regs[base+int(in.Dst)] = v.val(base, in.A) ^ v.val(base, in.B)
+			v.regs[base+int(in.dst)] = v.opA(base, in) ^ v.opB(base, in)
 
 		case ir.FAdd:
-			v.regs[base+int(in.Dst)] = fbits(f64(v.val(base, in.A)) + f64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = fbits(f64(v.opA(base, in)) + f64(v.opB(base, in)))
 		case ir.FSub:
-			v.regs[base+int(in.Dst)] = fbits(f64(v.val(base, in.A)) - f64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = fbits(f64(v.opA(base, in)) - f64(v.opB(base, in)))
 		case ir.FMul:
-			v.regs[base+int(in.Dst)] = fbits(f64(v.val(base, in.A)) * f64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = fbits(f64(v.opA(base, in)) * f64(v.opB(base, in)))
 		case ir.FDiv:
-			v.regs[base+int(in.Dst)] = fbits(f64(v.val(base, in.A)) / f64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = fbits(f64(v.opA(base, in)) / f64(v.opB(base, in)))
 
 		case ir.SIToFP:
-			v.regs[base+int(in.Dst)] = fbits(float64(int64(v.val(base, in.A))))
+			v.regs[base+int(in.dst)] = fbits(float64(int64(v.opA(base, in))))
 		case ir.FPToSI:
-			v.regs[base+int(in.Dst)] = uint64(fptosi(f64(v.val(base, in.A))))
+			v.regs[base+int(in.dst)] = uint64(fptosi(f64(v.opA(base, in))))
 
 		case ir.ICmpEQ:
-			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) == int64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) == int64(v.opB(base, in)))
 		case ir.ICmpNE:
-			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) != int64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) != int64(v.opB(base, in)))
 		case ir.ICmpSLT:
-			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) < int64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) < int64(v.opB(base, in)))
 		case ir.ICmpSLE:
-			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) <= int64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) <= int64(v.opB(base, in)))
 		case ir.ICmpSGT:
-			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) > int64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) > int64(v.opB(base, in)))
 		case ir.ICmpSGE:
-			v.regs[base+int(in.Dst)] = b2w(int64(v.val(base, in.A)) >= int64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) >= int64(v.opB(base, in)))
 
 		case ir.FCmpEQ:
-			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) == f64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) == f64(v.opB(base, in)))
 		case ir.FCmpNE:
-			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) != f64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) != f64(v.opB(base, in)))
 		case ir.FCmpLT:
-			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) < f64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) < f64(v.opB(base, in)))
 		case ir.FCmpLE:
-			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) <= f64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) <= f64(v.opB(base, in)))
 		case ir.FCmpGT:
-			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) > f64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) > f64(v.opB(base, in)))
 		case ir.FCmpGE:
-			v.regs[base+int(in.Dst)] = b2w(f64(v.val(base, in.A)) >= f64(v.val(base, in.B)))
+			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) >= f64(v.opB(base, in)))
 
 		case ir.Select:
-			if v.val(base, in.A) != 0 {
-				v.regs[base+int(in.Dst)] = v.val(base, in.B)
+			if v.opA(base, in) != 0 {
+				v.regs[base+int(in.dst)] = v.opB(base, in)
 			} else {
-				v.regs[base+int(in.Dst)] = v.val(base, in.C)
+				v.regs[base+int(in.dst)] = v.opC(base, in)
 			}
 
 		case ir.Load:
-			addr := int64(v.val(base, in.A))
+			addr := int64(v.opA(base, in))
 			w, ok := v.mem.Read(addr)
 			if !ok {
 				v.trapMem(addr)
 			}
-			v.regs[base+int(in.Dst)] = w
+			v.regs[base+int(in.dst)] = w
 		case ir.Store:
-			addr := int64(v.val(base, in.B))
-			if !v.mem.Write(addr, v.val(base, in.A)) {
+			addr := int64(v.opB(base, in))
+			if !v.mem.Write(addr, v.opA(base, in)) {
 				v.trapMem(addr)
 			}
 		case ir.FrameAddr:
-			v.regs[base+int(in.Dst)] = uint64(fr.frameBase + int64(in.A.Imm))
+			v.regs[base+int(in.dst)] = uint64(fr.frameBase + int64(in.a))
 
 		case ir.Jmp:
-			fr.pc = int(in.Target)
+			fr.pc = int(in.target)
 			continue
 		case ir.Bnz:
-			if v.val(base, in.A) != 0 {
-				fr.pc = int(in.Target)
+			if v.opA(base, in) != 0 {
+				fr.pc = int(in.target)
 				continue
 			}
 		case ir.Bz:
-			if v.val(base, in.A) == 0 {
-				fr.pc = int(in.Target)
+			if v.opA(base, in) == 0 {
+				fr.pc = int(in.target)
 				continue
 			}
 
 		case ir.Call:
-			callee := v.prog.Funcs[in.Target]
-			retScratch = retScratch[:0]
-			for _, a := range in.Args {
-				retScratch = append(retScratch, v.val(base, a))
+			args := in.src.Args
+			v.ret = v.ret[:0]
+			for _, a := range args {
+				v.ret = append(v.ret, v.val(base, a))
 			}
 			if v.taint != nil {
 				v.taint.scratch = v.taint.scratch[:0]
-				for _, a := range in.Args {
+				for _, a := range args {
 					v.taint.scratch = append(v.taint.scratch, v.taintOf(base, a))
 				}
 			}
 			fr.pc++
-			v.pushFrame(callee, retScratch, in.Rets)
+			v.pushFrame(int(in.target), v.ret, in.src.Rets)
 			continue
 
 		case ir.Ret:
-			retScratch = retScratch[:0]
-			for _, a := range in.Args {
-				retScratch = append(retScratch, v.val(base, a))
+			args := in.src.Args
+			v.ret = v.ret[:0]
+			for _, a := range args {
+				v.ret = append(v.ret, v.val(base, a))
 			}
 			popped := v.frames[len(v.frames)-1]
 			if popped.fn.Frame > 0 {
@@ -463,17 +533,17 @@ func (v *VM) loop() {
 			}
 			caller := &v.frames[len(v.frames)-1]
 			for i, r := range popped.retRegs {
-				if i < len(retScratch) {
-					v.regs[caller.regBase+int(r)] = retScratch[i]
-					if v.taint != nil && i < len(in.Args) {
-						v.taint.regs[caller.regBase+int(r)] = v.taintOf(base, in.Args[i])
+				if i < len(v.ret) {
+					v.regs[caller.regBase+int(r)] = v.ret[i]
+					if v.taint != nil && i < len(args) {
+						v.taint.regs[caller.regBase+int(r)] = v.taintOf(base, args[i])
 					}
 				}
 			}
 			continue
 
 		case ir.Intrin:
-			v.intrin(fr, in)
+			v.intrin(fr, in.src)
 			if v.restored {
 				// A checkpoint rollback replaced the frame stack;
 				// refetch everything.
@@ -482,11 +552,11 @@ func (v *VM) loop() {
 			}
 
 		case ir.FimInj:
-			val := v.val(base, in.A)
+			val := v.opA(base, in)
 			site := v.sites
 			v.sites++
 			if v.taint != nil {
-				v.taint.regs[base+int(in.Dst)] = v.taintOf(base, in.A)
+				v.taint.regs[base+int(in.dst)] = v.taintOf(base, in.src.A)
 			}
 			if v.cfg.Injector != nil {
 				var flipped bool
@@ -494,25 +564,25 @@ func (v *VM) loop() {
 				if flipped {
 					v.injCycles = append(v.injCycles, v.cycles)
 					if v.taint != nil {
-						v.taint.regs[base+int(in.Dst)] = true
+						v.taint.regs[base+int(in.dst)] = true
 					}
 				}
 			}
-			v.regs[base+int(in.Dst)] = val
+			v.regs[base+int(in.dst)] = val
 
 		case ir.FpmFetch:
-			addr := int64(v.val(base, in.A))
+			addr := int64(v.opA(base, in))
 			w, ok := v.mem.Read(addr)
 			if !ok {
 				v.trapMem(addr)
 			}
-			v.regs[base+int(in.Dst)] = v.table.PristineOr(addr, w)
+			v.regs[base+int(in.dst)] = v.table.PristineOr(addr, w)
 
 		case ir.FpmStore:
 			v.fpmStore(base, in)
 
 		default:
-			v.trap(TrapInvalid, in.Op.String())
+			v.trap(TrapInvalid, in.op.String())
 		}
 		fr.pc++
 	}
@@ -527,11 +597,11 @@ func (v *VM) trapMem(addr int64) {
 
 // fpmStore implements the paper's fpm_store runtime call, including the
 // duplicate effect of corrupted store addresses (§3.2 "Store addresses").
-func (v *VM) fpmStore(base int, in *ir.Instr) {
-	vP := v.val(base, in.A) // primary value
-	vS := v.val(base, in.B) // pristine value
-	aP := int64(v.val(base, in.C))
-	aS := int64(v.val(base, in.D))
+func (v *VM) fpmStore(base int, in *dinstr) {
+	vP := v.opA(base, in) // primary value
+	vS := v.opB(base, in) // pristine value
+	aP := int64(v.opC(base, in))
+	aS := int64(v.opD(base, in))
 	before := v.table.Len()
 	if aP == aS {
 		if !v.mem.Write(aP, vP) {

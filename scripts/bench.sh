@@ -1,0 +1,53 @@
+#!/bin/sh
+# bench.sh — run the perf-trajectory benchmarks and emit machine-readable
+# JSON so successive PRs can diff throughput and allocation numbers.
+#
+# Usage:
+#
+#	scripts/bench.sh [OUT.json] [BENCH_REGEX] [COUNT]
+#
+# Defaults: OUT=BENCH.json, BENCH_REGEX covers the experiment hot path
+# (BenchmarkExperimentThroughput plus the interpreter microbenchmarks),
+# COUNT=3. BENCHTIME overrides -benchtime (CI smoke uses BENCHTIME=1x).
+# The raw `go test -bench` output is kept next to the JSON as OUT.txt.
+# Compare two snapshots with e.g.:
+#
+#	scripts/bench.sh BENCH_before.json && <apply change> && \
+#	scripts/bench.sh BENCH_after.json
+set -eu
+
+OUT="${1:-BENCH.json}"
+PATTERN="${2:-^(BenchmarkExperimentThroughput|BenchmarkInterp)}"
+COUNT="${3:-3}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+cd "$(dirname "$0")/.."
+RAW="${OUT%.json}.txt"
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" \
+	-benchtime "$BENCHTIME" -timeout 30m ./... | tee "$RAW"
+
+# Convert the benchmark lines to JSON. A line looks like:
+#   BenchmarkExperimentThroughput-8  1200  950000 ns/op  12000 B/op  150 allocs/op  1050 runs/s
+# i.e. name, iterations, then (value, unit) pairs.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^goos:/    { goos = $2 }
+/^goarch:/  { goarch = $2 }
+/^pkg:/     { pkg = $2 }
+/^Benchmark/ {
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"pkg\": \"%s\", \"iterations\": %s", $1, pkg, $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/[^A-Za-z0-9%\/]/, "_", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+BEGIN { printf "{\n \"date\": \"" date "\",\n \"benchmarks\": [\n" }
+END {
+	printf "\n ],\n"
+	printf " \"goos\": \"%s\", \"goarch\": \"%s\"\n}\n", goos, goarch
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT (raw output in $RAW)"
