@@ -8,7 +8,7 @@
 //	campaign [-runs N] [-seed S] [-apps LULESH,miniFE] [-scale test|default]
 //	         [-multifault LAMBDA] [-workers N] [-checkpoint PATH] [-resume]
 //	         [-progress INTERVAL] [-remote ADDR] [-priority N]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-shards N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The paper uses 5,000 runs per application on 1,024 cores; the default
 // here is sized for a laptop. Increase -runs for tighter statistics.
@@ -28,6 +28,15 @@
 // same seed — the daemon journals every job, so worker counts, scheduling,
 // and daemon restarts cannot change the results. -workers, -checkpoint and
 // -resume are daemon-side concerns and are ignored with a note.
+//
+// With -shards N (N > 1) each campaign is split into N experiment-ID
+// shards and merged back into one result — byte-identical to the
+// unsharded run, because the position-addressable RNG makes every shard
+// independently computable and the merge recomputes the fits. Locally,
+// -workers picks how many worker processes are spawned (default 2): the
+// command re-executes itself as short-lived faultpropd-style workers and
+// coordinates them over loopback HTTP. With -remote, the shard fan-out
+// happens on the daemon, across its registered peer workers.
 package main
 
 import (
@@ -65,10 +74,16 @@ func main() {
 	maxSummaries := flag.Int("max-summaries", 0, "retain at most this many per-experiment summaries (0: all)")
 	remote := flag.String("remote", "", "submit to a faultpropd daemon at this address instead of running locally")
 	priority := flag.Int("priority", 0, "job priority for -remote submissions (higher runs first)")
+	shards := flag.Int("shards", 0, "split each campaign into this many mergeable shards (locally: across -workers processes; with -remote: across the daemon's peer workers)")
+	serveWorker := flag.String("serve-worker", "", "internal: serve as a local shard worker with this data directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-campaign heap profile to this file")
 	flag.Parse()
 
+	if *serveWorker != "" {
+		serveWorkerMain(*serveWorker)
+		return
+	}
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
 		os.Exit(2)
@@ -108,14 +123,22 @@ func main() {
 	}
 
 	var results []*harness.CampaignResult
-	if *remote != "" {
+	switch {
+	case *remote != "":
 		results = runRemote(ctx, *remote, selected, remoteOpts{
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries, priority: *priority,
-			progressEvery: *progressEvery,
-			localFlags:    *workers != 0 || *checkpoint != "" || *resume,
+			shards: *shards, progressEvery: *progressEvery,
+			localFlags: *workers != 0 || *checkpoint != "" || *resume,
 		})
-	} else {
+	case *shards > 1:
+		results = runSharded(ctx, selected, shardedOpts{
+			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
+			sample: *sample, maxSummaries: *maxSummaries,
+			shards: *shards, procs: *workers, progressEvery: *progressEvery,
+			localFlags: *checkpoint != "" || *resume,
+		})
+	default:
 		results = runLocal(ctx, selected, localOpts{
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries, workers: *workers,
@@ -225,6 +248,7 @@ type remoteOpts struct {
 	sample        uint64
 	maxSummaries  int
 	priority      int
+	shards        int
 	progressEvery time.Duration
 	localFlags    bool
 }
@@ -254,6 +278,7 @@ func runRemote(ctx context.Context, addr string, selected []apps.App, o remoteOp
 			SampleEvery:      o.sample,
 			MaxSummaries:     o.maxSummaries,
 			Priority:         o.priority,
+			Shards:           o.shards,
 			Label:            "cmd/campaign",
 		}
 		var lastSnap *harness.Snapshot

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+// Local multi-process sharding: the command re-executes itself as N
+// short-lived worker daemons (the hidden -serve-worker mode below), runs
+// an in-process coordinator Server with those workers registered as
+// peers, and submits each campaign with Shards set. The coordinator
+// dispatches the shards over loopback HTTP and merges the partials, so
+// the local path and the -remote path exercise exactly the same code —
+// and the merged result is byte-identical to an unsharded run.
+
+type shardedOpts struct {
+	runs          int
+	seed          uint64
+	scale         string
+	multi         float64
+	sample        uint64
+	maxSummaries  int
+	shards        int
+	procs         int
+	progressEvery time.Duration
+	localFlags    bool
+}
+
+func runSharded(ctx context.Context, selected []apps.App, o shardedOpts) []*harness.CampaignResult {
+	if o.localFlags {
+		fmt.Fprintln(os.Stderr, "note: -checkpoint/-resume journal daemon-side and are ignored with -shards (the shard journal lives in a temp dir)")
+	}
+	if o.procs <= 0 {
+		o.procs = 2
+	}
+	if o.procs > o.shards {
+		o.procs = o.shards
+	}
+
+	tmp, err := os.MkdirTemp("", "campaign-shards-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sharded: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(tmp)
+
+	fleet, peers, err := spawnWorkers(tmp, o.procs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sharded: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopWorkers(fleet)
+
+	srv, err := service.New(service.Config{
+		Dir:           filepath.Join(tmp, "coordinator"),
+		ProgressEvery: 100 * time.Millisecond,
+		Heartbeat:     500 * time.Millisecond,
+		Peers:         peers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sharded: coordinator: %v\n", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "sharded: coordinator: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(dctx)
+	}()
+
+	var results []*harness.CampaignResult
+	for _, app := range selected {
+		start := time.Now()
+		st, err := srv.Submit(service.JobSpec{
+			App:              app.Name(),
+			Scale:            o.scale,
+			Runs:             o.runs,
+			Seed:             o.seed,
+			MultiFaultLambda: o.multi,
+			SampleEvery:      o.sample,
+			MaxSummaries:     o.maxSummaries,
+			Shards:           o.shards,
+			Label:            "cmd/campaign -shards",
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sharded campaign %s: %v\n", app.Name(), err)
+			os.Exit(1)
+		}
+		final, err := waitForJob(ctx, srv, st.ID, app.Name(), o.progressEvery)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sharded campaign %s: %v\n", app.Name(), err)
+			os.Exit(1)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "sharded campaign %s: interrupted\n", app.Name())
+			os.Exit(130)
+		}
+		if final.State != service.StateDone {
+			fmt.Fprintf(os.Stderr, "sharded campaign %s: job settled as %s: %s\n",
+				app.Name(), final.State, final.Error)
+			os.Exit(1)
+		}
+		res, err := srv.Result(st.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sharded campaign %s: %v\n", app.Name(), err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s: %d runs in %v across %d shards on %d workers (golden cycles %d, %d ranks)\n",
+			app.Name(), o.runs, time.Since(start).Round(time.Millisecond),
+			o.shards, o.procs, res.Golden.Cycles, res.Params.Ranks)
+		results = append(results, res)
+	}
+	return results
+}
+
+// waitForJob polls the in-process coordinator until the job settles,
+// printing progress on the requested interval.
+func waitForJob(ctx context.Context, srv *service.Server, id, app string,
+	progressEvery time.Duration) (service.JobStatus, error) {
+
+	lastProgress := time.Time{}
+	for {
+		st, err := srv.Job(id)
+		if err != nil {
+			return service.JobStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if progressEvery > 0 && st.Progress != nil && time.Since(lastProgress) >= progressEvery {
+			lastProgress = time.Now()
+			fmt.Fprintf(os.Stderr, "%s: %s\n", app, st.Progress)
+		}
+		select {
+		case <-ctx.Done():
+			// Cancel daemon-side too; shard workers stop via peer cancels.
+			_, _ = srv.Cancel(id)
+			st, _ := srv.Job(id)
+			return st, nil
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// spawnWorkers re-executes this binary n times in -serve-worker mode and
+// collects the addresses the workers report on stdout.
+func spawnWorkers(tmp string, n int) ([]*exec.Cmd, []string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, fmt.Errorf("worker exec path: %w", err)
+	}
+	var fleet []*exec.Cmd
+	var peers []string
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(tmp, fmt.Sprintf("worker-%d", i))
+		cmd := exec.Command(exe, "-serve-worker", dir)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			stopWorkers(fleet)
+			return nil, nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		if err := cmd.Start(); err != nil {
+			stopWorkers(fleet)
+			return nil, nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		fleet = append(fleet, cmd)
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			stopWorkers(fleet)
+			return nil, nil, fmt.Errorf("worker %d exited before reporting its address", i)
+		}
+		line := sc.Text() // "worker listening on HOST:PORT"
+		fields := strings.Fields(line)
+		addr := fields[len(fields)-1]
+		peers = append(peers, addr)
+		go func() { // drain any further output
+			for sc.Scan() {
+			}
+		}()
+	}
+	return fleet, peers, nil
+}
+
+func stopWorkers(fleet []*exec.Cmd) {
+	for _, c := range fleet {
+		_ = c.Process.Signal(syscall.SIGTERM)
+	}
+	for _, c := range fleet {
+		_ = c.Wait()
+	}
+}
+
+// serveHTTP starts the server's handler on an ephemeral loopback port.
+func serveHTTP(srv *service.Server) (string, <-chan error, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	return ln.Addr().String(), errCh, nil
+}
+
+// serveWorkerMain is the hidden -serve-worker mode: a minimal faultpropd
+// on an ephemeral loopback port, used as a shard worker by runSharded.
+// It prints "worker listening on HOST:PORT" on stdout and serves until
+// SIGTERM/SIGINT.
+func serveWorkerMain(dir string) {
+	srv, err := service.New(service.Config{
+		Dir:           dir,
+		JobSlots:      4,
+		ProgressEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		os.Exit(1)
+	}
+	addr, errCh, err := serveHTTP(srv)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("worker listening on %s\n", addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "worker: serve: %v\n", err)
+		os.Exit(1)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Drain(dctx)
+}

@@ -6,6 +6,7 @@
 //
 //	faultpropd [-addr HOST:PORT] [-data DIR] [-jobs N] [-pool N]
 //	           [-progress INTERVAL] [-drain-timeout D] [-pprof HOST:PORT]
+//	           [-peers URL,URL,...] [-heartbeat D] [-max-queue N]
 //
 // Every job is journaled under -data: killing the daemon (SIGINT/SIGTERM)
 // drains gracefully — running campaigns checkpoint and return to the
@@ -14,6 +15,12 @@
 //
 //	faultpropd -addr 127.0.0.1:7207 -data ./faultpropd-data &
 //	campaign -remote 127.0.0.1:7207 -apps LULESH -runs 500 -seed 1
+//
+// A daemon with registered peers (-peers, or POST /v1/workers at runtime)
+// also acts as a coordinator: a job submitted with shards > 1 is split
+// into per-shard jobs dispatched across the peers and merged into one
+// result, byte-identical to running the campaign unsharded. Any plain
+// faultpropd is a valid peer — workers need no special mode.
 //
 // The actual listen address is printed on startup ("faultpropd listening
 // on ..."), which makes -addr with port 0 usable in scripts.
@@ -28,6 +35,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +50,9 @@ func main() {
 	progressEvery := flag.Duration("progress", 500*time.Millisecond, "interval between streamed progress events")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for running campaigns to checkpoint on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof diagnostics on this address (empty: off)")
+	peers := flag.String("peers", "", "comma-separated peer worker URLs for coordinated (sharded) jobs")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "interval between peer worker liveness probes")
+	maxQueue := flag.Int("max-queue", 0, "reject submissions beyond this many queued jobs (0: unbounded)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -60,11 +71,20 @@ func main() {
 		}()
 	}
 
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 	srv, err := service.New(service.Config{
 		Dir:           *data,
 		JobSlots:      *jobs,
 		WorkerPool:    *pool,
 		ProgressEvery: *progressEvery,
+		MaxQueue:      *maxQueue,
+		Peers:         peerList,
+		Heartbeat:     *heartbeat,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faultpropd: %v\n", err)

@@ -18,8 +18,10 @@
 //	internal/mpi        the in-process message-passing runtime
 //	internal/apps       the five proxy applications of the evaluation
 //	internal/core       the per-experiment analysis pipeline
-//	internal/harness    campaigns and the paper's figures/tables
+//	internal/harness    campaigns, sharding/merging, the paper's figures/tables
 //	internal/model      propagation models, FPS, rollback estimators (§5)
+//	internal/service    faultpropd: the campaign daemon + shard coordinator
+//	internal/service/client  the typed /v1 HTTP client
 //
 // Quick start:
 //
@@ -43,6 +45,8 @@ import (
 	"repro/internal/inject"
 	"repro/internal/ir"
 	"repro/internal/model"
+	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/transform"
 )
 
@@ -71,6 +75,39 @@ type (
 	CampaignConfig = harness.CampaignConfig
 	// CampaignResult aggregates a campaign.
 	CampaignResult = harness.CampaignResult
+	// ShardSpec is one fingerprint-guarded slice [From,To) of a campaign's
+	// experiment IDs, produced by PlanShards.
+	ShardSpec = harness.ShardSpec
+	// PartialResult is the mergeable aggregate of one shard; merge with
+	// MergePartials and finalize into a CampaignResult byte-identical to
+	// an unsharded run.
+	PartialResult = harness.PartialResult
+	// FieldError is a typed CampaignConfig.Validate violation.
+	FieldError = harness.FieldError
+	// JobSpec is a campaign submission to a faultpropd daemon.
+	JobSpec = service.JobSpec
+	// JobStatus is the daemon-side record of one submitted campaign.
+	JobStatus = service.JobStatus
+	// ServiceClient is the typed HTTP client for faultpropd's /v1 API.
+	ServiceClient = client.Client
+)
+
+// Sentinel errors of the campaign and service layers, re-exported so
+// external callers never import internal/... paths.
+var (
+	// ErrInterrupted wraps errors returned by cancelled campaigns.
+	ErrInterrupted = harness.ErrInterrupted
+	// ErrFingerprintMismatch: a shard, journal, or partial belongs to a
+	// different campaign configuration.
+	ErrFingerprintMismatch = harness.ErrFingerprintMismatch
+	// ErrShardOverlap: merged partials cover overlapping experiment IDs.
+	ErrShardOverlap = harness.ErrShardOverlap
+	// ErrIncompleteCampaign: a merged result does not cover [0, Runs).
+	ErrIncompleteCampaign = harness.ErrIncompleteCampaign
+	// ErrJobNotFound: a daemon call named an unknown job.
+	ErrJobNotFound = service.ErrJobNotFound
+	// ErrQueueFull: the daemon's bounded queue rejected a submission.
+	ErrQueueFull = service.ErrQueueFull
 )
 
 // Outcome classes (paper §2).
@@ -112,7 +149,38 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 
 // RunCampaignContext is RunCampaign with cancellation: a cancelled campaign
 // journals its finished experiments (when cfg.Checkpoint is set) and
-// returns an error wrapping harness.ErrInterrupted.
+// returns an error wrapping ErrInterrupted.
 func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
 	return harness.RunCampaignContext(ctx, cfg)
+}
+
+// PlanShards carves cfg's [0, Runs) experiment IDs into n contiguous,
+// fingerprint-guarded shard specs. Each shard runs independently (the
+// position-addressable RNG needs no coordination) and MergePartials
+// reassembles the whole campaign.
+func PlanShards(cfg CampaignConfig, n int) ([]ShardSpec, error) {
+	return harness.PlanShards(cfg, n)
+}
+
+// RunShard executes one shard of a campaign and returns its mergeable
+// partial aggregate.
+func RunShard(cfg CampaignConfig, spec ShardSpec) (*PartialResult, error) {
+	return harness.RunShard(cfg, spec)
+}
+
+// RunShardContext is RunShard with cancellation.
+func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*PartialResult, error) {
+	return harness.RunShardContext(ctx, cfg, spec)
+}
+
+// MergePartials merges shard partials (any order) and finalizes them into
+// a CampaignResult byte-identical to running the campaign unsharded.
+func MergePartials(parts ...*PartialResult) (*CampaignResult, error) {
+	return harness.MergePartials(parts...)
+}
+
+// NewServiceClient returns a typed client for the faultpropd daemon at
+// base (host:port or URL), speaking the versioned /v1 API.
+func NewServiceClient(base string) (*ServiceClient, error) {
+	return client.New(base)
 }

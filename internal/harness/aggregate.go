@@ -111,25 +111,29 @@ func insertByID[T any](s []T, v T, cap int, id func(T) int) []T {
 	return s
 }
 
-// finalize writes the aggregate into res.
-func (a *aggregator) finalize(res *CampaignResult) {
+// intoPartial writes the aggregate into the mergeable partial, every
+// retained slice sorted by experiment ID. The propagation model is NOT
+// built here — PartialResult.Finalize rebuilds it from the (merged) fits,
+// so sharded and single-process campaigns go through the same code path.
+func (a *aggregator) intoPartial(p *PartialResult) {
 	sort.Slice(a.summaries, func(i, j int) bool { return a.summaries[i].ID < a.summaries[j].ID })
-	res.Tally = a.tally
-	res.Experiments = a.summaries
-	res.StructTotals = a.structTotals
+	p.Tally = a.tally
+	p.Experiments = a.summaries
+	p.StructTotals = a.structTotals
 
 	var profs []Profile
 	for _, ps := range a.profiles {
 		profs = append(profs, ps...)
 	}
 	sort.Slice(profs, func(i, j int) bool { return profs[i].ID < profs[j].ID })
-	res.Profiles = profs
-	res.BestSpread = a.spread
+	p.Profiles = profs
+	p.Spread = a.spread
+	p.HasSpread = a.hasSpread
 
 	sort.Slice(a.fits, func(i, j int) bool { return a.fits[i].id < a.fits[j].id })
-	fits := make([]model.RunFit, len(a.fits))
+	fits := make([]IDFit, len(a.fits))
 	for i := range a.fits {
-		fits[i] = a.fits[i].fit
+		fits[i] = IDFit{ID: a.fits[i].id, Fit: a.fits[i].fit}
 	}
-	res.Model = model.BuildAppModel(res.App, fits)
+	p.Fits = fits
 }

@@ -93,6 +93,60 @@ type CampaignConfig struct {
 // the checkpoint journal holds the completed experiments.
 var ErrInterrupted = errors.New("harness: campaign interrupted")
 
+// FieldError reports one invalid CampaignConfig field. Validate returns
+// the first violation; callers can errors.As for the field name.
+type FieldError struct {
+	Field  string
+	Reason string
+}
+
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("harness: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration without running anything. It is called
+// by RunCampaign and RunShardContext, so callers only need it to fail fast
+// (e.g. at submission time) before spending a golden run.
+func (cfg CampaignConfig) Validate() error {
+	switch {
+	case cfg.App == nil:
+		return &FieldError{Field: "App", Reason: "must be set"}
+	case cfg.Runs <= 0:
+		return &FieldError{Field: "Runs", Reason: "must be > 0"}
+	case cfg.MultiFaultLambda < 0:
+		return &FieldError{Field: "MultiFaultLambda", Reason: "must be >= 0"}
+	case cfg.HangFactor < 0:
+		return &FieldError{Field: "HangFactor", Reason: "must be >= 0"}
+	case cfg.Workers < 0:
+		return &FieldError{Field: "Workers", Reason: "must be >= 0"}
+	case cfg.KeepProfiles < 0:
+		return &FieldError{Field: "KeepProfiles", Reason: "must be >= 0"}
+	case cfg.MaxSummaries < 0:
+		return &FieldError{Field: "MaxSummaries", Reason: "must be >= 0"}
+	case cfg.StopAfter < 0:
+		return &FieldError{Field: "StopAfter", Reason: "must be >= 0"}
+	case cfg.Resume && cfg.Checkpoint == "":
+		return &FieldError{Field: "Resume", Reason: "requires a Checkpoint path"}
+	}
+	return nil
+}
+
+// withDefaults resolves the zero-value conventions into concrete settings.
+// Defaults that are result-determining (HangFactor) must be applied before
+// fingerprinting, which is why Fingerprint normalizes the same way.
+func (cfg CampaignConfig) withDefaults() CampaignConfig {
+	if cfg.HangFactor == 0 {
+		cfg.HangFactor = 4
+	}
+	if cfg.KeepProfiles == 0 {
+		cfg.KeepProfiles = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}
+
 // ExperimentSummary is the retained record of one injection run.
 type ExperimentSummary struct {
 	ID      int
@@ -180,21 +234,39 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 // wrapping both ErrInterrupted and the context's cause. A cancelled
 // campaign with a Checkpoint therefore leaves a resumable journal, and
 // resuming it yields results identical to an uninterrupted run.
+//
+// It is a thin wrapper over RunShardContext: the whole campaign is the
+// [0, Runs) shard, finalized in place.
 func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
-	if cfg.Runs <= 0 {
-		return nil, fmt.Errorf("harness: campaign needs Runs > 0")
+	part, err := RunShardContext(ctx, cfg, ShardSpec{Shards: 1, To: cfg.Runs, Runs: cfg.Runs})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.HangFactor == 0 {
-		cfg.HangFactor = 4
+	return part.Finalize()
+}
+
+// RunShard is RunShardContext with a background context.
+func RunShard(cfg CampaignConfig, spec ShardSpec) (*PartialResult, error) {
+	return RunShardContext(context.Background(), cfg, spec)
+}
+
+// RunShardContext executes the experiments in spec's ID range [From, To)
+// and returns their mergeable partial aggregate. Experiment i draws from
+// xrand.At(Seed, i) regardless of sharding, so running a campaign as any
+// partition of shards — in any processes, merged in any order — finalizes
+// into results byte-identical to the single-process run. When spec carries
+// a Fingerprint it must match the configuration; cfg.Checkpoint journals
+// are per-shard (give each shard its own path).
+func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*PartialResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.KeepProfiles == 0 {
-		cfg.KeepProfiles = 2
+	cfg = cfg.withDefaults()
+	if spec.Runs == 0 {
+		spec.Runs = cfg.Runs
 	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.Resume && cfg.Checkpoint == "" {
-		return nil, fmt.Errorf("harness: Resume requires a Checkpoint path")
+	if err := spec.validate(cfg); err != nil {
+		return nil, err
 	}
 	prog, err := cfg.App.Build(cfg.Params)
 	if err != nil {
@@ -211,10 +283,11 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 	if golden.Err != nil {
 		return nil, fmt.Errorf("harness: golden run of %s failed: %w", cfg.App.Name(), golden.Err)
 	}
-	res := &CampaignResult{
-		App:    cfg.App.Name(),
-		Params: cfg.Params,
-		Runs:   cfg.Runs,
+	part := &PartialResult{
+		Fingerprint: cfg.fingerprint(),
+		App:         cfg.App.Name(),
+		Params:      cfg.Params,
+		Runs:        cfg.Runs,
 		Golden: classify.Golden{
 			Outputs:    golden.Outputs,
 			Cycles:     golden.Cycles,
@@ -222,9 +295,11 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 		},
 		GoldenSites:    golden.SiteCounts(),
 		AllocatedWords: golden.AllocatedTotal,
+		KeepProfiles:   cfg.KeepProfiles,
+		MaxSummaries:   cfg.MaxSummaries,
 	}
 	hasSites := false
-	for _, n := range res.GoldenSites {
+	for _, n := range part.GoldenSites {
 		if n > 0 {
 			hasSites = true
 			break
@@ -237,12 +312,16 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 	criteria := classify.DefaultCriteria()
 	cycleLimit := uint64(float64(golden.Cycles) * cfg.HangFactor)
 
+	// completed is indexed by offset into the shard's ID range.
 	agg := newAggregator(cfg)
-	completed := make([]bool, cfg.Runs)
+	completed := make([]bool, spec.Size())
 	resumed := 0
 	var journal *journalWriter
 	if cfg.Checkpoint != "" {
-		fp := cfg.fingerprint()
+		// The journal fingerprint binds the file to this shard's range as
+		// well as the campaign config (full-range runs keep the legacy
+		// campaign-only hash, so existing journals stay resumable).
+		fp := journalFingerprint(part.Fingerprint, spec)
 		if cfg.Resume {
 			recs, _, err := readJournal(cfg.Checkpoint, fp)
 			if err != nil {
@@ -250,10 +329,10 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 			}
 			for _, rec := range recs {
 				id := rec.Sum.ID
-				if id < 0 || id >= cfg.Runs || completed[id] {
+				if id < spec.From || id >= spec.To || completed[id-spec.From] {
 					continue
 				}
-				completed[id] = true
+				completed[id-spec.From] = true
 				resumed++
 				agg.add(rec.toExpOut())
 				if cfg.OnExperiment != nil {
@@ -269,13 +348,13 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 	}
 
 	var pending []int
-	for id := range completed {
-		if !completed[id] {
-			pending = append(pending, id)
+	for off := range completed {
+		if !completed[off] {
+			pending = append(pending, spec.From+off)
 		}
 	}
 
-	cfg.Progress.begin(cfg.Runs, cfg.Workers)
+	cfg.Progress.begin(spec.Size(), cfg.Workers)
 	cfg.Progress.noteResumed(resumed)
 
 	// Streaming execution: workers pull experiment IDs, run them, and feed
@@ -315,8 +394,8 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 				}
 				cfg.Progress.noteStart()
 				t0 := time.Now()
-				o := runExperiment(id, inst, planFor(cfg, id, res.GoldenSites),
-					wcfg, criteria, res.Golden, cycleLimit)
+				o := runExperiment(id, inst, planFor(cfg, id, part.GoldenSites),
+					wcfg, criteria, part.Golden, cycleLimit)
 				cfg.Progress.noteDone(o.sum.Outcome, time.Since(t0))
 				if cfg.Gate != nil {
 					cfg.Gate <- struct{}{}
@@ -362,16 +441,19 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 	if journalErr != nil {
 		return nil, journalErr
 	}
-	if resumed+executed < cfg.Runs {
+	if resumed+executed < spec.Size() {
 		if cause := context.Cause(ctx); cause != nil {
 			return nil, fmt.Errorf("%w after %d of %d experiments: %v",
-				ErrInterrupted, resumed+executed, cfg.Runs, cause)
+				ErrInterrupted, resumed+executed, spec.Size(), cause)
 		}
 		return nil, fmt.Errorf("%w after %d of %d experiments",
-			ErrInterrupted, resumed+executed, cfg.Runs)
+			ErrInterrupted, resumed+executed, spec.Size())
 	}
-	agg.finalize(res)
-	return res, nil
+	agg.intoPartial(part)
+	if spec.Size() > 0 {
+		part.Ranges = []IDRange{{From: spec.From, To: spec.To}}
+	}
+	return part, nil
 }
 
 // planFor draws experiment id's fault plan from its position-addressable

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -41,6 +42,25 @@ func (r journalRecord) toExpOut() expOut {
 	return expOut{sum: r.Sum, points: r.Points, spread: r.Spread, structCML: r.StructCML}
 }
 
+// ErrFingerprintMismatch reports a checkpoint journal, shard spec, or
+// partial result that belongs to a different campaign configuration than
+// the one in hand. Match it with errors.Is.
+var ErrFingerprintMismatch = errors.New("campaign fingerprint mismatch")
+
+// Fingerprint hashes the configuration fields that determine
+// per-experiment results. It binds checkpoint journals, shard specs, and
+// partial results to their campaign: merging or resuming under a different
+// seed, workload, or fault model is refused rather than silently mixing
+// incompatible experiments. Zero-value defaults that are result-
+// determining (HangFactor) are normalized first, so the fingerprint of a
+// config equals the fingerprint of the campaign it runs.
+func (cfg CampaignConfig) Fingerprint() string {
+	if cfg.HangFactor == 0 {
+		cfg.HangFactor = 4
+	}
+	return cfg.fingerprint()
+}
+
 // fingerprint hashes the configuration fields that determine per-experiment
 // results, binding a journal to its campaign: resuming under a different
 // seed, workload, or fault model is refused rather than silently mixing
@@ -52,6 +72,18 @@ func (cfg CampaignConfig) fingerprint() string {
 		cfg.App.Name(), cfg.Params, cfg.Runs, cfg.Seed,
 		cfg.MultiFaultLambda, cfg.HangFactor, cfg.SampleEvery)
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// journalFingerprint derives the checkpoint-journal fingerprint for one
+// shard: the campaign fingerprint plus the shard's ID range, so a shard
+// cannot resume from a sibling's journal. Full-range runs keep the bare
+// campaign fingerprint — journals written before sharding existed stay
+// resumable.
+func journalFingerprint(campaignFP string, spec ShardSpec) string {
+	if spec.From == 0 && spec.To == spec.Runs {
+		return campaignFP
+	}
+	return fmt.Sprintf("%s|shard=%d-%d", campaignFP, spec.From, spec.To)
 }
 
 // journalWriter appends records to the checkpoint file.
@@ -186,8 +218,8 @@ func readJournal(path, fingerprint string) (recs []journalRecord, found bool, er
 	}
 	if hdr.Fingerprint != fingerprint {
 		return nil, false, fmt.Errorf(
-			"harness: checkpoint %s was written by a different campaign (fingerprint %s, want %s)",
-			path, hdr.Fingerprint, fingerprint)
+			"harness: checkpoint %s was written by a different campaign (%w: journal %s, want %s)",
+			path, ErrFingerprintMismatch, hdr.Fingerprint, fingerprint)
 	}
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())

@@ -6,18 +6,33 @@
 // results (per-experiment summaries, progress metrics, final tallies) to
 // any number of watchers.
 //
-// The HTTP surface (all request/response bodies are JSON):
+// A daemon can also act as a shard coordinator: a job submitted with
+// Shards > 1 is decomposed into fingerprint-guarded shard jobs dispatched
+// to registered peer workers (other faultpropd instances), their partial
+// aggregates merged into a result byte-identical to a single-process run.
 //
-//	POST   /api/v1/jobs             submit a JobSpec, returns JobStatus
-//	GET    /api/v1/jobs             list all jobs
-//	GET    /api/v1/jobs/{id}        one job's status
-//	GET    /api/v1/jobs/{id}/stream NDJSON event stream (SSE with Accept: text/event-stream)
-//	GET    /api/v1/jobs/{id}/result final CampaignResult of a finished job
-//	POST   /api/v1/jobs/{id}/cancel cancel a queued or running job
-//	DELETE /api/v1/jobs/{id}        alias for cancel
-//	GET    /api/v1/metrics          service metrics, JSON
-//	GET    /metrics                 service metrics, Prometheus text format
-//	GET    /healthz                 liveness probe
+// The HTTP surface, versioned under /v1/ (all request/response bodies are
+// JSON; error bodies carry {"error": message, "code": machine-code}):
+//
+//	GET    /v1/version          API version and capability document
+//	POST   /v1/jobs             submit a JobSpec, returns JobStatus
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/stream NDJSON event stream (SSE with Accept: text/event-stream)
+//	GET    /v1/jobs/{id}/result final CampaignResult of a finished job
+//	GET    /v1/jobs/{id}/partial mergeable PartialResult of a finished shard job
+//	POST   /v1/jobs/{id}/cancel cancel a queued or running job
+//	DELETE /v1/jobs/{id}        alias for cancel
+//	GET    /v1/metrics          service metrics, JSON
+//	GET    /v1/workers          list registered peer workers
+//	POST   /v1/workers          register a peer worker {"name","url"}
+//	DELETE /v1/workers/{name}   deregister a peer worker
+//	GET    /metrics             service metrics, Prometheus text format
+//	GET    /healthz             liveness probe
+//
+// The pre-versioning /api/v1/* paths remain as permanent-redirect compat
+// handlers (301 for GET/HEAD, 308 otherwise) for one release; new clients
+// must speak /v1/*.
 package service
 
 import (
@@ -59,20 +74,43 @@ type JobSpec struct {
 	Priority int `json:"priority,omitempty"`
 	// Label is a free-form operator annotation.
 	Label string `json:"label,omitempty"`
+	// Shards, when > 1, makes this a coordinated job: the daemon splits
+	// the campaign into that many shard jobs, dispatches them to its
+	// registered peer workers, and merges the partial aggregates into a
+	// result byte-identical to an unsharded run.
+	Shards int `json:"shards,omitempty"`
+	// Shard marks this job as one shard of a coordinated campaign. Set by
+	// coordinators when dispatching to workers, not by end users; the
+	// worker runs only the spec's ID range and exposes a PartialResult
+	// instead of a CampaignResult.
+	Shard *harness.ShardSpec `json:"shard,omitempty"`
 }
 
-// Validate checks the spec without building anything.
+// Validate checks the spec without building anything. Violations wrap
+// ErrInvalidSpec.
 func (s JobSpec) Validate() error {
 	if apps.ByName(s.App) == nil {
-		return fmt.Errorf("service: unknown app %q", s.App)
+		return fmt.Errorf("%w: unknown app %q", ErrInvalidSpec, s.App)
 	}
 	if s.Runs <= 0 {
-		return fmt.Errorf("service: job needs runs > 0")
+		return fmt.Errorf("%w: job needs runs > 0", ErrInvalidSpec)
 	}
 	switch s.Scale {
 	case "", "default", "test":
 	default:
-		return fmt.Errorf("service: unknown scale %q (want default or test)", s.Scale)
+		return fmt.Errorf("%w: unknown scale %q (want default or test)", ErrInvalidSpec, s.Scale)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("%w: shards must be >= 0", ErrInvalidSpec)
+	}
+	if s.Shards > 1 && s.Shard != nil {
+		return fmt.Errorf("%w: shards and shard are mutually exclusive", ErrInvalidSpec)
+	}
+	if s.Shard != nil {
+		if s.Shard.From < 0 || s.Shard.From > s.Shard.To || s.Shard.To > s.Runs {
+			return fmt.Errorf("%w: shard range [%d,%d) outside campaign [0,%d)",
+				ErrInvalidSpec, s.Shard.From, s.Shard.To, s.Runs)
+		}
 	}
 	return nil
 }
@@ -136,13 +174,19 @@ type JobStatus struct {
 	// by a daemon restart it stays zero.
 	Finished time.Time `json:"finished"`
 	Error    string    `json:"error,omitempty"`
+	// ErrorCode is the machine-readable code of Error when the failure
+	// maps to a service sentinel (see ErrorForCode); coordinators use it
+	// to tell a retryable worker failure from a fatal one (e.g.
+	// "fingerprint_mismatch") without string matching.
+	ErrorCode string `json:"errorCode,omitempty"`
 	// Resumed counts experiments replayed from the checkpoint journal the
 	// last time the job (re)started — nonzero after a daemon restart.
 	Resumed int `json:"resumed,omitempty"`
 	// Progress is a live snapshot, present while the job runs.
 	Progress *harness.Snapshot `json:"progress,omitempty"`
 	// Tally and FPS summarize a done job (the full CampaignResult is at
-	// /api/v1/jobs/{id}/result).
+	// /v1/jobs/{id}/result; shard jobs expose /v1/jobs/{id}/partial and
+	// leave FPS zero — the model is only built after the merge).
 	Tally *classify.Tally `json:"tally,omitempty"`
 	FPS   float64         `json:"fps,omitempty"`
 }
@@ -192,7 +236,24 @@ type ExperimentEvent struct {
 	Resumed bool `json:"resumed,omitempty"`
 }
 
-// Metrics is the /api/v1/metrics document.
+// APIVersion is the current HTTP API version prefix.
+const APIVersion = "v1"
+
+// VersionInfo is the GET /v1/version capability document: what API this
+// daemon speaks and which optional features it supports. Clients and
+// coordinators feature-detect from Capabilities instead of sniffing
+// routes.
+type VersionInfo struct {
+	Service string `json:"service"`
+	// API is the version prefix ("v1").
+	API string `json:"api"`
+	// Capabilities lists supported feature tags: "jobs", "stream",
+	// "metrics", "shards" (accepts shard jobs, serves partials),
+	// "coordinate" (decomposes Shards > 1 jobs across peer workers).
+	Capabilities []string `json:"capabilities"`
+}
+
+// Metrics is the /v1/metrics document.
 type Metrics struct {
 	// QueueDepth counts jobs waiting for a slot; RunningJobs counts jobs
 	// currently executing.

@@ -3,6 +3,11 @@
 // submit, watch the live event stream, cancel, fetch the final result —
 // with context cancellation everywhere and bounded retry on transient
 // failures of idempotent calls.
+//
+// The client speaks the versioned /v1 API. Error responses carry a wire
+// code that the client maps back to the service sentinels, so
+// errors.Is(err, service.ErrJobNotFound) (and the rest) hold across the
+// HTTP transport.
 package client
 
 import (
@@ -66,15 +71,23 @@ func New(base string, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-// APIError is a non-2xx response from the daemon.
+// APIError is a non-2xx response from the daemon. When the daemon sent a
+// wire code, Code holds it and Unwrap chains to the matching service
+// sentinel — errors.Is(err, service.ErrJobNotFound) works through the
+// transport.
 type APIError struct {
 	Status  int
 	Message string
+	Code    string
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("client: daemon returned %d: %s", e.Status, e.Message)
 }
+
+// Unwrap returns the service sentinel for the response's wire code, or
+// nil when the daemon sent no (or an unknown) code.
+func (e *APIError) Unwrap() error { return service.ErrorForCode(e.Code) }
 
 // retryable reports whether an attempt may be retried: transport errors
 // and 5xx responses are transient, 4xx are not.
@@ -110,12 +123,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e struct {
 			Error string `json:"error"`
+			Code  string `json:"code"`
 		}
 		msg := resp.Status
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{Status: resp.StatusCode, Message: msg, Code: e.Code}
 	}
 	if out == nil {
 		return nil
@@ -150,35 +164,35 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body, out any
 // should list jobs before resubmitting.
 func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", spec, &st)
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
 	return st, err
 }
 
 // Job fetches one job's status.
 func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
 	var st service.JobStatus
-	err := c.doRetry(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id), nil, &st)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st)
 	return st, err
 }
 
 // Jobs lists every job the daemon knows.
 func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
 	var list []service.JobStatus
-	err := c.doRetry(ctx, http.MethodGet, "/api/v1/jobs", nil, &list)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/jobs", nil, &list)
 	return list, err
 }
 
 // Cancel stops a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodPost, "/api/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &st)
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &st)
 	return st, err
 }
 
 // Result fetches a done job's full campaign result.
 func (c *Client) Result(ctx context.Context, id string) (*harness.CampaignResult, error) {
 	var res harness.CampaignResult
-	if err := c.doRetry(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id)+"/result", nil, &res); err != nil {
+	if err := c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil
@@ -187,8 +201,46 @@ func (c *Client) Result(ctx context.Context, id string) (*harness.CampaignResult
 // Metrics fetches the service metrics document.
 func (c *Client) Metrics(ctx context.Context) (service.Metrics, error) {
 	var m service.Metrics
-	err := c.doRetry(ctx, http.MethodGet, "/api/v1/metrics", nil, &m)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/metrics", nil, &m)
 	return m, err
+}
+
+// Version fetches the daemon's API version and capability list.
+func (c *Client) Version(ctx context.Context) (service.VersionInfo, error) {
+	var v service.VersionInfo
+	err := c.doRetry(ctx, http.MethodGet, "/v1/version", nil, &v)
+	return v, err
+}
+
+// Partial fetches a done shard job's mergeable partial aggregate.
+func (c *Client) Partial(ctx context.Context, id string) (*harness.PartialResult, error) {
+	var part harness.PartialResult
+	if err := c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/partial", nil, &part); err != nil {
+		return nil, err
+	}
+	return &part, nil
+}
+
+// Workers lists the daemon's registered peer workers.
+func (c *Client) Workers(ctx context.Context) ([]service.WorkerInfo, error) {
+	var list []service.WorkerInfo
+	err := c.doRetry(ctx, http.MethodGet, "/v1/workers", nil, &list)
+	return list, err
+}
+
+// RegisterWorker adds (or revives) a peer worker on the daemon, making it
+// a dispatch target for coordinated (Shards > 1) jobs. An empty name
+// defaults to the worker URL's host:port.
+func (c *Client) RegisterWorker(ctx context.Context, name, workerURL string) (service.WorkerInfo, error) {
+	var info service.WorkerInfo
+	err := c.do(ctx, http.MethodPost, "/v1/workers",
+		map[string]string{"name": name, "url": workerURL}, &info)
+	return info, err
+}
+
+// RemoveWorker deregisters a peer worker from the daemon.
+func (c *Client) RemoveWorker(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/workers/"+url.PathEscape(name), nil, nil)
 }
 
 // Watch streams a job's events, invoking fn for each one until the job
@@ -223,7 +275,7 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(service.Event) er
 // terminal event arrived (the stream completed its job).
 func (c *Client) watchOnce(ctx context.Context, id string, fn func(service.Event) error) (terminal bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/api/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
 	if err != nil {
 		return false, fmt.Errorf("client: %w", err)
 	}
@@ -235,12 +287,13 @@ func (c *Client) watchOnce(ctx context.Context, id string, fn func(service.Event
 	if resp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
+			Code  string `json:"code"`
 		}
 		msg := resp.Status
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return false, &APIError{Status: resp.StatusCode, Message: msg}
+		return false, &APIError{Status: resp.StatusCode, Message: msg, Code: e.Code}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)

@@ -1,0 +1,409 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// The coordinator turns one submitted job with Shards > 1 into a fleet of
+// shard jobs on registered peer workers:
+//
+//	plan    PlanShards carves [0, Runs) into fingerprint-guarded specs
+//	journal completed shards recorded in job-<id>.shards.jsonl, partials
+//	        parked on disk — a coordinator restart re-runs only the
+//	        missing shards
+//	dispatch each pending shard goes to the least-loaded alive worker;
+//	        worker death (failed heartbeat, failed polls) requeues the
+//	        shard with backoff onto surviving workers
+//	merge   partials merge order-independently; the finalized result is
+//	        byte-identical to a single-process run of the same spec
+//
+// The coordinator publishes merged progress events on the job's stream,
+// so watchers see one campaign, not N shards.
+
+// maxShardAttempts bounds re-dispatches of one shard before the whole job
+// fails: transient worker deaths retry, a systematically failing shard
+// does not loop forever.
+const maxShardAttempts = 5
+
+// shardJournalRecord is one completed shard in the coordinator's journal.
+type shardJournalRecord struct {
+	Shard  int    `json:"shard"`
+	Worker string `json:"worker"`
+	// Path is the partial's on-disk location, owned by this record.
+	Path string `json:"path"`
+}
+
+// shardTask is the dispatch-loop state of one shard.
+type shardTask struct {
+	spec     harness.ShardSpec
+	attempts int
+	notAfter time.Time // backoff: do not dispatch before this
+}
+
+// shardOutcome is what one dispatch goroutine reports back.
+type shardOutcome struct {
+	task    *shardTask
+	worker  WorkerInfo
+	partial *harness.PartialResult
+	err     error
+	// fatal marks errors that must fail the job instead of re-dispatching
+	// (fingerprint mismatch, invalid spec): no amount of retrying fixes a
+	// wrong campaign.
+	fatal bool
+}
+
+// runCoordinated executes a Shards > 1 job by decomposition: it returns
+// the merged result, or an error (wrapping ErrInterrupted for
+// cancel/drain, like the local path, so runJob's settlement logic treats
+// both transports identically).
+func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*harness.CampaignResult, error) {
+	cfg, err := st.Spec.CampaignConfig()
+	if err != nil {
+		return nil, err
+	}
+	specs, err := harness.PlanShards(cfg, st.Spec.Shards)
+	if err != nil {
+		return nil, err
+	}
+	fingerprint := cfg.Fingerprint()
+
+	// Replay the shard journal: shards whose partials are already on disk
+	// (a previous coordinator run) are not re-dispatched.
+	parts := make([]*harness.PartialResult, len(specs))
+	journal, err := s.openShardJournal(st.ID, fingerprint, specs, parts)
+	if err != nil {
+		return nil, err
+	}
+	defer journal.close()
+	resumedRuns := 0
+	for i, p := range parts {
+		if p != nil {
+			resumedRuns += specs[i].Size()
+		}
+	}
+
+	var pending []*shardTask
+	for i := range specs {
+		if parts[i] == nil {
+			pending = append(pending, &shardTask{spec: specs[i]})
+		}
+	}
+	remaining := len(pending)
+
+	// inflight tracks dispatched shards for progress merging and
+	// teardown. The map and the flight fields are guarded by j.mu: the
+	// dispatch goroutines update progress through it while the loop below
+	// reads it.
+	type flight struct {
+		worker WorkerInfo
+		jobID  string
+		done   int // last polled per-shard progress
+	}
+	inflight := make(map[*shardTask]*flight)
+	outcomes := make(chan shardOutcome)
+
+	publishProgress := func(started time.Time) {
+		snap := harness.Snapshot{
+			Total:   cfg.Runs,
+			Resumed: resumedRuns,
+			Elapsed: time.Since(started),
+		}
+		for i, p := range parts {
+			if p == nil {
+				continue
+			}
+			snap.Done += specs[i].Size()
+			for o := range p.Tally.Counts {
+				snap.Outcomes[o] += p.Tally.Counts[o]
+			}
+		}
+		j.mu.Lock()
+		for _, f := range inflight {
+			snap.Done += f.done
+			snap.Running++
+		}
+		if snap.Elapsed > 0 {
+			snap.RunsPerSec = float64(snap.Done-resumedRuns) / snap.Elapsed.Seconds()
+		}
+		cp := snap
+		j.coordProg = &cp
+		j.mu.Unlock()
+		j.hub.publish(Event{Kind: EventProgress, Job: st.ID, State: StateRunning, Progress: &snap})
+	}
+
+	dispatch := func(t *shardTask, w WorkerInfo) {
+		j.mu.Lock()
+		inflight[t] = &flight{worker: w}
+		j.mu.Unlock()
+		go func() {
+			out := s.runShardOn(ctx, w, st, t, func(done int) {
+				j.mu.Lock()
+				if f := inflight[t]; f != nil {
+					f.done = done
+				}
+				j.mu.Unlock()
+			}, func(jobID string) {
+				j.mu.Lock()
+				if f := inflight[t]; f != nil {
+					f.jobID = jobID
+				}
+				j.mu.Unlock()
+			})
+			select {
+			case outcomes <- out:
+			case <-ctx.Done():
+				// The interrupted path reads teardown info straight from
+				// inflight; nobody drains this outcome.
+			}
+		}()
+	}
+
+	started := time.Now()
+	tick := time.NewTicker(s.cfg.ProgressEvery)
+	defer tick.Stop()
+
+	assign := func() {
+		now := time.Now()
+		var rest []*shardTask
+		noWorker := false
+		for _, t := range pending {
+			if noWorker || now.Before(t.notAfter) {
+				rest = append(rest, t)
+				continue
+			}
+			w, ok := s.registry.acquire()
+			if !ok {
+				noWorker = true
+				rest = append(rest, t)
+				continue
+			}
+			dispatch(t, w)
+		}
+		pending = rest
+	}
+	assign()
+
+	interrupted := func() error {
+		// Best-effort cancel of in-flight worker jobs so workers do not
+		// burn cycles on a campaign nobody will merge. Their journals
+		// remain; a re-dispatch starts a fresh worker job.
+		tctx, tcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer tcancel()
+		type teardown struct {
+			url, name, jobID string
+		}
+		j.mu.Lock()
+		var tds []teardown
+		for _, f := range inflight {
+			tds = append(tds, teardown{url: f.worker.URL, name: f.worker.Name, jobID: f.jobID})
+		}
+		j.mu.Unlock()
+		for _, td := range tds {
+			if td.jobID != "" {
+				s.peers.cancel(tctx, td.url, td.jobID)
+			}
+			s.registry.release(td.name)
+		}
+		doneShards := len(specs) - remaining
+		if cause := context.Cause(ctx); cause != nil {
+			return fmt.Errorf("%w after %d of %d shards: %v",
+				harness.ErrInterrupted, doneShards, len(specs), cause)
+		}
+		return fmt.Errorf("%w after %d of %d shards",
+			harness.ErrInterrupted, doneShards, len(specs))
+	}
+
+	for remaining > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, interrupted()
+		case <-tick.C:
+			assign()
+			publishProgress(started)
+		case out := <-outcomes:
+			j.mu.Lock()
+			delete(inflight, out.task)
+			j.mu.Unlock()
+			s.registry.release(out.worker.Name)
+			switch {
+			case out.err == nil:
+				idx := out.task.spec.Index
+				parts[idx] = out.partial
+				if err := journal.record(shardJournalRecord{
+					Shard:  idx,
+					Worker: out.worker.Name,
+					Path:   s.store.ShardPartialPath(st.ID, idx),
+				}, out.partial); err != nil {
+					return nil, err
+				}
+				remaining--
+				publishProgress(started)
+			case out.fatal:
+				return nil, fmt.Errorf("shard %d on worker %s: %w",
+					out.task.spec.Index, out.worker.Name, out.err)
+			default:
+				// Transient failure (worker died, poll failed): mark the
+				// worker dead so assignment skips it until a heartbeat
+				// revives it, and requeue the shard with backoff.
+				s.registry.markAlive(out.worker.Name, false)
+				out.task.attempts++
+				if out.task.attempts >= maxShardAttempts {
+					return nil, fmt.Errorf("shard %d failed after %d attempts: %w",
+						out.task.spec.Index, out.task.attempts, out.err)
+				}
+				out.task.notAfter = time.Now().Add(s.cfg.ProgressEvery << out.task.attempts)
+				pending = append(pending, out.task)
+				assign()
+			}
+		}
+	}
+
+	res, err := harness.MergePartials(nonNil(parts)...)
+	if err != nil {
+		return nil, fmt.Errorf("merge shards: %w", err)
+	}
+	return res, nil
+}
+
+// runShardOn runs one shard to completion on one worker: submit, poll
+// until terminal, fetch the partial, sanity-check its fingerprint.
+func (s *Server) runShardOn(ctx context.Context, w WorkerInfo, st JobStatus,
+	t *shardTask, onProgress func(done int), onSubmit func(jobID string)) shardOutcome {
+
+	spec := st.Spec
+	spec.Shards = 0
+	spec.Shard = &t.spec
+	spec.Label = fmt.Sprintf("shard %d/%d of job %s", t.spec.Index, t.spec.Shards, st.ID)
+	spec.Priority = st.Spec.Priority
+
+	wjob, err := s.peers.submit(ctx, w.URL, spec)
+	if err != nil {
+		return shardOutcome{task: t, worker: w, err: err, fatal: isFatalShardErr(err)}
+	}
+	onSubmit(wjob.ID)
+
+	for {
+		select {
+		case <-ctx.Done():
+			return shardOutcome{task: t, worker: w, err: ctx.Err()}
+		case <-time.After(s.cfg.ProgressEvery):
+		}
+		cur, err := s.peers.job(ctx, w.URL, wjob.ID)
+		if err != nil {
+			return shardOutcome{task: t, worker: w, err: err, fatal: isFatalShardErr(err)}
+		}
+		if cur.Progress != nil {
+			onProgress(cur.Progress.Done)
+		} else if cur.Tally != nil {
+			onProgress(cur.Tally.Total)
+		}
+		switch cur.State {
+		case StateDone:
+			part, err := s.peers.partial(ctx, w.URL, wjob.ID)
+			if err != nil {
+				return shardOutcome{task: t, worker: w, err: err, fatal: isFatalShardErr(err)}
+			}
+			if part.Fingerprint != t.spec.Fingerprint {
+				return shardOutcome{task: t, worker: w, fatal: true,
+					err: fmt.Errorf("%w: worker %s returned %s, want %s",
+						ErrFingerprintMismatch, w.Name, part.Fingerprint, t.spec.Fingerprint)}
+			}
+			return shardOutcome{task: t, worker: w, partial: part}
+		case StateFailed:
+			fatal := cur.ErrorCode == "fingerprint_mismatch" || cur.ErrorCode == "invalid_spec"
+			return shardOutcome{task: t, worker: w, fatal: fatal,
+				err: fmt.Errorf("worker job %s failed: %s", wjob.ID, cur.Error)}
+		case StateCancelled:
+			// Someone cancelled the worker job out from under us; treat
+			// as transient and re-dispatch.
+			return shardOutcome{task: t, worker: w,
+				err: fmt.Errorf("worker job %s was cancelled", wjob.ID)}
+		}
+	}
+}
+
+// isFatalShardErr reports errors that re-dispatching cannot fix.
+func isFatalShardErr(err error) bool {
+	return errors.Is(err, ErrFingerprintMismatch) || errors.Is(err, ErrInvalidSpec)
+}
+
+// shardJournal appends completed-shard records, persisting each shard's
+// partial before its journal line so a record always points at a readable
+// partial.
+type shardJournal struct {
+	s *Server
+	f *os.File
+}
+
+// openShardJournal opens (resuming if present) the shard journal for a
+// coordinated job. Journaled shards with loadable, fingerprint-matching
+// partials are placed into parts; everything else re-runs.
+func (s *Server) openShardJournal(jobID, fingerprint string, specs []harness.ShardSpec,
+	parts []*harness.PartialResult) (*shardJournal, error) {
+
+	path := s.store.ShardJournalPath(jobID)
+	if data, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var rec shardJournalRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				break // truncated tail: ignore it and everything after
+			}
+			if rec.Shard < 0 || rec.Shard >= len(specs) || parts[rec.Shard] != nil {
+				continue
+			}
+			part, err := s.store.LoadPartial(rec.Path)
+			if err != nil || part.Fingerprint != fingerprint {
+				continue // missing or foreign partial: shard re-runs
+			}
+			parts[rec.Shard] = part
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: shard journal: %w", err)
+	}
+	return &shardJournal{s: s, f: f}, nil
+}
+
+// record persists one completed shard: partial first, then the journal
+// line, flushed.
+func (j *shardJournal) record(rec shardJournalRecord, part *harness.PartialResult) error {
+	if err := j.s.store.SavePartial(rec.Path, part); err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: shard journal: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("service: shard journal: %w", err)
+	}
+	return j.f.Sync()
+}
+
+func (j *shardJournal) close() { _ = j.f.Close() }
+
+func nonNil(parts []*harness.PartialResult) []*harness.PartialResult {
+	out := make([]*harness.PartialResult, 0, len(parts))
+	for _, p := range parts {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}

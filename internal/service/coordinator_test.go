@@ -1,0 +1,343 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+// startWorkerFleet spins up n independent worker daemons and returns their
+// API base URLs. Workers are plain daemons — no coordinator-specific mode.
+func startWorkerFleet(t *testing.T, n int) ([]*testDaemon, []string) {
+	t.Helper()
+	var fleet []*testDaemon
+	var urls []string
+	for i := 0; i < n; i++ {
+		d := startDaemon(t, t.TempDir(), service.Config{
+			ProgressEvery: 10 * time.Millisecond,
+		})
+		fleet = append(fleet, d)
+		urls = append(urls, d.http.URL)
+	}
+	return fleet, urls
+}
+
+func localReference(t *testing.T, spec service.JobSpec) *harness.CampaignResult {
+	t.Helper()
+	cfg, err := spec.CampaignConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCoordinatedShardDeterminism is the scale-out acceptance gate: a
+// campaign split into 4 shards across 2 worker processes and merged by
+// the coordinator must be byte-identical — experiments, tallies, and FPS
+// fits — to the same campaign run in one process.
+func TestCoordinatedShardDeterminism(t *testing.T) {
+	spec := service.JobSpec{App: "LULESH", Scale: "test", Runs: 22, Seed: 909, SampleEvery: 64, Shards: 4}
+	local := localReference(t, spec)
+
+	_, urls := startWorkerFleet(t, 2)
+	coord := startDaemon(t, t.TempDir(), service.Config{
+		ProgressEvery: 10 * time.Millisecond,
+		Heartbeat:     100 * time.Millisecond,
+		Peers:         urls,
+	})
+
+	ctx := context.Background()
+	st, err := coord.c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, coord.c, st.ID)
+	if final.State != service.StateDone {
+		t.Fatalf("coordinated job settled as %s: %s", final.State, final.Error)
+	}
+	merged, err := coord.c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCampaign(t, "coordinated", local, merged)
+
+	lj, _ := json.Marshal(local)
+	mj, _ := json.Marshal(merged)
+	if string(lj) != string(mj) {
+		t.Errorf("merged result JSON is not byte-identical to the local run (%d vs %d bytes)", len(lj), len(mj))
+	}
+	if final.Tally == nil || final.Tally.Total != spec.Runs {
+		t.Errorf("terminal status tally = %+v, want total %d", final.Tally, spec.Runs)
+	}
+}
+
+// TestCoordinatorRedispatchOnWorkerDeath kills one of two workers right
+// after submission: its shards must re-dispatch onto the survivor and the
+// merged result must still equal the single-process run.
+func TestCoordinatorRedispatchOnWorkerDeath(t *testing.T) {
+	spec := service.JobSpec{App: "LULESH", Scale: "test", Runs: 60, Seed: 31, SampleEvery: 64, Shards: 6}
+	local := localReference(t, spec)
+
+	fleet, urls := startWorkerFleet(t, 2)
+	coord := startDaemon(t, t.TempDir(), service.Config{
+		ProgressEvery: 10 * time.Millisecond,
+		Heartbeat:     50 * time.Millisecond,
+		Peers:         urls,
+	})
+
+	ctx := context.Background()
+	st, err := coord.c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill worker 1's network endpoint mid-campaign. Its in-flight shards
+	// fail their polls and must requeue onto worker 0.
+	time.Sleep(20 * time.Millisecond)
+	fleet[1].http.Close()
+
+	final := waitDone(t, coord.c, st.ID)
+	if final.State != service.StateDone {
+		t.Fatalf("job settled as %s after worker death: %s", final.State, final.Error)
+	}
+	merged, err := coord.c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCampaign(t, "redispatched", local, merged)
+
+	workers, err := coord.c.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := 0
+	for _, w := range workers {
+		if w.Alive {
+			alive++
+		}
+	}
+	if alive != 1 {
+		t.Errorf("want exactly 1 alive worker after the kill, got %d of %d", alive, len(workers))
+	}
+}
+
+// TestCoordinatorRestartResumesShards drains the coordinator mid-campaign
+// and restarts it over the same store: journaled shards must load from
+// disk (not re-run) and only the missing shards execute.
+func TestCoordinatorRestartResumesShards(t *testing.T) {
+	spec := service.JobSpec{App: "LULESH", Scale: "test", Runs: 64, Seed: 440, SampleEvery: 64, Shards: 8}
+	local := localReference(t, spec)
+
+	_, urls := startWorkerFleet(t, 2)
+	dir := t.TempDir()
+	cfg := service.Config{
+		ProgressEvery: 10 * time.Millisecond,
+		Heartbeat:     100 * time.Millisecond,
+		Peers:         urls,
+	}
+	coord := startDaemon(t, dir, cfg)
+
+	st, err := coord.c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for at least one shard to land in the journal, then drain.
+	journal := filepath.Join(dir, "job-"+st.ID+".shards.jsonl")
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if data, err := os.ReadFile(journal); err == nil && strings.Count(string(data), "\n") >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no shard completed before the drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	coord.stop(t)
+
+	before, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journaled := strings.Count(string(before), "\n")
+
+	restarted := startDaemon(t, dir, cfg)
+	final := waitDone(t, restarted.c, st.ID)
+	if final.State != service.StateDone {
+		t.Fatalf("restarted job settled as %s: %s", final.State, final.Error)
+	}
+	if final.Resumed == 0 {
+		t.Errorf("restarted coordinator reports 0 resumed runs; want the %d journaled shards' runs to replay from disk", journaled)
+	}
+	merged, err := restarted.c.Result(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCampaign(t, "restarted", local, merged)
+}
+
+// TestCompatRedirects verifies the /api/v1 paths survive as permanent
+// redirects: 301 for GET (cacheable), 308 for mutating methods (method
+// and body preserved), and that a legacy client following them still
+// lands on working handlers.
+func TestCompatRedirects(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), service.Config{})
+
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noFollow.Get(d.http.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Errorf("GET /api/v1/jobs = %d, want 301", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs" {
+		t.Errorf("Location = %q, want /v1/jobs", loc)
+	}
+	resp, err = noFollow.Post(d.http.URL+"/api/v1/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPermanentRedirect {
+		t.Errorf("POST /api/v1/jobs = %d, want 308", resp.StatusCode)
+	}
+
+	// A legacy client that follows redirects keeps working for one release.
+	resp, err = http.Get(d.http.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /api/v1/metrics following redirects = %d, want 200", resp.StatusCode)
+	}
+	var m service.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Errorf("decode redirected metrics: %v", err)
+	}
+}
+
+// TestErrorSentinelsOverWire: the wire codes in error bodies must map
+// back to the service sentinels on the client side, so errors.Is works
+// across the HTTP transport.
+func TestErrorSentinelsOverWire(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), service.Config{})
+	ctx := context.Background()
+
+	if _, err := d.c.Job(ctx, "999"); !errors.Is(err, service.ErrJobNotFound) {
+		t.Errorf("Job(999) = %v, want errors.Is ErrJobNotFound", err)
+	}
+	if _, err := d.c.Submit(ctx, service.JobSpec{App: "nope", Runs: 1}); !errors.Is(err, service.ErrInvalidSpec) {
+		t.Errorf("Submit(bad app) = %v, want errors.Is ErrInvalidSpec", err)
+	}
+	if err := d.c.RemoveWorker(ctx, "ghost"); !errors.Is(err, service.ErrWorkerNotFound) {
+		t.Errorf("RemoveWorker(ghost) = %v, want errors.Is ErrWorkerNotFound", err)
+	}
+
+	st, err := d.c.Submit(ctx, service.JobSpec{App: "LULESH", Scale: "test", Runs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.c.Partial(ctx, st.ID); !errors.Is(err, service.ErrNoPartial) {
+		t.Errorf("Partial(unsharded job) = %v, want errors.Is ErrNoPartial", err)
+	}
+	waitDone(t, d.c, st.ID)
+
+	v, err := d.c.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.API != service.APIVersion {
+		t.Errorf("version API = %q, want %q", v.API, service.APIVersion)
+	}
+	caps := strings.Join(v.Capabilities, ",")
+	if !strings.Contains(caps, "shards") || !strings.Contains(caps, "coordinate") {
+		t.Errorf("capabilities %v missing shards/coordinate", v.Capabilities)
+	}
+}
+
+// TestQueueFull: a daemon with MaxQueue=1 accepts one queued job beyond
+// the running one and rejects the next with ErrQueueFull over the wire.
+func TestQueueFull(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), service.Config{JobSlots: 1, MaxQueue: 1})
+	ctx := context.Background()
+
+	long := service.JobSpec{App: "LULESH", Scale: "test", Runs: 4000, Seed: 3}
+	first, err := d.c.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first job occupies the slot so the next sits queued.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := d.c.Job(ctx, first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	second, err := d.c.Submit(ctx, long)
+	if err != nil {
+		t.Fatalf("second submit (fills the queue): %v", err)
+	}
+	if _, err := d.c.Submit(ctx, long); !errors.Is(err, service.ErrQueueFull) {
+		t.Errorf("third submit = %v, want errors.Is ErrQueueFull", err)
+	}
+	for _, id := range []string{first.ID, second.ID} {
+		if _, err := d.c.Cancel(ctx, id); err != nil {
+			t.Errorf("cancel %s: %v", id, err)
+		}
+	}
+	waitDone(t, d.c, first.ID)
+	waitDone(t, d.c, second.ID)
+}
+
+// TestWorkerRegistration exercises the runtime worker API: register,
+// list, deregister.
+func TestWorkerRegistration(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), service.Config{})
+	ctx := context.Background()
+
+	info, err := d.c.RegisterWorker(ctx, "wk-a", "127.0.0.1:9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "wk-a" || info.URL != "http://127.0.0.1:9999" || !info.Alive {
+		t.Errorf("registered worker = %+v", info)
+	}
+	list, err := d.c.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "wk-a" {
+		t.Errorf("workers = %+v, want [wk-a]", list)
+	}
+	if err := d.c.RemoveWorker(ctx, "wk-a"); err != nil {
+		t.Fatal(err)
+	}
+	if list, _ = d.c.Workers(ctx); len(list) != 0 {
+		t.Errorf("workers after remove = %+v, want empty", list)
+	}
+}

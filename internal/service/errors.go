@@ -1,0 +1,72 @@
+package service
+
+import (
+	"errors"
+
+	"repro/internal/harness"
+)
+
+// Sentinel errors for the service API. Handlers translate them to HTTP
+// status codes plus a machine-readable "code" field in the JSON error
+// body, and the typed client maps the code back to the same sentinels —
+// so errors.Is(err, service.ErrJobNotFound) holds on both sides of the
+// wire.
+var (
+	// ErrJobNotFound: the job ID names no known job.
+	ErrJobNotFound = errors.New("service: no such job")
+	// ErrQueueFull: the daemon's bounded queue rejected the submission;
+	// retry later or raise -max-queue.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrInvalidSpec: the submitted JobSpec failed validation.
+	ErrInvalidSpec = errors.New("service: invalid job spec")
+	// ErrNoResult: the job has no stored result (not done, or a shard job
+	// — those expose a partial instead).
+	ErrNoResult = errors.New("service: job has no result")
+	// ErrNoPartial: the job has no stored partial aggregate (not a shard
+	// job, or not done yet).
+	ErrNoPartial = errors.New("service: job has no partial result")
+	// ErrWorkerNotFound: the worker name names no registered peer.
+	ErrWorkerNotFound = errors.New("service: no such worker")
+	// ErrFingerprintMismatch re-exports the harness sentinel: a shard,
+	// journal, or partial belongs to a different campaign configuration.
+	ErrFingerprintMismatch = harness.ErrFingerprintMismatch
+)
+
+// wireCodes maps sentinels to the stable "code" strings carried in error
+// bodies (and in JobStatus.ErrorCode for failed jobs). Codes are API
+// surface: never renumber, only add.
+var wireCodes = []struct {
+	err  error
+	code string
+}{
+	{ErrJobNotFound, "job_not_found"},
+	{ErrQueueFull, "queue_full"},
+	{ErrInvalidSpec, "invalid_spec"},
+	{ErrNoResult, "no_result"},
+	{ErrNoPartial, "no_partial"},
+	{ErrWorkerNotFound, "worker_not_found"},
+	{ErrFingerprintMismatch, "fingerprint_mismatch"},
+}
+
+// ErrorCode returns the wire code for err, or "" for errors with no
+// stable code.
+func ErrorCode(err error) string {
+	for _, wc := range wireCodes {
+		if errors.Is(err, wc.err) {
+			return wc.code
+		}
+	}
+	return ""
+}
+
+// ErrorForCode returns the sentinel for a wire code, or nil for unknown
+// codes (including ""). The typed client chains the sentinel under its
+// APIError so errors.Is sees through the HTTP transport.
+func ErrorForCode(code string) error {
+	for _, wc := range wireCodes {
+		if wc.code == code {
+			return wc.err
+		}
+	}
+	return nil
+}

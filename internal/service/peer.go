@@ -1,0 +1,153 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// peerClient is the coordinator's minimal HTTP client for dispatching
+// shard jobs to peer workers. It is deliberately not the public typed
+// client (internal/service/client imports this package, so using it here
+// would cycle); it speaks the same /v1 wire protocol and decodes error
+// codes back into the shared sentinels.
+type peerClient struct {
+	hc *http.Client
+}
+
+func newPeerClient() *peerClient {
+	return &peerClient{hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// peerError is a non-2xx response from a worker, carrying the decoded
+// sentinel (when the code mapped) for errors.Is.
+type peerError struct {
+	status  int
+	message string
+	wrapped error
+}
+
+func (e *peerError) Error() string {
+	return fmt.Sprintf("service: worker returned %d: %s", e.status, e.message)
+}
+
+func (e *peerError) Unwrap() error { return e.wrapped }
+
+// retryablePeer reports whether a worker call may be retried: transport
+// errors and 5xx are transient, 4xx are not.
+func retryablePeer(err error) bool {
+	var pe *peerError
+	if errors.As(err, &pe) {
+		return pe.status >= 500
+	}
+	return err != nil
+}
+
+// do runs one request against a worker base URL and decodes the JSON
+// response into out (when non-nil).
+func (p *peerClient) do(ctx context.Context, method, base, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("service: peer encode: %w", err)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("service: peer: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("service: peer %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &peerError{status: resp.StatusCode, message: msg, wrapped: ErrorForCode(e.Code)}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service: peer decode: %w", err)
+	}
+	return nil
+}
+
+// doRetry is do with a small bounded backoff for idempotent calls.
+func (p *peerClient) doRetry(ctx context.Context, method, base, path string, body, out any) error {
+	backoff := 100 * time.Millisecond
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = p.do(ctx, method, base, path, body, out); err == nil || !retryablePeer(err) {
+			return err
+		}
+		if attempt >= 3 {
+			return err
+		}
+		select {
+		case <-time.After(backoff << attempt):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+// ping checks a worker's liveness and API compatibility.
+func (p *peerClient) ping(ctx context.Context, base string) error {
+	var v VersionInfo
+	if err := p.do(ctx, http.MethodGet, base, "/v1/version", nil, &v); err != nil {
+		return err
+	}
+	if v.API != APIVersion {
+		return fmt.Errorf("service: worker %s speaks API %q, want %q", base, v.API, APIVersion)
+	}
+	return nil
+}
+
+// submit queues a shard job on a worker. Submission is not retried (it is
+// not idempotent); a failed submit requeues the shard instead.
+func (p *peerClient) submit(ctx context.Context, base string, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := p.do(ctx, http.MethodPost, base, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// job polls one job's status.
+func (p *peerClient) job(ctx context.Context, base, id string) (JobStatus, error) {
+	var st JobStatus
+	err := p.doRetry(ctx, http.MethodGet, base, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// cancel best-effort stops a worker job (coordinator teardown).
+func (p *peerClient) cancel(ctx context.Context, base, id string) {
+	_ = p.do(ctx, http.MethodPost, base, "/v1/jobs/"+id+"/cancel", nil, nil)
+}
+
+// partial fetches a finished shard job's mergeable aggregate.
+func (p *peerClient) partial(ctx context.Context, base, id string) (*harness.PartialResult, error) {
+	var part harness.PartialResult
+	if err := p.doRetry(ctx, http.MethodGet, base, "/v1/jobs/"+id+"/partial", nil, &part); err != nil {
+		return nil, err
+	}
+	return &part, nil
+}

@@ -25,9 +25,12 @@ type job struct {
 	mu     sync.Mutex
 	status JobStatus
 	prog   *harness.Progress
-	hub    *hub
-	cancel context.CancelFunc
-	reason stopReason
+	// coordProg is the merged progress of a coordinated (sharded) job,
+	// synthesized by the coordinator from its shard polls. Guarded by mu.
+	coordProg *harness.Snapshot
+	hub       *hub
+	cancel    context.CancelFunc
+	reason    stopReason
 }
 
 // snapshot returns the client-visible status, with a live progress
@@ -36,9 +39,14 @@ func (j *job) snapshot() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := j.status
-	if st.State == StateRunning && j.prog != nil {
-		s := j.prog.Snapshot()
-		st.Progress = &s
+	if st.State == StateRunning {
+		if j.prog != nil {
+			s := j.prog.Snapshot()
+			st.Progress = &s
+		} else if j.coordProg != nil {
+			s := *j.coordProg
+			st.Progress = &s
+		}
 	}
 	return st
 }

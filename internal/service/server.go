@@ -29,8 +29,19 @@ type Config struct {
 	// campaigns, shared fairly through a token gate (0: GOMAXPROCS).
 	WorkerPool int
 	// ProgressEvery is the interval between streamed progress events for a
-	// running job (0: 500ms).
+	// running job (0: 500ms). It also paces the coordinator's shard polls
+	// and dispatch backoff.
 	ProgressEvery time.Duration
+	// MaxQueue bounds jobs waiting for a slot; submissions beyond it are
+	// rejected with ErrQueueFull (0: unbounded).
+	MaxQueue int
+	// Peers pre-registers worker URLs for coordinated (sharded) jobs;
+	// more can be added at runtime via POST /v1/workers.
+	Peers []string
+	// Heartbeat is the interval between liveness probes of registered
+	// workers (0: 2s). A worker that fails a probe is marked dead: it
+	// receives no new shards and its in-flight shards re-dispatch.
+	Heartbeat time.Duration
 }
 
 // Server is the faultpropd campaign service: it owns the job store, the
@@ -38,11 +49,14 @@ type Config struct {
 // persisted jobs and begin dispatching, serve Handler over HTTP, and stop
 // with Drain.
 type Server struct {
-	cfg   Config
-	store *Store
-	sched *scheduler
-	gate  chan struct{}
-	mux   *http.ServeMux
+	cfg      Config
+	store    *Store
+	sched    *scheduler
+	gate     chan struct{}
+	mux      *http.ServeMux
+	registry *registry
+	peers    *peerClient
+	hbStop   context.CancelFunc
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -63,15 +77,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ProgressEvery <= 0 {
 		cfg.ProgressEvery = 500 * time.Millisecond
 	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
 	store, err := OpenStore(cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: store,
-		gate:  make(chan struct{}, cfg.WorkerPool),
-		jobs:  make(map[string]*job),
+		cfg:      cfg,
+		store:    store,
+		gate:     make(chan struct{}, cfg.WorkerPool),
+		jobs:     make(map[string]*job),
+		registry: newRegistry(),
+		peers:    newPeerClient(),
+	}
+	for _, p := range cfg.Peers {
+		if _, err := s.registry.add("", p); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < cfg.WorkerPool; i++ {
 		s.gate <- struct{}{}
@@ -112,6 +136,9 @@ func (s *Server) Start() error {
 		s.sched.enqueue(j)
 	}
 	s.sched.start()
+	hbCtx, hbStop := context.WithCancel(context.Background())
+	s.hbStop = hbStop
+	go s.heartbeatLoop(hbCtx)
 	return nil
 }
 
@@ -120,6 +147,9 @@ func (s *Server) Start() error {
 // experiment and their status records return to queued), and Drain waits
 // for them to settle or for ctx to expire.
 func (s *Server) Drain(ctx context.Context) error {
+	if s.hbStop != nil {
+		s.hbStop()
+	}
 	s.sched.drain()
 	s.mu.Lock()
 	for _, j := range s.jobs {
@@ -143,9 +173,17 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Submit validates and persists a new job and queues it for execution.
+// When the daemon's queue bound (Config.MaxQueue) is reached the
+// submission is rejected with ErrQueueFull.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
+	}
+	if s.cfg.MaxQueue > 0 {
+		if queued, _ := s.sched.counts(); queued >= s.cfg.MaxQueue {
+			return JobStatus{}, fmt.Errorf("%w: %d jobs queued (max %d)",
+				ErrQueueFull, queued, s.cfg.MaxQueue)
+		}
 	}
 	if spec.Scale == "" {
 		spec.Scale = "default"
@@ -174,7 +212,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 func (s *Server) Cancel(id string) (JobStatus, error) {
 	j := s.job(id)
 	if j == nil {
-		return JobStatus{}, errNotFound
+		return JobStatus{}, ErrJobNotFound
 	}
 	if s.sched.remove(j) {
 		j.mu.Lock()
@@ -197,7 +235,7 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 func (s *Server) Job(id string) (JobStatus, error) {
 	j := s.job(id)
 	if j == nil {
-		return JobStatus{}, errNotFound
+		return JobStatus{}, ErrJobNotFound
 	}
 	return j.snapshot(), nil
 }
@@ -222,20 +260,60 @@ func (s *Server) Jobs() []JobStatus {
 	return out
 }
 
-// Result loads a done job's full campaign result.
+// Result loads a done job's full campaign result. ErrNoResult when the
+// job is known but has no stored result (not done yet, or a shard job —
+// those expose a partial instead).
 func (s *Server) Result(id string) (*harness.CampaignResult, error) {
 	j := s.job(id)
 	if j == nil {
-		return nil, errNotFound
+		return nil, ErrJobNotFound
 	}
 	res, err := s.store.LoadResult(id)
 	if os.IsNotExist(err) {
-		return nil, fmt.Errorf("service: job %s has no result (state %s)", id, j.snapshot().State)
+		return nil, fmt.Errorf("%w: job %s (state %s)", ErrNoResult, id, j.snapshot().State)
 	}
 	return res, err
 }
 
-var errNotFound = errors.New("service: no such job")
+// Partial loads a done shard job's mergeable partial aggregate.
+// ErrNoPartial when the job is known but stored no partial (not a shard
+// job, or not done yet).
+func (s *Server) Partial(id string) (*harness.PartialResult, error) {
+	j := s.job(id)
+	if j == nil {
+		return nil, ErrJobNotFound
+	}
+	part, err := s.store.LoadPartial(s.store.partialPath(id))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: job %s (state %s)", ErrNoPartial, id, j.snapshot().State)
+	}
+	return part, err
+}
+
+// Workers lists the registered peer workers.
+func (s *Server) Workers() []WorkerInfo { return s.registry.list() }
+
+// RegisterWorker adds (or revives) a peer worker for coordinated jobs.
+func (s *Server) RegisterWorker(name, url string) (WorkerInfo, error) {
+	return s.registry.add(name, url)
+}
+
+// RemoveWorker deregisters a peer worker. In-flight shards on it finish
+// or re-dispatch on their own; it just receives no new ones.
+func (s *Server) RemoveWorker(name string) error { return s.registry.remove(name) }
+
+// Version describes this daemon's API surface for clients and for
+// coordinator-side compatibility checks.
+func (s *Server) Version() VersionInfo {
+	return VersionInfo{
+		Service: "faultpropd",
+		API:     APIVersion,
+		Capabilities: []string{
+			"jobs", "stream", "metrics", "partials", "shards", "coordinate", "workers",
+		},
+	}
+}
+
 
 func (s *Server) job(id string) *job {
 	s.mu.Lock()
@@ -248,7 +326,8 @@ func (s *Server) job(id string) *job {
 func (s *Server) runJob(j *job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	prog := &harness.Progress{}
+	coordinated := false
+	var prog *harness.Progress
 
 	j.mu.Lock()
 	// A drain or cancel may have raced dispatch; honor it before starting.
@@ -259,10 +338,18 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.cancel = cancel
-	j.prog = prog
+	coordinated = j.status.Spec.Shards > 1
+	if coordinated {
+		// Merged progress arrives through j.coordProg instead.
+		j.prog = nil
+	} else {
+		prog = &harness.Progress{}
+		j.prog = prog
+	}
 	j.status.State = StateRunning
 	j.status.Started = time.Now().UTC()
 	j.status.Error = ""
+	j.status.ErrorCode = ""
 	st := j.status
 	j.mu.Unlock()
 
@@ -271,6 +358,26 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.hub.publish(Event{Kind: EventState, Job: st.ID, State: StateRunning})
+
+	if coordinated {
+		res, err := s.runCoordinated(ctx, j, st)
+		j.mu.Lock()
+		j.cancel = nil
+		if j.coordProg != nil {
+			j.status.Resumed = j.coordProg.Resumed
+		}
+		reason := j.reason
+		j.mu.Unlock()
+		switch {
+		case err == nil:
+			s.finish(j, res)
+		case errors.Is(err, harness.ErrInterrupted) && reason != stopNone:
+			s.settleStopped(j, reason, err)
+		default:
+			s.fail(j, err)
+		}
+		return
+	}
 
 	cfg, err := st.Spec.CampaignConfig()
 	if err != nil {
@@ -313,7 +420,13 @@ func (s *Server) runJob(j *job) {
 		}
 	}()
 
-	res, err := harness.RunCampaignContext(ctx, cfg)
+	var res *harness.CampaignResult
+	var part *harness.PartialResult
+	if st.Spec.Shard != nil {
+		part, err = harness.RunShardContext(ctx, cfg, *st.Spec.Shard)
+	} else {
+		res, err = harness.RunCampaignContext(ctx, cfg)
+	}
 	close(tickDone)
 
 	j.mu.Lock()
@@ -323,6 +436,8 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 
 	switch {
+	case err == nil && part != nil:
+		s.finishPartial(j, part)
 	case err == nil:
 		s.finish(j, res)
 	case errors.Is(err, harness.ErrInterrupted) && reason != stopNone:
@@ -355,6 +470,30 @@ func (s *Server) finish(j *job, res *harness.CampaignResult) {
 	j.hub.close()
 }
 
+// finishPartial records a successful shard job: the mergeable partial is
+// persisted where the coordinator's fetch (GET /v1/jobs/{id}/partial)
+// finds it, the status goes done, and the stream closes. No FPS model is
+// attached — fits are recomputed by whoever merges the shards.
+func (s *Server) finishPartial(j *job, part *harness.PartialResult) {
+	if err := s.store.SavePartial(s.store.partialPath(j.status.ID), part); err != nil {
+		s.fail(j, err)
+		return
+	}
+	tally := part.Tally
+	j.mu.Lock()
+	j.status.State = StateDone
+	j.status.Finished = time.Now().UTC()
+	j.status.Tally = &tally
+	st := j.status
+	j.mu.Unlock()
+	if err := s.store.SaveStatus(st); err != nil {
+		s.fail(j, err)
+		return
+	}
+	j.hub.publish(Event{Kind: EventResult, Job: st.ID, State: StateDone, Tally: &tally})
+	j.hub.close()
+}
+
 // settleStopped resolves an interrupted job: a client cancel is terminal,
 // a drain returns the job to the queue so the next daemon start resumes
 // it from its journal.
@@ -382,12 +521,15 @@ func (s *Server) settleStopped(j *job, reason stopReason, cause error) {
 	}
 }
 
-// fail marks a job failed.
+// fail marks a job failed. The wire code of the cause (when it has one)
+// lands in JobStatus.ErrorCode, so a coordinator polling a failed shard
+// job can tell fatal causes from transient ones without string matching.
 func (s *Server) fail(j *job, err error) {
 	j.mu.Lock()
 	j.status.State = StateFailed
 	j.status.Finished = time.Now().UTC()
 	j.status.Error = err.Error()
+	j.status.ErrorCode = ErrorCode(err)
 	st := j.status
 	j.mu.Unlock()
 	_ = s.store.SaveStatus(st)
@@ -448,29 +590,38 @@ func (s *Server) Metrics() Metrics {
 	return m
 }
 
-// routes installs the HTTP API.
+// routes installs the HTTP API. Canonical paths live under /v1/; the
+// pre-versioning /api/v1/ paths remain as redirects (301 for GET/HEAD,
+// 308 otherwise, preserving method and body) for one release.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	s.mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Version())
+	})
+	s.mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 			return
 		}
 		st, err := s.Submit(spec)
+		if errors.Is(err, ErrQueueFull) {
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, st)
 	})
-	s.mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Jobs())
 	})
-	s.mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Job(r.PathValue("id"))
 		if err != nil {
 			httpError(w, http.StatusNotFound, err)
@@ -480,7 +631,7 @@ func (s *Server) routes() {
 	})
 	cancel := func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Cancel(r.PathValue("id"))
-		if errors.Is(err, errNotFound) {
+		if errors.Is(err, ErrJobNotFound) {
 			httpError(w, http.StatusNotFound, err)
 			return
 		}
@@ -490,11 +641,11 @@ func (s *Server) routes() {
 		}
 		writeJSON(w, http.StatusOK, st)
 	}
-	s.mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", cancel)
-	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", cancel)
-	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", cancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", cancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		res, err := s.Result(r.PathValue("id"))
-		if errors.Is(err, errNotFound) {
+		if errors.Is(err, ErrJobNotFound) {
 			httpError(w, http.StatusNotFound, err)
 			return
 		}
@@ -504,11 +655,64 @@ func (s *Server) routes() {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
-	s.mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
-	s.mux.HandleFunc("GET /api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("GET /v1/jobs/{id}/partial", func(w http.ResponseWriter, r *http.Request) {
+		part, err := s.Partial(r.PathValue("id"))
+		if errors.Is(err, ErrJobNotFound) {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, part)
+	})
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
+	s.mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Workers())
+	})
+	s.mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Name string `json:"name"`
+			URL  string `json:"url"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode worker: %w", err))
+			return
+		}
+		info, err := s.RegisterWorker(req.Name, req.URL)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	s.mux.HandleFunc("DELETE /v1/workers/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.RemoveWorker(r.PathValue("name")); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
 	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+
+	// Compatibility: the unversioned-era /api/v1/* paths redirect to their
+	// /v1/* successors. GET/HEAD use 301 (cacheable); everything else uses
+	// 308 so clients replay the method and body against the new path.
+	s.mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+		target := strings.TrimPrefix(r.URL.Path, "/api")
+		if r.URL.RawQuery != "" {
+			target += "?" + r.URL.RawQuery
+		}
+		code := http.StatusPermanentRedirect
+		if r.Method == http.MethodGet || r.Method == http.MethodHead {
+			code = http.StatusMovedPermanently
+		}
+		http.Redirect(w, r, target, code)
+	})
 }
 
 // handleStream serves a job's event stream as NDJSON (default) or SSE
@@ -520,7 +724,7 @@ func (s *Server) routes() {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, errNotFound)
+		httpError(w, http.StatusNotFound, ErrJobNotFound)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
@@ -663,6 +867,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// httpError writes the JSON error body. When the cause chains to a
+// sentinel with a wire code, the body carries it in "code" so clients can
+// map the error back to the sentinel (errors.Is across the transport).
+func httpError(w http.ResponseWriter, status int, err error) {
+	body := map[string]string{"error": err.Error()}
+	if code := ErrorCode(err); code != "" {
+		body["code"] = code
+	}
+	writeJSON(w, status, body)
 }

@@ -21,6 +21,12 @@ import (
 //	job-<id>.ckpt.jsonl   the harness checkpoint journal (completed experiments)
 //	job-<id>.result.json  the final CampaignResult, written once on success
 //
+// Shard jobs and coordinated jobs add:
+//
+//	job-<id>.partial.json          a shard job's mergeable PartialResult
+//	job-<id>.shards.jsonl          a coordinator's shard-completion journal
+//	job-<id>.shard-<n>.partial.json  fetched partial of shard n, owned by the journal
+//
 // Status records are replaced atomically (write temp + rename), so a kill
 // mid-update leaves the previous consistent record. The journal is owned by
 // the harness and is crash-safe by construction (flushed per record,
@@ -45,7 +51,7 @@ func OpenStore(dir string) (*Store, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json") ||
-			strings.HasSuffix(name, ".result.json") {
+			strings.HasSuffix(name, ".result.json") || strings.HasSuffix(name, ".partial.json") {
 			continue
 		}
 		if id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "job-"), ".json")); err == nil && id >= s.nextID {
@@ -109,7 +115,8 @@ func (s *Store) LoadAll() ([]JobStatus, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json") ||
-			strings.HasSuffix(name, ".result.json") || strings.HasSuffix(name, ".tmp") {
+			strings.HasSuffix(name, ".result.json") || strings.HasSuffix(name, ".partial.json") ||
+			strings.HasSuffix(name, ".tmp") {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(s.dir, name))
@@ -128,6 +135,54 @@ func (s *Store) LoadAll() ([]JobStatus, error) {
 		return a < b
 	})
 	return jobs, nil
+}
+
+func (s *Store) partialPath(id string) string {
+	return filepath.Join(s.dir, "job-"+id+".partial.json")
+}
+
+// ShardJournalPath is the coordinator's shard-completion journal for one
+// job: one JSON line per finished shard, appended after the shard's
+// partial is persisted, so a coordinator restart re-dispatches only the
+// shards with no journal entry.
+func (s *Store) ShardJournalPath(id string) string {
+	return filepath.Join(s.dir, "job-"+id+".shards.jsonl")
+}
+
+// ShardPartialPath is where a coordinator parks the fetched partial of
+// one completed shard of job id.
+func (s *Store) ShardPartialPath(id string, shard int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("job-%s.shard-%d.partial.json", id, shard))
+}
+
+// SavePartial atomically writes a mergeable partial aggregate to path.
+func (s *Store) SavePartial(path string, part *harness.PartialResult) error {
+	data, err := json.Marshal(part)
+	if err != nil {
+		return fmt.Errorf("service: store partial: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("service: store partial: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: store partial: %w", err)
+	}
+	return nil
+}
+
+// LoadPartial reads a partial aggregate from path. os.IsNotExist(err)
+// when none was stored.
+func (s *Store) LoadPartial(path string) (*harness.PartialResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var part harness.PartialResult
+	if err := json.Unmarshal(data, &part); err != nil {
+		return nil, fmt.Errorf("service: store partial %s: %w", path, err)
+	}
+	return &part, nil
 }
 
 // SaveResult writes the final campaign result of a done job.

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WorkerInfo is the client-visible record of one registered peer worker —
+// another faultpropd instance this daemon can dispatch shard jobs to.
+type WorkerInfo struct {
+	// Name identifies the worker (defaults to its URL host:port).
+	Name string `json:"name"`
+	// URL is the worker's API base, e.g. "http://10.0.0.7:7207".
+	URL        string    `json:"url"`
+	Registered time.Time `json:"registered"`
+	// LastSeen is the time of the last successful heartbeat (or the
+	// registration time before the first one).
+	LastSeen time.Time `json:"lastSeen"`
+	// Alive reports whether the last heartbeat succeeded. Dead workers
+	// receive no new shards; their in-flight shards are re-dispatched.
+	Alive bool `json:"alive"`
+	// Active counts shard jobs this daemon currently has in flight on the
+	// worker.
+	Active int `json:"active"`
+}
+
+// registry tracks peer workers and their liveness. Liveness is probed
+// from the coordinator side: a periodic GET /v1/version per worker, so
+// workers need no coordinator-specific behavior to participate — any
+// reachable faultpropd is a valid worker.
+type registry struct {
+	mu      sync.Mutex
+	workers map[string]*WorkerInfo
+}
+
+func newRegistry() *registry {
+	return &registry{workers: make(map[string]*WorkerInfo)}
+}
+
+// add registers (or re-registers) a worker. A re-registration under the
+// same name updates the URL and revives the worker.
+func (r *registry) add(name, rawURL string) (WorkerInfo, error) {
+	if !strings.Contains(rawURL, "://") {
+		rawURL = "http://" + rawURL
+	}
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		return WorkerInfo{}, fmt.Errorf("%w: worker url %q", ErrInvalidSpec, rawURL)
+	}
+	base := strings.TrimSuffix(u.String(), "/")
+	if name == "" {
+		name = u.Host
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now().UTC()
+	if w, ok := r.workers[name]; ok {
+		w.URL = base
+		w.Alive = true
+		w.LastSeen = now
+		return *w, nil
+	}
+	w := &WorkerInfo{Name: name, URL: base, Registered: now, LastSeen: now, Alive: true}
+	r.workers[name] = w
+	return *w, nil
+}
+
+// remove deregisters a worker.
+func (r *registry) remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.workers[name]; !ok {
+		return ErrWorkerNotFound
+	}
+	delete(r.workers, name)
+	return nil
+}
+
+// list returns all workers, sorted by name.
+func (r *registry) list() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, *w)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// markAlive records a heartbeat outcome.
+func (r *registry) markAlive(name string, alive bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[name]; ok {
+		w.Alive = alive
+		if alive {
+			w.LastSeen = time.Now().UTC()
+		}
+	}
+}
+
+// acquire picks the alive worker with the fewest in-flight shards and
+// increments its count; ok is false when no worker is alive.
+func (r *registry) acquire() (WorkerInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best *WorkerInfo
+	for _, w := range r.workers {
+		if !w.Alive {
+			continue
+		}
+		if best == nil || w.Active < best.Active ||
+			(w.Active == best.Active && w.Name < best.Name) {
+			best = w
+		}
+	}
+	if best == nil {
+		return WorkerInfo{}, false
+	}
+	best.Active++
+	return *best, true
+}
+
+// release decrements a worker's in-flight count.
+func (r *registry) release(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[name]; ok && w.Active > 0 {
+		w.Active--
+	}
+}
+
+// heartbeatLoop probes every registered worker each interval until ctx is
+// done. A probe failure marks the worker dead immediately — the dispatch
+// loop stops assigning to it and re-dispatches its shards when their
+// polls fail; a later success revives it.
+func (s *Server) heartbeatLoop(ctx context.Context) {
+	t := time.NewTicker(s.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, w := range s.registry.list() {
+			pctx, cancel := context.WithTimeout(ctx, s.cfg.Heartbeat)
+			err := s.peers.ping(pctx, w.URL)
+			cancel()
+			s.registry.markAlive(w.Name, err == nil)
+		}
+	}
+}

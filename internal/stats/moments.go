@@ -1,0 +1,93 @@
+package stats
+
+import "math"
+
+// Moments is a mergeable running-moments accumulator (count, mean, and sum
+// of squared deviations) using Welford's online update and the Chan et al.
+// parallel-merge formula. Two accumulators built over disjoint sample sets
+// merge into exactly the accumulator of the union, which is what lets
+// sharded campaign runtimes, queue waits, and worker utilization aggregate
+// across processes without shipping raw samples.
+//
+// The zero value is ready to use, and it JSON-round-trips, so a Moments
+// can travel inside a partial result.
+type Moments struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	// M2 is the sum of squared deviations from the mean.
+	M2 float64 `json:"m2"`
+	// MinV and MaxV track the sample extrema (meaningless when N == 0).
+	MinV float64 `json:"min"`
+	MaxV float64 `json:"max"`
+}
+
+// Add folds one observation in.
+func (m *Moments) Add(x float64) {
+	m.N++
+	if m.N == 1 {
+		m.Mean, m.MinV, m.MaxV = x, x, x
+		m.M2 = 0
+		return
+	}
+	d := x - m.Mean
+	m.Mean += d / float64(m.N)
+	m.M2 += d * (x - m.Mean)
+	if x < m.MinV {
+		m.MinV = x
+	}
+	if x > m.MaxV {
+		m.MaxV = x
+	}
+}
+
+// Merge folds other into m; the result is the accumulator of the union of
+// both sample sets. Merging is commutative up to floating-point rounding.
+func (m *Moments) Merge(other Moments) {
+	if other.N == 0 {
+		return
+	}
+	if m.N == 0 {
+		*m = other
+		return
+	}
+	n1, n2 := float64(m.N), float64(other.N)
+	d := other.Mean - m.Mean
+	n := n1 + n2
+	m.Mean += d * n2 / n
+	m.M2 += other.M2 + d*d*n1*n2/n
+	m.N += other.N
+	if other.MinV < m.MinV {
+		m.MinV = other.MinV
+	}
+	if other.MaxV > m.MaxV {
+		m.MaxV = other.MaxV
+	}
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// samples).
+func (m Moments) Variance() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	return m.M2 / float64(m.N-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (m Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (m Moments) Min() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return m.MinV
+}
+
+// Max returns the largest observation (0 when empty).
+func (m Moments) Max() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return m.MaxV
+}
