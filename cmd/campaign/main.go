@@ -76,6 +76,7 @@ func main() {
 	priority := flag.Int("priority", 0, "job priority for -remote submissions (higher runs first)")
 	shards := flag.Int("shards", 0, "split each campaign into this many mergeable shards (locally: across -workers processes; with -remote: across the daemon's peer workers)")
 	serveWorker := flag.String("serve-worker", "", "internal: serve as a local shard worker with this data directory")
+	logLevel := flag.String("log-level", "", "structured coordinator logs to stderr at this level in -shards mode (debug, info, warn, error; empty: off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-campaign heap profile to this file")
 	flag.Parse()
@@ -136,7 +137,7 @@ func main() {
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries,
 			shards: *shards, procs: *workers, progressEvery: *progressEvery,
-			localFlags: *checkpoint != "" || *resume,
+			localFlags: *checkpoint != "" || *resume, logLevel: *logLevel,
 		})
 	default:
 		results = runLocal(ctx, selected, localOpts{

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -38,6 +39,28 @@ type shardedOpts struct {
 	procs         int
 	progressEvery time.Duration
 	localFlags    bool
+	// logLevel enables the in-process coordinator's structured logs on
+	// stderr (shard dispatch/requeue, worker liveness); empty disables.
+	logLevel string
+}
+
+// coordLogger builds the coordinator's slog handler for -log-level, or
+// nil (discard) when the flag is unset or unrecognized.
+func coordLogger(level string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
 }
 
 func runSharded(ctx context.Context, selected []apps.App, o shardedOpts) []*harness.CampaignResult {
@@ -70,6 +93,7 @@ func runSharded(ctx context.Context, selected []apps.App, o shardedOpts) []*harn
 		ProgressEvery: 100 * time.Millisecond,
 		Heartbeat:     500 * time.Millisecond,
 		Peers:         peers,
+		Log:           coordLogger(o.logLevel),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sharded: coordinator: %v\n", err)

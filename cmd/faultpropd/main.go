@@ -7,6 +7,7 @@
 //	faultpropd [-addr HOST:PORT] [-data DIR] [-jobs N] [-pool N]
 //	           [-progress INTERVAL] [-drain-timeout D] [-pprof HOST:PORT]
 //	           [-peers URL,URL,...] [-heartbeat D] [-max-queue N]
+//	           [-log-level LEVEL] [-log-format text|json] [-slow-experiment D]
 //
 // Every job is journaled under -data: killing the daemon (SIGINT/SIGTERM)
 // drains gracefully — running campaigns checkpoint and return to the
@@ -30,6 +31,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -42,6 +44,34 @@ import (
 	"repro/internal/service"
 )
 
+// buildLogger assembles the daemon's structured logger from the -log-*
+// flags. Logs go to stderr so they never mix with the startup lines
+// scripts parse from stdout.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7207", "listen address (port 0 picks a free port)")
 	data := flag.String("data", "faultpropd-data", "job store directory (status records, journals, results)")
@@ -53,7 +83,16 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer worker URLs for coordinated (sharded) jobs")
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "interval between peer worker liveness probes")
 	maxQueue := flag.Int("max-queue", 0, "reject submissions beyond this many queued jobs (0: unbounded)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
+	slowExp := flag.Duration("slow-experiment", 0, "warn about experiments slower than this (0: off)")
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultpropd: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *pprofAddr != "" {
 		// The pprof handlers register on http.DefaultServeMux; serve them
@@ -78,13 +117,15 @@ func main() {
 		}
 	}
 	srv, err := service.New(service.Config{
-		Dir:           *data,
-		JobSlots:      *jobs,
-		WorkerPool:    *pool,
-		ProgressEvery: *progressEvery,
-		MaxQueue:      *maxQueue,
-		Peers:         peerList,
-		Heartbeat:     *heartbeat,
+		Dir:            *data,
+		JobSlots:       *jobs,
+		WorkerPool:     *pool,
+		ProgressEvery:  *progressEvery,
+		MaxQueue:       *maxQueue,
+		Peers:          peerList,
+		Heartbeat:      *heartbeat,
+		Log:            logger,
+		SlowExperiment: *slowExp,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faultpropd: %v\n", err)

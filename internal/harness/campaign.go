@@ -72,6 +72,26 @@ type CampaignConfig struct {
 	// campaign's critical path. It does not influence results and is
 	// excluded from the checkpoint fingerprint.
 	OnExperiment func(sum ExperimentSummary, resumed bool)
+	// Trace is an operator- or service-assigned span ID stamped into the
+	// checkpoint journal header (and the service's logs and events) so one
+	// grep follows a campaign or shard across processes. Purely
+	// observational: excluded from the fingerprint, never
+	// result-determining.
+	Trace string
+	// Timings, when non-nil, aggregates per-outcome and per-phase latency
+	// histograms over every executed (not resumed) experiment;
+	// RunShardContext stamps them into the PartialResult so shard timings
+	// merge back at the coordinator. Observed from worker goroutines
+	// (CampaignTimings is concurrency-safe). Excluded from the
+	// fingerprint.
+	Timings *CampaignTimings
+	// OnPhase, when non-nil, observes each executed experiment's phase
+	// timings as it completes. Unlike OnExperiment it is called directly
+	// from worker goroutines, concurrently — implementations must be
+	// thread-safe and fast. It does not influence results and is excluded
+	// from the fingerprint. When both Timings and OnPhase are nil, phase
+	// tracing is disabled and experiments pay only a nil check.
+	OnPhase func(PhaseTrace)
 	// Gate, when non-nil, is a token bucket shared between concurrent
 	// campaigns: every experiment holds one token while it executes, so the
 	// total experiment parallelism across all campaigns sharing the channel
@@ -340,7 +360,7 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 				}
 			}
 		}
-		journal, err = openJournal(cfg.Checkpoint, fp, cfg.Resume)
+		journal, err = openJournal(cfg.Checkpoint, fp, cfg.Trace, cfg.Resume)
 		if err != nil {
 			return nil, err
 		}
@@ -388,15 +408,34 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 			// recycled through every experiment this worker runs.
 			wcfg := cfg
 			wcfg.reuse = core.NewReuse(cfg.Params.Ranks)
+			// Phase tracing costs ~two time.Now calls per experiment when
+			// enabled and a nil check when not.
+			traced := cfg.Timings != nil || cfg.OnPhase != nil
 			for id := range work {
 				if cfg.Gate != nil {
 					<-cfg.Gate
 				}
 				cfg.Progress.noteStart()
 				t0 := time.Now()
-				o := runExperiment(id, inst, planFor(cfg, id, part.GoldenSites),
-					wcfg, criteria, part.Golden, cycleLimit)
-				cfg.Progress.noteDone(o.sum.Outcome, time.Since(t0))
+				var tr *PhaseTrace
+				if traced {
+					tr = &PhaseTrace{ID: id}
+				}
+				plan := planFor(cfg, id, part.GoldenSites)
+				if tr != nil {
+					tr.Inject = time.Since(t0)
+				}
+				o := runExperiment(id, inst, plan, wcfg, criteria, part.Golden, cycleLimit, tr)
+				elapsed := time.Since(t0)
+				cfg.Progress.noteDone(o.sum.Outcome, elapsed)
+				if tr != nil {
+					tr.Outcome = o.sum.Outcome
+					tr.Total = elapsed
+					cfg.Timings.Observe(*tr)
+					if cfg.OnPhase != nil {
+						cfg.OnPhase(*tr)
+					}
+				}
 				if cfg.Gate != nil {
 					cfg.Gate <- struct{}{}
 				}
@@ -450,6 +489,7 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 			ErrInterrupted, resumed+executed, spec.Size())
 	}
 	agg.intoPartial(part)
+	part.Timings = cfg.Timings
 	if spec.Size() > 0 {
 		part.Ranges = []IDRange{{From: spec.From, To: spec.To}}
 	}
@@ -479,8 +519,11 @@ type expOut struct {
 // runExperiment executes one fault-injection run and condenses it. A panic
 // anywhere in the experiment pipeline is contained here: the run classifies
 // as Crashed with the diagnostic retained, and the campaign continues.
+// When tr is non-nil the execute and classify phases are timed into it
+// (a panicking experiment leaves whatever phases completed).
 func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfig,
-	criteria classify.Criteria, golden classify.Golden, cycleLimit uint64) (out expOut) {
+	criteria classify.Criteria, golden classify.Golden, cycleLimit uint64,
+	tr *PhaseTrace) (out expOut) {
 
 	defer func() {
 		if p := recover(); p != nil {
@@ -494,6 +537,10 @@ func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfi
 		}
 	}()
 
+	var phaseStart time.Time
+	if tr != nil {
+		phaseStart = time.Now()
+	}
 	run := coreRun(inst, core.RunConfig{
 		Ranks:       cfg.Params.Ranks,
 		CycleLimit:  cycleLimit,
@@ -501,6 +548,11 @@ func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfi
 		SampleEvery: cfg.SampleEvery,
 		Reuse:       cfg.reuse,
 	})
+	if tr != nil {
+		now := time.Now()
+		tr.Execute = now.Sub(phaseStart)
+		phaseStart = now
+	}
 	sum := ExperimentSummary{
 		ID:           id,
 		Plan:         plan,
@@ -539,6 +591,9 @@ func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfi
 	if fit, err := model.FitRun(points); err == nil {
 		sum.Fit = fit
 		sum.HasFit = true
+	}
+	if tr != nil {
+		tr.Classify = time.Since(phaseStart)
 	}
 	return expOut{sum: sum, points: points, spread: run.Spread.Series(), structCML: run.StructCML}
 }

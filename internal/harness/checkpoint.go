@@ -27,6 +27,10 @@ type journalHeader struct {
 	Kind        string `json:"kind"`
 	Version     int    `json:"version"`
 	Fingerprint string `json:"fingerprint"`
+	// Trace is the campaign or shard span ID active when the journal was
+	// created — observability only, never validated on resume (a journal
+	// outlives the trace that wrote it).
+	Trace string `json:"trace,omitempty"`
 }
 
 // journalRecord is one completed experiment on disk.
@@ -96,7 +100,7 @@ type journalWriter struct {
 // openJournal opens the checkpoint journal for writing. A fresh campaign
 // truncates and writes the header; a resume appends below the existing
 // records (or starts a fresh journal when none exists yet).
-func openJournal(path, fingerprint string, resume bool) (*journalWriter, error) {
+func openJournal(path, fingerprint, trace string, resume bool) (*journalWriter, error) {
 	flags := os.O_CREATE | os.O_WRONLY
 	writeHeader := true
 	if resume {
@@ -114,7 +118,7 @@ func openJournal(path, fingerprint string, resume bool) (*journalWriter, error) 
 	w := &journalWriter{f: f, bw: bufio.NewWriter(f)}
 	w.enc = json.NewEncoder(w.bw)
 	if writeHeader {
-		hdr := journalHeader{Kind: "header", Version: journalVersion, Fingerprint: fingerprint}
+		hdr := journalHeader{Kind: "header", Version: journalVersion, Fingerprint: fingerprint, Trace: trace}
 		if err := w.enc.Encode(hdr); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("harness: checkpoint header: %w", err)

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/obs"
+)
+
+// PhaseTrace is the timing record of one executed experiment, split into
+// the three phases of the injection pipeline: drawing the fault plan
+// (inject), the instrumented VM run (execute), and outcome
+// classification plus the per-run model fit (classify). Total is the
+// experiment's whole wall time (it can slightly exceed the phase sum:
+// gate waits and scheduling are not attributed to any phase).
+//
+// Tracing is off unless CampaignConfig.Timings or OnPhase is set; the
+// disabled cost is a couple of nil checks per experiment.
+type PhaseTrace struct {
+	// ID is the experiment's campaign-wide ID.
+	ID      int
+	Outcome classify.Outcome
+	Inject  time.Duration
+	Execute time.Duration
+	// Classify covers classification and model fitting.
+	Classify time.Duration
+	Total    time.Duration
+}
+
+// CampaignTimings aggregates PhaseTraces into mergeable fixed-bucket
+// histograms: total latency per outcome class plus one histogram per
+// phase. Shard runs stamp their timings into the PartialResult, and
+// PartialResult.Merge folds them together exactly (see obs.Histogram) —
+// the same carry-and-merge discipline as stats.Moments, applied to
+// distributions. Timings never influence results and are excluded from
+// the campaign fingerprint.
+type CampaignTimings struct {
+	// ByOutcome holds total experiment latency per outcome class,
+	// indexed by classify.Outcome.
+	ByOutcome [classify.NumOutcomes]*obs.Histogram `json:"byOutcome"`
+	Inject    *obs.Histogram                       `json:"inject"`
+	Execute   *obs.Histogram                       `json:"execute"`
+	Classify  *obs.Histogram                       `json:"classify"`
+}
+
+// NewCampaignTimings returns timings over the stack's standard latency
+// buckets. Every campaign uses the same fixed layout so any two
+// CampaignTimings merge.
+func NewCampaignTimings() *CampaignTimings {
+	t := &CampaignTimings{
+		Inject:   obs.NewHistogram(obs.LatencyBuckets()),
+		Execute:  obs.NewHistogram(obs.LatencyBuckets()),
+		Classify: obs.NewHistogram(obs.LatencyBuckets()),
+	}
+	for i := range t.ByOutcome {
+		t.ByOutcome[i] = obs.NewHistogram(obs.LatencyBuckets())
+	}
+	return t
+}
+
+// Observe folds one experiment's phase timings in. Safe on a nil
+// receiver and for concurrent callers (worker goroutines observe
+// directly).
+func (t *CampaignTimings) Observe(tr PhaseTrace) {
+	if t == nil {
+		return
+	}
+	if o := int(tr.Outcome); o >= 0 && o < classify.NumOutcomes {
+		t.ByOutcome[o].ObserveDuration(tr.Total)
+	}
+	t.Inject.ObserveDuration(tr.Inject)
+	t.Execute.ObserveDuration(tr.Execute)
+	t.Classify.ObserveDuration(tr.Classify)
+}
+
+// Count returns the number of experiments observed (via the phase
+// histograms, which see every trace regardless of outcome).
+func (t *CampaignTimings) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.Execute.Count()
+}
+
+// Merge folds other into t. Both sides must use the same bucket layout;
+// a nil other is a no-op.
+func (t *CampaignTimings) Merge(other *CampaignTimings) error {
+	if other == nil {
+		return nil
+	}
+	if t == nil {
+		return fmt.Errorf("harness: merge timings into nil")
+	}
+	for i := range t.ByOutcome {
+		if t.ByOutcome[i] == nil {
+			t.ByOutcome[i] = obs.NewHistogram(obs.LatencyBuckets())
+		}
+		if err := t.ByOutcome[i].Merge(other.ByOutcome[i]); err != nil {
+			return fmt.Errorf("harness: merge timings (outcome %s): %w", classify.Outcome(i), err)
+		}
+	}
+	for _, m := range []struct {
+		dst **obs.Histogram
+		src *obs.Histogram
+		n   string
+	}{
+		{&t.Inject, other.Inject, "inject"},
+		{&t.Execute, other.Execute, "execute"},
+		{&t.Classify, other.Classify, "classify"},
+	} {
+		if *m.dst == nil {
+			*m.dst = obs.NewHistogram(obs.LatencyBuckets())
+		}
+		if err := (*m.dst).Merge(m.src); err != nil {
+			return fmt.Errorf("harness: merge timings (%s): %w", m.n, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy (nil in, nil out).
+func (t *CampaignTimings) Clone() *CampaignTimings {
+	if t == nil {
+		return nil
+	}
+	c := NewCampaignTimings()
+	if err := c.Merge(t); err != nil {
+		// Same fixed layout on both sides by construction.
+		panic(err)
+	}
+	return c
+}

@@ -51,6 +51,11 @@ type Snapshot struct {
 	Utilization float64
 }
 
+// begin (re)arms the Progress for one campaign. A Progress may be
+// reused across sequential campaigns or shard runs, so every counter
+// from the previous campaign is zeroed here — carrying done/resumed/
+// outcome counts over would double-count and corrupt throughput, ETA,
+// and utilization.
 func (p *Progress) begin(total, workers int) {
 	if p == nil {
 		return
@@ -60,6 +65,11 @@ func (p *Progress) begin(total, workers int) {
 	p.total = total
 	p.workers = workers
 	p.started = time.Now()
+	p.resumed = 0
+	p.done = 0
+	p.running = 0
+	p.busy = 0
+	p.outcomes = [classify.NumOutcomes]int{}
 }
 
 func (p *Progress) noteResumed(n int) {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/apps"
 	"repro/internal/classify"
 )
 
@@ -126,3 +127,76 @@ func TestProgressTickerWritesAndStops(t *testing.T) {
 type writerFunc func([]byte) (int, error)
 
 func (f writerFunc) Write(b []byte) (int, error) { return f(b) }
+
+// TestProgressReuseAcrossCampaigns is the regression test for the
+// begin-does-not-reset bug: a Progress reused across sequential
+// campaigns (or shard runs) must start each one from zero instead of
+// double-counting the previous campaign's done/resumed/outcome tallies.
+func TestProgressReuseAcrossCampaigns(t *testing.T) {
+	p := &Progress{}
+
+	// Campaign one: 10 runs, 2 resumed, 8 executed.
+	p.begin(10, 4)
+	p.noteResumed(2)
+	for i := 0; i < 8; i++ {
+		p.noteStart()
+		p.noteDone(classify.WrongOutput, 50*time.Millisecond)
+	}
+	if s := p.Snapshot(); s.Done != 10 {
+		t.Fatalf("first campaign Done = %d, want 10", s.Done)
+	}
+
+	// Campaign two on the same Progress: everything restarts from zero.
+	p.begin(5, 2)
+	s := p.Snapshot()
+	if s.Total != 5 || s.Done != 0 || s.Resumed != 0 || s.Running != 0 {
+		t.Errorf("reused Progress carried counts over: %+v", s)
+	}
+	if s.Outcomes != ([classify.NumOutcomes]int{}) {
+		t.Errorf("reused Progress carried outcomes over: %v", s.Outcomes)
+	}
+	if s.Utilization != 0 {
+		t.Errorf("reused Progress carried busy time over: utilization %v", s.Utilization)
+	}
+
+	p.noteStart()
+	p.noteDone(classify.Vanished, 10*time.Millisecond)
+	s = p.Snapshot()
+	if s.Done != 1 || s.Outcomes[classify.Vanished] != 1 || s.Outcomes[classify.WrongOutput] != 0 {
+		t.Errorf("second campaign counts wrong: %+v", s)
+	}
+}
+
+// TestProgressReuseEndToEnd runs two real campaigns through one shared
+// Progress and checks the second campaign's snapshot stands alone.
+func TestProgressReuseEndToEnd(t *testing.T) {
+	app := apps.NewHydro()
+	p := &Progress{}
+	cfg := CampaignConfig{
+		App:      app,
+		Params:   app.TestParams(),
+		Runs:     6,
+		Seed:     7,
+		Workers:  2,
+		Progress: p,
+	}
+	if _, err := RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Runs = 4
+	cfg.Seed = 8
+	if _, err := RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if s.Total != 4 || s.Done != 4 || s.Resumed != 0 {
+		t.Errorf("after second campaign: Total=%d Done=%d Resumed=%d, want 4/4/0", s.Total, s.Done, s.Resumed)
+	}
+	total := 0
+	for _, n := range s.Outcomes {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("outcome counts sum to %d, want 4 (%v)", total, s.Outcomes)
+	}
+}

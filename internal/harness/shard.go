@@ -166,6 +166,13 @@ type PartialResult struct {
 	// HasSpread distinguishes "no experiment produced a spread series"
 	// from a zero-valued one.
 	HasSpread bool `json:"hasSpread"`
+
+	// Timings carries the shard's phase-latency histograms when the run
+	// was traced (CampaignConfig.Timings). Observability only: merged
+	// like every other aggregate but never fingerprinted, never part of
+	// the finalized CampaignResult, and absent unless tracing was on —
+	// so untraced partials stay byte-identical to earlier releases.
+	Timings *CampaignTimings `json:"timings,omitempty"`
 }
 
 // Merge folds other into p. The operation is commutative and associative
@@ -226,6 +233,17 @@ func (p *PartialResult) Merge(other *PartialResult) error {
 			p.HasSpread = true
 		}
 	}
+
+	// Timings fold like any other aggregate; a shard that ran untraced
+	// simply contributes nothing.
+	if other.Timings != nil {
+		if p.Timings == nil {
+			p.Timings = NewCampaignTimings()
+		}
+		if err := p.Timings.Merge(other.Timings); err != nil {
+			return fmt.Errorf("%w: %v", ErrMergeMismatch, err)
+		}
+	}
 	return nil
 }
 
@@ -260,6 +278,7 @@ func (p *PartialResult) Clone() *PartialResult {
 			c.StructTotals[k] = v
 		}
 	}
+	c.Timings = p.Timings.Clone()
 	return &c
 }
 

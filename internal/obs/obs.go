@@ -1,0 +1,68 @@
+// Package obs is the dependency-free observability kit for the fault
+// propagation stack: counters, gauges, fixed-bucket mergeable
+// histograms, a Prometheus text-format renderer, and trace IDs.
+//
+// The design constraint that shapes everything here is the sharded
+// campaign path: a shard's metrics must ride back to the coordinator
+// inside its PartialResult and merge losslessly, the same way
+// stats.Moments merges Welford accumulators. That rules out quantile
+// sketches and adaptive bucketing — two histograms merge exactly only
+// when they share one fixed bucket layout decided up front. Fixed
+// buckets make Merge a vector add: associative, commutative, and
+// byte-identical regardless of which shard observed which sample.
+//
+// All collector methods are nil-receiver-safe no-ops, so call sites can
+// instrument unconditionally and pay only a nil check when metrics are
+// disabled.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceHeader is the HTTP header that carries a campaign's trace ID
+// from submitter to coordinator and from coordinator to worker.
+const TraceHeader = "X-Faultprop-Trace"
+
+// traceFallback makes NewTraceID still unique-ish if crypto/rand ever
+// fails (it effectively cannot on supported platforms).
+var traceFallback atomic.Uint64
+
+// NewTraceID returns a fresh 16-hex-char random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%015x", traceFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ShardSpan derives the span ID for shard index i of a traced campaign.
+// The parent ID stays a prefix so one grep finds the whole campaign
+// across coordinator and worker logs, journals, and events.
+func ShardSpan(trace string, i int) string {
+	return fmt.Sprintf("%s/s%d", trace, i)
+}
+
+// CleanTrace validates an externally supplied trace ID: at most 64
+// bytes of [A-Za-z0-9._/-]. Anything else returns "" so callers fall
+// back to a generated ID instead of stamping junk into logs and
+// journals.
+func CleanTrace(s string) string {
+	if len(s) == 0 || len(s) > 64 {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '/' || c == '-':
+		default:
+			return ""
+		}
+	}
+	return s
+}

@@ -23,12 +23,21 @@
 //	GET    /v1/jobs/{id}/partial mergeable PartialResult of a finished shard job
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
 //	DELETE /v1/jobs/{id}        alias for cancel
-//	GET    /v1/metrics          service metrics, JSON
+//	GET    /v1/metrics          service metrics: JSON by default, the
+//	                            Prometheus text form (with queue-wait,
+//	                            shard-duration, and per-phase/per-outcome
+//	                            experiment-latency histograms) on
+//	                            ?format=prometheus or Accept: text/plain
 //	GET    /v1/workers          list registered peer workers
 //	POST   /v1/workers          register a peer worker {"name","url"}
 //	DELETE /v1/workers/{name}   deregister a peer worker
 //	GET    /metrics             service metrics, Prometheus text format
 //	GET    /healthz             liveness probe
+//
+// Submissions may carry an X-Faultprop-Trace header; the daemon stamps
+// the trace (or a generated one) on the job's status, every stream
+// event, its checkpoint journal header, and its log lines, and a
+// coordinator forwards a per-shard span ("trace/sN") to its workers.
 //
 // The pre-versioning /api/v1/* paths remain as permanent-redirect compat
 // handlers (301 for GET/HEAD, 308 otherwise) for one release; new clients
@@ -182,6 +191,12 @@ type JobStatus struct {
 	// Resumed counts experiments replayed from the checkpoint journal the
 	// last time the job (re)started — nonzero after a daemon restart.
 	Resumed int `json:"resumed,omitempty"`
+	// Trace is the job's span ID: taken from the submitter's
+	// X-Faultprop-Trace header when present (so one trace follows a
+	// campaign coordinator→worker), generated otherwise. It is stamped
+	// into the job's events, its checkpoint journal header, and the
+	// daemon's structured logs.
+	Trace string `json:"trace,omitempty"`
 	// Progress is a live snapshot, present while the job runs.
 	Progress *harness.Snapshot `json:"progress,omitempty"`
 	// Tally and FPS summarize a done job (the full CampaignResult is at
@@ -205,6 +220,12 @@ const (
 	// EventResult: the job finished; Tally and FPS carry the final
 	// aggregate. Always the last event of a successful stream.
 	EventResult EventKind = "result"
+	// EventTruncated: this watcher lagged too far behind a running job and
+	// the daemon dropped it to protect the stream. Always the last event
+	// of a truncated stream; the job itself keeps running. Clients should
+	// reconnect — the journal replay on resubscribe restores every missed
+	// experiment, deduplicated by experiment ID.
+	EventTruncated EventKind = "truncated"
 )
 
 // Event is one NDJSON stream record.
@@ -212,7 +233,9 @@ type Event struct {
 	Kind EventKind `json:"kind"`
 	Job  string    `json:"job"`
 	// Seq orders events within one job's stream.
-	Seq        uint64            `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Trace is the job's span ID, stamped on every event by the hub.
+	Trace      string            `json:"trace,omitempty"`
 	State      JobState          `json:"state,omitempty"`
 	Error      string            `json:"error,omitempty"`
 	Experiment *ExperimentEvent  `json:"experiment,omitempty"`
@@ -273,6 +296,10 @@ type Metrics struct {
 	JobsDone      int `json:"jobsDone"`
 	JobsFailed    int `json:"jobsFailed"`
 	JobsCancelled int `json:"jobsCancelled"`
+	// StreamDrops counts event-stream subscribers disconnected for
+	// lagging (they receive EventTruncated and are expected to
+	// reconnect).
+	StreamDrops uint64 `json:"streamDrops"`
 	// Outcomes counts completed experiments per outcome class, summed over
 	// terminal tallies and live progress.
 	Outcomes map[string]int `json:"outcomes"`

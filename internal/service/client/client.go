@@ -243,16 +243,27 @@ func (c *Client) RemoveWorker(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/workers/"+url.PathEscape(name), nil, nil)
 }
 
+// errTruncated marks a stream the daemon cut because this watcher lagged
+// (Event.Kind "truncated"). The job is still running; Watch reconnects
+// immediately — the reconnect's journal replay recovers anything missed.
+var errTruncated = errors.New("client: watch: stream truncated by daemon")
+
 // Watch streams a job's events, invoking fn for each one until the job
 // reaches a terminal state, ctx is cancelled, or fn returns an error
 // (which Watch returns). A dropped connection before the terminal event
-// reconnects with the client's retry budget; the server re-sends the
-// current state on reconnect, so fn may observe duplicate state events.
-// Watch returns the job's terminal status.
+// reconnects with the client's retry budget; a stream the daemon
+// truncated for lagging reconnects immediately without consuming it. The
+// server replays history on reconnect, so fn may observe duplicate state
+// events (experiment events dedup server-side per connection, so fn
+// should dedup by experiment ID across reconnects if it must count them
+// exactly once). Watch returns the job's terminal status.
 func (c *Client) Watch(ctx context.Context, id string, fn func(service.Event) error) (service.JobStatus, error) {
 	attempt := 0
 	for {
 		terminal, err := c.watchOnce(ctx, id, fn)
+		if errors.Is(err, errTruncated) && ctx.Err() == nil {
+			continue
+		}
 		if terminal || !retryable(err) {
 			if err != nil {
 				return service.JobStatus{}, err
@@ -310,6 +321,9 @@ func (c *Client) watchOnce(ctx context.Context, id string, fn func(service.Event
 			if err := fn(ev); err != nil {
 				return true, err
 			}
+		}
+		if ev.Kind == service.EventTruncated {
+			return false, errTruncated
 		}
 		if ev.State.Terminal() {
 			return true, nil

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // The coordinator turns one submitted job with Shards > 1 into a fleet of
@@ -54,6 +55,9 @@ type shardOutcome struct {
 	task    *shardTask
 	worker  WorkerInfo
 	partial *harness.PartialResult
+	// elapsed is the shard's wall time, submit to fetched partial
+	// (set on success; feeds the shard-duration histogram).
+	elapsed time.Duration
 	err     error
 	// fatal marks errors that must fail the job instead of re-dispatching
 	// (fingerprint mismatch, invalid spec): no amount of retrying fixes a
@@ -246,11 +250,25 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 					return nil, err
 				}
 				remaining--
+				s.obs.shardDur.ObserveDuration(out.elapsed)
+				// Fold the shard's phase-latency histograms into this
+				// coordinator's registry: /v1/metrics then covers
+				// experiments that ran on workers, not just local ones.
+				s.obs.absorbTimings(out.partial.Timings)
+				s.log.Info("shard done", "job", st.ID, "trace", st.Trace,
+					"shard", idx, "worker", out.worker.Name, "elapsed", out.elapsed)
 				publishProgress(started)
 			case out.fatal:
 				return nil, fmt.Errorf("shard %d on worker %s: %w",
 					out.task.spec.Index, out.worker.Name, out.err)
 			default:
+				// Our own teardown (cancel, drain) surfaces as a context
+				// error from the dispatch goroutine racing the ctx.Done
+				// case above; that is not a worker failure, so do not mark
+				// the worker dead or burn a dispatch attempt.
+				if ctx.Err() != nil {
+					return nil, interrupted()
+				}
 				// Transient failure (worker died, poll failed): mark the
 				// worker dead so assignment skips it until a heartbeat
 				// revives it, and requeue the shard with backoff.
@@ -262,6 +280,9 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 				}
 				out.task.notAfter = time.Now().Add(s.cfg.ProgressEvery << out.task.attempts)
 				pending = append(pending, out.task)
+				s.log.Warn("shard requeued", "job", st.ID, "trace", st.Trace,
+					"shard", out.task.spec.Index, "worker", out.worker.Name,
+					"attempt", out.task.attempts, "err", out.err)
 				assign()
 			}
 		}
@@ -285,11 +306,17 @@ func (s *Server) runShardOn(ctx context.Context, w WorkerInfo, st JobStatus,
 	spec.Label = fmt.Sprintf("shard %d/%d of job %s", t.spec.Index, t.spec.Shards, st.ID)
 	spec.Priority = st.Spec.Priority
 
-	wjob, err := s.peers.submit(ctx, w.URL, spec)
+	// The shard's span ID derives from the job's trace, so the worker's
+	// journal, events, and logs correlate back to this submission.
+	begun := time.Now()
+	span := obs.ShardSpan(st.Trace, t.spec.Index)
+	wjob, err := s.peers.submit(ctx, w.URL, spec, span)
 	if err != nil {
 		return shardOutcome{task: t, worker: w, err: err, fatal: isFatalShardErr(err)}
 	}
 	onSubmit(wjob.ID)
+	s.log.Debug("shard dispatched", "job", st.ID, "trace", span,
+		"shard", t.spec.Index, "worker", w.Name, "worker_job", wjob.ID)
 
 	for {
 		select {
@@ -317,7 +344,7 @@ func (s *Server) runShardOn(ctx context.Context, w WorkerInfo, st JobStatus,
 					err: fmt.Errorf("%w: worker %s returned %s, want %s",
 						ErrFingerprintMismatch, w.Name, part.Fingerprint, t.spec.Fingerprint)}
 			}
-			return shardOutcome{task: t, worker: w, partial: part}
+			return shardOutcome{task: t, worker: w, partial: part, elapsed: time.Since(begun)}
 		case StateFailed:
 			fatal := cur.ErrorCode == "fingerprint_mismatch" || cur.ErrorCode == "invalid_spec"
 			return shardOutcome{task: t, worker: w, fatal: fatal,

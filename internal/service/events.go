@@ -1,53 +1,79 @@
 package service
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // hub fans one job's event stream out to any number of subscribers. Events
-// are delivered best-effort: a subscriber that falls subscriberBuffer
-// events behind is disconnected rather than allowed to stall the job
-// (stream handlers then report the job's current status as a final event,
-// and the durable truth is always fetchable from the store). The hub closes
-// when the job reaches a terminal state, which closes every subscriber
-// channel after its buffered events drain.
+// are delivered best-effort: a subscriber that falls buffer-size events
+// behind is disconnected rather than allowed to stall the job. A dropped
+// subscriber's channel closes exactly like a graceful close, so the
+// subscriber struct carries an explicit truncated flag — stream handlers
+// use it to end the stream with EventTruncated instead of a misleading
+// non-terminal "final" status, and clients reconnect (the journal replay
+// makes the resumed stream lossless). The hub closes when the job reaches
+// a terminal state, which closes every subscriber channel after its
+// buffered events drain.
 type hub struct {
 	mu     sync.Mutex
 	seq    uint64
-	subs   map[chan Event]struct{}
+	trace  string
+	buffer int
+	subs   map[*subscriber]struct{}
 	closed bool
+	// drops counts subscribers disconnected for lagging (the daemon-wide
+	// stream-drop metric; nil-safe).
+	drops *obs.Counter
 }
 
-const subscriberBuffer = 256
+// subscriber is one attached stream. truncated is written under the hub
+// lock strictly before ch is closed, so a reader that observed the close
+// may read it without further synchronization.
+type subscriber struct {
+	ch        chan Event
+	truncated bool
+}
 
-func newHub() *hub {
-	return &hub{subs: make(map[chan Event]struct{})}
+const defaultSubscriberBuffer = 256
+
+// newHub creates the event hub for one job. Every published event is
+// stamped with the job's trace ID; laggard drops are counted into drops.
+func newHub(trace string, buffer int, drops *obs.Counter) *hub {
+	if buffer <= 0 {
+		buffer = defaultSubscriberBuffer
+	}
+	return &hub{subs: make(map[*subscriber]struct{}), trace: trace, buffer: buffer, drops: drops}
 }
 
 // subscribe registers a new subscriber. The returned cancel is idempotent
 // and safe to call after the hub closed.
-func (h *hub) subscribe() (<-chan Event, func()) {
-	ch := make(chan Event, subscriberBuffer)
+func (h *hub) subscribe() (*subscriber, func()) {
+	sub := &subscriber{ch: make(chan Event, h.buffer)}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
-		close(ch)
-		return ch, func() {}
+		close(sub.ch)
+		return sub, func() {}
 	}
-	h.subs[ch] = struct{}{}
+	h.subs[sub] = struct{}{}
 	var once sync.Once
-	return ch, func() {
+	return sub, func() {
 		once.Do(func() {
 			h.mu.Lock()
 			defer h.mu.Unlock()
-			if _, ok := h.subs[ch]; ok {
-				delete(h.subs, ch)
-				close(ch)
+			if _, ok := h.subs[sub]; ok {
+				delete(h.subs, sub)
+				close(sub.ch)
 			}
 		})
 	}
 }
 
-// publish stamps the event's sequence number and delivers it to every
-// subscriber that has room, dropping laggards.
+// publish stamps the event's sequence number and trace ID and delivers it
+// to every subscriber that has room. A laggard is marked truncated,
+// counted, and disconnected.
 func (h *hub) publish(e Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -56,12 +82,17 @@ func (h *hub) publish(e Event) {
 	}
 	h.seq++
 	e.Seq = h.seq
-	for ch := range h.subs {
+	if e.Trace == "" {
+		e.Trace = h.trace
+	}
+	for sub := range h.subs {
 		select {
-		case ch <- e:
+		case sub.ch <- e:
 		default:
-			delete(h.subs, ch)
-			close(ch)
+			sub.truncated = true
+			delete(h.subs, sub)
+			close(sub.ch)
+			h.drops.Inc()
 		}
 	}
 }
@@ -75,8 +106,8 @@ func (h *hub) close() {
 		return
 	}
 	h.closed = true
-	for ch := range h.subs {
-		delete(h.subs, ch)
-		close(ch)
+	for sub := range h.subs {
+		delete(h.subs, sub)
+		close(sub.ch)
 	}
 }

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestHubTruncatesLaggard: a subscriber whose channel fills is dropped
+// with its truncated flag set and counted in the drop metric, while a
+// keeping-up subscriber and the hub itself are unaffected. Before the
+// explicit flag, a dropped laggard saw exactly what a graceful close
+// looks like and clients could not tell "job finished" from "you lagged".
+func TestHubTruncatesLaggard(t *testing.T) {
+	drops := &obs.Counter{}
+	h := newHub("tr-1", 2, drops)
+
+	laggard, cancelLaggard := h.subscribe()
+	defer cancelLaggard()
+	reader, cancelReader := h.subscribe()
+	defer cancelReader()
+
+	// Fill the laggard's buffer (2), then one more publish overflows it.
+	for i := 0; i < 3; i++ {
+		h.publish(Event{Kind: EventProgress, Job: "1"})
+		// Keep the reader drained so only the laggard overflows.
+		e := <-reader.ch
+		if e.Trace != "tr-1" {
+			t.Fatalf("event trace = %q, want tr-1", e.Trace)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event seq = %d, want %d", e.Seq, i+1)
+		}
+	}
+
+	// The laggard still has its 2 buffered events, then a closed channel
+	// with the truncated flag up.
+	for i := 0; i < 2; i++ {
+		if _, ok := <-laggard.ch; !ok {
+			t.Fatalf("laggard channel closed after %d events, want 2 buffered first", i)
+		}
+	}
+	if _, ok := <-laggard.ch; ok {
+		t.Fatal("laggard channel still open after overflow")
+	}
+	if !laggard.truncated {
+		t.Error("laggard.truncated = false after overflow drop")
+	}
+	if got := drops.Value(); got != 1 {
+		t.Errorf("drop counter = %d, want 1", got)
+	}
+
+	// The surviving subscriber keeps receiving, and a graceful close is
+	// distinguishable: channel closed, truncated false.
+	h.publish(Event{Kind: EventProgress, Job: "1"})
+	if _, ok := <-reader.ch; !ok {
+		t.Fatal("reader lost its subscription when the laggard was dropped")
+	}
+	h.close()
+	if _, ok := <-reader.ch; ok {
+		t.Fatal("reader channel open after hub close")
+	}
+	if reader.truncated {
+		t.Error("reader.truncated = true on graceful close")
+	}
+	if got := drops.Value(); got != 1 {
+		t.Errorf("drop counter after graceful close = %d, want still 1", got)
+	}
+}

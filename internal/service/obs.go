@@ -1,0 +1,93 @@
+package service
+
+import (
+	"repro/internal/classify"
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+// serverObs bundles the daemon's metrics registry and the collectors the
+// hot paths observe into. Histograms here are the live, daemon-lifetime
+// view; per-job CampaignTimings additionally ride inside shard partials
+// so a coordinator's registry also absorbs its workers' distributions.
+type serverObs struct {
+	reg *obs.Registry
+
+	// queueWait: submission-to-start latency of dispatched jobs.
+	queueWait *obs.Histogram
+	// shardDur: wall time of completed coordinated shards (dispatch to
+	// merged partial, including transport and polling).
+	shardDur *obs.Histogram
+	// streamDrops: subscribers disconnected for lagging.
+	streamDrops *obs.Counter
+	// httpRequests: API requests served, by method.
+	httpRequests map[string]*obs.Counter
+
+	// expLatency: whole-experiment wall time per outcome class.
+	expLatency [classify.NumOutcomes]*obs.Histogram
+	// phase latencies of the injection pipeline.
+	injectLat, execLat, classifyLat *obs.Histogram
+}
+
+func newServerObs() *serverObs {
+	reg := obs.NewRegistry()
+	o := &serverObs{
+		reg: reg,
+		queueWait: reg.Histogram("faultpropd_queue_wait_seconds",
+			"Time jobs spent queued before starting.", obs.LatencyBuckets()),
+		shardDur: reg.Histogram("faultpropd_shard_seconds",
+			"Wall time of coordinated shards, dispatch to merged partial.", obs.LatencyBuckets()),
+		streamDrops: reg.Counter("faultpropd_stream_drops_total",
+			"Event-stream subscribers dropped for lagging."),
+		injectLat: reg.Histogram("faultpropd_experiment_phase_seconds",
+			"Experiment phase latency.", obs.LatencyBuckets(), obs.L("phase", "inject")),
+		execLat: reg.Histogram("faultpropd_experiment_phase_seconds",
+			"Experiment phase latency.", obs.LatencyBuckets(), obs.L("phase", "execute")),
+		classifyLat: reg.Histogram("faultpropd_experiment_phase_seconds",
+			"Experiment phase latency.", obs.LatencyBuckets(), obs.L("phase", "classify")),
+		httpRequests: make(map[string]*obs.Counter),
+	}
+	for i := range o.expLatency {
+		o.expLatency[i] = reg.Histogram("faultpropd_experiment_seconds",
+			"Experiment wall time by outcome class.", obs.LatencyBuckets(),
+			obs.L("outcome", classify.Outcome(i).String()))
+	}
+	for _, m := range []string{"GET", "POST", "DELETE"} {
+		o.httpRequests[m] = reg.Counter("faultpropd_http_requests_total",
+			"API requests served, by method.", obs.L("method", m))
+	}
+	return o
+}
+
+// observePhase folds one locally executed experiment's phase timings into
+// the registry histograms.
+func (o *serverObs) observePhase(tr harness.PhaseTrace) {
+	if i := int(tr.Outcome); i >= 0 && i < classify.NumOutcomes {
+		o.expLatency[i].ObserveDuration(tr.Total)
+	}
+	o.injectLat.ObserveDuration(tr.Inject)
+	o.execLat.ObserveDuration(tr.Execute)
+	o.classifyLat.ObserveDuration(tr.Classify)
+}
+
+// absorbTimings merges a shard partial's carried histograms into the
+// registry, so a coordinator's /v1/metrics covers experiments that ran on
+// its workers. Layouts are fixed stack-wide, so a mismatch cannot happen
+// with our own partials; a foreign layout is simply skipped.
+func (o *serverObs) absorbTimings(t *harness.CampaignTimings) {
+	if t == nil {
+		return
+	}
+	for i := range o.expLatency {
+		_ = o.expLatency[i].Merge(t.ByOutcome[i])
+	}
+	_ = o.injectLat.Merge(t.Inject)
+	_ = o.execLat.Merge(t.Execute)
+	_ = o.classifyLat.Merge(t.Classify)
+}
+
+// countRequest bumps the per-method request counter (unknown methods are
+// uncounted rather than growing the label set unboundedly).
+func (o *serverObs) countRequest(method string) {
+	o.httpRequests[method].Inc()
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // peerClient is the coordinator's minimal HTTP client for dispatching
@@ -41,8 +42,14 @@ func (e *peerError) Error() string {
 func (e *peerError) Unwrap() error { return e.wrapped }
 
 // retryablePeer reports whether a worker call may be retried: transport
-// errors and 5xx are transient, 4xx are not.
+// errors and 5xx are transient, 4xx are not. Context cancellation and
+// deadline expiry are never retryable — they mean the *caller* is done
+// (coordinator teardown, drain), not that the worker is unhealthy, and
+// retrying them would misclassify teardown as worker death.
 func retryablePeer(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
 	var pe *peerError
 	if errors.As(err, &pe) {
 		return pe.status >= 500
@@ -53,6 +60,12 @@ func retryablePeer(err error) bool {
 // do runs one request against a worker base URL and decodes the JSON
 // response into out (when non-nil).
 func (p *peerClient) do(ctx context.Context, method, base, path string, body, out any) error {
+	return p.doHeaders(ctx, method, base, path, body, out, "")
+}
+
+// doHeaders is do with an optional trace ID forwarded in the
+// X-Faultprop-Trace header.
+func (p *peerClient) doHeaders(ctx context.Context, method, base, path string, body, out any, trace string) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -66,6 +79,9 @@ func (p *peerClient) do(ctx context.Context, method, base, path string, body, ou
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
 	}
 	resp, err := p.hc.Do(req)
 	if err != nil {
@@ -106,7 +122,12 @@ func (p *peerClient) doRetry(ctx context.Context, method, base, path string, bod
 		select {
 		case <-time.After(backoff << attempt):
 		case <-ctx.Done():
-			return err
+			// The caller gave up while we were backing off. Surface the
+			// cancellation — errors.Is(err, context.Canceled) must hold —
+			// not the stale transport error from the last attempt, which
+			// would make a deliberate teardown look like a worker failure.
+			return fmt.Errorf("service: peer %s %s: %w (last attempt: %v)",
+				method, path, ctx.Err(), err)
 		}
 	}
 }
@@ -123,11 +144,13 @@ func (p *peerClient) ping(ctx context.Context, base string) error {
 	return nil
 }
 
-// submit queues a shard job on a worker. Submission is not retried (it is
-// not idempotent); a failed submit requeues the shard instead.
-func (p *peerClient) submit(ctx context.Context, base string, spec JobSpec) (JobStatus, error) {
+// submit queues a shard job on a worker, propagating the shard's span ID
+// in the X-Faultprop-Trace header so the worker's journal, events, and
+// logs carry it. Submission is not retried (it is not idempotent); a
+// failed submit requeues the shard instead.
+func (p *peerClient) submit(ctx context.Context, base string, spec JobSpec, trace string) (JobStatus, error) {
 	var st JobStatus
-	err := p.do(ctx, http.MethodPost, base, "/v1/jobs", spec, &st)
+	err := p.doHeaders(ctx, http.MethodPost, base, "/v1/jobs", spec, &st, trace)
 	return st, err
 }
 

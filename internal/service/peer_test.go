@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPeerRetryCancelledContext is the regression test for doRetry's
+// cancellation handling: when the caller's context dies while doRetry is
+// backing off after a transient failure, the returned error must surface
+// the cancellation (errors.Is(err, context.Canceled)), not the stale
+// transport error from the last attempt — and no further attempts may be
+// made. Before the fix, doRetry returned the old 5xx error on ctx.Done,
+// so a deliberate coordinator teardown was indistinguishable from a
+// worker failure.
+func TestPeerRetryCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var requests atomic.Int32
+	ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		// The caller gives up while the client is backing off.
+		cancel()
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ws.Close()
+
+	p := newPeerClient()
+	err := p.doRetry(ctx, http.MethodGet, ws.URL, "/v1/jobs/1", nil, nil)
+	if err == nil {
+		t.Fatal("doRetry returned nil; want a cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("doRetry error = %v; want errors.Is(err, context.Canceled)", err)
+	}
+	if n := requests.Load(); n != 1 {
+		t.Errorf("worker saw %d requests after cancellation; want exactly 1", n)
+	}
+}
+
+// TestRetryablePeerContextErrors: context errors are never retryable —
+// they mean the caller is done, not that the worker is unhealthy.
+func TestRetryablePeerContextErrors(t *testing.T) {
+	for _, err := range []error{context.Canceled, context.DeadlineExceeded} {
+		if retryablePeer(err) {
+			t.Errorf("retryablePeer(%v) = true; want false", err)
+		}
+	}
+	if !retryablePeer(&peerError{status: 503, message: "busy"}) {
+		t.Error("retryablePeer(503) = false; want true")
+	}
+	if retryablePeer(&peerError{status: 404, message: "nope"}) {
+		t.Error("retryablePeer(404) = true; want false")
+	}
+}
+
+// TestPeerDeadlineSurfaces: a deadline expiring mid-backoff behaves like
+// a cancel — the deadline error is what comes back.
+func TestPeerDeadlineSurfaces(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer ws.Close()
+
+	p := newPeerClient()
+	err := p.doRetry(ctx, http.MethodGet, ws.URL, "/v1/jobs/1", nil, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("doRetry error = %v; want errors.Is(err, context.DeadlineExceeded)", err)
+	}
+}

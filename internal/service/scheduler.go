@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -31,6 +32,17 @@ type job struct {
 	hub       *hub
 	cancel    context.CancelFunc
 	reason    stopReason
+	// queuedAt is when the job last entered the queue (submission, daemon
+	// restart, or drain requeue); the queue-wait metric measures from here
+	// rather than Created so requeued jobs do not skew it. Guarded by mu.
+	queuedAt time.Time
+}
+
+// noteQueued stamps the queue-entry time.
+func (j *job) noteQueued() {
+	j.mu.Lock()
+	j.queuedAt = time.Now()
+	j.mu.Unlock()
 }
 
 // snapshot returns the client-visible status, with a live progress

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
@@ -16,6 +18,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // Config sizes a Server.
@@ -42,6 +45,17 @@ type Config struct {
 	// workers (0: 2s). A worker that fails a probe is marked dead: it
 	// receives no new shards and its in-flight shards re-dispatch.
 	Heartbeat time.Duration
+	// Log receives the daemon's structured logs: request lines, job
+	// lifecycle, worker liveness transitions, slow-experiment warnings
+	// (nil: discard).
+	Log *slog.Logger
+	// SlowExperiment, when positive, logs a warning for any experiment
+	// whose wall time meets or exceeds it (0: disabled).
+	SlowExperiment time.Duration
+	// StreamBuffer sizes each event-stream subscriber's channel (0: 256).
+	// A subscriber that falls this many events behind is disconnected with
+	// an explicit "truncated" event and counted in the stream-drop metric.
+	StreamBuffer int
 }
 
 // Server is the faultpropd campaign service: it owns the job store, the
@@ -57,6 +71,8 @@ type Server struct {
 	registry *registry
 	peers    *peerClient
 	hbStop   context.CancelFunc
+	obs      *serverObs
+	log      *slog.Logger
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -80,6 +96,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = 2 * time.Second
 	}
+	if cfg.StreamBuffer <= 0 {
+		cfg.StreamBuffer = defaultSubscriberBuffer
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	store, err := OpenStore(cfg.Dir)
 	if err != nil {
 		return nil, err
@@ -91,6 +113,8 @@ func New(cfg Config) (*Server, error) {
 		jobs:     make(map[string]*job),
 		registry: newRegistry(),
 		peers:    newPeerClient(),
+		obs:      newServerObs(),
+		log:      cfg.Log,
 	}
 	for _, p := range cfg.Peers {
 		if _, err := s.registry.add("", p); err != nil {
@@ -116,7 +140,7 @@ func (s *Server) Start() error {
 		return err
 	}
 	for _, st := range persisted {
-		j := &job{status: st, hub: newHub()}
+		j := &job{status: st, hub: newHub(st.Trace, s.cfg.StreamBuffer, s.obs.streamDrops)}
 		if st.State.Terminal() {
 			j.hub.close()
 			s.mu.Lock()
@@ -133,7 +157,9 @@ func (s *Server) Start() error {
 		s.mu.Lock()
 		s.jobs[st.ID] = j
 		s.mu.Unlock()
+		j.noteQueued()
 		s.sched.enqueue(j)
+		s.log.Info("job recovered", "job", st.ID, "trace", st.Trace)
 	}
 	s.sched.start()
 	hbCtx, hbStop := context.WithCancel(context.Background())
@@ -169,13 +195,61 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Handler returns the HTTP API handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API handler, wrapped with request counting
+// and structured request logs (reads at debug, mutations at info).
+func (s *Server) Handler() http.Handler { return s.requestLogger(s.mux) }
+
+// statusWriter records the response status for the request log. It
+// implements http.Flusher unconditionally (forwarding when the wrapped
+// writer supports it) because the streaming endpoint requires one.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) requestLogger(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.obs.countRequest(r.Method)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		attrs := []any{"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "elapsed", time.Since(start)}
+		if t := obs.CleanTrace(r.Header.Get(obs.TraceHeader)); t != "" {
+			attrs = append(attrs, "trace", t)
+		}
+		if r.Method == http.MethodGet || r.Method == http.MethodHead {
+			s.log.Debug("request", attrs...)
+		} else {
+			s.log.Info("request", attrs...)
+		}
+	})
+}
 
 // Submit validates and persists a new job and queues it for execution.
 // When the daemon's queue bound (Config.MaxQueue) is reached the
-// submission is rejected with ErrQueueFull.
+// submission is rejected with ErrQueueFull. The job gets a fresh trace
+// ID; to propagate one from upstream use SubmitTrace.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	return s.SubmitTrace(spec, "")
+}
+
+// SubmitTrace is Submit with a caller-supplied trace ID (a coordinator's
+// shard span, or any upstream correlation ID). An empty trace gets a
+// fresh ID. The trace is stamped into the job's status, events, journal
+// header, and log lines.
+func (s *Server) SubmitTrace(spec JobSpec, trace string) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
@@ -188,14 +262,18 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	if spec.Scale == "" {
 		spec.Scale = "default"
 	}
+	if trace = obs.CleanTrace(trace); trace == "" {
+		trace = obs.NewTraceID()
+	}
 	j := &job{
 		status: JobStatus{
 			ID:      s.store.NewID(),
 			Spec:    spec,
 			State:   StateQueued,
 			Created: time.Now().UTC(),
+			Trace:   trace,
 		},
-		hub: newHub(),
+		hub: newHub(trace, s.cfg.StreamBuffer, s.obs.streamDrops),
 	}
 	if err := s.store.SaveStatus(j.status); err != nil {
 		return JobStatus{}, err
@@ -203,7 +281,10 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.mu.Lock()
 	s.jobs[j.status.ID] = j
 	s.mu.Unlock()
+	j.noteQueued()
 	s.sched.enqueue(j)
+	s.log.Info("job submitted", "job", j.status.ID, "trace", trace,
+		"runs", spec.Runs, "shards", spec.Shards, "priority", spec.Priority)
 	return j.snapshot(), nil
 }
 
@@ -351,7 +432,14 @@ func (s *Server) runJob(j *job) {
 	j.status.Error = ""
 	j.status.ErrorCode = ""
 	st := j.status
+	queuedAt := j.queuedAt
 	j.mu.Unlock()
+
+	if !queuedAt.IsZero() {
+		s.obs.queueWait.ObserveDuration(time.Since(queuedAt))
+	}
+	s.log.Info("job started", "job", st.ID, "trace", st.Trace,
+		"coordinated", coordinated, "queue_wait", time.Since(queuedAt))
 
 	if err := s.store.SaveStatus(st); err != nil {
 		s.fail(j, fmt.Errorf("persist: %w", err))
@@ -392,6 +480,18 @@ func (s *Server) runJob(j *job) {
 	// starts one), and a redispatched job replays its completed
 	// experiments instead of re-running them.
 	cfg.Resume = true
+	cfg.Trace = st.Trace
+	// Timings ride in shard partials so the coordinator's metrics absorb
+	// them; OnPhase feeds this daemon's own registry live.
+	cfg.Timings = harness.NewCampaignTimings()
+	cfg.OnPhase = func(tr harness.PhaseTrace) {
+		s.obs.observePhase(tr)
+		if s.cfg.SlowExperiment > 0 && tr.Total >= s.cfg.SlowExperiment {
+			s.log.Warn("slow experiment", "job", st.ID, "trace", st.Trace,
+				"experiment", tr.ID, "outcome", tr.Outcome.String(),
+				"total", tr.Total, "execute", tr.Execute)
+		}
+	}
 	cfg.OnExperiment = func(sum harness.ExperimentSummary, resumed bool) {
 		j.hub.publish(Event{Kind: EventExperiment, Job: st.ID, Experiment: &ExperimentEvent{
 			ID:      sum.ID,
@@ -468,6 +568,8 @@ func (s *Server) finish(j *job, res *harness.CampaignResult) {
 	}
 	j.hub.publish(Event{Kind: EventResult, Job: st.ID, State: StateDone, Tally: &tally, FPS: st.FPS})
 	j.hub.close()
+	s.log.Info("job done", "job", st.ID, "trace", st.Trace,
+		"runs", tally.Total, "elapsed", st.Finished.Sub(st.Started))
 }
 
 // finishPartial records a successful shard job: the mergeable partial is
@@ -492,6 +594,8 @@ func (s *Server) finishPartial(j *job, part *harness.PartialResult) {
 	}
 	j.hub.publish(Event{Kind: EventResult, Job: st.ID, State: StateDone, Tally: &tally})
 	j.hub.close()
+	s.log.Info("shard job done", "job", st.ID, "trace", st.Trace,
+		"runs", tally.Total, "elapsed", st.Finished.Sub(st.Started))
 }
 
 // settleStopped resolves an interrupted job: a client cancel is terminal,
@@ -518,6 +622,9 @@ func (s *Server) settleStopped(j *job, reason stopReason, cause error) {
 	j.hub.publish(Event{Kind: EventState, Job: st.ID, State: st.State, Error: st.Error})
 	if st.State.Terminal() {
 		j.hub.close()
+		s.log.Info("job cancelled", "job", st.ID, "trace", st.Trace)
+	} else {
+		s.log.Info("job requeued by drain", "job", st.ID, "trace", st.Trace)
 	}
 }
 
@@ -535,6 +642,8 @@ func (s *Server) fail(j *job, err error) {
 	_ = s.store.SaveStatus(st)
 	j.hub.publish(Event{Kind: EventState, Job: st.ID, State: StateFailed, Error: st.Error})
 	j.hub.close()
+	s.log.Error("job failed", "job", st.ID, "trace", st.Trace,
+		"err", st.Error, "code", st.ErrorCode)
 }
 
 // Metrics assembles the service metrics document.
@@ -545,6 +654,7 @@ func (s *Server) Metrics() Metrics {
 		RunningJobs: running,
 		JobSlots:    s.cfg.JobSlots,
 		WorkerPool:  s.cfg.WorkerPool,
+		StreamDrops: s.obs.streamDrops.Value(),
 		Outcomes:    make(map[string]int),
 	}
 	for _, st := range s.Jobs() {
@@ -607,7 +717,7 @@ func (s *Server) routes() {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 			return
 		}
-		st, err := s.Submit(spec)
+		st, err := s.SubmitTrace(spec, r.Header.Get(obs.TraceHeader))
 		if errors.Is(err, ErrQueueFull) {
 			httpError(w, http.StatusTooManyRequests, err)
 			return
@@ -669,6 +779,13 @@ func (s *Server) routes() {
 	})
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// JSON by default (the typed client's contract); the Prometheus
+		// text form — including the registry histograms — on request.
+		if r.URL.Query().Get("format") == "prometheus" ||
+			strings.Contains(r.Header.Get("Accept"), "text/plain") {
+			s.handlePromMetrics(w, r)
+			return
+		}
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
 	s.mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
@@ -743,10 +860,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	// Subscribe before snapshotting so no event between the snapshot and
 	// the subscription is lost.
-	ch, unsubscribe := j.hub.subscribe()
+	sub, unsubscribe := j.hub.subscribe()
 	defer unsubscribe()
+	trace := j.snapshot().Trace
 	enc := json.NewEncoder(w)
 	write := func(e Event) bool {
+		// Synthetic events (journal replay, the terminal epilogue) are
+		// built here rather than published through the hub, so stamp the
+		// job's trace on them too — every streamed event correlates.
+		if e.Trace == "" {
+			e.Trace = trace
+		}
 		if sse {
 			fmt.Fprintf(w, "data: ")
 		}
@@ -798,11 +922,25 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	for {
 		select {
-		case e, ok := <-ch:
+		case e, ok := <-sub.ch:
 			if !ok {
-				// Hub closed (job settled) or this watcher lagged and was
-				// dropped: report the job's current state as the final
-				// event unless a terminal event already went out.
+				// sub.truncated was written under the hub lock strictly
+				// before the close we just observed, so reading it here is
+				// safe. A truncated watcher lagged and was dropped: tell it
+				// so explicitly — the job is still running, and the client
+				// reconnects and recovers missed experiments from the
+				// journal replay. Only a graceful close (job settled) gets
+				// the terminal-state epilogue.
+				if sub.truncated {
+					st := j.snapshot()
+					write(Event{Kind: EventTruncated, Job: st.ID, Trace: st.Trace})
+					s.log.Warn("event stream truncated", "job", st.ID,
+						"trace", st.Trace, "remote", r.RemoteAddr)
+					return
+				}
+				// Hub closed (job settled): report the job's current state
+				// as the final event unless a terminal event already went
+				// out.
 				if !sentTerminal {
 					st := j.snapshot()
 					final := Event{Kind: EventState, Job: st.ID, State: st.State, Error: st.Error}
@@ -857,6 +995,10 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, jm := range m.Jobs {
 		fmt.Fprintf(w, "faultpropd_job_runs_done{job=%q,state=%q} %d\n", jm.ID, jm.State, jm.Done)
 	}
+	// Registry-backed series: queue wait, shard duration, stream drops,
+	// request counts, and the per-phase / per-outcome experiment latency
+	// histograms (including distributions absorbed from worker partials).
+	s.obs.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

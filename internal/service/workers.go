@@ -96,16 +96,20 @@ func (r *registry) list() []WorkerInfo {
 	return out
 }
 
-// markAlive records a heartbeat outcome.
-func (r *registry) markAlive(name string, alive bool) {
+// markAlive records a heartbeat outcome. It reports whether the worker's
+// liveness changed, so callers can log transitions without spamming one
+// line per probe.
+func (r *registry) markAlive(name string, alive bool) (changed bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if w, ok := r.workers[name]; ok {
+		changed = w.Alive != alive
 		w.Alive = alive
 		if alive {
 			w.LastSeen = time.Now().UTC()
 		}
 	}
+	return changed
 }
 
 // acquire picks the alive worker with the fewest in-flight shards and
@@ -156,7 +160,13 @@ func (s *Server) heartbeatLoop(ctx context.Context) {
 			pctx, cancel := context.WithTimeout(ctx, s.cfg.Heartbeat)
 			err := s.peers.ping(pctx, w.URL)
 			cancel()
-			s.registry.markAlive(w.Name, err == nil)
+			if s.registry.markAlive(w.Name, err == nil) {
+				if err == nil {
+					s.log.Info("worker revived", "worker", w.Name, "url", w.URL)
+				} else {
+					s.log.Warn("worker dead", "worker", w.Name, "url", w.URL, "err", err)
+				}
+			}
 		}
 	}
 }
