@@ -56,6 +56,34 @@ func BenchmarkExperimentThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/s")
 }
 
+// BenchmarkExperimentThroughputSnapshot is BenchmarkExperimentThroughput
+// with the snapshot-fork fast path on: the campaign pays two extra golden
+// executions up front (quiesce profiling + state capture), then each
+// experiment forks from the latest snapshot preceding its faults instead
+// of re-executing the clean prefix. Results are byte-identical to the
+// baseline benchmark's campaign (see TestSnapshotForkByteIdentical); the
+// runs/s ratio between the two is the fast path's speedup.
+func BenchmarkExperimentThroughputSnapshot(b *testing.B) {
+	app := apps.NewHydro()
+	b.ReportAllocs()
+	res, err := harness.RunCampaign(harness.CampaignConfig{
+		App:         app,
+		Params:      app.TestParams(),
+		Runs:        b.N,
+		Seed:        2015,
+		SampleEvery: 64,
+		Workers:     1,
+		Snapshots:   64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Tally.Total != b.N {
+		b.Fatalf("tally covers %d runs, want %d", res.Tally.Total, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
 func benchCampaign(b *testing.B, app apps.App, runs int) *harness.CampaignResult {
 	b.Helper()
 	res, err := harness.RunCampaign(harness.CampaignConfig{

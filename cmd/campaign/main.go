@@ -68,6 +68,7 @@ func main() {
 	sample := flag.Uint64("sample", 256, "CML trace sampling interval in cycles")
 	jsonOut := flag.String("json", "", "also save results to this file (.json or .json.gz)")
 	workers := flag.Int("workers", 0, "concurrent experiments (0: GOMAXPROCS)")
+	snapshots := flag.Int("snapshots", 0, "golden-state snapshots per campaign for the fork fast path (0: re-execute every experiment from step 0; results are byte-identical either way)")
 	checkpoint := flag.String("checkpoint", "", "journal completed experiments to this JSONL path (per-app suffix added when several apps run)")
 	resume := flag.Bool("resume", false, "replay the -checkpoint journal, skipping completed experiments")
 	progressEvery := flag.Duration("progress", 0, "print a status line to stderr on this interval (0: off)")
@@ -129,20 +130,21 @@ func main() {
 		results = runRemote(ctx, *remote, selected, remoteOpts{
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries, priority: *priority,
-			shards: *shards, progressEvery: *progressEvery,
+			shards: *shards, snapshots: *snapshots, progressEvery: *progressEvery,
 			localFlags: *workers != 0 || *checkpoint != "" || *resume,
 		})
 	case *shards > 1:
 		results = runSharded(ctx, selected, shardedOpts{
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries,
-			shards: *shards, procs: *workers, progressEvery: *progressEvery,
+			shards: *shards, snapshots: *snapshots, procs: *workers, progressEvery: *progressEvery,
 			localFlags: *checkpoint != "" || *resume, logLevel: *logLevel,
 		})
 	default:
 		results = runLocal(ctx, selected, localOpts{
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries, workers: *workers,
+			snapshots:  *snapshots,
 			checkpoint: *checkpoint, resume: *resume, progressEvery: *progressEvery,
 		})
 	}
@@ -185,6 +187,7 @@ type localOpts struct {
 	sample        uint64
 	maxSummaries  int
 	workers       int
+	snapshots     int
 	checkpoint    string
 	resume        bool
 	progressEvery time.Duration
@@ -210,6 +213,7 @@ func runLocal(ctx context.Context, selected []apps.App, o localOpts) []*harness.
 			SampleEvery:      o.sample,
 			Workers:          o.workers,
 			MaxSummaries:     o.maxSummaries,
+			Snapshots:        o.snapshots,
 			Checkpoint:       ckpt,
 			Resume:           o.resume,
 			Progress:         prog,
@@ -250,6 +254,7 @@ type remoteOpts struct {
 	maxSummaries  int
 	priority      int
 	shards        int
+	snapshots     int
 	progressEvery time.Duration
 	localFlags    bool
 }
@@ -278,6 +283,7 @@ func runRemote(ctx context.Context, addr string, selected []apps.App, o remoteOp
 			MultiFaultLambda: o.multi,
 			SampleEvery:      o.sample,
 			MaxSummaries:     o.maxSummaries,
+			Snapshots:        o.snapshots,
 			Priority:         o.priority,
 			Shards:           o.shards,
 			Label:            "cmd/campaign",

@@ -36,6 +36,7 @@ type shardedOpts struct {
 	sample        uint64
 	maxSummaries  int
 	shards        int
+	snapshots     int
 	procs         int
 	progressEvery time.Duration
 	localFlags    bool
@@ -120,6 +121,7 @@ func runSharded(ctx context.Context, selected []apps.App, o shardedOpts) []*harn
 			MultiFaultLambda: o.multi,
 			SampleEvery:      o.sample,
 			MaxSummaries:     o.maxSummaries,
+			Snapshots:        o.snapshots,
 			Shards:           o.shards,
 			Label:            "cmd/campaign -shards",
 		})

@@ -153,12 +153,37 @@ type RunOutcome struct {
 	// StructCML aggregates end-of-run contamination by data structure
 	// across ranks.
 	StructCML map[string]int
+	// RestoreDur is the wall-clock time spent restoring snapshot state
+	// before execution (zero for from-scratch runs).
+	RestoreDur time.Duration
+}
+
+// extras carries the snapshot-fork hooks through the shared runner body:
+// a snapshot to resume from, per-rank quiesce hooks (golden profiling and
+// capture), and a job observer for wiring capture coordination.
+type extras struct {
+	snap  *CampaignSnapshot
+	hooks []vm.QuiesceHook
+	onJob func(*mpi.Job)
 }
 
 // Run executes prog on cfg.Ranks ranks and collects per-rank observations.
 // The program is typically FPM-instrumented; plain programs run too (with
 // no sites and no contamination tracking).
 func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
+	return runWith(prog, cfg, extras{})
+}
+
+// RunResumed executes prog starting from a captured campaign snapshot
+// instead of from step 0: each rank's VM is forked from the snapshot and
+// the job's message-passing world is rewound to the same cut, so the run is
+// observably identical to a from-scratch execution of the same plan. The
+// plan must be Usable with the snapshot.
+func RunResumed(prog *ir.Program, cfg RunConfig, snap *CampaignSnapshot) RunOutcome {
+	return runWith(prog, cfg, extras{snap: snap})
+}
+
+func runWith(prog *ir.Program, cfg RunConfig, ex extras) RunOutcome {
 	if cfg.Ranks <= 0 {
 		cfg.Ranks = 1
 	}
@@ -172,6 +197,17 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 		// Keep the job for the next run; Recycle rejects it if this run
 		// aborts it.
 		cfg.Reuse.job = job
+	}
+	if ex.onJob != nil {
+		ex.onJob(job)
+	}
+	var restoreStart time.Time
+	if ex.snap != nil {
+		if len(ex.snap.vms) != cfg.Ranks {
+			panic(fmt.Sprintf("core: snapshot of %d ranks resumed with %d", len(ex.snap.vms), cfg.Ranks))
+		}
+		restoreStart = time.Now()
+		job.RestoreWorld(ex.snap.world)
 	}
 	out := RunOutcome{
 		Ranks:     make([]RankResult, cfg.Ranks),
@@ -203,15 +239,23 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 		var rec *trace.Recorder
 		var injr *inject.RankInjector
 		var st *vm.State
+		ptsHint, ticksHint := 0, 0
 		if cfg.Reuse != nil && r < len(cfg.Reuse.states) {
 			st = cfg.Reuse.states[r]
 			rec = cfg.Reuse.recs[r]
-			rec.Reset(cfg.SampleEvery, cfg.Reuse.ptsHint[r], cfg.Reuse.ticksHint[r])
+			ptsHint, ticksHint = cfg.Reuse.ptsHint[r], cfg.Reuse.ticksHint[r]
+			if ex.snap == nil {
+				rec.Reset(cfg.SampleEvery, ptsHint, ticksHint)
+			}
 			injr = cfg.Reuse.injs[r]
 			injr.Reset(cfg.Plan, r)
 		} else {
 			rec = &trace.Recorder{SampleEvery: cfg.SampleEvery}
 			injr = inject.NewRankInjector(cfg.Plan, r)
+		}
+		var quiesce vm.QuiesceHook
+		if r < len(ex.hooks) {
+			quiesce = ex.hooks[r]
 		}
 		v := vm.New(prog, vm.Config{
 			MemWords:   cfg.MemWords,
@@ -223,8 +267,18 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 			TrackTaint: cfg.TrackTaint,
 			MemFaults:  cfg.MemFaults[r],
 			State:      st,
+			Quiesce:    quiesce,
 		})
+		if ex.snap != nil {
+			// Fork rank r from the cut: VM state and the trace history its
+			// re-executed prefix would have produced.
+			v.RestoreSnap(ex.snap.vms[r])
+			rec.RestoreSnap(ex.snap.recs[r], ptsHint, ticksHint)
+		}
 		states[r] = rankState{v: v, rec: rec, inj: injr}
+	}
+	if ex.snap != nil {
+		out.RestoreDur = time.Since(restoreStart)
 	}
 	for r := 0; r < cfg.Ranks; r++ {
 		go func(r int) {
@@ -240,10 +294,21 @@ func Run(prog *ir.Program, cfg RunConfig) RunOutcome {
 					job.Kill()
 				}
 			}()
-			if err := states[r].v.Run(); err != nil {
+			run := states[r].v.Run
+			if ex.snap != nil {
+				run = states[r].v.Resume
+			}
+			if err := run(); err != nil {
 				out.Ranks[r].Err = err
 				// A dead rank takes the job down, as under real MPI.
 				job.Kill()
+			} else {
+				// A cleanly finished rank never communicates again; announce
+				// the departure so peers blocked on it fail fast (a fault
+				// that corrupts a trip count desynchronizes the collective
+				// schedule, which would otherwise stall until the wall-clock
+				// safety timeout).
+				job.Leave(r)
 			}
 		}(r)
 	}

@@ -296,6 +296,67 @@ func (t *Table) Reset() {
 	t.everContaminated = false
 }
 
+// TableSnap is a deep copy of a Table's complete state, including the slot
+// layout and the observation history (peak CML, ever-contaminated). Because
+// the slot array is copied verbatim, a restored table is indistinguishable
+// from the original in every observable — including iteration order — so
+// snapshot-forked runs stay byte-identical to from-scratch executions.
+type TableSnap struct {
+	keys   []int64
+	vals   []uint64
+	n      int
+	shift  uint
+	hasMin bool
+	minVal uint64
+	peak   int
+	ever   bool
+}
+
+// Len returns the number of contaminated locations in the snapshot.
+func (s *TableSnap) Len() int {
+	if s.hasMin {
+		return s.n + 1
+	}
+	return s.n
+}
+
+// Snapshot captures the table into s, reusing s's backing arrays when they
+// are large enough. A nil s allocates a fresh snapshot. The table remains
+// untouched; later mutations of the table do not alias the snapshot.
+func (t *Table) Snapshot(s *TableSnap) *TableSnap {
+	if s == nil {
+		s = &TableSnap{}
+	}
+	s.keys = append(s.keys[:0], t.keys...)
+	s.vals = append(s.vals[:0], t.vals...)
+	s.n = t.n
+	s.shift = t.shift
+	s.hasMin = t.hasMin
+	s.minVal = t.minVal
+	s.peak = t.peak
+	s.ever = t.everContaminated
+	return s
+}
+
+// RestoreSnap rewinds the table to the snapshotted state, reusing the
+// table's backing arrays when the slot counts match. The snapshot is not
+// consumed: one snapshot can seed any number of restores, and mutating the
+// restored table never writes through into the snapshot.
+func (t *Table) RestoreSnap(s *TableSnap) {
+	if len(t.keys) != len(s.keys) {
+		t.keys = make([]int64, len(s.keys))
+		t.vals = make([]uint64, len(s.vals))
+	}
+	copy(t.keys, s.keys)
+	copy(t.vals, s.vals)
+	t.n = s.n
+	t.shift = s.shift
+	t.hasMin = s.hasMin
+	t.minVal = s.minVal
+	t.peak = s.peak
+	t.everContaminated = s.ever
+}
+
 // Record is one entry of an MPI contamination header: the displacement of a
 // contaminated word relative to the start of the message payload, and its
 // pristine value (paper Fig. 4).

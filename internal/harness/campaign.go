@@ -42,6 +42,15 @@ type CampaignConfig struct {
 	SampleEvery uint64
 	// Workers bounds experiment-level parallelism (0: GOMAXPROCS).
 	Workers int
+	// Snapshots, when positive, enables the snapshot-fork fast path: up to
+	// this many full-state snapshots of the golden execution are captured
+	// at quiesce points chosen to precede the shard's planned injections,
+	// and each experiment forks from the best usable snapshot instead of
+	// re-executing the clean prefix (0 disables; every experiment runs
+	// from step 0). Purely a performance strategy — results are
+	// byte-identical either way — so it is excluded from the checkpoint
+	// fingerprint, and shards of one campaign may mix modes freely.
+	Snapshots int
 	// KeepProfiles bounds how many representative CML profiles are kept
 	// per outcome class (0: 2, as plotted in the paper's Fig. 7).
 	KeepProfiles int
@@ -139,6 +148,8 @@ func (cfg CampaignConfig) Validate() error {
 		return &FieldError{Field: "HangFactor", Reason: "must be >= 0"}
 	case cfg.Workers < 0:
 		return &FieldError{Field: "Workers", Reason: "must be >= 0"}
+	case cfg.Snapshots < 0:
+		return &FieldError{Field: "Snapshots", Reason: "must be >= 0"}
 	case cfg.KeepProfiles < 0:
 		return &FieldError{Field: "KeepProfiles", Reason: "must be >= 0"}
 	case cfg.MaxSummaries < 0:
@@ -236,8 +247,12 @@ type CampaignResult struct {
 	StructTotals map[string]int
 }
 
-// coreRun indirects core.Run so tests can inject infrastructure failures.
-var coreRun = core.Run
+// coreRun and coreRunResumed indirect the core entry points so tests can
+// inject infrastructure failures.
+var (
+	coreRun        = core.Run
+	coreRunResumed = core.RunResumed
+)
 
 // RunCampaign executes the campaign: a golden profiling run, then Runs
 // fault-injection experiments streamed through a single-pass aggregator.
@@ -374,6 +389,15 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 		}
 	}
 
+	// Snapshot-fork schedule: profile the golden execution's quiesce
+	// points, capture snapshots where this shard's plans can use them.
+	// Failure to build one (or Snapshots: 0) just means every experiment
+	// re-executes from step 0 — results are identical either way.
+	var sched *snapSchedule
+	if cfg.Snapshots > 0 && len(pending) > 0 {
+		sched = buildSnapshotSchedule(cfg, inst, part.GoldenSites, pending)
+	}
+
 	cfg.Progress.begin(spec.Size(), cfg.Workers)
 	cfg.Progress.noteResumed(resumed)
 
@@ -425,7 +449,7 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 				if tr != nil {
 					tr.Inject = time.Since(t0)
 				}
-				o := runExperiment(id, inst, plan, wcfg, criteria, part.Golden, cycleLimit, tr)
+				o := runExperiment(id, inst, plan, wcfg, criteria, part.Golden, cycleLimit, sched, tr)
 				elapsed := time.Since(t0)
 				cfg.Progress.noteDone(o.sum.Outcome, elapsed)
 				if tr != nil {
@@ -519,11 +543,11 @@ type expOut struct {
 // runExperiment executes one fault-injection run and condenses it. A panic
 // anywhere in the experiment pipeline is contained here: the run classifies
 // as Crashed with the diagnostic retained, and the campaign continues.
-// When tr is non-nil the execute and classify phases are timed into it
-// (a panicking experiment leaves whatever phases completed).
+// When tr is non-nil the restore, execute and classify phases are timed
+// into it (a panicking experiment leaves whatever phases completed).
 func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfig,
 	criteria classify.Criteria, golden classify.Golden, cycleLimit uint64,
-	tr *PhaseTrace) (out expOut) {
+	sched *snapSchedule, tr *PhaseTrace) (out expOut) {
 
 	defer func() {
 		if p := recover(); p != nil {
@@ -541,16 +565,23 @@ func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfi
 	if tr != nil {
 		phaseStart = time.Now()
 	}
-	run := coreRun(inst, core.RunConfig{
+	rcfg := core.RunConfig{
 		Ranks:       cfg.Params.Ranks,
 		CycleLimit:  cycleLimit,
 		Plan:        plan,
 		SampleEvery: cfg.SampleEvery,
 		Reuse:       cfg.reuse,
-	})
+	}
+	var run core.RunOutcome
+	if snap := sched.Best(plan); snap != nil {
+		run = coreRunResumed(inst, rcfg, snap)
+	} else {
+		run = coreRun(inst, rcfg)
+	}
 	if tr != nil {
 		now := time.Now()
-		tr.Execute = now.Sub(phaseStart)
+		tr.Restore = run.RestoreDur
+		tr.Execute = now.Sub(phaseStart) - run.RestoreDur
 		phaseStart = now
 	}
 	sum := ExperimentSummary{

@@ -459,7 +459,7 @@ func TestUnplannedRunNotAttributedToRankZero(t *testing.T) {
 	}
 	cfg := CampaignConfig{App: app, Params: p, HangFactor: 4}
 	out := runExperiment(0, inst, inject.Plan{}, cfg,
-		classify.DefaultCriteria(), golden, goldenRun.Cycles*4, nil)
+		classify.DefaultCriteria(), golden, goldenRun.Cycles*4, nil, nil)
 	sum := out.sum
 	if sum.Planned {
 		t.Error("empty plan reported Planned=true")
@@ -477,7 +477,7 @@ func TestUnplannedRunNotAttributedToRankZero(t *testing.T) {
 
 	planned := runExperiment(1, inst,
 		inject.Plan{Faults: []inject.Fault{{Rank: 1, Site: 0, Bit: 3}}}, cfg,
-		classify.DefaultCriteria(), golden, goldenRun.Cycles*4, nil)
+		classify.DefaultCriteria(), golden, goldenRun.Cycles*4, nil, nil)
 	if !planned.sum.Planned || planned.sum.InjRank != 1 {
 		t.Errorf("planned run: Planned=%v InjRank=%d, want true/1",
 			planned.sum.Planned, planned.sum.InjRank)

@@ -9,8 +9,9 @@ import (
 )
 
 // PhaseTrace is the timing record of one executed experiment, split into
-// the three phases of the injection pipeline: drawing the fault plan
-// (inject), the instrumented VM run (execute), and outcome
+// the four phases of the injection pipeline: drawing the fault plan
+// (inject), rewinding state from a campaign snapshot (restore; zero on the
+// re-execution path), the instrumented VM run (execute), and outcome
 // classification plus the per-run model fit (classify). Total is the
 // experiment's whole wall time (it can slightly exceed the phase sum:
 // gate waits and scheduling are not attributed to any phase).
@@ -22,6 +23,9 @@ type PhaseTrace struct {
 	ID      int
 	Outcome classify.Outcome
 	Inject  time.Duration
+	// Restore is the snapshot-fork rewind time; zero for experiments that
+	// re-executed from step 0.
+	Restore time.Duration
 	Execute time.Duration
 	// Classify covers classification and model fitting.
 	Classify time.Duration
@@ -40,8 +44,13 @@ type CampaignTimings struct {
 	// indexed by classify.Outcome.
 	ByOutcome [classify.NumOutcomes]*obs.Histogram `json:"byOutcome"`
 	Inject    *obs.Histogram                       `json:"inject"`
-	Execute   *obs.Histogram                       `json:"execute"`
-	Classify  *obs.Histogram                       `json:"classify"`
+	// Restore records the snapshot-fork rewind phase. Every executed
+	// experiment is observed (zero for re-execution-path runs), so the
+	// phase counts stay symmetric across modes; partials from older
+	// builds carry a nil Restore, which Merge treats as empty.
+	Restore  *obs.Histogram `json:"restore,omitempty"`
+	Execute  *obs.Histogram `json:"execute"`
+	Classify *obs.Histogram `json:"classify"`
 }
 
 // NewCampaignTimings returns timings over the stack's standard latency
@@ -50,6 +59,7 @@ type CampaignTimings struct {
 func NewCampaignTimings() *CampaignTimings {
 	t := &CampaignTimings{
 		Inject:   obs.NewHistogram(obs.LatencyBuckets()),
+		Restore:  obs.NewHistogram(obs.LatencyBuckets()),
 		Execute:  obs.NewHistogram(obs.LatencyBuckets()),
 		Classify: obs.NewHistogram(obs.LatencyBuckets()),
 	}
@@ -70,6 +80,7 @@ func (t *CampaignTimings) Observe(tr PhaseTrace) {
 		t.ByOutcome[o].ObserveDuration(tr.Total)
 	}
 	t.Inject.ObserveDuration(tr.Inject)
+	t.Restore.ObserveDuration(tr.Restore)
 	t.Execute.ObserveDuration(tr.Execute)
 	t.Classify.ObserveDuration(tr.Classify)
 }
@@ -106,6 +117,7 @@ func (t *CampaignTimings) Merge(other *CampaignTimings) error {
 		n   string
 	}{
 		{&t.Inject, other.Inject, "inject"},
+		{&t.Restore, other.Restore, "restore"},
 		{&t.Execute, other.Execute, "execute"},
 		{&t.Classify, other.Classify, "classify"},
 	} {

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/ir"
+)
+
+// Snapshot-fork scheduling. With CampaignConfig.Snapshots > 0 a shard pays
+// two extra golden executions up front — one to profile the quiesce points
+// (core.RunGoldenProfile), one to capture full state at the chosen cuts
+// (core.RunGoldenCapture) — and each experiment then forks from the best
+// captured snapshot that precedes all of its planned faults, skipping the
+// clean prefix. Snapshot placement is purely a performance strategy:
+// results are byte-identical with any placement (including none), which is
+// why Snapshots is excluded from the checkpoint fingerprint.
+
+// snapSchedule holds a shard's captured snapshots, ordered by seq. It is
+// shared read-only across worker goroutines; forking restores copy out of
+// the snapshot, never into it.
+type snapSchedule struct {
+	snaps []*core.CampaignSnapshot
+}
+
+// Best returns the latest captured snapshot every planned fault lies at or
+// after, or nil when the experiment must re-execute from step 0.
+func (s *snapSchedule) Best(plan inject.Plan) *core.CampaignSnapshot {
+	if s == nil {
+		return nil
+	}
+	for i := len(s.snaps) - 1; i >= 0; i-- {
+		if s.snaps[i].Usable(plan) {
+			return s.snaps[i]
+		}
+	}
+	return nil
+}
+
+// bestCutIndex returns the index of the latest cut usable for the plan, or
+// -1 when even the earliest cut is past one of the faults. Cuts are in seq
+// order and their per-rank site counts are monotone, so usability is a
+// prefix property and binary search applies.
+func bestCutIndex(cuts []core.SiteCut, plan inject.Plan) int {
+	// sort.Search finds the first unusable cut; everything before it is
+	// usable.
+	n := sort.Search(len(cuts), func(i int) bool { return !cuts[i].Usable(plan) })
+	return n - 1
+}
+
+// chooseSeqs picks at most budget snapshot seqs as quantiles of the
+// per-experiment best-usable-cut distribution, so the captured cuts sit
+// where the campaign's fault plans can actually use them. best holds one
+// usable-cut index per experiment (unusable experiments excluded); it is
+// sorted in place.
+func chooseSeqs(cuts []core.SiteCut, best []int, budget int) []uint64 {
+	if len(best) == 0 || budget <= 0 {
+		return nil
+	}
+	sort.Ints(best)
+	seqs := make([]uint64, 0, budget)
+	seen := make(map[uint64]bool, budget)
+	for k := 0; k < budget; k++ {
+		// Upper-end-inclusive quantiles: k = budget-1 lands on the max, so
+		// the experiments with the latest faults — the ones with the most
+		// prefix to skip — always get a late cut.
+		idx := ((k+1)*len(best) - 1) / budget
+		seq := cuts[best[idx]].Seq
+		if !seen[seq] {
+			seen[seq] = true
+			seqs = append(seqs, seq)
+		}
+	}
+	return seqs
+}
+
+// buildSnapshotSchedule profiles the golden execution, chooses cut seqs
+// for the shard's pending experiments, and captures snapshots there. It
+// returns nil — campaign falls back to re-execution for every experiment —
+// when profiling fails or no pending plan can use any cut.
+func buildSnapshotSchedule(cfg CampaignConfig, inst *ir.Program, sites []uint64, pending []int) *snapSchedule {
+	rcfg := core.RunConfig{Ranks: cfg.Params.Ranks, SampleEvery: cfg.SampleEvery}
+	out, cuts := core.RunGoldenProfile(inst, rcfg)
+	if out.Err != nil || len(cuts) == 0 {
+		return nil
+	}
+	best := make([]int, 0, len(pending))
+	for _, id := range pending {
+		if b := bestCutIndex(cuts, planFor(cfg, id, sites)); b >= 0 {
+			best = append(best, b)
+		}
+	}
+	seqs := chooseSeqs(cuts, best, cfg.Snapshots)
+	if len(seqs) == 0 {
+		return nil
+	}
+	out, snaps := core.RunGoldenCapture(inst, rcfg, seqs)
+	if out.Err != nil || len(snaps) == 0 {
+		return nil
+	}
+	return &snapSchedule{snaps: snaps}
+}

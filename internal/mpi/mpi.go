@@ -27,6 +27,18 @@ var ErrAborted = errors.New("mpi: job aborted")
 // safety timeout (a defense against framework bugs, not an MPI feature).
 var ErrTimeout = errors.New("mpi: wall-clock timeout")
 
+// ErrDeserted is returned when a blocking call can provably never complete
+// because a peer rank it depends on has finished its program and left the
+// job: a collective round missing a departed rank will never fill, and a
+// receive from a departed rank with an empty queue will never match. This is
+// the deterministic, prompt form of the deadlock that the wall-clock timeout
+// would otherwise catch 60 seconds later — a desynchronized collective
+// schedule is a common consequence of an injected fault corrupting a trip
+// count, so the fast path matters for campaign throughput. Like ErrTimeout
+// and ErrAborted it surfaces in the VM as a peer-failure trap, so outcome
+// classification is unchanged.
+var ErrDeserted = errors.New("mpi: peer rank finished; operation can never complete")
+
 type message struct {
 	tag  int
 	data []byte
@@ -44,6 +56,15 @@ type Job struct {
 	done   chan struct{}
 	killMu sync.Mutex
 	flag   vm.AbortFlag
+
+	// Departure tracking: left[r] is set once rank r's goroutine has
+	// returned cleanly and will never communicate again. leaveCh is closed
+	// and replaced on every departure, waking blocked calls so they can
+	// re-check whether their wait has become unsatisfiable.
+	leaveMu sync.Mutex
+	left    []bool
+	nleft   int
+	leaveCh chan struct{}
 
 	coll coll
 	eps  []Endpoint
@@ -71,6 +92,8 @@ func NewJob(size int, timeout time.Duration) *Job {
 		timeout: timeout,
 		mail:    make([][]chan message, size),
 		done:    make(chan struct{}),
+		left:    make([]bool, size),
+		leaveCh: make(chan struct{}),
 		bufs:    make(chan []byte, 256),
 	}
 	for dst := range j.mail {
@@ -110,6 +133,13 @@ func (j *Job) Recycle(size int, timeout time.Duration) bool {
 		j.flag.Lower()
 		j.killMu.Unlock()
 	}
+	j.leaveMu.Lock()
+	if j.nleft > 0 {
+		clear(j.left)
+		j.nleft = 0
+		j.leaveCh = make(chan struct{})
+	}
+	j.leaveMu.Unlock()
 	for _, row := range j.mail {
 		for _, ch := range row {
 			for {
@@ -152,6 +182,53 @@ func (j *Job) Kill() {
 		j.flag.Raise()
 		close(j.done)
 	}
+}
+
+// Done returns the channel closed when the job aborts, for callers that
+// must not block forever on a job that died. Capture it once per run:
+// Recycle replaces the channel after an aborted run.
+func (j *Job) Done() <-chan struct{} {
+	j.killMu.Lock()
+	defer j.killMu.Unlock()
+	return j.done
+}
+
+// Leave records that rank's goroutine has returned cleanly and will never
+// communicate again, and wakes every blocked call so it can re-check for
+// desertion: once a rank has left, no collective round it is absent from
+// can ever complete, and no new message from it can ever arrive. The caller
+// must guarantee all of rank's sends happened before Leave (returning from
+// the rank's program body does). Idempotent.
+func (j *Job) Leave(rank int) {
+	if rank < 0 || rank >= j.size {
+		panic(fmt.Sprintf("mpi: leave of invalid rank %d", rank))
+	}
+	j.leaveMu.Lock()
+	if !j.left[rank] {
+		j.left[rank] = true
+		j.nleft++
+		close(j.leaveCh)
+		j.leaveCh = make(chan struct{})
+	}
+	j.leaveMu.Unlock()
+}
+
+// leaveWatch returns the channel closed at the next departure. Capture it
+// before checking hasLeft: a departure between the check and the blocking
+// wait then still wakes the waiter.
+func (j *Job) leaveWatch() <-chan struct{} {
+	j.leaveMu.Lock()
+	ch := j.leaveCh
+	j.leaveMu.Unlock()
+	return ch
+}
+
+// hasLeft reports whether rank has departed.
+func (j *Job) hasLeft(rank int) bool {
+	j.leaveMu.Lock()
+	l := j.left[rank]
+	j.leaveMu.Unlock()
+	return l
 }
 
 // Aborted reports whether the job has been killed.
@@ -231,13 +308,22 @@ func (e *Endpoint) Send(dst, tag int, msg []byte) error {
 	}
 	t := e.armTimer()
 	defer e.disarmTimer()
-	select {
-	case e.job.mail[dst][e.rank] <- message{tag: tag, data: msg}:
-		return nil
-	case <-e.job.done:
-		return ErrAborted
-	case <-t.C:
-		return ErrTimeout
+	for {
+		// A departed receiver will never drain its queue; a blocked send to
+		// it (full queue) can therefore never complete.
+		lw := e.job.leaveWatch()
+		if e.job.hasLeft(dst) {
+			return ErrDeserted
+		}
+		select {
+		case e.job.mail[dst][e.rank] <- message{tag: tag, data: msg}:
+			return nil
+		case <-e.job.done:
+			return ErrAborted
+		case <-t.C:
+			return ErrTimeout
+		case <-lw:
+		}
 	}
 }
 
@@ -271,6 +357,26 @@ func (e *Endpoint) Recv(src, tag int) ([]byte, error) {
 	t := e.armTimer()
 	defer e.disarmTimer()
 	for {
+		// Capture the watch before checking departure: a Leave between the
+		// check and the select then still wakes this waiter. All of src's
+		// sends happen before its Leave, so once hasLeft is observed a final
+		// non-blocking drain is authoritative — an empty queue stays empty.
+		lw := e.job.leaveWatch()
+		if e.job.hasLeft(src) {
+			for {
+				select {
+				case m := <-e.job.mail[e.rank][src]:
+					if m.tag == tag {
+						return m.data, nil
+					}
+					e.pending[src] = append(e.pending[src], m)
+					continue
+				default:
+				}
+				break
+			}
+			return nil, ErrDeserted
+		}
 		select {
 		case m := <-e.job.mail[e.rank][src]:
 			if m.tag == tag {
@@ -281,6 +387,8 @@ func (e *Endpoint) Recv(src, tag int) ([]byte, error) {
 			return nil, ErrAborted
 		case <-t.C:
 			return nil, ErrTimeout
+		case <-lw:
+			// A rank departed; loop to re-check whether it was src.
 		}
 	}
 }

@@ -1,0 +1,115 @@
+package mpi
+
+// World snapshot support for the snapshot-fork fast path. A multi-rank cut
+// is taken while every rank of the job is parked at the same quiesce point
+// (immediately after a collective round): the round is fully drained — the
+// last arrival published the result, every waiter consumed it, c.cur is
+// nil — so the only live message-passing state is the point-to-point mail
+// queues and each endpoint's tag-matching pending buffers. Both are
+// single-writer structures whose contents at the cut are a pure function of
+// the program, which is what makes a restored world equal to a re-executed
+// one.
+
+// WorldSnap is a deep copy of a job's message-passing state at a quiesce
+// cut. One snapshot can seed any number of restored runs.
+type WorldSnap struct {
+	size int
+	// mail[dst][src] holds the queued messages in FIFO order.
+	mail [][][]message
+	// pending[rank][src] holds each endpoint's set-aside messages.
+	pending [][][]message
+}
+
+// copyMsgs deep-copies messages (payload bytes included) into dst's backing.
+func copyMsgs(dst []message, src []message) []message {
+	dst = dst[:0]
+	for _, m := range src {
+		dst = append(dst, message{tag: m.tag, data: append([]byte(nil), m.data...)})
+	}
+	return dst
+}
+
+// SnapshotWorld captures the job's mail queues and pending buffers into s
+// (reusing s's structure when possible; nil allocates). It must be called
+// while every rank goroutine is parked — no concurrent endpoint use — and
+// leaves the job state untouched.
+func (j *Job) SnapshotWorld(s *WorldSnap) *WorldSnap {
+	if s == nil {
+		s = &WorldSnap{}
+	}
+	if s.size != j.size {
+		s.size = j.size
+		s.mail = make([][][]message, j.size)
+		s.pending = make([][][]message, j.size)
+		for r := 0; r < j.size; r++ {
+			s.mail[r] = make([][]message, j.size)
+			s.pending[r] = make([][]message, j.size)
+		}
+	}
+	var scratch []message
+	for dst := range j.mail {
+		for src, ch := range j.mail[dst] {
+			// Drain the channel to observe its FIFO contents, refill it with
+			// the very same messages (live receive buffers keep their
+			// identity), and deep-copy into the snapshot. Safe only because
+			// every rank is parked.
+			scratch = scratch[:0]
+			for {
+				select {
+				case m := <-ch:
+					scratch = append(scratch, m)
+					continue
+				default:
+				}
+				break
+			}
+			for _, m := range scratch {
+				ch <- m
+			}
+			s.mail[dst][src] = copyMsgs(s.mail[dst][src], scratch)
+		}
+	}
+	for r := range j.eps {
+		e := &j.eps[r]
+		for src := range e.pending {
+			s.pending[r][src] = copyMsgs(s.pending[r][src], e.pending[src])
+		}
+	}
+	return s
+}
+
+// RestoreWorld rewinds the job's message-passing state to the snapshot.
+// Call it between runs on a job of the same shape with no rank goroutines
+// alive (after Recycle). Message payloads are deep-copied out of the
+// snapshot — restored runs hand receive buffers to the wire freelist, which
+// must never alias snapshot state.
+func (j *Job) RestoreWorld(s *WorldSnap) {
+	if s.size != j.size {
+		panic("mpi: RestoreWorld on a job of a different size")
+	}
+	for dst := range j.mail {
+		for src, ch := range j.mail[dst] {
+			for {
+				select {
+				case <-ch:
+					continue
+				default:
+				}
+				break
+			}
+			for _, m := range s.mail[dst][src] {
+				ch <- message{tag: m.tag, data: append([]byte(nil), m.data...)}
+			}
+		}
+	}
+	for r := range j.eps {
+		e := &j.eps[r]
+		for src := range e.pending {
+			clear(e.pending[src])
+			e.pending[src] = e.pending[src][:0]
+			for _, m := range s.pending[r][src] {
+				e.pending[src] = append(e.pending[src], message{tag: m.tag, data: append([]byte(nil), m.data...)})
+			}
+		}
+	}
+}

@@ -78,6 +78,13 @@ type JobSpec struct {
 	SampleEvery uint64 `json:"sampleEvery,omitempty"`
 	// MaxSummaries bounds retained per-experiment summaries (0: keep all).
 	MaxSummaries int `json:"maxSummaries,omitempty"`
+	// Snapshots, when positive, enables the snapshot-fork fast path with
+	// that many golden-state snapshots per campaign (or shard): experiments
+	// fork from the latest snapshot preceding their faults instead of
+	// re-executing the clean prefix. Purely a performance strategy —
+	// results are byte-identical either way — so it is excluded from the
+	// campaign fingerprint and coordinators may mix modes across workers.
+	Snapshots int `json:"snapshots,omitempty"`
 	// Priority orders the queue: higher runs first, ties run in submission
 	// order.
 	Priority int `json:"priority,omitempty"`
@@ -111,6 +118,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.Shards < 0 {
 		return fmt.Errorf("%w: shards must be >= 0", ErrInvalidSpec)
+	}
+	if s.Snapshots < 0 {
+		return fmt.Errorf("%w: snapshots must be >= 0", ErrInvalidSpec)
 	}
 	if s.Shards > 1 && s.Shard != nil {
 		return fmt.Errorf("%w: shards and shard are mutually exclusive", ErrInvalidSpec)
@@ -146,6 +156,7 @@ func (s JobSpec) CampaignConfig() (harness.CampaignConfig, error) {
 		HangFactor:       s.HangFactor,
 		SampleEvery:      s.SampleEvery,
 		MaxSummaries:     s.MaxSummaries,
+		Snapshots:        s.Snapshots,
 	}, nil
 }
 

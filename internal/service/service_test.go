@@ -104,7 +104,10 @@ func assertSameCampaign(t *testing.T, label string, local, remote *harness.Campa
 // agree with both.
 func TestTransportDeterminism(t *testing.T) {
 	app := apps.NewHydro()
-	spec := service.JobSpec{App: "LULESH", Scale: "test", Runs: 14, Seed: 5, SampleEvery: 64}
+	// The daemon job runs in snapshot-fork mode while the local reference
+	// re-executes every experiment: Snapshots is a performance strategy
+	// only, so the transport gate doubles as the cross-mode differential.
+	spec := service.JobSpec{App: "LULESH", Scale: "test", Runs: 14, Seed: 5, SampleEvery: 64, Snapshots: 3}
 
 	local, err := harness.RunCampaign(harness.CampaignConfig{
 		App: app, Params: app.TestParams(),
@@ -378,6 +381,7 @@ func TestSubmitValidation(t *testing.T) {
 		{App: "no-such-app", Runs: 5},
 		{App: "LULESH", Runs: 0},
 		{App: "LULESH", Runs: 5, Scale: "galactic"},
+		{App: "LULESH", Runs: 5, Snapshots: -1},
 	}
 	for _, spec := range cases {
 		if _, err := d.c.Submit(ctx, spec); err == nil {

@@ -94,6 +94,52 @@ func (r *Recorder) Finish(localCycles, globalTime uint64, cml int) {
 	r.points = append(r.points, Point{Cycles: int64(localCycles), CML: cml})
 }
 
+// RecorderSnap is a deep copy of a Recorder's state at one moment of a
+// run, so a snapshot-forked execution resumes with exactly the trace a
+// from-scratch run would have accumulated by that point.
+type RecorderSnap struct {
+	sampleEvery       uint64
+	points            []Point
+	ticks             []TickPoint
+	firstContam       int64
+	hasFirstContam    bool
+	lastSampledCycles uint64
+	lastCML           int
+	maxCML            int
+}
+
+// Snapshot captures the recorder into s (reusing s's backing when possible;
+// nil allocates). Later recording does not alias the snapshot.
+func (r *Recorder) Snapshot(s *RecorderSnap) *RecorderSnap {
+	if s == nil {
+		s = &RecorderSnap{}
+	}
+	s.sampleEvery = r.SampleEvery
+	s.points = append(s.points[:0], r.points...)
+	s.ticks = append(s.ticks[:0], r.ticks...)
+	s.firstContam = r.firstContam
+	s.hasFirstContam = r.hasFirstContam
+	s.lastSampledCycles = r.lastSampledCycles
+	s.lastCML = r.lastCML
+	s.maxCML = r.maxCML
+	return s
+}
+
+// RestoreSnap rewinds the recorder to the snapshotted state. Like Reset, it
+// gives the retained series fresh backing — they escape into run results —
+// sized by the caller's capacity hints (at least the snapshot lengths are
+// always reserved). The snapshot is reusable across any number of restores.
+func (r *Recorder) RestoreSnap(s *RecorderSnap, pointsCap, ticksCap int) {
+	r.SampleEvery = s.sampleEvery
+	r.points = append(make([]Point, 0, max(pointsCap, len(s.points))), s.points...)
+	r.ticks = append(make([]TickPoint, 0, max(ticksCap, len(s.ticks))), s.ticks...)
+	r.firstContam = s.firstContam
+	r.hasFirstContam = s.hasFirstContam
+	r.lastSampledCycles = s.lastSampledCycles
+	r.lastCML = s.lastCML
+	r.maxCML = s.maxCML
+}
+
 // Points returns the retained CML series.
 func (r *Recorder) Points() []Point { return r.points }
 

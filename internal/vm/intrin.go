@@ -87,6 +87,11 @@ func (v *VM) intrin(fr *frame, in *ir.Instr) {
 		if v.checkpointTick() {
 			return
 		}
+		// Single-process runs have no rendezvous; timestep boundaries are
+		// their quiesce points.
+		if v.cfg.MPI == nil || v.cfg.MPI.Size() == 1 {
+			v.armQuiesce()
+		}
 
 	case ir.IntrinMPIRank:
 		if v.cfg.MPI != nil {
@@ -106,16 +111,20 @@ func (v *VM) intrin(fr *frame, in *ir.Instr) {
 		v.mpiRecv(arg(0), arg(1), arg(2), arg(3))
 	case ir.IntrinMPIAllreduceF:
 		v.mpiAllreduce(arg(0), arg(1), arg(2), arg(3), true)
+		v.armQuiesce()
 	case ir.IntrinMPIAllreduceI:
 		v.mpiAllreduce(arg(0), arg(1), arg(2), arg(3), false)
+		v.armQuiesce()
 	case ir.IntrinMPIBarrier:
 		if v.cfg.MPI != nil {
 			if err := v.cfg.MPI.Barrier(); err != nil {
 				v.trap(TrapPeerFailure, err.Error())
 			}
 		}
+		v.armQuiesce()
 	case ir.IntrinMPIBcast:
 		v.mpiBcast(arg(0), arg(1), arg(2))
+		v.armQuiesce()
 	case ir.IntrinMPIAbort:
 		if v.cfg.MPI != nil {
 			v.cfg.MPI.Abort(argI(0))

@@ -180,3 +180,62 @@ func (m *Memory) CopyIn(base int64, data []uint64) bool {
 
 // InitGlobals installs initial global contents (used once before a run).
 func (m *Memory) InitGlobals(base int64, data []uint64) bool { return m.CopyIn(base, data) }
+
+// MemSnap is a watermark-bounded copy of an address space: only the dirty
+// low segment (globals + heap + wild writes) and the dirty stack segment
+// are copied, so the cost of a snapshot scales with the memory a run
+// actually touched, not with the 8 MiB address-space size. Everything
+// outside those two segments is zero by the Memory invariant, which is what
+// makes restoring from the two segments exact.
+type MemSnap struct {
+	lo        []uint64 // words [1, loHi)
+	hi        []uint64 // words [hiLo, size)
+	size      int64
+	globalEnd int64
+	brk, sp   int64
+	loHi      int64
+	hiLo      int64
+}
+
+// Snapshot captures the address space into s (reusing s's backing when
+// possible; nil allocates). Later writes to the memory never alias the
+// snapshot.
+func (m *Memory) Snapshot(s *MemSnap) *MemSnap {
+	if s == nil {
+		s = &MemSnap{}
+	}
+	s.lo = append(s.lo[:0], m.words[1:m.loHi]...)
+	s.hi = append(s.hi[:0], m.words[m.hiLo:]...)
+	s.size = int64(len(m.words))
+	s.globalEnd = m.globalEnd
+	s.brk = m.brk
+	s.sp = m.sp
+	s.loHi = m.loHi
+	s.hiLo = m.hiLo
+	return s
+}
+
+// RestoreSnap rewinds the address space to the snapshotted state. The
+// receiver may hold the dirt of an unrelated run: its own dirty segments
+// are cleared first, then the snapshot segments are copied in, so the
+// result equals the snapshotted memory word for word. The snapshot is
+// reusable across any number of restores.
+func (m *Memory) RestoreSnap(s *MemSnap) {
+	if int64(len(m.words)) != s.size {
+		m.words = make([]uint64, s.size)
+	} else {
+		if m.loHi > 1 {
+			clear(m.words[1:m.loHi])
+		}
+		if m.hiLo < int64(len(m.words)) {
+			clear(m.words[m.hiLo:])
+		}
+	}
+	copy(m.words[1:], s.lo)
+	copy(m.words[s.hiLo:], s.hi)
+	m.globalEnd = s.globalEnd
+	m.brk = s.brk
+	m.sp = s.sp
+	m.loHi = s.loHi
+	m.hiLo = s.hiLo
+}

@@ -1,0 +1,135 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/fpm"
+)
+
+// Snapshot-fork support (ZOFI-style): a campaign runs its golden execution
+// once, captures the complete VM state at quiesce points, and starts each
+// injection experiment by restoring the nearest snapshot that precedes the
+// planned injection site instead of re-executing the clean prefix from
+// step 0. The paper's determinism contract carries over unchanged because a
+// restored VM is byte-identical — memory, contamination table, register
+// file, frame stack, counters and trace-visible history — to a VM that
+// re-executed the prefix.
+//
+// A quiesce point is a moment where the rank's execution state is a pure
+// function of the program: immediately after a collective completes (all
+// ranks of the job are at the same logical point, making a multi-rank cut
+// consistent), and, for single-process jobs, additionally at timestep
+// boundaries. The Quiesce hook fires at those points; Snapshot may only be
+// called from inside the hook, and the captured frame stack resumes at the
+// instruction after the quiescing intrinsic.
+//
+// Not snapshotted (callers must not combine them with snapshot forking):
+// the naive-taint ablation state, direct memory faults, the in-VM
+// checkpoint/rollback facility, and the job-global Clock.
+
+// QuiesceHook observes quiesce points. seq is the running quiesce-point
+// index of this rank's execution (0-based); for a multi-rank job every rank
+// observes the same seq sequence — the collective-round order — as long as
+// execution is deterministic, which golden runs are. The hook runs on the
+// rank's goroutine with the VM paused in a resumable state; it may call
+// v.Snapshot and may block (snapshot capture parks every rank of a job to
+// cut a consistent world state).
+type QuiesceHook interface {
+	Quiesce(v *VM, seq uint64)
+}
+
+// armQuiesce schedules the Quiesce hook to fire once the current intrinsic
+// has fully retired (see the interpreter loop). Collective intrinsics arm
+// it unconditionally — every rank of the job passes the same rendezvous
+// round — while timestep boundaries arm it only for single-process runs.
+func (v *VM) armQuiesce() {
+	if v.cfg.Quiesce != nil {
+		v.qarm = true
+	}
+}
+
+// Snapshot is the complete resumable state of one VM at a quiesce point.
+// Program-owned immutables (function bodies, pre-decoded code, return
+// register lists) are shared, everything mutable is deeply copied: mutating
+// the VM after capture — or mutating a VM restored from the snapshot —
+// never writes through into the snapshot, so one snapshot can fork any
+// number of experiments.
+type Snapshot struct {
+	mem        *MemSnap
+	table      *fpm.TableSnap
+	regs       []uint64
+	frames     []frame
+	cycles     uint64
+	sites      uint64
+	injCycles  []uint64
+	outputs    []float64
+	iterations int64
+	ticks      int64
+	qseq       uint64
+}
+
+// Sites returns the dynamic fim_inj site count at the snapshot: the first
+// site index that has NOT yet executed. An experiment may fork from this
+// snapshot iff every planned fault targets site >= Sites().
+func (s *Snapshot) Sites() uint64 { return s.sites }
+
+// Cycles returns the application cycle count at the snapshot.
+func (s *Snapshot) Cycles() uint64 { return s.cycles }
+
+// Snapshot captures the VM into s (reusing s's backing where possible; nil
+// allocates). It must be called from inside a Quiesce hook: the stored
+// frame stack resumes at the instruction following the quiescing
+// intrinsic.
+func (v *VM) Snapshot(s *Snapshot) *Snapshot {
+	if s == nil {
+		s = &Snapshot{}
+	}
+	s.mem = v.mem.Snapshot(s.mem)
+	s.table = v.table.Snapshot(s.table)
+	s.regs = append(s.regs[:0], v.regs...)
+	// Frame structs copy by value; fn, code and retRegs are program-owned
+	// immutables, safe to share across every fork of this snapshot.
+	s.frames = append(s.frames[:0], v.frames...)
+	s.frames[len(s.frames)-1].pc++
+	s.cycles = v.cycles
+	s.sites = v.sites
+	s.injCycles = append(s.injCycles[:0], v.injCycles...)
+	s.outputs = append(s.outputs[:0], v.outputs...)
+	s.iterations = v.iterations
+	s.ticks = v.ticks
+	s.qseq = v.qseq
+	return s
+}
+
+// RestoreSnap forks this VM from the snapshot. Call it on a freshly
+// constructed VM (New, typically with a pooled State), before Resume. The
+// VM must target the same program the snapshot was taken from and must not
+// use the unsupported features listed in the package comment above.
+func (v *VM) RestoreSnap(s *Snapshot) {
+	if v.cfg.TrackTaint || len(v.cfg.MemFaults) > 0 || v.cfg.CheckpointEvery > 0 || v.cfg.Clock != nil {
+		panic("vm: RestoreSnap with taint, memory faults, checkpointing or a global clock")
+	}
+	v.mem.RestoreSnap(s.mem)
+	v.table.RestoreSnap(s.table)
+	v.regs = append(v.regs[:0], s.regs...)
+	v.frames = append(v.frames[:0], s.frames...)
+	v.cycles = s.cycles
+	v.pushed = s.cycles
+	v.sites = s.sites
+	v.injCycles = append(v.injCycles[:0], s.injCycles...)
+	// The output vector escapes into run results; appending into the
+	// run-owned buffer (pre-sized by the State pool's hint) keeps it so.
+	v.outputs = append(v.outputs[:0], s.outputs...)
+	v.iterations = s.iterations
+	v.ticks = s.ticks
+	v.qseq = s.qseq
+}
+
+// Resume executes a VM forked via RestoreSnap to completion. Error
+// semantics match Run.
+func (v *VM) Resume() (err error) {
+	if len(v.frames) == 0 {
+		return fmt.Errorf("vm: Resume without a restored frame stack")
+	}
+	return v.execute()
+}

@@ -55,6 +55,9 @@ type Config struct {
 	// registers, frames) to this VM instead of allocating fresh ones; see
 	// State. Observable behaviour is identical either way.
 	State *State
+	// Quiesce, when non-nil, observes quiesce points (see snapshot.go); it
+	// is how golden runs profile and capture snapshot-fork state.
+	Quiesce QuiesceHook
 }
 
 // VM executes one IR program in one address space.
@@ -95,6 +98,12 @@ type VM struct {
 	snap      *vmSnapshot
 	rollbacks int
 	restored  bool
+
+	// Quiesce-point bookkeeping (see snapshot.go). qarm is set by an
+	// intrinsic that completed at a consistent cut; the loop fires the hook
+	// once the intrinsic has fully retired.
+	qseq uint64
+	qarm bool
 }
 
 type frame struct {
@@ -149,6 +158,9 @@ func New(prog *ir.Program, cfg Config) *VM {
 
 // Mem exposes the address space (for tests and the harness).
 func (v *VM) Mem() *Memory { return v.mem }
+
+// Tracer exposes the configured tracer (used by snapshot capture hooks).
+func (v *VM) Tracer() Tracer { return v.cfg.Tracer }
 
 // Table exposes the contamination table.
 func (v *VM) Table() *fpm.Table { return v.table }
@@ -325,7 +337,17 @@ func (v *VM) pushFrame(fi int, args []uint64, retRegs []ir.Reg) {
 
 // Run executes the entry function to completion. It returns nil on success
 // or the *Trap / wrapped MPI failure that killed the run.
-func (v *VM) Run() (err error) {
+func (v *VM) Run() error {
+	entry := v.prog.Funcs[v.prog.Entry]
+	if entry.NumParams != 0 {
+		return fmt.Errorf("vm: entry %q takes parameters", entry.Name)
+	}
+	return v.execute()
+}
+
+// execute drives the interpreter with trap containment; it pushes the entry
+// frame unless a snapshot restore already installed a frame stack.
+func (v *VM) execute() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			tp, ok := r.(trapPanic)
@@ -343,11 +365,9 @@ func (v *VM) Run() (err error) {
 			v.pushed = v.cycles
 		}
 	}()
-	entry := v.prog.Funcs[v.prog.Entry]
-	if entry.NumParams != 0 {
-		return fmt.Errorf("vm: entry %q takes parameters", entry.Name)
+	if len(v.frames) == 0 {
+		v.pushFrame(v.prog.Entry, nil, nil)
 	}
-	v.pushFrame(v.prog.Entry, nil, nil)
 	v.loop()
 	return nil
 }
@@ -548,7 +568,17 @@ func (v *VM) loop() {
 				// A checkpoint rollback replaced the frame stack;
 				// refetch everything.
 				v.restored = false
+				v.qarm = false
 				continue
+			}
+			if v.qarm {
+				// The intrinsic completed at a consistent cut: fire the
+				// quiesce hook before retiring it, so a snapshot taken
+				// here resumes at the next instruction.
+				v.qarm = false
+				seq := v.qseq
+				v.qseq++
+				v.cfg.Quiesce.Quiesce(v, seq)
 			}
 
 		case ir.FimInj:
