@@ -8,6 +8,7 @@
 //	           [-progress INTERVAL] [-drain-timeout D] [-pprof HOST:PORT]
 //	           [-peers URL,URL,...] [-heartbeat D] [-max-queue N]
 //	           [-log-level LEVEL] [-log-format text|json] [-slow-experiment D]
+//	           [-archive-dir DIR] [-tenant-quota N] [-tenant-rate R] [-tenant-burst N]
 //
 // Every job is journaled under -data: killing the daemon (SIGINT/SIGTERM)
 // drains gracefully — running campaigns checkpoint and return to the
@@ -86,6 +87,10 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	slowExp := flag.Duration("slow-experiment", 0, "warn about experiments slower than this (0: off)")
+	archiveDir := flag.String("archive-dir", "", "campaign archive directory: completed jobs are archived by fingerprint and identical resubmissions are served from it (empty: off)")
+	tenantQuota := flag.Int("tenant-quota", 0, "max concurrently active jobs per tenant (0: unlimited)")
+	tenantRate := flag.Float64("tenant-rate", 0, "sustained submissions per second per tenant (0: unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "submission burst capacity per tenant (0: max(rate, 1))")
 	flag.Parse()
 
 	logger, err := buildLogger(*logLevel, *logFormat)
@@ -126,6 +131,10 @@ func main() {
 		Heartbeat:      *heartbeat,
 		Log:            logger,
 		SlowExperiment: *slowExp,
+		ArchiveDir:     *archiveDir,
+		TenantQuota:    *tenantQuota,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faultpropd: %v\n", err)

@@ -318,6 +318,27 @@ func FormatStructVulnerability(results []*CampaignResult) string {
 	return sb.String()
 }
 
+// RenderStudy renders one campaign's full study — every per-campaign
+// figure and table of the evaluation — as a single deterministic text
+// document. It is the byte-identity surface of the determinism claims:
+// two results are "the same study" exactly when their RenderStudy
+// outputs (and JSON encodings) are byte-equal, which is how sharded
+// runs, snapshot-mode runs, and archive cache hits are all proven
+// equivalent to a plain run.
+func RenderStudy(res *CampaignResult) string {
+	rs := []*CampaignResult{res}
+	var sb strings.Builder
+	sb.WriteString(FormatFig5(res, 10))
+	sb.WriteString(FormatFig6(rs))
+	sb.WriteString(FormatFig7(res))
+	sb.WriteString(FormatFig7f(rs))
+	sb.WriteString(FormatFig8(rs))
+	sb.WriteString(FormatTable2(rs))
+	sb.WriteString(FormatCOBreakdown(rs))
+	sb.WriteString(FormatStructVulnerability(rs))
+	return sb.String()
+}
+
 // SortedFPS returns app names ordered by descending FPS, for shape
 // comparisons against the paper's Table 2 ordering.
 func SortedFPS(results []*CampaignResult) []string {

@@ -61,6 +61,12 @@ func assertStudyIdentical(t *testing.T, label string, want, got *CampaignResult)
 	if !bytes.Equal(wj, gj) {
 		t.Errorf("%s: JSON differs (%d vs %d bytes)", label, len(wj), len(gj))
 	}
+	// RenderStudy is the single shared byte-identity surface (every
+	// figure and table); the per-exhibit loop below only localizes a
+	// failure to one render for readable diagnostics.
+	if w, g := RenderStudy(want), RenderStudy(got); w == g {
+		return
+	}
 	for _, render := range []struct {
 		name string
 		f    func(*CampaignResult) string
@@ -71,12 +77,14 @@ func assertStudyIdentical(t *testing.T, label string, want, got *CampaignResult)
 		{"Fig7f", func(r *CampaignResult) string { return FormatFig7f([]*CampaignResult{r}) }},
 		{"Fig8", func(r *CampaignResult) string { return FormatFig8([]*CampaignResult{r}) }},
 		{"Table2", func(r *CampaignResult) string { return FormatTable2([]*CampaignResult{r}) }},
+		{"CO", func(r *CampaignResult) string { return FormatCOBreakdown([]*CampaignResult{r}) }},
 		{"Structs", func(r *CampaignResult) string { return FormatStructVulnerability([]*CampaignResult{r}) }},
 	} {
 		if w, g := render.f(want), render.f(got); w != g {
 			t.Errorf("%s: rendered %s differs:\n--- unsharded\n%s\n--- merged\n%s", label, render.name, w, g)
 		}
 	}
+	t.Errorf("%s: rendered study differs", label)
 }
 
 // TestShardMergeByteIdentical is the merge-correctness property test: a

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TenantHeader carries the submitting tenant's identity. Absent or empty,
+// the submission is accounted to the "default" tenant. Tenancy is an
+// accounting and admission boundary, not an authentication one: the
+// daemon trusts the header the way it trusts the rest of its API.
+const TenantHeader = "X-Faultprop-Tenant"
+
+// DefaultTenant is the accounting bucket of submissions that carry no
+// tenant header.
+const DefaultTenant = "default"
+
+// cleanTenant normalizes a tenant identity from the wire: trimmed,
+// length-capped, empty mapped to DefaultTenant.
+func cleanTenant(t string) string {
+	t = strings.TrimSpace(t)
+	if t == "" {
+		return DefaultTenant
+	}
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	return t
+}
+
+// admission is the per-tenant submission gate: a token-bucket rate limit
+// (steady rate plus burst headroom) applied at submit time. Quotas on
+// concurrently active jobs are enforced separately by the server, which
+// counts live jobs per tenant — that count survives restarts for free
+// because jobs are persisted.
+type admission struct {
+	rate  float64 // tokens per second (<= 0: unlimited)
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// bucket is one tenant's token bucket, refilled lazily on use.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newAdmission builds the gate. rate <= 0 disables rate limiting; burst
+// defaults to max(rate, 1) so a fresh tenant can always submit at least
+// once.
+func newAdmission(rate float64, burst int) *admission {
+	b := float64(burst)
+	if b <= 0 {
+		b = rate
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &admission{
+		rate:    rate,
+		burst:   b,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token from the tenant's bucket, or rejects with
+// ErrRateLimited when the bucket is dry.
+func (a *admission) allow(tenant string) error {
+	if a == nil || a.rate <= 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	bk := a.buckets[tenant]
+	if bk == nil {
+		bk = &bucket{tokens: a.burst, last: now}
+		a.buckets[tenant] = bk
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens += dt * a.rate
+		if bk.tokens > a.burst {
+			bk.tokens = a.burst
+		}
+	}
+	bk.last = now
+	if bk.tokens < 1 {
+		return fmt.Errorf("%w: tenant %q exceeds %g submissions/sec (burst %g)",
+			ErrRateLimited, tenant, a.rate, a.burst)
+	}
+	bk.tokens--
+	return nil
+}
+
+// activeFor counts a tenant's live (non-terminal) jobs — the quantity the
+// per-tenant quota bounds. Shard jobs dispatched by a coordinator are
+// excluded: they are internal decomposition, already accounted through
+// their parent job.
+func (s *Server) activeFor(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if !j.status.State.Terminal() && j.status.Tenant == tenant && j.status.Spec.Shard == nil {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// admit runs the tenant admission checks for one submission: token-bucket
+// rate first (cheap, no lock on the job table), then the active-job
+// quota. Both rejections classify Transient — they clear as load drains —
+// and surface distinct wire codes.
+func (s *Server) admit(tenant string) error {
+	if err := s.admission.allow(tenant); err != nil {
+		return err
+	}
+	if q := s.cfg.TenantQuota; q > 0 {
+		if active := s.activeFor(tenant); active >= q {
+			return fmt.Errorf("%w: tenant %q has %d active jobs (quota %d)",
+				ErrQuotaExceeded, tenant, active, q)
+		}
+	}
+	return nil
+}

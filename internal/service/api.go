@@ -31,6 +31,9 @@
 //	GET    /v1/workers          list registered peer workers
 //	POST   /v1/workers          register a peer worker {"name","url"}
 //	DELETE /v1/workers/{name}   deregister a peer worker
+//	GET    /v1/archive          campaign archive listing (entry metadata + totals)
+//	GET    /v1/archive/trends   per-app outcome-rate and FPS-over-time series
+//	GET    /v1/archive/{fp}     one archived campaign (metadata + full result)
 //	GET    /metrics             service metrics, Prometheus text format
 //	GET    /healthz             liveness probe
 //
@@ -38,10 +41,17 @@
 // the trace (or a generated one) on the job's status, every stream
 // event, its checkpoint journal header, and its log lines, and a
 // coordinator forwards a per-shard span ("trace/sN") to its workers.
+// An X-Faultprop-Tenant header attributes the submission to a tenant for
+// admission control (per-tenant active-job quotas and token-bucket rate
+// limits); without one, the "default" tenant is charged.
 //
-// The pre-versioning /api/v1/* paths remain as permanent-redirect compat
-// handlers (301 for GET/HEAD, 308 otherwise) for one release; new clients
-// must speak /v1/*.
+// When the daemon runs with an archive (-archive-dir), every completed
+// campaign is committed to it keyed by configuration fingerprint, and a
+// repeat submission of an identical fingerprint is answered from the
+// archive: the job is born done (JobStatus.CacheHit), its result bytes
+// exactly those of the original run, its event stream replaying the
+// archived journal. The pre-versioning /api/v1/* compat redirects were
+// removed after their one promised release; clients speak /v1/*.
 package service
 
 import (
@@ -208,6 +218,21 @@ type JobStatus struct {
 	// into the job's events, its checkpoint journal header, and the
 	// daemon's structured logs.
 	Trace string `json:"trace,omitempty"`
+	// Tenant is the submitting tenant (the X-Faultprop-Tenant header;
+	// "default" when none was sent) — the unit of admission control:
+	// per-tenant quotas and rate limits account here.
+	Tenant string `json:"tenant,omitempty"`
+	// Fingerprint is the job's archive cache key: the campaign
+	// configuration fingerprint, suffixed "-max<N>" when MaxSummaries
+	// caps the retained summaries (that cap shapes the stored result but
+	// is outside the fingerprint). Identical fingerprints are identical
+	// campaigns; GET /v1/archive/{fingerprint} finds the archived result.
+	// Empty for shard jobs, which are never archived whole.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// CacheHit marks a job served straight from the campaign archive: it
+	// was born terminal, its result byte-identical to the archived
+	// original run's.
+	CacheHit bool `json:"cacheHit,omitempty"`
 	// Progress is a live snapshot, present while the job runs.
 	Progress *harness.Snapshot `json:"progress,omitempty"`
 	// Tally and FPS summarize a done job (the full CampaignResult is at
@@ -311,6 +336,15 @@ type Metrics struct {
 	// lagging (they receive EventTruncated and are expected to
 	// reconnect).
 	StreamDrops uint64 `json:"streamDrops"`
+	// CacheHits counts submissions served straight from the campaign
+	// archive; CacheMisses counts submissions that ran fresh with an
+	// archive configured (absent or corrupt entry).
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	// ArchiveEntries and ArchiveBytes size the campaign archive (zero
+	// when the daemon runs without one).
+	ArchiveEntries int   `json:"archiveEntries"`
+	ArchiveBytes   int64 `json:"archiveBytes"`
 	// Outcomes counts completed experiments per outcome class, summed over
 	// terminal tallies and live progress.
 	Outcomes map[string]int `json:"outcomes"`

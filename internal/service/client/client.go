@@ -33,6 +33,7 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	tenant  string
 }
 
 // Option configures a Client.
@@ -48,6 +49,12 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // WithBackoff sets the base retry backoff, doubled per attempt. Default
 // 100ms.
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithTenant stamps every request with the given tenant identity
+// (X-Faultprop-Tenant). The daemon accounts the tenant's submissions
+// against its quota and rate limit; without this option, requests are
+// charged to the "default" tenant.
+func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tenant } }
 
 // New creates a client for the daemon at base, e.g. "http://127.0.0.1:7207"
 // (a bare host:port is given the http scheme).
@@ -89,12 +96,13 @@ func (e *APIError) Error() string {
 // nil when the daemon sent no (or an unknown) code.
 func (e *APIError) Unwrap() error { return service.ErrorForCode(e.Code) }
 
-// retryable reports whether an attempt may be retried: transport errors
-// and 5xx responses are transient, 4xx are not.
+// retryable reports whether an attempt may be retried: transport errors,
+// 5xx responses, and 429 (pressure rejections — full queue, rate limit,
+// quota — clear as load drains) are transient; other 4xx are not.
 func retryable(err error) bool {
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
-		return apiErr.Status >= 500
+		return apiErr.Status >= 500 || apiErr.Status == http.StatusTooManyRequests
 	}
 	return err != nil
 }
@@ -114,6 +122,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.tenant != "" {
+		req.Header.Set(service.TenantHeader, c.tenant)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -243,6 +254,31 @@ func (c *Client) RemoveWorker(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/workers/"+url.PathEscape(name), nil, nil)
 }
 
+// Archive lists the daemon's campaign archive: totals plus every entry's
+// metadata in archive-time order. Daemons without an archive answer
+// service.ErrArchiveDisabled (through the wire code).
+func (c *Client) Archive(ctx context.Context) (service.ArchiveList, error) {
+	var list service.ArchiveList
+	err := c.doRetry(ctx, http.MethodGet, "/v1/archive", nil, &list)
+	return list, err
+}
+
+// ArchiveEntry fetches one archived campaign by fingerprint (a job's
+// JobStatus.Fingerprint): its metadata and full result.
+func (c *Client) ArchiveEntry(ctx context.Context, fingerprint string) (service.ArchiveRecord, error) {
+	var rec service.ArchiveRecord
+	err := c.doRetry(ctx, http.MethodGet, "/v1/archive/"+url.PathEscape(fingerprint), nil, &rec)
+	return rec, err
+}
+
+// ArchiveTrends fetches the per-app outcome-rate and FPS-over-time
+// series computed over the whole archive.
+func (c *Client) ArchiveTrends(ctx context.Context) ([]service.AppTrend, error) {
+	var trends []service.AppTrend
+	err := c.doRetry(ctx, http.MethodGet, "/v1/archive/trends", nil, &trends)
+	return trends, err
+}
+
 // errTruncated marks a stream the daemon cut because this watcher lagged
 // (Event.Kind "truncated"). The job is still running; Watch reconnects
 // immediately — the reconnect's journal replay recovers anything missed.
@@ -289,6 +325,9 @@ func (c *Client) watchOnce(ctx context.Context, id string, fn func(service.Event
 		c.base+"/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
 	if err != nil {
 		return false, fmt.Errorf("client: %w", err)
+	}
+	if c.tenant != "" {
+		req.Header.Set(service.TenantHeader, c.tenant)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

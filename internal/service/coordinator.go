@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -59,10 +58,12 @@ type shardOutcome struct {
 	// (set on success; feeds the shard-duration histogram).
 	elapsed time.Duration
 	err     error
-	// fatal marks errors that must fail the job instead of re-dispatching
-	// (fingerprint mismatch, invalid spec): no amount of retrying fixes a
-	// wrong campaign.
-	fatal bool
+	// category classifies err under the failure taxonomy and alone
+	// decides the route: Fatal halts the job, Permanent rejects it with
+	// the wire code, Transient requeues with backoff and dead-marks the
+	// worker, Retriable requeues with backoff without implicating the
+	// worker.
+	category Category
 }
 
 // runCoordinated executes a Shards > 1 job by decomposition: it returns
@@ -258,7 +259,15 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 				s.log.Info("shard done", "job", st.ID, "trace", st.Trace,
 					"shard", idx, "worker", out.worker.Name, "elapsed", out.elapsed)
 				publishProgress(started)
-			case out.fatal:
+			case out.category == CategoryFatal:
+				// Integrity violation (fingerprint mismatch): halt at once —
+				// retrying could silently merge incompatible experiments.
+				return nil, fmt.Errorf("shard %d on worker %s: fatal: %w",
+					out.task.spec.Index, out.worker.Name, out.err)
+			case out.category == CategoryPermanent:
+				// Configuration error: no amount of re-dispatching fixes a
+				// wrong request. The wrapped sentinel keeps its wire code,
+				// so the job's ErrorCode tells clients exactly why.
 				return nil, fmt.Errorf("shard %d on worker %s: %w",
 					out.task.spec.Index, out.worker.Name, out.err)
 			default:
@@ -269,19 +278,24 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 				if ctx.Err() != nil {
 					return nil, interrupted()
 				}
-				// Transient failure (worker died, poll failed): mark the
-				// worker dead so assignment skips it until a heartbeat
-				// revives it, and requeue the shard with backoff.
-				s.registry.markAlive(out.worker.Name, false)
+				// Transient infrastructure failure (worker died, poll
+				// failed, 5xx/429): mark the worker dead so assignment
+				// skips it until a heartbeat revives it. Retriable failures
+				// (worker job cancelled under us, unclassified flake) also
+				// requeue with backoff but do not implicate the worker.
+				if out.category == CategoryTransient {
+					s.registry.markAlive(out.worker.Name, false)
+				}
 				out.task.attempts++
 				if out.task.attempts >= maxShardAttempts {
-					return nil, fmt.Errorf("shard %d failed after %d attempts: %w",
-						out.task.spec.Index, out.task.attempts, out.err)
+					return nil, fmt.Errorf("shard %d failed after %d attempts (%s): %w",
+						out.task.spec.Index, out.task.attempts, out.category, out.err)
 				}
 				out.task.notAfter = time.Now().Add(s.cfg.ProgressEvery << out.task.attempts)
 				pending = append(pending, out.task)
 				s.log.Warn("shard requeued", "job", st.ID, "trace", st.Trace,
 					"shard", out.task.spec.Index, "worker", out.worker.Name,
+					"category", out.category.String(),
 					"attempt", out.task.attempts, "err", out.err)
 				assign()
 			}
@@ -310,9 +324,9 @@ func (s *Server) runShardOn(ctx context.Context, w WorkerInfo, st JobStatus,
 	// journal, events, and logs correlate back to this submission.
 	begun := time.Now()
 	span := obs.ShardSpan(st.Trace, t.spec.Index)
-	wjob, err := s.peers.submit(ctx, w.URL, spec, span)
+	wjob, err := s.peers.submit(ctx, w.URL, spec, span, st.Tenant)
 	if err != nil {
-		return shardOutcome{task: t, worker: w, err: err, fatal: isFatalShardErr(err)}
+		return shardOutcome{task: t, worker: w, err: err, category: Classify(err)}
 	}
 	onSubmit(wjob.ID)
 	s.log.Debug("shard dispatched", "job", st.ID, "trace", span,
@@ -326,7 +340,7 @@ func (s *Server) runShardOn(ctx context.Context, w WorkerInfo, st JobStatus,
 		}
 		cur, err := s.peers.job(ctx, w.URL, wjob.ID)
 		if err != nil {
-			return shardOutcome{task: t, worker: w, err: err, fatal: isFatalShardErr(err)}
+			return shardOutcome{task: t, worker: w, err: err, category: Classify(err)}
 		}
 		if cur.Progress != nil {
 			onProgress(cur.Progress.Done)
@@ -337,30 +351,32 @@ func (s *Server) runShardOn(ctx context.Context, w WorkerInfo, st JobStatus,
 		case StateDone:
 			part, err := s.peers.partial(ctx, w.URL, wjob.ID)
 			if err != nil {
-				return shardOutcome{task: t, worker: w, err: err, fatal: isFatalShardErr(err)}
+				return shardOutcome{task: t, worker: w, err: err, category: Classify(err)}
 			}
 			if part.Fingerprint != t.spec.Fingerprint {
-				return shardOutcome{task: t, worker: w, fatal: true,
+				return shardOutcome{task: t, worker: w, category: CategoryFatal,
 					err: fmt.Errorf("%w: worker %s returned %s, want %s",
 						ErrFingerprintMismatch, w.Name, part.Fingerprint, t.spec.Fingerprint)}
 			}
 			return shardOutcome{task: t, worker: w, partial: part, elapsed: time.Since(begun)}
 		case StateFailed:
-			fatal := cur.ErrorCode == "fingerprint_mismatch" || cur.ErrorCode == "invalid_spec"
-			return shardOutcome{task: t, worker: w, fatal: fatal,
-				err: fmt.Errorf("worker job %s failed: %s", wjob.ID, cur.Error)}
+			// The worker's ErrorCode names the cause; classify it under
+			// the taxonomy, and when it maps to a sentinel, wrap that
+			// sentinel so the wire code survives into this job's failure.
+			err := fmt.Errorf("worker job %s failed: %s", wjob.ID, cur.Error)
+			if sentinel := ErrorForCode(cur.ErrorCode); sentinel != nil {
+				err = fmt.Errorf("worker job %s failed: %w: %s", wjob.ID, sentinel, cur.Error)
+			}
+			return shardOutcome{task: t, worker: w, err: err,
+				category: ClassifyCode(cur.ErrorCode)}
 		case StateCancelled:
-			// Someone cancelled the worker job out from under us; treat
-			// as transient and re-dispatch.
-			return shardOutcome{task: t, worker: w,
+			// Someone cancelled the worker job out from under us: not an
+			// infrastructure fault, so retriable — re-dispatch without
+			// dead-marking the worker.
+			return shardOutcome{task: t, worker: w, category: CategoryRetriable,
 				err: fmt.Errorf("worker job %s was cancelled", wjob.ID)}
 		}
 	}
-}
-
-// isFatalShardErr reports errors that re-dispatching cannot fix.
-func isFatalShardErr(err error) bool {
-	return errors.Is(err, ErrFingerprintMismatch) || errors.Is(err, ErrInvalidSpec)
 }
 
 // shardJournal appends completed-shard records, persisting each shard's

@@ -188,48 +188,19 @@ func TestCoordinatorRestartResumesShards(t *testing.T) {
 	assertSameCampaign(t, "restarted", local, merged)
 }
 
-// TestCompatRedirects verifies the /api/v1 paths survive as permanent
-// redirects: 301 for GET (cacheable), 308 for mutating methods (method
-// and body preserved), and that a legacy client following them still
-// lands on working handlers.
-func TestCompatRedirects(t *testing.T) {
+// TestCompatRedirectsGone pins the removal of the pre-versioning
+// /api/v1/* redirects: they were promised for one release (PR 4) and
+// that release has passed, so legacy paths now 404 instead of silently
+// keeping an extra API surface alive.
+func TestCompatRedirectsGone(t *testing.T) {
 	d := startDaemon(t, t.TempDir(), service.Config{})
-
-	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
-		return http.ErrUseLastResponse
-	}}
-	resp, err := noFollow.Get(d.http.URL + "/api/v1/jobs")
+	resp, err := http.Get(d.http.URL + "/api/v1/jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMovedPermanently {
-		t.Errorf("GET /api/v1/jobs = %d, want 301", resp.StatusCode)
-	}
-	if loc := resp.Header.Get("Location"); loc != "/v1/jobs" {
-		t.Errorf("Location = %q, want /v1/jobs", loc)
-	}
-	resp, err = noFollow.Post(d.http.URL+"/api/v1/jobs", "application/json", strings.NewReader("{}"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusPermanentRedirect {
-		t.Errorf("POST /api/v1/jobs = %d, want 308", resp.StatusCode)
-	}
-
-	// A legacy client that follows redirects keeps working for one release.
-	resp, err = http.Get(d.http.URL + "/api/v1/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("GET /api/v1/metrics following redirects = %d, want 200", resp.StatusCode)
-	}
-	var m service.Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		t.Errorf("decode redirected metrics: %v", err)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /api/v1/jobs = %d, want 404 (compat redirects removed)", resp.StatusCode)
 	}
 }
 

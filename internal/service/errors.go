@@ -30,6 +30,18 @@ var (
 	// ErrFingerprintMismatch re-exports the harness sentinel: a shard,
 	// journal, or partial belongs to a different campaign configuration.
 	ErrFingerprintMismatch = harness.ErrFingerprintMismatch
+	// ErrRateLimited: the tenant's submission token bucket is dry; retry
+	// after a short backoff.
+	ErrRateLimited = errors.New("service: tenant rate limit exceeded")
+	// ErrQuotaExceeded: the tenant already has its quota of active jobs;
+	// retry once some finish.
+	ErrQuotaExceeded = errors.New("service: tenant quota exceeded")
+	// ErrArchiveDisabled: the daemon runs without a campaign archive
+	// (no -archive-dir), so archive queries have nothing to answer.
+	ErrArchiveDisabled = errors.New("service: campaign archive is disabled")
+	// ErrNoArchiveEntry: the archive holds no (readable) entry for the
+	// fingerprint.
+	ErrNoArchiveEntry = errors.New("service: no archive entry for fingerprint")
 )
 
 // wireCodes maps sentinels to the stable "code" strings carried in error
@@ -46,6 +58,10 @@ var wireCodes = []struct {
 	{ErrNoPartial, "no_partial"},
 	{ErrWorkerNotFound, "worker_not_found"},
 	{ErrFingerprintMismatch, "fingerprint_mismatch"},
+	{ErrRateLimited, "rate_limited"},
+	{ErrQuotaExceeded, "quota_exceeded"},
+	{ErrArchiveDisabled, "archive_disabled"},
+	{ErrNoArchiveEntry, "no_archive_entry"},
 }
 
 // ErrorCode returns the wire code for err, or "" for errors with no

@@ -20,6 +20,10 @@ type serverObs struct {
 	shardDur *obs.Histogram
 	// streamDrops: subscribers disconnected for lagging.
 	streamDrops *obs.Counter
+	// cacheHits/cacheMisses: submissions served from the campaign archive
+	// vs run fresh (corrupt archive entries count as misses).
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 	// httpRequests: API requests served, by method.
 	httpRequests map[string]*obs.Counter
 
@@ -39,6 +43,10 @@ func newServerObs() *serverObs {
 			"Wall time of coordinated shards, dispatch to merged partial.", obs.LatencyBuckets()),
 		streamDrops: reg.Counter("faultpropd_stream_drops_total",
 			"Event-stream subscribers dropped for lagging."),
+		cacheHits: reg.Counter("faultpropd_cache_hits_total",
+			"Submissions served from the campaign archive."),
+		cacheMisses: reg.Counter("faultpropd_cache_misses_total",
+			"Submissions not served from the archive (absent or corrupt entry)."),
 		injectLat: reg.Histogram("faultpropd_experiment_phase_seconds",
 			"Experiment phase latency.", obs.LatencyBuckets(), obs.L("phase", "inject")),
 		execLat: reg.Histogram("faultpropd_experiment_phase_seconds",

@@ -60,12 +60,12 @@ func retryablePeer(err error) bool {
 // do runs one request against a worker base URL and decodes the JSON
 // response into out (when non-nil).
 func (p *peerClient) do(ctx context.Context, method, base, path string, body, out any) error {
-	return p.doHeaders(ctx, method, base, path, body, out, "")
+	return p.doHeaders(ctx, method, base, path, body, out, "", "")
 }
 
-// doHeaders is do with an optional trace ID forwarded in the
-// X-Faultprop-Trace header.
-func (p *peerClient) doHeaders(ctx context.Context, method, base, path string, body, out any, trace string) error {
+// doHeaders is do with an optional trace ID (X-Faultprop-Trace) and
+// tenant (X-Faultprop-Tenant) forwarded as headers.
+func (p *peerClient) doHeaders(ctx context.Context, method, base, path string, body, out any, trace, tenant string) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -82,6 +82,9 @@ func (p *peerClient) doHeaders(ctx context.Context, method, base, path string, b
 	}
 	if trace != "" {
 		req.Header.Set(obs.TraceHeader, trace)
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
 	}
 	resp, err := p.hc.Do(req)
 	if err != nil {
@@ -145,12 +148,14 @@ func (p *peerClient) ping(ctx context.Context, base string) error {
 }
 
 // submit queues a shard job on a worker, propagating the shard's span ID
-// in the X-Faultprop-Trace header so the worker's journal, events, and
-// logs carry it. Submission is not retried (it is not idempotent); a
-// failed submit requeues the shard instead.
-func (p *peerClient) submit(ctx context.Context, base string, spec JobSpec, trace string) (JobStatus, error) {
+// in the X-Faultprop-Trace header (so the worker's journal, events, and
+// logs carry it) and the parent job's tenant in X-Faultprop-Tenant (for
+// accounting; shard jobs bypass worker-side admission). Submission is
+// not retried (it is not idempotent); a failed submit requeues the shard
+// instead.
+func (p *peerClient) submit(ctx context.Context, base string, spec JobSpec, trace, tenant string) (JobStatus, error) {
 	var st JobStatus
-	err := p.doHeaders(ctx, http.MethodPost, base, "/v1/jobs", spec, &st, trace)
+	err := p.doHeaders(ctx, http.MethodPost, base, "/v1/jobs", spec, &st, trace, tenant)
 	return st, err
 }
 

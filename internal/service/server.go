@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/classify"
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -56,6 +57,24 @@ type Config struct {
 	// A subscriber that falls this many events behind is disconnected with
 	// an explicit "truncated" event and counted in the stream-drop metric.
 	StreamBuffer int
+	// ArchiveDir, when set, enables the persistent campaign archive:
+	// completed jobs are committed to it keyed by their cache key
+	// (campaign fingerprint, plus a -max<N> suffix when MaxSummaries
+	// shapes the retained summaries), and a repeat submission of an
+	// identical key is served straight from the archive as a cache hit —
+	// byte-identical result, journal replayed for watchers, surviving
+	// daemon restarts. Empty disables archiving and the /v1/archive API.
+	ArchiveDir string
+	// TenantQuota bounds each tenant's concurrently active (non-terminal)
+	// jobs; submissions beyond it are rejected with ErrQuotaExceeded
+	// (0: unlimited).
+	TenantQuota int
+	// TenantRate is each tenant's sustained submission rate in jobs per
+	// second, enforced by a token bucket (0: unlimited).
+	TenantRate float64
+	// TenantBurst is the token bucket's capacity — how many submissions a
+	// tenant can burst above the sustained rate (0: max(TenantRate, 1)).
+	TenantBurst int
 }
 
 // Server is the faultpropd campaign service: it owns the job store, the
@@ -63,16 +82,18 @@ type Config struct {
 // persisted jobs and begin dispatching, serve Handler over HTTP, and stop
 // with Drain.
 type Server struct {
-	cfg      Config
-	store    *Store
-	sched    *scheduler
-	gate     chan struct{}
-	mux      *http.ServeMux
-	registry *registry
-	peers    *peerClient
-	hbStop   context.CancelFunc
-	obs      *serverObs
-	log      *slog.Logger
+	cfg       Config
+	store     *Store
+	sched     *scheduler
+	gate      chan struct{}
+	mux       *http.ServeMux
+	registry  *registry
+	peers     *peerClient
+	hbStop    context.CancelFunc
+	obs       *serverObs
+	log       *slog.Logger
+	archive   *archive.Archive
+	admission *admission
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -107,14 +128,34 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		store:    store,
-		gate:     make(chan struct{}, cfg.WorkerPool),
-		jobs:     make(map[string]*job),
-		registry: newRegistry(),
-		peers:    newPeerClient(),
-		obs:      newServerObs(),
-		log:      cfg.Log,
+		cfg:       cfg,
+		store:     store,
+		gate:      make(chan struct{}, cfg.WorkerPool),
+		jobs:      make(map[string]*job),
+		registry:  newRegistry(),
+		peers:     newPeerClient(),
+		obs:       newServerObs(),
+		log:       cfg.Log,
+		admission: newAdmission(cfg.TenantRate, cfg.TenantBurst),
+	}
+	if cfg.ArchiveDir != "" {
+		arch, err := archive.Open(cfg.ArchiveDir)
+		if err != nil {
+			return nil, err
+		}
+		s.archive = arch
+		// Size gauges read the archive lazily at scrape time, so they stay
+		// honest across restarts and external cleanup.
+		s.obs.reg.GaugeFunc("faultpropd_archive_entries",
+			"Entries in the campaign archive.", func() float64 {
+				entries, _ := arch.Stats()
+				return float64(entries)
+			})
+		s.obs.reg.GaugeFunc("faultpropd_archive_bytes",
+			"Total on-disk bytes of the campaign archive.", func() float64 {
+				_, bytes := arch.Stats()
+				return float64(bytes)
+			})
 	}
 	for _, p := range cfg.Peers {
 		if _, err := s.registry.add("", p); err != nil {
@@ -246,17 +287,32 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 }
 
 // SubmitTrace is Submit with a caller-supplied trace ID (a coordinator's
-// shard span, or any upstream correlation ID). An empty trace gets a
-// fresh ID. The trace is stamped into the job's status, events, journal
-// header, and log lines.
+// shard span, or any upstream correlation ID). The submission is
+// accounted to the default tenant; SubmitTenant carries an explicit one.
 func (s *Server) SubmitTrace(spec JobSpec, trace string) (JobStatus, error) {
+	return s.SubmitTenant(spec, trace, "")
+}
+
+// SubmitTenant is the full submission path: validate, admit the tenant
+// (token-bucket rate limit, active-job quota), consult the campaign
+// archive — an archived identical configuration is served directly as a
+// terminal cache-hit job — and otherwise queue a fresh run. An empty
+// trace gets a fresh ID; an empty tenant is the default tenant. The
+// trace is stamped into the job's status, events, journal header, and
+// log lines.
+func (s *Server) SubmitTenant(spec JobSpec, trace, tenant string) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
-	if s.cfg.MaxQueue > 0 {
-		if queued, _ := s.sched.counts(); queued >= s.cfg.MaxQueue {
-			return JobStatus{}, fmt.Errorf("%w: %d jobs queued (max %d)",
-				ErrQueueFull, queued, s.cfg.MaxQueue)
+	tenant = cleanTenant(tenant)
+	// Shard jobs are a coordinator's internal decomposition: admission was
+	// already charged to the parent job on the coordinator, and caching
+	// whole campaigns under partial-campaign keys would be wrong.
+	if spec.Shard == nil {
+		if err := s.admit(tenant); err != nil {
+			s.log.Warn("submission rejected", "tenant", tenant,
+				"category", Classify(err).String(), "err", err)
+			return JobStatus{}, err
 		}
 	}
 	if spec.Scale == "" {
@@ -265,13 +321,34 @@ func (s *Server) SubmitTrace(spec JobSpec, trace string) (JobStatus, error) {
 	if trace = obs.CleanTrace(trace); trace == "" {
 		trace = obs.NewTraceID()
 	}
+	key := specCacheKey(spec)
+	if rec := s.lookupCache(key, trace); rec != nil {
+		st, err := s.serveCached(spec, trace, tenant, key, rec)
+		if err == nil {
+			return st, nil
+		}
+		// A hit that failed to materialize (undecodable entry, store I/O)
+		// falls through to a fresh run rather than failing the submission.
+		s.log.Warn("cache hit not served, running fresh", "trace", trace,
+			"fingerprint", key, "err", err)
+	}
+	// The queue bound applies only to jobs that would actually queue —
+	// cache hits above consume no slot.
+	if s.cfg.MaxQueue > 0 {
+		if queued, _ := s.sched.counts(); queued >= s.cfg.MaxQueue {
+			return JobStatus{}, fmt.Errorf("%w: %d jobs queued (max %d)",
+				ErrQueueFull, queued, s.cfg.MaxQueue)
+		}
+	}
 	j := &job{
 		status: JobStatus{
-			ID:      s.store.NewID(),
-			Spec:    spec,
-			State:   StateQueued,
-			Created: time.Now().UTC(),
-			Trace:   trace,
+			ID:          s.store.NewID(),
+			Spec:        spec,
+			State:       StateQueued,
+			Created:     time.Now().UTC(),
+			Trace:       trace,
+			Tenant:      tenant,
+			Fingerprint: key,
 		},
 		hub: newHub(trace, s.cfg.StreamBuffer, s.obs.streamDrops),
 	}
@@ -283,7 +360,7 @@ func (s *Server) SubmitTrace(spec JobSpec, trace string) (JobStatus, error) {
 	s.mu.Unlock()
 	j.noteQueued()
 	s.sched.enqueue(j)
-	s.log.Info("job submitted", "job", j.status.ID, "trace", trace,
+	s.log.Info("job submitted", "job", j.status.ID, "trace", trace, "tenant", tenant,
 		"runs", spec.Runs, "shards", spec.Shards, "priority", spec.Priority)
 	return j.snapshot(), nil
 }
@@ -386,12 +463,16 @@ func (s *Server) RemoveWorker(name string) error { return s.registry.remove(name
 // Version describes this daemon's API surface for clients and for
 // coordinator-side compatibility checks.
 func (s *Server) Version() VersionInfo {
+	caps := []string{
+		"jobs", "stream", "metrics", "partials", "shards", "coordinate", "workers", "tenants",
+	}
+	if s.archive != nil {
+		caps = append(caps, "archive")
+	}
 	return VersionInfo{
-		Service: "faultpropd",
-		API:     APIVersion,
-		Capabilities: []string{
-			"jobs", "stream", "metrics", "partials", "shards", "coordinate", "workers",
-		},
+		Service:      "faultpropd",
+		API:          APIVersion,
+		Capabilities: caps,
 	}
 }
 
@@ -548,9 +629,18 @@ func (s *Server) runJob(j *job) {
 }
 
 // finish records a successful campaign: result persisted, status done,
-// result event streamed, stream closed.
+// result event streamed, stream closed, and the result committed to the
+// campaign archive (when one is configured) under the job's cache key.
+// The result is marshalled exactly once — the bytes in the job store and
+// the bytes in the archive are the same bytes, which is what makes a
+// later cache hit provably byte-identical.
 func (s *Server) finish(j *job, res *harness.CampaignResult) {
-	if err := s.store.SaveResult(j.status.ID, res); err != nil {
+	data, err := json.Marshal(res)
+	if err != nil {
+		s.fail(j, fmt.Errorf("service: store result: %w", err))
+		return
+	}
+	if err := s.store.SaveResultBytes(j.status.ID, data); err != nil {
 		s.fail(j, err)
 		return
 	}
@@ -566,6 +656,7 @@ func (s *Server) finish(j *job, res *harness.CampaignResult) {
 		s.fail(j, err)
 		return
 	}
+	s.archiveResult(st, res, data)
 	j.hub.publish(Event{Kind: EventResult, Job: st.ID, State: StateDone, Tally: &tally, FPS: st.FPS})
 	j.hub.close()
 	s.log.Info("job done", "job", st.ID, "trace", st.Trace,
@@ -655,7 +746,12 @@ func (s *Server) Metrics() Metrics {
 		JobSlots:    s.cfg.JobSlots,
 		WorkerPool:  s.cfg.WorkerPool,
 		StreamDrops: s.obs.streamDrops.Value(),
+		CacheHits:   s.obs.cacheHits.Value(),
+		CacheMisses: s.obs.cacheMisses.Value(),
 		Outcomes:    make(map[string]int),
+	}
+	if s.archive != nil {
+		m.ArchiveEntries, m.ArchiveBytes = s.archive.Stats()
 	}
 	for _, st := range s.Jobs() {
 		switch st.State {
@@ -700,9 +796,9 @@ func (s *Server) Metrics() Metrics {
 	return m
 }
 
-// routes installs the HTTP API. Canonical paths live under /v1/; the
-// pre-versioning /api/v1/ paths remain as redirects (301 for GET/HEAD,
-// 308 otherwise, preserving method and body) for one release.
+// routes installs the HTTP API. All paths live under /v1/ (the
+// pre-versioning /api/v1/ compat redirects served their one promised
+// release and are gone).
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -717,12 +813,17 @@ func (s *Server) routes() {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 			return
 		}
-		st, err := s.SubmitTrace(spec, r.Header.Get(obs.TraceHeader))
-		if errors.Is(err, ErrQueueFull) {
-			httpError(w, http.StatusTooManyRequests, err)
-			return
-		}
+		st, err := s.SubmitTenant(spec, r.Header.Get(obs.TraceHeader), r.Header.Get(TenantHeader))
 		if err != nil {
+			// Taxonomy-driven rejection: transient pressure (full queue,
+			// rate limit, quota) answers 429 + Retry-After — the request
+			// is fine, try again shortly; permanent spec errors answer
+			// 400 — retrying repeats the mistake. Both carry wire codes.
+			if Classify(err) == CategoryTransient {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, err)
+				return
+			}
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -814,22 +915,42 @@ func (s *Server) routes() {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
-
-	// Compatibility: the unversioned-era /api/v1/* paths redirect to their
-	// /v1/* successors. GET/HEAD use 301 (cacheable); everything else uses
-	// 308 so clients replay the method and body against the new path.
-	s.mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
-		target := strings.TrimPrefix(r.URL.Path, "/api")
-		if r.URL.RawQuery != "" {
-			target += "?" + r.URL.RawQuery
+	archiveErr := func(w http.ResponseWriter, err error) {
+		switch {
+		case errors.Is(err, ErrArchiveDisabled), errors.Is(err, ErrNoArchiveEntry):
+			httpError(w, http.StatusNotFound, err)
+		default:
+			httpError(w, http.StatusInternalServerError, err)
 		}
-		code := http.StatusPermanentRedirect
-		if r.Method == http.MethodGet || r.Method == http.MethodHead {
-			code = http.StatusMovedPermanently
+	}
+	s.mux.HandleFunc("GET /v1/archive", func(w http.ResponseWriter, r *http.Request) {
+		list, err := s.ArchiveList()
+		if err != nil {
+			archiveErr(w, err)
+			return
 		}
-		http.Redirect(w, r, target, code)
+		writeJSON(w, http.StatusOK, list)
 	})
+	s.mux.HandleFunc("GET /v1/archive/trends", func(w http.ResponseWriter, r *http.Request) {
+		trends, err := s.ArchiveTrends()
+		if err != nil {
+			archiveErr(w, err)
+			return
+		}
+		if trends == nil {
+			trends = []AppTrend{}
+		}
+		writeJSON(w, http.StatusOK, trends)
+	})
+	s.mux.HandleFunc("GET /v1/archive/{fingerprint}", func(w http.ResponseWriter, r *http.Request) {
+		rec, err := s.ArchiveEntry(r.PathValue("fingerprint"))
+		if err != nil {
+			archiveErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 }
 
 // handleStream serves a job's event stream as NDJSON (default) or SSE

@@ -191,6 +191,13 @@ func (s *Store) SaveResult(id string, res *harness.CampaignResult) error {
 	if err != nil {
 		return fmt.Errorf("service: store result: %w", err)
 	}
+	return s.SaveResultBytes(id, data)
+}
+
+// SaveResultBytes atomically writes pre-marshalled result bytes — the
+// path the archive cache uses, so a cache-hit job's stored result is
+// byte-for-byte the original run's.
+func (s *Store) SaveResultBytes(id string, data []byte) error {
 	tmp := s.resultPath(id) + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("service: store result: %w", err)
