@@ -68,6 +68,41 @@ type Reuse struct {
 	// program that every run needs.
 	regionsProg *ir.Program
 	regions     []StructRegion
+	// snapPool holds retired CampaignSnapshot shells whose backing buffers
+	// (MemSnap/TableSnap/RecorderSnap/WorldSnap arrays) RunGoldenCapture
+	// reuses for fresh captures, so repeated golden captures at different
+	// cuts allocate once instead of per capture.
+	snapPool []*CampaignSnapshot
+}
+
+// ReleaseSnapshot returns a retired snapshot's backing buffers to the
+// pool for a later RunGoldenCapture with this Reuse. The snapshot must no
+// longer seed restores.
+func (ru *Reuse) ReleaseSnapshot(cs *CampaignSnapshot) {
+	if cs == nil {
+		return
+	}
+	cs.captured = false
+	ru.snapPool = append(ru.snapPool, cs)
+}
+
+// takeSnapshotShell hands out a pooled shell for a capture at seq, or
+// allocates one.
+func (ru *Reuse) takeSnapshotShell(seq uint64, ranks int) *CampaignSnapshot {
+	for i := len(ru.snapPool) - 1; i >= 0; i-- {
+		cs := ru.snapPool[i]
+		if len(cs.vms) == ranks {
+			ru.snapPool = append(ru.snapPool[:i], ru.snapPool[i+1:]...)
+			cs.Cut.Seq = seq
+			cs.captured = false
+			return cs
+		}
+	}
+	return &CampaignSnapshot{
+		Cut:  SiteCut{Seq: seq, Sites: make([]uint64, ranks)},
+		vms:  make([]*vm.Snapshot, ranks),
+		recs: make([]*trace.RecorderSnap, ranks),
+	}
 }
 
 // NewReuse prepares a reuse bundle for jobs of the given rank count.
@@ -156,6 +191,26 @@ type RunOutcome struct {
 	// RestoreDur is the wall-clock time spent restoring snapshot state
 	// before execution (zero for from-scratch runs).
 	RestoreDur time.Duration
+	// Forked marks a run started from a snapshot; the restore stats below
+	// are only meaningful when set.
+	Forked bool
+	// RestoreBytes totals the bytes copied while restoring snapshot state
+	// across all ranks (delta restores copy only dirtied blocks).
+	RestoreBytes int64
+	// RestoreDirtyBlocks / RestoreTotalBlocks sum the per-rank memory
+	// dirty-block counts and address-space block counts; their ratio is
+	// the dirty fraction a delta restore actually rewrote.
+	RestoreDirtyBlocks int
+	RestoreTotalBlocks int
+}
+
+// RestoreFrac returns the fraction of memory blocks rewritten by the
+// restore (1 for full-copy restores, 0 for from-scratch runs).
+func (o *RunOutcome) RestoreFrac() float64 {
+	if o.RestoreTotalBlocks == 0 {
+		return 0
+	}
+	return float64(o.RestoreDirtyBlocks) / float64(o.RestoreTotalBlocks)
 }
 
 // extras carries the snapshot-fork hooks through the shared runner body:
@@ -208,6 +263,11 @@ func runWith(prog *ir.Program, cfg RunConfig, ex extras) RunOutcome {
 		}
 		restoreStart = time.Now()
 		job.RestoreWorld(ex.snap.world)
+	} else {
+		// A recycled job may still hold the previous fork's snapshot world
+		// (Recycle keeps it so same-cut re-forks skip the refill); a
+		// from-scratch run needs it empty.
+		job.ClearWorld()
 	}
 	out := RunOutcome{
 		Ranks:     make([]RankResult, cfg.Ranks),
@@ -258,26 +318,31 @@ func runWith(prog *ir.Program, cfg RunConfig, ex extras) RunOutcome {
 			quiesce = ex.hooks[r]
 		}
 		v := vm.New(prog, vm.Config{
-			MemWords:   cfg.MemWords,
-			CycleLimit: cfg.CycleLimit,
-			Injector:   injr,
-			MPI:        job.Endpoint(r),
-			Tracer:     rec,
-			Abort:      job.Flag(),
-			TrackTaint: cfg.TrackTaint,
-			MemFaults:  cfg.MemFaults[r],
-			State:      st,
-			Quiesce:    quiesce,
+			MemWords:    cfg.MemWords,
+			CycleLimit:  cfg.CycleLimit,
+			Injector:    injr,
+			MPI:         job.Endpoint(r),
+			Tracer:      rec,
+			Abort:       job.Flag(),
+			TrackTaint:  cfg.TrackTaint,
+			MemFaults:   cfg.MemFaults[r],
+			State:       st,
+			Quiesce:     quiesce,
+			ForkRestore: ex.snap != nil,
 		})
 		if ex.snap != nil {
 			// Fork rank r from the cut: VM state and the trace history its
 			// re-executed prefix would have produced.
-			v.RestoreSnap(ex.snap.vms[r])
+			rs := v.RestoreSnap(ex.snap.vms[r])
 			rec.RestoreSnap(ex.snap.recs[r], ptsHint, ticksHint)
+			out.RestoreBytes += rs.Bytes
+			out.RestoreDirtyBlocks += rs.DirtyBlocks
+			out.RestoreTotalBlocks += rs.TotalBlocks
 		}
 		states[r] = rankState{v: v, rec: rec, inj: injr}
 	}
 	if ex.snap != nil {
+		out.Forked = true
 		out.RestoreDur = time.Since(restoreStart)
 	}
 	for r := 0; r < cfg.Ranks; r++ {

@@ -186,10 +186,17 @@ func RunGoldenCapture(prog *ir.Program, cfg RunConfig, seqs []uint64) (RunOutcom
 		if _, dup := want[s]; dup {
 			continue
 		}
-		cs := &CampaignSnapshot{
-			Cut:  SiteCut{Seq: s, Sites: make([]uint64, ranks)},
-			vms:  make([]*vm.Snapshot, ranks),
-			recs: make([]*trace.RecorderSnap, ranks),
+		var cs *CampaignSnapshot
+		if cfg.Reuse != nil {
+			// Pooled shells carry the backing buffers of retired captures;
+			// vm/trace/mpi Snapshot() overwrite them in place.
+			cs = cfg.Reuse.takeSnapshotShell(s, ranks)
+		} else {
+			cs = &CampaignSnapshot{
+				Cut:  SiteCut{Seq: s, Sites: make([]uint64, ranks)},
+				vms:  make([]*vm.Snapshot, ranks),
+				recs: make([]*trace.RecorderSnap, ranks),
+			}
 		}
 		want[s] = cs
 		snaps = append(snaps, cs)

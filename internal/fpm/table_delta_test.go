@@ -1,0 +1,150 @@
+package fpm
+
+import (
+	"testing"
+)
+
+// checkEqualsTableSnap asserts the table's logical state — the
+// contamination map plus the observation-history scalars — matches the
+// snapshot's. Slot layout is deliberately NOT compared: a delta restore
+// may land the same logical state in a different layout, and every Table
+// observable is layout-independent.
+func checkEqualsTableSnap(t *testing.T, tb *Table, s *TableSnap) {
+	t.Helper()
+	want := make(map[int64]uint64, s.n)
+	for i, k := range s.keys {
+		if k != emptySlot {
+			want[k] = s.vals[i]
+		}
+	}
+	got := make(map[int64]uint64, tb.n)
+	for i, k := range tb.keys {
+		if k != emptySlot {
+			got[k] = tb.vals[i]
+		}
+	}
+	if len(got) != len(want) || tb.n != s.n {
+		t.Fatalf("restored table holds %d entries, snapshot has %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if gv, ok := got[k]; !ok || gv != v {
+			t.Fatalf("restored table at %d = (%d, %v), want (%d, true)", k, gv, ok, v)
+		}
+	}
+	if tb.hasMin != s.hasMin || (s.hasMin && tb.minVal != s.minVal) ||
+		tb.peak != s.peak || tb.everContaminated != s.ever {
+		t.Fatalf("restored scalars (%v,%d,%d,%v) want (%v,%d,%d,%v)",
+			tb.hasMin, tb.minVal, tb.peak, tb.everContaminated,
+			s.hasMin, s.minVal, s.peak, s.ever)
+	}
+}
+
+// TestTableDeltaRestore checks a small fork restores by journal replay
+// and lands the snapshot's exact logical state.
+func TestTableDeltaRestore(t *testing.T) {
+	tb := NewTable()
+	for a := int64(10); a < 20; a++ {
+		tb.Record(a, uint64(a)*7)
+	}
+	s := tb.Snapshot(nil)
+	tb.Record(10, 999) // value change
+	tb.Record(50, 1)   // insert
+	tb.Cleanse(15)     // removal
+	bytes := tb.RestoreSnap(s)
+	if want := int64(3) * 16; bytes != want {
+		t.Fatalf("delta restore copied %d bytes, want %d (3 journalled keys)", bytes, want)
+	}
+	checkEqualsTableSnap(t, tb, s)
+	// No-transition stores must not enter the journal: re-recording the
+	// same pristine value and cleansing an absent key are free.
+	tb.Record(12, 12*7) // same pristine value as already stored
+	tb.Cleanse(7777)    // absent key
+	if n := len(tb.journal); n != 0 {
+		t.Fatalf("no-op mutations journalled %d keys, want 0", n)
+	}
+}
+
+// TestTableJournalOverflow pushes more transitions than the journal cap
+// and checks the restore degrades to a correct verbatim copy.
+func TestTableJournalOverflow(t *testing.T) {
+	tb := NewTable()
+	tb.Record(1, 11)
+	s := tb.Snapshot(nil)
+	for a := int64(0); a < tableJournalCap+10; a++ {
+		tb.Record(1000+a, uint64(a))
+	}
+	if !tb.journalFull {
+		t.Fatal("journal did not overflow")
+	}
+	bytes := tb.RestoreSnap(s)
+	if want := int64(len(s.keys)) * 16; bytes != want {
+		t.Fatalf("overflowed restore copied %d bytes, want full copy %d", bytes, want)
+	}
+	checkEqualsTableSnap(t, tb, s)
+}
+
+// TestTableDeltaChain moves a table between two chained snapshots in
+// both directions via journal replay.
+func TestTableDeltaChain(t *testing.T) {
+	tb := NewTable()
+	tb.Record(5, 50)
+	s1 := tb.Snapshot(nil)
+	tb.Record(5, 51)
+	tb.Record(6, 60)
+	s2 := tb.Snapshot(nil)
+	if s2.prev != s1 {
+		t.Fatal("second snapshot did not chain to the first")
+	}
+	tb.Cleanse(5)
+	if b := tb.RestoreSnap(s1); b >= int64(len(s1.keys))*16 {
+		t.Fatalf("chain restore to s1 cost %d bytes, full copy is %d", b, int64(len(s1.keys))*16)
+	}
+	checkEqualsTableSnap(t, tb, s1)
+	if b := tb.RestoreSnap(s2); b >= int64(len(s2.keys))*16 {
+		t.Fatalf("chain restore to s2 cost %d bytes, full copy is %d", b, int64(len(s2.keys))*16)
+	}
+	checkEqualsTableSnap(t, tb, s2)
+}
+
+// FuzzTableDeltaRestore interleaves records, cleanses, snapshots, and
+// full-copy and delta restores, asserting after every restore that the
+// table's logical state equals the restored snapshot's.
+func FuzzTableDeltaRestore(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 3, 4, 2, 3, 0, 1})
+	f.Add([]byte{0, 10, 1, 0, 10, 2, 0, 11, 3, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb := NewTable()
+		var snaps []*TableSnap
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			b := data[i]
+			i++
+			return b
+		}
+		for i < len(data) {
+			switch next() % 4 {
+			case 0: // record
+				tb.Record(int64(next())%64, uint64(next()))
+			case 1: // cleanse
+				tb.Cleanse(int64(next()) % 64)
+			case 2: // snapshot
+				if len(snaps) < 8 {
+					snaps = append(snaps, tb.Snapshot(nil))
+				}
+			case 3: // restore; odd selector forces the full-copy path
+				if len(snaps) == 0 {
+					continue
+				}
+				s := snaps[int(next())%len(snaps)]
+				if next()%2 == 1 {
+					tb.base, tb.baseGen = nil, 0
+				}
+				tb.RestoreSnap(s)
+				checkEqualsTableSnap(t, tb, s)
+			}
+		}
+	})
+}

@@ -303,18 +303,40 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 	if err := spec.validate(cfg); err != nil {
 		return nil, err
 	}
-	prog, err := cfg.App.Build(cfg.Params)
-	if err != nil {
-		return nil, fmt.Errorf("harness: build %s: %w", cfg.App.Name(), err)
-	}
-	inst, err := transform.Instrument(prog, transform.DefaultOptions())
-	if err != nil {
-		return nil, fmt.Errorf("harness: instrument %s: %w", cfg.App.Name(), err)
+	// Snapshot-fork campaigns draw the instrumented program from the
+	// configuration's process-wide pack, so repeated campaigns over the
+	// same configuration share one build, one quiesce profile and the
+	// captured golden snapshots (see pack.go).
+	var (
+		pack *snapshotPack
+		inst *ir.Program
+	)
+	if cfg.Snapshots > 0 {
+		p, err := packFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pack, inst = p, p.inst
+	} else {
+		prog, err := cfg.App.Build(cfg.Params)
+		if err != nil {
+			return nil, fmt.Errorf("harness: build %s: %w", cfg.App.Name(), err)
+		}
+		in, err := transform.Instrument(prog, transform.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("harness: instrument %s: %w", cfg.App.Name(), err)
+		}
+		inst = in
 	}
 
 	// Golden (fault-free) run: reference outputs, cycle budget, and the
 	// per-rank dynamic injection-site space.
-	golden := coreRun(inst, core.RunConfig{Ranks: cfg.Params.Ranks, SampleEvery: cfg.SampleEvery})
+	var golden core.RunOutcome
+	if pack != nil {
+		golden = pack.golden(cfg)
+	} else {
+		golden = coreRun(inst, core.RunConfig{Ranks: cfg.Params.Ranks, SampleEvery: cfg.SampleEvery})
+	}
 	if golden.Err != nil {
 		return nil, fmt.Errorf("harness: golden run of %s failed: %w", cfg.App.Name(), golden.Err)
 	}
@@ -375,10 +397,11 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 				}
 			}
 		}
-		journal, err = openJournal(cfg.Checkpoint, fp, cfg.Trace, cfg.Resume)
+		jw, err := openJournal(cfg.Checkpoint, fp, cfg.Trace, cfg.Resume)
 		if err != nil {
 			return nil, err
 		}
+		journal = jw
 		defer journal.Close()
 	}
 
@@ -394,8 +417,8 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 	// Failure to build one (or Snapshots: 0) just means every experiment
 	// re-executes from step 0 — results are identical either way.
 	var sched *snapSchedule
-	if cfg.Snapshots > 0 && len(pending) > 0 {
-		sched = buildSnapshotSchedule(cfg, inst, part.GoldenSites, pending)
+	if pack != nil && len(pending) > 0 {
+		sched = pack.schedule(cfg, part.GoldenSites, pending)
 	}
 
 	cfg.Progress.begin(spec.Size(), cfg.Workers)
@@ -582,6 +605,9 @@ func runExperiment(id int, inst *ir.Program, plan inject.Plan, cfg CampaignConfi
 		now := time.Now()
 		tr.Restore = run.RestoreDur
 		tr.Execute = now.Sub(phaseStart) - run.RestoreDur
+		tr.Forked = run.Forked
+		tr.RestoreBytes = run.RestoreBytes
+		tr.RestoreFrac = run.RestoreFrac()
 		phaseStart = now
 	}
 	sum := ExperimentSummary{

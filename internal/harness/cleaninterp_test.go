@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/vm"
+)
+
+// TestCleanInterpByteIdentical is the differential gate for the clean-mode
+// interpreter: for every application of the study, a fixed-seed campaign
+// run with the clean interpreter enabled (the default) must be
+// byte-identical — full JSON results, every figure and table — to the same
+// campaign forced through the full dual-chain interpreter everywhere. A
+// third leg runs the clean interpreter in snapshot-fork mode, covering the
+// mode handoff through Snapshot/RestoreSnap.
+//
+// TestSnapshotForkByteIdentical does not cover this: both of its campaigns
+// run whatever interpreter is enabled, so a clean-mode bug would cancel
+// out there.
+func TestCleanInterpByteIdentical(t *testing.T) {
+	if !vm.CleanInterpEnabled() {
+		t.Skip("clean interpreter disabled for this process")
+	}
+	for _, app := range apps.All() {
+		t.Run(app.Name(), func(t *testing.T) {
+			base := CampaignConfig{
+				App:         app,
+				Params:      app.TestParams(),
+				Runs:        12,
+				Seed:        2015,
+				SampleEvery: 64,
+				Workers:     1,
+			}
+
+			vm.SetCleanInterp(false)
+			want, err := RunCampaign(base)
+			vm.SetCleanInterp(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			before := vm.CleanModeSwitches()
+			got, err := RunCampaign(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vm.CleanModeSwitches() == before {
+				t.Error("campaign never switched interpreter modes: differential is vacuous")
+			}
+			assertStudyIdentical(t, "clean vs full interpreter", want, got)
+
+			snapped := base
+			snapped.Snapshots = 3
+			gotSnap, err := RunCampaign(snapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStudyIdentical(t, "clean snapshot-fork vs full re-execution", want, gotSnap)
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/transform"
+)
+
+// Shared golden snapshot packs.
+//
+// A pack is the process-wide cache of everything a snapshot-fork campaign
+// derives from the golden execution of one (app, params, sampleEvery)
+// configuration: the instrumented program, the quiesce-point profile, and
+// the captured snapshots themselves, keyed by quiesce seq. Snapshot
+// placement is purely a performance strategy — results are byte-identical
+// with any placement, including none — so sharing profile and capture work
+// across campaigns (repeated benches, service tenants re-running a
+// configuration, shards of one campaign in one process) cannot change
+// results; it only removes redundant golden re-execution and capture
+// allocations.
+//
+// Snapshots stored in a pack are immutable once captured: forks copy out
+// of them, never into them, and incremental capture only fills seqs that
+// are missing from the pack. Evicting a map entry therefore never
+// invalidates a running campaign — its schedule keeps referencing the
+// evicted snapshots, which stay alive and read-only until the campaign
+// drops them. For the same reason evicted snapshots are NOT released into
+// the shell pool (a pooled shell would be overwritten in place by the next
+// capture while a campaign may still be forking from it).
+const (
+	// maxPacks bounds the number of cached configurations (LRU beyond it).
+	maxPacks = 4
+	// maxPackSnaps bounds the per-pack snapshot map; past it, snapshots
+	// not chosen by the schedule being built are dropped for GC.
+	maxPackSnaps = 256
+)
+
+// packKey identifies one golden configuration. Everything the cached
+// artifacts depend on is in the key: the instrumented program is a
+// function of (app, params), the cut profile and captures additionally of
+// (ranks, sampleEvery) — and ranks is part of params.
+type packKey struct {
+	app    string
+	params apps.Params
+	sample uint64
+}
+
+type snapshotPack struct {
+	// mu serializes the golden-phase runs (golden, profile, capture) of
+	// campaigns sharing the pack: they all execute on the pack's Reuse
+	// bundle. Experiment workers never take it — they read captured
+	// snapshots, which are immutable.
+	mu    sync.Mutex
+	inst  *ir.Program
+	reuse *core.Reuse
+
+	profiled bool
+	cuts     []core.SiteCut
+	snaps    map[uint64]*core.CampaignSnapshot
+}
+
+var (
+	packMu  sync.Mutex
+	packs   = map[packKey]*snapshotPack{}
+	packLRU []packKey // least recently used first
+)
+
+// packFor returns the process-wide pack for the campaign's configuration,
+// building and instrumenting the program on first use. Build and
+// instrument failures are returned with the same wrapping the
+// non-snapshot path uses, and are not cached.
+func packFor(cfg CampaignConfig) (*snapshotPack, error) {
+	key := packKey{app: cfg.App.Name(), params: cfg.Params, sample: cfg.SampleEvery}
+	packMu.Lock()
+	defer packMu.Unlock()
+	if p, ok := packs[key]; ok {
+		touchPack(key)
+		return p, nil
+	}
+	prog, err := cfg.App.Build(cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("harness: build %s: %w", cfg.App.Name(), err)
+	}
+	inst, err := transform.Instrument(prog, transform.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("harness: instrument %s: %w", cfg.App.Name(), err)
+	}
+	p := &snapshotPack{
+		inst:  inst,
+		reuse: core.NewReuse(cfg.Params.Ranks),
+		snaps: make(map[uint64]*core.CampaignSnapshot),
+	}
+	packs[key] = p
+	packLRU = append(packLRU, key)
+	for len(packs) > maxPacks {
+		delete(packs, packLRU[0])
+		packLRU = packLRU[1:]
+	}
+	return p, nil
+}
+
+// touchPack moves key to the most-recently-used end. Caller holds packMu.
+func touchPack(key packKey) {
+	for i, k := range packLRU {
+		if k == key {
+			packLRU = append(append(packLRU[:i:i], packLRU[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// resetPacks drops every cached pack (tests only).
+func resetPacks() {
+	packMu.Lock()
+	defer packMu.Unlock()
+	packs = make(map[packKey]*snapshotPack)
+	packLRU = nil
+}
+
+// golden runs the fault-free golden execution on the pack's reuse bundle.
+// The outcome is identical to a Reuse-less run (pooling never changes
+// observables); escaping result slices are freshly allocated per run.
+func (p *snapshotPack) golden(cfg CampaignConfig) core.RunOutcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return coreRun(p.inst, core.RunConfig{
+		Ranks:       cfg.Params.Ranks,
+		SampleEvery: cfg.SampleEvery,
+		Reuse:       p.reuse,
+	})
+}
+
+// trim bounds the snapshot map, preferring to keep the seqs the current
+// schedule chose. Caller holds p.mu.
+func (p *snapshotPack) trim(keep []uint64) {
+	if len(p.snaps) <= maxPackSnaps {
+		return
+	}
+	kept := make(map[uint64]bool, len(keep))
+	for _, s := range keep {
+		kept[s] = true
+	}
+	for s := range p.snaps {
+		if len(p.snaps) <= maxPackSnaps {
+			break
+		}
+		if !kept[s] {
+			delete(p.snaps, s)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// TestSnapshotPackSharedAcrossCampaigns checks that two campaigns over
+// the same configuration share one pack — second campaign re-uses the
+// cached quiesce profile and captured snapshots instead of re-profiling
+// and re-capturing — and still produce byte-identical studies.
+func TestSnapshotPackSharedAcrossCampaigns(t *testing.T) {
+	resetPacks()
+	t.Cleanup(resetPacks)
+	app := apps.All()[0]
+	cfg := CampaignConfig{
+		App:         app,
+		Params:      app.TestParams(),
+		Runs:        10,
+		Seed:        77,
+		SampleEvery: 64,
+		Workers:     1,
+		Snapshots:   3,
+	}
+	first, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := packKey{app: app.Name(), params: cfg.Params, sample: cfg.SampleEvery}
+	packMu.Lock()
+	p := packs[key]
+	packMu.Unlock()
+	if p == nil {
+		t.Fatal("snapshot campaign left no pack behind")
+	}
+	if !p.profiled || len(p.cuts) == 0 || len(p.snaps) == 0 {
+		t.Fatalf("pack not populated: profiled=%v cuts=%d snaps=%d",
+			p.profiled, len(p.cuts), len(p.snaps))
+	}
+	cutsBefore := &p.cuts[0]
+	snapsBefore := len(p.snaps)
+
+	second, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packMu.Lock()
+	p2 := packs[key]
+	packMu.Unlock()
+	if p2 != p {
+		t.Fatal("second campaign built a fresh pack instead of sharing")
+	}
+	if &p.cuts[0] != cutsBefore {
+		t.Error("second campaign re-profiled the golden execution")
+	}
+	if len(p.snaps) != snapsBefore {
+		t.Errorf("second campaign over identical pending IDs recaptured: %d snaps, had %d",
+			len(p.snaps), snapsBefore)
+	}
+	assertStudyIdentical(t, "pack-shared second campaign", first, second)
+}
+
+// TestPackLRUEviction fills the registry past its capacity and checks
+// the oldest configuration is evicted.
+func TestPackLRUEviction(t *testing.T) {
+	resetPacks()
+	t.Cleanup(resetPacks)
+	app := apps.All()[0]
+	base := CampaignConfig{
+		App:         app,
+		Params:      app.TestParams(),
+		Runs:        2,
+		Seed:        1,
+		SampleEvery: 64,
+		Workers:     1,
+		Snapshots:   1,
+	}
+	firstKey := packKey{app: app.Name(), params: base.Params, sample: base.SampleEvery}
+	for i := 0; i <= maxPacks; i++ {
+		cfg := base
+		cfg.SampleEvery = uint64(64 + i)
+		if _, err := RunCampaign(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	packMu.Lock()
+	defer packMu.Unlock()
+	if len(packs) != maxPacks {
+		t.Fatalf("registry holds %d packs, want %d", len(packs), maxPacks)
+	}
+	if _, ok := packs[firstKey]; ok {
+		t.Error("least recently used pack survived eviction")
+	}
+}

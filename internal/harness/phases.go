@@ -30,6 +30,16 @@ type PhaseTrace struct {
 	// Classify covers classification and model fitting.
 	Classify time.Duration
 	Total    time.Duration
+	// Forked reports whether the experiment forked from a campaign
+	// snapshot; the restore-cost fields below are meaningful only then.
+	Forked bool
+	// RestoreBytes is the number of bytes the snapshot restore actually
+	// copied. With delta restore this is proportional to the state the
+	// fork's previous occupant dirtied, not to golden-state size.
+	RestoreBytes int64
+	// RestoreFrac is the fraction of memory blocks the restore rewrote
+	// (1.0 on the full-copy path).
+	RestoreFrac float64
 }
 
 // CampaignTimings aggregates PhaseTraces into mergeable fixed-bucket
@@ -51,6 +61,15 @@ type CampaignTimings struct {
 	Restore  *obs.Histogram `json:"restore,omitempty"`
 	Execute  *obs.Histogram `json:"execute"`
 	Classify *obs.Histogram `json:"classify"`
+	// RestoreFrac records the dirty-block fraction of forked restores
+	// (delta restores rewrite only the blocks dirtied since the last
+	// fork; full copies observe 1.0). Unlike Restore, only forked
+	// experiments are observed — its count doubles as the fork count.
+	// Partials from older builds carry nil, which Merge treats as empty.
+	RestoreFrac *obs.Histogram `json:"restoreFrac,omitempty"`
+	// RestoreBytes records the bytes copied per forked restore, same
+	// observation rule as RestoreFrac.
+	RestoreBytes *obs.Histogram `json:"restoreBytes,omitempty"`
 }
 
 // NewCampaignTimings returns timings over the stack's standard latency
@@ -58,10 +77,12 @@ type CampaignTimings struct {
 // CampaignTimings merge.
 func NewCampaignTimings() *CampaignTimings {
 	t := &CampaignTimings{
-		Inject:   obs.NewHistogram(obs.LatencyBuckets()),
-		Restore:  obs.NewHistogram(obs.LatencyBuckets()),
-		Execute:  obs.NewHistogram(obs.LatencyBuckets()),
-		Classify: obs.NewHistogram(obs.LatencyBuckets()),
+		Inject:       obs.NewHistogram(obs.LatencyBuckets()),
+		Restore:      obs.NewHistogram(obs.LatencyBuckets()),
+		Execute:      obs.NewHistogram(obs.LatencyBuckets()),
+		Classify:     obs.NewHistogram(obs.LatencyBuckets()),
+		RestoreFrac:  obs.NewHistogram(obs.FractionBuckets()),
+		RestoreBytes: obs.NewHistogram(obs.SizeBuckets()),
 	}
 	for i := range t.ByOutcome {
 		t.ByOutcome[i] = obs.NewHistogram(obs.LatencyBuckets())
@@ -83,6 +104,10 @@ func (t *CampaignTimings) Observe(tr PhaseTrace) {
 	t.Restore.ObserveDuration(tr.Restore)
 	t.Execute.ObserveDuration(tr.Execute)
 	t.Classify.ObserveDuration(tr.Classify)
+	if tr.Forked {
+		t.RestoreFrac.Observe(tr.RestoreFrac)
+		t.RestoreBytes.Observe(float64(tr.RestoreBytes))
+	}
 }
 
 // Count returns the number of experiments observed (via the phase
@@ -112,17 +137,20 @@ func (t *CampaignTimings) Merge(other *CampaignTimings) error {
 		}
 	}
 	for _, m := range []struct {
-		dst **obs.Histogram
-		src *obs.Histogram
-		n   string
+		dst     **obs.Histogram
+		src     *obs.Histogram
+		buckets func() []float64
+		n       string
 	}{
-		{&t.Inject, other.Inject, "inject"},
-		{&t.Restore, other.Restore, "restore"},
-		{&t.Execute, other.Execute, "execute"},
-		{&t.Classify, other.Classify, "classify"},
+		{&t.Inject, other.Inject, obs.LatencyBuckets, "inject"},
+		{&t.Restore, other.Restore, obs.LatencyBuckets, "restore"},
+		{&t.Execute, other.Execute, obs.LatencyBuckets, "execute"},
+		{&t.Classify, other.Classify, obs.LatencyBuckets, "classify"},
+		{&t.RestoreFrac, other.RestoreFrac, obs.FractionBuckets, "restoreFrac"},
+		{&t.RestoreBytes, other.RestoreBytes, obs.SizeBuckets, "restoreBytes"},
 	} {
 		if *m.dst == nil {
-			*m.dst = obs.NewHistogram(obs.LatencyBuckets())
+			*m.dst = obs.NewHistogram(m.buckets())
 		}
 		if err := (*m.dst).Merge(m.src); err != nil {
 			return fmt.Errorf("harness: merge timings (%s): %w", m.n, err)

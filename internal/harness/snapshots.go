@@ -5,17 +5,19 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/inject"
-	"repro/internal/ir"
 )
 
 // Snapshot-fork scheduling. With CampaignConfig.Snapshots > 0 a shard pays
-// two extra golden executions up front — one to profile the quiesce points
-// (core.RunGoldenProfile), one to capture full state at the chosen cuts
-// (core.RunGoldenCapture) — and each experiment then forks from the best
-// captured snapshot that precedes all of its planned faults, skipping the
-// clean prefix. Snapshot placement is purely a performance strategy:
-// results are byte-identical with any placement (including none), which is
-// why Snapshots is excluded from the checkpoint fingerprint.
+// up to two extra golden executions up front — one to profile the quiesce
+// points (core.RunGoldenProfile), one to capture full state at the chosen
+// cuts (core.RunGoldenCapture) — and each experiment then forks from the
+// best captured snapshot that precedes all of its planned faults, skipping
+// the clean prefix. Both phases are cached in the configuration's
+// process-wide snapshotPack (see pack.go): campaigns after the first skip
+// the profile run entirely and capture only cuts the pack is missing.
+// Snapshot placement is purely a performance strategy: results are
+// byte-identical with any placement (including none), which is why
+// Snapshots is excluded from the checkpoint fingerprint.
 
 // snapSchedule holds a shard's captured snapshots, ordered by seq. It is
 // shared read-only across worker goroutines; forking restores copy out of
@@ -75,29 +77,59 @@ func chooseSeqs(cuts []core.SiteCut, best []int, budget int) []uint64 {
 	return seqs
 }
 
-// buildSnapshotSchedule profiles the golden execution, chooses cut seqs
-// for the shard's pending experiments, and captures snapshots there. It
-// returns nil — campaign falls back to re-execution for every experiment —
-// when profiling fails or no pending plan can use any cut.
-func buildSnapshotSchedule(cfg CampaignConfig, inst *ir.Program, sites []uint64, pending []int) *snapSchedule {
-	rcfg := core.RunConfig{Ranks: cfg.Params.Ranks, SampleEvery: cfg.SampleEvery}
-	out, cuts := core.RunGoldenProfile(inst, rcfg)
-	if out.Err != nil || len(cuts) == 0 {
-		return nil
+// schedule profiles the golden execution (once per pack; later campaigns
+// reuse the cached cuts), chooses cut seqs for the shard's pending
+// experiments, and captures snapshots at the seqs the pack is still
+// missing. It returns nil — campaign falls back to re-execution for every
+// experiment — when profiling fails or no pending plan can use any cut.
+func (p *snapshotPack) schedule(cfg CampaignConfig, sites []uint64, pending []int) *snapSchedule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rcfg := core.RunConfig{Ranks: cfg.Params.Ranks, SampleEvery: cfg.SampleEvery, Reuse: p.reuse}
+	if !p.profiled {
+		out, cuts := core.RunGoldenProfile(p.inst, rcfg)
+		if out.Err != nil || len(cuts) == 0 {
+			return nil
+		}
+		p.cuts, p.profiled = cuts, true
 	}
 	best := make([]int, 0, len(pending))
 	for _, id := range pending {
-		if b := bestCutIndex(cuts, planFor(cfg, id, sites)); b >= 0 {
+		if b := bestCutIndex(p.cuts, planFor(cfg, id, sites)); b >= 0 {
 			best = append(best, b)
 		}
 	}
-	seqs := chooseSeqs(cuts, best, cfg.Snapshots)
+	seqs := chooseSeqs(p.cuts, best, cfg.Snapshots)
 	if len(seqs) == 0 {
 		return nil
 	}
-	out, snaps := core.RunGoldenCapture(inst, rcfg, seqs)
-	if out.Err != nil || len(snaps) == 0 {
+	var missing []uint64
+	for _, s := range seqs {
+		if p.snaps[s] == nil {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) > 0 {
+		out, snaps := core.RunGoldenCapture(p.inst, rcfg, missing)
+		if out.Err != nil {
+			return nil
+		}
+		for _, cs := range snaps {
+			p.snaps[cs.Cut.Seq] = cs
+		}
+		p.trim(seqs)
+	}
+	sched := &snapSchedule{snaps: make([]*core.CampaignSnapshot, 0, len(seqs))}
+	for _, s := range seqs {
+		if cs := p.snaps[s]; cs != nil {
+			sched.snaps = append(sched.snaps, cs)
+		}
+	}
+	if len(sched.snaps) == 0 {
 		return nil
 	}
-	return &snapSchedule{snaps: snaps}
+	sort.Slice(sched.snaps, func(i, j int) bool {
+		return sched.snaps[i].Cut.Seq < sched.snaps[j].Cut.Seq
+	})
+	return sched
 }

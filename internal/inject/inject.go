@@ -155,6 +155,17 @@ func (ri *RankInjector) Reset(plan Plan, rank int) {
 	ri.applied = ri.applied[:0]
 }
 
+// NextSite implements vm.SitePlanner: the dynamic site of the next planned
+// fault, or ^uint64(0) when none remain. The VM uses it to skip the
+// per-site injector call (and the full dual-chain interpreter) on the vast
+// fault-free majority of sites.
+func (ri *RankInjector) NextSite() uint64 {
+	if ri.next < len(ri.faults) {
+		return ri.faults[ri.next].Site
+	}
+	return ^uint64(0)
+}
+
 // OnSite implements vm.Injector: it flips the planned bit when the dynamic
 // site index matches the next planned fault.
 func (ri *RankInjector) OnSite(site uint64, val uint64) (uint64, bool) {

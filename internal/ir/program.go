@@ -12,7 +12,14 @@ type Func struct {
 	NumRets   int // number of values returned by Ret
 	NumRegs   int // size of the virtual register file
 	Frame     int // stack frame size in words (locals addressed by FrameAddr)
-	Code      []Instr
+	// PairedRegs, when non-zero, declares that registers [0, PairedRegs)
+	// follow the transform package's dual-chain layout: even register 2r
+	// is the primary twin and odd register 2r+1 is its pristine shadow.
+	// Registers at and above PairedRegs (injection temporaries) have no
+	// shadow twin. Set only by transform.Instrument; zero means no pairing
+	// is known, which disables interpreter fast paths that rely on it.
+	PairedRegs int
+	Code       []Instr
 }
 
 // Global is a named region of the global data segment.

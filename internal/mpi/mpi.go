@@ -69,6 +69,15 @@ type Job struct {
 	coll coll
 	eps  []Endpoint
 
+	// World-restore bookkeeping for the snapshot-fork fast path. worldGen
+	// names the WorldSnap the mail/pending state last equalled (0: state
+	// is drained-empty or unknown), verified by comparing the sum of the
+	// endpoints' op counters against worldOps: any Send/Recv since then
+	// may have moved messages, so the state is no longer trusted and the
+	// next Recycle/RestoreWorld falls back to the full drain+refill.
+	worldGen uint64
+	worldOps uint64
+
 	// bufs is the wire-buffer freelist: receivers return fully consumed
 	// message buffers here and senders draw from it, so steady-state
 	// point-to-point traffic allocates no new buffers.
@@ -140,6 +149,33 @@ func (j *Job) Recycle(size int, timeout time.Duration) bool {
 		j.leaveCh = make(chan struct{})
 	}
 	j.leaveMu.Unlock()
+	// Skip the mail/pending drain when the world still equals the last
+	// restored snapshot (no Send/Recv ran since): the next RestoreWorld of
+	// the same snapshot is then a no-op, which is the common case when one
+	// worker forks consecutive experiments from the same cut. Any op since
+	// the restore invalidates the claim and the full drain runs.
+	if j.worldGen == 0 || j.opsSum() != j.worldOps {
+		j.drainWorld()
+	}
+	j.coll.mu.Lock()
+	j.coll.cur = nil
+	j.coll.mu.Unlock()
+	return true
+}
+
+// opsSum totals the endpoints' Send/Recv counters. Only meaningful at
+// quiescent points, with no rank goroutines alive.
+func (j *Job) opsSum() uint64 {
+	var n uint64
+	for r := range j.eps {
+		n += j.eps[r].ops
+	}
+	return n
+}
+
+// drainWorld empties every mailbox and pending buffer and marks the
+// world state as no longer matching any snapshot.
+func (j *Job) drainWorld() {
 	for _, row := range j.mail {
 		for _, ch := range row {
 			for {
@@ -158,11 +194,20 @@ func (j *Job) Recycle(size int, timeout time.Duration) bool {
 			clear(e.pending[src])
 			e.pending[src] = e.pending[src][:0]
 		}
+		e.ops = 0
 	}
-	j.coll.mu.Lock()
-	j.coll.cur = nil
-	j.coll.mu.Unlock()
-	return true
+	j.worldGen = 0
+	j.worldOps = 0
+}
+
+// ClearWorld guarantees an empty message-passing state before a
+// non-forked run on a recycled job: a Recycle that kept snapshot state
+// in place (see above) is followed by either RestoreWorld — forked runs —
+// or ClearWorld. No-op when the world is already drained.
+func (j *Job) ClearWorld() {
+	if j.worldGen != 0 {
+		j.drainWorld()
+	}
 }
 
 // Size returns the number of ranks.
@@ -262,6 +307,11 @@ type Endpoint struct {
 	// waits. One timer per endpoint instead of one per call keeps the
 	// communication-heavy experiment loop allocation-free.
 	tmr *time.Timer
+	// ops counts Send/Recv calls on this endpoint. Written only by the
+	// rank's own goroutine, read only at quiescent points (between runs);
+	// the job sums it to detect whether point-to-point state may have
+	// changed since a world restore.
+	ops uint64
 }
 
 // armTimer returns the endpoint's timeout timer, armed with the job
@@ -300,6 +350,7 @@ func (e *Endpoint) Send(dst, tag int, msg []byte) error {
 	if dst < 0 || dst >= e.job.size {
 		return fmt.Errorf("mpi: send to invalid rank %d", dst)
 	}
+	e.ops++
 	// Fast path: queue has room (the common case with deep mailboxes).
 	select {
 	case e.job.mail[dst][e.rank] <- message{tag: tag, data: msg}:
@@ -334,6 +385,7 @@ func (e *Endpoint) Recv(src, tag int) ([]byte, error) {
 	if src < 0 || src >= e.job.size {
 		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
 	}
+	e.ops++
 	// Check messages already set aside.
 	for i, m := range e.pending[src] {
 		if m.tag == tag {

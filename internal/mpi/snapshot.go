@@ -1,5 +1,7 @@
 package mpi
 
+import "sync/atomic"
+
 // World snapshot support for the snapshot-fork fast path. A multi-rank cut
 // is taken while every rank of the job is parked at the same quiesce point
 // (immediately after a collective round): the round is fully drained — the
@@ -18,7 +20,14 @@ type WorldSnap struct {
 	mail [][][]message
 	// pending[rank][src] holds each endpoint's set-aside messages.
 	pending [][][]message
+	// gen is a process-unique capture identity; a job tracks the gen it
+	// last restored so re-restoring the same snapshot with no intervening
+	// Send/Recv is a no-op.
+	gen uint64
 }
+
+// worldGenCounter hands out process-unique WorldSnap generations.
+var worldGenCounter atomic.Uint64
 
 // copyMsgs deep-copies messages (payload bytes included) into dst's backing.
 func copyMsgs(dst []message, src []message) []message {
@@ -75,6 +84,7 @@ func (j *Job) SnapshotWorld(s *WorldSnap) *WorldSnap {
 			s.pending[r][src] = copyMsgs(s.pending[r][src], e.pending[src])
 		}
 	}
+	s.gen = worldGenCounter.Add(1)
 	return s
 }
 
@@ -86,6 +96,12 @@ func (j *Job) SnapshotWorld(s *WorldSnap) *WorldSnap {
 func (j *Job) RestoreWorld(s *WorldSnap) {
 	if s.size != j.size {
 		panic("mpi: RestoreWorld on a job of a different size")
+	}
+	// Fast path: the job still holds exactly this snapshot's state (last
+	// restore was the same gen and no Send/Recv ran since, so nothing
+	// moved — Recycle preserved it for this check). Nothing to do.
+	if s.gen != 0 && j.worldGen == s.gen && j.opsSum() == j.worldOps {
+		return
 	}
 	for dst := range j.mail {
 		for src, ch := range j.mail[dst] {
@@ -111,5 +127,8 @@ func (j *Job) RestoreWorld(s *WorldSnap) {
 				e.pending[src] = append(e.pending[src], message{tag: m.tag, data: append([]byte(nil), m.data...)})
 			}
 		}
+		e.ops = 0
 	}
+	j.worldGen = s.gen
+	j.worldOps = 0
 }

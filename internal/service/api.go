@@ -345,6 +345,11 @@ type Metrics struct {
 	// when the daemon runs without one).
 	ArchiveEntries int   `json:"archiveEntries"`
 	ArchiveBytes   int64 `json:"archiveBytes"`
+	// RestoreBytes totals the bytes copied by snapshot-fork restores
+	// (local experiments plus absorbed shard partials). With delta
+	// restore this grows with what forks actually dirty, not with
+	// golden-state size times fork count.
+	RestoreBytes uint64 `json:"restoreBytes"`
 	// Outcomes counts completed experiments per outcome class, summed over
 	// terminal tallies and live progress.
 	Outcomes map[string]int `json:"outcomes"`

@@ -30,7 +30,12 @@ type serverObs struct {
 	// expLatency: whole-experiment wall time per outcome class.
 	expLatency [classify.NumOutcomes]*obs.Histogram
 	// phase latencies of the injection pipeline.
-	injectLat, execLat, classifyLat *obs.Histogram
+	injectLat, restoreLat, execLat, classifyLat *obs.Histogram
+	// restoreBytes: total bytes copied by snapshot-fork restores.
+	restoreBytes *obs.Counter
+	// restoreFrac: dirty-block fraction per forked restore (1.0 = full
+	// copy; delta restores land proportional to what the fork dirtied).
+	restoreFrac *obs.Histogram
 }
 
 func newServerObs() *serverObs {
@@ -49,6 +54,12 @@ func newServerObs() *serverObs {
 			"Submissions not served from the archive (absent or corrupt entry)."),
 		injectLat: reg.Histogram("faultpropd_experiment_phase_seconds",
 			"Experiment phase latency.", obs.LatencyBuckets(), obs.L("phase", "inject")),
+		restoreLat: reg.Histogram("faultpropd_experiment_phase_seconds",
+			"Experiment phase latency.", obs.LatencyBuckets(), obs.L("phase", "restore")),
+		restoreBytes: reg.Counter("faultpropd_restore_bytes_total",
+			"Bytes copied by snapshot-fork restores."),
+		restoreFrac: reg.Histogram("faultpropd_restore_dirty_fraction",
+			"Dirty-block fraction per forked restore (1.0 = full copy).", obs.FractionBuckets()),
 		execLat: reg.Histogram("faultpropd_experiment_phase_seconds",
 			"Experiment phase latency.", obs.LatencyBuckets(), obs.L("phase", "execute")),
 		classifyLat: reg.Histogram("faultpropd_experiment_phase_seconds",
@@ -74,8 +85,13 @@ func (o *serverObs) observePhase(tr harness.PhaseTrace) {
 		o.expLatency[i].ObserveDuration(tr.Total)
 	}
 	o.injectLat.ObserveDuration(tr.Inject)
+	o.restoreLat.ObserveDuration(tr.Restore)
 	o.execLat.ObserveDuration(tr.Execute)
 	o.classifyLat.ObserveDuration(tr.Classify)
+	if tr.Forked {
+		o.restoreBytes.Add(uint64(tr.RestoreBytes))
+		o.restoreFrac.Observe(tr.RestoreFrac)
+	}
 }
 
 // absorbTimings merges a shard partial's carried histograms into the
@@ -90,8 +106,13 @@ func (o *serverObs) absorbTimings(t *harness.CampaignTimings) {
 		_ = o.expLatency[i].Merge(t.ByOutcome[i])
 	}
 	_ = o.injectLat.Merge(t.Inject)
+	_ = o.restoreLat.Merge(t.Restore)
 	_ = o.execLat.Merge(t.Execute)
 	_ = o.classifyLat.Merge(t.Classify)
+	_ = o.restoreFrac.Merge(t.RestoreFrac)
+	// The bytes histogram carries the shard's exact per-restore copy
+	// sizes; its sum feeds the daemon-lifetime counter.
+	o.restoreBytes.Add(uint64(t.RestoreBytes.Sum()))
 }
 
 // countRequest bumps the per-method request counter (unknown methods are

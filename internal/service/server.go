@@ -646,17 +646,24 @@ func (s *Server) finish(j *job, res *harness.CampaignResult) {
 	}
 	tally := res.Tally
 	j.mu.Lock()
-	j.status.State = StateDone
-	j.status.Finished = time.Now().UTC()
-	j.status.Tally = &tally
-	j.status.FPS = res.Model.FPS
 	st := j.status
+	j.mu.Unlock()
+	st.State = StateDone
+	st.Finished = time.Now().UTC()
+	st.Tally = &tally
+	st.FPS = res.Model.FPS
+	// Archive before the done status becomes visible (in memory or on
+	// disk): a client that polls the job to completion and immediately
+	// resubmits the same spec must find the entry — flipping the status
+	// first would open a cache-miss window.
+	s.archiveResult(st, res, data)
+	j.mu.Lock()
+	j.status = st
 	j.mu.Unlock()
 	if err := s.store.SaveStatus(st); err != nil {
 		s.fail(j, err)
 		return
 	}
-	s.archiveResult(st, res, data)
 	j.hub.publish(Event{Kind: EventResult, Job: st.ID, State: StateDone, Tally: &tally, FPS: st.FPS})
 	j.hub.close()
 	s.log.Info("job done", "job", st.ID, "trace", st.Trace,
@@ -745,9 +752,10 @@ func (s *Server) Metrics() Metrics {
 		RunningJobs: running,
 		JobSlots:    s.cfg.JobSlots,
 		WorkerPool:  s.cfg.WorkerPool,
-		StreamDrops: s.obs.streamDrops.Value(),
-		CacheHits:   s.obs.cacheHits.Value(),
-		CacheMisses: s.obs.cacheMisses.Value(),
+		StreamDrops:  s.obs.streamDrops.Value(),
+		CacheHits:    s.obs.cacheHits.Value(),
+		CacheMisses:  s.obs.cacheMisses.Value(),
+		RestoreBytes: s.obs.restoreBytes.Value(),
 		Outcomes:    make(map[string]int),
 	}
 	if s.archive != nil {

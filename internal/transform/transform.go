@@ -121,10 +121,11 @@ func instrumentFunc(f *ir.Func, opts Options) (*ir.Func, error) {
 		opts: opts,
 		in:   f,
 		out: &ir.Func{
-			Name:      f.Name,
-			NumParams: 2 * f.NumParams,
-			NumRets:   2 * f.NumRets,
-			Frame:     f.Frame,
+			Name:       f.Name,
+			NumParams:  2 * f.NumParams,
+			NumRets:    2 * f.NumRets,
+			Frame:      f.Frame,
+			PairedRegs: 2 * f.NumRegs,
 		},
 		nextTmp: ir.Reg(2 * f.NumRegs),
 		pcMap:   make([]int, len(f.Code)),

@@ -67,6 +67,10 @@ func (v *VM) takeSnapshot() {
 func (v *VM) restoreSnapshot() {
 	s := v.snap
 	copy(v.mem.words, s.words)
+	// The bulk copy bypasses the dirty bitmap; drop any delta-restore base
+	// so a later fork restore cannot trust a stale one. (Checkpointed runs
+	// are never forked — this is defense in depth.)
+	v.mem.invalidateBase()
 	v.mem.brk = s.brk
 	v.mem.sp = s.sp
 	v.regs = append(v.regs[:0], s.regs...)

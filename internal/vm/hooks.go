@@ -15,6 +15,21 @@ type Injector interface {
 	OnSite(site uint64, val uint64) (uint64, bool)
 }
 
+// SitePlanner is an optional Injector extension: an injector whose flips
+// are planned in advance can reveal the next dynamic site it will act on,
+// letting the VM pass through every earlier fim_inj without an interface
+// call — and letting the clean-mode interpreter run until the very
+// instruction that corrupts state. NextSite returns NoSite when no planned
+// fault remains. The value must be refreshed after every OnSite call that
+// was allowed through.
+type SitePlanner interface {
+	Injector
+	NextSite() uint64
+}
+
+// NoSite is SitePlanner's "no remaining faults" sentinel.
+const NoSite = ^uint64(0)
+
 // MPIEndpoint is the VM's view of the message-passing runtime. Messages are
 // encoded with fpm.EncodeMessage so contamination headers travel with the
 // payload exactly as in the paper's Fig. 4. Collectives carry primary and

@@ -87,6 +87,10 @@ func (v *VM) intrin(fr *frame, in *ir.Instr) {
 		if v.checkpointTick() {
 			return
 		}
+		// Timestep boundaries also catch fault-free reconvergence that
+		// never touched the table (a flipped register overwritten before
+		// any store): re-enter the clean interpreter when provable.
+		v.tryCleanMode()
 		// Single-process runs have no rendezvous; timestep boundaries are
 		// their quiesce points.
 		if v.cfg.MPI == nil || v.cfg.MPI.Size() == 1 {

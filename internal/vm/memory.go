@@ -1,5 +1,63 @@
 package vm
 
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/fpm"
+)
+
+// Restore granularity. One dirty bit covers a block of 64 words (512
+// bytes): fine enough that a short forked suffix dirties a small
+// fraction of the footprint, coarse enough that the bitmap for an 8 MiB
+// address space is 16 KiB and the store-path cost is one shift+or.
+const (
+	blockShift = 6                        // log2 words per block
+	blockWords = 1 << blockShift          // words per dirty block
+	dirtyShift = blockShift + 6           // log2 words covered by one bitmap word
+	maxDeltaChainHops = 64                // bound on snapshot-chain walks
+)
+
+// dirtyWords returns the bitmap length (in uint64 words) covering a
+// size-word address space.
+func dirtyWords(size int64) int { return int(uint64(size-1)>>dirtyShift) + 1 }
+
+// totalBlocks returns the number of dirty-trackable blocks in a
+// size-word address space.
+func totalBlocks(size int64) int { return int((size + blockWords - 1) >> blockShift) }
+
+// memGen hands out process-unique snapshot generations. A generation is
+// never reused, so a recycled *MemSnap whose backing was recaptured is
+// always detected by a gen mismatch rather than trusted as a stale base.
+var memGen atomic.Uint64
+
+// fullCopyRestore forces the full-copy restore path when set. The zero
+// value — delta restores enabled — is the default; benches and the
+// differential tests flip it to compare the two paths.
+var fullCopyRestore atomic.Bool
+
+// SetDeltaRestore toggles block-granular delta restores for memory and
+// contamination tables (default on). Full-copy restore remains the
+// fallback either way; the toggle exists so benches and CI can measure
+// and differentially test both paths.
+func SetDeltaRestore(on bool) {
+	fullCopyRestore.Store(!on)
+	fpm.SetDeltaRestore(on)
+}
+
+// DeltaRestoreEnabled reports whether delta restores are enabled.
+func DeltaRestoreEnabled() bool { return !fullCopyRestore.Load() }
+
+// RestoreStats summarizes one restore: how many bytes were copied back
+// from the snapshot and what fraction of the address-space blocks were
+// dirty. Full-copy restores report every live block dirty.
+type RestoreStats struct {
+	Bytes       int64 // bytes written while restoring
+	DirtyBlocks int   // blocks restored
+	TotalBlocks int   // blocks in the address space
+	Delta       bool  // delta path taken (false: full copy)
+}
+
 // Memory is the word-addressed address space of one simulated process.
 //
 // Layout (word addresses):
@@ -27,6 +85,17 @@ type Memory struct {
 	// at or above sp when written, so hiLo still covers it.
 	loHi int64 // exclusive upper bound of dirty low-segment words
 	hiLo int64 // inclusive lower bound of dirty stack-segment words
+
+	// Delta-restore state. dirty has one bit per blockWords-sized block,
+	// set before (well, as) any write to that block lands; it records
+	// exactly the blocks that may differ from base. base/baseGen name the
+	// snapshot this memory last equalled (just after Snapshot or
+	// RestoreSnap); the base is trusted only while base.gen == baseGen,
+	// so recapturing a pooled snapshot elsewhere invalidates it.
+	dirty   []uint64
+	scratch []uint64 // union-bitmap scratch for delta restores
+	base    *MemSnap
+	baseGen uint64
 }
 
 // NewMemory builds an address space of size words with the given global
@@ -37,6 +106,7 @@ func NewMemory(size, globalWords int64) *Memory {
 	}
 	m := &Memory{
 		words:     make([]uint64, size),
+		dirty:     make([]uint64, dirtyWords(size)),
 		globalEnd: 1 + globalWords,
 		sp:        size,
 		loHi:      1,
@@ -55,6 +125,7 @@ func (m *Memory) Reset(size, globalWords int64) {
 	}
 	if int64(len(m.words)) != size {
 		m.words = make([]uint64, size)
+		m.dirty = make([]uint64, dirtyWords(size))
 	} else {
 		if m.loHi > 1 {
 			clear(m.words[1:m.loHi])
@@ -68,6 +139,31 @@ func (m *Memory) Reset(size, globalWords int64) {
 	m.sp = size
 	m.loHi = 1
 	m.hiLo = size
+	// The bitmap only means "dirty since base"; with no base it may hold
+	// garbage, and both Snapshot and a full RestoreSnap clear it before
+	// establishing one.
+	m.base, m.baseGen = nil, 0
+}
+
+// invalidateBase drops the delta-restore base, forcing the next
+// RestoreSnap onto the full-copy path. Called by every mutation that
+// bypasses the dirty bitmap (checkpoint rollback).
+func (m *Memory) invalidateBase() { m.base, m.baseGen = nil, 0 }
+
+func (m *Memory) baseValid() bool {
+	return m.base != nil && m.baseGen != 0 && m.base.gen == m.baseGen
+}
+
+// markRange sets the dirty bits covering words [base, base+count).
+func (m *Memory) markRange(base, count int64) {
+	if count <= 0 {
+		return
+	}
+	first := uint64(base) >> blockShift
+	last := uint64(base+count-1) >> blockShift
+	for blk := first; blk <= last; blk++ {
+		m.dirty[blk>>6] |= 1 << (blk & 63)
+	}
 }
 
 // Size returns the total address-space size in words.
@@ -99,6 +195,7 @@ func (m *Memory) Write(addr int64, v uint64) bool {
 		return false
 	}
 	m.words[addr] = v
+	m.dirty[uint64(addr)>>dirtyShift] |= 1 << ((uint64(addr) >> blockShift) & 63)
 	if addr >= m.sp {
 		if addr < m.hiLo {
 			m.hiLo = addr
@@ -128,8 +225,10 @@ func (m *Memory) PushFrame(n int64) (int64, bool) {
 	}
 	m.sp -= n
 	// Stack frames are reused across calls; clear to keep runs
-	// deterministic regardless of earlier frame contents.
+	// deterministic regardless of earlier frame contents. The clear is a
+	// write like any other and must reach the dirty bitmap.
 	clear(m.words[m.sp : m.sp+n])
+	m.markRange(m.sp, n)
 	return m.sp, true
 }
 
@@ -166,6 +265,7 @@ func (m *Memory) CopyIn(base int64, data []uint64) bool {
 		return false
 	}
 	copy(m.words[base:base+count], data)
+	m.markRange(base, count)
 	if base >= m.sp {
 		if base < m.hiLo {
 			m.hiLo = base
@@ -195,6 +295,19 @@ type MemSnap struct {
 	brk, sp   int64
 	loHi      int64
 	hiLo      int64
+
+	// Chain link for delta restores. When this snapshot was captured from
+	// a memory whose content was last equal to another snapshot (the
+	// usual case during a multi-cut golden capture run), sincePrev is the
+	// dirty bitmap accumulated between that snapshot and this one, and
+	// prev/prevGen name it. RestoreSnap can then move the memory between
+	// any two snapshots on one chain by copying only the union of the
+	// per-hop bitmaps. gen is process-unique; a prev whose gen no longer
+	// matches prevGen was recaptured and the chain is treated as broken.
+	gen       uint64
+	prev      *MemSnap
+	prevGen   uint64
+	sincePrev []uint64
 }
 
 // Snapshot captures the address space into s (reusing s's backing when
@@ -212,17 +325,42 @@ func (m *Memory) Snapshot(s *MemSnap) *MemSnap {
 	s.sp = m.sp
 	s.loHi = m.loHi
 	s.hiLo = m.hiLo
+	if m.baseValid() && m.base != s {
+		// Link into the base's chain: the live bitmap is exactly the set
+		// of blocks on which this snapshot may differ from the base.
+		s.prev = m.base
+		s.prevGen = m.baseGen
+		s.sincePrev = append(s.sincePrev[:0], m.dirty...)
+	} else {
+		s.prev = nil
+		s.prevGen = 0
+		s.sincePrev = s.sincePrev[:0]
+	}
+	s.gen = memGen.Add(1)
+	// The memory now equals s word for word; future writes are dirt
+	// relative to it.
+	m.base, m.baseGen = s, s.gen
+	clear(m.dirty)
 	return s
 }
 
-// RestoreSnap rewinds the address space to the snapshotted state. The
-// receiver may hold the dirt of an unrelated run: its own dirty segments
-// are cleared first, then the snapshot segments are copied in, so the
-// result equals the snapshotted memory word for word. The snapshot is
-// reusable across any number of restores.
-func (m *Memory) RestoreSnap(s *MemSnap) {
+// RestoreSnap rewinds the address space to the snapshotted state and
+// reports what the restore cost. When the memory's last-known-equal base
+// snapshot sits on the same chain as s, only the union of blocks dirtied
+// between the two states is copied back (delta path); otherwise — first
+// restore, size change, broken chain, or delta restores disabled — the
+// full-copy path runs. Either way the result equals the snapshotted
+// memory word for word and the snapshot stays reusable across any number
+// of restores.
+func (m *Memory) RestoreSnap(s *MemSnap) RestoreStats {
+	if DeltaRestoreEnabled() && int64(len(m.words)) == s.size && m.baseValid() {
+		if un, ok := m.deltaUnion(s); ok {
+			return m.restoreDelta(s, un)
+		}
+	}
 	if int64(len(m.words)) != s.size {
 		m.words = make([]uint64, s.size)
+		m.dirty = make([]uint64, dirtyWords(s.size))
 	} else {
 		if m.loHi > 1 {
 			clear(m.words[1:m.loHi])
@@ -238,4 +376,89 @@ func (m *Memory) RestoreSnap(s *MemSnap) {
 	m.sp = s.sp
 	m.loHi = s.loHi
 	m.hiLo = s.hiLo
+	clear(m.dirty)
+	m.base, m.baseGen = s, s.gen
+	total := totalBlocks(s.size)
+	return RestoreStats{
+		Bytes:       int64(len(s.lo)+len(s.hi)) * 8,
+		DirtyBlocks: total,
+		TotalBlocks: total,
+	}
+}
+
+// deltaUnion assembles into m.scratch the union of every block that may
+// differ between the live memory and snapshot s: the live dirty bitmap
+// plus the per-hop sincePrev bitmaps along the chain between s and the
+// base, walked from the younger snapshot down to the older. ok is false
+// when the two are not connected by an intact chain.
+func (m *Memory) deltaUnion(s *MemSnap) ([]uint64, bool) {
+	nd := len(m.dirty)
+	un := m.scratch
+	if cap(un) < nd {
+		un = make([]uint64, nd)
+		m.scratch = un
+	} else {
+		un = un[:nd]
+	}
+	copy(un, m.dirty)
+	from, to := s, m.base
+	if from == to {
+		return un, true
+	}
+	if from.gen < to.gen {
+		from, to = to, from
+	}
+	for hops := 0; from != to; hops++ {
+		p := from.prev
+		if hops >= maxDeltaChainHops || p == nil || p.gen != from.prevGen ||
+			p.gen < to.gen || len(from.sincePrev) != nd {
+			return nil, false
+		}
+		for i, w := range from.sincePrev {
+			un[i] |= w
+		}
+		from = p
+	}
+	return un, true
+}
+
+// restoreDelta rewrites exactly the blocks named by the union bitmap
+// with their content under snapshot s. Per the Memory invariant a word
+// of s is s.lo[addr-1] for addr in [1, s.loHi), s.hi[addr-s.hiLo] for
+// addr in [s.hiLo, size), and zero in between — so each dirty block is
+// reconstructed from up to three subranges.
+func (m *Memory) restoreDelta(s *MemSnap, un []uint64) RestoreStats {
+	size := s.size
+	var blocks int
+	var bytes int64
+	for wi, w := range un {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << bit
+			start := (int64(wi)<<6 | int64(bit)) << blockShift
+			if start >= size {
+				continue
+			}
+			end := min(start+blockWords, size)
+			if a, b := max(start, 1), min(end, s.loHi); a < b {
+				copy(m.words[a:b], s.lo[a-1:b-1])
+			}
+			if a, b := max(start, s.loHi), min(end, s.hiLo); a < b {
+				clear(m.words[a:b])
+			}
+			if a, b := max(start, s.hiLo), end; a < b {
+				copy(m.words[a:b], s.hi[a-s.hiLo:b-s.hiLo])
+			}
+			blocks++
+			bytes += (end - start) * 8
+		}
+	}
+	m.globalEnd = s.globalEnd
+	m.brk = s.brk
+	m.sp = s.sp
+	m.loHi = s.loHi
+	m.hiLo = s.hiLo
+	clear(m.dirty)
+	m.base, m.baseGen = s, s.gen
+	return RestoreStats{Bytes: bytes, DirtyBlocks: blocks, TotalBlocks: totalBlocks(size), Delta: true}
 }

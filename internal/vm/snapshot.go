@@ -66,6 +66,12 @@ type Snapshot struct {
 	iterations int64
 	ticks      int64
 	qseq       uint64
+	// clean records the interpreter mode at capture. A snapshot captured
+	// in clean mode has stale shadow registers — semantically equal to
+	// their primaries but not byte-equal — so a fork must resume in clean
+	// mode (where nothing reads them) and reconstruct them on its own
+	// clean->full switch, exactly as the captured VM would have.
+	clean bool
 }
 
 // Sites returns the dynamic fim_inj site count at the snapshot: the first
@@ -98,19 +104,22 @@ func (v *VM) Snapshot(s *Snapshot) *Snapshot {
 	s.iterations = v.iterations
 	s.ticks = v.ticks
 	s.qseq = v.qseq
+	s.clean = v.clean
 	return s
 }
 
-// RestoreSnap forks this VM from the snapshot. Call it on a freshly
-// constructed VM (New, typically with a pooled State), before Resume. The
-// VM must target the same program the snapshot was taken from and must not
-// use the unsupported features listed in the package comment above.
-func (v *VM) RestoreSnap(s *Snapshot) {
+// RestoreSnap forks this VM from the snapshot and reports the restore
+// cost (memory stats plus table bytes). Call it on a freshly constructed
+// VM (New, typically with a pooled State and Config.ForkRestore), before
+// Resume. The VM must target the same program the snapshot was taken
+// from and must not use the unsupported features listed in the package
+// comment above.
+func (v *VM) RestoreSnap(s *Snapshot) RestoreStats {
 	if v.cfg.TrackTaint || len(v.cfg.MemFaults) > 0 || v.cfg.CheckpointEvery > 0 || v.cfg.Clock != nil {
 		panic("vm: RestoreSnap with taint, memory faults, checkpointing or a global clock")
 	}
-	v.mem.RestoreSnap(s.mem)
-	v.table.RestoreSnap(s.table)
+	stats := v.mem.RestoreSnap(s.mem)
+	stats.Bytes += v.table.RestoreSnap(s.table)
 	v.regs = append(v.regs[:0], s.regs...)
 	v.frames = append(v.frames[:0], s.frames...)
 	v.cycles = s.cycles
@@ -123,6 +132,24 @@ func (v *VM) RestoreSnap(s *Snapshot) {
 	v.iterations = s.iterations
 	v.ticks = s.ticks
 	v.qseq = s.qseq
+	// Adopt the capture-time interpreter mode (capped by this VM's own
+	// eligibility — e.g. its injector may not be able to plan sites) and
+	// normalize the restored frames' code arrays to it: the snapshot's
+	// frames carry whichever array the captured VM was running. When a
+	// clean-mode snapshot lands on a VM that cannot run clean, the
+	// snapshot's stale shadow registers must be rebuilt before the full
+	// interpreter reads them — toFullMode's reconstruction is exactly
+	// that, because a clean capture's primaries are the pristine values.
+	v.clean = s.clean
+	if v.clean && !v.cleanOK {
+		v.toFullMode()
+		v.reframe = false
+	} else {
+		for i := range v.frames {
+			v.frames[i].code = v.frames[i].df.codeFor(v.clean)
+		}
+	}
+	return stats
 }
 
 // Resume executes a VM forked via RestoreSnap to completion. Error

@@ -32,16 +32,20 @@ type State struct {
 func NewState() *State { return &State{} }
 
 // adopt installs st's buffers (reset) into v, allocating any the State does
-// not hold yet.
-func (st *State) adopt(v *VM, memWords, globalWords int64) {
+// not hold yet. When forkRestore is set the memory and table skip their
+// Reset: the caller restores a snapshot over them before the VM runs, and
+// keeping the previous run's state intact is exactly what lets that
+// restore take the delta path (the dirty bitmap/journal describe the
+// state relative to the last restored snapshot).
+func (st *State) adopt(v *VM, memWords, globalWords int64, forkRestore bool) {
 	if st.mem == nil {
 		st.mem = NewMemory(memWords, globalWords)
-	} else {
+	} else if !forkRestore {
 		st.mem.Reset(memWords, globalWords)
 	}
 	if st.table == nil {
 		st.table = fpm.NewTable()
-	} else {
+	} else if !forkRestore {
 		st.table.Reset()
 	}
 	v.mem = st.mem

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/fpm"
 	"repro/internal/ir"
@@ -58,6 +59,12 @@ type Config struct {
 	// Quiesce, when non-nil, observes quiesce points (see snapshot.go); it
 	// is how golden runs profile and capture snapshot-fork state.
 	Quiesce QuiesceHook
+	// ForkRestore declares that the caller will RestoreSnap a snapshot
+	// onto this VM before running it. New then skips resetting the pooled
+	// State and skips global initialization — the restore overwrites both
+	// — which preserves the State's delta-restore base so the restore can
+	// copy only dirtied blocks instead of the whole golden state.
+	ForkRestore bool
 }
 
 // VM executes one IR program in one address space.
@@ -99,6 +106,20 @@ type VM struct {
 	rollbacks int
 	restored  bool
 
+	// Clean-mode interpreter state (see cleanmode.go). clean is the
+	// current mode; cleanOK caps it (program layout + config allow clean
+	// execution at all); reframe asks the loop to refetch its cached code
+	// slice after a mode switch that happened inside a call-out.
+	clean   bool
+	cleanOK bool
+	reframe bool
+	// nextSite is the next dynamic fim_inj site at which the injector may
+	// act: sites below it take a pass-through fast path. NoSite when no
+	// injector (or no remaining fault) is armed; 0 when the injector
+	// cannot plan ahead and must see every site.
+	nextSite uint64
+	planner  SitePlanner
+
 	// Quiesce-point bookkeeping (see snapshot.go). qarm is set by an
 	// intrinsic that completed at a consistent cut; the loop fires the hook
 	// once the intrinsic has fully retired.
@@ -108,7 +129,8 @@ type VM struct {
 
 type frame struct {
 	fn        *ir.Func
-	code      []dinstr // fn's pre-decoded body (shared, immutable)
+	df        *dfunc   // fn's decoded forms (shared, immutable)
+	code      []dinstr // df's body for the current interpreter mode
 	pc        int
 	regBase   int
 	frameBase int64
@@ -134,14 +156,16 @@ func New(prog *ir.Program, cfg Config) *VM {
 		cfg:   cfg,
 	}
 	if cfg.State != nil {
-		cfg.State.adopt(v, cfg.MemWords, prog.GlobalWords)
+		cfg.State.adopt(v, cfg.MemWords, prog.GlobalWords, cfg.ForkRestore)
 	} else {
 		v.mem = NewMemory(cfg.MemWords, prog.GlobalWords)
 		v.table = fpm.NewTable()
 	}
-	for _, g := range prog.Globals {
-		if len(g.Init) > 0 {
-			v.mem.InitGlobals(g.Base, g.Init)
+	if !cfg.ForkRestore || cfg.State == nil {
+		for _, g := range prog.Globals {
+			if len(g.Init) > 0 {
+				v.mem.InitGlobals(g.Base, g.Init)
+			}
 		}
 	}
 	if cfg.TrackTaint {
@@ -153,7 +177,50 @@ func New(prog *ir.Program, cfg Config) *VM {
 	if len(cfg.MemFaults) > 0 {
 		v.memFaultsDone = make([]bool, len(cfg.MemFaults))
 	}
+	v.planner, _ = cfg.Injector.(SitePlanner)
+	v.refreshNextSite()
+	// Clean mode needs: a program whose dual-chain register pairing is
+	// declared, no ablation that observes the skipped instructions (taint)
+	// or mutates memory behind the table's back (memory faults), no in-VM
+	// checkpointing (its snapshots are not mode-aware), and an injector
+	// that can announce its next site — otherwise the very first fim_inj
+	// would bounce the VM out of clean mode anyway.
+	v.cleanOK = v.dprog.cleanOK && !cleanInterpOff.Load() &&
+		!cfg.TrackTaint && len(cfg.MemFaults) == 0 && cfg.CheckpointEvery == 0 &&
+		(cfg.Injector == nil || v.planner != nil)
+	// A fresh run starts fault-free with an all-zero register file, so
+	// shadows trivially mirror primaries. Fork restores overwrite the mode
+	// from the snapshot (see RestoreSnap).
+	v.clean = v.cleanOK
 	return v
+}
+
+// cleanInterpOff disables the clean-mode interpreter when set. The zero
+// value — clean mode enabled — is the default; benches and the
+// differential tests flip it to compare the two interpreters.
+var cleanInterpOff atomic.Bool
+
+// SetCleanInterp toggles the clean-mode interpreter (default on): while a
+// rank is provably fault-free the VM skips the redundant secondary chain.
+// Takes effect for VMs constructed after the call. The full interpreter
+// remains the fallback either way; the toggle exists so benches and CI can
+// measure and differentially test both paths.
+func SetCleanInterp(on bool) { cleanInterpOff.Store(!on) }
+
+// CleanInterpEnabled reports whether the clean-mode interpreter is enabled.
+func CleanInterpEnabled() bool { return !cleanInterpOff.Load() }
+
+// refreshNextSite re-reads the injector's next planned site after any call
+// that may have advanced it.
+func (v *VM) refreshNextSite() {
+	switch {
+	case v.planner != nil:
+		v.nextSite = v.planner.NextSite()
+	case v.cfg.Injector != nil:
+		v.nextSite = 0 // unplannable: every site goes to the injector
+	default:
+		v.nextSite = NoSite
+	}
 }
 
 // Mem exposes the address space (for tests and the harness).
@@ -205,31 +272,33 @@ func (v *VM) val(base int, o ir.Operand) uint64 {
 }
 
 // opA..opD evaluate pre-decoded operand payloads: one precomputed bit says
-// whether the payload is a register index or the immediate itself.
-func (v *VM) opA(base int, in *dinstr) uint64 {
+// whether the payload is a register index or the immediate itself. They
+// take the register file as an argument so the interpreter loop's cached
+// local slice is used instead of re-loading v.regs per operand.
+func opA(regs []uint64, base int, in *dinstr) uint64 {
 	if in.kinds&kA != 0 {
-		return v.regs[base+int(in.a)]
+		return regs[base+int(in.a)]
 	}
 	return in.a
 }
 
-func (v *VM) opB(base int, in *dinstr) uint64 {
+func opB(regs []uint64, base int, in *dinstr) uint64 {
 	if in.kinds&kB != 0 {
-		return v.regs[base+int(in.b)]
+		return regs[base+int(in.b)]
 	}
 	return in.b
 }
 
-func (v *VM) opC(base int, in *dinstr) uint64 {
+func opC(regs []uint64, base int, in *dinstr) uint64 {
 	if in.kinds&kC != 0 {
-		return v.regs[base+int(in.c)]
+		return regs[base+int(in.c)]
 	}
 	return in.c
 }
 
-func (v *VM) opD(base int, in *dinstr) uint64 {
+func opD(regs []uint64, base int, in *dinstr) uint64 {
 	if in.kinds&kD != 0 {
-		return v.regs[base+int(in.d)]
+		return regs[base+int(in.d)]
 	}
 	return in.d
 }
@@ -328,7 +397,8 @@ func (v *VM) pushFrame(fi int, args []uint64, retRegs []ir.Reg) {
 		}
 	}
 	v.frames = append(v.frames, frame{
-		fn: callee, code: df.code, regBase: regBase, frameBase: fb, retRegs: retRegs,
+		fn: callee, df: df, code: df.codeFor(v.clean),
+		regBase: regBase, frameBase: fb, retRegs: retRegs,
 	})
 	if len(v.frames) > 4096 {
 		v.trap(TrapStackOverflow, "call depth")
@@ -376,245 +446,348 @@ func (v *VM) execute() (err error) {
 // executes the pre-decoded form (see decode.go): cycle accounting is a
 // single precomputed byte and operand fetches dispatch on a precomputed
 // kind bit instead of re-inspecting ir.Operand tags.
+//
+// The hot state — program counter, register window base, code slice,
+// register file and memory — lives in locals for the duration of a frame;
+// the inner loop touches the VM and frame structs only on the cold paths.
+// fr.pc is therefore stale between sync points and MUST be re-synced
+// (fr.pc = pc) before anything that can observe it: every trap, housekeep
+// (cycle limit / abort / memory faults can trap), and intrinsics (whose
+// checkpoint and quiesce hooks capture the frame stack). Frame changes
+// (Call, Ret, checkpoint rollback) and anything that may swap the register
+// file restart the outer loop, which refetches all cached state.
 func (v *VM) loop() {
+frames:
 	for {
 		fr := &v.frames[len(v.frames)-1]
 		code := fr.code
-		if fr.pc < 0 || fr.pc >= len(code) {
-			v.trap(TrapInvalid, "pc out of range")
-		}
-		in := &code[fr.pc]
 		base := fr.regBase
-
-		if v.taint != nil {
-			v.taintStep(fr, &fr.fn.Code[fr.pc])
-		}
-
-		// Application cycle accounting, precomputed at decode time:
-		// secondary-chain instructions and FPM bookkeeping are free;
-		// fpm_store counts as the store it replaced.
-		if in.cost != 0 {
-			v.cycles++
-			if v.cycles&1023 == 0 {
-				v.housekeep()
+		regs := v.regs
+		mem := v.mem
+		taint := v.taint
+		pc := fr.pc
+		for {
+			if uint(pc) >= uint(len(code)) {
+				fr.pc = pc
+				v.trap(TrapInvalid, "pc out of range")
 			}
-		}
+			in := &code[pc]
 
-		switch in.op {
-		case ir.Nop:
-
-		case ir.ConstI, ir.ConstF:
-			v.regs[base+int(in.dst)] = in.a
-		case ir.Mov:
-			v.regs[base+int(in.dst)] = v.opA(base, in)
-
-		case ir.Add:
-			v.regs[base+int(in.dst)] = uint64(int64(v.opA(base, in)) + int64(v.opB(base, in)))
-		case ir.Sub:
-			v.regs[base+int(in.dst)] = uint64(int64(v.opA(base, in)) - int64(v.opB(base, in)))
-		case ir.Mul:
-			v.regs[base+int(in.dst)] = uint64(int64(v.opA(base, in)) * int64(v.opB(base, in)))
-		case ir.SDiv:
-			a, b := int64(v.opA(base, in)), int64(v.opB(base, in))
-			if b == 0 {
-				v.trap(TrapDivZero, "sdiv")
-			}
-			if a == math.MinInt64 && b == -1 {
-				v.trap(TrapDivOverflow, "sdiv")
-			}
-			v.regs[base+int(in.dst)] = uint64(a / b)
-		case ir.SRem:
-			a, b := int64(v.opA(base, in)), int64(v.opB(base, in))
-			if b == 0 {
-				v.trap(TrapDivZero, "srem")
-			}
-			if a == math.MinInt64 && b == -1 {
-				v.trap(TrapDivOverflow, "srem")
-			}
-			v.regs[base+int(in.dst)] = uint64(a % b)
-		case ir.Shl:
-			v.regs[base+int(in.dst)] = v.opA(base, in) << (v.opB(base, in) & 63)
-		case ir.LShr:
-			v.regs[base+int(in.dst)] = v.opA(base, in) >> (v.opB(base, in) & 63)
-		case ir.AShr:
-			v.regs[base+int(in.dst)] = uint64(int64(v.opA(base, in)) >> (v.opB(base, in) & 63))
-		case ir.And:
-			v.regs[base+int(in.dst)] = v.opA(base, in) & v.opB(base, in)
-		case ir.Or:
-			v.regs[base+int(in.dst)] = v.opA(base, in) | v.opB(base, in)
-		case ir.Xor:
-			v.regs[base+int(in.dst)] = v.opA(base, in) ^ v.opB(base, in)
-
-		case ir.FAdd:
-			v.regs[base+int(in.dst)] = fbits(f64(v.opA(base, in)) + f64(v.opB(base, in)))
-		case ir.FSub:
-			v.regs[base+int(in.dst)] = fbits(f64(v.opA(base, in)) - f64(v.opB(base, in)))
-		case ir.FMul:
-			v.regs[base+int(in.dst)] = fbits(f64(v.opA(base, in)) * f64(v.opB(base, in)))
-		case ir.FDiv:
-			v.regs[base+int(in.dst)] = fbits(f64(v.opA(base, in)) / f64(v.opB(base, in)))
-
-		case ir.SIToFP:
-			v.regs[base+int(in.dst)] = fbits(float64(int64(v.opA(base, in))))
-		case ir.FPToSI:
-			v.regs[base+int(in.dst)] = uint64(fptosi(f64(v.opA(base, in))))
-
-		case ir.ICmpEQ:
-			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) == int64(v.opB(base, in)))
-		case ir.ICmpNE:
-			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) != int64(v.opB(base, in)))
-		case ir.ICmpSLT:
-			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) < int64(v.opB(base, in)))
-		case ir.ICmpSLE:
-			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) <= int64(v.opB(base, in)))
-		case ir.ICmpSGT:
-			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) > int64(v.opB(base, in)))
-		case ir.ICmpSGE:
-			v.regs[base+int(in.dst)] = b2w(int64(v.opA(base, in)) >= int64(v.opB(base, in)))
-
-		case ir.FCmpEQ:
-			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) == f64(v.opB(base, in)))
-		case ir.FCmpNE:
-			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) != f64(v.opB(base, in)))
-		case ir.FCmpLT:
-			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) < f64(v.opB(base, in)))
-		case ir.FCmpLE:
-			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) <= f64(v.opB(base, in)))
-		case ir.FCmpGT:
-			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) > f64(v.opB(base, in)))
-		case ir.FCmpGE:
-			v.regs[base+int(in.dst)] = b2w(f64(v.opA(base, in)) >= f64(v.opB(base, in)))
-
-		case ir.Select:
-			if v.opA(base, in) != 0 {
-				v.regs[base+int(in.dst)] = v.opB(base, in)
-			} else {
-				v.regs[base+int(in.dst)] = v.opC(base, in)
+			if taint != nil {
+				fr.pc = pc
+				v.taintStep(fr, &fr.fn.Code[pc])
 			}
 
-		case ir.Load:
-			addr := int64(v.opA(base, in))
-			w, ok := v.mem.Read(addr)
-			if !ok {
-				v.trapMem(addr)
+			// Fused fim_inj groups (clean-mode code only): this instruction
+			// absorbed the nsites injection sites emitted just before it. If
+			// a planned fault falls inside that range, replay the group from
+			// its first fim_inj under the full interpreter; otherwise retire
+			// all of its sites in one step. Checked before cycle accounting
+			// so the replay does not count this instruction's cycle twice.
+			if in.nsites != 0 {
+				ns := v.sites + uint64(in.nsites)
+				if ns > v.nextSite {
+					fr.pc = pc - int(in.nsites)
+					v.toFullMode()
+					v.reframe = false
+					continue frames
+				}
+				v.sites = ns
 			}
-			v.regs[base+int(in.dst)] = w
-		case ir.Store:
-			addr := int64(v.opB(base, in))
-			if !v.mem.Write(addr, v.opA(base, in)) {
-				v.trapMem(addr)
-			}
-		case ir.FrameAddr:
-			v.regs[base+int(in.dst)] = uint64(fr.frameBase + int64(in.a))
 
-		case ir.Jmp:
-			fr.pc = int(in.target)
-			continue
-		case ir.Bnz:
-			if v.opA(base, in) != 0 {
-				fr.pc = int(in.target)
+			// Application cycle accounting, precomputed at decode time:
+			// secondary-chain instructions and FPM bookkeeping are free;
+			// fpm_store counts as the store it replaced.
+			if in.cost != 0 {
+				v.cycles++
+				if v.cycles&1023 == 0 {
+					fr.pc = pc
+					v.housekeep()
+				}
+			}
+
+			switch in.op {
+			case ir.Nop:
+
+			case opSkip:
+				// Clean mode only: this instruction is redundant while the
+				// rank is fault-free; hop over the whole skipped run.
+				pc = int(in.target)
 				continue
-			}
-		case ir.Bz:
-			if v.opA(base, in) == 0 {
-				fr.pc = int(in.target)
-				continue
-			}
 
-		case ir.Call:
-			args := in.src.Args
-			v.ret = v.ret[:0]
-			for _, a := range args {
-				v.ret = append(v.ret, v.val(base, a))
-			}
-			if v.taint != nil {
-				v.taint.scratch = v.taint.scratch[:0]
+			case ir.ConstI, ir.ConstF:
+				regs[base+int(in.dst)] = in.a
+			case ir.Mov:
+				regs[base+int(in.dst)] = opA(regs, base, in)
+
+			case ir.Add:
+				regs[base+int(in.dst)] = uint64(int64(opA(regs, base, in)) + int64(opB(regs, base, in)))
+			case ir.Sub:
+				regs[base+int(in.dst)] = uint64(int64(opA(regs, base, in)) - int64(opB(regs, base, in)))
+			case ir.Mul:
+				regs[base+int(in.dst)] = uint64(int64(opA(regs, base, in)) * int64(opB(regs, base, in)))
+			case ir.SDiv:
+				a, b := int64(opA(regs, base, in)), int64(opB(regs, base, in))
+				if b == 0 {
+					fr.pc = pc
+					v.trap(TrapDivZero, "sdiv")
+				}
+				if a == math.MinInt64 && b == -1 {
+					fr.pc = pc
+					v.trap(TrapDivOverflow, "sdiv")
+				}
+				regs[base+int(in.dst)] = uint64(a / b)
+			case ir.SRem:
+				a, b := int64(opA(regs, base, in)), int64(opB(regs, base, in))
+				if b == 0 {
+					fr.pc = pc
+					v.trap(TrapDivZero, "srem")
+				}
+				if a == math.MinInt64 && b == -1 {
+					fr.pc = pc
+					v.trap(TrapDivOverflow, "srem")
+				}
+				regs[base+int(in.dst)] = uint64(a % b)
+			case ir.Shl:
+				regs[base+int(in.dst)] = opA(regs, base, in) << (opB(regs, base, in) & 63)
+			case ir.LShr:
+				regs[base+int(in.dst)] = opA(regs, base, in) >> (opB(regs, base, in) & 63)
+			case ir.AShr:
+				regs[base+int(in.dst)] = uint64(int64(opA(regs, base, in)) >> (opB(regs, base, in) & 63))
+			case ir.And:
+				regs[base+int(in.dst)] = opA(regs, base, in) & opB(regs, base, in)
+			case ir.Or:
+				regs[base+int(in.dst)] = opA(regs, base, in) | opB(regs, base, in)
+			case ir.Xor:
+				regs[base+int(in.dst)] = opA(regs, base, in) ^ opB(regs, base, in)
+
+			case ir.FAdd:
+				regs[base+int(in.dst)] = fbits(f64(opA(regs, base, in)) + f64(opB(regs, base, in)))
+			case ir.FSub:
+				regs[base+int(in.dst)] = fbits(f64(opA(regs, base, in)) - f64(opB(regs, base, in)))
+			case ir.FMul:
+				regs[base+int(in.dst)] = fbits(f64(opA(regs, base, in)) * f64(opB(regs, base, in)))
+			case ir.FDiv:
+				regs[base+int(in.dst)] = fbits(f64(opA(regs, base, in)) / f64(opB(regs, base, in)))
+
+			case ir.SIToFP:
+				regs[base+int(in.dst)] = fbits(float64(int64(opA(regs, base, in))))
+			case ir.FPToSI:
+				regs[base+int(in.dst)] = uint64(fptosi(f64(opA(regs, base, in))))
+
+			case ir.ICmpEQ:
+				regs[base+int(in.dst)] = b2w(int64(opA(regs, base, in)) == int64(opB(regs, base, in)))
+			case ir.ICmpNE:
+				regs[base+int(in.dst)] = b2w(int64(opA(regs, base, in)) != int64(opB(regs, base, in)))
+			case ir.ICmpSLT:
+				regs[base+int(in.dst)] = b2w(int64(opA(regs, base, in)) < int64(opB(regs, base, in)))
+			case ir.ICmpSLE:
+				regs[base+int(in.dst)] = b2w(int64(opA(regs, base, in)) <= int64(opB(regs, base, in)))
+			case ir.ICmpSGT:
+				regs[base+int(in.dst)] = b2w(int64(opA(regs, base, in)) > int64(opB(regs, base, in)))
+			case ir.ICmpSGE:
+				regs[base+int(in.dst)] = b2w(int64(opA(regs, base, in)) >= int64(opB(regs, base, in)))
+
+			case ir.FCmpEQ:
+				regs[base+int(in.dst)] = b2w(f64(opA(regs, base, in)) == f64(opB(regs, base, in)))
+			case ir.FCmpNE:
+				regs[base+int(in.dst)] = b2w(f64(opA(regs, base, in)) != f64(opB(regs, base, in)))
+			case ir.FCmpLT:
+				regs[base+int(in.dst)] = b2w(f64(opA(regs, base, in)) < f64(opB(regs, base, in)))
+			case ir.FCmpLE:
+				regs[base+int(in.dst)] = b2w(f64(opA(regs, base, in)) <= f64(opB(regs, base, in)))
+			case ir.FCmpGT:
+				regs[base+int(in.dst)] = b2w(f64(opA(regs, base, in)) > f64(opB(regs, base, in)))
+			case ir.FCmpGE:
+				regs[base+int(in.dst)] = b2w(f64(opA(regs, base, in)) >= f64(opB(regs, base, in)))
+
+			case ir.Select:
+				if opA(regs, base, in) != 0 {
+					regs[base+int(in.dst)] = opB(regs, base, in)
+				} else {
+					regs[base+int(in.dst)] = opC(regs, base, in)
+				}
+
+			case ir.Load:
+				addr := int64(opA(regs, base, in))
+				w, ok := mem.Read(addr)
+				if !ok {
+					fr.pc = pc
+					v.trapMem(addr)
+				}
+				regs[base+int(in.dst)] = w
+			case ir.Store:
+				addr := int64(opB(regs, base, in))
+				if !mem.Write(addr, opA(regs, base, in)) {
+					fr.pc = pc
+					v.trapMem(addr)
+				}
+			case ir.FrameAddr:
+				regs[base+int(in.dst)] = uint64(fr.frameBase + int64(in.a))
+
+			case ir.Jmp:
+				pc = int(in.target)
+				continue
+			case ir.Bnz:
+				if opA(regs, base, in) != 0 {
+					pc = int(in.target)
+					continue
+				}
+			case ir.Bz:
+				if opA(regs, base, in) == 0 {
+					pc = int(in.target)
+					continue
+				}
+
+			case ir.Call:
+				args := in.src.Args
+				v.ret = v.ret[:0]
 				for _, a := range args {
-					v.taint.scratch = append(v.taint.scratch, v.taintOf(base, a))
+					v.ret = append(v.ret, v.val(base, a))
 				}
-			}
-			fr.pc++
-			v.pushFrame(int(in.target), v.ret, in.src.Rets)
-			continue
-
-		case ir.Ret:
-			args := in.src.Args
-			v.ret = v.ret[:0]
-			for _, a := range args {
-				v.ret = append(v.ret, v.val(base, a))
-			}
-			popped := v.frames[len(v.frames)-1]
-			if popped.fn.Frame > 0 {
-				v.mem.PopFrame(int64(popped.fn.Frame))
-			}
-			v.frames = v.frames[:len(v.frames)-1]
-			if len(v.frames) == 0 {
-				return // entry returned: program complete
-			}
-			caller := &v.frames[len(v.frames)-1]
-			for i, r := range popped.retRegs {
-				if i < len(v.ret) {
-					v.regs[caller.regBase+int(r)] = v.ret[i]
-					if v.taint != nil && i < len(args) {
-						v.taint.regs[caller.regBase+int(r)] = v.taintOf(base, args[i])
+				if v.taint != nil {
+					v.taint.scratch = v.taint.scratch[:0]
+					for _, a := range args {
+						v.taint.scratch = append(v.taint.scratch, v.taintOf(base, a))
 					}
 				}
-			}
-			continue
+				fr.pc = pc + 1
+				v.pushFrame(int(in.target), v.ret, in.src.Rets)
+				continue frames
 
-		case ir.Intrin:
-			v.intrin(fr, in.src)
-			if v.restored {
-				// A checkpoint rollback replaced the frame stack;
-				// refetch everything.
-				v.restored = false
-				v.qarm = false
-				continue
-			}
-			if v.qarm {
-				// The intrinsic completed at a consistent cut: fire the
-				// quiesce hook before retiring it, so a snapshot taken
-				// here resumes at the next instruction.
-				v.qarm = false
-				seq := v.qseq
-				v.qseq++
-				v.cfg.Quiesce.Quiesce(v, seq)
-			}
+			case ir.Ret:
+				args := in.src.Args
+				v.ret = v.ret[:0]
+				for _, a := range args {
+					v.ret = append(v.ret, v.val(base, a))
+				}
+				popped := v.frames[len(v.frames)-1]
+				if popped.fn.Frame > 0 {
+					v.mem.PopFrame(int64(popped.fn.Frame))
+				}
+				v.frames = v.frames[:len(v.frames)-1]
+				if len(v.frames) == 0 {
+					return // entry returned: program complete
+				}
+				caller := &v.frames[len(v.frames)-1]
+				for i, r := range popped.retRegs {
+					if i < len(v.ret) {
+						v.regs[caller.regBase+int(r)] = v.ret[i]
+						if v.taint != nil && i < len(args) {
+							v.taint.regs[caller.regBase+int(r)] = v.taintOf(base, args[i])
+						}
+					}
+				}
+				continue frames
 
-		case ir.FimInj:
-			val := v.opA(base, in)
-			site := v.sites
-			v.sites++
-			if v.taint != nil {
-				v.taint.regs[base+int(in.dst)] = v.taintOf(base, in.src.A)
-			}
-			if v.cfg.Injector != nil {
-				var flipped bool
-				val, flipped = v.cfg.Injector.OnSite(site, val)
-				if flipped {
-					v.injCycles = append(v.injCycles, v.cycles)
+			case ir.Intrin:
+				fr.pc = pc
+				v.intrin(fr, in.src)
+				if v.restored {
+					// A checkpoint rollback replaced the frame stack;
+					// refetch everything.
+					v.restored = false
+					v.qarm = false
+					continue frames
+				}
+				if v.clean && v.table.Len() != 0 {
+					// Incoming MPI data installed contamination records
+					// while the secondary chain was parked: rebuild the
+					// shadows and fall back to the full interpreter before
+					// the next instruction runs.
+					v.toFullMode()
+				}
+				if v.qarm {
+					// The intrinsic completed at a consistent cut: fire the
+					// quiesce hook before retiring it, so a snapshot taken
+					// here resumes at the next instruction.
+					v.qarm = false
+					seq := v.qseq
+					v.qseq++
+					v.cfg.Quiesce.Quiesce(v, seq)
+				}
+				if v.reframe {
+					// A mode switch inside the intrinsic (or just above)
+					// swapped the frames' code arrays; the intrinsic has
+					// retired, so resume at the next pc under the new mode.
+					v.reframe = false
+					fr.pc = pc + 1
+					continue frames
+				}
+				// Intrinsics write results through v.regs; hooks above may
+				// capture or adjust state. Neither swaps the register file,
+				// but refetch defensively — this path is not hot.
+				regs = v.regs
+
+			case ir.FimInj:
+				site := v.sites
+				if site < v.nextSite {
+					// No planned fault can fire here: pass the operand
+					// through without consulting the injector.
+					v.sites++
 					if v.taint != nil {
-						v.taint.regs[base+int(in.dst)] = true
+						v.taint.regs[base+int(in.dst)] = v.taintOf(base, in.src.A)
 					}
+					regs[base+int(in.dst)] = opA(regs, base, in)
+					break
 				}
+				if v.clean {
+					// The injector may corrupt state at this very site:
+					// leave clean mode first (reconstructing the shadow
+					// registers from their still-pristine primaries), then
+					// re-execute this fim_inj under the full interpreter.
+					// v.sites is untouched, so no site is double-counted.
+					fr.pc = pc
+					v.toFullMode()
+					v.reframe = false // this path refetches via continue
+					continue frames
+				}
+				val := opA(regs, base, in)
+				v.sites++
+				if v.taint != nil {
+					v.taint.regs[base+int(in.dst)] = v.taintOf(base, in.src.A)
+				}
+				if v.cfg.Injector != nil {
+					var flipped bool
+					val, flipped = v.cfg.Injector.OnSite(site, val)
+					if flipped {
+						v.injCycles = append(v.injCycles, v.cycles)
+						if v.taint != nil {
+							v.taint.regs[base+int(in.dst)] = true
+						}
+					}
+					v.refreshNextSite()
+				}
+				regs[base+int(in.dst)] = val
+
+			case ir.FpmFetch:
+				addr := int64(opA(regs, base, in))
+				w, ok := mem.Read(addr)
+				if !ok {
+					fr.pc = pc
+					v.trapMem(addr)
+				}
+				regs[base+int(in.dst)] = v.table.PristineOr(addr, w)
+
+			case ir.FpmStore:
+				fr.pc = pc
+				v.fpmStore(regs, base, in)
+				if v.reframe {
+					// The store emptied the table and the VM re-entered
+					// clean mode: resume at the next pc under the new code.
+					v.reframe = false
+					fr.pc = pc + 1
+					continue frames
+				}
+
+			default:
+				fr.pc = pc
+				v.trap(TrapInvalid, in.op.String())
 			}
-			v.regs[base+int(in.dst)] = val
-
-		case ir.FpmFetch:
-			addr := int64(v.opA(base, in))
-			w, ok := v.mem.Read(addr)
-			if !ok {
-				v.trapMem(addr)
-			}
-			v.regs[base+int(in.dst)] = v.table.PristineOr(addr, w)
-
-		case ir.FpmStore:
-			v.fpmStore(base, in)
-
-		default:
-			v.trap(TrapInvalid, in.op.String())
+			// Threaded fall-through: pc+1 in full code, the next retained pc
+			// in clean code (stepping over skipped instrumentation).
+			pc = int(in.next)
 		}
-		fr.pc++
 	}
 }
 
@@ -627,11 +800,11 @@ func (v *VM) trapMem(addr int64) {
 
 // fpmStore implements the paper's fpm_store runtime call, including the
 // duplicate effect of corrupted store addresses (§3.2 "Store addresses").
-func (v *VM) fpmStore(base int, in *dinstr) {
-	vP := v.opA(base, in) // primary value
-	vS := v.opB(base, in) // pristine value
-	aP := int64(v.opC(base, in))
-	aS := int64(v.opD(base, in))
+func (v *VM) fpmStore(regs []uint64, base int, in *dinstr) {
+	vP := opA(regs, base, in) // primary value
+	vS := opB(regs, base, in) // pristine value
+	aP := int64(opC(regs, base, in))
+	aS := int64(opD(regs, base, in))
 	before := v.table.Len()
 	if aP == aS {
 		if !v.mem.Write(aP, vP) {
@@ -639,6 +812,11 @@ func (v *VM) fpmStore(base int, in *dinstr) {
 		}
 		v.table.Observe(aP, vP, vS)
 		v.noteCML(before)
+		if before > 0 && v.table.Len() == 0 {
+			// The store cleansed the last contaminated location: the rank
+			// may be fault-free again.
+			v.tryCleanMode()
+		}
 		return
 	}
 	// The address register is corrupted: the location actually written

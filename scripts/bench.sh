@@ -24,8 +24,20 @@ BENCHTIME="${BENCHTIME:-1s}"
 cd "$(dirname "$0")/.."
 RAW="${OUT%.json}.txt"
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" \
-	-benchtime "$BENCHTIME" -timeout 30m ./... | tee "$RAW"
+# No pipeline here: under plain `sh -eu` (no pipefail) `go test | tee`
+# would exit with tee's status and silently swallow a failed build or
+# bench panic, emitting an empty-but-plausible JSON.
+if ! go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" \
+	-benchtime "$BENCHTIME" -timeout 30m ./... > "$RAW" 2>&1; then
+	cat "$RAW" >&2
+	echo "bench.sh: go test -bench failed" >&2
+	exit 1
+fi
+cat "$RAW"
+if ! grep -q '^Benchmark' "$RAW"; then
+	echo "bench.sh: no benchmarks matched pattern '$PATTERN'" >&2
+	exit 1
+fi
 
 # Convert the benchmark lines to JSON. A line looks like:
 #   BenchmarkExperimentThroughput-8  1200  950000 ns/op  12000 B/op  150 allocs/op  1050 runs/s
