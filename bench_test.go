@@ -52,12 +52,8 @@ func BenchmarkExperimentThroughput(b *testing.B) {
 	app := apps.NewHydro()
 	b.ReportAllocs()
 	res, err := harness.RunCampaign(harness.CampaignConfig{
-		App:         app,
-		Params:      app.TestParams(),
-		Runs:        b.N,
-		Seed:        2015,
-		SampleEvery: 64,
-		Workers:     1,
+		App:    app,
+		Params: app.TestParams(), Sampling: harness.Sampling{Runs: b.N, Seed: 2015}, Execution: harness.Execution{SampleEvery: 64, Workers: 1},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -89,13 +85,8 @@ func BenchmarkExperimentThroughputSnapshot(b *testing.B) {
 	app := apps.NewHydro()
 	b.ReportAllocs()
 	res, err := harness.RunCampaign(harness.CampaignConfig{
-		App:         app,
-		Params:      app.TestParams(),
-		Runs:        b.N,
-		Seed:        2015,
-		SampleEvery: 64,
-		Workers:     1,
-		Snapshots:   64,
+		App:    app,
+		Params: app.TestParams(), Sampling: harness.Sampling{Runs: b.N, Seed: 2015}, Execution: harness.Execution{SampleEvery: 64, Workers: 1, Snapshots: 64},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -109,11 +100,8 @@ func BenchmarkExperimentThroughputSnapshot(b *testing.B) {
 func benchCampaign(b *testing.B, app apps.App, runs int) *harness.CampaignResult {
 	b.Helper()
 	res, err := harness.RunCampaign(harness.CampaignConfig{
-		App:         app,
-		Params:      app.TestParams(),
-		Runs:        runs,
-		Seed:        2015,
-		SampleEvery: 64,
+		App:    app,
+		Params: app.TestParams(), Sampling: harness.Sampling{Runs: runs, Seed: 2015}, Execution: harness.Execution{SampleEvery: 64},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -454,15 +442,13 @@ func BenchmarkAblationMultiFault(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		single, err = harness.RunCampaign(harness.CampaignConfig{
-			App: apps.NewHydro(), Params: apps.NewHydro().TestParams(),
-			Runs: benchRuns, Seed: 5,
+			App: apps.NewHydro(), Params: apps.NewHydro().TestParams(), Sampling: harness.Sampling{Runs: benchRuns, Seed: 5},
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		multi, err = harness.RunCampaign(harness.CampaignConfig{
-			App: apps.NewHydro(), Params: apps.NewHydro().TestParams(),
-			Runs: benchRuns, Seed: 5, MultiFaultLambda: 3,
+			App: apps.NewHydro(), Params: apps.NewHydro().TestParams(), Sampling: harness.Sampling{Runs: benchRuns, Seed: 5, MultiFaultLambda: 3},
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -6,12 +6,21 @@
 // Usage:
 //
 //	campaign [-runs N] [-seed S] [-apps LULESH,miniFE] [-scale test|default]
-//	         [-multifault LAMBDA] [-workers N] [-checkpoint PATH] [-resume]
-//	         [-progress INTERVAL] [-remote ADDR] [-priority N]
-//	         [-shards N] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-multifault LAMBDA] [-target-ci W] [-strata P] [-workers N]
+//	         [-checkpoint PATH] [-resume] [-progress INTERVAL]
+//	         [-remote ADDR] [-priority N] [-shards N]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // The paper uses 5,000 runs per application on 1,024 cores; the default
-// here is sized for a laptop. Increase -runs for tighter statistics.
+// here is sized for a laptop. Increase -runs for tighter statistics — or
+// pass -target-ci to let the adaptive planner stop early: experiments are
+// stratified by instruction class × golden-execution phase, spent in
+// deterministic rounds on the strata whose outcome rates are still
+// uncertain, and the campaign stops when every stratum's rates are pinned
+// within ± the target 95% CI half-width (spending at most -runs). The
+// result additionally carries a per-stratum vulnerability table, and the
+// executed subset is byte-identical to the same experiments of a fixed
+// -runs campaign with the same seed.
 //
 // Long campaigns can be journaled with -checkpoint and, after a crash or a
 // kill, restarted with -resume: completed experiments replay from the
@@ -44,6 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,11 +70,13 @@ import (
 )
 
 func main() {
-	runs := flag.Int("runs", 200, "injection experiments per application")
+	runs := flag.Int("runs", 200, "injection experiments per application (the budget ceiling with -target-ci)")
 	seed := flag.Uint64("seed", 2015, "campaign master seed")
 	appsFlag := flag.String("apps", "", "comma-separated app names (default: all)")
 	scale := flag.String("scale", "default", "workload scale: test or default")
 	multi := flag.Float64("multifault", 0, "Poisson lambda for multi-fault mode (0: single fault)")
+	targetCI := flag.Float64("target-ci", 0, "adaptive stopping: stop each stratum once every outcome rate is within ± this 95% CI half-width, spending at most -runs experiments (0: fixed-size campaign)")
+	strata := flag.Int("strata", 0, "golden-execution phases per instruction class for stratified sampling (0: default; implies stratified reporting even without -target-ci)")
 	sample := flag.Uint64("sample", 256, "CML trace sampling interval in cycles")
 	jsonOut := flag.String("json", "", "also save results to this file (.json or .json.gz)")
 	workers := flag.Int("workers", 0, "concurrent experiments (0: GOMAXPROCS)")
@@ -77,9 +89,11 @@ func main() {
 	priority := flag.Int("priority", 0, "job priority for -remote submissions (higher runs first)")
 	shards := flag.Int("shards", 0, "split each campaign into this many mergeable shards (locally: across -workers processes; with -remote: across the daemon's peer workers)")
 	serveWorker := flag.String("serve-worker", "", "internal: serve as a local shard worker with this data directory")
+	stopAfter := flag.Int("stop-after", 0, "internal: halt the local campaign after this many completed experiments, as a deterministic stand-in for a mid-run kill (0: off)")
 	logLevel := flag.String("log-level", "", "structured coordinator logs to stderr at this level in -shards mode (debug, info, warn, error; empty: off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-campaign heap profile to this file")
+	flag.Usage = groupedUsage
 	flag.Parse()
 
 	if *serveWorker != "" {
@@ -88,6 +102,14 @@ func main() {
 	}
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *targetCI < 0 || *targetCI >= 1 {
+		fmt.Fprintln(os.Stderr, "-target-ci must be in [0, 1)")
+		os.Exit(2)
+	}
+	if *strata < 0 {
+		fmt.Fprintln(os.Stderr, "-strata must be >= 0")
 		os.Exit(2)
 	}
 
@@ -131,6 +153,7 @@ func main() {
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries, priority: *priority,
 			shards: *shards, snapshots: *snapshots, progressEvery: *progressEvery,
+			targetCI: *targetCI, strata: *strata,
 			localFlags: *workers != 0 || *checkpoint != "" || *resume,
 		})
 	case *shards > 1:
@@ -138,14 +161,16 @@ func main() {
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries,
 			shards: *shards, snapshots: *snapshots, procs: *workers, progressEvery: *progressEvery,
+			targetCI: *targetCI, strata: *strata,
 			localFlags: *checkpoint != "" || *resume, logLevel: *logLevel,
 		})
 	default:
 		results = runLocal(ctx, selected, localOpts{
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries, workers: *workers,
-			snapshots:  *snapshots,
-			checkpoint: *checkpoint, resume: *resume, progressEvery: *progressEvery,
+			snapshots: *snapshots, targetCI: *targetCI, strata: *strata,
+			checkpoint: *checkpoint, resume: *resume, stopAfter: *stopAfter,
+			progressEvery: *progressEvery,
 		})
 	}
 
@@ -188,8 +213,11 @@ type localOpts struct {
 	maxSummaries  int
 	workers       int
 	snapshots     int
+	targetCI      float64
+	strata        int
 	checkpoint    string
 	resume        bool
+	stopAfter     int
 	progressEvery time.Duration
 }
 
@@ -205,18 +233,24 @@ func runLocal(ctx context.Context, selected []apps.App, o localOpts) []*harness.
 		stopTicker := prog.Ticker(os.Stderr, o.progressEvery)
 		ckpt := checkpointPath(o.checkpoint, app.Name(), len(selected))
 		res, err := harness.RunCampaignContext(ctx, harness.CampaignConfig{
-			App:              app,
-			Params:           p,
-			Runs:             o.runs,
-			Seed:             o.seed,
-			MultiFaultLambda: o.multi,
-			SampleEvery:      o.sample,
-			Workers:          o.workers,
-			MaxSummaries:     o.maxSummaries,
-			Snapshots:        o.snapshots,
-			Checkpoint:       ckpt,
-			Resume:           o.resume,
-			Progress:         prog,
+			App:    app,
+			Params: p,
+			Sampling: harness.Sampling{
+				Runs:             o.runs,
+				Seed:             o.seed,
+				MultiFaultLambda: o.multi,
+				TargetCI:         o.targetCI,
+				Strata:           o.strata,
+			},
+			Execution: harness.Execution{
+				SampleEvery: o.sample,
+				Workers:     o.workers,
+				Snapshots:   o.snapshots,
+			},
+			Retention:   harness.Retention{MaxSummaries: o.maxSummaries},
+			Persistence: harness.Persistence{Checkpoint: ckpt, Resume: o.resume},
+			StopAfter:   o.stopAfter,
+			Progress:    prog,
 		})
 		stopTicker()
 		if errors.Is(err, harness.ErrInterrupted) {
@@ -229,13 +263,28 @@ func runLocal(ctx context.Context, selected []apps.App, o localOpts) []*harness.
 			os.Exit(130)
 		}
 		if err != nil {
+			// Typed config violations (a bad flag combination, or -resume
+			// pointing -target-ci at a journal written by a non-adaptive
+			// campaign) are usage errors, not crashes.
+			var fe *harness.FieldError
+			if errors.As(err, &fe) {
+				fmt.Fprintf(os.Stderr, "campaign %s: %v\n", app.Name(), fe)
+				os.Exit(2)
+			}
 			fmt.Fprintf(os.Stderr, "campaign %s: %v\n", app.Name(), err)
 			os.Exit(1)
 		}
 		snap := prog.Snapshot()
+		ran := o.runs
+		if o.targetCI > 0 {
+			ran = res.Tally.Total
+		}
 		fmt.Printf("# %s: %d runs in %v (golden cycles %d, %d ranks, %.1f runs/s",
-			app.Name(), o.runs, time.Since(start).Round(time.Millisecond),
+			app.Name(), ran, time.Since(start).Round(time.Millisecond),
 			res.Golden.Cycles, p.Ranks, snap.RunsPerSec)
+		if o.targetCI > 0 {
+			fmt.Printf(", adaptive: spent %d of %d budget at ±%g", ran, o.runs, o.targetCI)
+		}
 		if snap.Resumed > 0 {
 			fmt.Printf(", %d resumed", snap.Resumed)
 		}
@@ -255,8 +304,21 @@ type remoteOpts struct {
 	priority      int
 	shards        int
 	snapshots     int
+	targetCI      float64
+	strata        int
 	progressEvery time.Duration
 	localFlags    bool
+}
+
+// samplingSpec translates the adaptive flags into the /v1 sampling
+// object, or nil when neither is set (legacy daemons reject unknown
+// fields nowhere, but a nil object keeps the wire spec byte-identical to
+// pre-adaptive submissions).
+func samplingSpec(targetCI float64, strata int) *service.SamplingSpec {
+	if targetCI == 0 && strata == 0 {
+		return nil
+	}
+	return &service.SamplingSpec{TargetCI: targetCI, Strata: strata}
 }
 
 // runRemote submits one job per app to a faultpropd daemon, follows each
@@ -287,6 +349,7 @@ func runRemote(ctx context.Context, addr string, selected []apps.App, o remoteOp
 			Priority:         o.priority,
 			Shards:           o.shards,
 			Label:            "cmd/campaign",
+			Sampling:         samplingSpec(o.targetCI, o.strata),
 		}
 		var lastSnap *harness.Snapshot
 		res, err := c.Run(ctx, spec, func(ev service.Event) error {
@@ -343,6 +406,11 @@ func render(results []*harness.CampaignResult) {
 	fmt.Println(harness.FormatCOBreakdown(results))
 	fmt.Println(harness.FormatStructVulnerability(results))
 	for _, r := range results {
+		if s := harness.FormatStrata(r); s != "" {
+			fmt.Println(s)
+		}
+	}
+	for _, r := range results {
 		rep := recovery.Evaluate(recovery.Config{
 			Model:              r.Model,
 			ThresholdCML:       20,
@@ -353,6 +421,64 @@ func render(results []*harness.CampaignResult) {
 	}
 	fmt.Printf("FPS ordering (fastest propagation first): %s\n",
 		strings.Join(harness.SortedFPS(results), " > "))
+}
+
+// flagSections groups the command's flags by the CampaignConfig section
+// they fill, so -h reads like the configuration it builds.
+var flagSections = []struct {
+	title string
+	names []string
+}{
+	{"Workload", []string{"apps", "scale"}},
+	{"Sampling (statistical design)", []string{"runs", "seed", "multifault", "target-ci", "strata"}},
+	{"Execution (scheduling)", []string{"workers", "snapshots", "sample"}},
+	{"Retention", []string{"max-summaries"}},
+	{"Persistence (checkpoint journal)", []string{"checkpoint", "resume"}},
+	{"Remote and sharding", []string{"remote", "priority", "shards", "log-level"}},
+	{"Output and profiling", []string{"json", "progress", "cpuprofile", "memprofile"}},
+}
+
+// groupedUsage prints -h grouped by config section instead of the flat
+// alphabetical default.
+func groupedUsage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprint(w, "Usage: campaign [flags]\n\nRuns the paper's fault-injection study. Flags are grouped by the\nconfiguration section they fill:\n")
+	seen := map[string]bool{"serve-worker": true, "stop-after": true} // internal, not advertised
+	for _, sec := range flagSections {
+		fmt.Fprintf(w, "\n%s:\n", sec.title)
+		for _, name := range sec.names {
+			if f := flag.Lookup(name); f != nil {
+				seen[name] = true
+				printFlag(w, f)
+			}
+		}
+	}
+	var rest []*flag.Flag
+	flag.VisitAll(func(f *flag.Flag) {
+		if !seen[f.Name] {
+			rest = append(rest, f)
+		}
+	})
+	if len(rest) > 0 {
+		fmt.Fprint(w, "\nOther:\n")
+		for _, f := range rest {
+			printFlag(w, f)
+		}
+	}
+}
+
+func printFlag(w io.Writer, f *flag.Flag) {
+	typ, usage := flag.UnquoteUsage(f)
+	if typ != "" {
+		fmt.Fprintf(w, "  -%s %s\n", f.Name, typ)
+	} else {
+		fmt.Fprintf(w, "  -%s\n", f.Name)
+	}
+	fmt.Fprintf(w, "    \t%s", usage)
+	if f.DefValue != "" && f.DefValue != "0" && f.DefValue != "false" {
+		fmt.Fprintf(w, " (default %v)", f.DefValue)
+	}
+	fmt.Fprintln(w)
 }
 
 // checkpointPath derives the journal path for one app. With several apps in

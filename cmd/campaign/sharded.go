@@ -38,6 +38,8 @@ type shardedOpts struct {
 	shards        int
 	snapshots     int
 	procs         int
+	targetCI      float64
+	strata        int
 	progressEvery time.Duration
 	localFlags    bool
 	// logLevel enables the in-process coordinator's structured logs on
@@ -124,6 +126,7 @@ func runSharded(ctx context.Context, selected []apps.App, o shardedOpts) []*harn
 			Snapshots:        o.snapshots,
 			Shards:           o.shards,
 			Label:            "cmd/campaign -shards",
+			Sampling:         samplingSpec(o.targetCI, o.strata),
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sharded campaign %s: %v\n", app.Name(), err)
@@ -148,9 +151,17 @@ func runSharded(ctx context.Context, selected []apps.App, o shardedOpts) []*harn
 			fmt.Fprintf(os.Stderr, "sharded campaign %s: %v\n", app.Name(), err)
 			os.Exit(1)
 		}
-		fmt.Printf("# %s: %d runs in %v across %d shards on %d workers (golden cycles %d, %d ranks)\n",
-			app.Name(), o.runs, time.Since(start).Round(time.Millisecond),
+		ran := o.runs
+		if o.targetCI > 0 {
+			ran = res.Tally.Total
+		}
+		fmt.Printf("# %s: %d runs in %v across %d shards on %d workers (golden cycles %d, %d ranks",
+			app.Name(), ran, time.Since(start).Round(time.Millisecond),
 			o.shards, o.procs, res.Golden.Cycles, res.Params.Ranks)
+		if o.targetCI > 0 {
+			fmt.Printf(", adaptive: spent %d of %d budget at ±%g", ran, o.runs, o.targetCI)
+		}
+		fmt.Println(")")
 		results = append(results, res)
 	}
 	return results

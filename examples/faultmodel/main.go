@@ -25,10 +25,9 @@ func main() {
 
 	app := apps.NewFE()
 	res, err := harness.RunCampaign(harness.CampaignConfig{
-		App:    app,
-		Params: app.TestParams(),
-		Runs:   *runs,
-		Seed:   2015,
+		App:      app,
+		Params:   app.TestParams(),
+		Sampling: harness.Sampling{Runs: *runs, Seed: 2015},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -73,6 +73,19 @@ type (
 	AppModel = model.AppModel
 	// CampaignConfig parameterizes a statistical injection campaign.
 	CampaignConfig = harness.CampaignConfig
+	// Sampling is the statistical section of a CampaignConfig: budget,
+	// seed, fault model, and the adaptive stopping policy (TargetCI).
+	Sampling = harness.Sampling
+	// Execution groups a CampaignConfig's scheduling knobs (workers,
+	// snapshots, hang budget, trace sampling).
+	Execution = harness.Execution
+	// Retention bounds what a campaign's aggregate keeps.
+	Retention = harness.Retention
+	// Persistence groups a CampaignConfig's checkpoint-journal settings.
+	Persistence = harness.Persistence
+	// StratumReport is one row of a stratified campaign's per-stratum
+	// vulnerability table (CampaignResult.Strata).
+	StratumReport = harness.StratumReport
 	// CampaignResult aggregates a campaign.
 	CampaignResult = harness.CampaignResult
 	// ShardSpec is one fingerprint-guarded slice [From,To) of a campaign's

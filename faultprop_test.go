@@ -75,9 +75,7 @@ func TestFacadeCampaign(t *testing.T) {
 	app := faultprop.AppByName("LULESH")
 	res, err := faultprop.RunCampaign(faultprop.CampaignConfig{
 		App:    app,
-		Params: app.TestParams(),
-		Runs:   10,
-		Seed:   1,
+		Params: app.TestParams(), Sampling: faultprop.Sampling{Runs: 10, Seed: 1},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -217,9 +217,10 @@ func (o *RunOutcome) RestoreFrac() float64 {
 // a snapshot to resume from, per-rank quiesce hooks (golden profiling and
 // capture), and a job observer for wiring capture coordination.
 type extras struct {
-	snap  *CampaignSnapshot
-	hooks []vm.QuiesceHook
-	onJob func(*mpi.Job)
+	snap      *CampaignSnapshot
+	hooks     []vm.QuiesceHook
+	onJob     func(*mpi.Job)
+	observers []vm.SiteObserver
 }
 
 // Run executes prog on cfg.Ranks ranks and collects per-rank observations.
@@ -317,18 +318,23 @@ func runWith(prog *ir.Program, cfg RunConfig, ex extras) RunOutcome {
 		if r < len(ex.hooks) {
 			quiesce = ex.hooks[r]
 		}
+		var observer vm.SiteObserver
+		if r < len(ex.observers) {
+			observer = ex.observers[r]
+		}
 		v := vm.New(prog, vm.Config{
-			MemWords:    cfg.MemWords,
-			CycleLimit:  cfg.CycleLimit,
-			Injector:    injr,
-			MPI:         job.Endpoint(r),
-			Tracer:      rec,
-			Abort:       job.Flag(),
-			TrackTaint:  cfg.TrackTaint,
-			MemFaults:   cfg.MemFaults[r],
-			State:       st,
-			Quiesce:     quiesce,
-			ForkRestore: ex.snap != nil,
+			MemWords:     cfg.MemWords,
+			CycleLimit:   cfg.CycleLimit,
+			Injector:     injr,
+			MPI:          job.Endpoint(r),
+			Tracer:       rec,
+			Abort:        job.Flag(),
+			TrackTaint:   cfg.TrackTaint,
+			MemFaults:    cfg.MemFaults[r],
+			State:        st,
+			Quiesce:      quiesce,
+			SiteObserver: observer,
+			ForkRestore:  ex.snap != nil,
 		})
 		if ex.snap != nil {
 			// Fork rank r from the cut: VM state and the trace history its

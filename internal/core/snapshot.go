@@ -108,6 +108,34 @@ func RunGoldenProfile(prog *ir.Program, cfg RunConfig) (RunOutcome, []SiteCut) {
 	return out, cuts
 }
 
+// RunGoldenSiteClasses is Run for a fault-free golden execution that also
+// records, per rank, the injection class of every dynamic site (one
+// ir.Class byte per site, indexed by site number). It is the profiling
+// pass behind stratified campaigns: the class arrays map any planned
+// (rank, site) fault to its instruction-class stratum. Observation forces
+// the full interpreter, so this run is slower than a plain golden run;
+// the classes are nil when the golden run fails.
+func RunGoldenSiteClasses(prog *ir.Program, cfg RunConfig) (RunOutcome, [][]byte) {
+	ranks := cfg.Ranks
+	if ranks <= 0 {
+		ranks = 1
+	}
+	classes := make([][]byte, ranks)
+	observers := make([]vm.SiteObserver, ranks)
+	for r := range observers {
+		r := r
+		observers[r] = func(site uint64, class ir.Class) {
+			// Sites arrive in order; append lands class at index site.
+			classes[r] = append(classes[r], byte(class))
+		}
+	}
+	out := runWith(prog, cfg, extras{observers: observers})
+	if out.Err != nil {
+		return out, nil
+	}
+	return out, classes
+}
+
 // capturer coordinates park-and-capture across the ranks of one golden
 // capture run.
 type capturer struct {

@@ -28,23 +28,34 @@ type aggregator struct {
 	fits         []idFit
 	spread       SpreadSeries
 	hasSpread    bool
+
+	// strata accumulates per-stratum outcome tallies; nil unless the
+	// campaign is stratified. phases labels the indices.
+	strata map[int]classify.Tally
+	phases int
 }
 
 // idFit carries a run fit with its experiment ID so the model is built
 // from fits in ID order regardless of completion order (floating-point
 // accumulation is order-sensitive).
 type idFit struct {
-	id  int
-	fit model.RunFit
+	id      int
+	fit     model.RunFit
+	stratum int
 }
 
 func newAggregator(cfg CampaignConfig) *aggregator {
-	return &aggregator{
+	a := &aggregator{
 		keepProfiles: cfg.KeepProfiles,
 		maxSummaries: cfg.MaxSummaries,
 		structTotals: make(map[string]int),
 		profiles:     make(map[classify.Outcome][]Profile),
 	}
+	if cfg.stratified() {
+		a.strata = make(map[int]classify.Tally)
+		a.phases = cfg.Sampling.phases()
+	}
+	return a
 }
 
 // add folds one completed experiment in. Not safe for concurrent use; the
@@ -55,8 +66,13 @@ func (a *aggregator) add(o expOut) {
 		a.structTotals[k] += v
 	}
 	a.addSummary(o.sum)
+	if a.strata != nil {
+		t := a.strata[o.sum.Stratum]
+		t.Add(o.sum.Outcome)
+		a.strata[o.sum.Stratum] = t
+	}
 	if o.sum.HasFit {
-		a.fits = append(a.fits, idFit{id: o.sum.ID, fit: o.sum.Fit})
+		a.fits = append(a.fits, idFit{id: o.sum.ID, fit: o.sum.Fit, stratum: o.sum.Stratum})
 	}
 	if len(o.points) >= 3 {
 		a.addProfile(Profile{ID: o.sum.ID, Outcome: o.sum.Outcome, Points: o.points})
@@ -133,7 +149,24 @@ func (a *aggregator) intoPartial(p *PartialResult) {
 	sort.Slice(a.fits, func(i, j int) bool { return a.fits[i].id < a.fits[j].id })
 	fits := make([]IDFit, len(a.fits))
 	for i := range a.fits {
-		fits[i] = IDFit{ID: a.fits[i].id, Fit: a.fits[i].fit}
+		fits[i] = IDFit{ID: a.fits[i].id, Fit: a.fits[i].fit, Stratum: a.fits[i].stratum}
 	}
 	p.Fits = fits
+
+	if a.strata != nil {
+		idxs := make([]int, 0, len(a.strata))
+		for s := range a.strata {
+			idxs = append(idxs, s)
+		}
+		sort.Ints(idxs)
+		tallies := make([]StratumTally, 0, len(idxs))
+		for _, s := range idxs {
+			tallies = append(tallies, StratumTally{
+				Stratum: s,
+				Label:   StratumLabel(s, a.phases),
+				Tally:   a.strata[s],
+			})
+		}
+		p.Strata = tallies
+	}
 }

@@ -20,26 +20,78 @@ import (
 	"repro/internal/xrand"
 )
 
-// CampaignConfig parameterizes a statistical fault-injection campaign over
-// one application (paper §4: 5,000 runs, one fault per run into a randomly
-// selected MPI process; reduced counts for tests and benchmarks).
-type CampaignConfig struct {
-	App    apps.App
-	Params apps.Params
-	// Runs is the number of injection experiments.
+// Sampling is the statistical half of a campaign configuration: what to
+// inject, how much, and — when adaptive — when the estimates are good
+// enough to stop. Every field is result-determining and fingerprinted.
+type Sampling struct {
+	// Runs is the number of injection experiments (adaptive campaigns
+	// treat it as the experiment budget and ID space; see TargetCI).
 	Runs int
 	// Seed drives all campaign randomness deterministically. Experiment i
 	// draws from the position-addressable stream xrand.At(Seed, i), so
 	// results do not depend on worker count, completion order, or whether
 	// the campaign was resumed from a checkpoint.
 	Seed uint64
+	// TargetCI, when positive, switches the campaign to adaptive
+	// sequential sampling: injection sites are partitioned into strata
+	// (instruction class × golden-execution phase), experiments are spent
+	// in deterministic rounds steered toward the strata with the widest
+	// outcome-rate confidence intervals, and a stratum stops once every
+	// outcome rate is known within ±TargetCI (95% Wilson half-width).
+	// Runs remains the hard budget and ID space; the planner executes a
+	// deterministic subset of it.
+	TargetCI float64
+	// Strata is the number of golden-execution phases per instruction
+	// class in the stratification (0: 4 when TargetCI is set, otherwise
+	// stratification is off). Setting Strata without TargetCI annotates
+	// every experiment and the final report with per-stratum statistics
+	// while still executing the full fixed-Runs campaign.
+	Strata int
 	// MultiFaultLambda, when positive, switches to the LLFI++ multi-fault
 	// mode: each rank receives Poisson(lambda) faults per run.
 	MultiFaultLambda float64
-	// HangFactor multiplies the golden cycle count into the hang budget.
-	HangFactor float64
-	// SampleEvery subsamples CML traces (cycles between samples).
-	SampleEvery uint64
+}
+
+// Validate checks the sampling policy in isolation.
+func (s Sampling) Validate() error {
+	switch {
+	case s.Runs <= 0:
+		return &FieldError{Field: "Runs", Reason: "must be > 0"}
+	case s.TargetCI < 0:
+		return &FieldError{Field: "TargetCI", Reason: "must be >= 0"}
+	case s.TargetCI >= 1:
+		return &FieldError{Field: "TargetCI", Reason: "is a rate half-width, must be < 1"}
+	case s.Strata < 0:
+		return &FieldError{Field: "Strata", Reason: "must be >= 0"}
+	case s.MultiFaultLambda < 0:
+		return &FieldError{Field: "MultiFaultLambda", Reason: "must be >= 0"}
+	}
+	return nil
+}
+
+// Adaptive reports whether the policy uses sequential stopping.
+func (s Sampling) Adaptive() bool { return s.TargetCI > 0 }
+
+// stratified reports whether experiments are assigned to strata at all
+// (adaptive campaigns always are; fixed-N campaigns opt in via Strata).
+func (s Sampling) stratified() bool { return s.TargetCI > 0 || s.Strata > 0 }
+
+// phases resolves the Strata zero-value default.
+func (s Sampling) phases() int {
+	if s.Strata > 0 {
+		return s.Strata
+	}
+	if s.TargetCI > 0 {
+		return defaultStrataPhases
+	}
+	return 0
+}
+
+// Execution groups the knobs that shape how experiments run, not what they
+// compute: parallelism, the snapshot-fork fast path, the hang budget and
+// trace sampling. HangFactor and SampleEvery are result-determining (they
+// are fingerprinted); Workers and Snapshots only schedule.
+type Execution struct {
 	// Workers bounds experiment-level parallelism (0: GOMAXPROCS).
 	Workers int
 	// Snapshots, when positive, enables the snapshot-fork fast path: up to
@@ -51,6 +103,30 @@ type CampaignConfig struct {
 	// byte-identical either way — so it is excluded from the checkpoint
 	// fingerprint, and shards of one campaign may mix modes freely.
 	Snapshots int
+	// HangFactor multiplies the golden cycle count into the hang budget.
+	HangFactor float64
+	// SampleEvery subsamples CML traces (cycles between samples).
+	SampleEvery uint64
+}
+
+// Validate checks the execution settings in isolation.
+func (e Execution) Validate() error {
+	switch {
+	case e.HangFactor < 0:
+		return &FieldError{Field: "HangFactor", Reason: "must be >= 0"}
+	case e.Workers < 0:
+		return &FieldError{Field: "Workers", Reason: "must be >= 0"}
+	case e.Snapshots < 0:
+		return &FieldError{Field: "Snapshots", Reason: "must be >= 0"}
+	}
+	return nil
+}
+
+// Retention bounds what the aggregator keeps per campaign. Both caps shape
+// the retained result, never the per-experiment outcomes, so they are
+// excluded from the fingerprint (but partials with different retention do
+// not merge).
+type Retention struct {
 	// KeepProfiles bounds how many representative CML profiles are kept
 	// per outcome class (0: 2, as plotted in the paper's Fig. 7).
 	KeepProfiles int
@@ -59,13 +135,56 @@ type CampaignConfig struct {
 	// lowest-ID summaries while the tally, structure totals, and model
 	// still cover every run.
 	MaxSummaries int
-	// Checkpoint, when set, journals every completed experiment to this
-	// JSONL path so a killed campaign can be resumed.
+}
+
+// Validate checks the retention caps in isolation.
+func (r Retention) Validate() error {
+	switch {
+	case r.KeepProfiles < 0:
+		return &FieldError{Field: "KeepProfiles", Reason: "must be >= 0"}
+	case r.MaxSummaries < 0:
+		return &FieldError{Field: "MaxSummaries", Reason: "must be >= 0"}
+	}
+	return nil
+}
+
+// Persistence groups the checkpoint-journal settings.
+type Persistence struct {
+	// Checkpoint, when set, journals every completed experiment (and, for
+	// adaptive campaigns, every planner decision) to this JSONL path so a
+	// killed campaign can be resumed.
 	Checkpoint string
 	// Resume replays the Checkpoint journal, skipping already-completed
 	// experiments. The journal must have been written by a campaign with
 	// the same result-determining configuration.
 	Resume bool
+}
+
+// Validate checks the persistence settings in isolation.
+func (p Persistence) Validate() error {
+	if p.Resume && p.Checkpoint == "" {
+		return &FieldError{Field: "Resume", Reason: "requires a Checkpoint path"}
+	}
+	return nil
+}
+
+// CampaignConfig parameterizes a statistical fault-injection campaign over
+// one application (paper §4: 5,000 runs, one fault per run into a randomly
+// selected MPI process; reduced counts for tests and benchmarks). The
+// knobs are grouped into typed sections — Sampling (what to inject and
+// when to stop), Execution (how experiments run), Retention (what the
+// aggregate keeps) and Persistence (checkpoint journaling) — embedded
+// here, so existing field reads (cfg.Runs, cfg.Workers, …) keep working
+// through Go field promotion while constructors name the sections.
+type CampaignConfig struct {
+	App    apps.App
+	Params apps.Params
+
+	Sampling
+	Execution
+	Retention
+	Persistence
+
 	// Progress, when non-nil, receives live metrics (see Progress).
 	Progress *Progress
 	// StopAfter, when positive, interrupts the campaign after roughly that
@@ -135,39 +254,40 @@ func (e *FieldError) Error() string {
 
 // Validate checks the configuration without running anything. It is called
 // by RunCampaign and RunShardContext, so callers only need it to fail fast
-// (e.g. at submission time) before spending a golden run.
+// (e.g. at submission time) before spending a golden run. Section-level
+// checks are delegated to each sub-struct's Validate.
 func (cfg CampaignConfig) Validate() error {
-	switch {
-	case cfg.App == nil:
+	if cfg.App == nil {
 		return &FieldError{Field: "App", Reason: "must be set"}
-	case cfg.Runs <= 0:
-		return &FieldError{Field: "Runs", Reason: "must be > 0"}
-	case cfg.MultiFaultLambda < 0:
-		return &FieldError{Field: "MultiFaultLambda", Reason: "must be >= 0"}
-	case cfg.HangFactor < 0:
-		return &FieldError{Field: "HangFactor", Reason: "must be >= 0"}
-	case cfg.Workers < 0:
-		return &FieldError{Field: "Workers", Reason: "must be >= 0"}
-	case cfg.Snapshots < 0:
-		return &FieldError{Field: "Snapshots", Reason: "must be >= 0"}
-	case cfg.KeepProfiles < 0:
-		return &FieldError{Field: "KeepProfiles", Reason: "must be >= 0"}
-	case cfg.MaxSummaries < 0:
-		return &FieldError{Field: "MaxSummaries", Reason: "must be >= 0"}
-	case cfg.StopAfter < 0:
+	}
+	if err := cfg.Sampling.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Execution.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Retention.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Persistence.Validate(); err != nil {
+		return err
+	}
+	if cfg.StopAfter < 0 {
 		return &FieldError{Field: "StopAfter", Reason: "must be >= 0"}
-	case cfg.Resume && cfg.Checkpoint == "":
-		return &FieldError{Field: "Resume", Reason: "requires a Checkpoint path"}
 	}
 	return nil
 }
 
 // withDefaults resolves the zero-value conventions into concrete settings.
-// Defaults that are result-determining (HangFactor) must be applied before
-// fingerprinting, which is why Fingerprint normalizes the same way.
+// Defaults that are result-determining (HangFactor, the adaptive phase
+// count) must be applied before fingerprinting, which is why Fingerprint
+// normalizes the same way.
 func (cfg CampaignConfig) withDefaults() CampaignConfig {
 	if cfg.HangFactor == 0 {
 		cfg.HangFactor = 4
+	}
+	if cfg.Strata == 0 {
+		cfg.Strata = cfg.Sampling.phases()
 	}
 	if cfg.KeepProfiles == 0 {
 		cfg.KeepProfiles = 2
@@ -209,6 +329,11 @@ type ExperimentSummary struct {
 	// Fit is the per-run propagation model, when one could be fitted.
 	Fit    model.RunFit
 	HasFit bool
+	// Stratum is the experiment's sampling stratum when the campaign is
+	// stratified — the class × phase cell of the plan's first fault (see
+	// Strata) — and 0 otherwise, omitted from JSON so unstratified journals
+	// and partials keep their historical bytes.
+	Stratum int `json:",omitempty"`
 	// Diag carries the recovered panic diagnostic when the experiment
 	// infrastructure itself failed; such runs classify as Crashed.
 	Diag string `json:",omitempty"`
@@ -245,6 +370,10 @@ type CampaignResult struct {
 	// StructTotals sums end-of-run contamination per data structure over
 	// all experiments (the DVF-style breakdown).
 	StructTotals map[string]int
+	// Strata is the per-stratum vulnerability table when the campaign was
+	// stratified (nil otherwise). For adaptive campaigns Tally.Total — the
+	// experiments actually spent — may be well below Runs, the budget.
+	Strata []StratumReport
 }
 
 // coreRun and coreRunResumed indirect the core entry points so tests can
@@ -369,29 +498,71 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 	criteria := classify.DefaultCriteria()
 	cycleLimit := uint64(float64(golden.Cycles) * cfg.HangFactor)
 
-	// completed is indexed by offset into the shard's ID range.
-	agg := newAggregator(cfg)
-	completed := make([]bool, spec.Size())
-	resumed := 0
-	var journal *journalWriter
+	// Stratified campaigns profile the golden execution once more with a
+	// site observer, mapping every (rank, site) to its instruction class.
+	var strata *Strata
+	if cfg.stratified() {
+		s, err := buildStrata(inst, cfg)
+		if err != nil {
+			return nil, err
+		}
+		strata = s
+	}
+	// The planner engages only for whole-range adaptive shards. An
+	// explicit-ID shard is already one planner's decision: its worker
+	// executes the round verbatim and stays policy-free.
+	adaptive := cfg.Adaptive() && len(spec.IDs) == 0
+
+	e := &campaignEngine{
+		ctx:        ctx,
+		cfg:        cfg,
+		inst:       inst,
+		part:       part,
+		criteria:   criteria,
+		cycleLimit: cycleLimit,
+		strata:     strata,
+		agg:        newAggregator(cfg),
+		completed:  make(map[int]bool, spec.Size()),
+		reuse:      make([]*core.Reuse, cfg.Workers),
+	}
+	if adaptive {
+		e.outcomes = make(map[int]classify.Outcome, spec.Size())
+	}
+
+	ids := spec.ids()
 	if cfg.Checkpoint != "" {
 		// The journal fingerprint binds the file to this shard's range as
 		// well as the campaign config (full-range runs keep the legacy
 		// campaign-only hash, so existing journals stay resumable).
 		fp := journalFingerprint(part.Fingerprint, spec)
 		if cfg.Resume {
+			if adaptive {
+				// An adaptive resume from a fixed-N journal is the one
+				// mismatch a config-level Validate cannot catch; diagnose it
+				// as the field error it is instead of a bare hash mismatch.
+				if err := checkAdaptiveResume(cfg, spec, fp); err != nil {
+					return nil, err
+				}
+			}
 			recs, _, err := readJournal(cfg.Checkpoint, fp)
 			if err != nil {
 				return nil, err
 			}
+			inShard := make(map[int]bool, len(ids))
+			for _, id := range ids {
+				inShard[id] = true
+			}
 			for _, rec := range recs {
 				id := rec.Sum.ID
-				if id < spec.From || id >= spec.To || completed[id-spec.From] {
+				if !inShard[id] || e.completed[id] {
 					continue
 				}
-				completed[id-spec.From] = true
-				resumed++
-				agg.add(rec.toExpOut())
+				e.completed[id] = true
+				e.resumed++
+				e.agg.add(rec.toExpOut())
+				if e.outcomes != nil {
+					e.outcomes[id] = rec.Sum.Outcome
+				}
 				if cfg.OnExperiment != nil {
 					cfg.OnExperiment(rec.Sum, true)
 				}
@@ -401,32 +572,124 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 		if err != nil {
 			return nil, err
 		}
-		journal = jw
-		defer journal.Close()
+		e.journal = jw
+		defer e.journal.Close()
 	}
 
 	var pending []int
-	for off := range completed {
-		if !completed[off] {
-			pending = append(pending, spec.From+off)
+	for _, id := range ids {
+		if !e.completed[id] {
+			pending = append(pending, id)
 		}
 	}
 
 	// Snapshot-fork schedule: profile the golden execution's quiesce
 	// points, capture snapshots where this shard's plans can use them.
 	// Failure to build one (or Snapshots: 0) just means every experiment
-	// re-executes from step 0 — results are identical either way.
-	var sched *snapSchedule
+	// re-executes from step 0 — results are identical either way. Adaptive
+	// shards schedule over the whole pending budget: a superset of what the
+	// planner will spend, which can only make the captured cuts less
+	// tailored, never change a result.
 	if pack != nil && len(pending) > 0 {
-		sched = pack.schedule(cfg, part.GoldenSites, pending)
+		e.sched = pack.schedule(cfg, part.GoldenSites, pending)
 	}
 
 	cfg.Progress.begin(spec.Size(), cfg.Workers)
-	cfg.Progress.noteResumed(resumed)
+	cfg.Progress.noteResumed(e.resumed)
 
-	// Streaming execution: workers pull experiment IDs, run them, and feed
-	// completions to the single aggregation loop below. Memory stays
-	// O(workers + retained results) instead of O(runs).
+	if adaptive {
+		if err := e.runAdaptive(ids); err != nil {
+			return nil, err
+		}
+		if !part.AdaptiveDone {
+			spent := e.resumed + e.executed
+			if cause := context.Cause(ctx); cause != nil {
+				return nil, fmt.Errorf("%w after %d of budget %d: %v",
+					ErrInterrupted, spent, spec.Size(), cause)
+			}
+			return nil, fmt.Errorf("%w after %d of budget %d",
+				ErrInterrupted, spent, spec.Size())
+		}
+	} else {
+		if err := e.runIDs(pending); err != nil {
+			return nil, err
+		}
+		if e.resumed+e.executed < spec.Size() {
+			if cause := context.Cause(ctx); cause != nil {
+				return nil, fmt.Errorf("%w after %d of %d experiments: %v",
+					ErrInterrupted, e.resumed+e.executed, spec.Size(), cause)
+			}
+			return nil, fmt.Errorf("%w after %d of %d experiments",
+				ErrInterrupted, e.resumed+e.executed, spec.Size())
+		}
+	}
+	e.agg.intoPartial(part)
+	part.Timings = cfg.Timings
+	part.Ranges = completedRanges(ids, e.completed)
+	return part, nil
+}
+
+// completedRanges coalesces the completed subset of ids (ascending) into
+// normalized ID ranges.
+func completedRanges(ids []int, completed map[int]bool) []IDRange {
+	var out []IDRange
+	for _, id := range ids {
+		if !completed[id] {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].To == id {
+			out[n-1].To = id + 1
+			continue
+		}
+		out = append(out, IDRange{From: id, To: id + 1})
+	}
+	return out
+}
+
+// campaignEngine is the execution core shared by fixed-N and adaptive
+// campaigns: a worker pool that runs an arbitrary set of experiment IDs
+// through one streaming aggregator, journaling every completion. Fixed-N
+// shards call runIDs once over their pending range; the adaptive planner
+// calls it once per round, reusing the same workers' run infrastructure.
+type campaignEngine struct {
+	ctx        context.Context
+	cfg        CampaignConfig
+	inst       *ir.Program
+	part       *PartialResult
+	criteria   classify.Criteria
+	cycleLimit uint64
+	sched      *snapSchedule
+	strata     *Strata
+	agg        *aggregator
+	journal    *journalWriter
+
+	// completed marks every finished experiment (replayed or executed);
+	// outcomes mirrors their classifications for the adaptive planner (nil
+	// for fixed-N shards, which never read outcomes back).
+	completed map[int]bool
+	outcomes  map[int]classify.Outcome
+
+	// reuse holds one recyclable run-infrastructure bundle per worker slot,
+	// allocated lazily and persisted across adaptive rounds.
+	reuse []*core.Reuse
+
+	resumed  int
+	executed int
+	// halted records that work intake stopped early (cancellation or
+	// StopAfter); subsequent runIDs calls are no-ops.
+	halted bool
+}
+
+// runIDs executes the given experiment IDs on the engine's worker pool and
+// folds every completion into the aggregate (and journal). It returns an
+// error only for journal failures; cancellation and StopAfter set
+// e.halted, and in-flight experiments drain into the aggregate either way
+// so they are journaled before the engine unwinds.
+func (e *campaignEngine) runIDs(ids []int) error {
+	if e.halted || len(ids) == 0 {
+		return nil
+	}
+	cfg := e.cfg
 	work := make(chan int)
 	outs := make(chan expOut, cfg.Workers)
 	stop := make(chan struct{})
@@ -439,7 +702,7 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 	defer close(watchDone)
 	go func() {
 		select {
-		case <-ctx.Done():
+		case <-e.ctx.Done():
 			halt()
 		case <-watchDone:
 		}
@@ -448,13 +711,17 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// Per-worker reuse bundle: the address spaces, contamination
-			// tables and MPI job fabric are allocated once here and
-			// recycled through every experiment this worker runs.
+			// tables and MPI job fabric are allocated once per worker slot
+			// and recycled through every experiment — and, for adaptive
+			// campaigns, across planner rounds.
+			if e.reuse[w] == nil {
+				e.reuse[w] = core.NewReuse(cfg.Params.Ranks)
+			}
 			wcfg := cfg
-			wcfg.reuse = core.NewReuse(cfg.Params.Ranks)
+			wcfg.reuse = e.reuse[w]
 			// Phase tracing costs ~two time.Now calls per experiment when
 			// enabled and a nil check when not.
 			traced := cfg.Timings != nil || cfg.OnPhase != nil
@@ -468,11 +735,14 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 				if traced {
 					tr = &PhaseTrace{ID: id}
 				}
-				plan := planFor(cfg, id, part.GoldenSites)
+				plan := planFor(cfg, id, e.part.GoldenSites)
 				if tr != nil {
 					tr.Inject = time.Since(t0)
 				}
-				o := runExperiment(id, inst, plan, wcfg, criteria, part.Golden, cycleLimit, sched, tr)
+				o := runExperiment(id, e.inst, plan, wcfg, e.criteria, e.part.Golden, e.cycleLimit, e.sched, tr)
+				if e.strata != nil {
+					o.sum.Stratum = e.strata.StratumOf(plan)
+				}
 				elapsed := time.Since(t0)
 				cfg.Progress.noteDone(o.sum.Outcome, elapsed)
 				if tr != nil {
@@ -488,11 +758,11 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 				}
 				outs <- o
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		defer close(work)
-		for _, id := range pending {
+		for _, id := range ids {
 			select {
 			case work <- id:
 			case <-stop:
@@ -506,41 +776,35 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 	}()
 
 	var journalErr error
-	executed := 0
 	for o := range outs {
-		if journal != nil && journalErr == nil {
-			if err := journal.append(o); err != nil {
+		if e.journal != nil && journalErr == nil {
+			if err := e.journal.append(o); err != nil {
 				journalErr = fmt.Errorf("harness: checkpoint append: %w", err)
+				e.halted = true
 				halt()
 			}
 		}
-		agg.add(o)
-		executed++
+		e.agg.add(o)
+		e.completed[o.sum.ID] = true
+		if e.outcomes != nil {
+			e.outcomes[o.sum.ID] = o.sum.Outcome
+		}
+		e.executed++
 		if cfg.OnExperiment != nil {
 			cfg.OnExperiment(o.sum, false)
 		}
-		if cfg.StopAfter > 0 && executed >= cfg.StopAfter {
+		if cfg.StopAfter > 0 && e.executed >= cfg.StopAfter {
+			e.halted = true
 			halt()
 		}
 	}
 	halt()
-	if journalErr != nil {
-		return nil, journalErr
+	// Cancellation is observed here, on the engine's own goroutine, rather
+	// than in the watcher above (which would race with the loop's writes).
+	if e.ctx.Err() != nil {
+		e.halted = true
 	}
-	if resumed+executed < spec.Size() {
-		if cause := context.Cause(ctx); cause != nil {
-			return nil, fmt.Errorf("%w after %d of %d experiments: %v",
-				ErrInterrupted, resumed+executed, spec.Size(), cause)
-		}
-		return nil, fmt.Errorf("%w after %d of %d experiments",
-			ErrInterrupted, resumed+executed, spec.Size())
-	}
-	agg.intoPartial(part)
-	part.Timings = cfg.Timings
-	if spec.Size() > 0 {
-		part.Ranges = []IDRange{{From: spec.From, To: spec.To}}
-	}
-	return part, nil
+	return journalErr
 }
 
 // planFor draws experiment id's fault plan from its position-addressable

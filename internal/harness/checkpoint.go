@@ -46,6 +46,19 @@ func (r journalRecord) toExpOut() expOut {
 	return expOut{sum: r.Sum, points: r.Points, spread: r.Spread, structCML: r.StructCML}
 }
 
+// planRecord journals one adaptive planner decision: the round number, the
+// per-stratum allocation, and the IDs actually dispatched (allocated minus
+// journal-replayed). Audit and test material — resume re-derives decisions
+// from the replayed experiments — and invisible to pre-adaptive readers,
+// which skip every record whose kind is not "exp".
+type planRecord struct {
+	Kind     string       `json:"kind"` // "plan"
+	Round    int          `json:"round"`
+	TargetCI float64      `json:"targetCI"`
+	Allocs   []roundAlloc `json:"allocs"`
+	Run      []int        `json:"run"`
+}
+
 // ErrFingerprintMismatch reports a checkpoint journal, shard spec, or
 // partial result that belongs to a different campaign configuration than
 // the one in hand. Match it with errors.Is.
@@ -62,6 +75,9 @@ func (cfg CampaignConfig) Fingerprint() string {
 	if cfg.HangFactor == 0 {
 		cfg.HangFactor = 4
 	}
+	if cfg.Strata == 0 {
+		cfg.Strata = cfg.Sampling.phases()
+	}
 	return cfg.fingerprint()
 }
 
@@ -70,11 +86,17 @@ func (cfg CampaignConfig) Fingerprint() string {
 // seed, workload, or fault model is refused rather than silently mixing
 // incompatible experiments. Fields that only shape aggregation or
 // scheduling (Workers, KeepProfiles, MaxSummaries, StopAfter) are excluded.
+// Sampling-policy fields (TargetCI, Strata) are appended only when set, so
+// every pre-existing fixed-N configuration keeps the fingerprint it had
+// before the policy existed and its journals stay resumable.
 func (cfg CampaignConfig) fingerprint() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "app=%s|params=%+v|runs=%d|seed=%d|lambda=%g|hang=%g|sample=%d",
 		cfg.App.Name(), cfg.Params, cfg.Runs, cfg.Seed,
 		cfg.MultiFaultLambda, cfg.HangFactor, cfg.SampleEvery)
+	if cfg.stratified() {
+		fmt.Fprintf(h, "|ci=%g|strata=%d", cfg.TargetCI, cfg.Strata)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -84,6 +106,13 @@ func (cfg CampaignConfig) fingerprint() string {
 // campaign fingerprint — journals written before sharding existed stay
 // resumable.
 func journalFingerprint(campaignFP string, spec ShardSpec) string {
+	if len(spec.IDs) > 0 {
+		h := fnv.New64a()
+		for _, id := range spec.IDs {
+			fmt.Fprintf(h, "%d,", id)
+		}
+		return fmt.Sprintf("%s|ids=%016x", campaignFP, h.Sum64())
+	}
 	if spec.From == 0 && spec.To == spec.Runs {
 		return campaignFP
 	}
@@ -147,6 +176,16 @@ func (w *journalWriter) append(o expOut) error {
 	return w.bw.Flush()
 }
 
+// appendPlan journals one adaptive planner decision, flushed like every
+// experiment record.
+func (w *journalWriter) appendPlan(round int, target float64, allocs []roundAlloc, run []int) error {
+	rec := planRecord{Kind: "plan", Round: round, TargetCI: target, Allocs: allocs, Run: run}
+	if err := w.enc.Encode(rec); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
 func (w *journalWriter) Close() error {
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close()
@@ -191,6 +230,30 @@ func LoadJournalSummaries(path string) ([]ExperimentSummary, error) {
 		return sums, fmt.Errorf("harness: checkpoint %s: %w", path, err)
 	}
 	return sums, nil
+}
+
+// journalHeaderFP reads just the fingerprint of a journal's header line,
+// returning "" when the journal does not exist or is unparseable (callers
+// fall through to readJournal for proper diagnostics).
+func journalHeaderFP(path string) (string, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 256<<20)
+	if !sc.Scan() {
+		return "", nil
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Kind != "header" {
+		return "", nil
+	}
+	return hdr.Fingerprint, nil
 }
 
 // readJournal loads the completed-experiment records of a checkpoint

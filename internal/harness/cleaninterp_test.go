@@ -25,12 +25,8 @@ func TestCleanInterpByteIdentical(t *testing.T) {
 	for _, app := range apps.All() {
 		t.Run(app.Name(), func(t *testing.T) {
 			base := CampaignConfig{
-				App:         app,
-				Params:      app.TestParams(),
-				Runs:        12,
-				Seed:        2015,
-				SampleEvery: 64,
-				Workers:     1,
+				App:    app,
+				Params: app.TestParams(), Sampling: Sampling{Runs: 12, Seed: 2015}, Execution: Execution{SampleEvery: 64, Workers: 1},
 			}
 
 			vm.SetCleanInterp(false)

@@ -73,12 +73,8 @@ func TestCampaignWorkerCountInvariance(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			base := CampaignConfig{
-				App:              tc.app,
-				Params:           tc.app.TestParams(),
-				Runs:             tc.runs,
-				Seed:             tc.seed,
-				MultiFaultLambda: tc.lambda,
-				SampleEvery:      64,
+				App:    tc.app,
+				Params: tc.app.TestParams(), Sampling: Sampling{Runs: tc.runs, Seed: tc.seed, MultiFaultLambda: tc.lambda}, Execution: Execution{SampleEvery: 64},
 			}
 			serial := base
 			serial.Workers = 1
@@ -115,13 +111,8 @@ func TestCampaignResumeMatchesUninterrupted(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			ck := filepath.Join(t.TempDir(), "campaign.ckpt.jsonl")
 			base := CampaignConfig{
-				App:              tc.app,
-				Params:           tc.app.TestParams(),
-				Runs:             tc.runs,
-				Seed:             tc.seed,
-				MultiFaultLambda: tc.lambda,
-				SampleEvery:      64,
-				Workers:          4,
+				App:    tc.app,
+				Params: tc.app.TestParams(), Sampling: Sampling{Runs: tc.runs, Seed: tc.seed, MultiFaultLambda: tc.lambda}, Execution: Execution{SampleEvery: 64, Workers: 4},
 			}
 			full, err := RunCampaign(base)
 			if err != nil {
@@ -154,8 +145,7 @@ func TestCampaignResumeToleratesTruncatedTail(t *testing.T) {
 	app := apps.NewHydro()
 	ck := filepath.Join(t.TempDir(), "ck.jsonl")
 	base := CampaignConfig{
-		App: app, Params: app.TestParams(),
-		Runs: 10, Seed: 13, SampleEvery: 64, Workers: 2,
+		App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 10, Seed: 13}, Execution: Execution{SampleEvery: 64, Workers: 2},
 	}
 	full, err := RunCampaign(base)
 	if err != nil {
@@ -192,8 +182,7 @@ func TestCampaignResumeRejectsMismatchedConfig(t *testing.T) {
 	app := apps.NewHydro()
 	ck := filepath.Join(t.TempDir(), "ck.jsonl")
 	base := CampaignConfig{
-		App: app, Params: app.TestParams(),
-		Runs: 6, Seed: 1, Workers: 2,
+		App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 6, Seed: 1}, Execution: Execution{Workers: 2},
 	}
 	withCk := base
 	withCk.Checkpoint = ck
@@ -208,7 +197,7 @@ func TestCampaignResumeRejectsMismatchedConfig(t *testing.T) {
 		t.Fatal("resume under a different seed was accepted")
 	}
 	if _, err := RunCampaign(CampaignConfig{
-		App: app, Params: app.TestParams(), Runs: 6, Seed: 1, Resume: true,
+		App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 6, Seed: 1}, Persistence: Persistence{Resume: true},
 	}); err == nil {
 		t.Fatal("Resume without Checkpoint was accepted")
 	}
@@ -222,8 +211,7 @@ func TestCampaignCancelLeavesResumableJournal(t *testing.T) {
 	app := apps.NewHydro()
 	ck := filepath.Join(t.TempDir(), "cancel.ckpt.jsonl")
 	base := CampaignConfig{
-		App: app, Params: app.TestParams(),
-		Runs: 16, Seed: 31, SampleEvery: 64, Workers: 2,
+		App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 16, Seed: 31}, Execution: Execution{SampleEvery: 64, Workers: 2},
 	}
 	full, err := RunCampaign(base)
 	if err != nil {
@@ -279,8 +267,7 @@ func TestCampaignCancelLeavesResumableJournal(t *testing.T) {
 func TestCampaignJournalRejectionPaths(t *testing.T) {
 	app := apps.NewHydro()
 	base := CampaignConfig{
-		App: app, Params: app.TestParams(),
-		Runs: 6, Seed: 11, Workers: 2,
+		App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 6, Seed: 11}, Execution: Execution{Workers: 2},
 	}
 	write := func(t *testing.T) (string, []string) {
 		ck := filepath.Join(t.TempDir(), "ck.jsonl")
@@ -372,8 +359,7 @@ func TestCampaignGateBoundsParallelism(t *testing.T) {
 
 	app := apps.NewHydro()
 	base := CampaignConfig{
-		App: app, Params: app.TestParams(),
-		Runs: 12, Seed: 77, SampleEvery: 64,
+		App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 12, Seed: 77}, Execution: Execution{SampleEvery: 64},
 	}
 	ungated, err := RunCampaign(base)
 	if err != nil {
@@ -403,8 +389,7 @@ func TestCampaignGateBoundsParallelism(t *testing.T) {
 func TestCampaignBoundedSummaryRetention(t *testing.T) {
 	app := apps.NewHydro()
 	res, err := RunCampaign(CampaignConfig{
-		App: app, Params: app.TestParams(),
-		Runs: 20, Seed: 42, MaxSummaries: 5,
+		App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 20, Seed: 42}, Retention: Retention{MaxSummaries: 5},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -424,8 +409,7 @@ func TestCampaignBoundedSummaryRetention(t *testing.T) {
 	// The bounded result must agree with the unbounded one on everything
 	// that is not summary retention.
 	unbounded, err := RunCampaign(CampaignConfig{
-		App: app, Params: app.TestParams(),
-		Runs: 20, Seed: 42,
+		App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 20, Seed: 42},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -457,7 +441,7 @@ func TestUnplannedRunNotAttributedToRankZero(t *testing.T) {
 		Cycles:     goldenRun.Cycles,
 		Iterations: goldenRun.Iterations,
 	}
-	cfg := CampaignConfig{App: app, Params: p, HangFactor: 4}
+	cfg := CampaignConfig{App: app, Params: p, Execution: Execution{HangFactor: 4}}
 	out := runExperiment(0, inst, inject.Plan{}, cfg,
 		classify.DefaultCriteria(), golden, goldenRun.Cycles*4, nil, nil)
 	sum := out.sum
@@ -515,7 +499,7 @@ func TestCampaignContainsExperimentPanic(t *testing.T) {
 	}
 	app := apps.NewHydro()
 	res, err := RunCampaign(CampaignConfig{
-		App: app, Params: app.TestParams(), Runs: 6, Seed: 3, Workers: 2,
+		App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 6, Seed: 3}, Execution: Execution{Workers: 2},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -318,6 +318,31 @@ func FormatStructVulnerability(results []*CampaignResult) string {
 	return sb.String()
 }
 
+// FormatStrata renders a stratified campaign's per-stratum vulnerability
+// table: one row per instruction-class × execution-phase stratum with its
+// outcome tally, vulnerability rate ± the 95% Wilson half-width, and the
+// stratum's mean propagation speed. Empty for non-stratified campaigns,
+// so legacy renderings are unchanged.
+func FormatStrata(res *CampaignResult) string {
+	if len(res.Strata) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Per-stratum vulnerability — %s (class × phase, 95%% Wilson CI)\n", res.App)
+	sb.WriteString("stratum     runs  V/ONA/WO/PEX/C        vuln rate        FPS mean\n")
+	for _, s := range res.Strata {
+		c := s.Tally.Counts
+		fmt.Fprintf(&sb, "%-10s %5d  %4d/%4d/%3d/%3d/%3d  %.3f ±%.3f", s.Label, s.Tally.Total,
+			c[classify.Vanished], c[classify.OutputNotAffected], c[classify.WrongOutput],
+			c[classify.ProlongedExecution], c[classify.Crashed], s.Rate, s.HalfWidth)
+		if s.FPS.N > 0 {
+			fmt.Fprintf(&sb, "  %.4g (n=%d)", s.FPS.Mean, s.FPS.N)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
 // RenderStudy renders one campaign's full study — every per-campaign
 // figure and table of the evaluation — as a single deterministic text
 // document. It is the byte-identity surface of the determinism claims:
@@ -336,6 +361,9 @@ func RenderStudy(res *CampaignResult) string {
 	sb.WriteString(FormatTable2(rs))
 	sb.WriteString(FormatCOBreakdown(rs))
 	sb.WriteString(FormatStructVulnerability(rs))
+	// Empty for non-stratified campaigns, so their rendered bytes are
+	// exactly what they were before strata existed.
+	sb.WriteString(FormatStrata(res))
 	return sb.String()
 }
 

@@ -52,9 +52,7 @@ func TestCampaignSmokeHydro(t *testing.T) {
 	app := apps.NewHydro()
 	res, err := RunCampaign(CampaignConfig{
 		App:    app,
-		Params: app.TestParams(),
-		Runs:   20,
-		Seed:   42,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 20, Seed: 42},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +81,7 @@ func TestCampaignSmokeHydro(t *testing.T) {
 
 func TestCampaignDeterministicAcrossRuns(t *testing.T) {
 	app := apps.NewFE()
-	cfg := CampaignConfig{App: app, Params: app.TestParams(), Runs: 8, Seed: 7}
+	cfg := CampaignConfig{App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 8, Seed: 7}}
 	a, err := RunCampaign(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -106,11 +104,8 @@ func TestCampaignDeterministicAcrossRuns(t *testing.T) {
 func TestCampaignMultiFault(t *testing.T) {
 	app := apps.NewHydro()
 	res, err := RunCampaign(CampaignConfig{
-		App:              app,
-		Params:           app.TestParams(),
-		Runs:             10,
-		Seed:             3,
-		MultiFaultLambda: 2,
+		App:    app,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 10, Seed: 3, MultiFaultLambda: 2},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -139,9 +134,7 @@ func TestOutcomeDistributionHasVariety(t *testing.T) {
 	app := apps.NewMD()
 	res, err := RunCampaign(CampaignConfig{
 		App:    app,
-		Params: app.TestParams(),
-		Runs:   30,
-		Seed:   11,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 30, Seed: 11},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -15,13 +15,8 @@ func TestSnapshotPackSharedAcrossCampaigns(t *testing.T) {
 	t.Cleanup(resetPacks)
 	app := apps.All()[0]
 	cfg := CampaignConfig{
-		App:         app,
-		Params:      app.TestParams(),
-		Runs:        10,
-		Seed:        77,
-		SampleEvery: 64,
-		Workers:     1,
-		Snapshots:   3,
+		App:    app,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 10, Seed: 77}, Execution: Execution{SampleEvery: 64, Workers: 1, Snapshots: 3},
 	}
 	first, err := RunCampaign(cfg)
 	if err != nil {
@@ -68,13 +63,8 @@ func TestPackLRUEviction(t *testing.T) {
 	t.Cleanup(resetPacks)
 	app := apps.All()[0]
 	base := CampaignConfig{
-		App:         app,
-		Params:      app.TestParams(),
-		Runs:        2,
-		Seed:        1,
-		SampleEvery: 64,
-		Workers:     1,
-		Snapshots:   1,
+		App:    app,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 2, Seed: 1}, Execution: Execution{SampleEvery: 64, Workers: 1, Snapshots: 1},
 	}
 	firstKey := packKey{app: app.Name(), params: base.Params, sample: base.SampleEvery}
 	for i := 0; i <= maxPacks; i++ {

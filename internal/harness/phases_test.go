@@ -21,17 +21,15 @@ func TestPhaseTracingCampaign(t *testing.T) {
 	var mu sync.Mutex
 	var traces []PhaseTrace
 	cfg := CampaignConfig{
-		App:     app,
-		Params:  app.TestParams(),
-		Runs:    12,
-		Seed:    99,
-		Workers: 3,
+		App:    app,
+		Params: app.TestParams(),
+
 		Timings: timings,
 		OnPhase: func(tr PhaseTrace) {
 			mu.Lock()
 			traces = append(traces, tr)
 			mu.Unlock()
-		},
+		}, Sampling: Sampling{Runs: 12, Seed: 99}, Execution: Execution{Workers: 3},
 	}
 	res, err := RunCampaign(cfg)
 	if err != nil {
@@ -64,7 +62,7 @@ func TestPhaseTracingCampaign(t *testing.T) {
 // same campaign with and without hooks yields identical aggregates.
 func TestPhaseTracingDeterminism(t *testing.T) {
 	app := apps.NewHydro()
-	cfg := CampaignConfig{App: app, Params: app.TestParams(), Runs: 8, Seed: 3, Workers: 2}
+	cfg := CampaignConfig{App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 8, Seed: 3}, Execution: Execution{Workers: 2}}
 	plain, err := RunCampaign(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -90,11 +88,8 @@ func TestPhaseTracingDeterminism(t *testing.T) {
 func TestShardTimingsMerge(t *testing.T) {
 	app := apps.NewHydro()
 	cfg := CampaignConfig{
-		App:     app,
-		Params:  app.TestParams(),
-		Runs:    18,
-		Seed:    5150,
-		Workers: 2,
+		App:    app,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 18, Seed: 5150}, Execution: Execution{Workers: 2},
 	}
 	refCfg := cfg
 	refCfg.Timings = NewCampaignTimings()
@@ -165,13 +160,10 @@ func TestJournalTraceStamp(t *testing.T) {
 	app := apps.NewHydro()
 	path := filepath.Join(t.TempDir(), "trace.ckpt.jsonl")
 	cfg := CampaignConfig{
-		App:        app,
-		Params:     app.TestParams(),
-		Runs:       4,
-		Seed:       11,
-		Workers:    1,
-		Checkpoint: path,
-		Trace:      "abc123/s0",
+		App:    app,
+		Params: app.TestParams(),
+
+		Trace: "abc123/s0", Sampling: Sampling{Runs: 4, Seed: 11}, Execution: Execution{Workers: 1}, Persistence: Persistence{Checkpoint: path},
 	}
 	if _, err := RunCampaign(cfg); err != nil {
 		t.Fatal(err)

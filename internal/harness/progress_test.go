@@ -173,12 +173,10 @@ func TestProgressReuseEndToEnd(t *testing.T) {
 	app := apps.NewHydro()
 	p := &Progress{}
 	cfg := CampaignConfig{
-		App:      app,
-		Params:   app.TestParams(),
-		Runs:     6,
-		Seed:     7,
-		Workers:  2,
-		Progress: p,
+		App:    app,
+		Params: app.TestParams(),
+
+		Progress: p, Sampling: Sampling{Runs: 6, Seed: 7}, Execution: Execution{Workers: 2},
 	}
 	if _, err := RunCampaign(cfg); err != nil {
 		t.Fatal(err)

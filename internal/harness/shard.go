@@ -34,6 +34,13 @@ type ShardSpec struct {
 	// shard executes. From == To is a legal empty shard.
 	From int `json:"from"`
 	To   int `json:"to"`
+	// IDs, when non-empty, enumerates the exact experiment IDs this shard
+	// executes instead of the contiguous [From, To) range. This is the
+	// dispatch vehicle for adaptive coordinators: the planner chooses a
+	// round of IDs, splits it across workers as explicit-ID shards, and the
+	// workers execute them without knowing any policy. IDs must be strictly
+	// ascending and lie within [0, Runs); From and To are ignored.
+	IDs []int `json:"ids,omitempty"`
 	// Runs is the whole campaign's run count (the union of all shards).
 	Runs int `json:"runs"`
 	// Fingerprint is CampaignConfig.Fingerprint() of the campaign this
@@ -42,11 +49,40 @@ type ShardSpec struct {
 }
 
 // Size returns the number of experiments in the shard.
-func (s ShardSpec) Size() int { return s.To - s.From }
+func (s ShardSpec) Size() int {
+	if len(s.IDs) > 0 {
+		return len(s.IDs)
+	}
+	return s.To - s.From
+}
+
+// ids enumerates the shard's experiment IDs in ascending order.
+func (s ShardSpec) ids() []int {
+	if len(s.IDs) > 0 {
+		return s.IDs
+	}
+	out := make([]int, 0, s.To-s.From)
+	for id := s.From; id < s.To; id++ {
+		out = append(out, id)
+	}
+	return out
+}
 
 // validate checks the spec against the campaign it claims to belong to.
 func (s ShardSpec) validate(cfg CampaignConfig) error {
-	if s.From < 0 || s.From > s.To || s.To > cfg.Runs {
+	if len(s.IDs) > 0 {
+		prev := -1
+		for _, id := range s.IDs {
+			if id <= prev {
+				return &FieldError{Field: "Shard.IDs", Reason: "must be strictly ascending"}
+			}
+			if id < 0 || id >= cfg.Runs {
+				return &FieldError{Field: "Shard.IDs", Reason: fmt.Sprintf(
+					"ID %d outside campaign [0,%d)", id, cfg.Runs)}
+			}
+			prev = id
+		}
+	} else if s.From < 0 || s.From > s.To || s.To > cfg.Runs {
 		return &FieldError{Field: "Shard", Reason: fmt.Sprintf(
 			"range [%d,%d) outside campaign [0,%d)", s.From, s.To, cfg.Runs)}
 	}
@@ -109,6 +145,10 @@ type IDRange struct {
 type IDFit struct {
 	ID  int          `json:"id"`
 	Fit model.RunFit `json:"fit"`
+	// Stratum is the experiment's sampling stratum when the campaign is
+	// stratified (0 otherwise, omitted from JSON so unstratified partials
+	// keep their historical bytes).
+	Stratum int `json:"stratum,omitempty"`
 }
 
 // Merge and shard errors.
@@ -167,6 +207,19 @@ type PartialResult struct {
 	// from a zero-valued one.
 	HasSpread bool `json:"hasSpread"`
 
+	// Strata holds the per-stratum outcome tallies when the campaign is
+	// stratified (Sampling.TargetCI or Sampling.Strata set). Integer counts
+	// only, so merging stays commutative and associative; empty — and
+	// omitted from JSON — for unstratified campaigns.
+	Strata []StratumTally `json:"strata,omitempty"`
+	// AdaptiveDone marks a partial whose adaptive planner reached its
+	// stopping criterion: every stratum's outcome rates are within the
+	// target CI (or its ID pool is exhausted). Finalize accepts partial ID
+	// coverage from such a result — the uncovered IDs were deliberately
+	// not spent. ORed on merge; a coordinator sets it on the merged partial
+	// when its own planner stops.
+	AdaptiveDone bool `json:"adaptiveDone,omitempty"`
+
 	// Timings carries the shard's phase-latency histograms when the run
 	// was traced (CampaignConfig.Timings). Observability only: merged
 	// like every other aggregate but never fingerprinted, never part of
@@ -224,6 +277,14 @@ func (p *PartialResult) Merge(other *PartialResult) error {
 	// Fits merge uncapped; the model is rebuilt from them at Finalize.
 	p.Fits = mergeSortedByID(p.Fits, other.Fits, 0, func(f IDFit) int { return f.ID })
 
+	// Per-stratum tallies are pure integer counts: union by stratum index.
+	strata, err := mergeStratumTallies(p.Strata, other.Strata)
+	if err != nil {
+		return err
+	}
+	p.Strata = strata
+	p.AdaptiveDone = p.AdaptiveDone || other.AdaptiveDone
+
 	// Widest spread wins; ties go to the lowest experiment ID, exactly as
 	// the streaming aggregator decides.
 	if other.HasSpread {
@@ -272,6 +333,7 @@ func (p *PartialResult) Clone() *PartialResult {
 	c.Experiments = append([]ExperimentSummary(nil), p.Experiments...)
 	c.Profiles = append([]Profile(nil), p.Profiles...)
 	c.Fits = append([]IDFit(nil), p.Fits...)
+	c.Strata = append([]StratumTally(nil), p.Strata...)
 	if p.StructTotals != nil {
 		c.StructTotals = make(map[string]int, len(p.StructTotals))
 		for k, v := range p.StructTotals {
@@ -292,8 +354,11 @@ func (p *PartialResult) Complete() bool {
 // order — fits are never merged as aggregates, because FPS and its spread
 // are means over runs whose floating-point accumulation must happen in one
 // deterministic order to be byte-identical with a single-process run.
+// Adaptive partials (AdaptiveDone) finalize with partial ID coverage: the
+// planner stopped on purpose, and the per-stratum moments are likewise
+// rebuilt here from the merged fits in ID order.
 func (p *PartialResult) Finalize() (*CampaignResult, error) {
-	if !p.Complete() {
+	if !p.Complete() && !p.AdaptiveDone {
 		return nil, fmt.Errorf("%w: covered %v of [0,%d)", ErrIncompleteCampaign, p.Ranges, p.Runs)
 	}
 	fits := make([]model.RunFit, len(p.Fits))
@@ -313,6 +378,7 @@ func (p *PartialResult) Finalize() (*CampaignResult, error) {
 		BestSpread:     p.Spread,
 		Model:          model.BuildAppModel(p.App, fits),
 		StructTotals:   p.StructTotals,
+		Strata:         buildStrataReports(p.Strata, p.Fits),
 	}, nil
 }
 

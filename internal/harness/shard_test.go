@@ -95,12 +95,8 @@ func assertStudyIdentical(t *testing.T, label string, want, got *CampaignResult)
 func TestShardMergeByteIdentical(t *testing.T) {
 	app := apps.NewHydro()
 	cfg := CampaignConfig{
-		App:         app,
-		Params:      app.TestParams(),
-		Runs:        24,
-		Seed:        424242,
-		SampleEvery: 64,
-		Workers:     2,
+		App:    app,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 24, Seed: 424242}, Execution: Execution{SampleEvery: 64, Workers: 2},
 	}
 	want, err := RunCampaign(cfg)
 	if err != nil {
@@ -158,7 +154,7 @@ func TestShardMergeByteIdentical(t *testing.T) {
 		for trial := 0; trial < 3; trial++ {
 			cuts := map[int]bool{0: true, cfg.Runs: true}
 			for i := 0; i < 1+rng.Intn(6); i++ {
-				cuts[rng.Intn(cfg.Runs + 1)] = true
+				cuts[rng.Intn(cfg.Runs+1)] = true
 			}
 			var bounds []int
 			for c := range cuts {
@@ -193,14 +189,8 @@ func sortInts(s []int) {
 func TestShardMergeWithRetentionCaps(t *testing.T) {
 	app := apps.NewFE()
 	cfg := CampaignConfig{
-		App:          app,
-		Params:       app.TestParams(),
-		Runs:         18,
-		Seed:         1717,
-		SampleEvery:  64,
-		Workers:      2,
-		MaxSummaries: 5,
-		KeepProfiles: 1,
+		App:    app,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 18, Seed: 1717}, Execution: Execution{SampleEvery: 64, Workers: 2}, Retention: Retention{MaxSummaries: 5, KeepProfiles: 1},
 	}
 	want, err := RunCampaign(cfg)
 	if err != nil {
@@ -221,7 +211,7 @@ func TestShardMergeWithRetentionCaps(t *testing.T) {
 // Runs), near-equal sizes, fingerprint on every spec.
 func TestPlanShards(t *testing.T) {
 	app := apps.NewHydro()
-	cfg := CampaignConfig{App: app, Params: app.TestParams(), Runs: 10, Seed: 1}
+	cfg := CampaignConfig{App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 10, Seed: 1}}
 	specs, err := PlanShards(cfg, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -286,7 +276,7 @@ func TestShardMergeGuards(t *testing.T) {
 	})
 	t.Run("spec-fingerprint", func(t *testing.T) {
 		app := apps.NewHydro()
-		cfg := CampaignConfig{App: app, Params: app.TestParams(), Runs: 4, Seed: 9}
+		cfg := CampaignConfig{App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 4, Seed: 9}}
 		spec := ShardSpec{Shards: 1, To: 4, Runs: 4, Fingerprint: "0000000000000000"}
 		if _, err := RunShard(cfg, spec); !errors.Is(err, ErrFingerprintMismatch) {
 			t.Errorf("want ErrFingerprintMismatch, got %v", err)
@@ -294,7 +284,7 @@ func TestShardMergeGuards(t *testing.T) {
 	})
 	t.Run("bad-range", func(t *testing.T) {
 		app := apps.NewHydro()
-		cfg := CampaignConfig{App: app, Params: app.TestParams(), Runs: 4, Seed: 9}
+		cfg := CampaignConfig{App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 4, Seed: 9}}
 		var fe *FieldError
 		if _, err := RunShard(cfg, ShardSpec{From: 2, To: 9, Runs: 4}); !errors.As(err, &fe) {
 			t.Errorf("want FieldError, got %v", err)
@@ -308,8 +298,7 @@ func TestShardMergeGuards(t *testing.T) {
 func TestShardCheckpointResume(t *testing.T) {
 	app := apps.NewHydro()
 	cfg := CampaignConfig{
-		App: app, Params: app.TestParams(),
-		Runs: 12, Seed: 31, SampleEvery: 64, Workers: 1,
+		App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 12, Seed: 31}, Execution: Execution{SampleEvery: 64, Workers: 1},
 	}
 	want, err := RunCampaign(cfg)
 	if err != nil {
@@ -358,7 +347,7 @@ func TestShardCheckpointResume(t *testing.T) {
 // TestCampaignConfigValidate pins the typed-field-error API.
 func TestCampaignConfigValidate(t *testing.T) {
 	app := apps.NewHydro()
-	ok := CampaignConfig{App: app, Params: app.TestParams(), Runs: 5}
+	ok := CampaignConfig{App: app, Params: app.TestParams(), Sampling: Sampling{Runs: 5}}
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}

@@ -43,12 +43,8 @@ func TestSnapshotForkByteIdentical(t *testing.T) {
 				params := app.TestParams()
 				params.Ranks = ranks
 				base := CampaignConfig{
-					App:         app,
-					Params:      params,
-					Runs:        12,
-					Seed:        2015,
-					SampleEvery: 64,
-					Workers:     1,
+					App:    app,
+					Params: params, Sampling: Sampling{Runs: 12, Seed: 2015}, Execution: Execution{SampleEvery: 64, Workers: 1},
 				}
 				dir := t.TempDir()
 
@@ -97,12 +93,8 @@ func TestSnapshotForkByteIdentical(t *testing.T) {
 func TestShardMergeMixedSnapshotModes(t *testing.T) {
 	app := apps.NewMD()
 	cfg := CampaignConfig{
-		App:         app,
-		Params:      app.TestParams(),
-		Runs:        18,
-		Seed:        777,
-		SampleEvery: 64,
-		Workers:     1,
+		App:    app,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 18, Seed: 777}, Execution: Execution{SampleEvery: 64, Workers: 1},
 	}
 	want, err := RunCampaign(cfg)
 	if err != nil {

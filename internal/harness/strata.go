@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/ir"
+	"repro/internal/stats"
+	"repro/internal/transform"
+)
+
+// Stratification. The adaptive planner partitions a campaign's experiment
+// space by where the (first) fault lands: the instruction class consuming
+// the corrupted operand (arith / mem / cmp / ctl, from a one-off golden
+// profiling pass with a vm.SiteObserver) crossed with the golden-execution
+// phase of the dynamic site (which fraction of the rank's fault-free site
+// space precedes it). Both axes are pure functions of the seed and the
+// golden execution, so an experiment's stratum is identical no matter
+// where, when, or by whom it is computed — the property that lets shards
+// tally strata independently and a coordinator steer budget from merged
+// tallies alone.
+
+// defaultStrataPhases is the phase count used when TargetCI is set but
+// Strata is not.
+const defaultStrataPhases = 4
+
+// stratumClasses are the instruction-class buckets, in stratum-index
+// order. Sites whose consumer is none of the injectable classes (possible
+// at function tails) land in "other".
+var stratumClasses = [...]struct {
+	class ir.Class
+	label string
+}{
+	{ir.ClassArith, "arith"},
+	{ir.ClassMem, "mem"},
+	{ir.ClassCmp, "cmp"},
+	{ir.ClassControl, "ctl"},
+	{ir.ClassNone, "other"},
+}
+
+// numStratumClasses is the instruction-class axis length.
+const numStratumClasses = len(stratumClasses)
+
+func classBucket(c ir.Class) int {
+	for i, b := range stratumClasses {
+		if b.class == c {
+			return i
+		}
+	}
+	return numStratumClasses - 1 // "other"
+}
+
+// Strata maps fault plans to stratum indices for one campaign
+// configuration. Index 0 is the catch-all for zero-fault plans (legal in
+// multi-fault mode); indices 1..NumStrata()-1 are class × phase cells.
+type Strata struct {
+	// Phases is the number of golden-execution phases per class.
+	Phases int
+	// sites are the per-rank golden dynamic site counts.
+	sites []uint64
+	// classes hold one ir.Class byte per dynamic site, per rank.
+	classes [][]byte
+}
+
+// BuildStrata profiles the campaign's golden execution and returns its
+// stratification. It runs the instrumented program once with a site
+// observer (slower than a plain golden run, paid once per campaign); the
+// result depends only on (app, params), never on the seed or budget.
+func BuildStrata(cfg CampaignConfig) (*Strata, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	prog, err := cfg.App.Build(cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("harness: build %s: %w", cfg.App.Name(), err)
+	}
+	inst, err := transform.Instrument(prog, transform.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("harness: instrument %s: %w", cfg.App.Name(), err)
+	}
+	return buildStrata(inst, cfg)
+}
+
+// buildStrata is BuildStrata over an already-instrumented program (the
+// engine shares its build). cfg must have defaults applied.
+func buildStrata(inst *ir.Program, cfg CampaignConfig) (*Strata, error) {
+	out, classes := core.RunGoldenSiteClasses(inst, core.RunConfig{Ranks: cfg.Params.Ranks})
+	if out.Err != nil {
+		return nil, fmt.Errorf("harness: site-class profile of %s failed: %w", cfg.App.Name(), out.Err)
+	}
+	sites := out.SiteCounts()
+	for r, n := range sites {
+		if uint64(len(classes[r])) != n {
+			return nil, fmt.Errorf("harness: site-class profile of %s: rank %d observed %d of %d sites",
+				cfg.App.Name(), r, len(classes[r]), n)
+		}
+	}
+	return &Strata{Phases: cfg.Sampling.phases(), sites: sites, classes: classes}, nil
+}
+
+// NumStrata is the stratum index space size: the zero-fault catch-all plus
+// one cell per class × phase.
+func (s *Strata) NumStrata() int { return 1 + numStratumClasses*s.Phases }
+
+// StratumOf assigns a fault plan to its stratum: the class × phase cell of
+// the plan's first fault, or 0 for an empty plan. Out-of-profile faults
+// (impossible for plans drawn against this golden execution) land in 0.
+func (s *Strata) StratumOf(plan inject.Plan) int {
+	if len(plan.Faults) == 0 {
+		return 0
+	}
+	f := plan.Faults[0]
+	if f.Rank < 0 || f.Rank >= len(s.classes) || f.Site >= uint64(len(s.classes[f.Rank])) {
+		return 0
+	}
+	class := ir.Class(s.classes[f.Rank][f.Site])
+	phase := int(f.Site * uint64(s.Phases) / s.sites[f.Rank])
+	if phase >= s.Phases {
+		phase = s.Phases - 1
+	}
+	return 1 + classBucket(class)*s.Phases + phase
+}
+
+// StratumLabel names a stratum index for reports and journals, e.g.
+// "arith/p2" (arithmetic consumers, third execution phase) or "none".
+func StratumLabel(stratum, phases int) string {
+	if stratum <= 0 || phases <= 0 {
+		return "none"
+	}
+	b := (stratum - 1) / phases
+	p := (stratum - 1) % phases
+	if b >= numStratumClasses {
+		return "none"
+	}
+	return fmt.Sprintf("%s/p%d", stratumClasses[b].label, p)
+}
+
+// StratumTally is the mergeable per-stratum aggregate a PartialResult
+// carries when the campaign is stratified: pure integer outcome counts, so
+// merging is commutative and associative like the campaign tally itself.
+type StratumTally struct {
+	Stratum int            `json:"stratum"`
+	Label   string         `json:"label"`
+	Tally   classify.Tally `json:"tally"`
+}
+
+// maxHalfWidth is the planner's stopping metric for one stratum: the
+// widest 95% Wilson half-width over its per-outcome rates and its
+// aggregate vulnerability rate (WO+PEX+C). When it reaches the target,
+// every reported rate of the stratum is pinned within ±target.
+func maxHalfWidth(t classify.Tally) float64 {
+	if t.Total == 0 {
+		return 1
+	}
+	bad := t.Counts[classify.WrongOutput] +
+		t.Counts[classify.ProlongedExecution] +
+		t.Counts[classify.Crashed]
+	w := stats.WilsonHalfWidth(bad, t.Total, stats.Z95)
+	for o := 0; o < classify.NumOutcomes; o++ {
+		if h := stats.WilsonHalfWidth(t.Counts[o], t.Total, stats.Z95); h > w {
+			w = h
+		}
+	}
+	return w
+}
+
+// mergeStratumTallies unions two per-stratum tally sets by stratum index.
+// Labels must agree — a mismatch means the partials were stratified under
+// different configurations and must not combine.
+func mergeStratumTallies(a, b []StratumTally) ([]StratumTally, error) {
+	if len(b) == 0 {
+		return a, nil
+	}
+	if len(a) == 0 {
+		return append([]StratumTally(nil), b...), nil
+	}
+	byIdx := make(map[int]StratumTally, len(a)+len(b))
+	for _, st := range a {
+		byIdx[st.Stratum] = st
+	}
+	for _, st := range b {
+		cur, ok := byIdx[st.Stratum]
+		if !ok {
+			byIdx[st.Stratum] = st
+			continue
+		}
+		if cur.Label != st.Label {
+			return nil, fmt.Errorf("%w: stratum %d labeled %q vs %q",
+				ErrMergeMismatch, st.Stratum, cur.Label, st.Label)
+		}
+		for o := 0; o < classify.NumOutcomes; o++ {
+			cur.Tally.Counts[o] += st.Tally.Counts[o]
+		}
+		cur.Tally.Total += st.Tally.Total
+		byIdx[st.Stratum] = cur
+	}
+	out := make([]StratumTally, 0, len(byIdx))
+	for _, st := range byIdx {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stratum < out[j].Stratum })
+	return out, nil
+}
+
+// StratumReport is one row of the final per-stratum vulnerability table.
+type StratumReport struct {
+	Stratum int            `json:"stratum"`
+	Label   string         `json:"label"`
+	Tally   classify.Tally `json:"tally"`
+	// Rate is the stratum's vulnerability: the fraction of its experiments
+	// whose fault was not masked (everything but Vanished and ONA).
+	Rate float64 `json:"rate"`
+	// HalfWidth is the 95% Wilson half-width of Rate.
+	HalfWidth float64 `json:"halfWidth"`
+	// MaxHalfWidth is the planner's stopping metric: the widest Wilson
+	// half-width over all five outcome rates.
+	MaxHalfWidth float64 `json:"maxHalfWidth"`
+	// FPS aggregates the stratum's per-run propagation-speed fits (the
+	// growth rate A of Eq. 1) as mergeable moments.
+	FPS stats.Moments `json:"fps"`
+}
+
+// buildStrataReports derives the final vulnerability table from merged
+// per-stratum tallies and the merged, ID-sorted fit inputs. Folding the
+// fits in ID order keeps the floating-point moments byte-identical across
+// worker counts, shard layouts, and merge orders.
+func buildStrataReports(tallies []StratumTally, fits []IDFit) []StratumReport {
+	if len(tallies) == 0 {
+		return nil
+	}
+	moments := make(map[int]*stats.Moments, len(tallies))
+	for _, f := range fits {
+		m, ok := moments[f.Stratum]
+		if !ok {
+			m = &stats.Moments{}
+			moments[f.Stratum] = m
+		}
+		m.Add(f.Fit.A)
+	}
+	out := make([]StratumReport, 0, len(tallies))
+	for _, st := range tallies {
+		bad := st.Tally.Counts[classify.WrongOutput] +
+			st.Tally.Counts[classify.ProlongedExecution] +
+			st.Tally.Counts[classify.Crashed]
+		rep := StratumReport{
+			Stratum:      st.Stratum,
+			Label:        st.Label,
+			Tally:        st.Tally,
+			HalfWidth:    stats.WilsonHalfWidth(bad, st.Tally.Total, stats.Z95),
+			MaxHalfWidth: maxHalfWidth(st.Tally),
+		}
+		if st.Tally.Total > 0 {
+			rep.Rate = float64(bad) / float64(st.Tally.Total)
+		}
+		if m, ok := moments[st.Stratum]; ok {
+			rep.FPS = *m
+		}
+		out = append(out, rep)
+	}
+	return out
+}

@@ -99,7 +99,7 @@ func TestEvaluateAccounting(t *testing.T) {
 func TestEvaluateOnRealCampaign(t *testing.T) {
 	app := apps.NewHydro()
 	res, err := harness.RunCampaign(harness.CampaignConfig{
-		App: app, Params: app.TestParams(), Runs: 30, Seed: 8,
+		App: app, Params: app.TestParams(), Sampling: harness.Sampling{Runs: 30, Seed: 8},
 	})
 	if err != nil {
 		t.Fatal(err)

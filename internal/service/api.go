@@ -110,6 +110,25 @@ type JobSpec struct {
 	// worker runs only the spec's ID range and exposes a PartialResult
 	// instead of a CampaignResult.
 	Shard *harness.ShardSpec `json:"shard,omitempty"`
+	// Sampling, when present, selects the adaptive stratified sampling
+	// policy (daemons advertising the "adaptive" capability). The legacy
+	// flat fields (Runs, Seed, MultiFaultLambda) remain authoritative for
+	// the fixed-size portion of the policy; this object only adds the
+	// adaptive knobs on top.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
+}
+
+// SamplingSpec is the adaptive sampling policy of a JobSpec: the campaign
+// stops each stratum once the vulnerability estimate is tight enough
+// instead of spending the whole Runs budget. Runs stays the hard budget
+// ceiling.
+type SamplingSpec struct {
+	// TargetCI, in (0, 1), is the target 95% Wilson confidence-interval
+	// half-width per stratum; 0 disables adaptive stopping.
+	TargetCI float64 `json:"targetCI,omitempty"`
+	// Strata is the number of golden-execution phases per instruction
+	// class used to stratify injection sites (0: harness default).
+	Strata int `json:"strata,omitempty"`
 }
 
 // Validate checks the spec without building anything. Violations wrap
@@ -141,7 +160,20 @@ func (s JobSpec) Validate() error {
 				ErrInvalidSpec, s.Shard.From, s.Shard.To, s.Runs)
 		}
 	}
+	if s.Sampling != nil {
+		if s.Sampling.TargetCI < 0 || s.Sampling.TargetCI >= 1 {
+			return fmt.Errorf("%w: sampling.targetCI must be in [0, 1)", ErrInvalidSpec)
+		}
+		if s.Sampling.Strata < 0 {
+			return fmt.Errorf("%w: sampling.strata must be >= 0", ErrInvalidSpec)
+		}
+	}
 	return nil
+}
+
+// Adaptive reports whether the spec requests adaptive sequential stopping.
+func (s JobSpec) Adaptive() bool {
+	return s.Sampling != nil && s.Sampling.TargetCI > 0
 }
 
 // CampaignConfig translates the spec into the harness configuration that a
@@ -157,16 +189,28 @@ func (s JobSpec) CampaignConfig() (harness.CampaignConfig, error) {
 	if s.Scale == "test" {
 		p = app.TestParams()
 	}
+	var targetCI float64
+	var strata int
+	if s.Sampling != nil {
+		targetCI = s.Sampling.TargetCI
+		strata = s.Sampling.Strata
+	}
 	return harness.CampaignConfig{
-		App:              app,
-		Params:           p,
-		Runs:             s.Runs,
-		Seed:             s.Seed,
-		MultiFaultLambda: s.MultiFaultLambda,
-		HangFactor:       s.HangFactor,
-		SampleEvery:      s.SampleEvery,
-		MaxSummaries:     s.MaxSummaries,
-		Snapshots:        s.Snapshots,
+		App:    app,
+		Params: p,
+		Sampling: harness.Sampling{
+			Runs:             s.Runs,
+			Seed:             s.Seed,
+			MultiFaultLambda: s.MultiFaultLambda,
+			TargetCI:         targetCI,
+			Strata:           strata,
+		},
+		Execution: harness.Execution{
+			HangFactor:  s.HangFactor,
+			SampleEvery: s.SampleEvery,
+			Snapshots:   s.Snapshots,
+		},
+		Retention: harness.Retention{MaxSummaries: s.MaxSummaries},
 	}, nil
 }
 
@@ -240,6 +284,10 @@ type JobStatus struct {
 	// leave FPS zero — the model is only built after the merge).
 	Tally *classify.Tally `json:"tally,omitempty"`
 	FPS   float64         `json:"fps,omitempty"`
+	// Strata is the per-stratum vulnerability table of a done stratified
+	// job: one row per instruction-class × execution-phase stratum with
+	// its tally, vulnerability rate, and CI half-width.
+	Strata []harness.StratumReport `json:"strata,omitempty"`
 }
 
 // EventKind discriminates stream events.
@@ -308,7 +356,8 @@ type VersionInfo struct {
 	API string `json:"api"`
 	// Capabilities lists supported feature tags: "jobs", "stream",
 	// "metrics", "shards" (accepts shard jobs, serves partials),
-	// "coordinate" (decomposes Shards > 1 jobs across peer workers).
+	// "coordinate" (decomposes Shards > 1 jobs across peer workers),
+	// "adaptive" (accepts JobSpec.Sampling adaptive stopping policies).
 	Capabilities []string `json:"capabilities"`
 }
 

@@ -186,6 +186,19 @@ func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) 
 	return st, err
 }
 
+// Strata fetches a job's per-stratum vulnerability table: one row per
+// instruction-class × execution-phase stratum with its outcome tally,
+// vulnerability rate, and confidence-interval half-width. Populated once
+// a stratified job is done; empty for non-stratified campaigns (and for
+// daemons that predate the "adaptive" capability).
+func (c *Client) Strata(ctx context.Context, id string) ([]harness.StratumReport, error) {
+	st, err := c.Job(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return st.Strata, nil
+}
+
 // Jobs lists every job the daemon knows.
 func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
 	var list []service.JobStatus

@@ -26,6 +26,12 @@ import (
 //	merge   partials merge order-independently; the finalized result is
 //	        byte-identical to a single-process run of the same spec
 //
+// A job that also carries an adaptive sampling policy (JobSpec.Sampling
+// with a target CI) is coordinated round by round instead: the
+// coordinator owns the planner, workers stay policy-blind executors of
+// explicit-ID shard specs, and each round's merged per-stratum tallies
+// steer the next round's allocation.
+//
 // The coordinator publishes merged progress events on the job's stream,
 // so watchers see one campaign, not N shards.
 
@@ -47,6 +53,12 @@ type shardTask struct {
 	spec     harness.ShardSpec
 	attempts int
 	notAfter time.Time // backoff: do not dispatch before this
+	// key is the shard's journal identity and partial-path index. The
+	// fixed plan uses the spec index; the adaptive coordinator keys
+	// (round, slot) pairs so every round's shards journal distinctly.
+	key int
+	// slot is the task's position in its caller's parts slice.
+	slot int
 }
 
 // shardOutcome is what one dispatch goroutine reports back.
@@ -69,11 +81,15 @@ type shardOutcome struct {
 // runCoordinated executes a Shards > 1 job by decomposition: it returns
 // the merged result, or an error (wrapping ErrInterrupted for
 // cancel/drain, like the local path, so runJob's settlement logic treats
-// both transports identically).
+// both transports identically). Adaptive jobs take the round-planning
+// path; fixed jobs dispatch the whole shard plan at once.
 func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*harness.CampaignResult, error) {
 	cfg, err := st.Spec.CampaignConfig()
 	if err != nil {
 		return nil, err
+	}
+	if st.Spec.Adaptive() {
+		return s.runAdaptiveCoordinated(ctx, j, st, cfg)
 	}
 	specs, err := harness.PlanShards(cfg, st.Spec.Shards)
 	if err != nil {
@@ -83,25 +99,187 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 
 	// Replay the shard journal: shards whose partials are already on disk
 	// (a previous coordinator run) are not re-dispatched.
-	parts := make([]*harness.PartialResult, len(specs))
-	journal, err := s.openShardJournal(st.ID, fingerprint, specs, parts)
+	saved := s.replayShardPartials(st.ID, fingerprint)
+	journal, err := s.appendShardJournal(st.ID)
 	if err != nil {
 		return nil, err
 	}
 	defer journal.close()
-	resumedRuns := 0
-	for i, p := range parts {
-		if p != nil {
-			resumedRuns += specs[i].Size()
-		}
-	}
 
+	parts := make([]*harness.PartialResult, len(specs))
+	resumedRuns := 0
 	var pending []*shardTask
 	for i := range specs {
-		if parts[i] == nil {
-			pending = append(pending, &shardTask{spec: specs[i]})
+		if p := saved[i]; p != nil {
+			parts[i] = p
+			resumedRuns += specs[i].Size()
+			continue
+		}
+		pending = append(pending, &shardTask{spec: specs[i], key: i, slot: i})
+	}
+
+	onDone := func(t *shardTask, worker string, part *harness.PartialResult) error {
+		parts[t.slot] = part
+		return journal.record(shardJournalRecord{
+			Shard:  t.key,
+			Worker: worker,
+			Path:   s.store.ShardPartialPath(st.ID, t.key),
+		}, part)
+	}
+	base := func() harness.Snapshot {
+		snap := harness.Snapshot{Total: cfg.Runs, Resumed: resumedRuns}
+		for i, p := range parts {
+			if p == nil {
+				continue
+			}
+			snap.Done += specs[i].Size()
+			for o := range p.Tally.Counts {
+				snap.Outcomes[o] += p.Tally.Counts[o]
+			}
+		}
+		return snap
+	}
+	if err := s.runShardSet(ctx, j, st, pending, len(specs), time.Now(), onDone, base); err != nil {
+		return nil, err
+	}
+
+	res, err := harness.MergePartials(nonNil(parts)...)
+	if err != nil {
+		return nil, fmt.Errorf("merge shards: %w", err)
+	}
+	return res, nil
+}
+
+// runAdaptiveCoordinated drives an adaptive campaign over peer workers.
+// The coordinator owns the sampling policy — the same pure decision core
+// the local engine runs — and the workers never see it: each round's
+// experiment IDs are split into explicit-ID shard specs, dispatched with
+// the usual retry taxonomy, and the round's merged per-stratum tallies
+// fold back into the planner to steer the next round. Because outcomes
+// are pure functions of the seed, the coordinated campaign executes the
+// same experiment set as a local adaptive run and merges to the same
+// bytes.
+//
+// Completed round shards journal exactly like fixed shards, keyed by
+// (round, slot). On coordinator restart the planner re-derives the
+// identical round sequence, consumes the journaled partials, and
+// dispatches only what is missing.
+func (s *Server) runAdaptiveCoordinated(ctx context.Context, j *job, st JobStatus,
+	cfg harness.CampaignConfig) (*harness.CampaignResult, error) {
+
+	strata, err := harness.BuildStrata(cfg)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := harness.NewAdaptivePlanner(cfg, strata)
+	if err != nil {
+		return nil, err
+	}
+	fingerprint := cfg.Fingerprint()
+	nShards := st.Spec.Shards
+
+	saved := s.replayShardPartials(st.ID, fingerprint)
+	journal, err := s.appendShardJournal(st.ID)
+	if err != nil {
+		return nil, err
+	}
+	defer journal.close()
+
+	started := time.Now()
+	var acc *harness.PartialResult
+	resumedRuns := 0
+	for round := 1; ; round++ {
+		ids := planner.NextRound()
+		if ids == nil {
+			break
+		}
+		specs := harness.PlanRoundShards(cfg, ids, nShards)
+		parts := make([]*harness.PartialResult, len(specs))
+		var pending []*shardTask
+		for i := range specs {
+			key := (round-1)*nShards + i
+			if p := saved[key]; p != nil {
+				parts[i] = p
+				resumedRuns += specs[i].Size()
+				continue
+			}
+			pending = append(pending, &shardTask{spec: specs[i], key: key, slot: i})
+		}
+		if len(pending) > 0 {
+			onDone := func(t *shardTask, worker string, part *harness.PartialResult) error {
+				parts[t.slot] = part
+				return journal.record(shardJournalRecord{
+					Shard:  t.key,
+					Worker: worker,
+					Path:   s.store.ShardPartialPath(st.ID, t.key),
+				}, part)
+			}
+			base := func() harness.Snapshot {
+				snap := harness.Snapshot{Total: cfg.Runs, Resumed: resumedRuns}
+				fold := func(p *harness.PartialResult) {
+					snap.Done += p.Tally.Total
+					for o := range p.Tally.Counts {
+						snap.Outcomes[o] += p.Tally.Counts[o]
+					}
+				}
+				if acc != nil {
+					fold(acc)
+				}
+				for _, p := range parts {
+					if p != nil {
+						fold(p)
+					}
+				}
+				return snap
+			}
+			s.log.Info("adaptive round", "job", st.ID, "trace", st.Trace,
+				"round", round, "experiments", len(ids), "shards", len(pending))
+			if err := s.runShardSet(ctx, j, st, pending, len(specs), started, onDone, base); err != nil {
+				return nil, err
+			}
+		}
+		roundAcc := parts[0].Clone()
+		for _, p := range parts[1:] {
+			if err := roundAcc.Merge(p); err != nil {
+				return nil, fmt.Errorf("merge round %d shards: %w", round, err)
+			}
+		}
+		planner.Fold(roundAcc.Strata)
+		if acc == nil {
+			acc = roundAcc
+		} else if err := acc.Merge(roundAcc); err != nil {
+			return nil, fmt.Errorf("merge round %d: %w", round, err)
 		}
 	}
+	if acc == nil {
+		return nil, fmt.Errorf("adaptive campaign planned zero experiments")
+	}
+	// The planner closed every stratum; the executed subset stands in for
+	// the whole budget when the accumulated partial finalizes.
+	acc.AdaptiveDone = true
+	res, err := acc.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("finalize adaptive campaign: %w", err)
+	}
+	s.log.Info("adaptive campaign converged", "job", st.ID, "trace", st.Trace,
+		"spent", acc.Tally.Total, "budget", cfg.Runs, "fingerprint", fingerprint)
+	return res, nil
+}
+
+// runShardSet dispatches a set of shard tasks across the registered
+// workers and runs them all to completion. Worker selection, the retry
+// taxonomy, merged-progress publication, and cancel/drain teardown are
+// shared between the fixed-plan coordinator (one set for the whole
+// campaign) and the adaptive coordinator (one set per planner round).
+// onDone persists each fetched partial before the task counts as done;
+// base seeds each progress snapshot with the completed work the caller
+// already tracks (journal-resumed shards, earlier rounds); total sizes
+// the set's shard plan for interruption messages.
+func (s *Server) runShardSet(ctx context.Context, j *job, st JobStatus,
+	pending []*shardTask, total int, started time.Time,
+	onDone func(t *shardTask, worker string, part *harness.PartialResult) error,
+	base func() harness.Snapshot) error {
+
 	remaining := len(pending)
 
 	// inflight tracks dispatched shards for progress merging and
@@ -116,28 +294,16 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 	inflight := make(map[*shardTask]*flight)
 	outcomes := make(chan shardOutcome)
 
-	publishProgress := func(started time.Time) {
-		snap := harness.Snapshot{
-			Total:   cfg.Runs,
-			Resumed: resumedRuns,
-			Elapsed: time.Since(started),
-		}
-		for i, p := range parts {
-			if p == nil {
-				continue
-			}
-			snap.Done += specs[i].Size()
-			for o := range p.Tally.Counts {
-				snap.Outcomes[o] += p.Tally.Counts[o]
-			}
-		}
+	publishProgress := func() {
+		snap := base()
+		snap.Elapsed = time.Since(started)
 		j.mu.Lock()
 		for _, f := range inflight {
 			snap.Done += f.done
 			snap.Running++
 		}
 		if snap.Elapsed > 0 {
-			snap.RunsPerSec = float64(snap.Done-resumedRuns) / snap.Elapsed.Seconds()
+			snap.RunsPerSec = float64(snap.Done-snap.Resumed) / snap.Elapsed.Seconds()
 		}
 		cp := snap
 		j.coordProg = &cp
@@ -172,7 +338,6 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 		}()
 	}
 
-	started := time.Now()
 	tick := time.NewTicker(s.cfg.ProgressEvery)
 	defer tick.Stop()
 
@@ -218,22 +383,22 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 			}
 			s.registry.release(td.name)
 		}
-		doneShards := len(specs) - remaining
+		doneShards := total - remaining
 		if cause := context.Cause(ctx); cause != nil {
 			return fmt.Errorf("%w after %d of %d shards: %v",
-				harness.ErrInterrupted, doneShards, len(specs), cause)
+				harness.ErrInterrupted, doneShards, total, cause)
 		}
 		return fmt.Errorf("%w after %d of %d shards",
-			harness.ErrInterrupted, doneShards, len(specs))
+			harness.ErrInterrupted, doneShards, total)
 	}
 
 	for remaining > 0 {
 		select {
 		case <-ctx.Done():
-			return nil, interrupted()
+			return interrupted()
 		case <-tick.C:
 			assign()
-			publishProgress(started)
+			publishProgress()
 		case out := <-outcomes:
 			j.mu.Lock()
 			delete(inflight, out.task)
@@ -241,14 +406,8 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 			s.registry.release(out.worker.Name)
 			switch {
 			case out.err == nil:
-				idx := out.task.spec.Index
-				parts[idx] = out.partial
-				if err := journal.record(shardJournalRecord{
-					Shard:  idx,
-					Worker: out.worker.Name,
-					Path:   s.store.ShardPartialPath(st.ID, idx),
-				}, out.partial); err != nil {
-					return nil, err
+				if err := onDone(out.task, out.worker.Name, out.partial); err != nil {
+					return err
 				}
 				remaining--
 				s.obs.shardDur.ObserveDuration(out.elapsed)
@@ -257,26 +416,26 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 				// experiments that ran on workers, not just local ones.
 				s.obs.absorbTimings(out.partial.Timings)
 				s.log.Info("shard done", "job", st.ID, "trace", st.Trace,
-					"shard", idx, "worker", out.worker.Name, "elapsed", out.elapsed)
-				publishProgress(started)
+					"shard", out.task.key, "worker", out.worker.Name, "elapsed", out.elapsed)
+				publishProgress()
 			case out.category == CategoryFatal:
 				// Integrity violation (fingerprint mismatch): halt at once —
 				// retrying could silently merge incompatible experiments.
-				return nil, fmt.Errorf("shard %d on worker %s: fatal: %w",
-					out.task.spec.Index, out.worker.Name, out.err)
+				return fmt.Errorf("shard %d on worker %s: fatal: %w",
+					out.task.key, out.worker.Name, out.err)
 			case out.category == CategoryPermanent:
 				// Configuration error: no amount of re-dispatching fixes a
 				// wrong request. The wrapped sentinel keeps its wire code,
 				// so the job's ErrorCode tells clients exactly why.
-				return nil, fmt.Errorf("shard %d on worker %s: %w",
-					out.task.spec.Index, out.worker.Name, out.err)
+				return fmt.Errorf("shard %d on worker %s: %w",
+					out.task.key, out.worker.Name, out.err)
 			default:
 				// Our own teardown (cancel, drain) surfaces as a context
 				// error from the dispatch goroutine racing the ctx.Done
 				// case above; that is not a worker failure, so do not mark
 				// the worker dead or burn a dispatch attempt.
 				if ctx.Err() != nil {
-					return nil, interrupted()
+					return interrupted()
 				}
 				// Transient infrastructure failure (worker died, poll
 				// failed, 5xx/429): mark the worker dead so assignment
@@ -288,25 +447,20 @@ func (s *Server) runCoordinated(ctx context.Context, j *job, st JobStatus) (*har
 				}
 				out.task.attempts++
 				if out.task.attempts >= maxShardAttempts {
-					return nil, fmt.Errorf("shard %d failed after %d attempts (%s): %w",
-						out.task.spec.Index, out.task.attempts, out.category, out.err)
+					return fmt.Errorf("shard %d failed after %d attempts (%s): %w",
+						out.task.key, out.task.attempts, out.category, out.err)
 				}
 				out.task.notAfter = time.Now().Add(s.cfg.ProgressEvery << out.task.attempts)
 				pending = append(pending, out.task)
 				s.log.Warn("shard requeued", "job", st.ID, "trace", st.Trace,
-					"shard", out.task.spec.Index, "worker", out.worker.Name,
+					"shard", out.task.key, "worker", out.worker.Name,
 					"category", out.category.String(),
 					"attempt", out.task.attempts, "err", out.err)
 				assign()
 			}
 		}
 	}
-
-	res, err := harness.MergePartials(nonNil(parts)...)
-	if err != nil {
-		return nil, fmt.Errorf("merge shards: %w", err)
-	}
-	return res, nil
+	return nil
 }
 
 // runShardOn runs one shard to completion on one worker: submit, poll
@@ -323,14 +477,14 @@ func (s *Server) runShardOn(ctx context.Context, w WorkerInfo, st JobStatus,
 	// The shard's span ID derives from the job's trace, so the worker's
 	// journal, events, and logs correlate back to this submission.
 	begun := time.Now()
-	span := obs.ShardSpan(st.Trace, t.spec.Index)
+	span := obs.ShardSpan(st.Trace, t.key)
 	wjob, err := s.peers.submit(ctx, w.URL, spec, span, st.Tenant)
 	if err != nil {
 		return shardOutcome{task: t, worker: w, err: err, category: Classify(err)}
 	}
 	onSubmit(wjob.ID)
 	s.log.Debug("shard dispatched", "job", st.ID, "trace", span,
-		"shard", t.spec.Index, "worker", w.Name, "worker_job", wjob.ID)
+		"shard", t.key, "worker", w.Name, "worker_job", wjob.ID)
 
 	for {
 		select {
@@ -387,36 +541,43 @@ type shardJournal struct {
 	f *os.File
 }
 
-// openShardJournal opens (resuming if present) the shard journal for a
-// coordinated job. Journaled shards with loadable, fingerprint-matching
-// partials are placed into parts; everything else re-runs.
-func (s *Server) openShardJournal(jobID, fingerprint string, specs []harness.ShardSpec,
-	parts []*harness.PartialResult) (*shardJournal, error) {
-
-	path := s.store.ShardJournalPath(jobID)
-	if data, err := os.ReadFile(path); err == nil {
-		sc := bufio.NewScanner(bytes.NewReader(data))
-		sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
-		for sc.Scan() {
-			line := bytes.TrimSpace(sc.Bytes())
-			if len(line) == 0 {
-				continue
-			}
-			var rec shardJournalRecord
-			if err := json.Unmarshal(line, &rec); err != nil {
-				break // truncated tail: ignore it and everything after
-			}
-			if rec.Shard < 0 || rec.Shard >= len(specs) || parts[rec.Shard] != nil {
-				continue
-			}
-			part, err := s.store.LoadPartial(rec.Path)
-			if err != nil || part.Fingerprint != fingerprint {
-				continue // missing or foreign partial: shard re-runs
-			}
-			parts[rec.Shard] = part
-		}
+// replayShardPartials reads a coordinated job's shard journal (if any)
+// and loads every journaled partial that still exists and matches the
+// campaign fingerprint, keyed by the journal record's shard key.
+// Everything it does not return re-runs.
+func (s *Server) replayShardPartials(jobID, fingerprint string) map[int]*harness.PartialResult {
+	out := make(map[int]*harness.PartialResult)
+	data, err := os.ReadFile(s.store.ShardJournalPath(jobID))
+	if err != nil {
+		return out
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec shardJournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // truncated tail: ignore it and everything after
+		}
+		if rec.Shard < 0 || out[rec.Shard] != nil {
+			continue
+		}
+		part, err := s.store.LoadPartial(rec.Path)
+		if err != nil || part.Fingerprint != fingerprint {
+			continue // missing or foreign partial: shard re-runs
+		}
+		out[rec.Shard] = part
+	}
+	return out
+}
+
+// appendShardJournal opens (creating if absent) the append handle of a
+// coordinated job's shard journal.
+func (s *Server) appendShardJournal(jobID string) (*shardJournal, error) {
+	f, err := os.OpenFile(s.store.ShardJournalPath(jobID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("service: shard journal: %w", err)
 	}

@@ -464,7 +464,7 @@ func (s *Server) RemoveWorker(name string) error { return s.registry.remove(name
 // coordinator-side compatibility checks.
 func (s *Server) Version() VersionInfo {
 	caps := []string{
-		"jobs", "stream", "metrics", "partials", "shards", "coordinate", "workers", "tenants",
+		"jobs", "stream", "metrics", "partials", "shards", "coordinate", "workers", "tenants", "adaptive",
 	}
 	if s.archive != nil {
 		caps = append(caps, "archive")
@@ -652,6 +652,7 @@ func (s *Server) finish(j *job, res *harness.CampaignResult) {
 	st.Finished = time.Now().UTC()
 	st.Tally = &tally
 	st.FPS = res.Model.FPS
+	st.Strata = res.Strata
 	// Archive before the done status becomes visible (in memory or on
 	// disk): a client that polls the job to completion and immediately
 	// resubmits the same spec must find the entry — flipping the status

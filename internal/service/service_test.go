@@ -110,8 +110,7 @@ func TestTransportDeterminism(t *testing.T) {
 	spec := service.JobSpec{App: "LULESH", Scale: "test", Runs: 14, Seed: 5, SampleEvery: 64, Snapshots: 3}
 
 	local, err := harness.RunCampaign(harness.CampaignConfig{
-		App: app, Params: app.TestParams(),
-		Runs: spec.Runs, Seed: spec.Seed, SampleEvery: spec.SampleEvery,
+		App: app, Params: app.TestParams(), Sampling: harness.Sampling{Runs: spec.Runs, Seed: spec.Seed}, Execution: harness.Execution{SampleEvery: spec.SampleEvery},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -227,8 +226,7 @@ func TestDaemonKillRestartResumes(t *testing.T) {
 	}
 	app := apps.NewHydro()
 	local, err := harness.RunCampaign(harness.CampaignConfig{
-		App: app, Params: app.TestParams(),
-		Runs: spec.Runs, Seed: spec.Seed, SampleEvery: spec.SampleEvery,
+		App: app, Params: app.TestParams(), Sampling: harness.Sampling{Runs: spec.Runs, Seed: spec.Seed}, Execution: harness.Execution{SampleEvery: spec.SampleEvery},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -98,6 +98,47 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Z95 is the two-sided 95% normal quantile used by the campaign planner's
+// confidence intervals.
+const Z95 = 1.959963984540054
+
+// WilsonHalfWidth returns the half-width of the Wilson score interval for
+// a binomial proportion of k successes in n trials at normal quantile z.
+// Unlike the Wald interval it stays informative at p̂ near 0 or 1 — exactly
+// where outcome rates live — and it is 1 for n == 0 (nothing is known).
+func WilsonHalfWidth(k, n int, z float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := z * z
+	return (z / (1 + z2/nf)) * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+}
+
+// WaldSampleSize returns the number of trials needed for a Wald interval
+// on a proportion near p to reach half-width target at quantile z. It is
+// the planner's cheap forward estimate (the stop decision itself uses the
+// Wilson interval); p is clamped away from 0 and 1 so a stratum that has
+// only seen one outcome still plans a sane follow-up.
+func WaldSampleSize(p, target, z float64) int {
+	if target <= 0 {
+		return math.MaxInt32
+	}
+	const floor = 0.02
+	if p < floor {
+		p = floor
+	}
+	if p > 1-floor {
+		p = 1 - floor
+	}
+	n := z * z * p * (1 - p) / (target * target)
+	if n >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(n))
+}
+
 // Histogram bins n observations in [lo, hi) into bins equal-width buckets.
 // Observations outside the range are clamped into the first or last bin, so
 // the counts always sum to the number of observations.

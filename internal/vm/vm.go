@@ -59,6 +59,11 @@ type Config struct {
 	// Quiesce, when non-nil, observes quiesce points (see snapshot.go); it
 	// is how golden runs profile and capture snapshot-fork state.
 	Quiesce QuiesceHook
+	// SiteObserver, when non-nil, observes every dynamic injection site
+	// with its consumer's instruction class (see hooks.go). Profiling
+	// only: it disables the clean-mode interpreter and the site fast path
+	// so no site is skipped.
+	SiteObserver SiteObserver
 	// ForkRestore declares that the caller will RestoreSnap a snapshot
 	// onto this VM before running it. New then skips resetting the pooled
 	// State and skips global initialization — the restore overwrites both
@@ -187,7 +192,7 @@ func New(prog *ir.Program, cfg Config) *VM {
 	// would bounce the VM out of clean mode anyway.
 	v.cleanOK = v.dprog.cleanOK && !cleanInterpOff.Load() &&
 		!cfg.TrackTaint && len(cfg.MemFaults) == 0 && cfg.CheckpointEvery == 0 &&
-		(cfg.Injector == nil || v.planner != nil)
+		cfg.SiteObserver == nil && (cfg.Injector == nil || v.planner != nil)
 	// A fresh run starts fault-free with an all-zero register file, so
 	// shadows trivially mirror primaries. Fork restores overwrite the mode
 	// from the snapshot (see RestoreSnap).
@@ -214,6 +219,8 @@ func CleanInterpEnabled() bool { return !cleanInterpOff.Load() }
 // that may have advanced it.
 func (v *VM) refreshNextSite() {
 	switch {
+	case v.cfg.SiteObserver != nil:
+		v.nextSite = 0 // profiling: every site takes the observed slow path
 	case v.planner != nil:
 		v.nextSite = v.planner.NextSite()
 	case v.cfg.Injector != nil:
@@ -747,6 +754,9 @@ frames:
 				if v.taint != nil {
 					v.taint.regs[base+int(in.dst)] = v.taintOf(base, in.src.A)
 				}
+				if v.cfg.SiteObserver != nil {
+					v.cfg.SiteObserver(site, siteClass(fr.fn, pc))
+				}
 				if v.cfg.Injector != nil {
 					var flipped bool
 					val, flipped = v.cfg.Injector.OnSite(site, val)
@@ -789,6 +799,19 @@ frames:
 			pc = int(in.next)
 		}
 	}
+}
+
+// siteClass resolves the injection class of the fim_inj at pc: the
+// instrumentation emits one fim_inj per source operand immediately before
+// the instruction consuming the guarded temporaries, so the first
+// non-fim_inj opcode after pc is the site's consumer.
+func siteClass(fn *ir.Func, pc int) ir.Class {
+	for i := pc + 1; i < len(fn.Code); i++ {
+		if fn.Code[i].Op != ir.FimInj {
+			return ir.ClassOf(fn.Code[i].Op)
+		}
+	}
+	return ir.ClassNone
 }
 
 func (v *VM) trapMem(addr int64) {
