@@ -7,6 +7,7 @@
 //
 //	campaign [-runs N] [-seed S] [-apps LULESH,miniFE] [-scale test|default]
 //	         [-multifault LAMBDA] [-target-ci W] [-strata P] [-workers N]
+//	         [-sites] [-protect-top PCT]
 //	         [-checkpoint PATH] [-resume] [-progress INTERVAL]
 //	         [-remote ADDR] [-priority N] [-shards N]
 //	         [-cpuprofile FILE] [-memprofile FILE]
@@ -38,6 +39,17 @@
 // and daemon restarts cannot change the results. -workers, -checkpoint and
 // -resume are daemon-side concerns and are ignored with a note.
 //
+// With -sites each experiment additionally records its propagation
+// pattern (first-contamination site, CML trajectory shape, cleanse cause)
+// and the study gains a per-site vulnerability ranking: for every static
+// injection site, P(WO or Crash | flip at site) with a 95% Wilson
+// interval, most vulnerable first. -protect-top PCT runs the selective-
+// protection evaluation on top of that: a baseline campaign ranks the
+// sites, the top PCT% are re-instrumented with operand duplication, and
+// an identically-seeded second campaign measures the achieved WO+Crash
+// reduction against the instruction overhead. -protect-top runs locally
+// only.
+//
 // With -shards N (N > 1) each campaign is split into N experiment-ID
 // shards and merged back into one result — byte-identical to the
 // unsharded run, because the position-addressable RNG makes every shard
@@ -67,6 +79,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/service"
 	"repro/internal/service/client"
+	"repro/internal/transform"
 )
 
 func main() {
@@ -78,6 +91,8 @@ func main() {
 	targetCI := flag.Float64("target-ci", 0, "adaptive stopping: stop each stratum once every outcome rate is within ± this 95% CI half-width, spending at most -runs experiments (0: fixed-size campaign)")
 	strata := flag.Int("strata", 0, "golden-execution phases per instruction class for stratified sampling (0: default; implies stratified reporting even without -target-ci)")
 	sample := flag.Uint64("sample", 256, "CML trace sampling interval in cycles")
+	sites := flag.Bool("sites", false, "record per-site propagation patterns and rank every static injection site by P(WO or Crash | flip)")
+	protectTop := flag.Float64("protect-top", 0, "selective protection: rank sites with a baseline campaign (implies -sites), duplicate the operands of the top PCT% most-vulnerable sites, and re-run to report coverage vs overhead; local runs only (0: off)")
 	jsonOut := flag.String("json", "", "also save results to this file (.json or .json.gz)")
 	workers := flag.Int("workers", 0, "concurrent experiments (0: GOMAXPROCS)")
 	snapshots := flag.Int("snapshots", 0, "golden-state snapshots per campaign for the fork fast path (0: re-execute every experiment from step 0; results are byte-identical either way)")
@@ -110,6 +125,14 @@ func main() {
 	}
 	if *strata < 0 {
 		fmt.Fprintln(os.Stderr, "-strata must be >= 0")
+		os.Exit(2)
+	}
+	if *protectTop < 0 || *protectTop > 100 {
+		fmt.Fprintln(os.Stderr, "-protect-top must be a percentage in [0, 100]")
+		os.Exit(2)
+	}
+	if *protectTop > 0 && (*remote != "" || *shards > 1) {
+		fmt.Fprintln(os.Stderr, "-protect-top runs its paired baseline/protected campaigns locally; drop -remote/-shards")
 		os.Exit(2)
 	}
 
@@ -153,7 +176,7 @@ func main() {
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries, priority: *priority,
 			shards: *shards, snapshots: *snapshots, progressEvery: *progressEvery,
-			targetCI: *targetCI, strata: *strata,
+			targetCI: *targetCI, strata: *strata, sites: *sites,
 			localFlags: *workers != 0 || *checkpoint != "" || *resume,
 		})
 	case *shards > 1:
@@ -161,14 +184,23 @@ func main() {
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries,
 			shards: *shards, snapshots: *snapshots, procs: *workers, progressEvery: *progressEvery,
-			targetCI: *targetCI, strata: *strata,
+			targetCI: *targetCI, strata: *strata, sites: *sites,
 			localFlags: *checkpoint != "" || *resume, logLevel: *logLevel,
 		})
+	case *protectTop > 0:
+		results = runProtectTop(ctx, selected, localOpts{
+			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
+			sample: *sample, maxSummaries: *maxSummaries, workers: *workers,
+			snapshots: *snapshots, targetCI: *targetCI, strata: *strata,
+			checkpoint: *checkpoint, resume: *resume, stopAfter: *stopAfter,
+			progressEvery: *progressEvery,
+		}, *protectTop)
 	default:
 		results = runLocal(ctx, selected, localOpts{
 			runs: *runs, seed: *seed, scale: *scale, multi: *multi,
 			sample: *sample, maxSummaries: *maxSummaries, workers: *workers,
 			snapshots: *snapshots, targetCI: *targetCI, strata: *strata,
+			sites:      *sites,
 			checkpoint: *checkpoint, resume: *resume, stopAfter: *stopAfter,
 			progressEvery: *progressEvery,
 		})
@@ -215,6 +247,8 @@ type localOpts struct {
 	snapshots     int
 	targetCI      float64
 	strata        int
+	sites         bool
+	protect       []int
 	checkpoint    string
 	resume        bool
 	stopAfter     int
@@ -241,7 +275,9 @@ func runLocal(ctx context.Context, selected []apps.App, o localOpts) []*harness.
 				MultiFaultLambda: o.multi,
 				TargetCI:         o.targetCI,
 				Strata:           o.strata,
+				Sites:            o.sites,
 			},
+			Protect: o.protect,
 			Execution: harness.Execution{
 				SampleEvery: o.sample,
 				Workers:     o.workers,
@@ -294,6 +330,59 @@ func runLocal(ctx context.Context, selected []apps.App, o localOpts) []*harness.
 	return results
 }
 
+// runProtectTop drives the selective-protection evaluation: per app, a
+// baseline campaign with per-site analytics ranks every static injection
+// site, the top pct% are protected by operand duplication, and an
+// identically-configured second campaign measures the protected WO+Crash
+// rate against the instruction overhead. Both campaigns share the seed,
+// and protection never changes injection plans, so the two runs flip the
+// same bits at the same dynamic sites — the rate delta is the protection
+// effect. The baseline results are returned for the standard study
+// rendering; the coverage-vs-overhead tables print here.
+func runProtectTop(ctx context.Context, selected []apps.App, o localOpts, pct float64) []*harness.CampaignResult {
+	o.sites = true
+	var results []*harness.CampaignResult
+	for _, app := range selected {
+		one := []apps.App{app}
+		base := runLocal(ctx, one, o)[0]
+		total, err := staticSiteCount(app, o.scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protect-top %s: %v\n", app.Name(), err)
+			os.Exit(1)
+		}
+		po := o
+		po.protect = harness.ProtectTop(base.Sites, pct, total)
+		// The protected campaign has its own fingerprint (the protect set
+		// is result-determining); journaling it over the baseline's path
+		// would clobber that journal, so it runs unjournaled.
+		po.checkpoint, po.resume = "", false
+		prot := runLocal(ctx, one, po)[0]
+		fmt.Println()
+		fmt.Print(harness.FormatProtection(pct, len(po.protect), total, base, prot))
+		results = append(results, base)
+	}
+	return results
+}
+
+// staticSiteCount instruments the app's program the way the campaigns do
+// and counts its static fim_inj sites — the protection coverage
+// denominator (the ranking only lists sites some experiment hit).
+func staticSiteCount(app apps.App, scale string) (int, error) {
+	p := app.DefaultParams()
+	if scale == "test" {
+		p = app.TestParams()
+	}
+	prog, err := app.Build(p)
+	if err != nil {
+		return 0, err
+	}
+	inst, err := transform.Instrument(prog, transform.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	return transform.CountStaticSites(inst), nil
+}
+
 type remoteOpts struct {
 	runs          int
 	seed          uint64
@@ -306,19 +395,20 @@ type remoteOpts struct {
 	snapshots     int
 	targetCI      float64
 	strata        int
+	sites         bool
 	progressEvery time.Duration
 	localFlags    bool
 }
 
-// samplingSpec translates the adaptive flags into the /v1 sampling
-// object, or nil when neither is set (legacy daemons reject unknown
-// fields nowhere, but a nil object keeps the wire spec byte-identical to
-// pre-adaptive submissions).
-func samplingSpec(targetCI float64, strata int) *service.SamplingSpec {
-	if targetCI == 0 && strata == 0 {
+// samplingSpec translates the sampling-policy flags into the /v1
+// sampling object, or nil when none is set (legacy daemons reject
+// unknown fields nowhere, but a nil object keeps the wire spec
+// byte-identical to pre-adaptive submissions).
+func samplingSpec(targetCI float64, strata int, sites bool) *service.SamplingSpec {
+	if targetCI == 0 && strata == 0 && !sites {
 		return nil
 	}
-	return &service.SamplingSpec{TargetCI: targetCI, Strata: strata}
+	return &service.SamplingSpec{TargetCI: targetCI, Strata: strata, Sites: sites}
 }
 
 // runRemote submits one job per app to a faultpropd daemon, follows each
@@ -349,7 +439,7 @@ func runRemote(ctx context.Context, addr string, selected []apps.App, o remoteOp
 			Priority:         o.priority,
 			Shards:           o.shards,
 			Label:            "cmd/campaign",
-			Sampling:         samplingSpec(o.targetCI, o.strata),
+			Sampling:         samplingSpec(o.targetCI, o.strata, o.sites),
 		}
 		var lastSnap *harness.Snapshot
 		res, err := c.Run(ctx, spec, func(ev service.Event) error {
@@ -411,6 +501,11 @@ func render(results []*harness.CampaignResult) {
 		}
 	}
 	for _, r := range results {
+		if s := harness.FormatSites(r); s != "" {
+			fmt.Println(s)
+		}
+	}
+	for _, r := range results {
 		rep := recovery.Evaluate(recovery.Config{
 			Model:              r.Model,
 			ThresholdCML:       20,
@@ -431,6 +526,7 @@ var flagSections = []struct {
 }{
 	{"Workload", []string{"apps", "scale"}},
 	{"Sampling (statistical design)", []string{"runs", "seed", "multifault", "target-ci", "strata"}},
+	{"Analytics and protection", []string{"sites", "protect-top"}},
 	{"Execution (scheduling)", []string{"workers", "snapshots", "sample"}},
 	{"Retention", []string{"max-summaries"}},
 	{"Persistence (checkpoint journal)", []string{"checkpoint", "resume"}},

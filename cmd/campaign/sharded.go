@@ -40,6 +40,7 @@ type shardedOpts struct {
 	procs         int
 	targetCI      float64
 	strata        int
+	sites         bool
 	progressEvery time.Duration
 	localFlags    bool
 	// logLevel enables the in-process coordinator's structured logs on
@@ -126,7 +127,7 @@ func runSharded(ctx context.Context, selected []apps.App, o shardedOpts) []*harn
 			Snapshots:        o.snapshots,
 			Shards:           o.shards,
 			Label:            "cmd/campaign -shards",
-			Sampling:         samplingSpec(o.targetCI, o.strata),
+			Sampling:         samplingSpec(o.targetCI, o.strata, o.sites),
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sharded campaign %s: %v\n", app.Name(), err)

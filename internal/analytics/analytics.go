@@ -1,0 +1,250 @@
+// Package analytics mines per-experiment propagation traces for the
+// resilience patterns FlipTracker names (corrupted locations overwritten,
+// masked by truncation, dead on exit), and ranks static injection sites by
+// vulnerability — the probability that a flip at the site ends in Wrong
+// Output or a Crash — with Wilson confidence intervals.
+//
+// Everything here is a pure function of per-experiment observables that are
+// themselves deterministic functions of the campaign seed (CML trace
+// points, fire/contamination flags, outcome classes), so pattern records
+// and rankings are byte-identical across worker counts, shard layouts,
+// snapshot-fork scheduling, and checkpoint resume — the same determinism
+// contract the rest of the harness keeps.
+package analytics
+
+import (
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Shape classifies the CML trajectory of one experiment's injected rank.
+type Shape int
+
+// Trajectory shapes.
+const (
+	// ShapeNone: the rank's memory was never contaminated.
+	ShapeNone Shape = iota
+	// ShapeSpike: contamination appeared and was fully cleansed before the
+	// run ended (final CML zero).
+	ShapeSpike
+	// ShapePlateau: the peak was reached in the first half of the
+	// contaminated interval and residue persisted to the end.
+	ShapePlateau
+	// ShapeGrowth: contamination was still at (or climbing toward) its peak
+	// in the second half of the run — unbounded propagation.
+	ShapeGrowth
+	numShapes
+)
+
+// NumShapes is the number of trajectory shapes.
+const NumShapes = int(numShapes)
+
+var shapeNames = [NumShapes]string{"none", "spike", "plateau", "growth"}
+
+// String returns the shape's short name.
+func (s Shape) String() string {
+	if s >= 0 && int(s) < NumShapes {
+		return shapeNames[s]
+	}
+	return "?"
+}
+
+// ClassifyShape assigns the trajectory shape of one CML series (the
+// injected rank's retained points, final sample included). The rule is a
+// pure function of the points, which are a deterministic function of the
+// seed and the fingerprinted SampleEvery setting.
+func ClassifyShape(points []trace.Point) Shape {
+	maxCML, maxAt := 0, int64(0)
+	firstAt, contaminated := int64(0), false
+	for _, p := range points {
+		if p.CML > 0 && !contaminated {
+			contaminated = true
+			firstAt = p.Cycles
+		}
+		if p.CML > maxCML {
+			maxCML = p.CML
+			maxAt = p.Cycles
+		}
+	}
+	if maxCML == 0 {
+		return ShapeNone
+	}
+	if points[len(points)-1].CML == 0 {
+		return ShapeSpike
+	}
+	end := points[len(points)-1].Cycles
+	// Peak in the first half of the contaminated interval: the trajectory
+	// leveled off (plateau); otherwise it was still growing at exit.
+	if 2*(maxAt-firstAt) <= end-firstAt {
+		return ShapePlateau
+	}
+	return ShapeGrowth
+}
+
+// Cause classifies why an experiment's fault did — or did not — survive to
+// the program's output: the FlipTracker cleanse taxonomy.
+type Cause int
+
+// Cleanse causes.
+const (
+	// CauseNoFire: the planned fault never fired (control flow ended before
+	// its dynamic site, or the injected rank was a casualty).
+	CauseNoFire Cause = iota
+	// CauseTruncated: the flip fired but the injected rank's memory was
+	// never contaminated — the corruption was masked (truncated, shifted
+	// out, or logically absorbed) before any store.
+	CauseTruncated
+	// CauseOverwritten: memory was contaminated but every corrupted
+	// location was overwritten with clean values before the run ended, and
+	// the output stayed correct.
+	CauseOverwritten
+	// CauseDeadOnExit: corrupted locations survived to the end of the run
+	// but the output was still correct — the residue was dead state.
+	CauseDeadOnExit
+	// CausePropagated: the fault reached the outcome (Wrong Output,
+	// Prolonged Execution, or Crash) — nothing cleansed it.
+	CausePropagated
+	numCauses
+)
+
+// NumCauses is the number of cleanse causes.
+const NumCauses = int(numCauses)
+
+var causeNames = [NumCauses]string{"nofire", "truncated", "overwritten", "dead", "propagated"}
+
+// String returns the cause's short name.
+func (c Cause) String() string {
+	if c >= 0 && int(c) < NumCauses {
+		return causeNames[c]
+	}
+	return "?"
+}
+
+// ClassifyCause derives the cleanse cause of one experiment from its
+// injected rank's observables: whether the fault fired, whether the rank's
+// memory was ever contaminated, its end-of-run CML, and the run's outcome
+// class. The fpm.Table's contaminate/cleanse bookkeeping is what makes
+// "ever contaminated, zero at exit" observable as an overwrite.
+func ClassifyCause(fired, ever bool, finalCML int, outcome classify.Outcome) Cause {
+	switch {
+	case !fired:
+		return CauseNoFire
+	case !outcome.IsCorrectOutput():
+		return CausePropagated
+	case !ever:
+		return CauseTruncated
+	case finalCML == 0:
+		return CauseOverwritten
+	default:
+		return CauseDeadOnExit
+	}
+}
+
+// Pattern is the compact per-experiment propagation record folded into
+// per-site tallies: which static site the (first) fault targeted, the CML
+// trajectory shape, and the cleanse cause.
+type Pattern struct {
+	// Site is the static fim_inj ordinal of the plan's first fault (as
+	// stamped by transform.Instrument).
+	Site  int   `json:"site"`
+	Shape Shape `json:"shape"`
+	Cause Cause `json:"cause"`
+}
+
+// ShapeCounts tallies experiments by trajectory shape, indexed by Shape.
+// Pure integer counts, so merging is commutative and associative.
+type ShapeCounts [NumShapes]int
+
+// Add folds other into c.
+func (c *ShapeCounts) Add(other ShapeCounts) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// CauseCounts tallies experiments by cleanse cause, indexed by Cause.
+type CauseCounts [NumCauses]int
+
+// Add folds other into c.
+func (c *CauseCounts) Add(other CauseCounts) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// SiteStat is one static site's outcome evidence: how many experiments
+// targeted it and how many ended badly (Wrong Output or Crash).
+type SiteStat struct {
+	Site  int
+	Label string
+	Bad   int
+	Total int
+}
+
+// RankedSite is one row of the vulnerability ranking.
+type RankedSite struct {
+	Site  int
+	Label string
+	Bad   int
+	Total int
+	// Rate is the point estimate of P(WO or Crash | flip at site).
+	Rate float64
+	// HalfWidth is the 95% Wilson half-width of Rate.
+	HalfWidth float64
+	// LowerBound is the Wilson lower confidence bound, the ranking key: it
+	// discounts sites whose high rate rests on few observations.
+	LowerBound float64
+}
+
+// RankSites orders sites by vulnerability: descending Wilson lower bound,
+// ties broken by ascending site ordinal so the ranking is deterministic.
+func RankSites(in []SiteStat, z float64) []RankedSite {
+	out := make([]RankedSite, 0, len(in))
+	for _, s := range in {
+		r := RankedSite{Site: s.Site, Label: s.Label, Bad: s.Bad, Total: s.Total}
+		if s.Total > 0 {
+			r.Rate = float64(s.Bad) / float64(s.Total)
+			r.HalfWidth = stats.WilsonHalfWidth(s.Bad, s.Total, z)
+			if lb := r.Rate - r.HalfWidth; lb > 0 {
+				r.LowerBound = lb
+			}
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LowerBound != out[j].LowerBound {
+			return out[i].LowerBound > out[j].LowerBound
+		}
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// TopPercent selects the most vulnerable sites to protect: the first
+// ceil(pct% of totalSites) rows of the ranking (fewer when fewer sites were
+// ever observed), returned as sorted static site ordinals — the shape
+// transform.Options.Protect and CampaignConfig.Protect take.
+func TopPercent(ranked []RankedSite, pct float64, totalSites int) []int {
+	if pct <= 0 || totalSites <= 0 {
+		return nil
+	}
+	n := (totalSites*int(pct*100) + 9999) / 10000 // ceil(totalSites * pct/100)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]int, 0, n)
+	for _, r := range ranked[:n] {
+		out = append(out, r.Site)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,147 @@
+package analytics
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestClassifyShape(t *testing.T) {
+	cases := []struct {
+		name   string
+		points []trace.Point
+		want   Shape
+	}{
+		{"empty", nil, ShapeNone},
+		{"never contaminated", []trace.Point{{Cycles: 0, CML: 0}, {Cycles: 100, CML: 0}}, ShapeNone},
+		{"spike cleansed", []trace.Point{{Cycles: 10, CML: 5}, {Cycles: 50, CML: 2}, {Cycles: 100, CML: 0}}, ShapeSpike},
+		{"plateau early peak", []trace.Point{{Cycles: 0, CML: 0}, {Cycles: 10, CML: 5}, {Cycles: 20, CML: 5}, {Cycles: 100, CML: 5}}, ShapePlateau},
+		{"growth late peak", []trace.Point{{Cycles: 0, CML: 0}, {Cycles: 10, CML: 1}, {Cycles: 90, CML: 9}, {Cycles: 100, CML: 9}}, ShapeGrowth},
+		// A single contaminated point: peak at the very end of a
+		// zero-length interval — levels off by the <= rule.
+		{"single point", []trace.Point{{Cycles: 42, CML: 3}}, ShapePlateau},
+	}
+	for _, tc := range cases {
+		if got := ClassifyShape(tc.points); got != tc.want {
+			t.Errorf("%s: shape = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyCause(t *testing.T) {
+	cases := []struct {
+		name    string
+		fired   bool
+		ever    bool
+		final   int
+		outcome classify.Outcome
+		want    Cause
+	}{
+		{"never fired", false, false, 0, classify.Vanished, CauseNoFire},
+		{"propagated to wrong output", true, true, 7, classify.WrongOutput, CausePropagated},
+		{"propagated to crash", true, false, 0, classify.Crashed, CausePropagated},
+		{"masked before any store", true, false, 0, classify.Vanished, CauseTruncated},
+		{"overwritten clean", true, true, 0, classify.Vanished, CauseOverwritten},
+		{"dead residue at exit", true, true, 3, classify.OutputNotAffected, CauseDeadOnExit},
+	}
+	for _, tc := range cases {
+		if got := ClassifyCause(tc.fired, tc.ever, tc.final, tc.outcome); got != tc.want {
+			t.Errorf("%s: cause = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestShapeCauseNames(t *testing.T) {
+	for s := Shape(0); int(s) < NumShapes; s++ {
+		if s.String() == "?" {
+			t.Errorf("shape %d has no name", s)
+		}
+	}
+	for c := Cause(0); int(c) < NumCauses; c++ {
+		if c.String() == "?" {
+			t.Errorf("cause %d has no name", c)
+		}
+	}
+	if Shape(NumShapes).String() != "?" || Cause(NumCauses).String() != "?" {
+		t.Error("out-of-range shape/cause must stringify as ?")
+	}
+}
+
+func TestRankSitesOrdering(t *testing.T) {
+	in := []SiteStat{
+		{Site: 0, Bad: 5, Total: 10},   // rate 0.5 on decent evidence
+		{Site: 1, Bad: 1, Total: 1},    // rate 1.0 on one observation: wide interval
+		{Site: 2, Bad: 90, Total: 100}, // rate 0.9, tight interval: most vulnerable
+		{Site: 3, Bad: 0, Total: 20},   // never bad
+	}
+	ranked := RankSites(in, stats.Z95)
+	order := make([]int, len(ranked))
+	for i, r := range ranked {
+		order[i] = r.Site
+	}
+	// The tight 0.9 beats everything; the single-observation site keeps a
+	// wide interval (half-width ~0.40 at n=1), discounting but not erasing
+	// its perfect rate; the never-bad site ranks last at lower bound 0.
+	if !reflect.DeepEqual(order, []int{2, 1, 0, 3}) {
+		t.Fatalf("ranking order = %v, want [2 1 0 3]", order)
+	}
+	for i, r := range ranked {
+		if r.LowerBound < 0 || r.LowerBound > r.Rate {
+			t.Errorf("site %d: lower bound %g outside [0, rate %g]", r.Site, r.LowerBound, r.Rate)
+		}
+		if i > 0 && r.LowerBound > ranked[i-1].LowerBound {
+			t.Errorf("ranking not monotonic at row %d", i)
+		}
+	}
+}
+
+func TestRankSitesTieBreak(t *testing.T) {
+	// Identical evidence: deterministic ascending-site order.
+	in := []SiteStat{
+		{Site: 9, Bad: 2, Total: 4},
+		{Site: 3, Bad: 2, Total: 4},
+		{Site: 6, Bad: 2, Total: 4},
+	}
+	ranked := RankSites(in, stats.Z95)
+	got := []int{ranked[0].Site, ranked[1].Site, ranked[2].Site}
+	if !reflect.DeepEqual(got, []int{3, 6, 9}) {
+		t.Errorf("tied sites ordered %v, want ascending ordinals", got)
+	}
+}
+
+func TestTopPercent(t *testing.T) {
+	ranked := []RankedSite{{Site: 7}, {Site: 2}, {Site: 9}, {Site: 0}, {Site: 4}}
+	cases := []struct {
+		name  string
+		pct   float64
+		total int
+		want  []int
+	}{
+		{"zero pct", 0, 100, nil},
+		{"zero total", 10, 0, nil},
+		{"ceil of fraction", 10, 25, []int{2, 7, 9}},  // ceil(2.5) = 3 top rows, sorted
+		{"tiny pct floors to one", 0.1, 10, []int{7}}, // at least one site
+		{"capped at observed", 100, 100, []int{0, 2, 4, 7, 9}},
+	}
+	for _, tc := range cases {
+		if got := TopPercent(ranked, tc.pct, tc.total); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: TopPercent = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := ShapeCounts{1, 2, 3, 4}
+	a.Add(ShapeCounts{10, 20, 30, 40})
+	if a != (ShapeCounts{11, 22, 33, 44}) {
+		t.Errorf("ShapeCounts.Add = %v", a)
+	}
+	c := CauseCounts{1, 0, 0, 0, 1}
+	c.Add(CauseCounts{0, 1, 1, 1, 0})
+	if c != (CauseCounts{1, 1, 1, 1, 1}) {
+		t.Errorf("CauseCounts.Add = %v", c)
+	}
+}

@@ -110,30 +110,34 @@ func RunGoldenProfile(prog *ir.Program, cfg RunConfig) (RunOutcome, []SiteCut) {
 
 // RunGoldenSiteClasses is Run for a fault-free golden execution that also
 // records, per rank, the injection class of every dynamic site (one
-// ir.Class byte per site, indexed by site number). It is the profiling
-// pass behind stratified campaigns: the class arrays map any planned
-// (rank, site) fault to its instruction-class stratum. Observation forces
-// the full interpreter, so this run is slower than a plain golden run;
-// the classes are nil when the golden run fails.
-func RunGoldenSiteClasses(prog *ir.Program, cfg RunConfig) (RunOutcome, [][]byte) {
+// ir.Class byte per site, indexed by site number) and the static fim_inj
+// ordinal the transform stamped on it (one int32 per site). It is the
+// profiling pass behind stratified campaigns and per-site analytics: the
+// class arrays map any planned (rank, site) fault to its instruction-class
+// stratum, and the static arrays map it to its static injection site.
+// Observation forces the full interpreter, so this run is slower than a
+// plain golden run; the arrays are nil when the golden run fails.
+func RunGoldenSiteClasses(prog *ir.Program, cfg RunConfig) (RunOutcome, [][]byte, [][]int32) {
 	ranks := cfg.Ranks
 	if ranks <= 0 {
 		ranks = 1
 	}
 	classes := make([][]byte, ranks)
+	statics := make([][]int32, ranks)
 	observers := make([]vm.SiteObserver, ranks)
 	for r := range observers {
 		r := r
-		observers[r] = func(site uint64, class ir.Class) {
-			// Sites arrive in order; append lands class at index site.
+		observers[r] = func(site uint64, static int32, class ir.Class) {
+			// Sites arrive in order; append lands the entry at index site.
 			classes[r] = append(classes[r], byte(class))
+			statics[r] = append(statics[r], static)
 		}
 	}
 	out := runWith(prog, cfg, extras{observers: observers})
 	if out.Err != nil {
-		return out, nil
+		return out, nil, nil
 	}
-	return out, classes
+	return out, classes, statics
 }
 
 // capturer coordinates park-and-capture across the ranks of one golden

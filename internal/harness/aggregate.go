@@ -3,6 +3,7 @@ package harness
 import (
 	"sort"
 
+	"repro/internal/analytics"
 	"repro/internal/classify"
 	"repro/internal/model"
 )
@@ -33,6 +34,20 @@ type aggregator struct {
 	// campaign is stratified. phases labels the indices.
 	strata map[int]classify.Tally
 	phases int
+
+	// sites accumulates per-static-site outcome and pattern tallies; nil
+	// unless per-site analytics are enabled (Sampling.Sites). siteMap
+	// labels the ordinals at intoPartial time; every shard derives the
+	// same labels from the same golden profile.
+	sites   map[int]*siteAgg
+	siteMap *siteMap
+}
+
+// siteAgg is one static site's running aggregate.
+type siteAgg struct {
+	tally  classify.Tally
+	shapes analytics.ShapeCounts
+	causes analytics.CauseCounts
 }
 
 // idFit carries a run fit with its experiment ID so the model is built
@@ -55,6 +70,9 @@ func newAggregator(cfg CampaignConfig) *aggregator {
 		a.strata = make(map[int]classify.Tally)
 		a.phases = cfg.Sampling.phases()
 	}
+	if cfg.Sites {
+		a.sites = make(map[int]*siteAgg)
+	}
 	return a
 }
 
@@ -70,6 +88,21 @@ func (a *aggregator) add(o expOut) {
 		t := a.strata[o.sum.Stratum]
 		t.Add(o.sum.Outcome)
 		a.strata[o.sum.Stratum] = t
+	}
+	if a.sites != nil && o.sum.Pattern != nil {
+		p := o.sum.Pattern
+		s := a.sites[p.Site]
+		if s == nil {
+			s = &siteAgg{}
+			a.sites[p.Site] = s
+		}
+		s.tally.Add(o.sum.Outcome)
+		if p.Shape >= 0 && int(p.Shape) < analytics.NumShapes {
+			s.shapes[p.Shape]++
+		}
+		if p.Cause >= 0 && int(p.Cause) < analytics.NumCauses {
+			s.causes[p.Cause]++
+		}
 	}
 	if o.sum.HasFit {
 		a.fits = append(a.fits, idFit{id: o.sum.ID, fit: o.sum.Fit, stratum: o.sum.Stratum})
@@ -168,5 +201,28 @@ func (a *aggregator) intoPartial(p *PartialResult) {
 			})
 		}
 		p.Strata = tallies
+	}
+	if a.sites != nil {
+		ords := make([]int, 0, len(a.sites))
+		for s := range a.sites {
+			ords = append(ords, s)
+		}
+		sort.Ints(ords)
+		tallies := make([]SiteTally, 0, len(ords))
+		for _, s := range ords {
+			agg := a.sites[s]
+			label := "?"
+			if a.siteMap != nil {
+				label = a.siteMap.label(s)
+			}
+			tallies = append(tallies, SiteTally{
+				Site:   s,
+				Label:  label,
+				Tally:  agg.tally,
+				Shapes: agg.shapes,
+				Causes: agg.causes,
+			})
+		}
+		p.Sites = tallies
 	}
 }

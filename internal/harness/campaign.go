@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/apps"
 	"repro/internal/classify"
 	"repro/internal/core"
@@ -50,6 +51,15 @@ type Sampling struct {
 	// MultiFaultLambda, when positive, switches to the LLFI++ multi-fault
 	// mode: each rank receives Poisson(lambda) faults per run.
 	MultiFaultLambda float64
+	// Sites, when set, enables per-site propagation analytics: every
+	// experiment is attributed to the static fim_inj site of its first
+	// fault (via the one-off golden site-observer profile), its CML
+	// trajectory shape and cleanse cause are recorded in the summary, and
+	// the campaign carries mergeable per-site tallies that finalize into a
+	// Wilson-ranked vulnerability table (CampaignResult.Sites).
+	// Result-determining (summaries gain a pattern record), so it is
+	// fingerprinted.
+	Sites bool
 }
 
 // Validate checks the sampling policy in isolation.
@@ -185,6 +195,17 @@ type CampaignConfig struct {
 	Retention
 	Persistence
 
+	// Protect lists static fim_inj site ordinals to protect: the transform
+	// restores each listed site's injected operand from its source register
+	// right after the injection point, correcting any flip there at the
+	// cost of one application cycle per dynamic execution — the
+	// selective-protection scenario evaluated by `campaign -protect-top`.
+	// Must be strictly ascending. Result-determining (it changes the
+	// program under test), so it is fingerprinted; protection never changes
+	// the number or order of injection sites, so a given seed draws
+	// identical fault plans with and without it.
+	Protect []int
+
 	// Progress, when non-nil, receives live metrics (see Progress).
 	Progress *Progress
 	// StopAfter, when positive, interrupts the campaign after roughly that
@@ -275,7 +296,24 @@ func (cfg CampaignConfig) Validate() error {
 	if cfg.StopAfter < 0 {
 		return &FieldError{Field: "StopAfter", Reason: "must be >= 0"}
 	}
+	for i, s := range cfg.Protect {
+		if s < 0 {
+			return &FieldError{Field: "Protect", Reason: "site ordinals must be >= 0"}
+		}
+		if i > 0 && s <= cfg.Protect[i-1] {
+			return &FieldError{Field: "Protect", Reason: "must be strictly ascending"}
+		}
+	}
 	return nil
+}
+
+// transformOptions derives the FPM pass options from the campaign
+// configuration: the default injection classes plus the
+// selective-protection site list.
+func (cfg CampaignConfig) transformOptions() transform.Options {
+	o := transform.DefaultOptions()
+	o.Protect = cfg.Protect
+	return o
 }
 
 // withDefaults resolves the zero-value conventions into concrete settings.
@@ -334,6 +372,12 @@ type ExperimentSummary struct {
 	// Strata) — and 0 otherwise, omitted from JSON so unstratified journals
 	// and partials keep their historical bytes.
 	Stratum int `json:",omitempty"`
+	// Pattern is the propagation-pattern record when per-site analytics are
+	// enabled (Sampling.Sites): the static site of the first fault, the CML
+	// trajectory shape, and the cleanse cause. Nil otherwise (and for
+	// zero-fault plans), omitted from JSON so legacy journals and partials
+	// keep their historical bytes.
+	Pattern *analytics.Pattern `json:",omitempty"`
 	// Diag carries the recovered panic diagnostic when the experiment
 	// infrastructure itself failed; such runs classify as Crashed.
 	Diag string `json:",omitempty"`
@@ -374,6 +418,10 @@ type CampaignResult struct {
 	// stratified (nil otherwise). For adaptive campaigns Tally.Total — the
 	// experiments actually spent — may be well below Runs, the budget.
 	Strata []StratumReport
+	// Sites is the per-site vulnerability ranking when per-site analytics
+	// were enabled (Sampling.Sites), ordered most-vulnerable first; nil
+	// otherwise, so legacy results render and serialize unchanged.
+	Sites []SiteReport
 }
 
 // coreRun and coreRunResumed indirect the core entry points so tests can
@@ -437,25 +485,26 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 	// same configuration share one build, one quiesce profile and the
 	// captured golden snapshots (see pack.go).
 	var (
-		pack *snapshotPack
-		inst *ir.Program
+		pack      *snapshotPack
+		inst      *ir.Program
+		siteInfos []transform.SiteInfo
 	)
 	if cfg.Snapshots > 0 {
 		p, err := packFor(cfg)
 		if err != nil {
 			return nil, err
 		}
-		pack, inst = p, p.inst
+		pack, inst, siteInfos = p, p.inst, p.sites
 	} else {
 		prog, err := cfg.App.Build(cfg.Params)
 		if err != nil {
 			return nil, fmt.Errorf("harness: build %s: %w", cfg.App.Name(), err)
 		}
-		in, err := transform.Instrument(prog, transform.DefaultOptions())
+		in, infos, err := transform.InstrumentSites(prog, cfg.transformOptions())
 		if err != nil {
 			return nil, fmt.Errorf("harness: instrument %s: %w", cfg.App.Name(), err)
 		}
-		inst = in
+		inst, siteInfos = in, infos
 	}
 
 	// Golden (fault-free) run: reference outputs, cycle budget, and the
@@ -498,15 +547,23 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 	criteria := classify.DefaultCriteria()
 	cycleLimit := uint64(float64(golden.Cycles) * cfg.HangFactor)
 
-	// Stratified campaigns profile the golden execution once more with a
-	// site observer, mapping every (rank, site) to its instruction class.
+	// Stratified and per-site-analytic campaigns profile the golden
+	// execution once more with a site observer, mapping every (rank, site)
+	// to its instruction class and static fim_inj ordinal. One profiling
+	// run serves both consumers.
 	var strata *Strata
-	if cfg.stratified() {
-		s, err := buildStrata(inst, cfg)
+	var sites *siteMap
+	if cfg.stratified() || cfg.Sites {
+		gsites, classes, statics, err := profileSiteSpace(inst, cfg)
 		if err != nil {
 			return nil, err
 		}
-		strata = s
+		if cfg.stratified() {
+			strata = &Strata{Phases: cfg.Sampling.phases(), sites: gsites, classes: classes}
+		}
+		if cfg.Sites {
+			sites = newSiteMap(siteInfos, statics)
+		}
 	}
 	// The planner engages only for whole-range adaptive shards. An
 	// explicit-ID shard is already one planner's decision: its worker
@@ -521,10 +578,12 @@ func RunShardContext(ctx context.Context, cfg CampaignConfig, spec ShardSpec) (*
 		criteria:   criteria,
 		cycleLimit: cycleLimit,
 		strata:     strata,
+		sites:      sites,
 		agg:        newAggregator(cfg),
 		completed:  make(map[int]bool, spec.Size()),
 		reuse:      make([]*core.Reuse, cfg.Workers),
 	}
+	e.agg.siteMap = sites
 	if adaptive {
 		e.outcomes = make(map[int]classify.Outcome, spec.Size())
 	}
@@ -660,6 +719,7 @@ type campaignEngine struct {
 	cycleLimit uint64
 	sched      *snapSchedule
 	strata     *Strata
+	sites      *siteMap
 	agg        *aggregator
 	journal    *journalWriter
 
@@ -742,6 +802,9 @@ func (e *campaignEngine) runIDs(ids []int) error {
 				o := runExperiment(id, e.inst, plan, wcfg, e.criteria, e.part.Golden, e.cycleLimit, e.sched, tr)
 				if e.strata != nil {
 					o.sum.Stratum = e.strata.StratumOf(plan)
+				}
+				if e.sites != nil {
+					o.sum.Pattern = e.sites.patternFor(plan, o.sum, o.points)
 				}
 				elapsed := time.Since(t0)
 				cfg.Progress.noteDone(o.sum.Outcome, elapsed)

@@ -97,6 +97,29 @@ func (cfg CampaignConfig) fingerprint() string {
 	if cfg.stratified() {
 		fmt.Fprintf(h, "|ci=%g|strata=%d", cfg.TargetCI, cfg.Strata)
 	}
+	// Append-only-when-set, like the adaptive suffix: configurations
+	// without per-site analytics or protection keep their historical
+	// fingerprints, so existing journals and archive entries stay valid.
+	if cfg.Sites {
+		fmt.Fprintf(h, "|sites=1")
+	}
+	if len(cfg.Protect) > 0 {
+		fmt.Fprintf(h, "|protect=%s", protectKey(cfg.Protect))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// protectKey condenses a protection site list into a stable hash token,
+// used both in the fingerprint and as the snapshot-pack cache
+// discriminator.
+func protectKey(protect []int) string {
+	if len(protect) == 0 {
+		return ""
+	}
+	h := fnv.New64a()
+	for _, s := range protect {
+		fmt.Fprintf(h, "%d,", s)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analytics"
 	"repro/internal/classify"
 	"repro/internal/inject"
 	"repro/internal/ir"
@@ -364,6 +365,88 @@ func RenderStudy(res *CampaignResult) string {
 	// Empty for non-stratified campaigns, so their rendered bytes are
 	// exactly what they were before strata existed.
 	sb.WriteString(FormatStrata(res))
+	// Likewise empty for campaigns without per-site analytics — including
+	// archive cache-hit results whose PartialResult predates the field —
+	// so legacy results render byte-identically.
+	sb.WriteString(FormatSites(res))
+	return sb.String()
+}
+
+// formatSitesRows caps the rendered ranking; the full table is in the
+// JSON result and the /v1/archive sites view.
+const formatSitesRows = 15
+
+// FormatSites renders the per-site vulnerability ranking: one row per
+// observed static injection site, most vulnerable first (descending Wilson
+// lower bound on P(WO or Crash | flip at site)), with the FlipTracker-style
+// propagation-pattern tallies (trajectory shapes none/spike/plateau/growth
+// and cleanse causes nofire/truncated/overwritten/dead/propagated). Empty
+// for campaigns without per-site analytics — the PR 9 "empty for legacy
+// results" rule — so archive cache hits predating the feature render
+// byte-identically to their original output.
+func FormatSites(res *CampaignResult) string {
+	if len(res.Sites) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Per-site vulnerability — %s (ranked by Wilson lower bound on P(WO|C), 95%% CI)\n", res.App)
+	sb.WriteString("site  label                runs  V/ONA/WO/PEX/C        P(WO|C)         shapes n/s/p/g   causes nf/tr/ow/de/pr\n")
+	rows := len(res.Sites)
+	if rows > formatSitesRows {
+		rows = formatSitesRows
+	}
+	for _, s := range res.Sites[:rows] {
+		c := s.Tally.Counts
+		fmt.Fprintf(&sb, "%4d  %-20s %4d  %4d/%4d/%3d/%3d/%3d  %.3f ±%.3f     %3d/%3d/%3d/%3d  %3d/%3d/%3d/%3d/%3d\n",
+			s.Site, s.Label, s.Tally.Total,
+			c[classify.Vanished], c[classify.OutputNotAffected], c[classify.WrongOutput],
+			c[classify.ProlongedExecution], c[classify.Crashed],
+			s.Rate, s.HalfWidth,
+			s.Shapes[analytics.ShapeNone], s.Shapes[analytics.ShapeSpike],
+			s.Shapes[analytics.ShapePlateau], s.Shapes[analytics.ShapeGrowth],
+			s.Causes[analytics.CauseNoFire], s.Causes[analytics.CauseTruncated],
+			s.Causes[analytics.CauseOverwritten], s.Causes[analytics.CauseDeadOnExit],
+			s.Causes[analytics.CausePropagated])
+	}
+	if n := len(res.Sites) - rows; n > 0 {
+		fmt.Fprintf(&sb, "(+%d more sites)\n", n)
+	}
+	return sb.String()
+}
+
+// FormatProtection renders the selective-protection evaluation for one
+// app: the WO+Crash rate (with 95% Wilson half-width) and golden cycle
+// count of a baseline campaign against those of the same campaign with
+// the top-ranked sites protected, plus the coverage and instruction
+// overhead the protection buys. Protection never changes the experiment
+// plans — both campaigns flip the same bits at the same dynamic sites —
+// so the rate delta is attributable to the duplicated operands alone.
+func FormatProtection(pct float64, protected, totalSites int, base, prot *CampaignResult) string {
+	var sb strings.Builder
+	coverage := 0.0
+	if totalSites > 0 {
+		coverage = float64(protected) / float64(totalSites) * 100
+	}
+	fmt.Fprintf(&sb, "Selective protection — %s (top %g%% of %d sites: %d protected, %.1f%% coverage)\n",
+		base.App, pct, totalSites, protected, coverage)
+	sb.WriteString("           runs   WO+C rate        golden cycles   overhead\n")
+	row := func(name string, res *CampaignResult, overhead string) {
+		bad := res.Tally.Counts[classify.WrongOutput] + res.Tally.Counts[classify.Crashed]
+		rate := 0.0
+		if res.Tally.Total > 0 {
+			rate = float64(bad) / float64(res.Tally.Total)
+		}
+		hw := stats.WilsonHalfWidth(bad, res.Tally.Total, stats.Z95)
+		fmt.Fprintf(&sb, "%-10s %4d   %.4f ±%.4f   %13d   %s\n",
+			name, res.Tally.Total, rate, hw, res.Golden.Cycles, overhead)
+	}
+	row("baseline", base, "—")
+	overhead := "—"
+	if base.Golden.Cycles > 0 {
+		delta := int64(prot.Golden.Cycles) - int64(base.Golden.Cycles)
+		overhead = fmt.Sprintf("%+.2f%%", float64(delta)/float64(base.Golden.Cycles)*100)
+	}
+	row("protected", prot, overhead)
 	return sb.String()
 }
 

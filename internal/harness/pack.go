@@ -41,12 +41,13 @@ const (
 
 // packKey identifies one golden configuration. Everything the cached
 // artifacts depend on is in the key: the instrumented program is a
-// function of (app, params), the cut profile and captures additionally of
-// (ranks, sampleEvery) — and ranks is part of params.
+// function of (app, params, protect), the cut profile and captures
+// additionally of (ranks, sampleEvery) — and ranks is part of params.
 type packKey struct {
-	app    string
-	params apps.Params
-	sample uint64
+	app     string
+	params  apps.Params
+	sample  uint64
+	protect string
 }
 
 type snapshotPack struct {
@@ -56,6 +57,7 @@ type snapshotPack struct {
 	// snapshots, which are immutable.
 	mu    sync.Mutex
 	inst  *ir.Program
+	sites []transform.SiteInfo
 	reuse *core.Reuse
 
 	profiled bool
@@ -74,7 +76,12 @@ var (
 // instrument failures are returned with the same wrapping the
 // non-snapshot path uses, and are not cached.
 func packFor(cfg CampaignConfig) (*snapshotPack, error) {
-	key := packKey{app: cfg.App.Name(), params: cfg.Params, sample: cfg.SampleEvery}
+	key := packKey{
+		app:     cfg.App.Name(),
+		params:  cfg.Params,
+		sample:  cfg.SampleEvery,
+		protect: protectKey(cfg.Protect),
+	}
 	packMu.Lock()
 	defer packMu.Unlock()
 	if p, ok := packs[key]; ok {
@@ -85,12 +92,13 @@ func packFor(cfg CampaignConfig) (*snapshotPack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: build %s: %w", cfg.App.Name(), err)
 	}
-	inst, err := transform.Instrument(prog, transform.DefaultOptions())
+	inst, infos, err := transform.InstrumentSites(prog, cfg.transformOptions())
 	if err != nil {
 		return nil, fmt.Errorf("harness: instrument %s: %w", cfg.App.Name(), err)
 	}
 	p := &snapshotPack{
 		inst:  inst,
+		sites: infos,
 		reuse: core.NewReuse(cfg.Params.Ranks),
 		snaps: make(map[uint64]*core.CampaignSnapshot),
 	}

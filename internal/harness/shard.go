@@ -212,6 +212,13 @@ type PartialResult struct {
 	// only, so merging stays commutative and associative; empty — and
 	// omitted from JSON — for unstratified campaigns.
 	Strata []StratumTally `json:"strata,omitempty"`
+	// Sites holds the per-static-site outcome and propagation-pattern
+	// tallies when per-site analytics are enabled (Sampling.Sites). Like
+	// Strata, pure integer counts: merging stays commutative and
+	// associative, and the slice is empty — and omitted from JSON — for
+	// campaigns without site analytics, so legacy partials keep their
+	// historical bytes.
+	Sites []SiteTally `json:"sites,omitempty"`
 	// AdaptiveDone marks a partial whose adaptive planner reached its
 	// stopping criterion: every stratum's outcome rates are within the
 	// target CI (or its ID pool is exhausted). Finalize accepts partial ID
@@ -283,6 +290,13 @@ func (p *PartialResult) Merge(other *PartialResult) error {
 		return err
 	}
 	p.Strata = strata
+
+	// Per-site tallies merge the same way: union by static site ordinal.
+	sites, err := mergeSiteTallies(p.Sites, other.Sites)
+	if err != nil {
+		return err
+	}
+	p.Sites = sites
 	p.AdaptiveDone = p.AdaptiveDone || other.AdaptiveDone
 
 	// Widest spread wins; ties go to the lowest experiment ID, exactly as
@@ -334,6 +348,7 @@ func (p *PartialResult) Clone() *PartialResult {
 	c.Profiles = append([]Profile(nil), p.Profiles...)
 	c.Fits = append([]IDFit(nil), p.Fits...)
 	c.Strata = append([]StratumTally(nil), p.Strata...)
+	c.Sites = append([]SiteTally(nil), p.Sites...)
 	if p.StructTotals != nil {
 		c.StructTotals = make(map[string]int, len(p.StructTotals))
 		for k, v := range p.StructTotals {
@@ -379,6 +394,7 @@ func (p *PartialResult) Finalize() (*CampaignResult, error) {
 		Model:          model.BuildAppModel(p.App, fits),
 		StructTotals:   p.StructTotals,
 		Strata:         buildStrataReports(p.Strata, p.Fits),
+		Sites:          buildSiteReports(p.Sites),
 	}, nil
 }
 

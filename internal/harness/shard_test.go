@@ -79,6 +79,8 @@ func assertStudyIdentical(t *testing.T, label string, want, got *CampaignResult)
 		{"Table2", func(r *CampaignResult) string { return FormatTable2([]*CampaignResult{r}) }},
 		{"CO", func(r *CampaignResult) string { return FormatCOBreakdown([]*CampaignResult{r}) }},
 		{"Structs", func(r *CampaignResult) string { return FormatStructVulnerability([]*CampaignResult{r}) }},
+		{"Strata", FormatStrata},
+		{"Sites", FormatSites},
 	} {
 		if w, g := render.f(want), render.f(got); w != g {
 			t.Errorf("%s: rendered %s differs:\n--- unsharded\n%s\n--- merged\n%s", label, render.name, w, g)
@@ -172,6 +174,36 @@ func TestShardMergeByteIdentical(t *testing.T) {
 			got := runShardedVariant(t, cfg, specs, shuffled(len(specs)))
 			assertStudyIdentical(t, "arbitrary boundaries", want, got)
 		}
+	})
+
+	t.Run("sites-enabled", func(t *testing.T) {
+		// Per-site tallies must fold like every other mergeable slice:
+		// forward and reverse merge orders, 1-experiment shards, and empty
+		// shards all finalize to the unsharded bytes (ranking included).
+		scfg := cfg
+		scfg.Sites = true
+		swant, err := RunCampaign(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(swant.Sites) == 0 {
+			t.Fatal("sites-enabled campaign produced no per-site ranking")
+		}
+		specs, err := PlanShards(scfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertStudyIdentical(t, "sites forward order", swant,
+			runShardedVariant(t, scfg, specs, []int{0, 1, 2, 3}))
+		assertStudyIdentical(t, "sites reverse order", swant,
+			runShardedVariant(t, scfg, specs, []int{3, 2, 1, 0}))
+
+		specs, err = PlanShards(scfg, scfg.Runs+3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runShardedVariant(t, scfg, specs, shuffled(len(specs)))
+		assertStudyIdentical(t, "sites 1-exp and empty shards", swant, got)
 	})
 }
 

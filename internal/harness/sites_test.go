@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/classify"
+)
+
+// TestSitesLegacyBytes pins the "empty for legacy results" rule for the
+// per-site additions: a campaign run without Sites — and any archived
+// result or wire partial predating the fields — must render and encode
+// byte-identically to releases that had no per-site analytics.
+func TestSitesLegacyBytes(t *testing.T) {
+	app := apps.NewHydro()
+	cfg := CampaignConfig{
+		App:    app,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 8, Seed: 99}, Execution: Execution{SampleEvery: 64},
+	}
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sites != nil {
+		t.Fatalf("sites-off campaign produced per-site reports: %v", res.Sites)
+	}
+	if s := FormatSites(res); s != "" {
+		t.Errorf("FormatSites of a sites-off result = %q, want empty", s)
+	}
+	if study := RenderStudy(res); strings.Contains(study, "Per-site vulnerability") {
+		t.Error("rendered study of a sites-off campaign contains the per-site section")
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"sites"`) {
+		t.Error("sites-off result JSON carries a sites key (breaks legacy byte-identity)")
+	}
+
+	// A cache-hit replay of the stored bytes renders identically.
+	var rt CampaignResult
+	if err := json.Unmarshal(raw, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if RenderStudy(&rt) != RenderStudy(res) {
+		t.Error("JSON round-trip changed the rendered study")
+	}
+
+	// Legacy wire partials (no sites key) merge and finalize with Sites
+	// still absent.
+	spec := ShardSpec{Index: 0, Shards: 1, From: 0, To: cfg.Runs, Runs: cfg.Runs, Fingerprint: cfg.Fingerprint()}
+	part, err := RunShard(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	praw, err := json.Marshal(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(praw), `"sites"`) {
+		t.Error("sites-off partial JSON carries a sites key")
+	}
+	var legacy PartialResult
+	if err := json.Unmarshal(praw, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergePartials(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Sites != nil {
+		t.Errorf("finalizing a legacy partial fabricated sites: %v", merged.Sites)
+	}
+}
+
+// TestSitesFingerprint pins the append-only fingerprint rule: legacy
+// configurations keep their historical fingerprints, while turning on
+// site analytics or protection — both result-determining — changes them.
+func TestSitesFingerprint(t *testing.T) {
+	app := apps.NewHydro()
+	base := CampaignConfig{
+		App:    app,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 8, Seed: 99},
+	}
+	plain := base.Fingerprint()
+
+	emptyProtect := base
+	emptyProtect.Protect = []int{}
+	if emptyProtect.Fingerprint() != plain {
+		t.Error("empty Protect changed the fingerprint")
+	}
+
+	sites := base
+	sites.Sites = true
+	if sites.Fingerprint() == plain {
+		t.Error("Sites=true did not change the fingerprint (journal mixing hazard)")
+	}
+
+	prot := base
+	prot.Protect = []int{1, 4}
+	if prot.Fingerprint() == plain || prot.Fingerprint() == sites.Fingerprint() {
+		t.Error("Protect did not produce a distinct fingerprint")
+	}
+	prot2 := base
+	prot2.Protect = []int{1, 5}
+	if prot2.Fingerprint() == prot.Fingerprint() {
+		t.Error("different Protect sets share a fingerprint")
+	}
+}
+
+func TestProtectValidation(t *testing.T) {
+	app := apps.NewHydro()
+	for _, protect := range [][]int{{-1}, {3, 3}, {5, 2}} {
+		cfg := CampaignConfig{
+			App:    app,
+			Params: app.TestParams(), Sampling: Sampling{Runs: 4, Seed: 1},
+			Protect: protect,
+		}
+		var fe *FieldError
+		if err := cfg.Validate(); !errors.As(err, &fe) || fe.Field != "Protect" {
+			t.Errorf("Protect=%v: Validate() = %v, want FieldError{Protect}", protect, err)
+		}
+	}
+}
+
+// TestMergeSiteTallies covers the per-site merge algebra directly:
+// commutativity, empty sides, and the label-mismatch guard.
+func TestMergeSiteTallies(t *testing.T) {
+	mk := func(site int, label string, outcome classify.Outcome, n int) SiteTally {
+		st := SiteTally{Site: site, Label: label}
+		st.Tally.Counts[outcome] = n
+		st.Tally.Total = n
+		return st
+	}
+	a := []SiteTally{mk(1, "f#1/arith", classify.Vanished, 3), mk(4, "f#4/arith", classify.Crashed, 1)}
+	b := []SiteTally{mk(4, "f#4/arith", classify.WrongOutput, 2), mk(7, "g#0/mem", classify.Vanished, 5)}
+
+	ab, err := mergeSiteTallies(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := mergeSiteTallies(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abj, _ := json.Marshal(ab)
+	baj, _ := json.Marshal(ba)
+	if string(abj) != string(baj) {
+		t.Errorf("merge not commutative:\n%s\n%s", abj, baj)
+	}
+	if len(ab) != 3 || ab[1].Site != 4 || ab[1].Tally.Total != 3 {
+		t.Errorf("merged tallies wrong: %+v", ab)
+	}
+
+	if got, err := mergeSiteTallies(nil, b); err != nil || len(got) != len(b) {
+		t.Errorf("nil-left merge = %v, %v", got, err)
+	}
+	if got, err := mergeSiteTallies(a, nil); err != nil || len(got) != len(a) {
+		t.Errorf("nil-right merge = %v, %v", got, err)
+	}
+
+	conflict := []SiteTally{mk(4, "other#9/cmp", classify.Vanished, 1)}
+	if _, err := mergeSiteTallies(a, conflict); !errors.Is(err, ErrMergeMismatch) {
+		t.Errorf("label conflict merge = %v, want ErrMergeMismatch", err)
+	}
+}
+
+// TestProtectionCampaign is the selective-protection integration check:
+// protecting sites never changes the experiment plans (same sites hit,
+// same per-site totals), strictly adds golden cycles (the overhead
+// metric), and the per-site rankings of both runs stay internally
+// consistent.
+func TestProtectionCampaign(t *testing.T) {
+	app := apps.NewHydro()
+	cfg := CampaignConfig{
+		App:    app,
+		Params: app.TestParams(), Sampling: Sampling{Runs: 16, Seed: 321, Sites: true}, Execution: Execution{SampleEvery: 64},
+	}
+	base, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Sites) == 0 {
+		t.Fatal("baseline produced no site reports")
+	}
+
+	pcfg := cfg
+	pcfg.Protect = ProtectTop(base.Sites, 20, len(base.Sites))
+	if len(pcfg.Protect) == 0 {
+		t.Fatal("ProtectTop selected nothing")
+	}
+	prot, err := RunCampaign(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.Golden.Cycles <= base.Golden.Cycles {
+		t.Errorf("protection added no golden cycles: %d vs %d", prot.Golden.Cycles, base.Golden.Cycles)
+	}
+
+	// Identical plans: every experiment targets the same static site in
+	// both runs, so the per-site totals line up exactly.
+	totals := func(res *CampaignResult) map[int]int {
+		m := make(map[int]int, len(res.Sites))
+		for _, s := range res.Sites {
+			m[s.Site] = s.Tally.Total
+		}
+		return m
+	}
+	bt, pt := totals(base), totals(prot)
+	if len(bt) != len(pt) {
+		t.Fatalf("site sets differ: %d vs %d sites", len(bt), len(pt))
+	}
+	for site, n := range bt {
+		if pt[site] != n {
+			t.Errorf("site %d: %d experiments baseline, %d protected (plans diverged)", site, n, pt[site])
+		}
+	}
+}

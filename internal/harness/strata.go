@@ -78,7 +78,7 @@ func BuildStrata(cfg CampaignConfig) (*Strata, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: build %s: %w", cfg.App.Name(), err)
 	}
-	inst, err := transform.Instrument(prog, transform.DefaultOptions())
+	inst, err := transform.Instrument(prog, cfg.transformOptions())
 	if err != nil {
 		return nil, fmt.Errorf("harness: instrument %s: %w", cfg.App.Name(), err)
 	}
@@ -88,18 +88,31 @@ func BuildStrata(cfg CampaignConfig) (*Strata, error) {
 // buildStrata is BuildStrata over an already-instrumented program (the
 // engine shares its build). cfg must have defaults applied.
 func buildStrata(inst *ir.Program, cfg CampaignConfig) (*Strata, error) {
-	out, classes := core.RunGoldenSiteClasses(inst, core.RunConfig{Ranks: cfg.Params.Ranks})
+	sites, classes, _, err := profileSiteSpace(inst, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Strata{Phases: cfg.Sampling.phases(), sites: sites, classes: classes}, nil
+}
+
+// profileSiteSpace runs the one-off golden site-observer profile behind
+// both stratification and per-site analytics: per-rank golden site counts,
+// one consumer-class byte per dynamic site, and the static fim_inj ordinal
+// of every dynamic site. All three are pure functions of (app, params), so
+// every shard of a campaign derives the same profile independently.
+func profileSiteSpace(inst *ir.Program, cfg CampaignConfig) ([]uint64, [][]byte, [][]int32, error) {
+	out, classes, statics := core.RunGoldenSiteClasses(inst, core.RunConfig{Ranks: cfg.Params.Ranks})
 	if out.Err != nil {
-		return nil, fmt.Errorf("harness: site-class profile of %s failed: %w", cfg.App.Name(), out.Err)
+		return nil, nil, nil, fmt.Errorf("harness: site-class profile of %s failed: %w", cfg.App.Name(), out.Err)
 	}
 	sites := out.SiteCounts()
 	for r, n := range sites {
 		if uint64(len(classes[r])) != n {
-			return nil, fmt.Errorf("harness: site-class profile of %s: rank %d observed %d of %d sites",
+			return nil, nil, nil, fmt.Errorf("harness: site-class profile of %s: rank %d observed %d of %d sites",
 				cfg.App.Name(), r, len(classes[r]), n)
 		}
 	}
-	return &Strata{Phases: cfg.Sampling.phases(), sites: sites, classes: classes}, nil
+	return sites, classes, statics, nil
 }
 
 // NumStrata is the stratum index space size: the zero-fault catch-all plus

@@ -34,6 +34,7 @@
 //	GET    /v1/archive          campaign archive listing (entry metadata + totals)
 //	GET    /v1/archive/trends   per-app outcome-rate and FPS-over-time series
 //	GET    /v1/archive/{fp}     one archived campaign (metadata + full result)
+//	GET    /v1/archive/{fp}/sites  per-site vulnerability ranking of an archived campaign
 //	GET    /metrics             service metrics, Prometheus text format
 //	GET    /healthz             liveness probe
 //
@@ -129,6 +130,18 @@ type SamplingSpec struct {
 	// Strata is the number of golden-execution phases per instruction
 	// class used to stratify injection sites (0: harness default).
 	Strata int `json:"strata,omitempty"`
+	// Sites enables per-site propagation analytics (daemons advertising the
+	// "sites" capability): every experiment is attributed to the static
+	// injection site of its first fault and the result carries a
+	// Wilson-ranked per-site vulnerability table, also served from
+	// GET /v1/archive/{fingerprint}/sites.
+	Sites bool `json:"sites,omitempty"`
+	// Protect lists static fim_inj site ordinals to protect (strictly
+	// ascending): the transform corrects any flip at a listed site right
+	// after the injection point — the selective-protection scenario. It
+	// changes the program under test, so it is part of the campaign
+	// fingerprint.
+	Protect []int `json:"protect,omitempty"`
 }
 
 // Validate checks the spec without building anything. Violations wrap
@@ -167,6 +180,14 @@ func (s JobSpec) Validate() error {
 		if s.Sampling.Strata < 0 {
 			return fmt.Errorf("%w: sampling.strata must be >= 0", ErrInvalidSpec)
 		}
+		for i, p := range s.Sampling.Protect {
+			if p < 0 {
+				return fmt.Errorf("%w: sampling.protect ordinals must be >= 0", ErrInvalidSpec)
+			}
+			if i > 0 && p <= s.Sampling.Protect[i-1] {
+				return fmt.Errorf("%w: sampling.protect must be strictly ascending", ErrInvalidSpec)
+			}
+		}
 	}
 	return nil
 }
@@ -191,19 +212,25 @@ func (s JobSpec) CampaignConfig() (harness.CampaignConfig, error) {
 	}
 	var targetCI float64
 	var strata int
+	var sites bool
+	var protect []int
 	if s.Sampling != nil {
 		targetCI = s.Sampling.TargetCI
 		strata = s.Sampling.Strata
+		sites = s.Sampling.Sites
+		protect = s.Sampling.Protect
 	}
 	return harness.CampaignConfig{
-		App:    app,
-		Params: p,
+		App:     app,
+		Params:  p,
+		Protect: protect,
 		Sampling: harness.Sampling{
 			Runs:             s.Runs,
 			Seed:             s.Seed,
 			MultiFaultLambda: s.MultiFaultLambda,
 			TargetCI:         targetCI,
 			Strata:           strata,
+			Sites:            sites,
 		},
 		Execution: harness.Execution{
 			HangFactor:  s.HangFactor,

@@ -185,6 +185,18 @@ type ArchiveRecord struct {
 	Result *harness.CampaignResult `json:"result"`
 }
 
+// ArchiveSites is the GET /v1/archive/{fingerprint}/sites document: the
+// per-site vulnerability ranking of one archived campaign, without the
+// rest of the result payload. Sites is empty (never null) for entries
+// archived before per-site analytics existed or for campaigns run with
+// site sampling off — the legacy-results rule: absent data renders as
+// empty, never as an error.
+type ArchiveSites struct {
+	Fingerprint string               `json:"fingerprint"`
+	App         string               `json:"app"`
+	Sites       []harness.SiteReport `json:"sites"`
+}
+
 // TrendPoint is one archived campaign inside an app's trend series.
 type TrendPoint struct {
 	Fingerprint string    `json:"fingerprint"`
@@ -239,6 +251,22 @@ func (s *Server) ArchiveEntry(fp string) (ArchiveRecord, error) {
 		return ArchiveRecord{}, fmt.Errorf("%w: %s", ErrNoArchiveEntry, fp)
 	}
 	return ArchiveRecord{Meta: rec.Meta, Result: &res}, nil
+}
+
+// ArchiveSiteRanking loads the per-site vulnerability ranking of one
+// archived campaign. It shares ArchiveEntry's lookup semantics (missing,
+// corrupt, and malformed entries are all ErrNoArchiveEntry); an archived
+// result without per-site tallies yields an empty ranking.
+func (s *Server) ArchiveSiteRanking(fp string) (ArchiveSites, error) {
+	rec, err := s.ArchiveEntry(fp)
+	if err != nil {
+		return ArchiveSites{}, err
+	}
+	sites := rec.Result.Sites
+	if sites == nil {
+		sites = []harness.SiteReport{}
+	}
+	return ArchiveSites{Fingerprint: rec.Meta.Fingerprint, App: rec.Meta.App, Sites: sites}, nil
 }
 
 // ArchiveTrends groups the archive by app into archive-time-ordered

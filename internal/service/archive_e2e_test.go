@@ -154,6 +154,73 @@ func TestCacheHitByteIdentity(t *testing.T) {
 	}
 }
 
+// TestArchiveSitesView covers GET /v1/archive/{fingerprint}/sites: a
+// sites-enabled job's archived ranking is served as-is, a legacy
+// (sites-off) entry yields an empty non-null ranking, and the daemon
+// advertises the "sites" capability.
+func TestArchiveSitesView(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), service.Config{ArchiveDir: t.TempDir()})
+	ctx := context.Background()
+
+	v, err := d.c.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(v.Capabilities, ","), "sites") {
+		t.Errorf("capabilities %v missing sites", v.Capabilities)
+	}
+
+	withSites := service.JobSpec{App: "LULESH", Scale: "test", Runs: 14, Seed: 5,
+		SampleEvery: 64, Sampling: &service.SamplingSpec{Sites: true}}
+	st, err := d.c.Submit(ctx, withSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitDone(t, d.c, st.ID)
+	if done.State != service.StateDone {
+		t.Fatalf("sites job settled as %s: %s", done.State, done.Error)
+	}
+	ranking, err := d.c.ArchiveSites(ctx, done.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranking.Sites) == 0 {
+		t.Fatal("archived sites view is empty for a sites-enabled job")
+	}
+	res, err := d.c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != len(ranking.Sites) || res.Sites[0] != ranking.Sites[0] {
+		t.Errorf("sites view diverges from the stored result: %d vs %d rows",
+			len(ranking.Sites), len(res.Sites))
+	}
+
+	// A legacy entry — archived without per-site analytics — serves an
+	// empty ranking, not an error and not null.
+	legacy := service.JobSpec{App: "LULESH", Scale: "test", Runs: 14, Seed: 5, SampleEvery: 64}
+	lst, err := d.c.Submit(ctx, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldone := waitDone(t, d.c, lst.ID)
+	if ldone.Fingerprint == done.Fingerprint {
+		t.Fatal("sites-on and sites-off jobs share a fingerprint")
+	}
+	lranking, err := d.c.ArchiveSites(ctx, ldone.Fingerprint)
+	if err != nil {
+		t.Fatalf("legacy sites view: %v", err)
+	}
+	if lranking.Sites == nil || len(lranking.Sites) != 0 {
+		t.Errorf("legacy sites view = %v, want empty non-null", lranking.Sites)
+	}
+
+	// Unknown fingerprints are a wire-coded miss.
+	if _, err := d.c.ArchiveSites(ctx, "no-such-entry"); !errors.Is(err, service.ErrNoArchiveEntry) {
+		t.Errorf("missing entry error = %v, want ErrNoArchiveEntry", err)
+	}
+}
+
 // TestCacheHitSurvivesRestart: the archive outlives the daemon. A fresh
 // daemon process over an EMPTY job store but the SAME archive directory
 // must serve the resubmission from the archive, byte-identical.

@@ -284,6 +284,15 @@ func (c *Client) ArchiveEntry(ctx context.Context, fingerprint string) (service.
 	return rec, err
 }
 
+// ArchiveSites fetches the per-site vulnerability ranking of one
+// archived campaign. Entries archived without site sampling return an
+// empty (non-null) ranking.
+func (c *Client) ArchiveSites(ctx context.Context, fingerprint string) (service.ArchiveSites, error) {
+	var sites service.ArchiveSites
+	err := c.doRetry(ctx, http.MethodGet, "/v1/archive/"+url.PathEscape(fingerprint)+"/sites", nil, &sites)
+	return sites, err
+}
+
 // ArchiveTrends fetches the per-app outcome-rate and FPS-over-time
 // series computed over the whole archive.
 func (c *Client) ArchiveTrends(ctx context.Context) ([]service.AppTrend, error) {

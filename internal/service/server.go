@@ -464,7 +464,7 @@ func (s *Server) RemoveWorker(name string) error { return s.registry.remove(name
 // coordinator-side compatibility checks.
 func (s *Server) Version() VersionInfo {
 	caps := []string{
-		"jobs", "stream", "metrics", "partials", "shards", "coordinate", "workers", "tenants", "adaptive",
+		"jobs", "stream", "metrics", "partials", "shards", "coordinate", "workers", "tenants", "adaptive", "sites",
 	}
 	if s.archive != nil {
 		caps = append(caps, "archive")
@@ -958,6 +958,14 @@ func (s *Server) routes() {
 			return
 		}
 		writeJSON(w, http.StatusOK, rec)
+	})
+	s.mux.HandleFunc("GET /v1/archive/{fingerprint}/sites", func(w http.ResponseWriter, r *http.Request) {
+		sites, err := s.ArchiveSiteRanking(r.PathValue("fingerprint"))
+		if err != nil {
+			archiveErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sites)
 	})
 	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 }

@@ -41,6 +41,18 @@ type Options struct {
 	// into arithmetic and load/store instructions (§2); its experiments
 	// use the arithmetic class (§4.2).
 	InjectClasses ir.Class
+
+	// Protect lists static fim_inj site ordinals (the value Instrument
+	// stamps into each fim_inj's Target, also the index into the SiteInfo
+	// table) whose injected operand is restored from its source register
+	// immediately after the injection point. A flip at a protected site is
+	// corrected before its consumer reads it, at the cost of one extra
+	// application cycle per dynamic execution of the site — the
+	// selective-protection scenario of "Not All Errors Are Equal".
+	// Protection never changes the number or order of fim_inj sites, so
+	// injection plans drawn from a given seed target the same sites in the
+	// protected and unprotected programs.
+	Protect []int
 }
 
 // DefaultOptions matches the paper's experimental setup: injection sites on
@@ -69,9 +81,32 @@ func shadOp(o ir.Operand) ir.Operand {
 	return o
 }
 
+// SiteInfo describes one static fim_inj site, indexed by the global
+// ordinal Instrument stamps into the fim_inj's Target field. The table is a
+// pure function of (program, InjectClasses) — Protect inserts correction
+// moves but never adds, removes, or reorders sites — so baseline and
+// protected campaigns agree on every ordinal.
+type SiteInfo struct {
+	// Func is the name of the containing function.
+	Func string
+	// Index is the site's ordinal within the function.
+	Index int
+	// Class is the injection class of the consuming instruction, recorded
+	// at rewrite time (runtime scanning would misattribute protected sites
+	// to their correction move).
+	Class ir.Class
+}
+
 // Instrument applies the FPM pass to prog and returns the instrumented
 // program. The input program is not modified.
 func Instrument(prog *ir.Program, opts Options) (*ir.Program, error) {
+	p, _, err := InstrumentSites(prog, opts)
+	return p, err
+}
+
+// InstrumentSites is Instrument, additionally returning the static site
+// table indexed by the global fim_inj ordinal.
+func InstrumentSites(prog *ir.Program, opts Options) (*ir.Program, []SiteInfo, error) {
 	out := &ir.Program{
 		ByName:      make(map[string]int, len(prog.ByName)),
 		Globals:     append([]ir.Global(nil), prog.Globals...),
@@ -81,17 +116,22 @@ func Instrument(prog *ir.Program, opts Options) (*ir.Program, error) {
 	for name, idx := range prog.ByName {
 		out.ByName[name] = idx
 	}
+	protect := make(map[int]bool, len(opts.Protect))
+	for _, s := range opts.Protect {
+		protect[s] = true
+	}
+	var sites []SiteInfo
 	for _, f := range prog.Funcs {
-		nf, err := instrumentFunc(f, opts)
+		nf, err := instrumentFunc(f, opts, &sites, protect)
 		if err != nil {
-			return nil, fmt.Errorf("transform: func %q: %w", f.Name, err)
+			return nil, nil, fmt.Errorf("transform: func %q: %w", f.Name, err)
 		}
 		out.Funcs = append(out.Funcs, nf)
 	}
 	if err := out.Validate(); err != nil {
-		return nil, fmt.Errorf("transform: instrumented program invalid: %w", err)
+		return nil, nil, fmt.Errorf("transform: instrumented program invalid: %w", err)
 	}
-	return out, nil
+	return out, sites, nil
 }
 
 // MustInstrument is Instrument with the default options, panicking on
@@ -114,9 +154,14 @@ type funcRewriter struct {
 	pcMap []int
 	// branchFix lists instrumented pcs whose Target is an original pc.
 	branchFix []int
+	// sites is the program-wide static site table; len(*sites) is the next
+	// global ordinal. funcBase is its length when this function started.
+	sites    *[]SiteInfo
+	funcBase int
+	protect  map[int]bool
 }
 
-func instrumentFunc(f *ir.Func, opts Options) (*ir.Func, error) {
+func instrumentFunc(f *ir.Func, opts Options, sites *[]SiteInfo, protect map[int]bool) (*ir.Func, error) {
 	rw := &funcRewriter{
 		opts: opts,
 		in:   f,
@@ -127,8 +172,11 @@ func instrumentFunc(f *ir.Func, opts Options) (*ir.Func, error) {
 			Frame:      f.Frame,
 			PairedRegs: 2 * f.NumRegs,
 		},
-		nextTmp: ir.Reg(2 * f.NumRegs),
-		pcMap:   make([]int, len(f.Code)),
+		nextTmp:  ir.Reg(2 * f.NumRegs),
+		pcMap:    make([]int, len(f.Code)),
+		sites:    sites,
+		funcBase: len(*sites),
+		protect:  protect,
 	}
 	for pc := range f.Code {
 		rw.pcMap[pc] = len(rw.out.Code)
@@ -160,13 +208,26 @@ func (rw *funcRewriter) tmp() ir.Reg {
 
 // inj routes a primary operand through fim_inj when the enclosing
 // instruction class is injectable and the operand is a register. It returns
-// the operand the primary instruction should use.
+// the operand the primary instruction should use. Each emitted fim_inj
+// carries its global static ordinal in Target (unused by execution, read by
+// profiling observers) and appends its SiteInfo to the pass-wide table.
 func (rw *funcRewriter) inj(class ir.Class, o ir.Operand) ir.Operand {
 	if !o.IsReg() || rw.opts.InjectClasses&class == 0 {
 		return primOp(o)
 	}
+	ord := len(*rw.sites)
+	*rw.sites = append(*rw.sites, SiteInfo{
+		Func:  rw.in.Name,
+		Index: ord - rw.funcBase,
+		Class: class,
+	})
 	t := rw.tmp()
-	rw.emit(ir.Instr{Op: ir.FimInj, Dst: t, A: primOp(o)})
+	rw.emit(ir.Instr{Op: ir.FimInj, Dst: t, A: primOp(o), Target: int32(ord)})
+	if rw.protect[ord] {
+		// Selective protection: rewrite the temporary from its (shadow-free)
+		// source before the consumer reads it, correcting any flip here.
+		rw.emit(ir.Instr{Op: ir.Mov, Dst: t, A: primOp(o)})
+	}
 	return ir.R(t)
 }
 

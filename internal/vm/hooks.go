@@ -31,12 +31,14 @@ type SitePlanner interface {
 const NoSite = ^uint64(0)
 
 // SiteObserver profiles the dynamic injection-site space: it is called at
-// every fim_inj execution with the running site index and the injection
-// class of the instruction consuming the (possibly corrupted) operand —
-// the axis campaigns stratify on. Observation forces the full interpreter
-// over every site, so it belongs in one-off golden profiling runs, never
-// in injection experiments. Sites arrive strictly in order (0, 1, 2, …).
-type SiteObserver func(site uint64, class ir.Class)
+// every fim_inj execution with the running dynamic site index, the static
+// site ordinal the transform stamped into the fim_inj (its global index in
+// the transform.SiteInfo table), and the injection class of the instruction
+// consuming the (possibly corrupted) operand — the axes campaigns stratify
+// and rank on. Observation forces the full interpreter over every site, so
+// it belongs in one-off golden profiling runs, never in injection
+// experiments. Sites arrive strictly in order (0, 1, 2, …).
+type SiteObserver func(site uint64, static int32, class ir.Class)
 
 // MPIEndpoint is the VM's view of the message-passing runtime. Messages are
 // encoded with fpm.EncodeMessage so contamination headers travel with the

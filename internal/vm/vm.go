@@ -755,7 +755,7 @@ frames:
 					v.taint.regs[base+int(in.dst)] = v.taintOf(base, in.src.A)
 				}
 				if v.cfg.SiteObserver != nil {
-					v.cfg.SiteObserver(site, siteClass(fr.fn, pc))
+					v.cfg.SiteObserver(site, in.target, siteClass(fr.fn, pc))
 				}
 				if v.cfg.Injector != nil {
 					var flipped bool
@@ -804,14 +804,35 @@ frames:
 // siteClass resolves the injection class of the fim_inj at pc: the
 // instrumentation emits one fim_inj per source operand immediately before
 // the instruction consuming the guarded temporaries, so the first
-// non-fim_inj opcode after pc is the site's consumer.
+// non-fim_inj opcode after pc is the site's consumer. Selective protection
+// (transform.Options.Protect) interposes a correction Mov that rewrites a
+// fim_inj temporary; such moves are part of the site, not its consumer, and
+// are skipped.
 func siteClass(fn *ir.Func, pc int) ir.Class {
 	for i := pc + 1; i < len(fn.Code); i++ {
-		if fn.Code[i].Op != ir.FimInj {
-			return ir.ClassOf(fn.Code[i].Op)
+		in := &fn.Code[i]
+		if in.Op == ir.FimInj {
+			continue
 		}
+		if in.Op == ir.Mov && in.Flags == 0 && protectsInj(fn, pc, i) {
+			continue
+		}
+		return ir.ClassOf(in.Op)
 	}
 	return ir.ClassNone
+}
+
+// protectsInj reports whether the Mov at pc i restores the destination of a
+// fim_inj in [from, i) — the selective-protection idiom — rather than being
+// an ordinary move.
+func protectsInj(fn *ir.Func, from, i int) bool {
+	dst := fn.Code[i].Dst
+	for j := from; j < i; j++ {
+		if fn.Code[j].Op == ir.FimInj && fn.Code[j].Dst == dst {
+			return true
+		}
+	}
+	return false
 }
 
 func (v *VM) trapMem(addr int64) {
